@@ -1,0 +1,405 @@
+(* The mcc command-line driver.
+
+     mcc compile FILE [--fir] [-S]         check / dump FIR or MASM
+     mcc run FILE [--backend ...] [--arch ...]
+     mcc resume IMAGE [--trusted]          execute a checkpoint image
+     mcc grid [--ranks N] [--fail]         the Figure 2 demo
+
+   [run] services migration requests locally: checkpoint://path and
+   suspend://path write resumable image files to disk (the paper's
+   "checkpoints formatted as executable files" — `mcc resume FILE` runs
+   them); mcc://host targets are unreachable from the standalone CLI and
+   exercise the paper's failed-migration semantics (the process continues
+   locally, unaware). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+type lang = C | Ml | Pas
+
+let detect_lang ~lang_flag path =
+  match lang_flag with
+  | Some "c" -> C
+  | Some "ml" -> Ml
+  | Some ("pas" | "pascal") -> Pas
+  | Some other -> failwith ("unknown language " ^ other)
+  | None ->
+    if Filename.check_suffix path ".ml" then Ml
+    else if Filename.check_suffix path ".pas" then Pas
+    else C (* .c and everything else *)
+
+let compile_file ~lang_flag ~optimize path =
+  let src = read_file path in
+  match detect_lang ~lang_flag path with
+  | C -> (
+    match Minic.Driver.compile ~optimize src with
+    | Ok fir -> fir
+    | Error e -> failwith (Minic.Driver.error_to_string e))
+  | Ml -> (
+    match Miniml.Driver.compile ~optimize src with
+    | Ok fir -> fir
+    | Error e -> failwith (Miniml.Driver.error_to_string e))
+  | Pas -> (
+    match Pascal.Driver.compile ~optimize src with
+    | Ok fir -> fir
+    | Error e -> failwith (Pascal.Driver.error_to_string e))
+
+let arch_of_string = function
+  | "cisc32" -> Vm.Arch.cisc32
+  | "risc64" -> Vm.Arch.risc64
+  | other -> failwith ("unknown architecture " ^ other ^ " (cisc32|risc64)")
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let lang_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lang" ] ~docv:"LANG" ~doc:"Source language: c or ml \
+                                         (default: by extension).")
+
+let no_opt_arg =
+  Arg.(value & flag & info [ "no-opt" ] ~doc:"Disable the FIR optimizer.")
+
+let arch_arg =
+  Arg.(
+    value & opt string "cisc32"
+    & info [ "arch" ] ~docv:"ARCH" ~doc:"Target architecture: cisc32 or \
+                                         risc64.")
+
+(* ------------------------------------------------------------------ *)
+(* mcc compile                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let dump_fir =
+    Arg.(value & flag & info [ "fir" ] ~doc:"Print the FIR.")
+  in
+  let dump_masm =
+    Arg.(value & flag & info [ "S" ] ~doc:"Print the generated MASM.")
+  in
+  let action file lang_flag no_opt dump_fir dump_masm arch =
+    try
+      let fir = compile_file ~lang_flag ~optimize:(not no_opt) file in
+      if dump_fir then print_string (Fir.Pp.program_to_string fir);
+      if dump_masm then begin
+        let image = Vm.Codegen.compile ~arch:(arch_of_string arch) fir in
+        print_string (Vm.Masm.image_to_string image)
+      end;
+      if not (dump_fir || dump_masm) then
+        Printf.printf "%s: ok (%d FIR functions, %d nodes)\n" file
+          (Fir.Ast.fun_count fir) (Fir.Ast.program_size fir);
+      0
+    with Failure m ->
+      Printf.eprintf "mcc: %s\n" m;
+      1
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a source file to FIR/MASM.")
+    Term.(
+      const action $ file_arg $ lang_arg $ no_opt_arg $ dump_fir $ dump_masm
+      $ arch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mcc run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a process to completion, servicing migration requests against
+   the local filesystem.  [routes] maps migration hosts to spool
+   directories served by `mcc serve` (the file-spool stand-in for the
+   paper's TCP migration server). *)
+let rec drive ?(routes = []) step_fn proc =
+  match proc.Vm.Process.status with
+  | Vm.Process.Running ->
+    step_fn ();
+    drive ~routes step_fn proc
+  | Vm.Process.Exited n -> n
+  | Vm.Process.Trapped m ->
+    Printf.eprintf "mcc: process trapped: %s\n" m;
+    2
+  | Vm.Process.Migrating req -> (
+    match Migrate.Protocol.parse req.Vm.Process.m_target with
+    | Migrate.Protocol.Checkpoint_to path ->
+      let packed = Migrate.Pack.pack_request proc in
+      write_file path packed.Migrate.Pack.p_bytes;
+      Printf.eprintf "mcc: checkpoint written to %s (%d bytes)\n" path
+        (String.length packed.Migrate.Pack.p_bytes);
+      Vm.Process.migration_failed proc (* = keep running *);
+      drive ~routes step_fn proc
+    | Migrate.Protocol.Suspend_to path ->
+      let packed = Migrate.Pack.pack_request proc in
+      write_file path packed.Migrate.Pack.p_bytes;
+      Printf.eprintf "mcc: process suspended to %s; resume with: mcc \
+                      resume %s\n" path path;
+      Vm.Process.migration_completed proc;
+      0
+    | Migrate.Protocol.Migrate_to host -> (
+      match List.assoc_opt host routes with
+      | Some dir ->
+        let packed = Migrate.Pack.pack_request proc in
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "mig-%d-%d.img" (Unix.getpid ())
+               req.Vm.Process.m_label)
+        in
+        write_file path packed.Migrate.Pack.p_bytes;
+        Printf.eprintf
+          "mcc: process migrated to %s (%s, %d bytes); run `mcc serve %s` \
+           there\n"
+          host path
+          (String.length packed.Migrate.Pack.p_bytes)
+          dir;
+        Vm.Process.migration_completed proc;
+        0
+      | None ->
+        Printf.eprintf
+          "mcc: no route to migration server %s; continuing locally\n" host;
+        Vm.Process.migration_failed proc;
+        drive ~routes step_fn proc)
+    | exception Migrate.Protocol.Bad_target m ->
+      Printf.eprintf "mcc: %s; continuing locally\n" m;
+      Vm.Process.migration_failed proc;
+      drive ~routes step_fn proc)
+
+let run_cmd =
+  let backend_arg =
+    Arg.(
+      value & opt string "native"
+      & info [ "backend" ] ~docv:"B" ~doc:"Execution backend: reference \
+                                           or native.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
+  in
+  let route_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "route" ] ~docv:"HOST=DIR"
+          ~doc:"Spool directory serving mcc://HOST migrations (see `mcc \
+                serve`); repeatable.")
+  in
+  let action file lang_flag no_opt arch backend seed routes =
+    try
+      let routes =
+        List.map
+          (fun r ->
+            match String.index_opt r '=' with
+            | Some k ->
+              String.sub r 0 k, String.sub r (k + 1) (String.length r - k - 1)
+            | None -> failwith ("bad --route " ^ r ^ " (want HOST=DIR)"))
+          routes
+      in
+      let fir = compile_file ~lang_flag ~optimize:(not no_opt) file in
+      let arch = arch_of_string arch in
+      let proc = Vm.Process.create ~arch ~seed fir in
+      let step_fn =
+        match backend with
+        | "reference" -> fun () -> Vm.Interp.step proc
+        | "native" ->
+          let emu = Vm.Emulator.create (Vm.Codegen.compile ~arch fir) proc in
+          fun () -> Vm.Emulator.step emu
+        | other -> failwith ("unknown backend " ^ other)
+      in
+      let code = drive ~routes step_fn proc in
+      print_string (Vm.Process.output proc);
+      code
+    with Failure m ->
+      Printf.eprintf "mcc: %s\n" m;
+      1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a program; services \
+                          checkpoint/suspend/migrate requests locally.")
+    Term.(
+      const action $ file_arg $ lang_arg $ no_opt_arg $ arch_arg
+      $ backend_arg $ seed_arg $ route_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mcc resume                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resume_cmd =
+  let trusted_arg =
+    Arg.(
+      value & flag
+      & info [ "trusted" ]
+          ~doc:"Skip verification and use the binary payload when the \
+                architectures match.")
+  in
+  let action file arch trusted =
+    let bytes = read_file file in
+    let arch = arch_of_string arch in
+    match Migrate.Pack.unpack ~trusted ~arch bytes with
+    | Error m ->
+      Printf.eprintf "mcc: image rejected: %s\n" m;
+      1
+    | Ok (proc, masm, costs) ->
+      Printf.eprintf "mcc: image accepted (%d bytes%s)\n"
+        costs.Migrate.Pack.u_bytes
+        (if costs.Migrate.Pack.u_recompiled then ", recompiled"
+         else ", binary fast path");
+      let emu = Vm.Emulator.create masm proc in
+      let code = drive (fun () -> Vm.Emulator.step emu) proc in
+      print_string (Vm.Process.output proc);
+      code
+  in
+  Cmd.v
+    (Cmd.info "resume" ~doc:"Execute a checkpoint/suspend image file.")
+    Term.(const action $ file_arg $ arch_arg $ trusted_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mcc serve                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The migration server over a spool directory: "a version of the
+   compiler that will listen for incoming migration requests, recompile
+   any inbound processes on the new machine, and reconstruct their state
+   before executing them" (paper, Section 4.2.1) — with a filesystem
+   spool standing in for the TCP listener. *)
+let serve_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"SPOOL_DIR")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Process the current batch \
+                                              and exit.")
+  in
+  let trusted_arg =
+    Arg.(value & flag & info [ "trusted" ] ~doc:"Skip verification; use \
+                                                 binary payloads.")
+  in
+  let action spool arch once trusted =
+    let arch = arch_of_string arch in
+    let process_batch () =
+      let images =
+        Sys.readdir spool |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".img")
+        |> List.sort String.compare
+      in
+      List.iter
+        (fun name ->
+          let path = Filename.concat spool name in
+          let bytes = read_file path in
+          Sys.remove path;
+          match Migrate.Pack.unpack ~trusted ~arch bytes with
+          | Error m -> Printf.eprintf "mcc serve: %s rejected: %s\n" name m
+          | Ok (proc, masm, costs) ->
+            Printf.eprintf
+              "mcc serve: accepted %s (%d bytes%s); resuming\n" name
+              costs.Migrate.Pack.u_bytes
+              (if costs.Migrate.Pack.u_recompiled then ", recompiled"
+               else ", binary fast path");
+            let emu = Vm.Emulator.create masm proc in
+            let code = drive (fun () -> Vm.Emulator.step emu) proc in
+            print_string (Vm.Process.output proc);
+            Printf.eprintf "mcc serve: %s finished with exit %d\n" name code)
+        images;
+      List.length images
+    in
+    if once then begin
+      let n = process_batch () in
+      if n = 0 then Printf.eprintf "mcc serve: spool empty\n";
+      0
+    end
+    else begin
+      Printf.eprintf "mcc serve: watching %s (ctrl-c to stop)\n" spool;
+      let rec loop () =
+        ignore (process_batch ());
+        Unix.sleepf 0.2;
+        loop ()
+      in
+      loop ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a migration server over a spool directory: verify, \
+             recompile and execute inbound process images.")
+    Term.(const action $ dir_arg $ arch_arg $ once_arg $ trusted_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mcc grid                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let grid_cmd =
+  let ranks = Arg.(value & opt int 4 & info [ "ranks" ] ~doc:"Rank count.") in
+  let rows =
+    Arg.(value & opt int 6 & info [ "rows" ] ~doc:"Rows per rank.")
+  in
+  let cols = Arg.(value & opt int 12 & info [ "cols" ] ~doc:"Columns.") in
+  let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Timesteps.") in
+  let interval =
+    Arg.(value & opt int 10 & info [ "interval" ] ~doc:"Checkpoint interval.")
+  in
+  let fail =
+    Arg.(value & flag & info [ "fail" ] ~doc:"Inject a node failure and \
+                                              recover.")
+  in
+  let action ranks rows_per_rank cols timesteps interval fail =
+    let config =
+      { Mcc.Gridapp.ranks; rows_per_rank; cols; timesteps; interval;
+        work_us_per_step = 1000 }
+    in
+    let golden = Mcc.Gridapp.golden_checksums config in
+    let nodes = if fail then ranks + 1 else ranks in
+    let cluster =
+      Net.Cluster.create ~node_count:nodes
+        ~net:(Net.Simnet.create ~latency_us:5.0 ())
+        ()
+    in
+    let d = Mcc.Gridapp.deploy ~spare:fail cluster config in
+    if fail then begin
+      let victims =
+        Mcc.Gridapp.fail_and_recover ~rounds_before_failure:20 d
+          ~victim_node:(1 mod nodes) ~spare_node:(nodes - 1)
+      in
+      Printf.printf "killed node1 (ranks %s), recovered from checkpoints\n"
+        (String.concat "," (List.map string_of_int victims))
+    end;
+    let _ = Mcc.Gridapp.run d in
+    let sums = Mcc.Gridapp.checksums d in
+    let ok = ref true in
+    Array.iteri
+      (fun r s ->
+        let g = golden.(r) in
+        let shown, matches =
+          match s with
+          | Some n -> string_of_int n, n = g
+          | None -> "?", false
+        in
+        if not matches then ok := false;
+        Printf.printf "rank %d: %s (golden %d)%s\n" r shown g
+          (if matches then "" else "  <-- MISMATCH"))
+      sums;
+    Printf.printf "simulated time: %.4f s\n" (Net.Cluster.now cluster);
+    if !ok then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "grid" ~doc:"Run the Figure 2 grid computation on the \
+                           simulated cluster.")
+    Term.(const action $ ranks $ rows $ cols $ steps $ interval $ fail)
+
+let () =
+  let info =
+    Cmd.info "mcc" ~version:Mcc.Api.version
+      ~doc:"The Mojave Compiler Collection (reproduction)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ compile_cmd; run_cmd; resume_cmd; serve_cmd; grid_cmd ]))

@@ -1,0 +1,1 @@
+examples/buffer_overflow.ml: List Mcc Printf String

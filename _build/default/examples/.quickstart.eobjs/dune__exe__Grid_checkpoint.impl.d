@@ -1,0 +1,1 @@
+examples/grid_checkpoint.ml: Array List Mcc Net Printf String

@@ -1,0 +1,1 @@
+examples/migration_demo.ml: List Mcc Net Option Printf Vm

@@ -1,0 +1,1 @@
+examples/transfer.ml: List Mcc Net Option Printf String Vm

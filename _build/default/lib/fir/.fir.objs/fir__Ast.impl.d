@@ -1,0 +1,1 @@
+lib/fir/ast.ml: List Map String Types Var

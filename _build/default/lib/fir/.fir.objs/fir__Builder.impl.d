@@ -1,0 +1,1 @@
+lib/fir/builder.ml: Ast List Types Var

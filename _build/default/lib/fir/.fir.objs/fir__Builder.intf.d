@@ -1,0 +1,1 @@
+lib/fir/builder.mli: Ast Types

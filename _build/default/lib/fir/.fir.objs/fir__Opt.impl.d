@@ -1,0 +1,1 @@
+lib/fir/opt.ml: Ast Hashtbl List Map Option String_map Var

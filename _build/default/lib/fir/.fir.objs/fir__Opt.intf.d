@@ -1,0 +1,1 @@
+lib/fir/opt.mli: Ast Hashtbl Var

@@ -1,0 +1,1 @@
+lib/fir/pp.ml: Ast Format List Types Var

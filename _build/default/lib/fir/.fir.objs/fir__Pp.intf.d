@@ -1,0 +1,1 @@
+lib/fir/pp.mli: Ast Format

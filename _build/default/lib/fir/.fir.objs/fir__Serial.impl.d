@@ -1,0 +1,1 @@
+lib/fir/serial.ml: Ast Buffer Char Int64 List Printf String Types Var

@@ -1,0 +1,1 @@
+lib/fir/serial.mli: Ast Buffer Types

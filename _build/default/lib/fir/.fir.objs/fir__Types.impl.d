@@ -1,0 +1,1 @@
+lib/fir/types.ml: Format List

@@ -1,0 +1,1 @@
+lib/fir/var.ml: Format Hashtbl Int Map Printf Set

@@ -1,0 +1,1 @@
+lib/fir/var.mli: Format Hashtbl Map Set

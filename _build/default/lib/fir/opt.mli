@@ -1,0 +1,30 @@
+(** FIR optimizer — the "compiler" part of recompilation when a migrated
+    process is rebuilt on the target, and the cleanup pass after
+    front-end lowering.
+
+    Passes: constant folding (including [If]/[Switch] on constants), copy
+    propagation, common-subexpression elimination of pure operations,
+    dead-code elimination of pure unused lets (trapping operations are
+    kept), inlining of small functions — never of bodies containing
+    migration or speculation points, whose resume labels and continuation
+    identities must stay stable — and removal of functions unreachable
+    from [main].  All passes preserve well-typedness. *)
+
+val default_inline_threshold : int
+
+val optimize : ?threshold:int -> Ast.program -> Ast.program
+
+val optimize_exp : ?threshold:int -> Ast.program -> Ast.exp -> Ast.exp
+
+val subst_exp : rename:bool -> Ast.atom Var.Map.t -> Ast.exp -> Ast.exp
+(** Capture-avoiding substitution; [rename] refreshes binders (required
+    when a body is duplicated). *)
+
+val eliminate_common_subexpressions : Ast.exp -> Ast.exp
+
+val has_pseudo : Ast.exp -> bool
+(** Does the expression contain migration/speculation instructions? *)
+
+val reachable : Ast.program -> (string, unit) Hashtbl.t
+val remove_unreachable : Ast.program -> Ast.program
+val static_call_count : Ast.program -> string -> int

@@ -1,0 +1,134 @@
+(* Pretty-printer for FIR programs. *)
+
+open Ast
+
+let unop_to_string = function
+  | Neg -> "neg"
+  | Not -> "not"
+  | Fneg -> "fneg"
+  | Int_of_float -> "int_of_float"
+  | Float_of_int -> "float_of_int"
+  | Int_of_bool -> "int_of_bool"
+  | Int_of_enum -> "int_of_enum"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Fadd -> "+."
+  | Fsub -> "-."
+  | Fmul -> "*."
+  | Fdiv -> "/."
+  | Feq -> "==."
+  | Fne -> "!=."
+  | Flt -> "<."
+  | Fle -> "<=."
+  | Fgt -> ">."
+  | Fge -> ">=."
+  | And -> "&&"
+  | Or -> "||"
+  | Padd -> "p+"
+  | Peq -> "p=="
+
+let pp_atom fmt = function
+  | Unit -> Format.pp_print_string fmt "()"
+  | Int n -> Format.pp_print_int fmt n
+  | Float f -> Format.fprintf fmt "%g" f
+  | Bool b -> Format.pp_print_bool fmt b
+  | Enum (card, v) -> Format.fprintf fmt "enum[%d]{%d}" card v
+  | Var v -> Var.pp fmt v
+  | Fun f -> Format.fprintf fmt "@@%s" f
+  | Nil t -> Format.fprintf fmt "nil:%a" Types.pp t
+
+let pp_atoms fmt atoms =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_atom fmt atoms
+
+let rec pp_exp fmt = function
+  | Let_atom (v, t, a, e) ->
+    Format.fprintf fmt "@[<hv>let %a : %a = %a in@ %a@]" Var.pp v Types.pp t
+      pp_atom a pp_exp e
+  | Let_cast (v, t, a, e) ->
+    Format.fprintf fmt "@[<hv>let %a : %a = cast %a in@ %a@]" Var.pp v
+      Types.pp t pp_atom a pp_exp e
+  | Let_unop (v, t, op, a, e) ->
+    Format.fprintf fmt "@[<hv>let %a : %a = %s %a in@ %a@]" Var.pp v Types.pp
+      t (unop_to_string op) pp_atom a pp_exp e
+  | Let_binop (v, t, op, a, b, e) ->
+    Format.fprintf fmt "@[<hv>let %a : %a = %a %s %a in@ %a@]" Var.pp v
+      Types.pp t pp_atom a (binop_to_string op) pp_atom b pp_exp e
+  | Let_tuple (v, fields, e) ->
+    Format.fprintf fmt "@[<hv>let %a = tuple(%a) in@ %a@]" Var.pp v pp_atoms
+      (List.map snd fields) pp_exp e
+  | Let_array (v, t, size, init, e) ->
+    Format.fprintf fmt "@[<hv>let %a = array<%a>[%a](%a) in@ %a@]" Var.pp v
+      Types.pp t pp_atom size pp_atom init pp_exp e
+  | Let_string (v, s, e) ->
+    Format.fprintf fmt "@[<hv>let %a = %S in@ %a@]" Var.pp v s pp_exp e
+  | Let_proj (v, t, a, i, e) ->
+    Format.fprintf fmt "@[<hv>let %a : %a = %a.%d in@ %a@]" Var.pp v Types.pp
+      t pp_atom a i pp_exp e
+  | Set_proj (a, i, x, e) ->
+    Format.fprintf fmt "@[<hv>%a.%d <- %a;@ %a@]" pp_atom a i pp_atom x pp_exp
+      e
+  | Let_load (v, t, a, i, e) ->
+    Format.fprintf fmt "@[<hv>let %a : %a = %a[%a] in@ %a@]" Var.pp v Types.pp
+      t pp_atom a pp_atom i pp_exp e
+  | Store (a, i, x, e) ->
+    Format.fprintf fmt "@[<hv>%a[%a] <- %a;@ %a@]" pp_atom a pp_atom i pp_atom
+      x pp_exp e
+  | Let_ext (v, t, name, args, e) ->
+    Format.fprintf fmt "@[<hv>let %a : %a = extern %s(%a) in@ %a@]" Var.pp v
+      Types.pp t name pp_atoms args pp_exp e
+  | If (a, e1, e2) ->
+    Format.fprintf fmt "@[<v>if %a then@;<1 2>@[%a@]@ else@;<1 2>@[%a@]@]"
+      pp_atom a pp_exp e1 pp_exp e2
+  | Switch (a, cases, default) ->
+    let pp_case fmt (n, e) =
+      Format.fprintf fmt "@[<hv 2>| %d ->@ %a@]" n pp_exp e
+    in
+    Format.fprintf fmt "@[<v>switch %a@ %a@ @[<hv 2>| _ ->@ %a@]@]" pp_atom a
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_case)
+      cases pp_exp default
+  | Call (f, args) -> Format.fprintf fmt "@[%a(%a)@]" pp_atom f pp_atoms args
+  | Exit a -> Format.fprintf fmt "exit %a" pp_atom a
+  | Migrate (i, dst, f, args) ->
+    Format.fprintf fmt "@[migrate [%d, %a] %a(%a)@]" i pp_atom dst pp_atom f
+      pp_atoms args
+  | Speculate (f, args) ->
+    Format.fprintf fmt "@[speculate %a(<c>, %a)@]" pp_atom f pp_atoms args
+  | Commit (l, f, args) ->
+    Format.fprintf fmt "@[commit [%a] %a(%a)@]" pp_atom l pp_atom f pp_atoms
+      args
+  | Rollback (l, c) ->
+    Format.fprintf fmt "@[rollback [%a, %a]@]" pp_atom l pp_atom c
+
+let pp_fundef fmt fd =
+  let pp_param fmt (v, t) = Format.fprintf fmt "%a : %a" Var.pp v Types.pp t in
+  Format.fprintf fmt "@[<v 2>fun %s(%a) =@ %a@]" fd.f_name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_param)
+    fd.f_params pp_exp fd.f_body
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>(* main: %s *)@ " p.p_main;
+  iter_funs (fun fd -> Format.fprintf fmt "%a@ @ " pp_fundef fd) p;
+  Format.fprintf fmt "@]"
+
+let exp_to_string e = Format.asprintf "%a" pp_exp e
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,10 @@
+(** Pretty-printer for FIR programs (the CLI's [--fir] output). *)
+
+val unop_to_string : Ast.unop -> string
+val binop_to_string : Ast.binop -> string
+val pp_atom : Format.formatter -> Ast.atom -> unit
+val pp_exp : Format.formatter -> Ast.exp -> unit
+val pp_fundef : Format.formatter -> Ast.fundef -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val exp_to_string : Ast.exp -> string
+val program_to_string : Ast.program -> string

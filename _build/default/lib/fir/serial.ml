@@ -1,0 +1,593 @@
+(* Canonical binary serialization of FIR programs.
+
+   Migration never ships machine code: it ships the FIR, which the target
+   re-typechecks and recompiles (paper, Section 4.2.2).  This module defines
+   the canonical, architecture-independent byte format for FIR code:
+   little-endian fixed-width integers, length-prefixed strings, one tag byte
+   per constructor, and an Adler-32 checksum over the body.
+
+   The format is versioned; [decode] fails cleanly on a bad magic, version,
+   truncation, or checksum mismatch (all of which the migration server must
+   reject rather than crash on). *)
+
+open Ast
+
+exception Corrupt of string
+
+let magic = "MFIR"
+let version = 3
+
+(* ------------------------------------------------------------------ *)
+(* Primitive encoders.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let put_i64 buf n =
+  for k = 0 to 7 do
+    put_u8 buf ((n asr (8 * k)) land 0xff)
+  done
+
+(* Compact 8-byte float encoding (exact bit pattern, little-endian). *)
+let put_f64_bits buf f =
+  let bits = Int64.bits_of_float f in
+  for k = 0 to 7 do
+    put_u8 buf (Int64.to_int (Int64.shift_right_logical bits (8 * k)) land 0xff)
+  done
+
+(* OCaml ints are 63-bit, so a float's Int64 bit pattern is split across
+   two fields to round-trip exactly. *)
+let put_f64_exact buf f =
+  let bits = Int64.bits_of_float f in
+  put_i64 buf (Int64.to_int (Int64.logand bits 0xffffffffL));
+  put_i64 buf (Int64.to_int (Int64.shift_right_logical bits 32))
+
+let put_string buf s =
+  put_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_bool buf b = put_u8 buf (if b then 1 else 0)
+
+let put_list buf f xs =
+  put_i64 buf (List.length xs);
+  List.iter (f buf) xs
+
+type reader = { data : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.data then raise (Corrupt "truncated input")
+
+let get_u8 r =
+  need r 1;
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_i64 r =
+  need r 8;
+  let v = ref 0 in
+  for k = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code r.data.[r.pos + k]
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let get_f64_bits r =
+  need r 8;
+  let bits = ref 0L in
+  for k = 7 downto 0 do
+    bits :=
+      Int64.logor
+        (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code r.data.[r.pos + k]))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits !bits
+
+let get_f64_exact r =
+  let lo = get_i64 r in
+  let hi = get_i64 r in
+  let bits =
+    Int64.logor
+      (Int64.of_int (lo land 0xffffffff))
+      (Int64.shift_left (Int64.of_int hi) 32)
+  in
+  Int64.float_of_bits bits
+
+let get_string r =
+  let n = get_i64 r in
+  if n < 0 || n > String.length r.data - r.pos then
+    raise (Corrupt "bad string length");
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_bool r = get_u8 r <> 0
+
+let get_list r f =
+  let n = get_i64 r in
+  if n < 0 || n > 100_000_000 then raise (Corrupt "bad list length");
+  List.init n (fun _ -> f r)
+
+(* ------------------------------------------------------------------ *)
+(* Adler-32.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
+
+(* ------------------------------------------------------------------ *)
+(* Types.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec put_ty buf = function
+  | Types.Tunit -> put_u8 buf 0
+  | Types.Tint -> put_u8 buf 1
+  | Types.Tfloat -> put_u8 buf 2
+  | Types.Tbool -> put_u8 buf 3
+  | Types.Tenum n ->
+    put_u8 buf 4;
+    put_i64 buf n
+  | Types.Tptr t ->
+    put_u8 buf 5;
+    put_ty buf t
+  | Types.Ttuple ts ->
+    put_u8 buf 6;
+    put_list buf put_ty ts
+  | Types.Traw -> put_u8 buf 7
+  | Types.Tfun ts ->
+    put_u8 buf 8;
+    put_list buf put_ty ts
+  | Types.Tany -> put_u8 buf 9
+
+let rec get_ty r =
+  match get_u8 r with
+  | 0 -> Types.Tunit
+  | 1 -> Types.Tint
+  | 2 -> Types.Tfloat
+  | 3 -> Types.Tbool
+  | 4 -> Types.Tenum (get_i64 r)
+  | 5 -> Types.Tptr (get_ty r)
+  | 6 -> Types.Ttuple (get_list r get_ty)
+  | 7 -> Types.Traw
+  | 8 -> Types.Tfun (get_list r get_ty)
+  | 9 -> Types.Tany
+  | n -> raise (Corrupt (Printf.sprintf "bad type tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Variables, operators, atoms.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let put_var buf v =
+  put_i64 buf (Var.id v);
+  put_string buf (Var.name v)
+
+let get_var r =
+  let id = get_i64 r in
+  let name = get_string r in
+  Var.of_id ~id ~name
+
+let unop_code = function
+  | Neg -> 0
+  | Not -> 1
+  | Fneg -> 2
+  | Int_of_float -> 3
+  | Float_of_int -> 4
+  | Int_of_bool -> 5
+  | Int_of_enum -> 6
+
+let unop_of_code = function
+  | 0 -> Neg
+  | 1 -> Not
+  | 2 -> Fneg
+  | 3 -> Int_of_float
+  | 4 -> Float_of_int
+  | 5 -> Int_of_bool
+  | 6 -> Int_of_enum
+  | n -> raise (Corrupt (Printf.sprintf "bad unop code %d" n))
+
+let binop_code = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Rem -> 4
+  | Band -> 5
+  | Bor -> 6
+  | Bxor -> 7
+  | Shl -> 8
+  | Shr -> 9
+  | Eq -> 10
+  | Ne -> 11
+  | Lt -> 12
+  | Le -> 13
+  | Gt -> 14
+  | Ge -> 15
+  | Fadd -> 16
+  | Fsub -> 17
+  | Fmul -> 18
+  | Fdiv -> 19
+  | Feq -> 20
+  | Fne -> 21
+  | Flt -> 22
+  | Fle -> 23
+  | Fgt -> 24
+  | Fge -> 25
+  | And -> 26
+  | Or -> 27
+  | Padd -> 28
+  | Peq -> 29
+
+let binop_of_code = function
+  | 0 -> Add
+  | 1 -> Sub
+  | 2 -> Mul
+  | 3 -> Div
+  | 4 -> Rem
+  | 5 -> Band
+  | 6 -> Bor
+  | 7 -> Bxor
+  | 8 -> Shl
+  | 9 -> Shr
+  | 10 -> Eq
+  | 11 -> Ne
+  | 12 -> Lt
+  | 13 -> Le
+  | 14 -> Gt
+  | 15 -> Ge
+  | 16 -> Fadd
+  | 17 -> Fsub
+  | 18 -> Fmul
+  | 19 -> Fdiv
+  | 20 -> Feq
+  | 21 -> Fne
+  | 22 -> Flt
+  | 23 -> Fle
+  | 24 -> Fgt
+  | 25 -> Fge
+  | 26 -> And
+  | 27 -> Or
+  | 28 -> Padd
+  | 29 -> Peq
+  | n -> raise (Corrupt (Printf.sprintf "bad binop code %d" n))
+
+let put_atom buf = function
+  | Unit -> put_u8 buf 0
+  | Int n ->
+    put_u8 buf 1;
+    put_i64 buf n
+  | Float f ->
+    put_u8 buf 2;
+    put_f64_exact buf f
+  | Bool b ->
+    put_u8 buf 3;
+    put_bool buf b
+  | Enum (card, v) ->
+    put_u8 buf 4;
+    put_i64 buf card;
+    put_i64 buf v
+  | Var v ->
+    put_u8 buf 5;
+    put_var buf v
+  | Fun f ->
+    put_u8 buf 6;
+    put_string buf f
+  | Nil t ->
+    put_u8 buf 7;
+    put_ty buf t
+
+let get_atom r =
+  match get_u8 r with
+  | 0 -> Unit
+  | 1 -> Int (get_i64 r)
+  | 2 -> Float (get_f64_exact r)
+  | 3 -> Bool (get_bool r)
+  | 4 ->
+    let card = get_i64 r in
+    let v = get_i64 r in
+    Enum (card, v)
+  | 5 -> Var (get_var r)
+  | 6 -> Fun (get_string r)
+  | 7 -> Nil (get_ty r)
+  | n -> raise (Corrupt (Printf.sprintf "bad atom tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec put_exp buf = function
+  | Let_atom (v, t, a, e) ->
+    put_u8 buf 0;
+    put_var buf v;
+    put_ty buf t;
+    put_atom buf a;
+    put_exp buf e
+  | Let_unop (v, t, op, a, e) ->
+    put_u8 buf 1;
+    put_var buf v;
+    put_ty buf t;
+    put_u8 buf (unop_code op);
+    put_atom buf a;
+    put_exp buf e
+  | Let_binop (v, t, op, a, b, e) ->
+    put_u8 buf 2;
+    put_var buf v;
+    put_ty buf t;
+    put_u8 buf (binop_code op);
+    put_atom buf a;
+    put_atom buf b;
+    put_exp buf e
+  | Let_tuple (v, fields, e) ->
+    put_u8 buf 3;
+    put_var buf v;
+    put_list buf
+      (fun buf (t, a) ->
+        put_ty buf t;
+        put_atom buf a)
+      fields;
+    put_exp buf e
+  | Let_array (v, t, size, init, e) ->
+    put_u8 buf 4;
+    put_var buf v;
+    put_ty buf t;
+    put_atom buf size;
+    put_atom buf init;
+    put_exp buf e
+  | Let_string (v, s, e) ->
+    put_u8 buf 5;
+    put_var buf v;
+    put_string buf s;
+    put_exp buf e
+  | Let_proj (v, t, a, i, e) ->
+    put_u8 buf 6;
+    put_var buf v;
+    put_ty buf t;
+    put_atom buf a;
+    put_i64 buf i;
+    put_exp buf e
+  | Set_proj (a, i, x, e) ->
+    put_u8 buf 7;
+    put_atom buf a;
+    put_i64 buf i;
+    put_atom buf x;
+    put_exp buf e
+  | Let_load (v, t, a, i, e) ->
+    put_u8 buf 8;
+    put_var buf v;
+    put_ty buf t;
+    put_atom buf a;
+    put_atom buf i;
+    put_exp buf e
+  | Store (a, i, x, e) ->
+    put_u8 buf 9;
+    put_atom buf a;
+    put_atom buf i;
+    put_atom buf x;
+    put_exp buf e
+  | Let_ext (v, t, name, args, e) ->
+    put_u8 buf 10;
+    put_var buf v;
+    put_ty buf t;
+    put_string buf name;
+    put_list buf put_atom args;
+    put_exp buf e
+  | If (a, e1, e2) ->
+    put_u8 buf 11;
+    put_atom buf a;
+    put_exp buf e1;
+    put_exp buf e2
+  | Switch (a, cases, default) ->
+    put_u8 buf 12;
+    put_atom buf a;
+    put_list buf
+      (fun buf (n, e) ->
+        put_i64 buf n;
+        put_exp buf e)
+      cases;
+    put_exp buf default
+  | Call (f, args) ->
+    put_u8 buf 13;
+    put_atom buf f;
+    put_list buf put_atom args
+  | Exit a ->
+    put_u8 buf 14;
+    put_atom buf a
+  | Migrate (i, dst, f, args) ->
+    put_u8 buf 15;
+    put_i64 buf i;
+    put_atom buf dst;
+    put_atom buf f;
+    put_list buf put_atom args
+  | Speculate (f, args) ->
+    put_u8 buf 16;
+    put_atom buf f;
+    put_list buf put_atom args
+  | Commit (l, f, args) ->
+    put_u8 buf 17;
+    put_atom buf l;
+    put_atom buf f;
+    put_list buf put_atom args
+  | Rollback (l, c) ->
+    put_u8 buf 18;
+    put_atom buf l;
+    put_atom buf c
+  | Let_cast (v, t, a, e) ->
+    put_u8 buf 19;
+    put_var buf v;
+    put_ty buf t;
+    put_atom buf a;
+    put_exp buf e
+
+let rec get_exp r =
+  match get_u8 r with
+  | 0 ->
+    let v = get_var r in
+    let t = get_ty r in
+    let a = get_atom r in
+    Let_atom (v, t, a, get_exp r)
+  | 1 ->
+    let v = get_var r in
+    let t = get_ty r in
+    let op = unop_of_code (get_u8 r) in
+    let a = get_atom r in
+    Let_unop (v, t, op, a, get_exp r)
+  | 2 ->
+    let v = get_var r in
+    let t = get_ty r in
+    let op = binop_of_code (get_u8 r) in
+    let a = get_atom r in
+    let b = get_atom r in
+    Let_binop (v, t, op, a, b, get_exp r)
+  | 3 ->
+    let v = get_var r in
+    let fields =
+      get_list r (fun r ->
+          let t = get_ty r in
+          let a = get_atom r in
+          t, a)
+    in
+    Let_tuple (v, fields, get_exp r)
+  | 4 ->
+    let v = get_var r in
+    let t = get_ty r in
+    let size = get_atom r in
+    let init = get_atom r in
+    Let_array (v, t, size, init, get_exp r)
+  | 5 ->
+    let v = get_var r in
+    let s = get_string r in
+    Let_string (v, s, get_exp r)
+  | 6 ->
+    let v = get_var r in
+    let t = get_ty r in
+    let a = get_atom r in
+    let i = get_i64 r in
+    Let_proj (v, t, a, i, get_exp r)
+  | 7 ->
+    let a = get_atom r in
+    let i = get_i64 r in
+    let x = get_atom r in
+    Set_proj (a, i, x, get_exp r)
+  | 8 ->
+    let v = get_var r in
+    let t = get_ty r in
+    let a = get_atom r in
+    let i = get_atom r in
+    Let_load (v, t, a, i, get_exp r)
+  | 9 ->
+    let a = get_atom r in
+    let i = get_atom r in
+    let x = get_atom r in
+    Store (a, i, x, get_exp r)
+  | 10 ->
+    let v = get_var r in
+    let t = get_ty r in
+    let name = get_string r in
+    let args = get_list r get_atom in
+    Let_ext (v, t, name, args, get_exp r)
+  | 11 ->
+    let a = get_atom r in
+    let e1 = get_exp r in
+    let e2 = get_exp r in
+    If (a, e1, e2)
+  | 12 ->
+    let a = get_atom r in
+    let cases =
+      get_list r (fun r ->
+          let n = get_i64 r in
+          let e = get_exp r in
+          n, e)
+    in
+    Switch (a, cases, get_exp r)
+  | 13 ->
+    let f = get_atom r in
+    Call (f, get_list r get_atom)
+  | 14 -> Exit (get_atom r)
+  | 15 ->
+    let i = get_i64 r in
+    let dst = get_atom r in
+    let f = get_atom r in
+    Migrate (i, dst, f, get_list r get_atom)
+  | 16 ->
+    let f = get_atom r in
+    Speculate (f, get_list r get_atom)
+  | 17 ->
+    let l = get_atom r in
+    let f = get_atom r in
+    Commit (l, f, get_list r get_atom)
+  | 18 ->
+    let l = get_atom r in
+    let c = get_atom r in
+    Rollback (l, c)
+  | 19 ->
+    let v = get_var r in
+    let t = get_ty r in
+    let a = get_atom r in
+    Let_cast (v, t, a, get_exp r)
+  | n -> raise (Corrupt (Printf.sprintf "bad expression tag %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Programs.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let put_fundef buf fd =
+  put_string buf fd.f_name;
+  put_list buf
+    (fun buf (v, t) ->
+      put_var buf v;
+      put_ty buf t)
+    fd.f_params;
+  put_exp buf fd.f_body
+
+let get_fundef r =
+  let f_name = get_string r in
+  let f_params =
+    get_list r (fun r ->
+        let v = get_var r in
+        let t = get_ty r in
+        v, t)
+  in
+  let f_body = get_exp r in
+  { f_name; f_params; f_body }
+
+let encode p =
+  let body = Buffer.create 4096 in
+  put_string body p.p_main;
+  put_list body put_fundef
+    (fold_funs (fun fd acc -> fd :: acc) p []);
+  let body = Buffer.contents body in
+  let buf = Buffer.create (String.length body + 32) in
+  Buffer.add_string buf magic;
+  put_i64 buf version;
+  put_i64 buf (adler32 body);
+  put_i64 buf (String.length body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let decode s =
+  let r = { data = s; pos = 0 } in
+  need r 4;
+  let m = String.sub s 0 4 in
+  r.pos <- 4;
+  if not (String.equal m magic) then raise (Corrupt "bad magic");
+  let v = get_i64 r in
+  if v <> version then
+    raise (Corrupt (Printf.sprintf "version mismatch: got %d, want %d" v
+                      version));
+  let sum = get_i64 r in
+  let len = get_i64 r in
+  if len < 0 || r.pos + len > String.length s then
+    raise (Corrupt "bad body length");
+  let body = String.sub s r.pos len in
+  if adler32 body <> sum then raise (Corrupt "checksum mismatch");
+  let r = { data = body; pos = 0 } in
+  let main = get_string r in
+  let funs = get_list r get_fundef in
+  if r.pos <> String.length body then raise (Corrupt "trailing garbage");
+  program funs ~main

@@ -1,0 +1,60 @@
+(** Canonical binary serialization of FIR programs — the payload migration
+    actually ships (the target re-typechecks and recompiles it; machine
+    code never travels, paper Section 4.2.2).
+
+    Fixed-width little-endian integers, length-prefixed strings, one tag
+    byte per constructor, an Adler-32 checksum over the body, and a
+    version stamp.  {!decode} fails cleanly on corruption.
+
+    The primitive readers/writers are exposed: the MASM and process-image
+    codecs ({!Vm.Masm}, {!Migrate.Wire}) are built from the same
+    toolkit. *)
+
+exception Corrupt of string
+
+val magic : string
+val version : int
+
+(** {2 Primitive writers} *)
+
+val put_u8 : Buffer.t -> int -> unit
+val put_i64 : Buffer.t -> int -> unit
+val put_f64_exact : Buffer.t -> float -> unit
+(** Exact bit pattern, split across two fields (OCaml ints are 63-bit). *)
+
+val put_f64_bits : Buffer.t -> float -> unit
+(** Compact 8-byte exact encoding. *)
+
+val put_string : Buffer.t -> string -> unit
+val put_bool : Buffer.t -> bool -> unit
+val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+(** {2 Primitive readers} *)
+
+type reader = { data : string; mutable pos : int }
+
+val get_u8 : reader -> int
+val get_i64 : reader -> int
+val get_f64_exact : reader -> float
+val get_f64_bits : reader -> float
+val get_string : reader -> string
+val get_bool : reader -> bool
+val get_list : reader -> (reader -> 'a) -> 'a list
+
+val adler32 : string -> int
+
+(** {2 Shared operator codes} *)
+
+val unop_code : Ast.unop -> int
+val unop_of_code : int -> Ast.unop
+val binop_code : Ast.binop -> int
+val binop_of_code : int -> Ast.binop
+val put_ty : Buffer.t -> Types.ty -> unit
+val get_ty : reader -> Types.ty
+
+(** {2 Programs} *)
+
+val encode : Ast.program -> string
+val decode : string -> Ast.program
+(** @raise Corrupt on bad magic, version, length, checksum or trailing
+    garbage. *)

@@ -1,0 +1,84 @@
+(* FIR types.
+
+   The FIR is a type-safe intermediate language (paper, Section 3): variables
+   are immutable, heap values are mutable, and functions never return (the
+   program is in continuation-passing style).  Aggregate values live in the
+   heap and are referred to through pointer-table indices; a source-level C
+   pointer is a (base + offset) pair whose base is an index (Section 4.1.1).
+
+   [Tptr t] is the type of such a pointer into an array block whose cells all
+   have type [t].  [Ttuple tys] is a reference to a fixed, heterogeneous
+   block.  [Traw] is a reference to raw byte data (strings, untyped C
+   buffers).  [Tfun tys] is a CPS function taking arguments of types [tys]
+   and never returning. *)
+
+type ty =
+  | Tunit
+  | Tint
+  | Tfloat
+  | Tbool
+  | Tenum of int (* cardinality *)
+  | Tptr of ty
+  | Ttuple of ty list
+  | Traw
+  | Tfun of ty list
+  | Tany
+    (* A dynamically-tagged cell: can hold any runtime value; reading it
+       back at a specific type requires a checked downcast ([Let_cast]),
+       which traps on representation mismatch.  Used by front-end closure
+       conversion (a continuation environment is an array of [Tany]); the
+       runtime tag check is part of the paper's "runtime type-checking for
+       heap operations". *)
+
+let rec equal a b =
+  match a, b with
+  | Tunit, Tunit | Tint, Tint | Tfloat, Tfloat | Tbool, Tbool | Traw, Traw
+  | Tany, Tany ->
+    true
+  | Tenum n, Tenum m -> n = m
+  | Tptr a, Tptr b -> equal a b
+  | Ttuple xs, Ttuple ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Tfun xs, Tfun ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Tunit | Tint | Tfloat | Tbool | Tenum _ | Tptr _ | Ttuple _ | Traw
+    | Tfun _ | Tany), _ ->
+    false
+
+let rec pp fmt t =
+  match t with
+  | Tunit -> Format.pp_print_string fmt "unit"
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tfloat -> Format.pp_print_string fmt "float"
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tenum n -> Format.fprintf fmt "enum[%d]" n
+  | Tptr t -> Format.fprintf fmt "%a ptr" pp t
+  | Ttuple ts ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " * ")
+         pp)
+      ts
+  | Traw -> Format.pp_print_string fmt "raw"
+  | Tfun ts ->
+    Format.fprintf fmt "(%a) -> ."
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp)
+      ts
+  | Tany -> Format.pp_print_string fmt "any"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* A conservative "size in wire cells" of a value of this type; used by cost
+   models and by the wire codec to pre-size buffers. *)
+let rec cell_size = function
+  | Tunit | Tint | Tfloat | Tbool | Tenum _ | Tptr _ | Traw | Tfun _ | Tany
+    ->
+    1
+  | Ttuple ts -> List.fold_left (fun acc t -> acc + cell_size t) 0 ts
+
+(* Is a value of this type represented as a pointer-table index at runtime? *)
+let is_reference = function
+  | Tptr _ | Ttuple _ | Traw -> true
+  | Tunit | Tint | Tfloat | Tbool | Tenum _ | Tfun _ | Tany -> false

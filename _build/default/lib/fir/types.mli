@@ -1,0 +1,31 @@
+(** FIR types (paper, Section 3).
+
+    The FIR is type-safe: variables are immutable, heap values are
+    mutable, functions never return (CPS).  Aggregates live in the heap
+    and are referred to through pointer-table indices; a source-level C
+    pointer is a (base + offset) pair whose base is an index. *)
+
+type ty =
+  | Tunit
+  | Tint
+  | Tfloat
+  | Tbool
+  | Tenum of int  (** cardinality *)
+  | Tptr of ty  (** pointer into an array block of [ty] cells *)
+  | Ttuple of ty list  (** reference to a fixed heterogeneous block *)
+  | Traw  (** reference to raw byte data *)
+  | Tfun of ty list  (** CPS function: takes arguments, never returns *)
+  | Tany
+      (** dynamically-tagged cell; reading back at a specific type is a
+          checked downcast ([Let_cast]) that traps on mismatch.  Used by
+          front-end closure conversion. *)
+
+val equal : ty -> ty -> bool
+val pp : Format.formatter -> ty -> unit
+val to_string : ty -> string
+
+val cell_size : ty -> int
+(** Conservative size in wire cells (1 for everything but tuples). *)
+
+val is_reference : ty -> bool
+(** Represented as a pointer-table index at runtime? *)

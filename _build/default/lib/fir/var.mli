@@ -1,0 +1,24 @@
+(** FIR variables: immutable, globally unique by integer id (the name is
+    kept for printing).  Uniqueness lets the optimizer substitute without
+    capture and the serializer refer to variables by id. *)
+
+type t
+
+val fresh : string -> t
+(** A new variable with a globally fresh id. *)
+
+val of_id : id:int -> name:string -> t
+(** Rebuild a deserialized variable; the global counter is bumped past
+    [id] so later {!fresh} calls cannot collide. *)
+
+val id : t -> int
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

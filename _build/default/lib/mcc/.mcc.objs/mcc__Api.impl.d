@@ -1,0 +1,1 @@
+lib/mcc/api.ml: Fir Migrate Minic Miniml Pascal Vm

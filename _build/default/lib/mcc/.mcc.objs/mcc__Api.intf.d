@@ -1,0 +1,1 @@
+lib/mcc/api.mli: Fir Migrate Vm

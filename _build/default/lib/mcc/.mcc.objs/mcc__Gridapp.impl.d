@@ -1,0 +1,1 @@
+lib/mcc/gridapp.ml: Array Buffer List Minic Net Printf Vm

@@ -1,0 +1,1 @@
+lib/mcc/gridapp.mli: Fir Net Vm

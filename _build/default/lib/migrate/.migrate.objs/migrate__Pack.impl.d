@@ -1,0 +1,1 @@
+lib/migrate/pack.ml: Arch Codegen Extern Fir Function_table Gc Heap List Masm Pointer_table Printf Process Runtime Spec String Value Vm Wire

@@ -1,0 +1,1 @@
+lib/migrate/pack.mli: Arch Fir Masm Process Runtime Vm Wire

@@ -1,0 +1,1 @@
+lib/migrate/protocol.mli:

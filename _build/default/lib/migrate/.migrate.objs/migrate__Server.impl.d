@@ -1,0 +1,1 @@
+lib/migrate/server.ml: Arch Extern Fir Masm Pack Process String Vm

@@ -1,0 +1,1 @@
+lib/migrate/server.mli: Arch Fir Masm Pack Process Vm

@@ -1,0 +1,1 @@
+lib/migrate/wire.ml: Array Buffer Fir Hashtbl Heap List Printf Runtime Spec String Value

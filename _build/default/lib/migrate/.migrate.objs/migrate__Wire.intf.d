@@ -1,0 +1,1 @@
+lib/migrate/wire.mli: Buffer Fir Runtime Spec Value

@@ -1,0 +1,241 @@
+(* Pack and unpack: capturing and reconstructing whole-process state
+   (paper, Section 4.2.2).
+
+   pack:
+   1. Store the live variables (the continuation arguments of the migrate
+      instruction — exactly the paper's correspondence) into a freshly
+      allocated [migrate_env] block, converting register state into the
+      standard heap representation.
+   2. Garbage-collect the heap (the paper's pack "first performs garbage
+      collection"), with migrate_env and the speculation state as roots.
+   3. Snapshot: FIR code, function table, pointer table (order preserved),
+      heap cells, speculation records, the migrate_env index, and the
+      resume label.
+
+   unpack:
+   1. Structurally verify the image (Wire.verify).
+   2. Re-typecheck the FIR in strict mode unless the source is trusted.
+   3. Rebuild heap + pointer table, re-create the speculation engine,
+      extract the continuation arguments from migrate_env with the
+      standard safety checks, and validate them against the continuation
+      function's signature.
+   4. Recompile for the local architecture — or, if the image carries a
+      binary payload for the SAME architecture and the source is trusted,
+      skip recompilation entirely (the binary fast path measured in
+      experiment E1b). *)
+
+open Runtime
+open Vm
+
+exception Unpack_error of string
+
+type packed = {
+  p_image : Wire.image;
+  p_bytes : string; (* the encoded image: what actually travels *)
+}
+
+type unpack_costs = {
+  u_bytes : int; (* transferred size *)
+  u_verified : bool; (* structural + type verification performed *)
+  u_recompiled : bool; (* FIR -> MASM codegen performed *)
+  u_compile_cycles : int; (* simulated cycles charged for recompilation *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* pack                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pack ?(with_binary = true) proc ~entry ~args ~label =
+  let heap = proc.Process.heap in
+  (* 1. migrate_env: all live data moves into the heap; afterwards the only
+     "register" content is the migrate_env index itself *)
+  let menv = Heap.alloc_tuple heap args in
+  (* 2. collect, with migrate_env and speculation state as the roots *)
+  let spec_roots =
+    List.concat_map
+      (fun s -> s.Spec.Engine.s_args)
+      (Spec.Engine.snapshot proc.Process.spec)
+  in
+  let res =
+    Gc.collect heap ~kind:Gc.Major
+      ~roots:(Value.Vptr (menv, 0) :: spec_roots)
+      ~pinned:(Spec.Engine.records proc.Process.spec)
+  in
+  Spec.Engine.rewrite_after_gc proc.Process.spec res;
+  (* 3. snapshot *)
+  let image =
+    {
+      Wire.i_arch = proc.Process.arch.Arch.name;
+      i_fir = Fir.Serial.encode proc.Process.program;
+      i_masm =
+        (if with_binary then
+           Some
+             (Masm.encode
+                (Codegen.compile ~arch:proc.Process.arch
+                   proc.Process.program))
+         else None);
+      i_ftable = Function_table.names proc.Process.ftable;
+      i_ptable = Pointer_table.snapshot (Heap.pointer_table heap);
+      i_cells = Heap.cells heap;
+      i_spec = Spec.Engine.snapshot proc.Process.spec;
+      i_menv = menv;
+      i_entry = entry;
+      i_label = label;
+    }
+  in
+  { p_image = image; p_bytes = Wire.encode image }
+
+(* Pack a process that has stopped at a migration request. *)
+let pack_request ?with_binary proc =
+  match proc.Process.status with
+  | Process.Migrating req ->
+    pack ?with_binary proc ~entry:req.Process.m_entry
+      ~args:req.Process.m_args ~label:req.Process.m_label
+  | Process.Running | Process.Exited _ | Process.Trapped _ ->
+    invalid_arg "Pack.pack_request: process is not at a migration point"
+
+(* Pack a RUNNING process between basic blocks, without its cooperation:
+   the current continuation is exactly the live state (the CPS property),
+   so any inter-step boundary is a safe migration point.  This enables
+   the paper's "dynamic transparent load balancing and mobile agents"
+   (Section 7): "processes to be migrated without their specific
+   knowledge for failure-recovery or load-balancing purposes"
+   (Section 4.2.1). *)
+let pack_running ?with_binary proc =
+  match proc.Process.status with
+  | Process.Running ->
+    let entry, args = proc.Process.cont in
+    pack ?with_binary proc ~entry ~args ~label:0
+  | Process.Migrating _ | Process.Exited _ | Process.Trapped _ ->
+    invalid_arg "Pack.pack_running: process is not running"
+
+(* ------------------------------------------------------------------ *)
+(* unpack                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let value_matches program ftable_names ty v =
+  let open Fir.Types in
+  match ty, v with
+  | Tunit, Value.Vunit -> true
+  | Tint, Value.Vint _ -> true
+  | Tfloat, Value.Vfloat _ -> true
+  | Tbool, Value.Vbool _ -> true
+  | Tenum c, Value.Venum (c', x) -> c = c' && x >= 0 && x < c
+  | (Tptr _ | Ttuple _ | Traw), Value.Vptr _ -> true
+  | Tfun tys, Value.Vfun f -> (
+    match List.nth_opt ftable_names f with
+    | Some name -> (
+      match Fir.Ast.find_fun program name with
+      | Some fd ->
+        let sig_ = Fir.Ast.signature fd in
+        List.length sig_ = List.length tys
+        && List.for_all2 Fir.Types.equal sig_ tys
+      | None -> false)
+    | None -> false)
+  | Tany, _ -> true
+  | ( (Tunit | Tint | Tfloat | Tbool | Tenum _ | Tptr _ | Ttuple _ | Traw
+      | Tfun _),
+      _ ) ->
+    false
+
+(* [extern_signatures] extends the strict typecheck with the host
+   environment's externs (e.g. the cluster's message-passing set). *)
+let unpack ?(pid = 0) ?(seed = 42) ?(trusted = false)
+    ?(extern_signatures = Extern.signatures) ~arch bytes =
+  try
+    let image = Wire.decode bytes in
+    let verified = not trusted in
+    if verified then Wire.verify image;
+    let program =
+      try Fir.Serial.decode image.Wire.i_fir
+      with Fir.Serial.Corrupt msg ->
+        raise (Unpack_error ("corrupt FIR payload: " ^ msg))
+    in
+    if verified then begin
+      match
+        Fir.Typecheck.check_program ~strict:true ~externs:extern_signatures
+          program
+      with
+      | Ok () -> ()
+      | Error msg -> raise (Unpack_error ("FIR rejected: " ^ msg))
+    end;
+    (* the function table must be exactly the program's functions, in the
+       canonical order (index order is load-bearing for Vfun values) *)
+    let expected =
+      List.sort String.compare (Fir.Ast.fun_names program)
+    in
+    if image.Wire.i_ftable <> expected then
+      raise (Unpack_error "function table does not match the program");
+    let heap =
+      Heap.restore ~cells:image.Wire.i_cells
+        ~ptable_snapshot:image.Wire.i_ptable
+    in
+    (* decide the execution payload *)
+    let binary_fast_path =
+      trusted
+      && String.equal image.Wire.i_arch arch.Arch.name
+      && image.Wire.i_masm <> None
+    in
+    let masm, recompiled, compile_cycles =
+      if binary_fast_path then
+        match image.Wire.i_masm with
+        | Some payload ->
+          let masm = Masm.decode payload in
+          (* no recompilation, but the stub must still be linked *)
+          masm, false, Codegen.simulated_link_cycles masm
+        | None -> assert false
+      else
+        let masm = Codegen.compile ~arch program in
+        ( masm,
+          true,
+          Codegen.simulated_compile_cycles program
+          + Codegen.simulated_link_cycles masm )
+    in
+    let proc =
+      Process.restore ~pid ~arch ~seed ~program ~heap
+        ~spec_snapshot:image.Wire.i_spec
+        ~cont:(image.Wire.i_entry, []) ()
+    in
+    (* extract the continuation arguments from migrate_env with the
+       standard safety checks applied as they are read (Section 4.2.2) *)
+    let entry_fd =
+      match Fir.Ast.find_fun program image.Wire.i_entry with
+      | Some fd -> fd
+      | None ->
+        raise (Unpack_error ("unknown resume function " ^ image.Wire.i_entry))
+    in
+    let nargs = List.length entry_fd.Fir.Ast.f_params in
+    if Heap.block_size heap image.Wire.i_menv <> nargs then
+      raise (Unpack_error "migrate_env size does not match resume signature");
+    let args =
+      List.init nargs (fun k -> Heap.read heap image.Wire.i_menv k)
+    in
+    List.iteri
+      (fun k ((_, ty), v) ->
+        if verified
+           && not (value_matches program image.Wire.i_ftable ty v)
+        then
+          raise
+            (Unpack_error
+               (Printf.sprintf
+                  "resume argument %d has wrong representation (%s vs %s)" k
+                  (Value.to_string v) (Fir.Types.to_string ty))))
+      (List.combine entry_fd.Fir.Ast.f_params args);
+    proc.Process.cont <- image.Wire.i_entry, args;
+    Ok
+      ( proc,
+        masm,
+        {
+          u_bytes = String.length bytes;
+          u_verified = verified;
+          u_recompiled = recompiled;
+          u_compile_cycles = compile_cycles;
+        } )
+  with
+  | Unpack_error msg -> Error msg
+  | Wire.Corrupt msg -> Error ("corrupt image: " ^ msg)
+  | Heap.Runtime_error msg -> Error ("bad heap in image: " ^ msg)
+  | Pointer_table.Invalid_pointer msg -> Error ("bad pointer table: " ^ msg)
+  | Function_table.Invalid_function msg ->
+    Error ("bad function table: " ^ msg)
+  | Spec.Engine.Invalid_level msg -> Error ("bad speculation state: " ^ msg)

@@ -1,0 +1,57 @@
+(** Pack and unpack: capturing and reconstructing whole-process state
+    (paper, Section 4.2.2).
+
+    Packing stores the live variables into a fresh [migrate_env] block,
+    garbage-collects, and snapshots code + tables + heap + speculation
+    state.  Unpacking structurally verifies the image, re-typechecks the
+    FIR (unless trusted), rebuilds the heap, validates the resume
+    arguments against the continuation's signature, and recompiles for
+    the local architecture — or takes the binary fast path for a trusted
+    same-architecture image. *)
+
+open Vm
+
+exception Unpack_error of string
+
+type packed = {
+  p_image : Wire.image;
+  p_bytes : string;  (** the encoded image: what actually travels *)
+}
+
+type unpack_costs = {
+  u_bytes : int;
+  u_verified : bool;
+  u_recompiled : bool;
+  u_compile_cycles : int;
+    (** simulated recompile+link cycles (link only on the fast path) *)
+}
+
+val pack :
+  ?with_binary:bool ->
+  Process.t ->
+  entry:string -> args:Runtime.Value.t list -> label:int ->
+  packed
+(** [with_binary] (default true) attaches the compiled MASM payload for
+    the same-architecture fast path; FIR-only images force recompilation
+    everywhere (the paper's untrusted WAN setting). *)
+
+val pack_request : ?with_binary:bool -> Process.t -> packed
+(** Pack a process stopped at a migration request.
+    @raise Invalid_argument if the process is not [Migrating]. *)
+
+val pack_running : ?with_binary:bool -> Process.t -> packed
+(** Pack a RUNNING process between basic blocks without its cooperation —
+    the CPS continuation is the complete live state, so every inter-step
+    boundary is a safe migration point.  The basis for transparent load
+    balancing (paper, Sections 4.2.1 and 7).
+    @raise Invalid_argument if the process is not [Running]. *)
+
+val unpack :
+  ?pid:int -> ?seed:int -> ?trusted:bool ->
+  ?extern_signatures:Fir.Typecheck.extern_lookup ->
+  arch:Arch.t -> string ->
+  (Process.t * Masm.image * unpack_costs, string) result
+(** Verify and reconstruct a process from image bytes.  [trusted] skips
+    verification and enables the binary fast path;
+    [extern_signatures] extends the strict typecheck with the host
+    environment's externs. *)

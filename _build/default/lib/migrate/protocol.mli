@@ -1,0 +1,26 @@
+(** Migration protocols and target strings (paper, Section 4.2.1).
+
+    The [migrate] pseudo-instruction's string argument selects the
+    protocol:
+    - ["mcc://host"]: ship the process to a migration server and
+      terminate the source on success; continue locally on failure.
+    - ["suspend://path"]: write the image to a file and terminate.
+    - ["checkpoint://path"] (alias ["ckpt://"]): write the image and keep
+      running. *)
+
+type t =
+  | Migrate_to of string  (** host name *)
+  | Suspend_to of string  (** file / storage path *)
+  | Checkpoint_to of string
+
+exception Bad_target of string
+
+val parse : string -> t
+(** @raise Bad_target on an unparseable target. *)
+
+val parse_opt : string -> t option
+val to_string : t -> string
+
+val continues_after_success : t -> bool
+(** Does the source process keep running when the protocol succeeds?
+    Only checkpoints do. *)

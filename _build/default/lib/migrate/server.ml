@@ -1,0 +1,67 @@
+(* The migration server (paper, Section 4.2.1): "a version of the compiler
+   that will listen for incoming migration requests, recompile any inbound
+   processes on the new machine, and reconstruct their state before
+   executing them."
+
+   This module is transport-agnostic: the simulated cluster (lib/net) and
+   the CLI daemon (bin/mcc serve) both drive it by handing it received
+   image bytes.  The server owns the local trust policy and architecture,
+   assigns fresh pids, and keeps per-request statistics used by the
+   migration benchmarks. *)
+
+open Vm
+
+type request_outcome = {
+  o_pid : int;
+  o_costs : Pack.unpack_costs;
+  o_process : Process.t;
+  o_masm : Masm.image;
+}
+
+type stats = {
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable bytes_received : int;
+  mutable recompilations : int;
+}
+
+type t = {
+  arch : Arch.t;
+  trusted : bool;
+  extern_signatures : Fir.Typecheck.extern_lookup;
+  mutable next_pid : int;
+  stats : stats;
+}
+
+let create ?(trusted = false)
+    ?(extern_signatures = Extern.signatures) ?(first_pid = 1000) arch =
+  {
+    arch;
+    trusted;
+    extern_signatures;
+    next_pid = first_pid;
+    stats =
+      { accepted = 0; rejected = 0; bytes_received = 0; recompilations = 0 };
+  }
+
+let stats t = t.stats
+
+(* Handle one inbound migration: verify, recompile, reconstruct.  The
+   caller decides what to do with the resulting process (schedule it,
+   execute it to completion, ...). *)
+let handle ?seed t bytes =
+  t.stats.bytes_received <- t.stats.bytes_received + String.length bytes;
+  let pid = t.next_pid in
+  match
+    Pack.unpack ?seed ~pid ~trusted:t.trusted
+      ~extern_signatures:t.extern_signatures ~arch:t.arch bytes
+  with
+  | Ok (proc, masm, costs) ->
+    t.next_pid <- t.next_pid + 1;
+    t.stats.accepted <- t.stats.accepted + 1;
+    if costs.Pack.u_recompiled then
+      t.stats.recompilations <- t.stats.recompilations + 1;
+    Ok { o_pid = pid; o_costs = costs; o_process = proc; o_masm = masm }
+  | Error msg ->
+    t.stats.rejected <- t.stats.rejected + 1;
+    Error msg

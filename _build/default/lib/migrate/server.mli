@@ -1,0 +1,32 @@
+(** The migration server (paper, Section 4.2.1): listens for inbound
+    process images, verifies, recompiles and reconstructs them.
+    Transport-agnostic — the simulated cluster's daemons and the CLI both
+    drive it with received bytes. *)
+
+open Vm
+
+type request_outcome = {
+  o_pid : int;
+  o_costs : Pack.unpack_costs;
+  o_process : Process.t;
+  o_masm : Masm.image;
+}
+
+type stats = {
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable bytes_received : int;
+  mutable recompilations : int;
+}
+
+type t
+
+val create :
+  ?trusted:bool ->
+  ?extern_signatures:Fir.Typecheck.extern_lookup ->
+  ?first_pid:int -> Arch.t -> t
+
+val stats : t -> stats
+
+val handle : ?seed:int -> t -> string -> (request_outcome, string) result
+(** Handle one inbound migration; assigns a fresh pid on success. *)

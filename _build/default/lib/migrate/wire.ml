@@ -1,0 +1,276 @@
+(* The architecture-independent process image format (paper, Section 4.2).
+
+   A packed process contains, in order: the FIR code, the function table
+   (name order preserved), the pointer table snapshot (index order
+   preserved — Section 4.2.2), the raw heap cells under standard encoding
+   rules, the speculation snapshot, and the resume point (the migrate_env
+   block index, the continuation function name, and the migration label).
+   An optional MASM payload rides along for the same-architecture binary
+   fast path; heterogeneous targets ignore it and recompile from FIR.
+
+   All integers are little-endian fixed-width regardless of the (simulated)
+   source architecture's endianness or word size: this is the "standard
+   byte ordering and alignment rules on heap data" that make cross-
+   architecture migration possible without guessing at C data layouts. *)
+
+open Runtime
+
+exception Corrupt = Fir.Serial.Corrupt
+
+let magic = "MPRC"
+let version = 5
+
+type image = {
+  i_arch : string; (* source architecture name *)
+  i_fir : string; (* Fir.Serial encoding of the program *)
+  i_masm : string option; (* binary payload for the same-arch fast path *)
+  i_ftable : string list;
+  i_ptable : int array;
+  i_cells : Value.t array;
+  i_spec : Spec.Engine.snapshot_level list;
+  i_menv : int; (* pointer-table index of the migrate_env block *)
+  i_entry : string; (* continuation function *)
+  i_label : int; (* migration label *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Value cells                                                         *)
+(* ------------------------------------------------------------------ *)
+
+open struct
+  let put_u8 = Fir.Serial.put_u8
+  let put_i64 = Fir.Serial.put_i64
+  let put_string = Fir.Serial.put_string
+  let put_list = Fir.Serial.put_list
+  let put_f64 = Fir.Serial.put_f64_bits
+  let get_u8 = Fir.Serial.get_u8
+  let get_i64 = Fir.Serial.get_i64
+  let get_string = Fir.Serial.get_string
+  let get_list = Fir.Serial.get_list
+  let get_f64 = Fir.Serial.get_f64_bits
+end
+
+let put_value buf = function
+  | Value.Vunit -> put_u8 buf 0
+  | Value.Vint n ->
+    put_u8 buf 1;
+    put_i64 buf n
+  | Value.Vfloat f ->
+    put_u8 buf 2;
+    put_f64 buf f
+  | Value.Vbool b ->
+    put_u8 buf 3;
+    put_u8 buf (if b then 1 else 0)
+  | Value.Venum (c, v) ->
+    put_u8 buf 4;
+    put_i64 buf c;
+    put_i64 buf v
+  | Value.Vptr (i, o) ->
+    put_u8 buf 5;
+    put_i64 buf i;
+    put_i64 buf o
+  | Value.Vfun f ->
+    put_u8 buf 6;
+    put_i64 buf f
+
+let get_value r =
+  match get_u8 r with
+  | 0 -> Value.Vunit
+  | 1 -> Value.Vint (get_i64 r)
+  | 2 -> Value.Vfloat (get_f64 r)
+  | 3 -> Value.Vbool (get_u8 r <> 0)
+  | 4 ->
+    let c = get_i64 r in
+    let v = get_i64 r in
+    Value.Venum (c, v)
+  | 5 ->
+    let i = get_i64 r in
+    let o = get_i64 r in
+    Value.Vptr (i, o)
+  | 6 -> Value.Vfun (get_i64 r)
+  | n -> raise (Corrupt (Printf.sprintf "bad value tag %d" n))
+
+let put_spec_level buf (s : Spec.Engine.snapshot_level) =
+  put_string buf s.Spec.Engine.s_entry;
+  put_list buf put_value s.Spec.Engine.s_args;
+  put_list buf
+    (fun buf (idx, addr) ->
+      put_i64 buf idx;
+      put_i64 buf addr)
+    s.Spec.Engine.s_saved
+
+let get_spec_level r =
+  let s_entry = get_string r in
+  let s_args = get_list r get_value in
+  let s_saved =
+    get_list r (fun r ->
+        let idx = get_i64 r in
+        let addr = get_i64 r in
+        idx, addr)
+  in
+  { Spec.Engine.s_entry; s_args; s_saved }
+
+(* ------------------------------------------------------------------ *)
+(* Image codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let encode image =
+  let body = Buffer.create 65536 in
+  put_string body image.i_arch;
+  put_string body image.i_fir;
+  (match image.i_masm with
+  | None -> put_u8 body 0
+  | Some payload ->
+    put_u8 body 1;
+    put_string body payload);
+  put_list body put_string image.i_ftable;
+  put_i64 body (Array.length image.i_ptable);
+  Array.iter (put_i64 body) image.i_ptable;
+  put_i64 body (Array.length image.i_cells);
+  Array.iter (put_value body) image.i_cells;
+  put_list body put_spec_level image.i_spec;
+  put_i64 body image.i_menv;
+  put_string body image.i_entry;
+  put_i64 body image.i_label;
+  let body = Buffer.contents body in
+  let buf = Buffer.create (String.length body + 32) in
+  Buffer.add_string buf magic;
+  put_i64 buf version;
+  put_i64 buf (Fir.Serial.adler32 body);
+  put_i64 buf (String.length body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let decode s =
+  if String.length s < 4 || not (String.equal (String.sub s 0 4) magic) then
+    raise (Corrupt "bad process-image magic");
+  let r = { Fir.Serial.data = s; pos = 4 } in
+  let v = get_i64 r in
+  if v <> version then raise (Corrupt "process-image version mismatch");
+  let sum = get_i64 r in
+  let len = get_i64 r in
+  if len < 0 || r.Fir.Serial.pos + len > String.length s then
+    raise (Corrupt "bad process-image length");
+  let body = String.sub s r.Fir.Serial.pos len in
+  if Fir.Serial.adler32 body <> sum then
+    raise (Corrupt "process-image checksum mismatch");
+  let r = { Fir.Serial.data = body; pos = 0 } in
+  let i_arch = get_string r in
+  let i_fir = get_string r in
+  let i_masm = match get_u8 r with
+    | 0 -> None
+    | 1 -> Some (get_string r)
+    | n -> raise (Corrupt (Printf.sprintf "bad masm flag %d" n))
+  in
+  let i_ftable = get_list r get_string in
+  let nptable = get_i64 r in
+  if nptable < 0 || nptable > 100_000_000 then
+    raise (Corrupt "bad pointer-table size");
+  let i_ptable = Array.init nptable (fun _ -> get_i64 r) in
+  let ncells = get_i64 r in
+  if ncells < 0 || ncells > 1_000_000_000 then
+    raise (Corrupt "bad heap size");
+  let i_cells = Array.init ncells (fun _ -> get_value r) in
+  let i_spec = get_list r get_spec_level in
+  let i_menv = get_i64 r in
+  let i_entry = get_string r in
+  let i_label = get_i64 r in
+  if r.Fir.Serial.pos <> String.length body then
+    raise (Corrupt "trailing garbage in process image");
+  {
+    i_arch;
+    i_fir;
+    i_masm;
+    i_ftable;
+    i_ptable;
+    i_cells;
+    i_spec;
+    i_menv;
+    i_entry;
+    i_label;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Structural verification                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The safety checks a migration target applies to a received heap before
+   resuming it: the block chain must tile the cell array exactly, every
+   pointer-table entry must target a block header carrying its own index,
+   every reference cell must point into the table (or be nil), every
+   function value must be in the function table, and every speculation
+   record must reference a valid block.  Together with the FIR typecheck
+   this is what lets mutually untrusting machines exchange processes. *)
+let verify image =
+  let ncells = Array.length image.i_cells in
+  let nfuns = List.length image.i_ftable in
+  let header_at addr k =
+    match image.i_cells.(addr + k) with
+    | Value.Vint n -> n
+    | _ -> raise (Corrupt "non-integer block header cell")
+  in
+  (* walk the block chain *)
+  let starts = Hashtbl.create 256 in
+  let addr = ref 0 in
+  while !addr < ncells do
+    if !addr + Heap.header_cells > ncells then
+      raise (Corrupt "truncated block header");
+    let size = header_at !addr Heap.h_size in
+    let idx = header_at !addr Heap.h_index in
+    if size < 0 || !addr + Heap.header_cells + size > ncells then
+      raise (Corrupt "block overruns heap");
+    ignore (Heap.tag_of_code (header_at !addr Heap.h_tag));
+    Hashtbl.replace starts !addr idx;
+    addr := !addr + Heap.header_cells + size
+  done;
+  if !addr <> ncells then raise (Corrupt "block chain does not tile heap");
+  (* pointer-table entries target their own blocks *)
+  Array.iteri
+    (fun idx addr ->
+      if addr <> -1 then
+        match Hashtbl.find_opt starts addr with
+        | Some idx' when idx' = idx -> ()
+        | Some _ -> raise (Corrupt "pointer-table entry index mismatch")
+        | None -> raise (Corrupt "pointer-table entry not at a block start"))
+    image.i_ptable;
+  (* reference and function cells *)
+  let check_value v =
+    match v with
+    | Value.Vptr (-1, _) -> () (* nil *)
+    | Value.Vptr (i, _) ->
+      if i < 0 || i >= Array.length image.i_ptable
+         || image.i_ptable.(i) = -1
+      then raise (Corrupt "heap cell references an invalid pointer index")
+    | Value.Vfun f ->
+      if f < 0 || f >= nfuns then
+        raise (Corrupt "heap cell references an invalid function index")
+    | Value.Vunit | Value.Vint _ | Value.Vfloat _ | Value.Vbool _
+    | Value.Venum _ ->
+      ()
+  in
+  Hashtbl.iter
+    (fun addr _ ->
+      let size = header_at addr Heap.h_size in
+      for k = 0 to size - 1 do
+        check_value image.i_cells.(addr + Heap.header_cells + k)
+      done)
+    starts;
+  (* speculation records reference valid blocks with matching indices *)
+  List.iter
+    (fun s ->
+      List.iter check_value s.Spec.Engine.s_args;
+      List.iter
+        (fun (idx, addr) ->
+          match Hashtbl.find_opt starts addr with
+          | Some idx' when idx' = idx -> ()
+          | Some _ | None ->
+            raise (Corrupt "speculation record references a bad block"))
+        s.Spec.Engine.s_saved)
+    image.i_spec;
+  (* the migrate_env block must be a live pointer-table target *)
+  if image.i_menv < 0
+     || image.i_menv >= Array.length image.i_ptable
+     || image.i_ptable.(image.i_menv) = -1
+  then raise (Corrupt "migrate_env index is invalid")
+
+let byte_size image = String.length (encode image)

@@ -1,0 +1,47 @@
+(** The architecture-independent process image format (paper, Section
+    4.2): FIR code, function table (name order preserved), pointer table
+    (index order preserved), raw heap cells under standard byte-order
+    rules, speculation snapshot, and the resume point (migrate_env index,
+    continuation name, migration label).  An optional MASM payload rides
+    along for the trusted same-architecture fast path.
+
+    {!verify} applies the structural safety checks a migration target
+    runs before trusting a received heap. *)
+
+open Runtime
+
+exception Corrupt of string
+
+type image = {
+  i_arch : string;
+  i_fir : string;  (** {!Fir.Serial} encoding of the program *)
+  i_masm : string option;
+  i_ftable : string list;
+  i_ptable : int array;
+  i_cells : Value.t array;
+  i_spec : Spec.Engine.snapshot_level list;
+  i_menv : int;  (** pointer-table index of the migrate_env block *)
+  i_entry : string;
+  i_label : int;
+}
+
+val encode : image -> string
+(** Checksummed, versioned, little-endian regardless of the source
+    architecture. *)
+
+val decode : string -> image
+(** @raise Corrupt on bad magic/version/checksum/truncation. *)
+
+val verify : image -> unit
+(** Structural verification: the block chain tiles the heap exactly,
+    pointer-table entries target their own blocks, reference and function
+    cells are in range, speculation records reference valid blocks, and
+    migrate_env is live.
+    @raise Corrupt on any violation. *)
+
+val byte_size : image -> int
+
+(** {2 Cell codec (shared with tests)} *)
+
+val put_value : Buffer.t -> Value.t -> unit
+val get_value : Fir.Serial.reader -> Value.t

@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Ast Fir Lexer Lower Parser Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Fir List Printf String Typecheck

@@ -1,0 +1,97 @@
+(* Mini-C abstract syntax.
+
+   The C subset the paper's examples (Figures 1 and 2) are written in:
+   int/float/void and pointers, function definitions, C control flow
+   (if/while/for/break/continue/return), arithmetic and comparison
+   operators, array indexing through pointers, and the MCC primitives as
+   builtins — speculate() / commit(id) / abort(id) / migrate(target) —
+   plus the runtime's I/O, allocation, and message-passing externs.
+
+   Deviations from ISO C, documented here once:
+   - declarations are function-scoped (as if hoisted), names unique per
+     function;
+   - [&&]/[||] evaluate both operands (no short-circuit);
+   - no address-of, structs, or function pointers;
+   - arrays come from alloc_int/alloc_float, not declarators;
+   - "0 is false" applies in conditions; comparisons yield 0/1 ints. *)
+
+type cty =
+  | Cint
+  | Cfloat
+  | Cvoid
+  | Cptr of cty
+  | Cstr (* char* : raw byte data *)
+
+let rec cty_to_string = function
+  | Cint -> "int"
+  | Cfloat -> "float"
+  | Cvoid -> "void"
+  | Cptr t -> cty_to_string t ^ "*"
+  | Cstr -> "char*"
+
+let rec cty_equal a b =
+  match a, b with
+  | Cint, Cint | Cfloat, Cfloat | Cvoid, Cvoid | Cstr, Cstr -> true
+  | Cptr a, Cptr b -> cty_equal a b
+  | (Cint | Cfloat | Cvoid | Cptr _ | Cstr), _ -> false
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Brem
+  | Band
+  | Bor
+  | Bxor
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Bland (* && *)
+  | Blor (* || *)
+
+type unop = Uneg | Unot
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Eint of int
+  | Efloat of float
+  | Estr of string
+  | Evar of string
+  | Eindex of expr * expr
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+  | Ecast of cty * expr
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sdecl of cty * string * expr option
+  | Sassign of string * expr
+  | Sindex_assign of expr * expr * expr (* base[index] = value *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sbreak
+  | Scontinue
+
+type fundecl = {
+  fd_name : string;
+  fd_ret : cty;
+  fd_params : (cty * string) list;
+  fd_body : stmt list;
+  fd_pos : pos;
+}
+
+type program = fundecl list

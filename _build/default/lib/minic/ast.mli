@@ -1,0 +1,81 @@
+(** Mini-C abstract syntax — the C subset the paper's Figures 1 and 2 are
+    written in, with the MCC primitives as builtins.
+
+    Also the TARGET of translating front-ends: the Pascal front-end
+    builds this AST directly and shares the typechecked CPS lowering.
+
+    Documented deviations from ISO C: declarations are function-scoped
+    (hoisted) with unique names; [&&]/[||] evaluate both operands; no
+    address-of, structs or function pointers; arrays come from
+    [alloc_int]/[alloc_float]; comparisons yield 0/1 ints. *)
+
+type cty =
+  | Cint
+  | Cfloat
+  | Cvoid
+  | Cptr of cty
+  | Cstr  (** char* : raw byte data *)
+
+val cty_to_string : cty -> string
+val cty_equal : cty -> cty -> bool
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Brem
+  | Band
+  | Bor
+  | Bxor
+  | Bshl
+  | Bshr
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Bland  (** && (strict) *)
+  | Blor  (** || (strict) *)
+
+type unop = Uneg | Unot
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Eint of int
+  | Efloat of float
+  | Estr of string
+  | Evar of string
+  | Eindex of expr * expr
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+  | Ecast of cty * expr
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sdecl of cty * string * expr option
+  | Sassign of string * expr
+  | Sindex_assign of expr * expr * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sbreak
+  | Scontinue
+
+type fundecl = {
+  fd_name : string;
+  fd_ret : cty;
+  fd_params : (cty * string) list;
+  fd_body : stmt list;
+  fd_pos : pos;
+}
+
+type program = fundecl list

@@ -1,0 +1,91 @@
+(* The mini-C compiler driver: source text -> verified, optimized FIR. *)
+
+type error = {
+  err_phase : [ `Lex | `Parse | `Type | `Lower | `Fir ];
+  err_msg : string;
+}
+
+let error_to_string e =
+  let phase =
+    match e.err_phase with
+    | `Lex -> "lexical error"
+    | `Parse -> "syntax error"
+    | `Type -> "type error"
+    | `Lower -> "lowering error"
+    | `Fir -> "internal FIR error"
+  in
+  Printf.sprintf "%s: %s" phase e.err_msg
+
+(* Compile from an already-built mini-C AST (used by front-ends that
+   translate into mini-C, e.g. the Pascal one). *)
+let compile_ast ?(optimize = true) (ast : Ast.program) =
+  match
+    let tast =
+      try Typecheck.check_program ast
+      with Typecheck.Error m -> raise (Failure ("T" ^ m))
+    in
+    let fir =
+      try Lower.lower_program tast
+      with Lower.Error m -> raise (Failure ("W" ^ m))
+    in
+    (match Fir.Typecheck.check_program fir with
+    | Ok () -> ()
+    | Error m -> raise (Failure ("F" ^ m)));
+    let fir = if optimize then Fir.Opt.optimize fir else fir in
+    (match Fir.Typecheck.check_program fir with
+    | Ok () -> ()
+    | Error m -> raise (Failure ("F(post-opt) " ^ m)));
+    fir
+  with
+  | fir -> Ok fir
+  | exception Failure m ->
+    let phase, msg =
+      match m.[0] with
+      | 'T' -> `Type, String.sub m 1 (String.length m - 1)
+      | 'W' -> `Lower, String.sub m 1 (String.length m - 1)
+      | _ -> `Fir, String.sub m 1 (String.length m - 1)
+    in
+    Error { err_phase = phase; err_msg = msg }
+
+let compile ?(optimize = true) src =
+  match
+    let ast =
+      try Parser.parse_program src with
+      | Lexer.Lex_error m -> raise (Failure ("L" ^ m))
+      | Parser.Parse_error m -> raise (Failure ("P" ^ m))
+    in
+    let tast =
+      try Typecheck.check_program ast
+      with Typecheck.Error m -> raise (Failure ("T" ^ m))
+    in
+    let fir =
+      try Lower.lower_program tast
+      with Lower.Error m -> raise (Failure ("W" ^ m))
+    in
+    (* the generated FIR must typecheck; a failure here is a compiler bug
+       and is reported as such *)
+    (match Fir.Typecheck.check_program fir with
+    | Ok () -> ()
+    | Error m -> raise (Failure ("F" ^ m)));
+    let fir = if optimize then Fir.Opt.optimize fir else fir in
+    (match Fir.Typecheck.check_program fir with
+    | Ok () -> ()
+    | Error m -> raise (Failure ("F(post-opt) " ^ m)));
+    fir
+  with
+  | fir -> Ok fir
+  | exception Failure m ->
+    let phase, msg =
+      match m.[0] with
+      | 'L' -> `Lex, String.sub m 1 (String.length m - 1)
+      | 'P' -> `Parse, String.sub m 1 (String.length m - 1)
+      | 'T' -> `Type, String.sub m 1 (String.length m - 1)
+      | 'W' -> `Lower, String.sub m 1 (String.length m - 1)
+      | _ -> `Fir, String.sub m 1 (String.length m - 1)
+    in
+    Error { err_phase = phase; err_msg = msg }
+
+let compile_exn ?optimize src =
+  match compile ?optimize src with
+  | Ok fir -> fir
+  | Error e -> failwith (error_to_string e)

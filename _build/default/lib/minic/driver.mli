@@ -1,0 +1,29 @@
+(** The mini-C compiler driver: source text -> verified, optimized FIR.
+
+    Mini-C is the paper's surface language for Figures 1 and 2:
+    int/float/void and pointers, C control flow, and the MCC primitives
+    [speculate()], [commit(id)], [abort(id)], [migrate(target)] as
+    builtins (see {!Typecheck.builtins} for the full registry).  The
+    lowering is the CPS conversion the paper describes in Section 3 —
+    loops become recursive functions, calls become tail calls with
+    closure-converted return continuations, and every local lives in a
+    heap cell so whole-process capture is automatic. *)
+
+type error = {
+  err_phase : [ `Lex | `Parse | `Type | `Lower | `Fir ];
+  err_msg : string;
+}
+
+val error_to_string : error -> string
+
+val compile : ?optimize:bool -> string -> (Fir.Ast.program, error) result
+(** Lex, parse, typecheck, lower, verify the generated FIR, and
+    (by default) optimize — re-verifying after optimization. *)
+
+val compile_ast :
+  ?optimize:bool -> Ast.program -> (Fir.Ast.program, error) result
+(** Compile an already-built mini-C AST (used by translating front-ends
+    such as the Pascal one). *)
+
+val compile_exn : ?optimize:bool -> string -> Fir.Ast.program
+(** @raise Failure with the rendered error. *)

@@ -1,0 +1,175 @@
+(* Mini-C lexer: hand-written, tracking line/column for error messages.
+   Supports both C comment styles and the usual escapes in string
+   literals. *)
+
+exception Lex_error of string
+
+type token =
+  | Tident of string
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tstring_lit of string
+  | Tkw of string (* int float void char if else while for return etc. *)
+  | Tpunct of string (* ( ) { } [ ] ; , operators *)
+  | Teof
+
+type lexed = { tok : token; tpos : Ast.pos }
+
+let keywords =
+  [ "int"; "float"; "void"; "char"; "if"; "else"; "while"; "for"; "return";
+    "break"; "continue" ]
+
+let punct2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>" ]
+
+let punct1 = "+-*/%<>=!&|^(){}[];,"
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let err msg =
+    raise (Lex_error (Printf.sprintf "%d:%d: %s" !line !col msg))
+  in
+  let advance () =
+    (if src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  let emit tok tpos = toks := { tok; tpos } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = { Ast.line = !line; col = !col } in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then err "unterminated comment"
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = src.[!i] in
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then emit (Tkw word) pos
+      else emit (Tident word) pos
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        advance ()
+      done;
+      if
+        !i < n
+        && (src.[!i] = '.'
+           || src.[!i] = 'e'
+           || src.[!i] = 'E')
+      then begin
+        if !i < n && src.[!i] = '.' then begin
+          advance ();
+          while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+            advance ()
+          done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          advance ();
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then advance ();
+          while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+            advance ()
+          done
+        end;
+        let text = String.sub src start (!i - start) in
+        match float_of_string_opt text with
+        | Some f -> emit (Tfloat_lit f) pos
+        | None -> err ("bad float literal " ^ text)
+      end
+      else
+        let text = String.sub src start (!i - start) in
+        match int_of_string_opt text with
+        | Some k -> emit (Tint_lit k) pos
+        | None -> err ("bad integer literal " ^ text)
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = '"' then begin
+          advance ();
+          closed := true
+        end
+        else if c = '\\' && !i + 1 < n then begin
+          advance ();
+          (match src.[!i] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | '0' -> Buffer.add_char buf '\000'
+          | c -> err (Printf.sprintf "bad escape \\%c" c));
+          advance ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          advance ()
+        end
+      done;
+      if not !closed then err "unterminated string literal";
+      emit (Tstring_lit (Buffer.contents buf)) pos
+    end
+    else begin
+      (* punctuation: prefer two-character operators *)
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      if List.mem two punct2 then begin
+        advance ();
+        advance ();
+        emit (Tpunct two) pos
+      end
+      else if String.contains punct1 c then begin
+        advance ();
+        emit (Tpunct (String.make 1 c)) pos
+      end
+      else err (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev ({ tok = Teof; tpos = { Ast.line = !line; col = !col } } :: !toks)
+
+let token_to_string = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tint_lit n -> Printf.sprintf "integer %d" n
+  | Tfloat_lit f -> Printf.sprintf "float %g" f
+  | Tstring_lit s -> Printf.sprintf "string %S" s
+  | Tkw s -> Printf.sprintf "keyword %S" s
+  | Tpunct s -> Printf.sprintf "%S" s
+  | Teof -> "end of input"

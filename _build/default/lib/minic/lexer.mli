@@ -1,0 +1,20 @@
+(** Mini-C lexer: hand-written, line/column tracked, both C comment
+    styles, escaped string literals. *)
+
+exception Lex_error of string
+
+type token =
+  | Tident of string
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tstring_lit of string
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+type lexed = { tok : token; tpos : Ast.pos }
+
+val tokenize : string -> lexed list
+(** @raise Lex_error with a positioned message. *)
+
+val token_to_string : token -> string

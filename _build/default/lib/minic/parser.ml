@@ -1,0 +1,359 @@
+(* Mini-C recursive-descent parser with precedence climbing. *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.lexed list }
+
+let err pos fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise (Parse_error (Printf.sprintf "%d:%d: %s" pos.line pos.col s)))
+    fmt
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> raise (Parse_error "internal: past end of input")
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_punct st s =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tpunct p when String.equal p s -> ()
+  | tok -> err t.Lexer.tpos "expected %S, found %s" s (Lexer.token_to_string tok)
+
+let accept_punct st s =
+  match (peek st).Lexer.tok with
+  | Lexer.Tpunct p when String.equal p s ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st s =
+  match (peek st).Lexer.tok with
+  | Lexer.Tkw k when String.equal k s ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tident x -> x
+  | tok -> err t.Lexer.tpos "expected identifier, found %s"
+             (Lexer.token_to_string tok)
+
+(* type = ("int" | "float" | "void" | "char") "*"* ; char must be char* *)
+let parse_base_ty st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tkw "int" -> Some Cint
+  | Lexer.Tkw "float" -> Some Cfloat
+  | Lexer.Tkw "void" -> Some Cvoid
+  | Lexer.Tkw "char" -> None (* must be followed by * *)
+  | tok -> err t.Lexer.tpos "expected a type, found %s"
+             (Lexer.token_to_string tok)
+
+let parse_ty st =
+  let pos = (peek st).Lexer.tpos in
+  match parse_base_ty st with
+  | None ->
+    (* char: only char* (possibly char**... rejected) is supported *)
+    if accept_punct st "*" then Cstr
+    else err pos "bare 'char' is not supported; use char*"
+  | Some base ->
+    let rec stars acc = if accept_punct st "*" then stars (Cptr acc) else acc in
+    stars base
+
+let is_ty_start st =
+  match (peek st).Lexer.tok with
+  | Lexer.Tkw ("int" | "float" | "void" | "char") -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* precedence, loosest first *)
+let binop_of_punct = function
+  | "||" -> Some (Blor, 1)
+  | "&&" -> Some (Bland, 2)
+  | "|" -> Some (Bor, 3)
+  | "^" -> Some (Bxor, 4)
+  | "&" -> Some (Band, 5)
+  | "==" -> Some (Beq, 6)
+  | "!=" -> Some (Bne, 6)
+  | "<" -> Some (Blt, 7)
+  | "<=" -> Some (Ble, 7)
+  | ">" -> Some (Bgt, 7)
+  | ">=" -> Some (Bge, 7)
+  | "<<" -> Some (Bshl, 8)
+  | ">>" -> Some (Bshr, 8)
+  | "+" -> Some (Badd, 9)
+  | "-" -> Some (Bsub, 9)
+  | "*" -> Some (Bmul, 10)
+  | "/" -> Some (Bdiv, 10)
+  | "%" -> Some (Brem, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).Lexer.tok with
+    | Lexer.Tpunct p -> (
+      match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        let pos = (peek st).Lexer.tpos in
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := { e = Ebinop (op, !lhs, rhs); epos = pos }
+      | Some _ | None -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.Tpunct "-" ->
+    advance st;
+    { e = Eunop (Uneg, parse_unary st); epos = t.Lexer.tpos }
+  | Lexer.Tpunct "!" ->
+    advance st;
+    { e = Eunop (Unot, parse_unary st); epos = t.Lexer.tpos }
+  | Lexer.Tpunct "(" when is_cast st -> (
+    advance st;
+    let ty = parse_ty st in
+    expect_punct st ")";
+    { e = Ecast (ty, parse_unary st); epos = t.Lexer.tpos })
+  | _ -> parse_postfix st
+
+(* lookahead: "(" followed by a type keyword is a cast *)
+and is_cast st =
+  match st.toks with
+  | { Lexer.tok = Lexer.Tpunct "("; _ }
+    :: { Lexer.tok = Lexer.Tkw ("int" | "float" | "char" | "void"); _ }
+    :: _ ->
+    true
+  | _ -> false
+
+and parse_postfix st =
+  let base = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let t = peek st in
+    match t.Lexer.tok with
+    | Lexer.Tpunct "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      base := { e = Eindex (!base, idx); epos = t.Lexer.tpos }
+    | _ -> continue_ := false
+  done;
+  !base
+
+and parse_primary st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tint_lit n -> { e = Eint n; epos = t.Lexer.tpos }
+  | Lexer.Tfloat_lit f -> { e = Efloat f; epos = t.Lexer.tpos }
+  | Lexer.Tstring_lit s -> { e = Estr s; epos = t.Lexer.tpos }
+  | Lexer.Tident x ->
+    if accept_punct st "(" then begin
+      let args = parse_args st in
+      { e = Ecall (x, args); epos = t.Lexer.tpos }
+    end
+    else { e = Evar x; epos = t.Lexer.tpos }
+  | Lexer.Tpunct "(" ->
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | tok ->
+    err t.Lexer.tpos "expected an expression, found %s"
+      (Lexer.token_to_string tok)
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else
+    let rec more acc =
+      let acc = parse_expr st :: acc in
+      if accept_punct st "," then more acc
+      else begin
+        expect_punct st ")";
+        List.rev acc
+      end
+    in
+    more []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st =
+  let t = peek st in
+  let pos = t.Lexer.tpos in
+  match t.Lexer.tok with
+  | Lexer.Tkw ("int" | "float" | "char") ->
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    let init = if accept_punct st "=" then Some (parse_expr st) else None in
+    expect_punct st ";";
+    { s = Sdecl (ty, name, init); spos = pos }
+  | Lexer.Tkw "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let thn = parse_block_or_stmt st in
+    let els = if accept_kw st "else" then parse_block_or_stmt st else [] in
+    { s = Sif (cond, thn, els); spos = pos }
+  | Lexer.Tkw "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let body = parse_block_or_stmt st in
+    { s = Swhile (cond, body); spos = pos }
+  | Lexer.Tkw "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else begin
+        let s = parse_simple_stmt st in
+        expect_punct st ";";
+        Some s
+      end
+    in
+    let cond = if accept_punct st ";" then None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        Some e
+      end
+    in
+    let inc =
+      if accept_punct st ")" then None
+      else begin
+        let s = parse_simple_stmt st in
+        expect_punct st ")";
+        Some s
+      end
+    in
+    let body = parse_block_or_stmt st in
+    { s = Sfor (init, cond, inc, body); spos = pos }
+  | Lexer.Tkw "return" ->
+    advance st;
+    let e = if accept_punct st ";" then None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        Some e
+      end
+    in
+    { s = Sreturn e; spos = pos }
+  | Lexer.Tkw "break" ->
+    advance st;
+    expect_punct st ";";
+    { s = Sbreak; spos = pos }
+  | Lexer.Tkw "continue" ->
+    advance st;
+    expect_punct st ";";
+    { s = Scontinue; spos = pos }
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect_punct st ";";
+    s
+
+(* assignment / index assignment / bare expression (no trailing ';') *)
+and parse_simple_stmt st =
+  let pos = (peek st).Lexer.tpos in
+  match st.toks with
+  | { Lexer.tok = Lexer.Tkw ("int" | "float" | "char"); _ } :: _ ->
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    let init = if accept_punct st "=" then Some (parse_expr st) else None in
+    { s = Sdecl (ty, name, init); spos = pos }
+  | { Lexer.tok = Lexer.Tident x; _ } :: { Lexer.tok = Lexer.Tpunct "="; _ }
+    :: _ ->
+    advance st;
+    advance st;
+    { s = Sassign (x, parse_expr st); spos = pos }
+  | _ -> (
+    let e = parse_expr st in
+    if accept_punct st "=" then
+      match e.e with
+      | Eindex (base, idx) ->
+        { s = Sindex_assign (base, idx, parse_expr st); spos = pos }
+      | _ -> err pos "invalid assignment target"
+    else { s = Sexpr e; spos = pos })
+
+and parse_block_or_stmt st =
+  if accept_punct st "{" then begin
+    let rec stmts acc =
+      if accept_punct st "}" then List.rev acc
+      else stmts (parse_stmt st :: acc)
+    in
+    stmts []
+  end
+  else [ parse_stmt st ]
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_fundecl st =
+  let pos = (peek st).Lexer.tpos in
+  let ret = parse_ty st in
+  let name = expect_ident st in
+  expect_punct st "(";
+  let params =
+    if accept_punct st ")" then []
+    else
+      let rec more acc =
+        let ty = parse_ty st in
+        let pname = expect_ident st in
+        let acc = (ty, pname) :: acc in
+        if accept_punct st "," then more acc
+        else begin
+          expect_punct st ")";
+          List.rev acc
+        end
+      in
+      more []
+  in
+  expect_punct st "{";
+  let rec stmts acc =
+    if accept_punct st "}" then List.rev acc else stmts (parse_stmt st :: acc)
+  in
+  let body = stmts [] in
+  { fd_name = name; fd_ret = ret; fd_params = params; fd_body = body;
+    fd_pos = pos }
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec funs acc =
+    match (peek st).Lexer.tok with
+    | Lexer.Teof -> List.rev acc
+    | _ ->
+      if is_ty_start st then funs (parse_fundecl st :: acc)
+      else
+        let t = peek st in
+        err t.Lexer.tpos "expected a function definition, found %s"
+          (Lexer.token_to_string t.Lexer.tok)
+  in
+  funs []

@@ -1,0 +1,6 @@
+(** Mini-C recursive-descent parser with precedence climbing. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+(** @raise Parse_error or {!Lexer.Lex_error} with positioned messages. *)

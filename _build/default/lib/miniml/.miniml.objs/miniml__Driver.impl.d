@@ -1,0 +1,1 @@
+lib/miniml/driver.ml: Fir Infer Lower Printf String Syntax

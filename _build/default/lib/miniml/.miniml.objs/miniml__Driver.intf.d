@@ -1,0 +1,1 @@
+lib/miniml/driver.mli: Fir

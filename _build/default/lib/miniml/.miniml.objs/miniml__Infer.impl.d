@@ -1,0 +1,1 @@
+lib/miniml/infer.ml: List Printf Syntax

@@ -1,0 +1,1 @@
+lib/miniml/infer.mli: Syntax

@@ -1,0 +1,1 @@
+lib/miniml/lower.ml: Fir List Map Printf String Syntax

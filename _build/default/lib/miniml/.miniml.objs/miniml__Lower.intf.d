@@ -1,0 +1,1 @@
+lib/miniml/lower.mli: Fir Syntax

@@ -1,0 +1,1 @@
+lib/miniml/syntax.ml: List Printf String

@@ -1,0 +1,68 @@
+(* Mini-ML compiler driver: source -> inferred types -> verified FIR. *)
+
+type error = {
+  err_phase : [ `Parse | `Type | `Lower | `Fir ];
+  err_msg : string;
+}
+
+let error_to_string e =
+  let phase =
+    match e.err_phase with
+    | `Parse -> "syntax error"
+    | `Type -> "type error"
+    | `Lower -> "lowering error"
+    | `Fir -> "internal FIR error"
+  in
+  Printf.sprintf "%s: %s" phase e.err_msg
+
+(* Whether the program's final value is an int (becomes the exit code) or
+   unit (exit code 0); recorded during inference. *)
+let final_is_int p =
+  (* re-infer the final type cheaply: check_program already validated *)
+  let open Syntax in
+  let rec last = function
+    | [] -> assert false
+    | [ d ] -> d
+    | _ :: rest -> last rest
+  in
+  match last p with
+  | Dlet (_, Eunit) -> false
+  | Dlet (_, Eseq (_, Eunit)) -> false
+  | _ -> true
+
+let compile ?(optimize = true) src =
+  match
+    let ast =
+      try Syntax.parse_program src
+      with Syntax.Syntax_error m -> raise (Failure ("P" ^ m))
+    in
+    (try Infer.check_program ast
+     with Infer.Type_error m -> raise (Failure ("T" ^ m)));
+    let fir =
+      try Lower.lower_program ~exit_is_int:(final_is_int ast) ast
+      with Lower.Error m -> raise (Failure ("W" ^ m))
+    in
+    (match Fir.Typecheck.check_program fir with
+    | Ok () -> ()
+    | Error m -> raise (Failure ("F" ^ m)));
+    let fir = if optimize then Fir.Opt.optimize fir else fir in
+    (match Fir.Typecheck.check_program fir with
+    | Ok () -> ()
+    | Error m -> raise (Failure ("F(post-opt) " ^ m)));
+    fir
+  with
+  | fir -> Ok fir
+  | exception Failure m ->
+    let phase =
+      match m.[0] with
+      | 'P' -> `Parse
+      | 'T' -> `Type
+      | 'W' -> `Lower
+      | _ -> `Fir
+    in
+    Error { err_phase = phase; err_msg = String.sub m 1 (String.length m - 1) }
+
+let compile_exn ?optimize src =
+  match compile ?optimize src with
+  | Ok fir -> fir
+  | Error e -> failwith (error_to_string e)

@@ -1,0 +1,17 @@
+(** The mini-ML compiler driver: source -> Hindley-Milner inference ->
+    verified FIR.
+
+    Mini-ML demonstrates the paper's multi-language claim (Section 3): a
+    functional language with first-class closures and let-polymorphism
+    compiling to the same FIR, running on the same runtime, and migrating
+    through the same machinery as mini-C. *)
+
+type error = {
+  err_phase : [ `Parse | `Type | `Lower | `Fir ];
+  err_msg : string;
+}
+
+val error_to_string : error -> string
+
+val compile : ?optimize:bool -> string -> (Fir.Ast.program, error) result
+val compile_exn : ?optimize:bool -> string -> Fir.Ast.program

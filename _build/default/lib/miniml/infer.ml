@@ -1,0 +1,198 @@
+(* Hindley-Milner type inference for mini-ML (algorithm W with
+   let-polymorphism).  Static type safety at the source level; the FIR
+   produced by the lowering uses a uniform boxed representation whose
+   downcasts are additionally checked at runtime, so a compiler bug
+   surfaces as a trap rather than memory unsafety. *)
+
+open Syntax
+
+exception Type_error of string
+
+type ty =
+  | Tint
+  | Tbool
+  | Tunit
+  | Tarrow of ty * ty
+  | Tvar of tv ref
+
+and tv = Unbound of int * int (* id, level *) | Link of ty
+
+type scheme = { vars : int list; body : ty }
+
+let counter = ref 0
+
+let fresh_tv level =
+  incr counter;
+  Tvar (ref (Unbound (!counter, level)))
+
+let rec repr = function
+  | Tvar ({ contents = Link t } as r) ->
+    let t = repr t in
+    r := Link t;
+    t
+  | t -> t
+
+let rec occurs id level t =
+  match repr t with
+  | Tvar ({ contents = Unbound (id', l') } as r) ->
+    if id = id' then raise (Type_error "occurs check: recursive type");
+    (* level adjustment for generalization *)
+    if l' > level then r := Unbound (id', level)
+  | Tarrow (a, b) ->
+    occurs id level a;
+    occurs id level b
+  | Tint | Tbool | Tunit -> ()
+  | Tvar { contents = Link _ } -> assert false
+
+let rec unify a b =
+  let a = repr a and b = repr b in
+  match a, b with
+  | Tint, Tint | Tbool, Tbool | Tunit, Tunit -> ()
+  | Tarrow (a1, a2), Tarrow (b1, b2) ->
+    unify a1 b1;
+    unify a2 b2
+  | Tvar ({ contents = Unbound (id, level) } as r), t
+  | t, Tvar ({ contents = Unbound (id, level) } as r) ->
+    (match repr t with
+    | Tvar { contents = Unbound (id', _) } when id = id' -> ()
+    | t ->
+      occurs id level t;
+      r := Link t)
+  | _ ->
+    let rec str t =
+      match repr t with
+      | Tint -> "int"
+      | Tbool -> "bool"
+      | Tunit -> "unit"
+      | Tarrow (a, b) -> "(" ^ str a ^ " -> " ^ str b ^ ")"
+      | Tvar { contents = Unbound (id, _) } -> Printf.sprintf "'a%d" id
+      | Tvar { contents = Link _ } -> assert false
+    in
+    raise (Type_error (Printf.sprintf "cannot unify %s with %s" (str a) (str b)))
+
+let generalize level t =
+  let vars = ref [] in
+  let rec go t =
+    match repr t with
+    | Tvar { contents = Unbound (id, l) } when l > level ->
+      if not (List.mem id !vars) then vars := id :: !vars
+    | Tarrow (a, b) ->
+      go a;
+      go b
+    | Tint | Tbool | Tunit | Tvar _ -> ()
+  in
+  go t;
+  { vars = !vars; body = t }
+
+let instantiate level { vars; body } =
+  if vars = [] then body
+  else
+    let map = List.map (fun id -> id, fresh_tv level) vars in
+    let rec go t =
+      match repr t with
+      | Tvar { contents = Unbound (id, _) } -> (
+        match List.assoc_opt id map with Some t -> t | None -> repr t)
+      | Tarrow (a, b) -> Tarrow (go a, go b)
+      | (Tint | Tbool | Tunit) as t -> t
+      | Tvar { contents = Link _ } -> assert false
+    in
+    go body
+
+(* primitives *)
+let initial_env =
+  [
+    "print_int", { vars = []; body = Tarrow (Tint, Tunit) };
+    "print_newline", { vars = []; body = Tarrow (Tunit, Tunit) };
+    "print_bool", { vars = []; body = Tarrow (Tbool, Tunit) };
+  ]
+
+let binop_ty = function
+  | "+" | "-" | "*" | "/" -> Tint, Tint, Tint
+  | "=" | "<" | "<=" | ">" | ">=" | "<>" -> Tint, Tint, Tbool
+  | "&&" | "||" -> Tbool, Tbool, Tbool
+  | op -> raise (Type_error ("unknown operator " ^ op))
+
+let rec infer env level = function
+  | Eint _ -> Tint
+  | Ebool _ -> Tbool
+  | Eunit -> Tunit
+  | Evar x -> (
+    match List.assoc_opt x env with
+    | Some sc -> instantiate level sc
+    | None -> raise (Type_error ("unbound variable " ^ x)))
+  | Elam (x, body) ->
+    let a = fresh_tv level in
+    let b = infer ((x, { vars = []; body = a }) :: env) level body in
+    Tarrow (a, b)
+  | Eapp (f, arg) ->
+    let tf = infer env level f in
+    let ta = infer env level arg in
+    let tr = fresh_tv level in
+    unify tf (Tarrow (ta, tr));
+    tr
+  | Elet (x, value, body) ->
+    let tv = infer env (level + 1) value in
+    let sc = generalize level tv in
+    infer ((x, sc) :: env) level body
+  | Eletrec (f, x, fbody, body) ->
+    let a = fresh_tv (level + 1) in
+    let b = fresh_tv (level + 1) in
+    let tf = Tarrow (a, b) in
+    let env' =
+      (f, { vars = []; body = tf })
+      :: (x, { vars = []; body = a })
+      :: env
+    in
+    let tb = infer env' (level + 1) fbody in
+    unify b tb;
+    let sc = generalize level tf in
+    infer ((f, sc) :: env) level body
+  | Eif (c, t, e) ->
+    unify (infer env level c) Tbool;
+    let tt = infer env level t in
+    unify tt (infer env level e);
+    tt
+  | Ebinop (op, a, b) ->
+    let ta, tb, tr = binop_ty op in
+    unify (infer env level a) ta;
+    unify (infer env level b) tb;
+    tr
+  | Eseq (a, b) ->
+    unify (infer env level a) Tunit;
+    infer env level b
+
+(* Typecheck a whole program; the final definition must be an int (the
+   process exit value) or unit. *)
+let check_program (p : program) =
+  let rec go env = function
+    | [] -> raise (Type_error "empty program")
+    | [ last ] ->
+      let t =
+        match last with
+        | Dlet (_, e) -> infer env 0 e
+        | Dletrec (f, x, body) ->
+          infer env 0 (Eletrec (f, x, body, Evar f))
+      in
+      (match repr t with
+      | Tint | Tunit -> ()
+      | _ ->
+        unify t Tint (* force a useful error message *))
+    | d :: rest ->
+      let env =
+        match d with
+        | Dlet (x, e) ->
+          let t = infer env 1 e in
+          (x, generalize 0 t) :: env
+        | Dletrec (f, x, body) ->
+          let a = fresh_tv 1 and b = fresh_tv 1 in
+          let tf = Tarrow (a, b) in
+          let env' =
+            (f, { vars = []; body = tf }) :: (x, { vars = []; body = a })
+            :: env
+          in
+          unify b (infer env' 1 body);
+          (f, generalize 0 tf) :: env
+      in
+      go env rest
+  in
+  go initial_env p

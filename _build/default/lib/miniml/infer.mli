@@ -1,0 +1,10 @@
+(** Hindley-Milner type inference for mini-ML (algorithm W with
+    let-polymorphism).  Static safety at the source level; the lowering's
+    uniform boxed representation adds runtime-checked downcasts as
+    defence in depth. *)
+
+exception Type_error of string
+
+val check_program : Syntax.program -> unit
+(** @raise Type_error on an ill-typed program (including a final
+    definition that is neither [int] nor [unit]). *)

@@ -1,0 +1,444 @@
+(* Mini-ML -> FIR lowering.
+
+   Uses a uniform boxed representation: every ML value is a FIR [any];
+   closures are heap tuples (code, environment array); continuations are
+   closure-converted the same way.  Static safety comes from HM inference
+   (Infer); every unboxing in the generated FIR is a checked downcast, so
+   the FIR typechecker accepts migrated mini-ML images by the same rules
+   as mini-C ones.
+
+   Per-function frames are single [any] arrays indexed by compile-time
+   slot numbers: parameters, captured free variables (copied from the
+   closure environment at entry), let-bound names and spill temporaries
+   all live there.  As with mini-C, no FIR variable is live across a
+   continuation split, so whole-process capture needs no extra work. *)
+
+open Syntax
+module F = Fir.Ast
+module T = Fir.Types
+module B = Fir.Builder
+
+exception Error of string
+
+let cont_code_ty = T.Tfun [ T.Tptr T.Tany; T.Tany ]
+let clo_code_ty = T.Tfun [ T.Tptr T.Tany; T.Tany; cont_code_ty; T.Tptr T.Tany ]
+let clo_ty = T.Ttuple [ clo_code_ty; T.Tptr T.Tany ]
+
+type state = {
+  mutable fns : F.fundef list;
+  mutable counter : int;
+}
+
+let fresh_name state prefix =
+  state.counter <- state.counter + 1;
+  Printf.sprintf "ml$%s%d" prefix state.counter
+
+(* Compile-time function context: only the slot counter is mutable (slot
+   indices must be unique within a frame); the NAME -> SLOT environment is
+   an immutable map threaded through compilation and captured in
+   continuation closures.  This matters because [reify] compiles
+   continuations out of lexical order — a mutable name table would let a
+   later sibling's shadowing binding corrupt the scope an earlier
+   subtree's branches are compiled under. *)
+module Scope = Map.Make (String)
+
+type fctx = {
+  mutable next_slot : int;
+  frame_size : int;
+}
+
+type _scope = int Scope.t (* documentation alias; scopes are passed inline *)
+
+let slot_of scope x =
+  match Scope.find_opt x scope with
+  | Some i -> i
+  | None -> raise (Error ("internal: no slot for " ^ x))
+
+let fresh_slot fctx =
+  if fctx.next_slot >= fctx.frame_size then
+    raise (Error "internal: frame overflow");
+  let i = fctx.next_slot in
+  fctx.next_slot <- fctx.next_slot + 1;
+  i
+
+let bind_slot fctx scope x =
+  let i = fresh_slot fctx in
+  i, Scope.add x i scope
+
+let temp_slot fctx = fresh_slot fctx
+
+(* runtime environment: the three values threaded through splits *)
+type env = { k : F.atom; kenv : F.atom; frame : F.atom }
+
+type metak = env -> F.atom -> F.exp (* continuation over a boxed value *)
+
+(* Where does an expression's value go?  [Tail] means "return it through
+   the current (k, kenv)" — crucially, a function application in tail
+   position passes k/kenv straight through instead of reifying a new
+   continuation closure, so ML tail recursion runs in constant space
+   (and the FIR tail-call discipline is preserved end to end). *)
+type cont = Tail | Meta of metak
+
+let apply_cont cont env v =
+  match cont with
+  | Tail -> F.Call (env.k, [ env.kenv; v ])
+  | Meta f -> f env v
+
+(* ------------------------------------------------------------------ *)
+(* AST measurements                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec node_count = function
+  | Eint _ | Ebool _ | Eunit | Evar _ -> 1
+  | Elam _ -> 1 (* nested lambda bodies get their own frames *)
+  | Eapp (a, b) | Ebinop (_, a, b) | Eseq (a, b) ->
+    1 + node_count a + node_count b
+  | Elet (_, a, b) -> 1 + node_count a + node_count b
+  | Eletrec (_, _, _, b) -> 1 + node_count b
+  | Eif (a, b, c) -> 1 + node_count a + node_count b + node_count c
+
+let rec free_vars bound acc = function
+  | Eint _ | Ebool _ | Eunit -> acc
+  | Evar x -> if List.mem x bound || List.mem x acc then acc else x :: acc
+  | Elam (x, b) -> free_vars (x :: bound) acc b
+  | Eapp (a, b) | Ebinop (_, a, b) | Eseq (a, b) ->
+    free_vars bound (free_vars bound acc a) b
+  | Elet (x, a, b) -> free_vars (x :: bound) (free_vars bound acc a) b
+  | Eletrec (f, x, fb, b) ->
+    free_vars (f :: bound) (free_vars (f :: x :: bound) acc fb) b
+  | Eif (a, b, c) ->
+    free_vars bound (free_vars bound (free_vars bound acc a) b) c
+
+(* ------------------------------------------------------------------ *)
+(* Frame access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let frame_load env i (k : F.atom -> F.exp) =
+  B.load T.Tany env.frame (B.int i) k
+
+let frame_store env i v rest = F.Store (env.frame, F.Int i, v, rest)
+
+(* Reify the current meta-continuation as a continuation closure:
+   a function (kenv' : any ptr, r : any) that unpacks the saved
+   (k, kenv, frame) triple and resumes.  Returns (name, build) where
+   [build] packs the triple at the current site and passes the packed
+   array to its continuation. *)
+let reify state (metak : metak) =
+  let name = fresh_name state "k" in
+  let fd =
+    B.func name
+      [ "kenv", T.Tptr T.Tany; "r", T.Tany ]
+      (fun atoms ->
+        match atoms with
+        | [ kenvp; r ] ->
+          B.load T.Tany kenvp (B.int 0) (fun k_any ->
+              B.cast cont_code_ty k_any (fun k ->
+                  B.load T.Tany kenvp (B.int 1) (fun kk_any ->
+                      B.cast (T.Tptr T.Tany) kk_any (fun kenv ->
+                          B.load T.Tany kenvp (B.int 2) (fun f_any ->
+                              B.cast (T.Tptr T.Tany) f_any (fun frame ->
+                                  metak { k; kenv; frame } r))))))
+        | _ -> raise (Error "internal: reify arity"))
+  in
+  state.fns <- fd :: state.fns;
+  let build env (k : F.atom -> F.exp) =
+    B.array T.Tany ~size:(B.int 3) ~init:F.Unit (fun packed ->
+        F.Store
+          ( packed, F.Int 0, env.k,
+            F.Store
+              ( packed, F.Int 1, env.kenv,
+                F.Store (packed, F.Int 2, env.frame, k packed) ) ))
+  in
+  name, build
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let box_int a k = B.atom T.Tany a k
+let box a k = B.atom T.Tany a k
+
+let rec compile state fctx scope env e (cont : cont) : F.exp =
+  match e with
+  | Eint n -> box_int (F.Int n) (fun v -> apply_cont cont env v)
+  | Ebool b -> box (F.Bool b) (fun v -> apply_cont cont env v)
+  | Eunit -> box F.Unit (fun v -> apply_cont cont env v)
+  | Evar x ->
+    frame_load env (slot_of scope x) (fun v -> apply_cont cont env v)
+  | Eseq (a, b) ->
+    compile state fctx scope env a
+      (Meta (fun env _ -> compile state fctx scope env b cont))
+  | Elet (x, value, body) ->
+    (* the binding extends the scope for the body only: the value is
+       compiled under the outer scope ([x] may shadow a name it uses) *)
+    compile state fctx scope env value
+      (Meta
+         (fun env v ->
+           let sx, scope' = bind_slot fctx scope x in
+           frame_store env sx v (compile state fctx scope' env body cont)))
+  | Eletrec (f, x, fbody, body) ->
+    let sf, scope' = bind_slot fctx scope f in
+    compile_lambda state fctx scope' env ~recname:(Some f) x fbody
+      (fun env clo ->
+        frame_store env sf clo (compile state fctx scope' env body cont))
+  | Elam (x, body) ->
+    compile_lambda state fctx scope env ~recname:None x body (fun env v ->
+        apply_cont cont env v)
+  | Eif (c, t, e) -> (
+    match cont with
+    | Tail ->
+      (* tail branches return directly; no join continuation is built *)
+      compile state fctx scope env c
+        (Meta
+           (fun env vc ->
+             B.cast T.Tbool vc (fun bc ->
+                 F.If
+                   ( bc,
+                     compile state fctx scope env t Tail,
+                     compile state fctx scope env e Tail ))))
+    | Meta metak ->
+      let join, build = reify state metak in
+      (* each branch re-packs (k, kenv, frame) at its own tail: the branch
+         may itself contain splits, after which the original pack would be
+         out of scope *)
+      let goto_join env r =
+        build env (fun packed -> F.Call (F.Fun join, [ packed; r ]))
+      in
+      compile state fctx scope env c
+        (Meta
+           (fun env vc ->
+             B.cast T.Tbool vc (fun bc ->
+                 F.If
+                   ( bc,
+                     compile state fctx scope env t (Meta goto_join),
+                     compile state fctx scope env e (Meta goto_join) )))))
+  | Ebinop (op, a, b) ->
+    let sa = temp_slot fctx in
+    compile state fctx scope env a
+      (Meta
+         (fun env va ->
+           frame_store env sa va
+             (compile state fctx scope env b
+                (Meta
+                   (fun env vb ->
+                     frame_load env sa (fun va ->
+                         compile_binop env op va vb cont))))))
+  | Eapp (f, arg) ->
+    let sf = temp_slot fctx in
+    compile state fctx scope env f
+      (Meta
+         (fun env vf ->
+           frame_store env sf vf
+             (compile state fctx scope env arg
+                (Meta
+                   (fun env varg ->
+                     frame_load env sf (fun vf ->
+                         B.cast clo_ty vf (fun clo ->
+                             B.proj clo_code_ty clo 0 (fun code ->
+                                 B.proj (T.Tptr T.Tany) clo 1 (fun cenv ->
+                                     match cont with
+                                     | Tail ->
+                                       (* pass our own return continuation
+                                          through: a genuine tail call *)
+                                       F.Call
+                                         ( code,
+                                           [ cenv; varg; env.k; env.kenv ] )
+                                     | Meta metak ->
+                                       let recv, build = reify state metak in
+                                       build env (fun packed ->
+                                           F.Call
+                                             ( code,
+                                               [ cenv; varg; F.Fun recv;
+                                                 packed ] )))))))))))
+
+and compile_binop env op va vb cont =
+  let finish r = apply_cont cont env r in
+  let int2 fop =
+    B.cast T.Tint va (fun ia ->
+        B.cast T.Tint vb (fun ib ->
+            B.binop T.Tint fop ia ib (fun r -> box_int r finish)))
+  in
+  let cmp fop =
+    B.cast T.Tint va (fun ia ->
+        B.cast T.Tint vb (fun ib ->
+            B.binop T.Tbool fop ia ib (fun r -> box r finish)))
+  in
+  let bool2 fop =
+    B.cast T.Tbool va (fun ba ->
+        B.cast T.Tbool vb (fun bb ->
+            B.binop T.Tbool fop ba bb (fun r -> box r finish)))
+  in
+  match op with
+  | "+" -> int2 F.Add
+  | "-" -> int2 F.Sub
+  | "*" -> int2 F.Mul
+  | "/" -> int2 F.Div
+  | "=" -> cmp F.Eq
+  | "<>" -> cmp F.Ne
+  | "<" -> cmp F.Lt
+  | "<=" -> cmp F.Le
+  | ">" -> cmp F.Gt
+  | ">=" -> cmp F.Ge
+  | "&&" -> bool2 F.And
+  | "||" -> bool2 F.Or
+  | op -> raise (Error ("internal: unknown operator " ^ op))
+
+(* Compile [fun x -> body] in the current context: emit the code function
+   and build the closure tuple.  For [let rec f], the closure's own value
+   is patched into its environment after creation (heap environments are
+   mutable, so cyclic capture is a single store). *)
+and compile_lambda state _fctx scope env ~recname x body (metak : metak) :
+    F.exp =
+  (* the recursive name stays free: the closure captures itself and the
+     knot is tied by patching its own environment after creation *)
+  let frees = List.rev (free_vars [ x ] [] body) in
+  let code_name = fresh_name state "f" in
+  (* the code function *)
+  let fd =
+    B.func code_name
+      [ "cenv", T.Tptr T.Tany; "arg", T.Tany; "k", cont_code_ty;
+        "kenv", T.Tptr T.Tany ]
+      (fun atoms ->
+        match atoms with
+        | [ cenv; arg; k; kenv ] ->
+          let inner_size =
+            List.length frees + 2 + node_count body + 4
+          in
+          let inner = { next_slot = 0; frame_size = inner_size } in
+          B.array T.Tany ~size:(B.int inner_size) ~init:F.Unit (fun frame ->
+              let env' = { k; kenv; frame } in
+              let sx, iscope = bind_slot inner Scope.empty x in
+              frame_store env' sx arg
+                ((* unpack captured variables (the recursive name is among
+                    them when recname matches a free use) *)
+                 let rec unpack i iscope = function
+                   | [] -> compile state inner iscope env' body Tail
+                   | fv :: rest ->
+                     let s, iscope = bind_slot inner iscope fv in
+                     B.load T.Tany cenv (B.int i) (fun v ->
+                         frame_store env' s v (unpack (i + 1) iscope rest))
+                 in
+                 unpack 0 iscope frees))
+        | _ -> raise (Error "internal: lambda arity"))
+  in
+  state.fns <- fd :: state.fns;
+  (* closure creation in the enclosing function *)
+  let nfree = List.length frees in
+  B.array T.Tany ~size:(B.int (max nfree 1)) ~init:F.Unit (fun cenv ->
+      let rec capture i = function
+        | [] ->
+          B.tuple
+            [ clo_code_ty, F.Fun code_name; T.Tptr T.Tany, cenv ]
+            (fun clo ->
+              box clo (fun boxed ->
+                  match recname with
+                  | Some f when List.mem f frees ->
+                    (* tie the knot: the closure captures itself *)
+                    let fi =
+                      let rec index k = function
+                        | [] -> raise (Error "internal: rec capture")
+                        | fv :: rest ->
+                          if String.equal fv f then k else index (k + 1) rest
+                      in
+                      index 0 frees
+                    in
+                    F.Store (cenv, F.Int fi, boxed, metak env boxed)
+                  | Some _ | None -> metak env boxed))
+        | fv :: rest ->
+          if Some fv = recname then
+            (* patched after creation *)
+            capture (i + 1) rest
+          else
+            frame_load env (slot_of scope fv) (fun v ->
+                F.Store (cenv, F.Int i, v, capture (i + 1) rest))
+      in
+      capture 0 frees)
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let primitives = [ "print_int"; "print_newline"; "print_bool" ]
+
+let primitive_code state prim =
+  let code_name = "ml$prim_" ^ prim in
+  let fd =
+    B.func code_name
+      [ "cenv", T.Tptr T.Tany; "arg", T.Tany; "k", cont_code_ty;
+        "kenv", T.Tptr T.Tany ]
+      (fun atoms ->
+        match atoms with
+        | [ _cenv; arg; k; kenv ] -> (
+          match prim with
+          | "print_int" ->
+            B.cast T.Tint arg (fun n ->
+                B.ext T.Tunit "print_int" [ n ] (fun _ ->
+                    box F.Unit (fun u -> F.Call (k, [ kenv; u ]))))
+          | "print_newline" ->
+            B.ext T.Tunit "print_newline" [] (fun _ ->
+                box F.Unit (fun u -> F.Call (k, [ kenv; u ])))
+          | "print_bool" ->
+            B.cast T.Tbool arg (fun b ->
+                B.unop T.Tint F.Int_of_bool b (fun n ->
+                    B.ext T.Tunit "print_int" [ n ] (fun _ ->
+                        box F.Unit (fun u -> F.Call (k, [ kenv; u ])))))
+          | _ -> raise (Error ("internal: unknown primitive " ^ prim)))
+        | _ -> raise (Error "internal: primitive arity"))
+  in
+  state.fns <- fd :: state.fns;
+  code_name
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold the definition list into one expression whose value is the
+   program result. *)
+let program_expr (p : program) =
+  let rec go = function
+    | [] -> raise (Error "empty program")
+    | [ Dlet (_, e) ] -> e
+    | [ Dletrec (f, x, body) ] -> Eletrec (f, x, body, Evar f)
+    | Dlet (x, e) :: rest -> Elet (x, e, go rest)
+    | Dletrec (f, x, body) :: rest -> Eletrec (f, x, body, go rest)
+  in
+  go p
+
+let lower_program ?(exit_is_int = true) (p : program) : F.program =
+  let state = { fns = []; counter = 0 } in
+  let expr = program_expr p in
+  let top_size = List.length primitives + node_count expr + 8 in
+  let fctx = { next_slot = 0; frame_size = top_size } in
+  let exit_fn =
+    B.func "ml$exit"
+      [ "kenv", T.Tptr T.Tany; "r", T.Tany ]
+      (fun atoms ->
+        match atoms with
+        | [ _; r ] ->
+          if exit_is_int then B.cast T.Tint r (fun n -> F.Exit n)
+          else F.Exit (F.Int 0)
+        | _ -> raise (Error "internal: exit arity"))
+  in
+  let main_fn =
+    B.func "main" [] (fun _ ->
+        B.array T.Tany ~size:(B.int top_size) ~init:F.Unit (fun frame ->
+            B.array T.Tany ~size:(B.int 1) ~init:F.Unit (fun empty_kenv ->
+                let env =
+                  { k = F.Fun "ml$exit"; kenv = empty_kenv; frame }
+                in
+                (* install primitive closures *)
+                let rec install scope = function
+                  | [] -> compile state fctx scope env expr Tail
+                  | prim :: rest ->
+                    let code = primitive_code state prim in
+                    let s, scope = bind_slot fctx scope prim in
+                    B.array T.Tany ~size:(B.int 1) ~init:F.Unit (fun cenv ->
+                        B.tuple
+                          [ clo_code_ty, F.Fun code; T.Tptr T.Tany, cenv ]
+                          (fun clo ->
+                            box clo (fun boxed ->
+                                frame_store env s boxed (install scope rest))))
+                in
+                install Scope.empty primitives)))
+  in
+  F.program (main_fn :: exit_fn :: state.fns) ~main:"main"

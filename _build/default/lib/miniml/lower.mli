@@ -1,0 +1,10 @@
+(** Mini-ML -> FIR lowering: closure-converted CPS over a uniform boxed
+    ([any]) representation, with per-function slot frames and tail-call
+    optimization (self-tail recursion runs in constant space).  See the
+    implementation header for the representation details. *)
+
+exception Error of string
+
+val lower_program : ?exit_is_int:bool -> Syntax.program -> Fir.Ast.program
+(** [exit_is_int] selects whether the program's final value becomes the
+    exit code (int) or is discarded (unit programs exit 0). *)

@@ -1,0 +1,306 @@
+(* Mini-ML: syntax, lexer, parser.
+
+   A small functional language compiled to the same FIR as mini-C,
+   demonstrating the paper's multi-language claim (Section 3: MCC compiles
+   C, Pascal, ML and Java to one intermediate representation).  Features:
+   integers, booleans, unit, first-class functions with closures,
+   let / let rec (with Hindley-Milner inference), if/then/else,
+   sequencing, and printing primitives. *)
+
+exception Syntax_error of string
+
+type expr =
+  | Eint of int
+  | Ebool of bool
+  | Eunit
+  | Evar of string
+  | Elam of string * expr
+  | Eapp of expr * expr
+  | Elet of string * expr * expr
+  | Eletrec of string * string * expr * expr (* let rec f x = e1 in e2 *)
+  | Eif of expr * expr * expr
+  | Ebinop of string * expr * expr
+  | Eseq of expr * expr
+
+type def =
+  | Dlet of string * expr
+  | Dletrec of string * string * expr (* let rec f x = body *)
+
+type program = def list (* the last definition's body is the entry value *)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tint of int
+  | Tident of string
+  | Tkw of string
+  | Top of string
+  | Tlparen
+  | Trparen
+  | Teof
+
+let keywords =
+  [ "let"; "rec"; "in"; "fun"; "if"; "then"; "else"; "true"; "false" ]
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_' || c = '\''
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* nested comments *)
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if !depth > 0 then raise (Syntax_error "unterminated comment")
+    end
+    else if c = '(' then begin
+      (* () is the unit literal *)
+      if !i + 1 < n && src.[!i + 1] = ')' then begin
+        toks := Tkw "()" :: !toks;
+        i := !i + 2
+      end
+      else begin
+        toks := Tlparen :: !toks;
+        incr i
+      end
+    end
+    else if c = ')' then begin
+      toks := Trparen :: !toks;
+      incr i
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      toks := Tint (int_of_string (String.sub src start (!i - start))) :: !toks
+    end
+    else if (c >= 'a' && c <= 'z') || c = '_' then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let w = String.sub src start (!i - start) in
+      toks := (if List.mem w keywords then Tkw w else Tident w) :: !toks
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      if List.mem two [ "->"; "<="; ">="; "<>"; "&&"; "||" ] then begin
+        toks := Top two :: !toks;
+        i := !i + 2
+      end
+      else if String.contains "+-*/<>=;" c then begin
+        toks := Top (String.make 1 c) :: !toks;
+        incr i
+      end
+      else raise (Syntax_error (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  List.rev (Teof :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> Teof
+let advance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let expect st t what =
+  if peek st = t then advance st
+  else raise (Syntax_error ("expected " ^ what))
+
+let expect_ident st =
+  match peek st with
+  | Tident x ->
+    advance st;
+    x
+  | _ -> raise (Syntax_error "expected an identifier")
+
+(* precedence: ; < || < && < comparisons < + - < * / < application *)
+let rec parse_expr st = parse_seq st
+
+and parse_seq st =
+  let lhs = parse_or st in
+  if peek st = Top ";" then begin
+    advance st;
+    Eseq (lhs, parse_seq st)
+  end
+  else lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = Top "||" then begin
+    advance st;
+    Ebinop ("||", lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if peek st = Top "&&" then begin
+    advance st;
+    Ebinop ("&&", lhs, parse_and st)
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | Top (("=" | "<" | "<=" | ">" | ">=" | "<>") as op) ->
+    advance st;
+    Ebinop (op, lhs, parse_add st)
+  | _ -> lhs
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Top (("+" | "-") as op) ->
+      advance st;
+      lhs := Ebinop (op, !lhs, parse_mul st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_app st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Top (("*" | "/") as op) ->
+      advance st;
+      lhs := Ebinop (op, !lhs, parse_app st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_app st =
+  let head = parse_atom st in
+  let rec args acc =
+    match peek st with
+    | Tint _ | Tident _ | Tlparen | Tkw ("true" | "false" | "()") ->
+      args (Eapp (acc, parse_atom st))
+    | _ -> acc
+  in
+  args head
+
+and parse_atom st =
+  match peek st with
+  | Tint n ->
+    advance st;
+    Eint n
+  | Tkw "true" ->
+    advance st;
+    Ebool true
+  | Tkw "false" ->
+    advance st;
+    Ebool false
+  | Tkw "()" ->
+    advance st;
+    Eunit
+  | Tident x ->
+    advance st;
+    Evar x
+  | Tlparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Trparen ")";
+    e
+  | Tkw "fun" ->
+    advance st;
+    let x = expect_ident st in
+    expect st (Top "->") "->";
+    Elam (x, parse_expr st)
+  | Tkw "if" ->
+    advance st;
+    let c = parse_expr st in
+    expect st (Tkw "then") "then";
+    let t = parse_expr st in
+    expect st (Tkw "else") "else";
+    Eif (c, t, parse_expr st)
+  | Tkw "let" ->
+    advance st;
+    if peek st = Tkw "rec" then begin
+      advance st;
+      let f = expect_ident st in
+      let x = expect_ident st in
+      expect st (Top "=") "=";
+      let body = parse_expr st in
+      expect st (Tkw "in") "in";
+      Eletrec (f, x, body, parse_expr st)
+    end
+    else begin
+      let x = expect_ident st in
+      (* sugar: let f x y = e  ==>  let f = fun x -> fun y -> e *)
+      let rec params acc =
+        match peek st with
+        | Tident p ->
+          advance st;
+          params (p :: acc)
+        | _ -> List.rev acc
+      in
+      let ps = params [] in
+      expect st (Top "=") "=";
+      let body = parse_expr st in
+      expect st (Tkw "in") "in";
+      let value = List.fold_right (fun p acc -> Elam (p, acc)) ps body in
+      Elet (x, value, parse_expr st)
+    end
+  | _ -> raise (Syntax_error "expected an expression")
+
+let parse_def st =
+  expect st (Tkw "let") "let";
+  if peek st = Tkw "rec" then begin
+    advance st;
+    let f = expect_ident st in
+    let x = expect_ident st in
+    expect st (Top "=") "=";
+    Dletrec (f, x, parse_expr st)
+  end
+  else begin
+    let x = expect_ident st in
+    let rec params acc =
+      match peek st with
+      | Tident p ->
+        advance st;
+        params (p :: acc)
+      | _ -> List.rev acc
+    in
+    let ps = params [] in
+    expect st (Top "=") "=";
+    let body = parse_expr st in
+    Dlet (x, List.fold_right (fun p acc -> Elam (p, acc)) ps body)
+  end
+
+let parse_program src =
+  let st = { toks = tokenize src } in
+  let rec defs acc =
+    match peek st with
+    | Teof -> List.rev acc
+    | _ -> defs (parse_def st :: acc)
+  in
+  let p = defs [] in
+  if p = [] then raise (Syntax_error "empty program");
+  p

@@ -1,0 +1,1 @@
+lib/net/cluster.ml: Arch Array Bytes Char Codegen Emulator Extern Fir Hashtbl Heap Interp List Migrate Mpi Option Printf Process Random Runtime Simnet Spec Storage String Value Vm

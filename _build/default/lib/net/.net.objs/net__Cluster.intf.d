@@ -1,0 +1,1 @@
+lib/net/cluster.mli: Arch Emulator Fir Migrate Mpi Process Simnet Storage Vm

@@ -1,0 +1,1 @@
+lib/net/mpi.ml: Hashtbl List Runtime Value

@@ -1,0 +1,1 @@
+lib/net/mpi.mli: Hashtbl Runtime Value

@@ -1,0 +1,1 @@
+lib/net/storage.ml: Hashtbl Option Simnet String

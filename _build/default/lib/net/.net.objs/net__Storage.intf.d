@@ -1,0 +1,1 @@
+lib/net/storage.mli: Simnet

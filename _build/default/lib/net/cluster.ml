@@ -1,0 +1,1169 @@
+(* The simulated cluster (paper, Sections 2 and 5).
+
+   A cluster is a set of nodes, each running an MCC migration daemon
+   (Migrate.Server), connected by the simulated network, sharing reliable
+   storage (the "NFS mount").  Processes are placed on nodes, scheduled
+   round-robin with a step quantum, and interact through the Mpi message
+   layer.  The cluster implements:
+
+   - the three migration protocols end-to-end (pack on the source, bytes
+     across the network, verify/recompile/resume on the target daemon);
+   - node failure injection: resident processes die, survivors that poll
+     the dead ranks observe MSG_ROLL, and speculative messages' consumers
+     are rolled back through the dependency cascade;
+   - resurrection: a checkpoint file is read back from shared storage and
+     the process resumes on a chosen node under its old rank (Figure 2's
+     recovery path).
+
+   Simulated time: every process's work is charged in architecture cycles;
+   a round advances the clock by the busiest node's share, so nodes run in
+   parallel while processes on one node serialize.  Checkpoint writes and
+   migrations charge their full cost to the process that performs them. *)
+
+open Runtime
+open Vm
+
+type engine = Interp_engine | Emu_engine of Emulator.t
+
+type entry = {
+  proc : Process.t;
+  mutable engine : engine;
+  mutable node_id : int;
+  mailbox : Mpi.mailbox;
+  mutable rank : int option;
+  mutable start_at : float; (* not schedulable before this time *)
+  (* the (src rank, tag) the process last polled unsuccessfully: the
+     scheduler only wakes it for a matching delivery (or a roll notice
+     from that source), so unrelated traffic cannot spin-livelock a
+     parked receiver *)
+  mutable parked_on : (int * int) option;
+}
+
+type node = {
+  node_id : int;
+  node_name : string;
+  node_arch : Arch.t;
+  mutable alive : bool;
+  daemon : Migrate.Server.t;
+  mutable busy_seconds : float; (* time spent executing *)
+  (* the node's local simulated clock (busy + idle waiting).  Nodes
+     advance independently — a conservative discrete-event simulation —
+     so out-of-phase processes (e.g. a freshly resurrected rank) overlap
+     with their peers instead of serialising against a global clock. *)
+  mutable clock : float;
+}
+
+type migration_record = {
+  mr_kind : [ `Migrate | `Suspend | `Checkpoint ];
+  mr_pid : int;
+  mr_bytes : int;
+  mr_pack_s : float;
+  mr_transfer_s : float;
+  mr_compile_s : float;
+  mr_ok : bool;
+}
+
+type t = {
+  nodes : node array;
+  net : Simnet.t;
+  storage : Storage.t;
+  mutable entries : entry list; (* newest first *)
+  by_pid : (int, entry) Hashtbl.t;
+  ranks : (int, int) Hashtbl.t; (* rank -> pid *)
+  (* rank-level mailboxes: messages are addressed to RANKS, and the queue
+     survives the death of the process currently holding the rank (a
+     resurrected or migrated successor inherits it, like DEMOS/MP's
+     forwarding stubs).  Unranked processes get private mailboxes. *)
+  rank_mailboxes : (int, Mpi.mailbox) Hashtbl.t;
+  (* (sender pid, sender level uid) -> dependent (receiver pid, receiver uid) *)
+  deps : (int * int, (int * int) list ref) Hashtbl.t;
+  mutable next_pid : int;
+  rng : Random.State.t;
+  trusted : bool;
+  quantum : int;
+  obj_store : (int, Bytes.t) Hashtbl.t; (* Figure 1's account objects *)
+  (* speculative object writes: (writer pid, level uid) -> saved old
+     contents, newest first.  The object store participates in the
+     writer's speculation: rollback restores these, commit folds them
+     into the parent level (exactly the heap's checkpoint-record
+     discipline, applied to external state). *)
+  obj_undo : (int * int, (int * Bytes.t option) list ref) Hashtbl.t;
+  (* MojaveFS-lite: per-speculation-level undo log for shared-store files
+     (path -> previous contents), mirroring the object store's *)
+  fs_undo : (int * int, (string * string option) list ref) Hashtbl.t;
+  mutable obj_fail_prob : float;
+  mutable migrations : migration_record list;
+  mutable events : string list; (* newest first, for diagnostics *)
+  (* time base of the quantum currently executing (single-threaded):
+     lets extern handlers compute the running process's precise local
+     time even mid-quantum *)
+  mutable cur_base : float;
+  mutable cur_cycles0 : int;
+}
+
+let msg_none = Mpi.msg_none
+let msg_roll = Mpi.msg_roll
+
+(* ------------------------------------------------------------------ *)
+(* Externs available to cluster processes                              *)
+(* ------------------------------------------------------------------ *)
+
+let extern_signatures_list : (string * (Fir.Types.ty list * Fir.Types.ty)) list
+    =
+  let open Fir.Types in
+  [
+    "msg_send", ([ Tint; Tint; Tptr Tfloat; Tint ], Tint);
+    "msg_try_recv", ([ Tint; Tint; Tptr Tfloat; Tint ], Tint);
+    "msg_send_int", ([ Tint; Tint; Tptr Tint; Tint ], Tint);
+    "msg_try_recv_int", ([ Tint; Tint; Tptr Tint; Tint ], Tint);
+    "rank", ([], Tint);
+    "sim_now_us", ([], Tint);
+    "obj_read", ([ Tint; Tptr Tint; Tint ], Tint);
+    "obj_write", ([ Tint; Tptr Tint; Tint ], Tint);
+    (* MojaveFS-lite (the paper's "speculative I/O" future work,
+       Section 7): byte files on the shared store whose writes join the
+       writer's speculation, so "normal file I/O operations" are usable
+       inside a speculation and roll back with it *)
+    "fs_write", ([ Traw; Tptr Tint; Tint ], Tint);
+    "fs_read", ([ Traw; Tptr Tint; Tint ], Tint);
+    "fs_size", ([ Traw ], Tint);
+  ]
+
+let extern_signatures : Fir.Typecheck.extern_lookup =
+ fun name ->
+  match List.assoc_opt name extern_signatures_list with
+  | Some s -> Some s
+  | None -> Extern.signature_lookup [] name
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
+    ?(quantum = 64) ?(seed = 1) ?net () =
+  let net = match net with Some n -> n | None -> Simnet.create () in
+  let nodes =
+    Array.init node_count (fun i ->
+        let arch = arches.(i mod Array.length arches) in
+        {
+          node_id = i;
+          node_name = Printf.sprintf "node%d" i;
+          node_arch = arch;
+          alive = true;
+          daemon =
+            Migrate.Server.create ~trusted
+              ~extern_signatures arch ~first_pid:0;
+          busy_seconds = 0.0;
+          clock = 0.0;
+        })
+  in
+  {
+    nodes;
+    net;
+    storage = Storage.create net;
+    entries = [];
+    by_pid = Hashtbl.create 32;
+    ranks = Hashtbl.create 32;
+    rank_mailboxes = Hashtbl.create 32;
+    deps = Hashtbl.create 32;
+    next_pid = 1;
+    rng = Random.State.make [| seed |];
+    trusted;
+    quantum;
+    obj_store = Hashtbl.create 8;
+    obj_undo = Hashtbl.create 8;
+    fs_undo = Hashtbl.create 8;
+    obj_fail_prob = 0.0;
+    migrations = [];
+    events = [];
+    cur_base = 0.0;
+    cur_cycles0 = 0;
+  }
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s ->
+      t.events <-
+        Printf.sprintf "[%10.6f] %s" (Simnet.now t.net) s :: t.events)
+    fmt
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Cluster.node: no node %d" id)
+  else t.nodes.(id)
+
+let node_by_name t name =
+  Array.to_list t.nodes
+  |> List.find_opt (fun n -> String.equal n.node_name name)
+
+let entry_of_pid t pid = Hashtbl.find_opt t.by_pid pid
+
+let entry_of_rank t rank =
+  match Hashtbl.find_opt t.ranks rank with
+  | Some pid -> entry_of_pid t pid
+  | None -> None
+
+(* cluster-wide time: the farthest local clock (completion time of the
+   whole system when quiescent) *)
+let now t =
+  Array.fold_left (fun acc n -> max acc n.clock) (Simnet.now t.net) t.nodes
+
+(* precise local time of the process currently executing a quantum *)
+let effective_now t (proc : Process.t) =
+  t.cur_base
+  +. Arch.seconds proc.Process.arch (proc.Process.cycles - t.cur_cycles0)
+
+let charge_seconds (proc : Process.t) s =
+  proc.Process.cycles <-
+    proc.Process.cycles
+    + int_of_float (s *. float_of_int proc.Process.arch.Arch.clock_mhz *. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Externs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+
+(* Record that [receiver] consumed a message sent from inside [sender]'s
+   speculation: the receiver joins that speculation. *)
+let add_dependency t ~sender ~receiver =
+  let deps =
+    match Hashtbl.find_opt t.deps sender with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add t.deps sender l;
+      l
+  in
+  if not (List.mem receiver !deps) then deps := receiver :: !deps
+
+(* Roll a process back because a speculation it depends on failed.  If the
+   joined level is gone (committed or already rolled back) fall back to the
+   process's oldest open level; a receiver with no speculation to undo is
+   unrecoverable and traps (it consumed state that never happened). *)
+let rec force_rollback t ~pid ~uid ~code =
+  match entry_of_pid t pid with
+  | None -> ()
+  | Some entry -> (
+    match entry.proc.Process.status with
+    | Process.Exited _ | Process.Trapped _ -> ()
+    | Process.Running | Process.Migrating _ -> (
+      let spec = entry.proc.Process.spec in
+      let level =
+        match Spec.Engine.level_of_unique spec uid with
+        | Some l -> Some l
+        | None -> if Spec.Engine.depth spec > 0 then Some 1 else None
+      in
+      match level with
+      | None ->
+        log t "pid %d: unrecoverable speculative dependency" pid;
+        entry.proc.Process.status <-
+          Process.Trapped "unrecoverable speculative dependency"
+      | Some level ->
+        (* if the process was parked at a migration point, cancel it *)
+        (match entry.proc.Process.status with
+        | Process.Migrating _ -> Process.migration_failed entry.proc
+        | Process.Running | Process.Exited _ | Process.Trapped _ -> ());
+        (* do_rollback fires the engine's on_rollback hook, which cascades
+           to this process's own dependents transitively *)
+        Process.do_rollback entry.proc ~level ~code;
+        entry.proc.Process.waiting <- false;
+        log t "pid %d: forced rollback to level %d" pid level))
+
+(* Undo everything that depended on the given (now rolled back or dead)
+   speculation levels of [sender_pid]: discard their unconsumed messages,
+   then roll back their consumers. *)
+and cascade t ~sender_pid ~uids ~code =
+  (* undo the rolled-back levels' external object writes (newest level
+     first, so the oldest saved contents win) *)
+  List.iter
+    (fun uid ->
+      (match Hashtbl.find_opt t.obj_undo (sender_pid, uid) with
+      | None -> ()
+      | Some log ->
+        Hashtbl.remove t.obj_undo (sender_pid, uid);
+        List.iter
+          (fun (obj, old) ->
+            match old with
+            | Some bytes -> Hashtbl.replace t.obj_store obj bytes
+            | None -> Hashtbl.remove t.obj_store obj)
+          (List.rev !log));
+      match Hashtbl.find_opt t.fs_undo (sender_pid, uid) with
+      | None -> ()
+      | Some log ->
+        Hashtbl.remove t.fs_undo (sender_pid, uid);
+        List.iter
+          (fun (path, old) ->
+            match old with
+            | Some data -> ignore (Storage.write t.storage path data)
+            | None -> Storage.remove t.storage path)
+          (List.rev !log))
+    uids;
+  List.iter
+    (fun (e : entry) ->
+      ignore (Mpi.discard_speculative e.mailbox ~uids ~sender_pid))
+    t.entries;
+  List.iter
+    (fun uid ->
+      match Hashtbl.find_opt t.deps (sender_pid, uid) with
+      | None -> ()
+      | Some dependents ->
+        let ds = !dependents in
+        Hashtbl.remove t.deps (sender_pid, uid);
+        List.iter
+          (fun (rpid, ruid) ->
+            if rpid <> sender_pid then
+              force_rollback t ~pid:rpid ~uid:ruid ~code)
+          ds)
+    uids
+
+let cluster_extern t entry : Process.handler =
+ fun proc name args ->
+  let heap = proc.Process.heap in
+  let read_cells ptr len =
+    let idx, off = Vm.Interp.as_ptr ptr in
+    Array.init len (fun k -> Heap.read heap idx (off + k))
+  in
+  let write_cells ptr payload n =
+    let idx, off = Vm.Interp.as_ptr ptr in
+    for k = 0 to n - 1 do
+      Heap.write heap idx (off + k) payload.(k)
+    done
+  in
+  match name, args with
+  | ("msg_send" | "msg_send_int"), [ Value.Vint dst_rank; Value.Vint tag;
+                                     (Value.Vptr _ as ptr); Value.Vint len ]
+    ->
+    if len < 0 then raise (Process.Extern_failure "msg_send: negative length");
+    (match Hashtbl.find_opt t.rank_mailboxes dst_rank with
+    | Some dst_mailbox ->
+      let payload = read_cells ptr len in
+      let bytes = 8 * len in
+      Simnet.record_message t.net bytes;
+      let msg =
+        {
+          Mpi.msg_src_rank =
+            (match entry.rank with Some r -> r | None -> -1);
+          msg_src_pid = proc.Process.pid;
+          msg_tag = tag;
+          msg_payload = payload;
+          msg_deliver_at =
+            effective_now t proc +. Simnet.message_seconds t.net bytes;
+          msg_spec =
+            (match Spec.Engine.current_unique proc.Process.spec with
+            | Some uid -> Some (proc.Process.pid, uid)
+            | None -> None);
+        }
+      in
+      Mpi.enqueue dst_mailbox msg;
+      (* wake the current holder of the rank, if any *)
+      (match entry_of_rank t dst_rank with
+      | Some dst -> dst.proc.Process.waiting <- false
+      | None -> ());
+      Value.Vint 0
+    | None -> Value.Vint (-1))
+  | ("msg_try_recv" | "msg_try_recv_int"),
+    [ Value.Vint src_rank; Value.Vint tag; (Value.Vptr _ as ptr);
+      Value.Vint maxlen ] -> (
+    match
+      Mpi.try_recv entry.mailbox ~now:(effective_now t proc) ~src_rank ~tag
+    with
+    | Mpi.Roll ->
+      entry.parked_on <- None;
+      Value.Vint msg_roll
+    | Mpi.None_yet ->
+      proc.Process.waiting <- true;
+      entry.parked_on <- Some (src_rank, tag);
+      Value.Vint msg_none
+    | Mpi.Received m ->
+      entry.parked_on <- None;
+      let n = min maxlen (Array.length m.Mpi.msg_payload) in
+      write_cells ptr m.Mpi.msg_payload n;
+      (match m.Mpi.msg_spec with
+      | Some (spid, uid) when spid <> proc.Process.pid ->
+        (* join the sender's speculation *)
+        let ruid =
+          match Spec.Engine.current_unique proc.Process.spec with
+          | Some u -> u
+          | None -> -1
+        in
+        add_dependency t ~sender:(spid, uid)
+          ~receiver:(proc.Process.pid, ruid)
+      | Some _ | None -> ());
+      Value.Vint n)
+  | "rank", [] ->
+    Value.Vint (match entry.rank with Some r -> r | None -> -1)
+  | "sim_now_us", [] ->
+    Value.Vint (int_of_float (effective_now t proc *. 1e6))
+  | "fs_write", [ (Value.Vptr _ as pathp); (Value.Vptr _ as ptr);
+                  Value.Vint k ] ->
+    let path = Heap.raw_to_string heap (fst (Vm.Interp.as_ptr pathp)) in
+    (* a write from inside a speculation is undoable *)
+    (match Spec.Engine.current_unique proc.Process.spec with
+    | Some uid ->
+      let key = proc.Process.pid, uid in
+      let log =
+        match Hashtbl.find_opt t.fs_undo key with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add t.fs_undo key l;
+          l
+      in
+      if not (List.mem_assoc path !log) then
+        log :=
+          (path, Option.map fst (Storage.read t.storage path)) :: !log
+    | None -> ());
+    let cells = read_cells ptr k in
+    let data =
+      String.init k (fun i ->
+          match cells.(i) with
+          | Value.Vint b -> Char.chr (b land 0xff)
+          | _ -> raise (Process.Extern_failure "fs_write: non-byte cell"))
+    in
+    charge_seconds proc (Storage.write t.storage path data);
+    Value.Vint k
+  | "fs_read", [ (Value.Vptr _ as pathp); (Value.Vptr _ as ptr);
+                 Value.Vint k ] -> (
+    let path = Heap.raw_to_string heap (fst (Vm.Interp.as_ptr pathp)) in
+    match Storage.read t.storage path with
+    | None -> Value.Vint (-1)
+    | Some (data, dt) ->
+      charge_seconds proc dt;
+      let n = min k (String.length data) in
+      let payload =
+        Array.init n (fun i -> Value.Vint (Char.code data.[i]))
+      in
+      write_cells ptr payload n;
+      Value.Vint n)
+  | "fs_size", [ (Value.Vptr _ as pathp) ] -> (
+    let path = Heap.raw_to_string heap (fst (Vm.Interp.as_ptr pathp)) in
+    match Storage.size t.storage path with
+    | Some n -> Value.Vint n
+    | None -> Value.Vint (-1))
+  | "obj_read", [ Value.Vint obj; (Value.Vptr _ as ptr); Value.Vint k ] ->
+    if Random.State.float t.rng 1.0 < t.obj_fail_prob then Value.Vint (-1)
+    else begin
+      match Hashtbl.find_opt t.obj_store obj with
+      | None -> Value.Vint (-1)
+      | Some data ->
+        let n = min k (Bytes.length data) in
+        let payload =
+          Array.init n (fun i -> Value.Vint (Char.code (Bytes.get data i)))
+        in
+        write_cells ptr payload n;
+        Value.Vint n
+    end
+  | "obj_write", [ Value.Vint obj; (Value.Vptr _ as ptr); Value.Vint k ] ->
+    if Random.State.float t.rng 1.0 < t.obj_fail_prob then Value.Vint (-1)
+    else begin
+      (* a write from inside a speculation is undoable *)
+      (match Spec.Engine.current_unique proc.Process.spec with
+      | Some uid ->
+        let key = proc.Process.pid, uid in
+        let log =
+          match Hashtbl.find_opt t.obj_undo key with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.add t.obj_undo key l;
+            l
+        in
+        if not (List.mem_assoc obj !log) then
+          log :=
+            (obj, Option.map Bytes.copy (Hashtbl.find_opt t.obj_store obj))
+            :: !log
+      | None -> ());
+      let cells = read_cells ptr k in
+      let data =
+        match Hashtbl.find_opt t.obj_store obj with
+        | Some d when Bytes.length d >= k -> d
+        | _ -> Bytes.make (max k 1) '\000'
+      in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Value.Vint b -> Bytes.set data i (Char.chr (b land 0xff))
+          | _ -> raise (Process.Extern_failure "obj_write: non-byte cell"))
+        cells;
+      Hashtbl.replace t.obj_store obj data;
+      Value.Vint k
+    end
+  | ( ( "msg_send" | "msg_send_int" | "msg_try_recv" | "msg_try_recv_int"
+      | "rank" | "sim_now_us" | "obj_read" | "obj_write" | "fs_write"
+      | "fs_read" | "fs_size" ),
+      _ ) ->
+    raise
+      (Process.Extern_failure
+         (Printf.sprintf "extern %s: bad arguments" name))
+  | _ -> raise (Process.Extern_failure ("unknown extern " ^ name))
+
+let handler t entry = Extern.combine (cluster_extern t entry) Extern.base
+
+(* ------------------------------------------------------------------ *)
+(* Object store setup (Figure 1 example)                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_object t obj data =
+  Hashtbl.replace t.obj_store obj (Bytes.of_string data)
+
+let get_object t obj =
+  Option.map Bytes.to_string (Hashtbl.find_opt t.obj_store obj)
+
+let set_object_failure_probability t p = t.obj_fail_prob <- p
+
+(* ------------------------------------------------------------------ *)
+(* Process placement                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* When a level commits into its parent, its dependents become dependents
+   of the parent; committing into level 0 makes the values durable and the
+   dependencies dissolve. *)
+let rekey_dependencies t ~pid ~uid ~parent =
+  (match Hashtbl.find_opt t.deps (pid, uid) with
+  | None -> ()
+  | Some dependents -> (
+    Hashtbl.remove t.deps (pid, uid);
+    match parent with
+    | None -> ()
+    | Some parent_uid ->
+      List.iter
+        (fun d -> add_dependency t ~sender:(pid, parent_uid) ~receiver:d)
+        !dependents));
+  (* object-store and file undo entries fold into the parent level; the
+     parent's own (older) saved contents win, like heap checkpoint
+     records *)
+  let fold_undo : 'k 'v. (int * int, ('k * 'v) list ref) Hashtbl.t -> unit =
+   fun table ->
+    match Hashtbl.find_opt table (pid, uid) with
+    | None -> ()
+    | Some child -> (
+      Hashtbl.remove table (pid, uid);
+      match parent with
+      | None -> () (* committed for good: the writes are durable *)
+      | Some parent_uid -> (
+        let key = pid, parent_uid in
+        match Hashtbl.find_opt table key with
+        | None -> Hashtbl.add table key child
+        | Some plog ->
+          List.iter
+            (fun (k, old) ->
+              if not (List.mem_assoc k !plog) then plog := (k, old) :: !plog)
+            (List.rev !child)))
+  in
+  fold_undo t.obj_undo;
+  fold_undo t.fs_undo
+
+let rank_mailbox t rank =
+  match Hashtbl.find_opt t.rank_mailboxes rank with
+  | Some mbox -> mbox
+  | None ->
+    let mbox = Mpi.create_mailbox () in
+    Hashtbl.add t.rank_mailboxes rank mbox;
+    mbox
+
+let mailbox_for t rank =
+  match rank with
+  | Some r -> rank_mailbox t r
+  | None -> Mpi.create_mailbox ()
+
+let register_entry t (entry : entry) =
+  t.entries <- entry :: t.entries;
+  Hashtbl.replace t.by_pid entry.proc.Process.pid entry;
+  let pid = entry.proc.Process.pid in
+  Spec.Engine.set_hooks entry.proc.Process.spec
+    ~on_rollback:(fun uids -> cascade t ~sender_pid:pid ~uids ~code:msg_roll)
+    ~on_commit:(fun ~uid ~parent -> rekey_dependencies t ~pid ~uid ~parent);
+  match entry.rank with
+  | Some r -> Hashtbl.replace t.ranks r entry.proc.Process.pid
+  | None -> ()
+
+let spawn ?rank ?(engine = `Interp) ?(seed = 7) t ~node_id program =
+  let n = node t node_id in
+  if not n.alive then invalid_arg "Cluster.spawn: node is down";
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let proc = Process.create ~pid ~arch:n.node_arch ~seed program in
+  let engine =
+    match engine with
+    | `Interp -> Interp_engine
+    | `Masm ->
+      Emu_engine
+        (Emulator.create (Codegen.compile ~arch:n.node_arch program) proc)
+  in
+  let entry =
+    {
+      proc;
+      engine;
+      node_id;
+      mailbox = mailbox_for t rank;
+      rank;
+      start_at = (node t node_id).clock;
+      parked_on = None;
+    }
+  in
+  register_entry t entry;
+  log t "spawned pid %d (rank %s) on %s" pid
+    (match rank with Some r -> string_of_int r | None -> "-")
+    n.node_name;
+  pid
+
+(* A process that migrates (or is resurrected) gets a NEW pid and its
+   speculation levels are re-installed with FRESH unique ids.  The
+   distributed-speculation registries are keyed by (pid, uid), so every
+   key and every dependent entry naming the old identity must be re-keyed
+   to the successor, or dependents could escape a later cascade.
+   [uid_map] pairs old level uids with new ones (both newest-first). *)
+let rekey_identity t ~old_pid ~new_pid ~uid_map =
+  let map_uid uid =
+    match List.assoc_opt uid uid_map with Some u -> u | None -> uid
+  in
+  let map_key (pid, uid) =
+    if pid = old_pid then new_pid, map_uid uid else pid, uid
+  in
+  (* dependency edges: keys (senders) and list entries (receivers) *)
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.deps [] in
+  Hashtbl.reset t.deps;
+  List.iter
+    (fun (k, v) ->
+      v := List.map map_key !v;
+      let k' = map_key k in
+      match Hashtbl.find_opt t.deps k' with
+      | None -> Hashtbl.add t.deps k' v
+      | Some existing -> existing := !v @ !existing)
+    entries;
+  (* external-state undo logs: keys only (they name the writer) *)
+  let rekey_undo : 'k 'v. (int * int, ('k * 'v) list ref) Hashtbl.t -> unit =
+   fun table ->
+    let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+    Hashtbl.reset table;
+    List.iter
+      (fun (k, v) ->
+        let k' = map_key k in
+        match Hashtbl.find_opt table k' with
+        | None -> Hashtbl.add table k' v
+        | Some existing -> existing := !v @ !existing)
+      entries
+  in
+  rekey_undo t.obj_undo;
+  rekey_undo t.fs_undo
+
+(* ------------------------------------------------------------------ *)
+(* Migration protocols                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulated pack cost: one memory access per heap cell on the source. *)
+let pack_seconds (proc : Process.t) =
+  let cells = Heap.used_cells proc.Process.heap in
+  Arch.seconds proc.Process.arch
+    (cells * proc.Process.arch.Arch.cycles Arch.Mem)
+
+let record_migration t mr = t.migrations <- mr :: t.migrations
+
+let handle_migrate t (entry : entry) _req host =
+  let proc = entry.proc in
+  let src = node t entry.node_id in
+  match node_by_name t host with
+  | Some target when target.alive && target.node_id <> entry.node_id ->
+    let with_binary =
+      t.trusted && Arch.equal src.node_arch target.node_arch
+    in
+    let packed = Migrate.Pack.pack_request ~with_binary proc in
+    let bytes = String.length packed.Migrate.Pack.p_bytes in
+    let pack_s = pack_seconds proc in
+    let transfer_s = Simnet.transfer_seconds t.net bytes in
+    Simnet.record_transfer t.net bytes;
+    (match Migrate.Server.handle target.daemon packed.Migrate.Pack.p_bytes
+     with
+    | Ok outcome ->
+      let old_uids = Spec.Engine.unique_ids proc.Process.spec in
+      let compile_s =
+        Arch.seconds target.node_arch
+          outcome.Migrate.Server.o_costs.Migrate.Pack.u_compile_cycles
+      in
+      let new_proc = outcome.Migrate.Server.o_process in
+      (* keep pids cluster-unique *)
+      let pid = t.next_pid in
+      t.next_pid <- t.next_pid + 1;
+      let new_proc = { new_proc with Process.pid } in
+      let new_entry =
+        {
+          proc = new_proc;
+          engine = Emu_engine (Emulator.create outcome.Migrate.Server.o_masm new_proc);
+          node_id = target.node_id;
+          mailbox = entry.mailbox; (* rank-addressed messages follow *)
+          rank = entry.rank;
+          start_at =
+            max target.clock (src.clock +. pack_s +. transfer_s)
+            +. compile_s;
+          parked_on = None;
+        }
+      in
+      Process.migration_completed proc;
+      register_entry t new_entry;
+      rekey_identity t ~old_pid:proc.Process.pid ~new_pid:pid
+        ~uid_map:
+          (List.combine old_uids
+             (Spec.Engine.unique_ids new_proc.Process.spec));
+      src.busy_seconds <- src.busy_seconds +. pack_s;
+      target.busy_seconds <- target.busy_seconds +. compile_s;
+      record_migration t
+        {
+          mr_kind = `Migrate;
+          mr_pid = proc.Process.pid;
+          mr_bytes = bytes;
+          mr_pack_s = pack_s;
+          mr_transfer_s = transfer_s;
+          mr_compile_s = compile_s;
+          mr_ok = true;
+        };
+      log t "pid %d migrated %s -> %s (%d bytes, new pid %d)"
+        proc.Process.pid src.node_name target.node_name bytes pid
+    | Error msg ->
+      log t "pid %d migration to %s rejected: %s" proc.Process.pid host msg;
+      record_migration t
+        {
+          mr_kind = `Migrate;
+          mr_pid = proc.Process.pid;
+          mr_bytes = bytes;
+          mr_pack_s = pack_s;
+          mr_transfer_s = transfer_s;
+          mr_compile_s = 0.0;
+          mr_ok = false;
+        };
+      Process.migration_failed proc)
+  | Some _ | None ->
+    log t "pid %d migration target %s unavailable" proc.Process.pid host;
+    Process.migration_failed proc
+
+let handle_to_storage t (entry : entry) req path ~kind =
+  let proc = entry.proc in
+  (* images on the cluster's own reliable store carry the binary payload:
+     "the checkpoints are formatted as executable files and the
+     resurrection of processes is done by executing the saved checkpoint"
+     (paper, Section 2) *)
+  let packed = Migrate.Pack.pack_request ~with_binary:true proc in
+  let bytes = String.length packed.Migrate.Pack.p_bytes in
+  let pack_s = pack_seconds proc in
+  let write_s = Storage.write t.storage path packed.Migrate.Pack.p_bytes in
+  record_migration t
+    {
+      mr_kind = kind;
+      mr_pid = proc.Process.pid;
+      mr_bytes = bytes;
+      mr_pack_s = pack_s;
+      mr_transfer_s = write_s;
+      mr_compile_s = 0.0;
+      mr_ok = true;
+    };
+  (match kind with
+  | `Checkpoint ->
+    (* the process pays for its checkpoint and keeps running *)
+    charge_seconds proc (pack_s +. write_s);
+    Process.migration_failed proc (* "failure" = continue locally *)
+  | `Suspend | `Migrate ->
+    charge_seconds proc pack_s;
+    Process.migration_completed proc);
+  log t "pid %d wrote %s image %s (%d bytes)" proc.Process.pid
+    (match kind with `Checkpoint -> "checkpoint" | _ -> "suspend")
+    path bytes;
+  ignore req
+
+let handle_migration t (entry : entry) =
+  match entry.proc.Process.status with
+  | Process.Migrating req -> (
+    match Migrate.Protocol.parse req.Process.m_target with
+    | Migrate.Protocol.Migrate_to host -> handle_migrate t entry req host
+    | Migrate.Protocol.Suspend_to path ->
+      handle_to_storage t entry req path ~kind:`Suspend
+    | Migrate.Protocol.Checkpoint_to path ->
+      handle_to_storage t entry req path ~kind:`Checkpoint
+    | exception Migrate.Protocol.Bad_target _ ->
+      log t "pid %d: bad migration target %S" entry.proc.Process.pid
+        req.Process.m_target;
+      Process.migration_failed entry.proc)
+  | Process.Running | Process.Exited _ | Process.Trapped _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Failure and resurrection                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fail_node t node_id =
+  let n = node t node_id in
+  if n.alive then begin
+    n.alive <- false;
+    log t "%s FAILED" n.node_name;
+    let victims =
+      List.filter
+        (fun (e : entry) ->
+          e.node_id = node_id && not (Process.is_terminated e.proc))
+        t.entries
+    in
+    List.iter
+      (fun (e : entry) ->
+        let uids = Spec.Engine.unique_ids e.proc.Process.spec in
+        e.proc.Process.status <- Process.Trapped "node failure";
+        (* everyone who consumed this process's speculative messages rolls
+           back with it *)
+        cascade t ~sender_pid:e.proc.Process.pid ~uids ~code:msg_roll;
+        (* survivors polling this rank observe MSG_ROLL *)
+        match e.rank with
+        | Some dead_rank ->
+          List.iter
+            (fun other ->
+              if
+                other.proc.Process.pid <> e.proc.Process.pid
+                && not (Process.is_terminated other.proc)
+              then begin
+                Mpi.post_roll_notice other.mailbox ~src_rank:dead_rank;
+                other.proc.Process.waiting <- false
+              end)
+            t.entries
+        | None -> ())
+      victims
+  end
+
+(* Resurrect a checkpointed process from shared storage on a live node
+   (the paper's resurrection daemon executing the saved checkpoint). *)
+let resurrect ?rank ?(seed = 11) t ~node_id ~path =
+  let n = node t node_id in
+  if not n.alive then Error "resurrection node is down"
+  else
+    match Storage.read t.storage path with
+    | None -> Error ("no checkpoint " ^ path)
+    | Some (bytes, read_s) -> (
+      (* executing a saved checkpoint from the cluster's own store is
+         within the trust domain: same-architecture resurrections take
+         the binary fast path (link only); cross-architecture ones
+         recompile from the FIR *)
+      match
+        Migrate.Pack.unpack ~seed ~trusted:true
+          ~extern_signatures ~arch:n.node_arch bytes
+      with
+      | Error msg -> Error msg
+      | Ok (proc0, masm, costs) ->
+        let outcome =
+          { Migrate.Server.o_pid = 0; o_costs = costs; o_process = proc0;
+            o_masm = masm }
+        in
+        let pid = t.next_pid in
+        t.next_pid <- t.next_pid + 1;
+        let proc = { outcome.Migrate.Server.o_process with Process.pid } in
+        let compile_s =
+          Arch.seconds n.node_arch
+            outcome.Migrate.Server.o_costs.Migrate.Pack.u_compile_cycles
+        in
+        let entry =
+          {
+            proc;
+            engine = Emu_engine (Emulator.create outcome.Migrate.Server.o_masm proc);
+            node_id;
+            mailbox = mailbox_for t rank;
+            rank;
+            start_at = now t +. read_s +. compile_s;
+            parked_on = None;
+          }
+        in
+        register_entry t entry;
+        n.busy_seconds <- n.busy_seconds +. compile_s;
+        log t "resurrected %s as pid %d (rank %s) on %s" path pid
+          (match rank with Some r -> string_of_int r | None -> "-")
+          n.node_name;
+        Ok pid)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let runnable t (e : entry) =
+  let n = node t e.node_id in
+  n.alive
+  && (not (Process.is_terminated e.proc))
+  && (match e.proc.Process.status with
+     | Process.Running -> true
+     | Process.Migrating _ -> true
+     | Process.Exited _ | Process.Trapped _ -> false)
+  && e.start_at <= n.clock
+
+(* Wake parked processes on [n] whose awaited event is due on the node's
+   local clock. *)
+let wake_ready t n =
+  List.iter
+    (fun (e : entry) ->
+      if e.node_id = n.node_id && e.proc.Process.waiting then
+        let ready =
+          match e.parked_on with
+          | Some (src, tag) ->
+            Mpi.has_roll_notice e.mailbox ~src_rank:src
+            || List.exists
+                 (fun m ->
+                   m.Mpi.msg_src_rank = src && m.Mpi.msg_tag = tag
+                   && m.Mpi.msg_deliver_at <= n.clock)
+                 e.mailbox.Mpi.queue
+          | None ->
+            (match Mpi.next_delivery e.mailbox with
+            | Some at -> at <= n.clock
+            | None -> false)
+            || Hashtbl.length e.mailbox.Mpi.roll_notices > 0
+        in
+        if ready then e.proc.Process.waiting <- false)
+    t.entries
+
+(* The earliest future event relevant to node [n]: a delayed process
+   start, or the delivery a parked process is waiting for. *)
+let next_event_on t n =
+  List.fold_left
+    (fun acc (e : entry) ->
+      if e.node_id <> n.node_id || Process.is_terminated e.proc then acc
+      else
+        let candidates = ref [] in
+        if e.start_at > n.clock then candidates := e.start_at :: !candidates;
+        if e.proc.Process.waiting then begin
+          match e.parked_on with
+          | Some (src, tag) ->
+            List.iter
+              (fun m ->
+                if m.Mpi.msg_src_rank = src && m.Mpi.msg_tag = tag then
+                  candidates := m.Mpi.msg_deliver_at :: !candidates)
+              e.mailbox.Mpi.queue
+          | None -> (
+            match Mpi.next_delivery e.mailbox with
+            | Some at -> candidates := at :: !candidates
+            | None -> ())
+        end;
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | None -> Some c
+            | Some a -> Some (min a c))
+          acc !candidates)
+    None t.entries
+
+(* Run one scheduling round: each alive node runs its runnable,
+   non-parked processes for one quantum and advances its LOCAL clock by
+   the work done.  Nodes therefore progress independently and in
+   parallel; processes sharing a node serialise (and pay context
+   switches).  Returns true if any process made progress. *)
+let round t =
+  let progressed = ref false in
+  Array.iter
+    (fun n ->
+      if n.alive then begin
+        wake_ready t n;
+        let procs =
+          List.filter
+            (fun (e : entry) ->
+              e.node_id = n.node_id && runnable t e
+              && not e.proc.Process.waiting)
+            (List.rev t.entries)
+        in
+        let node_cycles = ref 0 in
+        let ran = ref 0 in
+        List.iter
+          (fun (e : entry) ->
+            let before = e.proc.Process.cycles in
+            (* time base for extern handlers running in this quantum *)
+            t.cur_base <- n.clock +. Arch.seconds n.node_arch !node_cycles;
+            t.cur_cycles0 <- before;
+            let ext = handler t e in
+            let steps = ref t.quantum in
+            while
+              !steps > 0
+              && (match e.proc.Process.status with
+                 | Process.Running -> true
+                 | _ -> false)
+              && not e.proc.Process.waiting
+            do
+              (match e.engine with
+              | Interp_engine -> Interp.step ~extern:ext e.proc
+              | Emu_engine emu -> Emulator.step ~extern:ext emu);
+              decr steps
+            done;
+            (match e.proc.Process.status with
+            | Process.Migrating _ -> handle_migration t e
+            | _ -> ());
+            let delta = e.proc.Process.cycles - before in
+            if delta > 0 || !steps < t.quantum then begin
+              progressed := true;
+              incr ran
+            end;
+            node_cycles := !node_cycles + delta)
+          procs;
+        (* context switches between the processes that shared the node *)
+        if !ran > 1 then
+          node_cycles :=
+            !node_cycles
+            + (!ran * Emulator.context_switch_cycles n.node_arch);
+        let delta_s = Arch.seconds n.node_arch !node_cycles in
+        n.busy_seconds <- n.busy_seconds +. delta_s;
+        n.clock <- n.clock +. delta_s;
+        (* an idle node advances its clock to its next event (a pending
+           delivery or a delayed process start): idle waiting is time
+           passing, and it must pass even while other nodes stay busy *)
+        if !ran = 0 then begin
+          match next_event_on t n with
+          | Some at when at > n.clock ->
+            n.clock <- at;
+            wake_ready t n;
+            progressed := true
+          | Some _ | None -> ()
+        end;
+        Simnet.advance_to t.net n.clock
+      end)
+    t.nodes;
+  !progressed
+
+(* Idle nodes jump their clocks to the next relevant event (a pending
+   delivery or a delayed start).  Returns true if any clock moved. *)
+let idle_advance t =
+  let advanced = ref false in
+  Array.iter
+    (fun n ->
+      if n.alive then begin
+        wake_ready t n;
+        let has_work =
+          List.exists
+            (fun (e : entry) ->
+              e.node_id = n.node_id && runnable t e
+              && not e.proc.Process.waiting)
+            t.entries
+        in
+        if not has_work then
+          match next_event_on t n with
+          | Some at when at > n.clock ->
+            n.clock <- at;
+            Simnet.advance_to t.net n.clock;
+            wake_ready t n;
+            advanced := true
+          | Some _ | None -> ()
+      end)
+    t.nodes;
+  !advanced
+
+(* Run until nothing can make progress anymore or [max_rounds] is hit.
+   [stop] is polled between rounds for driver-controlled termination. *)
+let run ?(max_rounds = 1_000_000) ?(stop = fun () -> false) t =
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_rounds && not (stop ()) do
+    incr rounds;
+    let progressed = round t in
+    if not progressed then
+      if not (idle_advance t) then continue_ := false
+  done;
+  !rounds
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let statuses t =
+  List.rev_map
+    (fun (e : entry) ->
+      ( e.proc.Process.pid,
+        e.rank,
+        e.node_id,
+        e.proc.Process.status ))
+    t.entries
+
+let events t = List.rev t.events
+let migrations t = List.rev t.migrations
+let storage t = t.storage
+let net t = t.net
+let alive_count t =
+  Array.fold_left (fun acc n -> if n.alive then acc + 1 else acc) 0 t.nodes
+
+(* Public wrapper for host-initiated aborts (tests, recovery drivers):
+   roll [pid] back to [level]; the dependency cascade follows from the
+   engine hook. *)
+let abort_speculation ?(code = msg_roll) t ~pid ~level =
+  match entry_of_pid t pid with
+  | None -> ()
+  | Some entry -> (
+    match entry.proc.Process.status with
+    | Process.Running | Process.Migrating _ ->
+      (match entry.proc.Process.status with
+      | Process.Migrating _ -> Process.migration_failed entry.proc
+      | _ -> ());
+      Process.do_rollback entry.proc ~level ~code;
+      entry.proc.Process.waiting <- false
+    | Process.Exited _ | Process.Trapped _ -> ())
+
+let node_count t = Array.length t.nodes
+
+(* Transparent, host-initiated migration of a RUNNING process (the
+   paper's load-balancing / mobile-agent use, Section 7): pack between
+   basic blocks, ship, verify/recompile on the target daemon, terminate
+   the source.  The process never observes the move. *)
+let migrate_running t ~pid ~node_id =
+  match entry_of_pid t pid with
+  | None -> Error (Printf.sprintf "no process %d" pid)
+  | Some entry -> (
+    match entry.proc.Process.status with
+    | Process.Exited _ | Process.Trapped _ | Process.Migrating _ ->
+      Error "process is not running"
+    | Process.Running -> (
+      let src = node t entry.node_id in
+      let target = node t node_id in
+      if not target.alive then Error "target node is down"
+      else if target.node_id = src.node_id then Error "already there"
+      else begin
+        let with_binary =
+          t.trusted && Arch.equal src.node_arch target.node_arch
+        in
+        let packed = Migrate.Pack.pack_running ~with_binary entry.proc in
+        let bytes = String.length packed.Migrate.Pack.p_bytes in
+        let pack_s = pack_seconds entry.proc in
+        let transfer_s = Simnet.transfer_seconds t.net bytes in
+        Simnet.record_transfer t.net bytes;
+        match Migrate.Server.handle target.daemon packed.Migrate.Pack.p_bytes
+        with
+        | Error msg ->
+          (* failure is invisible: the process keeps running where it is *)
+          record_migration t
+            { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
+              mr_pack_s = pack_s; mr_transfer_s = transfer_s;
+              mr_compile_s = 0.0; mr_ok = false };
+          Error msg
+        | Ok outcome ->
+          let old_uids = Spec.Engine.unique_ids entry.proc.Process.spec in
+          let compile_s =
+            Arch.seconds target.node_arch
+              outcome.Migrate.Server.o_costs.Migrate.Pack.u_compile_cycles
+          in
+          let new_pid = t.next_pid in
+          t.next_pid <- t.next_pid + 1;
+          let new_proc =
+            { outcome.Migrate.Server.o_process with Process.pid = new_pid }
+          in
+          let new_entry =
+            {
+              proc = new_proc;
+              engine =
+                Emu_engine
+                  (Emulator.create outcome.Migrate.Server.o_masm new_proc);
+              node_id = target.node_id;
+              mailbox = entry.mailbox;
+              rank = entry.rank;
+              start_at =
+                max target.clock (src.clock +. pack_s +. transfer_s)
+                +. compile_s;
+              parked_on = None;
+            }
+          in
+          entry.proc.Process.status <- Process.Exited 0;
+          register_entry t new_entry;
+          rekey_identity t ~old_pid:pid ~new_pid
+            ~uid_map:
+              (List.combine old_uids
+                 (Spec.Engine.unique_ids new_proc.Process.spec));
+          src.busy_seconds <- src.busy_seconds +. pack_s;
+          target.busy_seconds <- target.busy_seconds +. compile_s;
+          record_migration t
+            { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
+              mr_pack_s = pack_s; mr_transfer_s = transfer_s;
+              mr_compile_s = compile_s; mr_ok = true };
+          log t
+            "pid %d transparently migrated %s -> %s (%d bytes, new pid %d)"
+            pid src.node_name target.node_name bytes new_pid;
+          Ok new_pid
+      end))

@@ -1,0 +1,136 @@
+(** The simulated cluster (paper, Sections 2 and 5).
+
+    Nodes — each with a local clock, an architecture, and a migration
+    daemon — host processes, exchange rank-addressed messages, share
+    reliable storage, and fail on command.  The cluster implements the
+    three migration protocols end-to-end, resurrection from checkpoint
+    files, and the distributed speculation-join cascade: a process that
+    consumed a speculative message is rolled back when the sender's
+    speculation aborts (including the sender dying with its node).
+
+    Scheduling is a conservative discrete-event simulation: each node's
+    clock advances with the work its processes do; idle nodes jump to
+    their next event; processes sharing a node serialise and pay context
+    switches. *)
+
+open Vm
+
+type engine = Interp_engine | Emu_engine of Emulator.t
+
+type entry = {
+  proc : Process.t;
+  mutable engine : engine;
+  mutable node_id : int;
+  mailbox : Mpi.mailbox;
+  mutable rank : int option;
+  mutable start_at : float;  (** not schedulable before this (node) time *)
+  mutable parked_on : (int * int) option;
+      (** (src rank, tag) of the last unsuccessful poll *)
+}
+
+type node = {
+  node_id : int;
+  node_name : string;
+  node_arch : Arch.t;
+  mutable alive : bool;
+  daemon : Migrate.Server.t;
+  mutable busy_seconds : float;
+  mutable clock : float;  (** local simulated clock (busy + idle) *)
+}
+
+type migration_record = {
+  mr_kind : [ `Migrate | `Suspend | `Checkpoint ];
+  mr_pid : int;
+  mr_bytes : int;
+  mr_pack_s : float;
+  mr_transfer_s : float;
+  mr_compile_s : float;
+  mr_ok : bool;
+}
+
+type t
+
+val msg_none : int
+val msg_roll : int
+
+val create :
+  ?node_count:int -> ?arches:Arch.t array -> ?trusted:bool ->
+  ?quantum:int -> ?seed:int -> ?net:Simnet.t -> unit -> t
+(** A cluster of [node_count] nodes named [node0..]; architectures are
+    assigned round-robin from [arches].  [trusted] enables the binary
+    fast path for inter-node migration. *)
+
+val node : t -> int -> node
+val node_count : t -> int
+val node_by_name : t -> string -> node option
+val entry_of_pid : t -> int -> entry option
+val entry_of_rank : t -> int -> entry option
+val alive_count : t -> int
+
+val now : t -> float
+(** Cluster-wide time: the farthest node clock. *)
+
+val extern_signatures : Fir.Typecheck.extern_lookup
+(** The cluster's extern set (messaging, object store) on top of the
+    base runtime's — what cluster programs are strictly typechecked
+    against, including by the migration daemons. *)
+
+(** {2 The fault-injected object store (Figure 1)} *)
+
+val set_object : t -> int -> string -> unit
+val get_object : t -> int -> string option
+val set_object_failure_probability : t -> float -> unit
+
+(** {2 Placement and execution} *)
+
+val spawn :
+  ?rank:int -> ?engine:[ `Interp | `Masm ] -> ?seed:int ->
+  t -> node_id:int -> Fir.Ast.program -> int
+(** Compile (for [`Masm]) and place a process; returns its pid. *)
+
+val run : ?max_rounds:int -> ?stop:(unit -> bool) -> t -> int
+(** Schedule until quiescent, stopped, or out of rounds; returns the
+    number of rounds executed. *)
+
+(** {2 Failure and recovery} *)
+
+val fail_node : t -> int -> unit
+(** Kill a node: resident processes die, their speculations' dependents
+    are rolled back, and survivors polling the dead ranks observe
+    MSG_ROLL. *)
+
+val resurrect :
+  ?rank:int -> ?seed:int -> t -> node_id:int -> path:string ->
+  (int, string) result
+(** Execute a checkpoint image from shared storage on a live node (the
+    resurrection daemon of Figure 2); same-architecture resurrections
+    take the binary fast path.  Returns the new pid.
+
+    A checkpoint taken mid-speculation restores the process's LOCAL
+    speculation state; cross-process dependency edges are not restored
+    across death (live migration re-keys them, see {!migrate_running}).
+    The paper's protocol commits before every checkpoint, so its
+    canonical application never checkpoints inside a speculation that
+    other processes depend on. *)
+
+val abort_speculation : ?code:int -> t -> pid:int -> level:int -> unit
+(** Host-initiated rollback; the dependency cascade follows. *)
+
+val migrate_running : t -> pid:int -> node_id:int -> (int, string) result
+(** Transparently migrate a RUNNING process to another node (the paper's
+    load-balancing / mobile-agent use): packed between basic blocks,
+    verified and recompiled by the target's daemon.  The process cannot
+    observe the move; on failure it keeps running where it was.  Returns
+    the successor's pid. *)
+
+(** {2 Introspection} *)
+
+val statuses : t -> (int * int option * int * Process.status) list
+(** (pid, rank, node, status) for every process ever placed. *)
+
+val events : t -> string list
+(** The cluster event log, oldest first. *)
+
+val migrations : t -> migration_record list
+val storage : t -> Storage.t
+val net : t -> Simnet.t

@@ -1,0 +1,106 @@
+(* The customized message-passing interface used by distributed MCC
+   applications (paper, Section 2: border exchange "done using a
+   customized message passing interface").
+
+   Processes address each other by RANK (stable across migration and
+   resurrection), not pid.  Payloads are copied by value between heaps —
+   heaps never share references, so migration of either end never
+   invalidates a message.
+
+   Speculation join: a message sent from inside an uncommitted speculation
+   carries the sending level's identity.  A receiver that consumes such a
+   message becomes dependent on that speculation — if the sender rolls
+   back, the receiver must roll back too (the paper's relaxation of the
+   transactional Isolation property).  The cluster maintains the
+   dependency registry and performs the cascade.
+
+   Receive results (returned to FIR code from msg_try_recv):
+   - n >= 0   : n cells copied into the buffer
+   - MSG_NONE : nothing available yet (poll again / park)
+   - MSG_ROLL : the peer failed or rolled back; the caller is expected to
+                abort its current speculation and retry (Figure 2). *)
+
+open Runtime
+
+let msg_none = -1
+let msg_roll = -2
+
+type message = {
+  msg_src_rank : int;
+  msg_src_pid : int;
+  msg_tag : int;
+  msg_payload : Value.t array;
+  msg_deliver_at : float; (* simulated arrival time *)
+  msg_spec : (int * int) option; (* (sender pid, sender level unique id) *)
+}
+
+type mailbox = {
+  mutable queue : message list; (* oldest first *)
+  (* ranks whose failure/rollback the owner has not yet observed *)
+  roll_notices : (int, unit) Hashtbl.t;
+}
+
+let create_mailbox () = { queue = []; roll_notices = Hashtbl.create 4 }
+
+let enqueue mbox msg = mbox.queue <- mbox.queue @ [ msg ]
+
+let post_roll_notice mbox ~src_rank =
+  Hashtbl.replace mbox.roll_notices src_rank ()
+
+let clear_roll_notice mbox ~src_rank = Hashtbl.remove mbox.roll_notices src_rank
+
+let has_roll_notice mbox ~src_rank = Hashtbl.mem mbox.roll_notices src_rank
+
+(* Take the first delivered message matching (src_rank, tag).  A pending
+   roll notice from that rank takes priority and is consumed. *)
+type recv_result =
+  | Received of message
+  | Roll
+  | None_yet
+
+let try_recv mbox ~now ~src_rank ~tag =
+  if has_roll_notice mbox ~src_rank then begin
+    clear_roll_notice mbox ~src_rank;
+    Roll
+  end
+  else
+    let rec split acc = function
+      | [] -> None_yet
+      | m :: rest ->
+        if
+          m.msg_src_rank = src_rank && m.msg_tag = tag
+          && m.msg_deliver_at <= now
+        then begin
+          mbox.queue <- List.rev_append acc rest;
+          Received m
+        end
+        else split (m :: acc) rest
+    in
+    split [] mbox.queue
+
+(* Discard queued messages that originated from any of the given
+   speculation level uids (used when the sender rolls back: its
+   speculative messages must be unsent). *)
+let discard_speculative mbox ~uids ~sender_pid =
+  let dropped = ref 0 in
+  mbox.queue <-
+    List.filter
+      (fun m ->
+        match m.msg_spec with
+        | Some (pid, uid) when pid = sender_pid && List.mem uid uids ->
+          incr dropped;
+          false
+        | Some _ | None -> true)
+      mbox.queue;
+  !dropped
+
+(* Earliest pending delivery time, for the scheduler's idle-time skip. *)
+let next_delivery mbox =
+  List.fold_left
+    (fun acc m ->
+      match acc with
+      | None -> Some m.msg_deliver_at
+      | Some t -> Some (min t m.msg_deliver_at))
+    None mbox.queue
+
+let pending mbox = List.length mbox.queue

@@ -1,0 +1,56 @@
+(** The customized message-passing interface used by distributed MCC
+    applications (paper, Section 2).
+
+    Processes address each other by RANK; payloads are copied by value
+    between heaps.  A message sent from inside an uncommitted speculation
+    carries the sending level's identity — a receiver that consumes it
+    joins that speculation (the paper's relaxation of Isolation), and the
+    cluster rolls them back together.
+
+    Receive results surfaced to FIR code: [n >= 0] cells copied,
+    {!msg_none} (nothing yet), or {!msg_roll} (the peer failed or rolled
+    back: abort your speculation and retry, as in Figure 2). *)
+
+open Runtime
+
+val msg_none : int
+(** The "nothing available" receive code (-1). *)
+
+val msg_roll : int
+(** The MSG_ROLL receive code (-2). *)
+
+type message = {
+  msg_src_rank : int;
+  msg_src_pid : int;
+  msg_tag : int;
+  msg_payload : Value.t array;
+  msg_deliver_at : float;  (** simulated arrival time *)
+  msg_spec : (int * int) option;
+      (** (sender pid, sender level unique id) when speculative *)
+}
+
+type mailbox = {
+  mutable queue : message list;  (** oldest first *)
+  roll_notices : (int, unit) Hashtbl.t;
+      (** source ranks whose failure/rollback is not yet observed *)
+}
+
+val create_mailbox : unit -> mailbox
+val enqueue : mailbox -> message -> unit
+val post_roll_notice : mailbox -> src_rank:int -> unit
+val clear_roll_notice : mailbox -> src_rank:int -> unit
+val has_roll_notice : mailbox -> src_rank:int -> bool
+
+type recv_result = Received of message | Roll | None_yet
+
+val try_recv : mailbox -> now:float -> src_rank:int -> tag:int -> recv_result
+(** First delivered message matching (src, tag); a pending roll notice
+    from that source takes priority and is consumed. *)
+
+val discard_speculative : mailbox -> uids:int list -> sender_pid:int -> int
+(** Drop queued messages originating from the given speculation levels
+    (the sender rolled back: its speculative messages are unsent).
+    Returns the number dropped. *)
+
+val next_delivery : mailbox -> float option
+val pending : mailbox -> int

@@ -1,0 +1,57 @@
+(* The simulated cluster network.
+
+   Stands in for the paper's testbed interconnect (100 Mbps Ethernet,
+   Section 5) with a deterministic cost model: a TCP-like connection setup
+   charge, a propagation latency, and a bandwidth term proportional to the
+   payload.  The migration experiments (E1a/E1b) report the transfer
+   component of migration through this model, so the paper's observed
+   fractions (~10 % of FIR migration, ~30 % of binary migration) are a
+   function of image size and recompilation cost rather than hard-coded.
+
+   The network also owns the simulated clock.  Time is advanced by the
+   cluster scheduler; message deliveries are timestamped against it. *)
+
+type t = {
+  mutable now : float; (* simulated seconds *)
+  bandwidth_bps : float;
+  latency_s : float; (* one-way propagation *)
+  connect_s : float; (* connection establishment *)
+  mutable bytes_sent : int;
+  mutable messages_sent : int;
+  mutable transfers : int; (* bulk transfers (migrations, checkpoints) *)
+}
+
+(* Defaults match the paper's testbed scale: 100 Mbps, sub-millisecond
+   LAN latency, ~1 ms TCP connection establishment. *)
+let create ?(bandwidth_mbps = 100.0) ?(latency_us = 200.0)
+    ?(connect_ms = 1.0) () =
+  {
+    now = 0.0;
+    bandwidth_bps = bandwidth_mbps *. 1e6;
+    latency_s = latency_us *. 1e-6;
+    connect_s = connect_ms *. 1e-3;
+    bytes_sent = 0;
+    messages_sent = 0;
+    transfers = 0;
+  }
+
+let now t = t.now
+let advance t dt = if dt > 0.0 then t.now <- t.now +. dt
+let advance_to t time = if time > t.now then t.now <- time
+
+(* Cost of a bulk transfer (new connection): setup + latency + serialization
+   onto the wire. *)
+let transfer_seconds t bytes =
+  t.connect_s +. t.latency_s +. (float_of_int (8 * bytes) /. t.bandwidth_bps)
+
+(* Cost of a small message on an established channel: latency + wire time. *)
+let message_seconds t bytes =
+  t.latency_s +. (float_of_int (8 * bytes) /. t.bandwidth_bps)
+
+let record_transfer t bytes =
+  t.bytes_sent <- t.bytes_sent + bytes;
+  t.transfers <- t.transfers + 1
+
+let record_message t bytes =
+  t.bytes_sent <- t.bytes_sent + bytes;
+  t.messages_sent <- t.messages_sent + 1

@@ -1,0 +1,28 @@
+(** The simulated cluster network (paper, Section 5 testbed: 100 Mbps
+    Ethernet).  A deterministic cost model — TCP-like connection setup,
+    propagation latency, bandwidth — plus traffic counters and a
+    monotonic event floor used for log timestamps. *)
+
+type t
+
+val create :
+  ?bandwidth_mbps:float -> ?latency_us:float -> ?connect_ms:float ->
+  unit -> t
+(** Defaults: 100 Mbps, 200 µs one-way latency, 1 ms connection setup. *)
+
+val now : t -> float
+val advance : t -> float -> unit
+(** Move the event floor forward by a (non-negative) delta. *)
+
+val advance_to : t -> float -> unit
+(** Move the event floor forward to a time (never backwards). *)
+
+val transfer_seconds : t -> int -> float
+(** Cost of a bulk transfer on a new connection (migrations,
+    checkpoints): setup + latency + wire time for the byte count. *)
+
+val message_seconds : t -> int -> float
+(** Cost of a small message on an established channel. *)
+
+val record_transfer : t -> int -> unit
+val record_message : t -> int -> unit

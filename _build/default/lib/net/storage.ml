@@ -1,0 +1,39 @@
+(* Reliable shared storage.
+
+   Stands in for the paper's "NFS mount point visible across the entire
+   cluster" that provides the reliable distributed storage medium needed
+   for real fault tolerance (Section 2): checkpoint files written here
+   survive any node failure.  Reads and writes are charged network
+   transfer time through the simulated network. *)
+
+type t = {
+  files : (string, string) Hashtbl.t;
+  net : Simnet.t;
+  mutable writes : int;
+  mutable reads : int;
+  mutable bytes_written : int;
+}
+
+let create net =
+  { files = Hashtbl.create 16; net; writes = 0; reads = 0; bytes_written = 0 }
+
+(* Returns the simulated seconds the operation took. *)
+let write t path data =
+  Hashtbl.replace t.files path data;
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + String.length data;
+  Simnet.record_transfer t.net (String.length data);
+  Simnet.transfer_seconds t.net (String.length data)
+
+let read t path =
+  match Hashtbl.find_opt t.files path with
+  | Some data ->
+    t.reads <- t.reads + 1;
+    Simnet.record_transfer t.net (String.length data);
+    Some (data, Simnet.transfer_seconds t.net (String.length data))
+  | None -> None
+
+let exists t path = Hashtbl.mem t.files path
+let remove t path = Hashtbl.remove t.files path
+let list t = Hashtbl.fold (fun path _ acc -> path :: acc) t.files []
+let size t path = Option.map String.length (Hashtbl.find_opt t.files path)

@@ -1,0 +1,19 @@
+(** Reliable shared storage — the paper's "NFS mount point visible across
+    the entire cluster" that checkpoint files survive node failures on.
+    Operations are charged network transfer time. *)
+
+type t
+
+val create : Simnet.t -> t
+
+val write : t -> string -> string -> float
+(** [write t path data] stores [data] and returns the simulated seconds
+    the write took. *)
+
+val read : t -> string -> (string * float) option
+(** Contents and simulated read time, or [None]. *)
+
+val exists : t -> string -> bool
+val remove : t -> string -> unit
+val list : t -> string list
+val size : t -> string -> int option

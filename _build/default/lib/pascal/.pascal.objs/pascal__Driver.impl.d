@@ -1,0 +1,1 @@
+lib/pascal/driver.ml: Lexer Minic Parser Printf String Translate

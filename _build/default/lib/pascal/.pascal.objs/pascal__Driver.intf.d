@@ -1,0 +1,1 @@
+lib/pascal/driver.mli: Fir

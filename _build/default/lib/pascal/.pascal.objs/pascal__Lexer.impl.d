@@ -1,0 +1,1 @@
+lib/pascal/lexer.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/pascal/lexer.mli: Ast

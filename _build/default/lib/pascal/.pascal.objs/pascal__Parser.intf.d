@@ -1,0 +1,1 @@
+lib/pascal/parser.mli: Ast

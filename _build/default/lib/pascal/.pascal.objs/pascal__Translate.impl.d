@@ -1,0 +1,1 @@
+lib/pascal/translate.ml: Ast Hashtbl List Minic Printf String

@@ -1,0 +1,1 @@
+lib/pascal/translate.mli: Ast Minic

@@ -1,0 +1,72 @@
+(* Mini-Pascal abstract syntax.
+
+   The third front-end (paper, Section 3: MCC compiles C, Pascal, ML and
+   Java): a classic Pascal subset — integer/real/boolean, static arrays,
+   value parameters, function-name result assignment, if/while/for,
+   write/writeln — plus the MCC primitives speculate/commit/abort/migrate
+   as predefined routines.
+
+   Subset notes (documented deviations):
+   - program-level variables are visible only in the main block (nested
+     routines do not capture globals);
+   - no nested routines, records, sets, or pointers;
+   - array bounds are [0 .. N-1] (lower bound 0). *)
+
+type pty =
+  | Pinteger
+  | Preal
+  | Pboolean
+  | Parray of int * pty (* length, element type — static, 0-based *)
+  | Popen_array of pty (* open array parameter *)
+
+let rec pty_to_string = function
+  | Pinteger -> "integer"
+  | Preal -> "real"
+  | Pboolean -> "boolean"
+  | Parray (n, t) -> Printf.sprintf "array[0..%d] of %s" (n - 1) (pty_to_string t)
+  | Popen_array t -> Printf.sprintf "array of %s" (pty_to_string t)
+
+type pos = { line : int; col : int }
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Eint of int
+  | Ereal of float
+  | Ebool of bool
+  | Estring of string (* only as write/writeln/migrate arguments *)
+  | Evar of string
+  | Eindex of string * expr
+  | Ebinop of string * expr * expr (* + - * / div mod = <> < <= > >= and or *)
+  | Eunop of string * expr (* - not *)
+  | Ecall of string * expr list
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sassign of string * expr
+  | Sindex_assign of string * expr * expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sfor of string * expr * [ `To | `Downto ] * expr * stmt
+  | Scompound of stmt list
+  | Scall of string * expr list
+  | Swrite of bool * expr list (* newline?, arguments *)
+
+type vardecl = { vd_names : string list; vd_ty : pty; vd_pos : pos }
+
+type routine = {
+  r_name : string;
+  r_params : (string * pty) list;
+  r_result : pty option; (* None = procedure *)
+  r_vars : vardecl list;
+  r_body : stmt;
+  r_pos : pos;
+}
+
+type program = {
+  p_name : string;
+  p_vars : vardecl list;
+  p_routines : routine list;
+  p_body : stmt;
+}

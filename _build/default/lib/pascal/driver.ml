@@ -1,0 +1,49 @@
+(* Mini-Pascal compiler driver: source -> Pascal AST -> mini-C AST ->
+   verified FIR.  The heavy lifting (typechecked lowering to CPS, FIR
+   verification and optimization) is shared with the mini-C pipeline. *)
+
+type error = {
+  err_phase : [ `Lex | `Parse | `Translate | `C ];
+  err_msg : string;
+}
+
+let error_to_string e =
+  let phase =
+    match e.err_phase with
+    | `Lex -> "lexical error"
+    | `Parse -> "syntax error"
+    | `Translate -> "error"
+    | `C -> "internal translation error"
+  in
+  Printf.sprintf "%s: %s" phase e.err_msg
+
+let compile ?(optimize = true) src =
+  match
+    let ast =
+      try Parser.parse_program src with
+      | Lexer.Lex_error m -> raise (Failure ("L" ^ m))
+      | Parser.Parse_error m -> raise (Failure ("P" ^ m))
+    in
+    let cast =
+      try Translate.tr_program ast
+      with Translate.Error m -> raise (Failure ("T" ^ m))
+    in
+    match Minic.Driver.compile_ast ~optimize cast with
+    | Ok fir -> fir
+    | Error e -> raise (Failure ("C" ^ Minic.Driver.error_to_string e))
+  with
+  | fir -> Ok fir
+  | exception Failure m ->
+    let phase =
+      match m.[0] with
+      | 'L' -> `Lex
+      | 'P' -> `Parse
+      | 'T' -> `Translate
+      | _ -> `C
+    in
+    Error { err_phase = phase; err_msg = String.sub m 1 (String.length m - 1) }
+
+let compile_exn ?optimize src =
+  match compile ?optimize src with
+  | Ok fir -> fir
+  | Error e -> failwith (error_to_string e)

@@ -1,0 +1,17 @@
+(** The mini-Pascal compiler driver: source -> Pascal AST -> mini-C AST ->
+    verified FIR.
+
+    The fourth-language demonstration (paper, Section 3: MCC compiles C,
+    Pascal, ML and Java): Pascal programs — with the MCC primitives
+    [speculate]/[commit]/[abort]/[migrate] as predefined routines — run
+    on the same runtime and migrate through the same machinery as the
+    other front-ends. *)
+
+type error = {
+  err_phase : [ `Lex | `Parse | `Translate | `C ];
+  err_msg : string;
+}
+
+val error_to_string : error -> string
+val compile : ?optimize:bool -> string -> (Fir.Ast.program, error) result
+val compile_exn : ?optimize:bool -> string -> Fir.Ast.program

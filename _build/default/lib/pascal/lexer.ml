@@ -1,0 +1,149 @@
+(* Mini-Pascal lexer: case-insensitive keywords, (* ... *) and { ... }
+   comments, '...' string literals with '' escapes. *)
+
+exception Lex_error of string
+
+type token =
+  | Tident of string (* lower-cased *)
+  | Tint of int
+  | Treal of float
+  | Tstring of string
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+type lexed = { tok : token; tpos : Ast.pos }
+
+let keywords =
+  [ "program"; "var"; "begin"; "end"; "if"; "then"; "else"; "while"; "do";
+    "for"; "to"; "downto"; "function"; "procedure"; "of"; "array"; "div";
+    "mod"; "and"; "or"; "not"; "true"; "false"; "integer"; "real";
+    "boolean" ]
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let err msg =
+    raise (Lex_error (Printf.sprintf "%d:%d: %s" !line !col msg))
+  in
+  let advance () =
+    (if src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  let emit tok tpos = toks := { tok; tpos } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = { Ast.line = !line; col = !col } in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '{' then begin
+      (* { comment } *)
+      advance ();
+      while !i < n && src.[!i] <> '}' do
+        advance ()
+      done;
+      if !i >= n then err "unterminated { comment"
+      else advance ()
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then err "unterminated (* comment"
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = src.[!i] in
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      do
+        advance ()
+      done;
+      let word = String.lowercase_ascii (String.sub src start (!i - start)) in
+      if List.mem word keywords then emit (Tkw word) pos
+      else emit (Tident word) pos
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        advance ()
+      done;
+      (* a real needs a digit after the dot; '..' is a range *)
+      if
+        !i + 1 < n && src.[!i] = '.'
+        && src.[!i + 1] >= '0'
+        && src.[!i + 1] <= '9'
+      then begin
+        advance ();
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+          advance ()
+        done;
+        emit (Treal (float_of_string (String.sub src start (!i - start)))) pos
+      end
+      else emit (Tint (int_of_string (String.sub src start (!i - start)))) pos
+    end
+    else if c = '\'' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            advance ();
+            advance ()
+          end
+          else begin
+            advance ();
+            closed := true
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          advance ()
+        end
+      done;
+      if not !closed then err "unterminated string";
+      emit (Tstring (Buffer.contents buf)) pos
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      if List.mem two [ ":="; "<="; ">="; "<>"; ".." ] then begin
+        advance ();
+        advance ();
+        emit (Tpunct two) pos
+      end
+      else if String.contains "+-*/=<>()[];,.:" c then begin
+        advance ();
+        emit (Tpunct (String.make 1 c)) pos
+      end
+      else err (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev ({ tok = Teof; tpos = { Ast.line = !line; col = !col } } :: !toks)
+
+let token_to_string = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tint n -> Printf.sprintf "integer %d" n
+  | Treal f -> Printf.sprintf "real %g" f
+  | Tstring s -> Printf.sprintf "string %S" s
+  | Tkw s -> Printf.sprintf "keyword %S" s
+  | Tpunct s -> Printf.sprintf "%S" s
+  | Teof -> "end of input"

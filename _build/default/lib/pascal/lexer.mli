@@ -1,0 +1,18 @@
+(** Mini-Pascal lexer: case-insensitive keywords, both Pascal comment
+    styles, ['...'] string literals with [''] escapes. *)
+
+exception Lex_error of string
+
+type token =
+  | Tident of string  (** lower-cased *)
+  | Tint of int
+  | Treal of float
+  | Tstring of string
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+type lexed = { tok : token; tpos : Ast.pos }
+
+val tokenize : string -> lexed list
+val token_to_string : token -> string

@@ -1,0 +1,368 @@
+(* Mini-Pascal recursive-descent parser. *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.lexed list }
+
+let err pos fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise (Parse_error (Printf.sprintf "%d:%d: %s" pos.line pos.col s)))
+    fmt
+
+let peek st = match st.toks with t :: _ -> t | [] -> assert false
+let advance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_punct st s =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tpunct p when String.equal p s -> ()
+  | tok ->
+    err t.Lexer.tpos "expected %S, found %s" s (Lexer.token_to_string tok)
+
+let expect_kw st s =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tkw k when String.equal k s -> ()
+  | tok ->
+    err t.Lexer.tpos "expected %S, found %s" s (Lexer.token_to_string tok)
+
+let accept_punct st s =
+  match (peek st).Lexer.tok with
+  | Lexer.Tpunct p when String.equal p s ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st s =
+  match (peek st).Lexer.tok with
+  | Lexer.Tkw k when String.equal k s ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tident x -> x
+  | tok ->
+    err t.Lexer.tpos "expected an identifier, found %s"
+      (Lexer.token_to_string tok)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_ty st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tkw "integer" -> Pinteger
+  | Lexer.Tkw "real" -> Preal
+  | Lexer.Tkw "boolean" -> Pboolean
+  | Lexer.Tkw "array" ->
+    if accept_punct st "[" then begin
+      (* array[0..N] of T — inclusive upper bound, 0-based *)
+      let lo =
+        match (next st).Lexer.tok with
+        | Lexer.Tint n -> n
+        | tok ->
+          err t.Lexer.tpos "expected a bound, found %s"
+            (Lexer.token_to_string tok)
+      in
+      expect_punct st "..";
+      let hi =
+        match (next st).Lexer.tok with
+        | Lexer.Tint n -> n
+        | tok ->
+          err t.Lexer.tpos "expected a bound, found %s"
+            (Lexer.token_to_string tok)
+      in
+      expect_punct st "]";
+      expect_kw st "of";
+      if lo <> 0 then err t.Lexer.tpos "array lower bound must be 0";
+      if hi < lo then err t.Lexer.tpos "empty array range";
+      Parray (hi + 1, parse_ty st)
+    end
+    else begin
+      (* open array parameter: array of T *)
+      expect_kw st "of";
+      Popen_array (parse_ty st)
+    end
+  | tok ->
+    err t.Lexer.tpos "expected a type, found %s" (Lexer.token_to_string tok)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: relational < additive < multiplicative < unary < atom  *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st =
+  let lhs = parse_additive st in
+  match (peek st).Lexer.tok with
+  | Lexer.Tpunct (("=" | "<" | "<=" | ">" | ">=" | "<>") as op) ->
+    let pos = (peek st).Lexer.tpos in
+    advance st;
+    { e = Ebinop (op, lhs, parse_additive st); epos = pos }
+  | _ -> lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let t = peek st in
+    match t.Lexer.tok with
+    | Lexer.Tpunct (("+" | "-") as op) ->
+      advance st;
+      lhs := { e = Ebinop (op, !lhs, parse_multiplicative st);
+               epos = t.Lexer.tpos }
+    | Lexer.Tkw "or" ->
+      advance st;
+      lhs := { e = Ebinop ("or", !lhs, parse_multiplicative st);
+               epos = t.Lexer.tpos }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let t = peek st in
+    match t.Lexer.tok with
+    | Lexer.Tpunct (("*" | "/") as op) ->
+      advance st;
+      lhs := { e = Ebinop (op, !lhs, parse_unary st); epos = t.Lexer.tpos }
+    | Lexer.Tkw (("div" | "mod" | "and") as op) ->
+      advance st;
+      lhs := { e = Ebinop (op, !lhs, parse_unary st); epos = t.Lexer.tpos }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.Tpunct "-" ->
+    advance st;
+    { e = Eunop ("-", parse_unary st); epos = t.Lexer.tpos }
+  | Lexer.Tkw "not" ->
+    advance st;
+    { e = Eunop ("not", parse_unary st); epos = t.Lexer.tpos }
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Tint n -> { e = Eint n; epos = t.Lexer.tpos }
+  | Lexer.Treal f -> { e = Ereal f; epos = t.Lexer.tpos }
+  | Lexer.Tstring s -> { e = Estring s; epos = t.Lexer.tpos }
+  | Lexer.Tkw "true" -> { e = Ebool true; epos = t.Lexer.tpos }
+  | Lexer.Tkw "false" -> { e = Ebool false; epos = t.Lexer.tpos }
+  | Lexer.Tident x ->
+    if accept_punct st "(" then begin
+      let args = parse_args st in
+      { e = Ecall (x, args); epos = t.Lexer.tpos }
+    end
+    else if accept_punct st "[" then begin
+      let idx = parse_expr st in
+      expect_punct st "]";
+      { e = Eindex (x, idx); epos = t.Lexer.tpos }
+    end
+    else { e = Evar x; epos = t.Lexer.tpos }
+  | Lexer.Tpunct "(" ->
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | tok ->
+    err t.Lexer.tpos "expected an expression, found %s"
+      (Lexer.token_to_string tok)
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else
+    let rec more acc =
+      let acc = parse_expr st :: acc in
+      if accept_punct st "," then more acc
+      else begin
+        expect_punct st ")";
+        List.rev acc
+      end
+    in
+    more []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st =
+  let t = peek st in
+  let pos = t.Lexer.tpos in
+  match t.Lexer.tok with
+  | Lexer.Tkw "begin" ->
+    advance st;
+    let rec stmts acc =
+      if accept_kw st "end" then List.rev acc
+      else begin
+        let s = parse_stmt st in
+        if accept_punct st ";" then stmts (s :: acc)
+        else begin
+          expect_kw st "end";
+          List.rev (s :: acc)
+        end
+      end
+    in
+    { s = Scompound (stmts []); spos = pos }
+  | Lexer.Tkw "if" ->
+    advance st;
+    let cond = parse_expr st in
+    expect_kw st "then";
+    let thn = parse_stmt st in
+    let els = if accept_kw st "else" then Some (parse_stmt st) else None in
+    { s = Sif (cond, thn, els); spos = pos }
+  | Lexer.Tkw "while" ->
+    advance st;
+    let cond = parse_expr st in
+    expect_kw st "do";
+    { s = Swhile (cond, parse_stmt st); spos = pos }
+  | Lexer.Tkw "for" ->
+    advance st;
+    let v = expect_ident st in
+    expect_punct st ":=";
+    let lo = parse_expr st in
+    let dir =
+      if accept_kw st "to" then `To
+      else begin
+        expect_kw st "downto";
+        `Downto
+      end
+    in
+    let hi = parse_expr st in
+    expect_kw st "do";
+    { s = Sfor (v, lo, dir, hi, parse_stmt st); spos = pos }
+  | Lexer.Tident name -> (
+    advance st;
+    match (peek st).Lexer.tok with
+    | Lexer.Tpunct ":=" ->
+      advance st;
+      { s = Sassign (name, parse_expr st); spos = pos }
+    | Lexer.Tpunct "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      expect_punct st ":=";
+      { s = Sindex_assign (name, idx, parse_expr st); spos = pos }
+    | Lexer.Tpunct "(" -> (
+      advance st;
+      let args = parse_args st in
+      match name with
+      | "write" -> { s = Swrite (false, args); spos = pos }
+      | "writeln" -> { s = Swrite (true, args); spos = pos }
+      | _ -> { s = Scall (name, args); spos = pos })
+    | _ ->
+      if String.equal name "writeln" then
+        { s = Swrite (true, []); spos = pos }
+      else { s = Scall (name, []); spos = pos })
+  | tok ->
+    err pos "expected a statement, found %s" (Lexer.token_to_string tok)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_var_block st =
+  (* var a, b: integer; c: real; ... — ends when the next token is not an
+     identifier *)
+  let rec decls acc =
+    match (peek st).Lexer.tok with
+    | Lexer.Tident _ ->
+      let pos = (peek st).Lexer.tpos in
+      let rec names acc =
+        let n = expect_ident st in
+        if accept_punct st "," then names (n :: acc) else List.rev (n :: acc)
+      in
+      let vd_names = names [] in
+      expect_punct st ":";
+      let vd_ty = parse_ty st in
+      expect_punct st ";";
+      decls ({ vd_names; vd_ty; vd_pos = pos } :: acc)
+    | _ -> List.rev acc
+  in
+  decls []
+
+let parse_routine st =
+  let pos = (peek st).Lexer.tpos in
+  let is_function = accept_kw st "function" in
+  if not is_function then expect_kw st "procedure";
+  let name = expect_ident st in
+  let params =
+    if accept_punct st "(" then begin
+      if accept_punct st ")" then []
+      else begin
+        let rec groups acc =
+          let rec names acc =
+            let n = expect_ident st in
+            if accept_punct st "," then names (n :: acc)
+            else List.rev (n :: acc)
+          in
+          let ns = names [] in
+          expect_punct st ":";
+          let ty = parse_ty st in
+          let acc = acc @ List.map (fun n -> n, ty) ns in
+          if accept_punct st ";" then groups acc
+          else begin
+            expect_punct st ")";
+            acc
+          end
+        in
+        groups []
+      end
+    end
+    else []
+  in
+  let result =
+    if is_function then begin
+      expect_punct st ":";
+      let t = parse_ty st in
+      Some t
+    end
+    else None
+  in
+  expect_punct st ";";
+  let vars = if accept_kw st "var" then parse_var_block st else [] in
+  let body = parse_stmt st in
+  expect_punct st ";";
+  {
+    r_name = name;
+    r_params = params;
+    r_result = result;
+    r_vars = vars;
+    r_body = body;
+    r_pos = pos;
+  }
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  expect_kw st "program";
+  let p_name = expect_ident st in
+  expect_punct st ";";
+  let p_vars = if accept_kw st "var" then parse_var_block st else [] in
+  let rec routines acc =
+    match (peek st).Lexer.tok with
+    | Lexer.Tkw ("function" | "procedure") ->
+      routines (parse_routine st :: acc)
+    | _ -> List.rev acc
+  in
+  let p_routines = routines [] in
+  let p_body = parse_stmt st in
+  expect_punct st ".";
+  (match (peek st).Lexer.tok with
+  | Lexer.Teof -> ()
+  | tok ->
+    err (peek st).Lexer.tpos "trailing input: %s" (Lexer.token_to_string tok));
+  { p_name; p_vars; p_routines; p_body }

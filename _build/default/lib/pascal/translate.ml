@@ -1,0 +1,561 @@
+(* Mini-Pascal -> mini-C translation.
+
+   The Pascal front-end reuses the C pipeline below the surface syntax:
+   it types the Pascal program (inserting the integer->real promotions
+   Pascal performs implicitly), translates to the mini-C AST, and lets
+   Minic.Typecheck/Lower produce the FIR.  This mirrors the MCC
+   architecture: many front-ends, one type-safe intermediate
+   representation (paper, Section 3).
+
+   Pascal-specific rules handled here:
+   - [f := expr] inside function [f] assigns the result (lowered to a
+     hidden local returned at the end);
+   - a bare identifier naming a zero-parameter routine is a call;
+   - [/] always yields real (operands promoted); [div]/[mod] are integer;
+   - [and]/[or]/[not] are boolean;
+   - static arrays become heap allocations of their element type;
+   - [halt(n)] in the main block sets the process exit code;
+   - the MCC primitives speculate/commit/abort/migrate and the runtime
+     services (writeln, random, trunc, sqrt, work_us) are predefined. *)
+
+open Ast
+module C = Minic.Ast
+
+exception Error of string
+
+let err pos fmt =
+  Printf.ksprintf
+    (fun s -> raise (Error (Printf.sprintf "%d:%d: %s" pos.line pos.col s)))
+    fmt
+
+let result_var = "$result"
+
+let rec cty_of_pty = function
+  | Pinteger -> C.Cint
+  | Preal -> C.Cfloat
+  | Pboolean -> C.Cint
+  | Parray (_, t) | Popen_array t -> C.Cptr (cty_of_pty t)
+
+(* value type of an expression, in Pascal terms (arrays never appear as
+   expression values except through indexing) *)
+type vty = Vint | Vreal | Vbool | Vstring | Varray of int option * pty
+
+let vty_of_pty = function
+  | Pinteger -> Vint
+  | Preal -> Vreal
+  | Pboolean -> Vbool
+  | Parray (n, t) -> Varray (Some n, t)
+  | Popen_array t -> Varray (None, t)
+
+let vty_to_string = function
+  | Vint -> "integer"
+  | Vreal -> "real"
+  | Vbool -> "boolean"
+  | Vstring -> "string"
+  | Varray _ -> "array"
+
+type env = {
+  vars : (string, pty) Hashtbl.t;
+  routines : (string, pty list * pty option) Hashtbl.t;
+  in_function : string option; (* for result assignment *)
+  in_main : bool;
+}
+
+let cpos (p : pos) = { C.line = p.line; col = p.col }
+
+let cexpr pos d : C.expr = { C.e = d; epos = cpos pos }
+let cstmt pos d : C.stmt = { C.s = d; spos = cpos pos }
+
+(* promote an int-typed translated expression to real *)
+let promote pos (t, e) =
+  match t with
+  | Vint -> Vreal, cexpr pos (C.Ecast (C.Cfloat, e))
+  | _ -> t, e
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec tr_expr env (e : expr) : vty * C.expr =
+  let pos = e.epos in
+  match e.e with
+  | Eint n -> Vint, cexpr pos (C.Eint n)
+  | Ereal f -> Vreal, cexpr pos (C.Efloat f)
+  | Ebool b -> Vbool, cexpr pos (C.Eint (if b then 1 else 0))
+  | Estring s -> Vstring, cexpr pos (C.Estr s)
+  | Evar x -> (
+    match Hashtbl.find_opt env.vars x with
+    | Some ty -> vty_of_pty ty, cexpr pos (C.Evar x)
+    | None -> (
+      (* a bare identifier naming a zero-parameter routine is a call *)
+      match Hashtbl.find_opt env.routines x with
+      | Some ([], Some rty) -> vty_of_pty rty, cexpr pos (C.Ecall (x, []))
+      | Some ([], None) -> err pos "procedure %s used as a value" x
+      | Some _ -> err pos "routine %s needs arguments" x
+      | None -> tr_builtin_call env pos x []))
+  | Eindex (x, idx) -> (
+    match Hashtbl.find_opt env.vars x with
+    | Some (Parray (_, elt) | Popen_array elt) ->
+      let it, ie = tr_expr env idx in
+      if it <> Vint then err idx.epos "array index must be integer";
+      ( vty_of_pty elt,
+        cexpr pos (C.Eindex (cexpr pos (C.Evar x), ie)) )
+    | Some t -> err pos "%s is not an array (%s)" x (pty_to_string t)
+    | None -> err pos "undeclared variable %s" x)
+  | Eunop ("-", a) -> (
+    let t, ce = tr_expr env a in
+    match t with
+    | Vint ->
+      Vint, cexpr pos (C.Ebinop (C.Bsub, cexpr pos (C.Eint 0), ce))
+    | Vreal ->
+      Vreal, cexpr pos (C.Ebinop (C.Bsub, cexpr pos (C.Efloat 0.0), ce))
+    | t -> err pos "unary - applied to %s" (vty_to_string t))
+  | Eunop ("not", a) -> (
+    let t, ce = tr_expr env a in
+    match t with
+    | Vbool -> Vbool, cexpr pos (C.Eunop (C.Unot, ce))
+    | t -> err pos "not applied to %s" (vty_to_string t))
+  | Eunop (op, _) -> err pos "unknown unary operator %s" op
+  | Ebinop (op, a, b) -> tr_binop env pos op a b
+  | Ecall (name, args) -> (
+    match Hashtbl.find_opt env.routines name with
+    | Some (ptys, rty) ->
+      let cargs = tr_call_args env pos name ptys args in
+      (match rty with
+      | Some t -> vty_of_pty t, cexpr pos (C.Ecall (name, cargs))
+      | None -> err pos "procedure %s used as a value" name)
+    | None -> tr_builtin_call env pos name args)
+
+and tr_binop env pos op a b =
+  let ta, ca = tr_expr env a in
+  let tb, cb = tr_expr env b in
+  let arith cop =
+    match ta, tb with
+    | Vint, Vint -> Vint, cexpr pos (C.Ebinop (cop, ca, cb))
+    | (Vreal | Vint), (Vreal | Vint) ->
+      let _, ca = promote pos (ta, ca) in
+      let _, cb = promote pos (tb, cb) in
+      Vreal, cexpr pos (C.Ebinop (cop, ca, cb))
+    | _ -> err pos "%s applied to %s and %s" op (vty_to_string ta)
+             (vty_to_string tb)
+  in
+  let int_only cop =
+    match ta, tb with
+    | Vint, Vint -> Vint, cexpr pos (C.Ebinop (cop, ca, cb))
+    | _ -> err pos "%s needs integer operands" op
+  in
+  let cmp cop =
+    match ta, tb with
+    | Vint, Vint -> Vbool, cexpr pos (C.Ebinop (cop, ca, cb))
+    | (Vreal | Vint), (Vreal | Vint) ->
+      let _, ca = promote pos (ta, ca) in
+      let _, cb = promote pos (tb, cb) in
+      Vbool, cexpr pos (C.Ebinop (cop, ca, cb))
+    | Vbool, Vbool when cop = C.Beq || cop = C.Bne ->
+      Vbool, cexpr pos (C.Ebinop (cop, ca, cb))
+    | _ -> err pos "%s applied to %s and %s" op (vty_to_string ta)
+             (vty_to_string tb)
+  in
+  let boolean cop =
+    match ta, tb with
+    | Vbool, Vbool -> Vbool, cexpr pos (C.Ebinop (cop, ca, cb))
+    | _ -> err pos "%s needs boolean operands" op
+  in
+  match op with
+  | "+" -> arith C.Badd
+  | "-" -> arith C.Bsub
+  | "*" -> arith C.Bmul
+  | "/" ->
+    (* Pascal real division: both operands promoted *)
+    let _, ca = promote pos (ta, ca) in
+    let _, cb = promote pos (tb, cb) in
+    (match ta, tb with
+    | (Vint | Vreal), (Vint | Vreal) ->
+      Vreal, cexpr pos (C.Ebinop (C.Bdiv, ca, cb))
+    | _ -> err pos "/ applied to %s and %s" (vty_to_string ta)
+             (vty_to_string tb))
+  | "div" -> int_only C.Bdiv
+  | "mod" -> int_only C.Brem
+  | "=" -> cmp C.Beq
+  | "<>" -> cmp C.Bne
+  | "<" -> cmp C.Blt
+  | "<=" -> cmp C.Ble
+  | ">" -> cmp C.Bgt
+  | ">=" -> cmp C.Bge
+  | "and" -> boolean C.Bland
+  | "or" -> boolean C.Blor
+  | op -> err pos "unknown operator %s" op
+
+and tr_call_args env pos name ptys args =
+  if List.length ptys <> List.length args then
+    err pos "%s expects %d arguments, got %d" name (List.length ptys)
+      (List.length args);
+  List.map2
+    (fun pty arg ->
+      let t, ce = tr_expr env arg in
+      match vty_of_pty pty, t with
+      | Vreal, Vint -> snd (promote arg.epos (t, ce))
+      | want, got when want = got -> ce
+      | Varray (_, want_elt), Varray (_, got_elt) when want_elt = got_elt ->
+        ce
+      | want, got ->
+        err arg.epos "%s: argument has type %s, expected %s" name
+          (vty_to_string got) (vty_to_string want))
+    ptys args
+
+(* predefined functions *)
+and tr_builtin_call env pos name args =
+  let one () =
+    match args with
+    | [ a ] -> tr_expr env a
+    | _ -> err pos "%s expects one argument" name
+  in
+  match name with
+  | "speculate" ->
+    if args <> [] then err pos "speculate takes no arguments";
+    Vint, cexpr pos (C.Ecall ("speculate", []))
+  | "spec_level" ->
+    if args <> [] then err pos "spec_level takes no arguments";
+    Vint, cexpr pos (C.Ecall ("spec_level", []))
+  | "random" -> (
+    match one () with
+    | Vint, ce -> Vint, cexpr pos (C.Ecall ("rand", [ ce ]))
+    | t, _ -> err pos "random expects an integer, got %s" (vty_to_string t))
+  | "trunc" -> (
+    match one () with
+    | Vreal, ce -> Vint, cexpr pos (C.Ecast (C.Cint, ce))
+    | Vint, ce -> Vint, ce
+    | t, _ -> err pos "trunc expects a real, got %s" (vty_to_string t))
+  | "sqrt" -> (
+    match promote pos (one ()) with
+    | Vreal, ce -> Vreal, cexpr pos (C.Ecall ("sqrtf", [ ce ]))
+    | t, _ -> err pos "sqrt expects a real, got %s" (vty_to_string t))
+  | "abs" -> (
+    match one () with
+    | Vreal, ce -> Vreal, cexpr pos (C.Ecall ("fabsf", [ ce ]))
+    | Vint, ce ->
+      (* abs(n) = if n < 0 then -n else n, with strict operand sharing
+         through a helper call is overkill: n*sign trick *)
+      Vint,
+      cexpr pos
+        (C.Ecall ("$pas_abs", [ ce ]))
+    | t, _ -> err pos "abs expects a number, got %s" (vty_to_string t))
+  | _ -> err pos "unknown routine %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec tr_stmt env (s : stmt) : C.stmt list =
+  let pos = s.spos in
+  match s.s with
+  | Sassign (x, e) -> (
+    (* function-result assignment? *)
+    match env.in_function with
+    | Some f when String.equal x f ->
+      let rty =
+        match Hashtbl.find_opt env.vars result_var with
+        | Some t -> t
+        | None -> err pos "internal: no result slot"
+      in
+      let t, ce = tr_expr env e in
+      let ce =
+        match vty_of_pty rty, t with
+        | Vreal, Vint -> snd (promote pos (t, ce))
+        | want, got when want = got -> ce
+        | want, got ->
+          err pos "assigning %s to %s result" (vty_to_string got)
+            (vty_to_string want)
+      in
+      [ cstmt pos (C.Sassign (result_var, ce)) ]
+    | _ -> (
+      match Hashtbl.find_opt env.vars x with
+      | None -> err pos "undeclared variable %s" x
+      | Some vty_decl ->
+        let t, ce = tr_expr env e in
+        let ce =
+          match vty_of_pty vty_decl, t with
+          | Vreal, Vint -> snd (promote pos (t, ce))
+          | want, got when want = got -> ce
+          | want, got ->
+            err pos "assigning %s to %s : %s" (vty_to_string got) x
+              (vty_to_string want)
+        in
+        [ cstmt pos (C.Sassign (x, ce)) ]))
+  | Sindex_assign (x, idx, e) -> (
+    match Hashtbl.find_opt env.vars x with
+    | Some (Parray (_, elt) | Popen_array elt) ->
+      let it, ie = tr_expr env idx in
+      if it <> Vint then err idx.epos "array index must be integer";
+      let t, ce = tr_expr env e in
+      let ce =
+        match vty_of_pty elt, t with
+        | Vreal, Vint -> snd (promote pos (t, ce))
+        | want, got when want = got -> ce
+        | want, got ->
+          err pos "storing %s into an array of %s" (vty_to_string got)
+            (vty_to_string want)
+      in
+      [ cstmt pos (C.Sindex_assign (cexpr pos (C.Evar x), ie, ce)) ]
+    | Some _ -> err pos "%s is not an array" x
+    | None -> err pos "undeclared variable %s" x)
+  | Sif (c, thn, els) ->
+    let t, cc = tr_expr env c in
+    if t <> Vbool then err c.epos "if condition must be boolean";
+    [ cstmt pos
+        (C.Sif
+           ( cc,
+             tr_stmt env thn,
+             match els with Some e -> tr_stmt env e | None -> [] )) ]
+  | Swhile (c, body) ->
+    let t, cc = tr_expr env c in
+    if t <> Vbool then err c.epos "while condition must be boolean";
+    [ cstmt pos (C.Swhile (cc, tr_stmt env body)) ]
+  | Sfor (v, lo, dir, hi, body) -> (
+    match Hashtbl.find_opt env.vars v with
+    | Some Pinteger ->
+      let tlo, clo = tr_expr env lo in
+      let thi, chi = tr_expr env hi in
+      if tlo <> Vint || thi <> Vint then
+        err pos "for bounds must be integer";
+      let cv = cexpr pos (C.Evar v) in
+      let cond_op, step_op =
+        match dir with `To -> C.Ble, C.Badd | `Downto -> C.Bge, C.Bsub
+      in
+      [ cstmt pos
+          (C.Sfor
+             ( Some (cstmt pos (C.Sassign (v, clo))),
+               Some (cexpr pos (C.Ebinop (cond_op, cv, chi))),
+               Some
+                 (cstmt pos
+                    (C.Sassign
+                       ( v,
+                         cexpr pos
+                           (C.Ebinop (step_op, cv, cexpr pos (C.Eint 1))) ))),
+               tr_stmt env body )) ]
+    | Some _ -> err pos "for variable %s must be integer" v
+    | None -> err pos "undeclared for variable %s" v)
+  | Scompound stmts -> List.concat_map (tr_stmt env) stmts
+  | Swrite (newline, args) ->
+    let prints =
+      List.map
+        (fun arg ->
+          let t, ce = tr_expr env arg in
+          match t with
+          | Vint -> cstmt pos (C.Sexpr (cexpr pos (C.Ecall ("print_int", [ ce ]))))
+          | Vreal ->
+            cstmt pos (C.Sexpr (cexpr pos (C.Ecall ("print_float", [ ce ]))))
+          | Vbool ->
+            cstmt pos (C.Sexpr (cexpr pos (C.Ecall ("print_int", [ ce ]))))
+          | Vstring ->
+            cstmt pos (C.Sexpr (cexpr pos (C.Ecall ("print_str", [ ce ]))))
+          | Varray _ -> err arg.epos "cannot write an array")
+        args
+    in
+    prints
+    @
+    if newline then
+      [ cstmt pos (C.Sexpr (cexpr pos (C.Ecall ("print_nl", [])))) ]
+    else []
+  | Scall ("halt", args) ->
+    if not env.in_main then err pos "halt is only allowed in the main block";
+    let code =
+      match args with
+      | [] -> cexpr pos (C.Eint 0)
+      | [ a ] -> (
+        match tr_expr env a with
+        | Vint, ce -> ce
+        | t, _ -> err pos "halt expects an integer, got %s" (vty_to_string t))
+      | _ -> err pos "halt expects at most one argument"
+    in
+    [ cstmt pos (C.Sreturn (Some code)) ]
+  | Scall (("commit" | "abort") as prim, args) -> (
+    match args with
+    | [ a ] -> (
+      match tr_expr env a with
+      | Vint, ce ->
+        [ cstmt pos (C.Sexpr (cexpr pos (C.Ecall (prim, [ ce ])))) ]
+      | t, _ ->
+        err pos "%s expects a speculation id, got %s" prim (vty_to_string t))
+    | _ -> err pos "%s expects one argument" prim)
+  | Scall ("migrate", args) -> (
+    match args with
+    | [ { e = Estring s; epos } ] ->
+      [ cstmt pos
+          (C.Sexpr
+             (cexpr pos (C.Ecall ("migrate", [ cexpr epos (C.Estr s) ])))) ]
+    | _ -> err pos "migrate expects a string literal target")
+  | Scall ("work_us", args) -> (
+    match args with
+    | [ a ] -> (
+      match tr_expr env a with
+      | Vint, ce ->
+        [ cstmt pos (C.Sexpr (cexpr pos (C.Ecall ("work_us", [ ce ])))) ]
+      | t, _ -> err pos "work_us expects an integer, got %s" (vty_to_string t))
+    | _ -> err pos "work_us expects one argument")
+  | Scall (name, args) -> (
+    match Hashtbl.find_opt env.routines name with
+    | Some (ptys, None) ->
+      let cargs = tr_call_args env pos name ptys args in
+      [ cstmt pos (C.Sexpr (cexpr pos (C.Ecall (name, cargs)))) ]
+    | Some (ptys, Some _) ->
+      (* Pascal allows calling a function and discarding the result *)
+      let cargs = tr_call_args env pos name ptys args in
+      [ cstmt pos (C.Sexpr (cexpr pos (C.Ecall (name, cargs)))) ]
+    | None -> err pos "unknown routine %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* a variable declaration becomes a C declaration; arrays allocate *)
+let decl_stmts (vd : vardecl) : C.stmt list =
+  let pos = cpos vd.vd_pos in
+  List.map
+    (fun name ->
+      match vd.vd_ty with
+      | Pinteger -> { C.s = C.Sdecl (C.Cint, name, None); spos = pos }
+      | Preal -> { C.s = C.Sdecl (C.Cfloat, name, None); spos = pos }
+      | Pboolean -> { C.s = C.Sdecl (C.Cint, name, None); spos = pos }
+      | Parray (n, elt) ->
+        let alloc =
+          match elt with
+          | Pinteger | Pboolean -> "alloc_int"
+          | Preal -> "alloc_float"
+          | Parray _ | Popen_array _ ->
+            raise (Error "nested array types are not supported")
+        in
+        {
+          C.s =
+            C.Sdecl
+              ( cty_of_pty vd.vd_ty,
+                name,
+                Some
+                  { C.e = C.Ecall (alloc, [ { C.e = C.Eint n; epos = pos } ]);
+                    epos = pos } );
+          spos = pos;
+        }
+      | Popen_array _ ->
+        raise (Error "open arrays are only allowed as parameters"))
+    vd.vd_names
+
+let bind_vars env vds =
+  List.iter
+    (fun vd ->
+      List.iter
+        (fun name ->
+          if Hashtbl.mem env.vars name then
+            err vd.vd_pos "duplicate declaration of %s" name;
+          Hashtbl.add env.vars name vd.vd_ty)
+        vd.vd_names)
+    vds
+
+(* the abs helper injected when used *)
+let abs_helper pos : C.fundecl =
+  let p = cpos pos in
+  let e d = { C.e = d; epos = p } in
+  let s d = { C.s = d; spos = p } in
+  {
+    C.fd_name = "$pas_abs";
+    fd_ret = C.Cint;
+    fd_params = [ C.Cint, "n" ];
+    fd_body =
+      [
+        s (C.Sif
+             ( e (C.Ebinop (C.Blt, e (C.Evar "n"), e (C.Eint 0))),
+               [ s (C.Sreturn (Some (e (C.Ebinop (C.Bsub, e (C.Eint 0),
+                                                  e (C.Evar "n")))))) ],
+               [] ));
+        s (C.Sreturn (Some (e (C.Evar "n"))));
+      ];
+    fd_pos = p;
+  }
+
+let tr_routine routines (r : routine) : C.fundecl =
+  let env =
+    {
+      vars = Hashtbl.create 16;
+      routines;
+      in_function = (match r.r_result with Some _ -> Some r.r_name | None -> None);
+      in_main = false;
+    }
+  in
+  List.iter
+    (fun (name, ty) ->
+      if Hashtbl.mem env.vars name then
+        err r.r_pos "duplicate parameter %s" name;
+      Hashtbl.add env.vars name ty)
+    r.r_params;
+  bind_vars env r.r_vars;
+  (match r.r_result with
+  | Some rty -> Hashtbl.add env.vars result_var rty
+  | None -> ());
+  let decls = List.concat_map decl_stmts r.r_vars in
+  let result_decl, result_return =
+    match r.r_result with
+    | Some rty ->
+      let p = cpos r.r_pos in
+      ( [ { C.s =
+              C.Sdecl
+                ( (match rty with
+                  | Pinteger | Pboolean -> C.Cint
+                  | Preal -> C.Cfloat
+                  | Parray _ | Popen_array _ ->
+                    err r.r_pos "functions cannot return arrays"),
+                  result_var,
+                  None );
+            spos = p } ],
+        [ { C.s = C.Sreturn (Some { C.e = C.Evar result_var; epos = p });
+            spos = p } ] )
+    | None -> [], []
+  in
+  let body = tr_stmt env r.r_body in
+  {
+    C.fd_name = r.r_name;
+    fd_ret =
+      (match r.r_result with
+      | Some (Pinteger | Pboolean) -> C.Cint
+      | Some Preal -> C.Cfloat
+      | Some (Parray _ | Popen_array _) ->
+        err r.r_pos "functions cannot return arrays"
+      | None -> C.Cvoid);
+    fd_params = List.map (fun (n, t) -> cty_of_pty t, n) r.r_params;
+    fd_body = result_decl @ decls @ body @ result_return;
+    fd_pos = cpos r.r_pos;
+  }
+
+let tr_program (p : program) : C.program =
+  let routines = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem routines r.r_name then
+        err r.r_pos "duplicate routine %s" r.r_name;
+      Hashtbl.add routines r.r_name (List.map snd r.r_params, r.r_result))
+    p.p_routines;
+  let cfuns = List.map (tr_routine routines) p.p_routines in
+  let main_env =
+    {
+      vars = Hashtbl.create 16;
+      routines;
+      in_function = None;
+      in_main = true;
+    }
+  in
+  bind_vars main_env p.p_vars;
+  let pos0 = { line = 1; col = 1 } in
+  let main_body =
+    List.concat_map decl_stmts p.p_vars
+    @ tr_stmt main_env p.p_body
+    @ [ { C.s = C.Sreturn (Some { C.e = C.Eint 0; epos = cpos pos0 });
+          spos = cpos pos0 } ]
+  in
+  let main : C.fundecl =
+    {
+      C.fd_name = "main";
+      fd_ret = C.Cint;
+      fd_params = [];
+      fd_body = main_body;
+      fd_pos = cpos pos0;
+    }
+  in
+  abs_helper pos0 :: cfuns @ [ main ]

@@ -1,0 +1,11 @@
+(** Mini-Pascal -> mini-C translation: types the Pascal program
+    (inserting the implicit integer->real promotions), maps its
+    constructs onto the mini-C AST, and reuses the C pipeline's
+    typechecked CPS lowering — many front-ends, one intermediate
+    representation (paper, Section 3). *)
+
+exception Error of string
+
+val tr_program : Ast.program -> Minic.Ast.program
+(** @raise Error with a positioned message on a Pascal-level type or
+    scope violation. *)

@@ -1,0 +1,1 @@
+lib/runtime/function_table.mli:

@@ -1,0 +1,1 @@
+lib/runtime/gc.ml: Array Hashtbl Heap List Pointer_table Value

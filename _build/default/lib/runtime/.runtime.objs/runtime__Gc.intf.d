@@ -1,0 +1,1 @@
+lib/runtime/gc.mli: Hashtbl Heap Value

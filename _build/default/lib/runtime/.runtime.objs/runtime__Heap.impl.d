@@ -1,0 +1,1 @@
+lib/runtime/heap.ml: Array Char Hashtbl List Pointer_table Printf String Value

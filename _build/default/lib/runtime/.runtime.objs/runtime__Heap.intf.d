@@ -1,0 +1,1 @@
+lib/runtime/heap.mli: Hashtbl Pointer_table Value

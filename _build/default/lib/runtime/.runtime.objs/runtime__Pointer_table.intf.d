@@ -1,0 +1,1 @@
+lib/runtime/pointer_table.mli:

@@ -1,0 +1,47 @@
+(* The function table (paper, Section 4.1).
+
+   Contains an entry for every valid higher-order function; [Value.Vfun]
+   carries an index into this table.  The table is built deterministically
+   (sorted by function name) from the FIR program so that the same program
+   always yields the same numbering, and migration preserves index order by
+   shipping the name list verbatim. *)
+
+exception Invalid_function of string
+
+type t = {
+  names : string array;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let of_names names =
+  let arr = Array.of_list names in
+  let by_name = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem by_name name then
+        raise (Invalid_function ("duplicate function name " ^ name));
+      Hashtbl.add by_name name i)
+    arr;
+  { names = arr; by_name }
+
+(* Deterministic construction from a program's function set. *)
+let of_program_names names = of_names (List.sort String.compare names)
+
+let count t = Array.length t.names
+
+let name t idx =
+  if idx < 0 || idx >= Array.length t.names then
+    raise
+      (Invalid_function
+         (Printf.sprintf "function index %d out of bounds [0,%d)" idx
+            (Array.length t.names)))
+  else t.names.(idx)
+
+let index t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> raise (Invalid_function ("unknown function " ^ name))
+
+let index_opt t name = Hashtbl.find_opt t.by_name name
+let is_valid t idx = idx >= 0 && idx < Array.length t.names
+let names t = Array.to_list t.names

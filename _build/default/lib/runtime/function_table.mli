@@ -1,0 +1,28 @@
+(** The function table (paper, Section 4.1): an entry for every valid
+    higher-order function.  {!Value.Vfun} carries an index into this
+    table.  Construction from a program's function set is deterministic
+    (sorted by name) so identical programs number identically, and
+    migration ships the name list verbatim to preserve index order. *)
+
+type t
+
+exception Invalid_function of string
+
+val of_names : string list -> t
+(** Table with the given names in the given order.
+    @raise Invalid_function on duplicates. *)
+
+val of_program_names : string list -> t
+(** Deterministic construction: names are sorted before numbering. *)
+
+val count : t -> int
+
+val name : t -> int -> string
+(** @raise Invalid_function if the index is out of range. *)
+
+val index : t -> string -> int
+(** @raise Invalid_function if the name is unknown. *)
+
+val index_opt : t -> string -> int option
+val is_valid : t -> int -> bool
+val names : t -> string list

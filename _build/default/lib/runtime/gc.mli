@@ -1,0 +1,38 @@
+(** Generational, mark-sweep, compacting collection (paper, Section 4).
+
+    Two phases, as in MCC: a fast minor collection over the young region
+    and a major sweep-and-compact of the entire heap.  Compaction slides
+    live blocks towards low addresses in allocation order (preserving
+    temporal locality) and is possible because the pointer table gives
+    every block exactly one relocation slot.
+
+    Speculation integration: [pinned] carries the checkpoint records —
+    (index, original address) pairs.  Originals are marked and scanned;
+    the current target of a recorded index is marked too, so a recorded
+    index can never be freed while a rollback could restore it.  Moved
+    addresses are reported in {!field-forward} so the speculation engine
+    can rewrite its records. *)
+
+type kind = Minor | Major
+
+type result = {
+  kind : kind;
+  forward : (int, int) Hashtbl.t;  (** old block address -> new address *)
+  live_blocks : int;
+  collected_blocks : int;
+  collected_cells : int;
+}
+
+val collect :
+  Heap.t ->
+  kind:kind ->
+  roots:Value.t list ->
+  pinned:(int * int) list ->
+  result
+(** [collect heap ~kind ~roots ~pinned] marks from [roots] (continuation
+    arguments, speculation continuations) plus [pinned] records, then
+    compacts the collected region.  Survivors are promoted; the
+    remembered set is reset. *)
+
+val forward_addr : result -> int -> int
+(** Map an address through the forwarding table (identity if unmoved). *)

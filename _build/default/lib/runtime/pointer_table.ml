@@ -1,0 +1,117 @@
+(* The pointer table (paper, Section 4.1.1).
+
+   All heap blocks are tracked by the pointer table.  Every valid block has
+   an entry; every non-free entry points to a valid block.  Heap cells and
+   registers refer to blocks exclusively through table indices, which is
+   what enables relocation (compaction, migration) and speculation
+   (copy-on-write retargeting) without rewriting the heap.
+
+   Reading an index [i] from the heap validates it exactly as the paper
+   describes: [i] is checked against the table size, and the entry is
+   checked to be non-free.  Both checks are in [get]. *)
+
+exception Invalid_pointer of string
+
+let free_marker = -1
+
+type t = {
+  mutable entries : int array; (* index -> block address, or free_marker *)
+  mutable high : int; (* indices in [0, high) have been issued *)
+  mutable free_list : int list; (* freed indices available for reuse *)
+  mutable live : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  {
+    entries = Array.make (max 1 initial_capacity) free_marker;
+    high = 0;
+    free_list = [];
+    live = 0;
+  }
+
+let size t = t.high
+let live_count t = t.live
+let capacity t = Array.length t.entries
+
+let grow t =
+  let cap = Array.length t.entries in
+  let entries = Array.make (2 * cap) free_marker in
+  Array.blit t.entries 0 entries 0 cap;
+  t.entries <- entries
+
+(* Allocate an entry for a block at [addr]; returns the index.  Freed
+   indices are reused first, keeping the table dense. *)
+let alloc t addr =
+  match t.free_list with
+  | idx :: rest ->
+    t.free_list <- rest;
+    t.entries.(idx) <- addr;
+    t.live <- t.live + 1;
+    idx
+  | [] ->
+    if t.high >= Array.length t.entries then grow t;
+    let idx = t.high in
+    t.high <- t.high + 1;
+    t.entries.(idx) <- addr;
+    t.live <- t.live + 1;
+    idx
+
+(* The two-step validation of the paper: index within table size, entry not
+   free.  Every heap-pointer dereference in the interpreter, the emulator,
+   and the unpacker goes through here. *)
+let get t idx =
+  if idx < 0 || idx >= t.high then
+    raise
+      (Invalid_pointer
+         (Printf.sprintf "index %d out of table bounds [0,%d)" idx t.high));
+  let addr = t.entries.(idx) in
+  if addr = free_marker then
+    raise (Invalid_pointer (Printf.sprintf "index %d refers to a free entry" idx));
+  addr
+
+let is_valid t idx = idx >= 0 && idx < t.high && t.entries.(idx) <> free_marker
+
+(* Retarget an entry: used by the garbage collector after compaction and by
+   the speculation engine for copy-on-write and rollback. *)
+let set t idx addr =
+  if idx < 0 || idx >= t.high then
+    raise (Invalid_pointer (Printf.sprintf "set: index %d out of bounds" idx));
+  if t.entries.(idx) = free_marker then
+    raise (Invalid_pointer (Printf.sprintf "set: index %d is free" idx));
+  t.entries.(idx) <- addr
+
+let free t idx =
+  if is_valid t idx then begin
+    t.entries.(idx) <- free_marker;
+    t.free_list <- idx :: t.free_list;
+    t.live <- t.live - 1
+  end
+
+let iter_live f t =
+  for idx = 0 to t.high - 1 do
+    let addr = t.entries.(idx) in
+    if addr <> free_marker then f idx addr
+  done
+
+(* Snapshot / restore of the full entry array, used by the wire codec.  The
+   snapshot preserves index order, which migration must maintain (paper,
+   Section 4.2.2: "migration must be careful to preserve order in the
+   pointer and function tables"). *)
+let snapshot t = Array.sub t.entries 0 t.high
+
+let restore entries =
+  let high = Array.length entries in
+  let t =
+    {
+      entries = Array.copy entries;
+      high;
+      free_list = [];
+      live = 0;
+    }
+  in
+  (* rebuild the free list in ascending order for determinism *)
+  for idx = high - 1 downto 0 do
+    if entries.(idx) = free_marker then t.free_list <- idx :: t.free_list
+    else t.live <- t.live + 1
+  done;
+  t

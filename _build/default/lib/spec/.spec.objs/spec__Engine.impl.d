@@ -1,0 +1,1 @@
+lib/spec/engine.ml: Gc Hashtbl Heap List Printf Runtime Value

@@ -1,0 +1,1 @@
+lib/spec/engine.mli: Gc Heap Runtime Value

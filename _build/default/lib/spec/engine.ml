@@ -1,0 +1,312 @@
+(* The speculation engine (paper, Section 4.3).
+
+   A process may be inside N nested speculation levels, numbered 1 (oldest)
+   to N (newest); level 0 means "not speculating".  Each level keeps a
+   checkpoint record: the set of heap blocks modified since the level was
+   entered, saved by copy-on-write.  The first write to a block inside a
+   level clones the block — the pointer table is retargeted to the clone
+   and the ORIGINAL address is recorded, so the pre-speculation data is
+   preserved in place (Section 4.1's "special blocks whose pointer table
+   entry refers to a different block").
+
+   - [enter] pushes a new level and snapshots the continuation (the entry
+     function and its arguments; the FIR is CPS, so that is the complete
+     live state apart from the heap).
+   - [commit l] folds level l's record into its parent: an original is
+     discarded if the parent already saved that block (the parent's older
+     copy wins), otherwise it moves into the parent's record.  Committing
+     level 1 discards the records for good.  Commits may happen out of
+     order (any l in 1..N).
+   - [rollback l] walks the records newest-to-oldest down to level l,
+     retargeting each saved index back to its original, which restores the
+     exact heap state at entry to level l; levels l..N are discarded and
+     level l is immediately re-entered with the same continuation (the
+     paper's retry semantics) and a caller-chosen rollback code c.
+
+   Entry is O(1) — the paper measures it independent of heap mutation —
+   while commit and rollback are O(number of blocks modified), which is
+   what produces the mutation-percentile curves of Section 5. *)
+
+open Runtime
+
+exception Invalid_level of string
+
+type cont = { entry : string; args : Value.t list }
+
+type level = {
+  unique_id : int;
+  cont : cont;
+  mutable saved : (int * int) list; (* (pointer-table index, original addr) *)
+  saved_set : (int, unit) Hashtbl.t;
+}
+
+type stats = {
+  mutable entered : int;
+  mutable committed : int;
+  mutable rolled_back : int;
+  mutable blocks_saved : int;
+  mutable blocks_discarded : int;
+}
+
+type t = {
+  heap : Heap.t;
+  mutable levels : level list; (* newest first *)
+  mutable next_id : int;
+  stats : stats;
+  (* Distributed-speculation hooks (paper, Section 1: dependent processes
+     "join that process's speculation and roll back together").  A host
+     environment — the simulated cluster — installs these to observe level
+     resolution: [on_rollback] receives the unique ids of every level that
+     was just undone; [on_commit] receives the committed level's unique id
+     and its parent's (None when folding into level 0, i.e. the changes
+     became durable). *)
+  mutable on_rollback : (int list -> unit) option;
+  mutable on_commit : (uid:int -> parent:int option -> unit) option;
+}
+
+let create heap =
+  let t =
+    {
+      heap;
+      levels = [];
+      next_id = 1;
+      stats =
+        {
+          entered = 0;
+          committed = 0;
+          rolled_back = 0;
+          blocks_saved = 0;
+          blocks_discarded = 0;
+        };
+      on_rollback = None;
+      on_commit = None;
+    }
+  in
+  let hook idx =
+    match t.levels with
+    | [] -> ()
+    | top :: _ ->
+      if not (Hashtbl.mem top.saved_set idx) then begin
+        let original = Heap.clone_for_cow heap idx in
+        top.saved <- (idx, original) :: top.saved;
+        Hashtbl.add top.saved_set idx ();
+        t.stats.blocks_saved <- t.stats.blocks_saved + 1
+      end
+  in
+  Heap.set_before_write heap (Some hook);
+  t
+
+let stats t = t.stats
+let depth t = List.length t.levels
+
+(* Unique level identities, newest first.  Level numbers (1..N) shift when
+   levels commit; unique ids are stable, which is what a DISTRIBUTED
+   speculation needs: a message sent from inside a speculation is tagged
+   with the sending level's unique id, and a later cascade can ask "is
+   that level still uncommitted, and what is its current number?". *)
+let unique_ids t = List.map (fun lvl -> lvl.unique_id) t.levels
+
+let current_unique t =
+  match t.levels with [] -> None | top :: _ -> Some top.unique_id
+
+(* Current 1..N level number of a unique id, if the level is still open. *)
+let level_of_unique t uid =
+  let n = depth t in
+  let rec find k = function
+    | [] -> None
+    | lvl :: rest ->
+      if lvl.unique_id = uid then Some (n - k) else find (k + 1) rest
+  in
+  find 0 t.levels
+
+(* Number of blocks saved at a given level (1..N); for tests and benches. *)
+let level_saved_count t l =
+  let n = depth t in
+  if l < 1 || l > n then raise (Invalid_level (Printf.sprintf "level %d" l));
+  let lvl = List.nth t.levels (n - l) in
+  List.length lvl.saved
+
+(* ------------------------------------------------------------------ *)
+(* speculate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let enter t ~cont =
+  let lvl =
+    {
+      unique_id = t.next_id;
+      cont;
+      saved = [];
+      saved_set = Hashtbl.create 16;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.levels <- lvl :: t.levels;
+  t.stats.entered <- t.stats.entered + 1;
+  depth t
+
+(* ------------------------------------------------------------------ *)
+(* commit                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_level t l =
+  let n = depth t in
+  if l < 1 || l > n then
+    raise
+      (Invalid_level
+         (Printf.sprintf "level %d out of range [1,%d]" l n))
+
+(* Fold level [l] into its parent.  The list is newest-first, so level l
+   sits at position (N - l); its parent (level l-1) at position (N - l + 1).
+   Folding into level 0 (committing the oldest level) simply discards the
+   record: the originals become garbage for the next collection. *)
+let commit t l =
+  check_level t l;
+  let n = depth t in
+  let pos = n - l in
+  let rec split k = function
+    | [] -> raise (Invalid_level "commit: internal position error")
+    | x :: rest ->
+      if k = 0 then [], x, rest else
+        let before, lvl, after = split (k - 1) rest in
+        x :: before, lvl, after
+  in
+  let newer, lvl, older = split pos t.levels in
+  (match older with
+  | parent :: _ ->
+    List.iter
+      (fun (idx, original) ->
+        if Hashtbl.mem parent.saved_set idx then
+          t.stats.blocks_discarded <- t.stats.blocks_discarded + 1
+        else begin
+          parent.saved <- (idx, original) :: parent.saved;
+          Hashtbl.add parent.saved_set idx ()
+        end)
+      lvl.saved
+  | [] ->
+    (* committing to level 0: all originals become unreachable *)
+    t.stats.blocks_discarded <-
+      t.stats.blocks_discarded + List.length lvl.saved);
+  t.levels <- newer @ older;
+  t.stats.committed <- t.stats.committed + 1;
+  match t.on_commit with
+  | Some hook ->
+    let parent =
+      match older with parent :: _ -> Some parent.unique_id | [] -> None
+    in
+    hook ~uid:lvl.unique_id ~parent
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* rollback                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Restore all records from the newest level down to (and including) level
+   [l], then re-enter level [l] with its saved continuation.  Restoring in
+   newest-to-oldest order means the final pointer-table state for every
+   index is the OLDEST saved original at level >= l, i.e. exactly the heap
+   state when level l was entered.  Returns the continuation to resume;
+   the caller prepends the new rollback code to its arguments. *)
+let rollback t l =
+  check_level t l;
+  let n = depth t in
+  let to_undo_count = n - l + 1 in
+  let rec take k = function
+    | rest when k = 0 -> [], rest
+    | [] -> raise (Invalid_level "rollback: internal position error")
+    | x :: rest ->
+      let taken, kept = take (k - 1) rest in
+      x :: taken, kept
+  in
+  let undone, kept = take to_undo_count t.levels in
+  List.iter
+    (fun lvl ->
+      List.iter
+        (fun (idx, original) -> Heap.retarget t.heap idx original)
+        lvl.saved)
+    undone;
+  let entered_level =
+    match List.rev undone with
+    | oldest :: _ -> oldest
+    | [] -> raise (Invalid_level "rollback: empty undo set")
+  in
+  t.levels <- kept;
+  t.stats.rolled_back <- t.stats.rolled_back + 1;
+  (* retry semantics: level l is immediately re-entered with the same
+     continuation *)
+  let (_ : int) = enter t ~cont:entered_level.cont in
+  (match t.on_rollback with
+  | Some hook -> hook (List.map (fun lvl -> lvl.unique_id) undone)
+  | None -> ());
+  entered_level.cont
+
+(* Roll back and abandon (no retry); used when a process leaves
+   speculation entirely, e.g. on abnormal termination. *)
+let rollback_abandon t l =
+  let cont = rollback t l in
+  (match t.levels with
+  | _ :: rest -> t.levels <- rest
+  | [] -> ());
+  cont
+
+let set_hooks t ~on_rollback ~on_commit =
+  t.on_rollback <- Some on_rollback;
+  t.on_commit <- Some on_commit
+
+(* ------------------------------------------------------------------ *)
+(* GC integration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* All (index, original address) pairs across all levels; the collector
+   pins these. *)
+let records t =
+  List.concat_map (fun lvl -> lvl.saved) t.levels
+
+(* After a collection, rewrite recorded original addresses through the
+   forwarding map. *)
+let rewrite_after_gc t result =
+  List.iter
+    (fun lvl ->
+      lvl.saved <-
+        List.map (fun (idx, addr) -> idx, Gc.forward_addr result addr)
+          lvl.saved)
+    t.levels
+
+(* ------------------------------------------------------------------ *)
+(* Wire-format support                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A migrating process carries its speculation state (a checkpoint written
+   mid-speculation must restore it).  The snapshot is by index/address,
+   like the records themselves. *)
+type snapshot_level = {
+  s_entry : string;
+  s_args : Value.t list;
+  s_saved : (int * int) list;
+}
+
+let snapshot t =
+  List.rev_map
+    (fun lvl ->
+      {
+        s_entry = lvl.cont.entry;
+        s_args = lvl.cont.args;
+        s_saved = List.rev lvl.saved;
+      })
+    t.levels
+(* oldest first in the snapshot *)
+
+let restore t snap =
+  if t.levels <> [] then
+    raise (Invalid_level "restore into a speculating engine");
+  List.iter
+    (fun s ->
+      let (_ : int) =
+        enter t ~cont:{ entry = s.s_entry; args = s.s_args }
+      in
+      match t.levels with
+      | top :: _ ->
+        top.saved <- List.rev s.s_saved;
+        List.iter (fun (idx, _) -> Hashtbl.replace top.saved_set idx ())
+          s.s_saved
+      | [] -> assert false)
+    snap

@@ -1,0 +1,1 @@
+lib/vm/codegen.ml: Arch Array Fir List Masm

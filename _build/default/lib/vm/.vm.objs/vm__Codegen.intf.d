@@ -1,0 +1,1 @@
+lib/vm/codegen.mli: Arch Fir Masm

@@ -1,0 +1,1 @@
+lib/vm/emulator.ml: Arch Array Extern Function_table Heap Interp List Masm Pointer_table Printf Process Runtime Spec String Value

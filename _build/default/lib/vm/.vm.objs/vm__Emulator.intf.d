@@ -1,0 +1,1 @@
+lib/vm/emulator.mli: Arch Masm Process

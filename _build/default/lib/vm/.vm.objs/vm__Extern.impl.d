@@ -1,0 +1,1 @@
+lib/vm/extern.ml: Arch Buffer Fir Float Gc Heap List Printf Process Random Runtime Spec String Value

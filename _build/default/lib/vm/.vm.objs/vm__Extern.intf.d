@@ -1,0 +1,1 @@
+lib/vm/extern.mli: Fir Process

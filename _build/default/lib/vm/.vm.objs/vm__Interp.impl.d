@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Arch Extern Fir Function_table Heap List Pointer_table Printf Process Runtime Spec String Value

@@ -1,0 +1,1 @@
+lib/vm/masm.ml: Array Buffer Fir Format List Map Printf String

@@ -1,0 +1,1 @@
+lib/vm/masm.mli: Fir Format Map

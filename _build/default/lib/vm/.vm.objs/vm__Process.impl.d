@@ -1,0 +1,1 @@
+lib/vm/process.ml: Arch Buffer Fir Function_table Gc Heap List Random Runtime Spec Value

@@ -1,0 +1,1 @@
+lib/vm/process.mli: Arch Buffer Fir Function_table Gc Heap Random Runtime Spec Value

@@ -1,0 +1,75 @@
+(* Simulated target architectures.
+
+   The paper's MCC has a native IA32 back-end and a simulated RISC runtime
+   (Section 3).  We model two architecture descriptions that differ in the
+   dimensions that matter for heterogeneous migration — word size,
+   endianness, register count — plus a cycle cost model used to account
+   simulated execution time.  Migration between processes running on
+   different architectures must go through the FIR (recompilation); only
+   same-architecture migration may take the binary fast path. *)
+
+type endianness = Little | Big
+
+type instr_class =
+  | Alu (* register arithmetic / moves *)
+  | Mem (* heap loads and stores, including the pointer-table check *)
+  | Branch
+  | Call_ret (* calls, returns, argument shuffling *)
+  | Trap (* runtime traps: allocation, pseudo-instructions *)
+
+type t = {
+  name : string;
+  word_bits : int;
+  endianness : endianness;
+  registers : int; (* general-purpose registers available to codegen *)
+  clock_mhz : int; (* converts cycles to simulated wall time *)
+  cycles : instr_class -> int;
+}
+
+(* A CISC-like 32-bit little-endian machine (stands in for the paper's
+   IA32 runtime): few registers, cheap memory ops. *)
+let cisc32 =
+  {
+    name = "cisc32";
+    word_bits = 32;
+    endianness = Little;
+    registers = 6;
+    clock_mhz = 700;
+    cycles =
+      (function
+      | Alu -> 1
+      | Mem -> 3
+      | Branch -> 2
+      | Call_ret -> 4
+      | Trap -> 20);
+  }
+
+(* A RISC-like 64-bit big-endian machine (stands in for the simulated RISC
+   runtime): many registers, pricier memory ops. *)
+let risc64 =
+  {
+    name = "risc64";
+    word_bits = 64;
+    endianness = Big;
+    registers = 24;
+    clock_mhz = 500;
+    cycles =
+      (function
+      | Alu -> 1
+      | Mem -> 4
+      | Branch -> 1
+      | Call_ret -> 2
+      | Trap -> 24);
+  }
+
+let all = [ cisc32; risc64 ]
+
+let by_name name =
+  match List.find_opt (fun a -> String.equal a.name name) all with
+  | Some a -> a
+  | None -> invalid_arg ("Arch.by_name: unknown architecture " ^ name)
+
+let equal a b = String.equal a.name b.name
+
+(* Simulated seconds for a cycle count on this architecture. *)
+let seconds arch cycles = float_of_int cycles /. (float_of_int arch.clock_mhz *. 1e6)

@@ -1,0 +1,42 @@
+(** Simulated target architectures (paper, Section 3).
+
+    Two flavours stand in for the paper's native IA32 back-end and
+    simulated RISC runtime.  They differ in word size, endianness,
+    register count and per-instruction-class cycle costs, so heterogeneous
+    migration between them exercises the real translation issues
+    (recompilation required; byte order handled by the wire format). *)
+
+type endianness = Little | Big
+
+type instr_class =
+  | Alu  (** register arithmetic / moves *)
+  | Mem  (** heap loads/stores, including the pointer-table check *)
+  | Branch
+  | Call_ret  (** calls, returns, argument shuffling *)
+  | Trap  (** runtime traps: allocation, pseudo-instructions *)
+
+type t = {
+  name : string;
+  word_bits : int;
+  endianness : endianness;
+  registers : int;
+  clock_mhz : int;
+  cycles : instr_class -> int;
+}
+
+val cisc32 : t
+(** CISC-like, 32-bit, little-endian, 6 registers, 700 MHz (the paper's
+    IA32 testbed machines). *)
+
+val risc64 : t
+(** RISC-like, 64-bit, big-endian, 24 registers, 500 MHz. *)
+
+val all : t list
+
+val by_name : string -> t
+(** @raise Invalid_argument on an unknown name. *)
+
+val equal : t -> t -> bool
+
+val seconds : t -> int -> float
+(** Simulated seconds for a cycle count on this architecture. *)

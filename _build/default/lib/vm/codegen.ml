@@ -1,0 +1,239 @@
+(* FIR -> MASM code generation ("elaborating the FIR code to
+   machine-specific assembly code, introducing runtime safety checks as
+   necessary" — paper, Section 3).
+
+   Because the FIR is CPS, every control path in a function body ends in a
+   terminal instruction (tail call, exit, or pseudo-instruction), so code
+   generation needs no join points: an [If] becomes a conditional branch
+   and two straight-line regions, each self-terminating.
+
+   Register allocation is per-function: parameters first, then locals in
+   binding order, into the target's general-purpose registers; the
+   overflow goes to numbered spill slots in the frame.  The emulator
+   charges spill accesses as memory operations, so register pressure is
+   visible in the simulated cycle counts (one of the ways the two
+   architecture flavours genuinely differ). *)
+
+open Fir.Ast
+
+exception Codegen_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Emission buffer with backpatching                                   *)
+(* ------------------------------------------------------------------ *)
+
+type emitter = { mutable code : Masm.instr array; mutable len : int }
+
+let new_emitter () = { code = Array.make 64 (Masm.Jmp 0); len = 0 }
+
+let emit em i =
+  if em.len = Array.length em.code then begin
+    let code = Array.make (2 * em.len) (Masm.Jmp 0) in
+    Array.blit em.code 0 code 0 em.len;
+    em.code <- code
+  end;
+  em.code.(em.len) <- i;
+  em.len <- em.len + 1;
+  em.len - 1
+
+let patch em pc i = em.code.(pc) <- i
+let here em = em.len
+let finish em = Array.sub em.code 0 em.len
+
+(* ------------------------------------------------------------------ *)
+(* Slot assignment                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Collect all variables bound in a body, in binding order. *)
+let rec bound_vars acc = function
+  | Let_atom (v, _, _, e)
+  | Let_cast (v, _, _, e)
+  | Let_unop (v, _, _, _, e)
+  | Let_binop (v, _, _, _, _, e)
+  | Let_tuple (v, _, e)
+  | Let_array (v, _, _, _, e)
+  | Let_string (v, _, e)
+  | Let_proj (v, _, _, _, e)
+  | Let_load (v, _, _, _, e)
+  | Let_ext (v, _, _, _, e) ->
+    bound_vars (v :: acc) e
+  | Set_proj (_, _, _, e) | Store (_, _, _, e) -> bound_vars acc e
+  | If (_, e1, e2) -> bound_vars (bound_vars acc e1) e2
+  | Switch (_, cases, default) ->
+    bound_vars
+      (List.fold_left (fun acc (_, e) -> bound_vars acc e) acc cases)
+      default
+  | Call _ | Exit _ | Migrate _ | Speculate _ | Commit _ | Rollback _ -> acc
+
+type alloc = {
+  slots : Masm.slot Fir.Var.Table.t;
+  nspills : int;
+}
+
+let allocate_slots (arch : Arch.t) fd =
+  let ordered =
+    List.map fst fd.f_params @ List.rev (bound_vars [] fd.f_body)
+  in
+  let slots = Fir.Var.Table.create 32 in
+  let next = ref 0 and nspills = ref 0 in
+  List.iter
+    (fun v ->
+      if not (Fir.Var.Table.mem slots v) then begin
+        let slot =
+          if !next < arch.Arch.registers then Masm.Reg !next
+          else begin
+            let s = !next - arch.Arch.registers in
+            incr nspills;
+            Masm.Spill s
+          end
+        in
+        Fir.Var.Table.replace slots v slot;
+        incr next
+      end)
+    ordered;
+  { slots; nspills = !nspills }
+
+let slot_of alloc v =
+  match Fir.Var.Table.find_opt alloc.slots v with
+  | Some s -> s
+  | None ->
+    raise (Codegen_error ("unallocated variable " ^ Fir.Var.to_string v))
+
+let operand alloc = function
+  | Unit -> Masm.Imm Masm.Iunit
+  | Int n -> Masm.Imm (Masm.Iint n)
+  | Float f -> Masm.Imm (Masm.Ifloat f)
+  | Bool b -> Masm.Imm (Masm.Ibool b)
+  | Enum (c, v) -> Masm.Imm (Masm.Ienum (c, v))
+  | Var v -> Masm.Slot (slot_of alloc v)
+  | Fun f -> Masm.Imm (Masm.Ifun f)
+  | Nil _ -> Masm.Imm Masm.Inil
+
+(* ------------------------------------------------------------------ *)
+(* Function body generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen em alloc e =
+  let op = operand alloc in
+  let ops = List.map op in
+  match e with
+  | Let_atom (v, _, a, rest) ->
+    ignore (emit em (Masm.Mov (slot_of alloc v, op a)));
+    gen em alloc rest
+  | Let_cast (v, t, a, rest) ->
+    ignore (emit em (Masm.Cast (slot_of alloc v, t, op a)));
+    gen em alloc rest
+  | Let_unop (v, _, o, a, rest) ->
+    ignore (emit em (Masm.Unop (o, slot_of alloc v, op a)));
+    gen em alloc rest
+  | Let_binop (v, _, o, a, b, rest) ->
+    ignore (emit em (Masm.Binop (o, slot_of alloc v, op a, op b)));
+    gen em alloc rest
+  | Let_tuple (v, fields, rest) ->
+    ignore
+      (emit em
+         (Masm.Alloc_tuple (slot_of alloc v, ops (List.map snd fields))));
+    gen em alloc rest
+  | Let_array (v, _, size, init, rest) ->
+    ignore (emit em (Masm.Alloc_array (slot_of alloc v, op size, op init)));
+    gen em alloc rest
+  | Let_string (v, s, rest) ->
+    ignore (emit em (Masm.Alloc_string (slot_of alloc v, s)));
+    gen em alloc rest
+  | Let_proj (v, _, a, k, rest) ->
+    ignore
+      (emit em (Masm.Load (slot_of alloc v, op a, Masm.Imm (Masm.Iint 0), k)));
+    gen em alloc rest
+  | Set_proj (a, k, x, rest) ->
+    ignore (emit em (Masm.Store (op a, Masm.Imm (Masm.Iint 0), k, op x)));
+    gen em alloc rest
+  | Let_load (v, _, a, i, rest) ->
+    ignore (emit em (Masm.Load (slot_of alloc v, op a, op i, 0)));
+    gen em alloc rest
+  | Store (a, i, x, rest) ->
+    ignore (emit em (Masm.Store (op a, op i, 0, op x)));
+    gen em alloc rest
+  | Let_ext (v, _, name, args, rest) ->
+    ignore (emit em (Masm.Ext (slot_of alloc v, name, ops args)));
+    gen em alloc rest
+  | If (a, e1, e2) ->
+    let c = op a in
+    let jpc = emit em (Masm.Jz (c, -1)) in
+    gen em alloc e1;
+    patch em jpc (Masm.Jz (c, here em));
+    gen em alloc e2
+  | Switch (a, cases, default) ->
+    let v = op a in
+    let spc = emit em (Masm.Switch (v, [], -1)) in
+    let targets =
+      List.map
+        (fun (n, e) ->
+          let t = here em in
+          gen em alloc e;
+          n, t)
+        cases
+    in
+    let dpc = here em in
+    gen em alloc default;
+    patch em spc (Masm.Switch (v, targets, dpc))
+  | Call (f, args) -> ignore (emit em (Masm.Tail_call (op f, ops args)))
+  | Exit a -> ignore (emit em (Masm.Exit (op a)))
+  | Migrate (l, dst, f, args) ->
+    ignore (emit em (Masm.Migrate (l, op dst, op f, ops args)))
+  | Speculate (f, args) -> ignore (emit em (Masm.Speculate (op f, ops args)))
+  | Commit (l, f, args) ->
+    ignore (emit em (Masm.Commit (op l, op f, ops args)))
+  | Rollback (l, c) -> ignore (emit em (Masm.Rollback (op l, op c)))
+
+let compile_fun arch fd =
+  let alloc = allocate_slots arch fd in
+  let em = new_emitter () in
+  gen em alloc fd.f_body;
+  {
+    Masm.fn_name = fd.f_name;
+    fn_params = List.map (fun (v, _) -> slot_of alloc v) fd.f_params;
+    fn_spills = alloc.nspills;
+    fn_code = finish em;
+  }
+
+(* Compile a whole program for a target architecture. *)
+let compile ?(arch = Arch.cisc32) program =
+  let fns =
+    fold_funs
+      (fun fd acc ->
+        Masm.String_map.add fd.f_name (compile_fun arch fd) acc)
+      program Masm.String_map.empty
+  in
+  {
+    Masm.im_arch = arch.Arch.name;
+    im_main = program.p_main;
+    im_fns = fns;
+  }
+
+(* Simulated cost of compilation in target cycles: used to account the
+   recompilation phase of FIR migration on the simulated clock.
+   Calibration (see EXPERIMENTS.md, E1): the paper reports ~3.6 s to
+   recompile its application at the destination on a 700 MHz machine —
+   for an application of a few thousand FIR nodes that is on the order
+   of 1 ms (~840k cycles) per node, a plausible figure for a 2007-era
+   optimizing back-end (typecheck + instruction selection + register
+   allocation + linking).  With that constant and a 100 Mbps simulated
+   network, the recompile:transfer split of FIR migration lands in the
+   paper's ~90:10 regime for the benchmark application.  Absolute
+   seconds are not comparable across eras; the split is the reproduced
+   shape. *)
+let compile_cycles_per_node = 700_000
+
+let simulated_compile_cycles program =
+  program_size program * compile_cycles_per_node
+
+(* The migration server "links [the compiled code] with a special stub
+   that initializes the heap, restores the registers and resumes
+   execution" (paper, Section 4.2.2).  Linking is charged on BOTH
+   migration paths — it is most of the binary path's non-transfer cost
+   (the paper's binary migration spends ~70 % of its <1 s outside the
+   network transfer). *)
+let link_cycles_per_instr = 130_000
+
+let simulated_link_cycles image =
+  Masm.instr_count image * link_cycles_per_instr

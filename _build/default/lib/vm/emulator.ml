@@ -1,0 +1,237 @@
+(* The MASM emulator: executes compiled images against a process.
+
+   This is the "native-code runtime" stand-in.  It observes exactly the
+   same semantics as the reference interpreter (the test suite checks the
+   two engines produce identical results on the same programs), but it
+   executes compiled instruction arrays with a real register file and
+   spill slots, and charges the architecture's cycle costs per
+   instruction — spill accesses cost memory cycles, so the two simulated
+   architectures genuinely diverge on register-hungry code.
+
+   Pseudo-instructions trap to the same runtime entry points
+   ([Process.do_speculate] etc.) as the interpreter. *)
+
+open Runtime
+
+exception Emulator_error of string
+
+type frame = {
+  mutable regs : Value.t array;
+  mutable spills : Value.t array;
+}
+
+type t = {
+  image : Masm.image;
+  proc : Process.t;
+  frame : frame;
+}
+
+let create image proc =
+  if not (String.equal image.Masm.im_arch proc.Process.arch.Arch.name) then
+    raise
+      (Emulator_error
+         (Printf.sprintf "image compiled for %s, process runs on %s"
+            image.Masm.im_arch proc.Process.arch.Arch.name));
+  {
+    image;
+    proc;
+    frame =
+      {
+        regs = Array.make proc.Process.arch.Arch.registers Value.Vunit;
+        spills = [||];
+      };
+  }
+
+let get_slot t = function
+  | Masm.Reg r -> t.frame.regs.(r)
+  | Masm.Spill s ->
+    Process.charge t.proc Arch.Mem;
+    t.frame.spills.(s)
+
+let set_slot t slot v =
+  match slot with
+  | Masm.Reg r -> t.frame.regs.(r) <- v
+  | Masm.Spill s ->
+    Process.charge t.proc Arch.Mem;
+    t.frame.spills.(s) <- v
+
+let imm_value t = function
+  | Masm.Iunit -> Value.Vunit
+  | Masm.Iint n -> Value.Vint n
+  | Masm.Ifloat f -> Value.Vfloat f
+  | Masm.Ibool b -> Value.Vbool b
+  | Masm.Ienum (c, v) -> Value.Venum (c, v)
+  | Masm.Ifun f -> Process.fun_value t.proc f
+  | Masm.Inil -> Interp.nil_value
+
+let operand t = function
+  | Masm.Slot s -> get_slot t s
+  | Masm.Imm i -> imm_value t i
+
+(* Install a continuation's arguments into a fresh frame for [fname]. *)
+let enter_function t fname args =
+  let fn =
+    match Masm.fn t.image fname with
+    | Some fn -> fn
+    | None -> raise (Emulator_error ("no compiled code for " ^ fname))
+  in
+  if List.length fn.Masm.fn_params <> List.length args then
+    raise
+      (Emulator_error
+         (Printf.sprintf "arity mismatch calling %s" fname));
+  t.frame.spills <- Array.make (max 1 fn.Masm.fn_spills) Value.Vunit;
+  Array.fill t.frame.regs 0 (Array.length t.frame.regs) Value.Vunit;
+  List.iter2 (fun slot v -> set_slot t slot v) fn.Masm.fn_params args;
+  fn
+
+(* Execute one basic block (mirrors Interp.step). *)
+let step ?(extern = Extern.base) t =
+  let proc = t.proc in
+  match proc.Process.status with
+  | Process.Exited _ | Process.Trapped _ | Process.Migrating _ -> ()
+  | Process.Running -> (
+    let heap = proc.Process.heap in
+    match
+      let fname, args = proc.Process.cont in
+      let fn = enter_function t fname args in
+      Process.charge proc Arch.Call_ret;
+      let code = fn.Masm.fn_code in
+      let pc = ref 0 in
+      let running = ref true in
+      while !running do
+        if !pc < 0 || !pc >= Array.length code then
+          raise (Emulator_error "program counter out of range");
+        let i = code.(!pc) in
+        incr pc;
+        match i with
+        | Masm.Mov (d, a) ->
+          Process.charge proc Arch.Alu;
+          set_slot t d (operand t a)
+        | Masm.Cast (d, ty, a) ->
+          Process.charge proc Arch.Alu;
+          set_slot t d (Interp.cast_check ty (operand t a))
+        | Masm.Unop (o, d, a) ->
+          Process.charge proc Arch.Alu;
+          set_slot t d (Interp.eval_unop o (operand t a))
+        | Masm.Binop (o, d, a, b) ->
+          Process.charge proc Arch.Alu;
+          set_slot t d (Interp.eval_binop o (operand t a) (operand t b))
+        | Masm.Alloc_tuple (d, fields) ->
+          Process.charge proc Arch.Trap;
+          let idx = Heap.alloc_tuple heap (List.map (operand t) fields) in
+          set_slot t d (Value.Vptr (idx, 0))
+        | Masm.Alloc_array (d, n, init) ->
+          Process.charge proc Arch.Trap;
+          let size = Interp.as_int (operand t n) in
+          if size < 0 then raise (Interp.Trap "negative array size");
+          let idx =
+            Heap.alloc heap ~tag:Heap.Array ~size ~init:(operand t init)
+          in
+          set_slot t d (Value.Vptr (idx, 0))
+        | Masm.Alloc_string (d, s) ->
+          Process.charge proc Arch.Trap;
+          set_slot t d (Value.Vptr (Heap.alloc_raw heap s, 0))
+        | Masm.Load (d, p, dyn, k) ->
+          Process.charge proc Arch.Mem;
+          let idx, off = Interp.as_ptr (operand t p) in
+          let dyn = Interp.as_int (operand t dyn) in
+          set_slot t d (Heap.read heap idx (off + dyn + k))
+        | Masm.Store (p, dyn, k, v) ->
+          Process.charge proc Arch.Mem;
+          let idx, off = Interp.as_ptr (operand t p) in
+          let dyn = Interp.as_int (operand t dyn) in
+          Heap.write heap idx (off + dyn + k) (operand t v)
+        | Masm.Ext (d, name, args) ->
+          Process.charge proc Arch.Trap;
+          set_slot t d (extern proc name (List.map (operand t) args))
+        | Masm.Jmp target ->
+          Process.charge proc Arch.Branch;
+          pc := target
+        | Masm.Jz (c, target) ->
+          Process.charge proc Arch.Branch;
+          if not (Interp.as_bool (operand t c)) then pc := target
+        | Masm.Switch (v, cases, default) ->
+          Process.charge proc Arch.Branch;
+          let n =
+            match operand t v with
+            | Value.Vint n | Value.Venum (_, n) -> n
+            | v ->
+              raise (Interp.Trap ("switch on non-integer " ^ Value.to_string v))
+          in
+          pc :=
+            (match List.assoc_opt n cases with
+            | Some target -> target
+            | None -> default)
+        | Masm.Tail_call (f, args) ->
+          Process.charge proc Arch.Call_ret;
+          let name = Process.fun_name proc (operand t f) in
+          proc.Process.cont <- name, List.map (operand t) args;
+          running := false
+        | Masm.Exit v ->
+          Process.charge proc Arch.Call_ret;
+          proc.Process.status <-
+            Process.Exited (Interp.as_int (operand t v));
+          running := false
+        | Masm.Migrate (label, dst, f, args) ->
+          Process.do_migrate proc ~label
+            ~target:(Interp.target_string proc (operand t dst))
+            ~entry:(Process.fun_name proc (operand t f))
+            ~args:(List.map (operand t) args);
+          running := false
+        | Masm.Speculate (f, args) ->
+          Process.do_speculate proc
+            ~entry:(Process.fun_name proc (operand t f))
+            ~args:(List.map (operand t) args);
+          running := false
+        | Masm.Commit (l, f, args) ->
+          Process.do_commit proc
+            ~level:(Interp.as_int (operand t l))
+            ~entry:(Process.fun_name proc (operand t f))
+            ~args:(List.map (operand t) args);
+          running := false
+        | Masm.Rollback (l, c) ->
+          Process.do_rollback proc
+            ~level:(Interp.as_int (operand t l))
+            ~code:(Interp.as_int (operand t c));
+          running := false
+      done
+    with
+    | () ->
+      proc.Process.steps <- proc.Process.steps + 1;
+      Process.maybe_collect proc
+    | exception Interp.Trap msg ->
+      proc.Process.status <- Process.Trapped msg
+    | exception Emulator_error msg ->
+      proc.Process.status <- Process.Trapped ("emulator: " ^ msg)
+    | exception Heap.Runtime_error msg ->
+      proc.Process.status <- Process.Trapped ("heap: " ^ msg)
+    | exception Pointer_table.Invalid_pointer msg ->
+      proc.Process.status <- Process.Trapped ("pointer: " ^ msg)
+    | exception Function_table.Invalid_function msg ->
+      proc.Process.status <- Process.Trapped ("function: " ^ msg)
+    | exception Spec.Engine.Invalid_level msg ->
+      proc.Process.status <- Process.Trapped ("speculation: " ^ msg)
+    | exception Process.Extern_failure msg ->
+      proc.Process.status <- Process.Trapped ("extern: " ^ msg)
+    | exception Process.Process_error msg ->
+      proc.Process.status <- Process.Trapped msg)
+
+let run ?(extern = Extern.base) ?(max_steps = 10_000_000) t =
+  let budget = ref max_steps in
+  while
+    (match t.proc.Process.status with
+     | Process.Running -> true
+     | Process.Exited _ | Process.Trapped _ | Process.Migrating _ -> false)
+    && !budget > 0
+  do
+    step ~extern t;
+    decr budget
+  done;
+  t.proc.Process.status
+
+(* The cost of a context switch on this runtime: save and restore one full
+   register file plus scheduler bookkeeping.  Used by experiment E5. *)
+let context_switch_cycles (arch : Arch.t) =
+  (* save + restore every register (memory traffic) plus a trap in and out *)
+  (2 * arch.Arch.registers * arch.Arch.cycles Arch.Mem)
+  + (2 * arch.Arch.cycles Arch.Trap)

@@ -1,0 +1,22 @@
+(** The MASM emulator — the "native-code runtime" stand-in.
+
+    Executes compiled instruction arrays with a real register file and
+    spill slots, charging the architecture's per-class cycle costs.
+    Semantically identical to {!Interp} (tested differentially); the
+    pseudo-instructions trap to the same {!Process} entry points. *)
+
+exception Emulator_error of string
+
+type t
+
+val create : Masm.image -> Process.t -> t
+(** @raise Emulator_error if the image's architecture does not match the
+    process's (cross-architecture execution requires recompilation). *)
+
+val step : ?extern:Process.handler -> t -> unit
+val run :
+  ?extern:Process.handler -> ?max_steps:int -> t -> Process.status
+
+val context_switch_cycles : Arch.t -> int
+(** Save + restore one full register file plus scheduler traps — the
+    experiment E5 baseline. *)

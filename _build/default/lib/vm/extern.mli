@@ -1,0 +1,21 @@
+(** External functions provided by the base runtime: output (to the
+    process's buffer), deterministic randomness, clocks, GC and
+    speculation introspection, and the simulated-work charge.  Host
+    environments extend the set (the simulated cluster adds message
+    passing and the fault-injected object store) and chain handlers with
+    {!combine}. *)
+
+val base_signatures : (string * (Fir.Types.ty list * Fir.Types.ty)) list
+
+val signature_lookup :
+  (string * (Fir.Types.ty list * Fir.Types.ty)) list ->
+  Fir.Typecheck.extern_lookup
+(** [signature_lookup extra] resolves [extra] first, then the base set. *)
+
+val signatures : Fir.Typecheck.extern_lookup
+(** The base set only (the default for strict typechecking). *)
+
+val base : Process.handler
+
+val combine : Process.handler -> Process.handler -> Process.handler
+(** [combine first fallback]: [first] wins; unknown externs fall through. *)

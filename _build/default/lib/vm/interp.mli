@@ -1,0 +1,40 @@
+(** The reference FIR interpreter.
+
+    One {!step} executes one basic block: from the current continuation
+    through straight-line bindings and branches to the next tail call,
+    exit or pseudo-instruction.  Every heap access goes through the
+    checked path; violations become a [Trapped] status, never undefined
+    behaviour.
+
+    The value-level helpers are shared with the {!Emulator} so the two
+    engines agree on semantics by construction. *)
+
+open Runtime
+
+exception Trap of string
+
+val nil_value : Value.t
+(** The null reference: an invalid pointer-table index, so dereferencing
+    traps. *)
+
+val eval_unop : Fir.Ast.unop -> Value.t -> Value.t
+val eval_binop : Fir.Ast.binop -> Value.t -> Value.t -> Value.t
+
+val cast_check : Fir.Types.ty -> Value.t -> Value.t
+(** The runtime representation check behind [Let_cast].
+    @raise Trap on a representation mismatch. *)
+
+val as_int : Value.t -> int
+val as_bool : Value.t -> bool
+val as_float : Value.t -> float
+val as_ptr : Value.t -> int * int
+
+val target_string : Process.t -> Value.t -> string
+(** Decode a migration target from a raw-block pointer. *)
+
+val step : ?extern:Process.handler -> Process.t -> unit
+(** Execute one basic block; a no-op unless the process is [Running]. *)
+
+val run :
+  ?extern:Process.handler -> ?max_steps:int -> Process.t -> Process.status
+(** Step until exit, trap, migration request or budget exhaustion. *)

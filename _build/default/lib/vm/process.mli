@@ -1,0 +1,95 @@
+(** Whole-process state (paper, Section 4.1).
+
+    A process bundles the FIR code, heap, pointer/function tables,
+    speculation engine and current continuation.  Because the FIR is CPS,
+    between basic blocks the complete live state is the next call's
+    argument list — which is why the paper's [migrate_env] is exactly
+    those arguments and migration needs no machine-specific register map.
+
+    A process does not run itself: {!Interp} or {!Emulator} advances it
+    one basic block per step, and a host environment (CLI, migration
+    daemon, simulated cluster node) resolves {!Migrating} statuses and
+    provides external functions. *)
+
+open Runtime
+
+type migration_request = {
+  m_label : int;  (** the unique migration label i *)
+  m_target : string;  (** decoded target string, e.g. "mcc://node1" *)
+  m_entry : string;  (** continuation function *)
+  m_args : Value.t list;  (** live variables = continuation arguments *)
+}
+
+type status =
+  | Running
+  | Exited of int
+  | Trapped of string
+  | Migrating of migration_request
+
+type t = {
+  pid : int;
+  program : Fir.Ast.program;
+  heap : Heap.t;
+  ftable : Function_table.t;
+  spec : Spec.Engine.t;
+  arch : Arch.t;
+  mutable cont : string * Value.t list;
+  mutable status : status;
+  mutable steps : int;
+  mutable cycles : int;
+  mutable waiting : bool;  (** scheduler hint: parked on input *)
+  output : Buffer.t;
+  rng : Random.State.t;
+}
+
+exception Process_error of string
+
+val create :
+  ?pid:int -> ?arch:Arch.t -> ?seed:int -> ?heap_cells:int ->
+  Fir.Ast.program -> t
+
+val restore :
+  ?pid:int -> ?arch:Arch.t -> ?seed:int ->
+  program:Fir.Ast.program -> heap:Heap.t ->
+  spec_snapshot:Spec.Engine.snapshot_level list ->
+  cont:string * Value.t list -> unit -> t
+(** Rebuild a process from unpacked parts (migration / checkpoint
+    resume). *)
+
+val output : t -> string
+val is_terminated : t -> bool
+val charge : t -> Arch.instr_class -> unit
+val fun_name : t -> Value.t -> string
+val fun_value : t -> string -> Value.t
+val fundef : t -> string -> Fir.Ast.fundef
+
+(** {2 Garbage collection driver} *)
+
+val roots : t -> Value.t list
+val collect : t -> Gc.kind -> Gc.result
+val maybe_collect : t -> unit
+
+(** {2 Pseudo-instruction plumbing (shared by both engines)} *)
+
+val do_speculate : t -> entry:string -> args:Value.t list -> unit
+val do_commit : t -> level:int -> entry:string -> args:Value.t list -> unit
+val do_rollback : t -> level:int -> code:int -> unit
+val do_migrate :
+  t -> label:int -> target:string -> entry:string -> args:Value.t list ->
+  unit
+
+val migration_failed : t -> unit
+(** Resolve a {!Migrating} status as failed: the process continues
+    locally, unaware (paper, Section 4.2.1) — also used for the
+    checkpoint protocol's keep-running semantics. *)
+
+val migration_completed : t -> unit
+(** Resolve a {!Migrating} status as succeeded: the source terminates. *)
+
+(** {2 External functions} *)
+
+exception Extern_failure of string
+
+type handler = t -> string -> Value.t list -> Value.t
+
+val no_externs : handler

@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Array Buffer Fir Gc Gen Hashtbl Heap List Mcc Migrate Minic Miniml Net Pascal Pointer_table Printf QCheck QCheck_alcotest Runtime Spec String Value Vm

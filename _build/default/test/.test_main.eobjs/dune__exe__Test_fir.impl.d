@@ -1,0 +1,1 @@
+test/test_fir.ml: Alcotest Ast Builder Bytes Char Fir Float List Opt Pp Printf QCheck QCheck_alcotest Serial String Typecheck Types Var

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_extended Test_fir Test_mcc Test_migrate Test_minic Test_miniml Test_net Test_pascal Test_runtime Test_spec Test_vm

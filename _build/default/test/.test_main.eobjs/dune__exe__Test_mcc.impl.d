@@ -1,0 +1,1 @@
+test/test_mcc.ml: Alcotest Array Fir List Mcc Net Printf String Vm

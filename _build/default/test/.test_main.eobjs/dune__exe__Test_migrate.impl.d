@@ -1,0 +1,1 @@
+test/test_migrate.ml: Alcotest Array Ast Builder Bytes Char Fir Heap List Migrate Printf Runtime Serial Spec String Types Value Var Vm

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Fir List Migrate Minic Net Option Vm

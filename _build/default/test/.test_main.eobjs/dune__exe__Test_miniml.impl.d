@@ -1,0 +1,1 @@
+test/test_miniml.ml: Alcotest Fir List Minic Miniml Net Vm

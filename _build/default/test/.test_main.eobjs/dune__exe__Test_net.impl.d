@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Builder Fir List Net Option Runtime Typecheck Types Value Vm

@@ -1,0 +1,1 @@
+test/test_pascal.ml: Alcotest List Mcc Migrate Pascal Vm

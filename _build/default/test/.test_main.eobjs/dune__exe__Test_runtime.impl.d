@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Function_table Gc Hashtbl Heap List Pointer_table QCheck QCheck_alcotest Random Runtime Value

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Gc Heap List Printf QCheck QCheck_alcotest Runtime Spec String Value

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Ast Builder Bytes Char Fir Heap List Opt Printf Runtime Typecheck Types Value Vm

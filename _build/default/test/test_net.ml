@@ -1,0 +1,531 @@
+(* Tests for the simulated cluster substrate: network cost model, shared
+   storage, mailboxes, scheduling, message passing, cluster-level
+   migration protocols, failure injection, resurrection, and the
+   distributed speculation-join cascade. *)
+
+open Fir
+open Runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Simnet                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_simnet_costs () =
+  let net = Net.Simnet.create () in
+  (* 1 MB at 100 Mbps = ~80 ms of wire time plus setup *)
+  let t = Net.Simnet.transfer_seconds net 1_000_000 in
+  check "1MB transfer around 81ms" true (t > 0.080 && t < 0.085);
+  let small = Net.Simnet.message_seconds net 100 in
+  check "message cheaper than transfer" true
+    (small < Net.Simnet.transfer_seconds net 100);
+  (* bandwidth term dominates large transfers *)
+  check "transfer scales with size" true
+    (Net.Simnet.transfer_seconds net 10_000_000
+     > 9.0 *. Net.Simnet.transfer_seconds net 1_000_000 /. 1.2)
+
+let test_simnet_clock () =
+  let net = Net.Simnet.create () in
+  Net.Simnet.advance net 0.5;
+  check "advance" true (Net.Simnet.now net = 0.5);
+  Net.Simnet.advance_to net 0.3;
+  check "advance_to never goes back" true (Net.Simnet.now net = 0.5);
+  Net.Simnet.advance_to net 0.9;
+  check "advance_to forward" true (Net.Simnet.now net = 0.9);
+  Net.Simnet.advance net (-1.0);
+  check "negative advance ignored" true (Net.Simnet.now net = 0.9)
+
+(* ------------------------------------------------------------------ *)
+(* Storage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_storage () =
+  let net = Net.Simnet.create () in
+  let st = Net.Storage.create net in
+  let dt = Net.Storage.write st "ckpt1" "hello" in
+  check "write takes time" true (dt > 0.0);
+  (match Net.Storage.read st "ckpt1" with
+  | Some (data, _) -> Alcotest.(check string) "read back" "hello" data
+  | None -> Alcotest.fail "read failed");
+  check "missing file" true (Net.Storage.read st "nope" = None);
+  let _ = Net.Storage.write st "ckpt1" "world" in
+  (match Net.Storage.read st "ckpt1" with
+  | Some (data, _) -> Alcotest.(check string) "overwrite" "world" data
+  | None -> Alcotest.fail "read failed");
+  check "exists" true (Net.Storage.exists st "ckpt1");
+  check_int "size" 5 (Option.get (Net.Storage.size st "ckpt1"));
+  check_int "list" 1 (List.length (Net.Storage.list st))
+
+(* ------------------------------------------------------------------ *)
+(* Mailboxes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let msg ?(spec = None) ~src ~tag ~at payload =
+  {
+    Net.Mpi.msg_src_rank = src;
+    msg_src_pid = 100 + src;
+    msg_tag = tag;
+    msg_payload = Array.map (fun n -> Value.Vint n) payload;
+    msg_deliver_at = at;
+    msg_spec = spec;
+  }
+
+let test_mailbox_matching () =
+  let mbox = Net.Mpi.create_mailbox () in
+  Net.Mpi.enqueue mbox (msg ~src:1 ~tag:5 ~at:0.0 [| 1 |]);
+  Net.Mpi.enqueue mbox (msg ~src:2 ~tag:5 ~at:0.0 [| 2 |]);
+  Net.Mpi.enqueue mbox (msg ~src:1 ~tag:6 ~at:0.0 [| 3 |]);
+  (* wrong src/tag combinations do not match *)
+  check "no match for src 3" true
+    (Net.Mpi.try_recv mbox ~now:1.0 ~src_rank:3 ~tag:5 = Net.Mpi.None_yet);
+  (match Net.Mpi.try_recv mbox ~now:1.0 ~src_rank:1 ~tag:6 with
+  | Net.Mpi.Received m ->
+    check "tag 6 from src 1" true (m.Net.Mpi.msg_payload = [| Value.Vint 3 |])
+  | _ -> Alcotest.fail "expected message");
+  check_int "two messages left" 2 (Net.Mpi.pending mbox);
+  (* FIFO among matches *)
+  match Net.Mpi.try_recv mbox ~now:1.0 ~src_rank:1 ~tag:5 with
+  | Net.Mpi.Received m ->
+    check "first matching" true (m.Net.Mpi.msg_payload = [| Value.Vint 1 |])
+  | _ -> Alcotest.fail "expected message"
+
+let test_mailbox_delivery_time () =
+  let mbox = Net.Mpi.create_mailbox () in
+  Net.Mpi.enqueue mbox (msg ~src:1 ~tag:0 ~at:5.0 [| 9 |]);
+  check "not yet delivered" true
+    (Net.Mpi.try_recv mbox ~now:1.0 ~src_rank:1 ~tag:0 = Net.Mpi.None_yet);
+  check "next delivery known" true (Net.Mpi.next_delivery mbox = Some 5.0);
+  match Net.Mpi.try_recv mbox ~now:5.0 ~src_rank:1 ~tag:0 with
+  | Net.Mpi.Received _ -> ()
+  | _ -> Alcotest.fail "expected delivery at t=5"
+
+let test_mailbox_roll_notice () =
+  let mbox = Net.Mpi.create_mailbox () in
+  Net.Mpi.enqueue mbox (msg ~src:1 ~tag:0 ~at:0.0 [| 1 |]);
+  Net.Mpi.post_roll_notice mbox ~src_rank:1;
+  (* the notice preempts the queued message and is consumed exactly once *)
+  check "roll first" true
+    (Net.Mpi.try_recv mbox ~now:1.0 ~src_rank:1 ~tag:0 = Net.Mpi.Roll);
+  (match Net.Mpi.try_recv mbox ~now:1.0 ~src_rank:1 ~tag:0 with
+  | Net.Mpi.Received _ -> ()
+  | _ -> Alcotest.fail "message should follow the notice");
+  (* notices are per source rank *)
+  Net.Mpi.post_roll_notice mbox ~src_rank:7;
+  check "other ranks unaffected" true
+    (Net.Mpi.try_recv mbox ~now:1.0 ~src_rank:1 ~tag:0 = Net.Mpi.None_yet)
+
+let test_mailbox_discard_speculative () =
+  let mbox = Net.Mpi.create_mailbox () in
+  Net.Mpi.enqueue mbox (msg ~spec:(Some (42, 7)) ~src:1 ~tag:0 ~at:0.0 [| 1 |]);
+  Net.Mpi.enqueue mbox (msg ~spec:(Some (42, 8)) ~src:1 ~tag:0 ~at:0.0 [| 2 |]);
+  Net.Mpi.enqueue mbox (msg ~src:1 ~tag:0 ~at:0.0 [| 3 |]);
+  let dropped =
+    Net.Mpi.discard_speculative mbox ~uids:[ 7 ] ~sender_pid:42
+  in
+  check_int "one dropped" 1 dropped;
+  check_int "two remain" 2 (Net.Mpi.pending mbox)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: basic scheduling and messaging                             *)
+(* ------------------------------------------------------------------ *)
+
+let exit_program n =
+  Builder.(prog [ func "main" [] (fun _ -> exit_ (int n)) ])
+
+let status_of_pid cluster pid =
+  match Net.Cluster.entry_of_pid cluster pid with
+  | Some e -> e.Net.Cluster.proc.Vm.Process.status
+  | None -> Alcotest.failf "no pid %d" pid
+
+let test_cluster_runs_to_exit () =
+  let cluster = Net.Cluster.create ~node_count:2 () in
+  let pid1 = Net.Cluster.spawn cluster ~node_id:0 (exit_program 7) in
+  let pid2 =
+    Net.Cluster.spawn cluster ~engine:`Masm ~node_id:1 (exit_program 8)
+  in
+  let _ = Net.Cluster.run cluster in
+  check "interp process exited" true
+    (status_of_pid cluster pid1 = Vm.Process.Exited 7);
+  check "emulated process exited" true
+    (status_of_pid cluster pid2 = Vm.Process.Exited 8);
+  check "time advanced" true (Net.Cluster.now cluster > 0.0)
+
+(* rank 0 sends [10;20;30] to rank 1; rank 1 polls, sums, exits 60 *)
+let sender_program =
+  Builder.(
+    prog
+      [
+        func "main" [] (fun _ ->
+            array Types.Tint ~size:(int 3) ~init:(int 0) (fun buf ->
+                store buf (int 0) (int 10)
+                  (store buf (int 1) (int 20)
+                     (store buf (int 2) (int 30)
+                        (ext Types.Tint "msg_send_int"
+                           [ int 1; int 0; buf; int 3 ] (fun r ->
+                             exit_ r))))));
+      ])
+
+let receiver_program =
+  Builder.(
+    prog
+      [
+        func "poll" [ "buf", Types.Tptr Types.Tint ] (fun args ->
+            match args with
+            | [ buf ] ->
+              ext Types.Tint "msg_try_recv_int" [ int 0; int 0; buf; int 3 ]
+                (fun r ->
+                  eq r (int (-1)) (fun empty ->
+                      if_ empty (callf "poll" [ buf ])
+                        (load Types.Tint buf (int 0) (fun a ->
+                             load Types.Tint buf (int 1) (fun b ->
+                                 load Types.Tint buf (int 2) (fun c ->
+                                     add a b (fun ab ->
+                                         add ab c (fun s -> exit_ s))))))))
+            | _ -> assert false);
+        func "main" [] (fun _ ->
+            array Types.Tint ~size:(int 3) ~init:(int 0) (fun buf ->
+                callf "poll" [ buf ]));
+      ])
+
+let test_cluster_message_passing () =
+  let cluster = Net.Cluster.create ~node_count:2 () in
+  let recv_pid =
+    Net.Cluster.spawn cluster ~rank:1 ~node_id:1 receiver_program
+  in
+  let send_pid = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 sender_program in
+  let _ = Net.Cluster.run cluster in
+  check "sender ok" true (status_of_pid cluster send_pid = Vm.Process.Exited 0);
+  check "receiver summed the payload" true
+    (status_of_pid cluster recv_pid = Vm.Process.Exited 60)
+
+let test_cluster_send_to_nowhere () =
+  let cluster = Net.Cluster.create ~node_count:1 () in
+  (* rank 1 never registered: send returns -1 *)
+  let pid = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 sender_program in
+  let _ = Net.Cluster.run cluster in
+  check "send to unknown rank fails" true
+    (status_of_pid cluster pid = Vm.Process.Exited (-1))
+
+let test_cluster_typechecks_against_externs () =
+  check "cluster programs typecheck against the extern registry" true
+    (Typecheck.well_typed ~strict:true
+       ~externs:Net.Cluster.extern_signatures receiver_program)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster migration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let migrate_then_finish ~target =
+  Builder.(
+    prog
+      [
+        func "after" [ "x", Types.Tint ] (fun args ->
+            match args with
+            | [ x ] -> add x (int 5) (fun r -> exit_ r)
+            | _ -> assert false);
+        func "main" [] (fun _ ->
+            string target (fun dst ->
+                migrate ~label:1 dst (fn "after") [ int 100 ]));
+      ])
+
+let test_cluster_migrate () =
+  let cluster = Net.Cluster.create ~node_count:2 () in
+  let pid =
+    Net.Cluster.spawn cluster ~rank:3 ~node_id:0
+      (migrate_then_finish ~target:"mcc://node1")
+  in
+  let _ = Net.Cluster.run cluster in
+  (* the source process terminated by migration *)
+  check "source exited" true
+    (status_of_pid cluster pid = Vm.Process.Exited 0);
+  (* its successor finished the computation on node1 under the same rank *)
+  (match Net.Cluster.entry_of_rank cluster 3 with
+  | Some e ->
+    check "migrated process finished" true
+      (e.Net.Cluster.proc.Vm.Process.status = Vm.Process.Exited 105);
+    check_int "runs on node1" 1 e.Net.Cluster.node_id
+  | None -> Alcotest.fail "rank lost across migration");
+  match Net.Cluster.migrations cluster with
+  | [ mr ] ->
+    check "migration recorded ok" true mr.Net.Cluster.mr_ok;
+    check "bytes counted" true (mr.Net.Cluster.mr_bytes > 0);
+    check "compile time charged (untrusted target)" true
+      (mr.Net.Cluster.mr_compile_s > 0.0)
+  | l -> Alcotest.failf "expected 1 migration record, got %d" (List.length l)
+
+let test_cluster_migrate_to_dead_node () =
+  let cluster = Net.Cluster.create ~node_count:2 () in
+  Net.Cluster.fail_node cluster 1;
+  let pid =
+    Net.Cluster.spawn cluster ~node_id:0
+      (migrate_then_finish ~target:"mcc://node1")
+  in
+  let _ = Net.Cluster.run cluster in
+  (* failed migration is invisible: the process continued locally *)
+  check "continued locally" true
+    (status_of_pid cluster pid = Vm.Process.Exited 105)
+
+let test_cluster_checkpoint_and_resurrect () =
+  let cluster = Net.Cluster.create ~node_count:3 () in
+  let p =
+    Builder.(
+      prog
+        [
+          func "after" [ "x", Types.Tint ] (fun args ->
+              match args with
+              | [ x ] ->
+                (* spin so the process is still alive when we kill it *)
+                callf "spin" [ int 200000; x ]
+              | _ -> assert false);
+          func "spin" [ "i", Types.Tint; "x", Types.Tint ] (fun args ->
+              match args with
+              | [ i; x ] ->
+                gt i (int 0) (fun more ->
+                    if_ more
+                      (sub i (int 1) (fun i' -> callf "spin" [ i'; x ]))
+                      (exit_ x))
+              | _ -> assert false);
+          func "main" [] (fun _ ->
+              string "checkpoint://ck" (fun dst ->
+                  migrate ~label:9 dst (fn "after") [ int 41 ]));
+        ])
+  in
+  let pid = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 p in
+  (* run a little: enough for the checkpoint, not for the spin *)
+  let _ = Net.Cluster.run cluster ~max_rounds:5 in
+  check "checkpoint file exists" true
+    (Net.Storage.exists (Net.Cluster.storage cluster) "ck");
+  check "process kept running after checkpoint" true
+    (match status_of_pid cluster pid with
+    | Vm.Process.Running -> true
+    | Vm.Process.Exited 41 -> true (* if it got far *)
+    | _ -> false);
+  (* kill the node, resurrect from the checkpoint elsewhere *)
+  Net.Cluster.fail_node cluster 0;
+  check "victim trapped" true
+    (match status_of_pid cluster pid with
+    | Vm.Process.Trapped _ -> true
+    | _ -> false);
+  (match Net.Cluster.resurrect cluster ~rank:0 ~node_id:2 ~path:"ck" with
+  | Error msg -> Alcotest.failf "resurrection failed: %s" msg
+  | Ok new_pid ->
+    let _ = Net.Cluster.run cluster in
+    check "resurrected process completed" true
+      (status_of_pid cluster new_pid = Vm.Process.Exited 41));
+  (* resurrection on a dead node is refused *)
+  match Net.Cluster.resurrect cluster ~node_id:0 ~path:"ck" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resurrected on a dead node"
+
+let test_cluster_suspend () =
+  let cluster = Net.Cluster.create ~node_count:1 () in
+  let pid =
+    Net.Cluster.spawn cluster ~node_id:0
+      (migrate_then_finish ~target:"suspend://s1")
+  in
+  let _ = Net.Cluster.run cluster in
+  check "suspend terminates the process" true
+    (status_of_pid cluster pid = Vm.Process.Exited 0);
+  check "suspend image written" true
+    (Net.Storage.exists (Net.Cluster.storage cluster) "s1");
+  (* the suspended image is resumable *)
+  match Net.Cluster.resurrect cluster ~node_id:0 ~path:"s1" with
+  | Error msg -> Alcotest.failf "resume failed: %s" msg
+  | Ok new_pid ->
+    let _ = Net.Cluster.run cluster in
+    check "suspended process resumed and finished" true
+      (status_of_pid cluster new_pid = Vm.Process.Exited 105)
+
+(* ------------------------------------------------------------------ *)
+(* Failure + MSG_ROLL                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* rank 1 polls rank 0 forever; exits 222 when it sees MSG_ROLL *)
+let roll_watcher =
+  Builder.(
+    prog
+      [
+        func "poll" [ "buf", Types.Tptr Types.Tint ] (fun args ->
+            match args with
+            | [ buf ] ->
+              ext Types.Tint "msg_try_recv_int" [ int 0; int 0; buf; int 1 ]
+                (fun r ->
+                  eq r (int (-2)) (fun rolled ->
+                      if_ rolled (exit_ (int 222)) (callf "poll" [ buf ])))
+            | _ -> assert false);
+        func "main" [] (fun _ ->
+            array Types.Tint ~size:(int 1) ~init:(int 0) (fun buf ->
+                callf "poll" [ buf ]));
+      ])
+
+let spin_forever =
+  Builder.(
+    prog
+      [
+        func "spin" [] (fun _ -> callf "spin" []);
+        func "main" [] (fun _ -> callf "spin" []);
+      ])
+
+let test_msg_roll_on_failure () =
+  let cluster = Net.Cluster.create ~node_count:2 () in
+  let victim = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 spin_forever in
+  let watcher = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 roll_watcher in
+  let _ = Net.Cluster.run cluster ~max_rounds:10 in
+  Net.Cluster.fail_node cluster 0;
+  let _ = Net.Cluster.run cluster ~max_rounds:50 in
+  check "victim trapped" true
+    (match status_of_pid cluster victim with
+    | Vm.Process.Trapped _ -> true
+    | _ -> false);
+  check "watcher observed MSG_ROLL" true
+    (status_of_pid cluster watcher = Vm.Process.Exited 222)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed speculation join                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Sender (rank 0): enters a speculation, writes its cell to 1, SENDS a
+   message carrying the speculation, spins a while, then rolls back; on
+   retry (c<>0) it exits its cell value (must be 0 again).
+   Receiver (rank 1): enters a speculation, receives the message (joining
+   the sender's speculation), writes its own cell to the received value,
+   then polls a second message that never comes.  The sender's rollback
+   must force the receiver back to ITS speculation entry — on re-entry
+   with c<>0 the receiver exits 300 + cell (cell must be restored to 0).
+*)
+let spec_sender =
+  Builder.(
+    prog
+      [
+        func "wait_then_roll" [ "i", Types.Tint ] (fun args ->
+            match args with
+            | [ i ] ->
+              gt i (int 0) (fun more ->
+                  if_ more
+                    (sub i (int 1) (fun i' -> callf "wait_then_roll" [ i' ]))
+                    (rollback (int 1) (int 1)))
+            | _ -> assert false);
+        func "body"
+          [ "c", Types.Tint; "cell", Types.Tptr Types.Tint;
+            "buf", Types.Tptr Types.Tint ]
+          (fun args ->
+            match args with
+            | [ c; cell; buf ] ->
+              eq c (int 0) (fun fresh ->
+                  if_ fresh
+                    (store cell (int 0) (int 1)
+                       (store buf (int 0) (int 55)
+                          (ext Types.Tint "msg_send_int"
+                             [ int 1; int 0; buf; int 1 ] (fun _ ->
+                               callf "wait_then_roll" [ int 3000 ]))))
+                    (load Types.Tint cell (int 0) (fun v ->
+                         add (int 100) v (fun r -> exit_ r))))
+            | _ -> assert false);
+        func "main" [] (fun _ ->
+            array Types.Tint ~size:(int 1) ~init:(int 0) (fun cell ->
+                array Types.Tint ~size:(int 1) ~init:(int 0) (fun buf ->
+                    speculate (fn "body") [ cell; buf ])));
+      ])
+
+let spec_receiver =
+  Builder.(
+    prog
+      [
+        func "poll1"
+          [ "cell", Types.Tptr Types.Tint; "buf", Types.Tptr Types.Tint ]
+          (fun args ->
+            match args with
+            | [ cell; buf ] ->
+              ext Types.Tint "msg_try_recv_int" [ int 0; int 0; buf; int 1 ]
+                (fun r ->
+                  ge r (int 0) (fun got ->
+                      if_ got
+                        (load Types.Tint buf (int 0) (fun v ->
+                             store cell (int 0) v
+                               (callf "poll2" [ cell; buf ])))
+                        (callf "poll1" [ cell; buf ])))
+            | _ -> assert false);
+        func "poll2"
+          [ "cell", Types.Tptr Types.Tint; "buf", Types.Tptr Types.Tint ]
+          (fun args ->
+            match args with
+            | [ cell; buf ] ->
+              (* waits for a second message that never arrives *)
+              ext Types.Tint "msg_try_recv_int" [ int 0; int 1; buf; int 1 ]
+                (fun _ -> callf "poll2" [ cell; buf ])
+            | _ -> assert false);
+        func "body"
+          [ "c", Types.Tint; "cell", Types.Tptr Types.Tint;
+            "buf", Types.Tptr Types.Tint ]
+          (fun args ->
+            match args with
+            | [ c; cell; buf ] ->
+              eq c (int 0) (fun fresh ->
+                  if_ fresh
+                    (callf "poll1" [ cell; buf ])
+                    (load Types.Tint cell (int 0) (fun v ->
+                         add (int 300) v (fun r -> exit_ r))))
+            | _ -> assert false);
+        func "main" [] (fun _ ->
+            array Types.Tint ~size:(int 1) ~init:(int 0) (fun cell ->
+                array Types.Tint ~size:(int 1) ~init:(int 0) (fun buf ->
+                    speculate (fn "body") [ cell; buf ])));
+      ])
+
+let test_speculation_join_cascade () =
+  (* near-zero latency so the receiver consumes the speculative message
+     well before the sender's rollback *)
+  let net = Net.Simnet.create ~latency_us:0.01 ~connect_ms:0.001 () in
+  let cluster = Net.Cluster.create ~node_count:2 ~net () in
+  let sender = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 spec_sender in
+  let receiver = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 spec_receiver in
+  let _ = Net.Cluster.run cluster ~max_rounds:5000 in
+  (* sender retried and saw its own write undone *)
+  check "sender rolled back and retried" true
+    (status_of_pid cluster sender = Vm.Process.Exited 100);
+  (* receiver was cascaded: its own speculative write was undone and it
+     re-entered its speculation with a rollback code *)
+  check "receiver rolled back with the sender" true
+    (status_of_pid cluster receiver = Vm.Process.Exited 300)
+
+let suites =
+  [
+    ( "net.simnet",
+      [
+        Alcotest.test_case "transfer cost model" `Quick test_simnet_costs;
+        Alcotest.test_case "virtual clock" `Quick test_simnet_clock;
+      ] );
+    ("net.storage", [ Alcotest.test_case "shared store" `Quick test_storage ]);
+    ( "net.mpi",
+      [
+        Alcotest.test_case "matching by src/tag" `Quick test_mailbox_matching;
+        Alcotest.test_case "delivery times" `Quick test_mailbox_delivery_time;
+        Alcotest.test_case "roll notices" `Quick test_mailbox_roll_notice;
+        Alcotest.test_case "speculative discard" `Quick
+          test_mailbox_discard_speculative;
+      ] );
+    ( "net.cluster",
+      [
+        Alcotest.test_case "runs processes to completion" `Quick
+          test_cluster_runs_to_exit;
+        Alcotest.test_case "message passing" `Quick
+          test_cluster_message_passing;
+        Alcotest.test_case "send to unknown rank" `Quick
+          test_cluster_send_to_nowhere;
+        Alcotest.test_case "programs typecheck against externs" `Quick
+          test_cluster_typechecks_against_externs;
+        Alcotest.test_case "migration between nodes" `Quick
+          test_cluster_migrate;
+        Alcotest.test_case "migration to dead node continues locally" `Quick
+          test_cluster_migrate_to_dead_node;
+        Alcotest.test_case "checkpoint and resurrection" `Quick
+          test_cluster_checkpoint_and_resurrect;
+        Alcotest.test_case "suspend protocol" `Quick test_cluster_suspend;
+        Alcotest.test_case "MSG_ROLL on node failure" `Quick
+          test_msg_roll_on_failure;
+        Alcotest.test_case "speculation join cascade" `Quick
+          test_speculation_join_cascade;
+      ] );
+  ]
