@@ -1,0 +1,19 @@
+# Convenience targets; CI runs `make ci`.
+
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+ci: build test
+
+clean:
+	dune clean

@@ -283,8 +283,21 @@ let serve_cmd =
     Arg.(value & flag & info [ "trusted" ] ~doc:"Skip verification; use \
                                                  binary payloads.")
   in
-  let action spool arch once trusted =
+  let cache_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "code-cache" ] ~docv:"N"
+          ~doc:"Recompilation-cache capacity in entries (0 disables): \
+                repeated images of the same program skip typecheck and \
+                codegen and are relinked from cached code.")
+  in
+  let action spool arch once trusted cache_capacity =
     let arch = arch_of_string arch in
+    let cache =
+      if cache_capacity > 0 then
+        Some (Migrate.Codecache.create ~capacity:cache_capacity ())
+      else None
+    in
     let process_batch () =
       let images =
         Sys.readdir spool |> Array.to_list
@@ -296,13 +309,14 @@ let serve_cmd =
           let path = Filename.concat spool name in
           let bytes = read_file path in
           Sys.remove path;
-          match Migrate.Pack.unpack ~trusted ~arch bytes with
+          match Migrate.Pack.unpack ~trusted ?cache ~arch bytes with
           | Error m -> Printf.eprintf "mcc serve: %s rejected: %s\n" name m
           | Ok (proc, masm, costs) ->
             Printf.eprintf
               "mcc serve: accepted %s (%d bytes%s); resuming\n" name
               costs.Migrate.Pack.u_bytes
-              (if costs.Migrate.Pack.u_recompiled then ", recompiled"
+              (if costs.Migrate.Pack.u_cache_hit then ", code cache hit"
+               else if costs.Migrate.Pack.u_recompiled then ", recompiled"
                else ", binary fast path");
             let emu = Vm.Emulator.create masm proc in
             let code = drive (fun () -> Vm.Emulator.step emu) proc in
@@ -311,15 +325,23 @@ let serve_cmd =
         images;
       List.length images
     in
+    let print_cache_stats () =
+      match cache with
+      | Some c -> Printf.eprintf "mcc serve: code cache: %s\n"
+                    (Migrate.Codecache.report c)
+      | None -> ()
+    in
     if once then begin
       let n = process_batch () in
       if n = 0 then Printf.eprintf "mcc serve: spool empty\n";
+      print_cache_stats ();
       0
     end
     else begin
       Printf.eprintf "mcc serve: watching %s (ctrl-c to stop)\n" spool;
       let rec loop () =
-        ignore (process_batch ());
+        let n = process_batch () in
+        if n > 0 then print_cache_stats ();
         Unix.sleepf 0.2;
         loop ()
       in
@@ -330,7 +352,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run a migration server over a spool directory: verify, \
              recompile and execute inbound process images.")
-    Term.(const action $ dir_arg $ arch_arg $ once_arg $ trusted_arg)
+    Term.(
+      const action $ dir_arg $ arch_arg $ once_arg $ trusted_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mcc grid                                                            *)

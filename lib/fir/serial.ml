@@ -15,7 +15,10 @@ open Ast
 exception Corrupt of string
 
 let magic = "MFIR"
-let version = 3
+
+(* v4: lists are tagged streams (one continuation byte per element, no
+   length prefix), so [put_list] emits in a single traversal. *)
+let version = 4
 
 (* ------------------------------------------------------------------ *)
 (* Primitive encoders.                                                 *)
@@ -48,9 +51,17 @@ let put_string buf s =
 
 let put_bool buf b = put_u8 buf (if b then 1 else 0)
 
+(* Tagged-stream encoding: a continuation byte before each element and a
+   terminator after the last.  One traversal of the list, no length
+   prefix to precompute (the old format walked every list twice, once for
+   [List.length] and once to emit). *)
 let put_list buf f xs =
-  put_i64 buf (List.length xs);
-  List.iter (f buf) xs
+  List.iter
+    (fun x ->
+      put_u8 buf 1;
+      f buf x)
+    xs;
+  put_u8 buf 0
 
 type reader = { data : string; mutable pos : int }
 
@@ -105,9 +116,15 @@ let get_string r =
 let get_bool r = get_u8 r <> 0
 
 let get_list r f =
-  let n = get_i64 r in
-  if n < 0 || n > 100_000_000 then raise (Corrupt "bad list length");
-  List.init n (fun _ -> f r)
+  (* elements arrive as a tagged stream; memory is bounded by the input
+     length because every element consumes at least its tag byte *)
+  let rec go acc =
+    match get_u8 r with
+    | 0 -> List.rev acc
+    | 1 -> go (f r :: acc)
+    | n -> raise (Corrupt (Printf.sprintf "bad list tag %d" n))
+  in
+  go []
 
 (* ------------------------------------------------------------------ *)
 (* Adler-32.                                                           *)
@@ -121,6 +138,25 @@ let adler32 s =
       b := (!b + !a) mod 65521)
     s;
   (!b lsl 16) lor !a
+
+(* ------------------------------------------------------------------ *)
+(* Content digest.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* 64-bit FNV-1a over already-encoded bytes, as a 16-char hex string.
+   This is the content address of a FIR program (see {!Digest}): a
+   migration server can digest the received payload without decoding it
+   first.  Adler-32 stays the per-message transport checksum; the digest
+   is the cache/identity key (far better dispersion, stable across
+   transports). *)
+let encoded_digest s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  Printf.sprintf "%016Lx" !h
 
 (* ------------------------------------------------------------------ *)
 (* Types.                                                              *)
@@ -556,8 +592,17 @@ let get_fundef r =
   let f_body = get_exp r in
   { f_name; f_params; f_body }
 
+(* The body buffer is reused across calls — pack re-encodes a program on
+   every migration, and reallocating a multi-hundred-KB buffer each time
+   is visible in pack wall time.  [Buffer.clear] keeps the storage, so
+   after the first encoding the buffer is pre-sized to the previous
+   program's footprint.  (Nothing in this module is reentrant or
+   thread-safe; [encode] never calls itself.) *)
+let encode_body = Buffer.create 4096
+
 let encode p =
-  let body = Buffer.create 4096 in
+  let body = encode_body in
+  Buffer.clear body;
   put_string body p.p_main;
   put_list body put_fundef
     (fold_funs (fun fd acc -> fd :: acc) p []);

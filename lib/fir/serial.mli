@@ -43,6 +43,12 @@ val get_list : reader -> (reader -> 'a) -> 'a list
 
 val adler32 : string -> int
 
+val encoded_digest : string -> string
+(** 64-bit FNV-1a content digest of already-encoded bytes, as a 16-char
+    hex string — the content address of a FIR payload.  A migration
+    server can digest received bytes without decoding them first; see
+    {!Digest} for the program-level API. *)
+
 (** {2 Shared operator codes} *)
 
 val unop_code : Ast.unop -> int

@@ -38,6 +38,7 @@ type unpack_costs = {
   u_bytes : int; (* transferred size *)
   u_verified : bool; (* structural + type verification performed *)
   u_recompiled : bool; (* FIR -> MASM codegen performed *)
+  u_cache_hit : bool; (* code served from the recompilation cache *)
   u_compile_cycles : int; (* simulated cycles charged for recompilation *)
 }
 
@@ -63,10 +64,12 @@ let pack ?(with_binary = true) proc ~entry ~args ~label =
   in
   Spec.Engine.rewrite_after_gc proc.Process.spec res;
   (* 3. snapshot *)
+  let fir_bytes = Fir.Serial.encode proc.Process.program in
   let image =
     {
       Wire.i_arch = proc.Process.arch.Arch.name;
-      i_fir = Fir.Serial.encode proc.Process.program;
+      i_digest = Fir.Digest.of_encoded fir_bytes;
+      i_fir = fir_bytes;
       i_masm =
         (if with_binary then
            Some
@@ -139,28 +142,102 @@ let value_matches program ftable_names ty v =
     false
 
 (* [extern_signatures] extends the strict typecheck with the host
-   environment's externs (e.g. the cluster's message-passing set). *)
+   environment's externs (e.g. the cluster's message-passing set).
+
+   [cache] is the destination node's recompilation cache.  The flow keeps
+   the trust model intact: the cache is consulted only AFTER Wire.decode
+   has recomputed the digest over the received bytes (so the key names
+   exactly what arrived) and after the per-migration structural heap
+   verification — Wire.verify checks THIS image's heap and can never be
+   skipped.  A hit only elides the program-level work (FIR decode,
+   typecheck, codegen), which is a pure function of the FIR bytes; a miss
+   runs the full untrusted-source pipeline and then populates the cache,
+   including negative entries for payloads that fail the typecheck. *)
 let unpack ?(pid = 0) ?(seed = 42) ?(trusted = false)
-    ?(extern_signatures = Extern.signatures) ~arch bytes =
+    ?(extern_signatures = Extern.signatures) ?cache ~arch bytes =
   try
     let image = Wire.decode bytes in
     let verified = not trusted in
+    (* structural heap checks are per-image state, never cacheable *)
     if verified then Wire.verify image;
-    let program =
-      try Fir.Serial.decode image.Wire.i_fir
-      with Fir.Serial.Corrupt msg ->
-        raise (Unpack_error ("corrupt FIR payload: " ^ msg))
+    let cached =
+      match cache with
+      | Some c ->
+        Codecache.find c ~digest:image.Wire.i_digest ~arch:arch.Arch.name
+          ~trusted
+      | None -> None
     in
-    if verified then begin
-      match
-        Fir.Typecheck.check_program ~strict:true ~externs:extern_signatures
-          program
-      with
-      | Ok () -> ()
-      | Error msg -> raise (Unpack_error ("FIR rejected: " ^ msg))
-    end;
+    let program, masm, recompiled, cache_hit, compile_cycles =
+      match cached with
+      | Some { Codecache.e_verdict = Error msg; _ } ->
+        (* negative entry: this exact payload already failed the
+           typecheck here — reject without re-running it *)
+        raise (Unpack_error ("FIR rejected: " ^ msg))
+      | Some ({ Codecache.e_verdict = Ok (); _ } as e) ->
+        let masm =
+          match e.Codecache.e_masm with
+          | Some m -> m
+          | None -> assert false (* Ok verdict always carries code *)
+        in
+        (* typecheck + codegen elided; the stub must still be linked *)
+        ( e.Codecache.e_program,
+          masm,
+          false,
+          true,
+          Codegen.simulated_link_cycles masm )
+      | None ->
+        let program =
+          try Fir.Serial.decode image.Wire.i_fir
+          with Fir.Serial.Corrupt msg ->
+            raise (Unpack_error ("corrupt FIR payload: " ^ msg))
+        in
+        if verified then begin
+          match
+            Fir.Typecheck.check_program ~strict:true
+              ~externs:extern_signatures program
+          with
+          | Ok () -> ()
+          | Error msg ->
+            (* negative caching: remember the rejection *)
+            (match cache with
+            | Some c ->
+              Codecache.add c ~digest:image.Wire.i_digest
+                ~arch:arch.Arch.name ~trusted ~program
+                ~verdict:(Error msg) ~masm:None
+            | None -> ());
+            raise (Unpack_error ("FIR rejected: " ^ msg))
+        end;
+        (* decide the execution payload *)
+        let binary_fast_path =
+          trusted
+          && String.equal image.Wire.i_arch arch.Arch.name
+          && image.Wire.i_masm <> None
+        in
+        let masm, recompiled, compile_cycles =
+          if binary_fast_path then
+            match image.Wire.i_masm with
+            | Some payload ->
+              let masm = Masm.decode payload in
+              (* no recompilation, but the stub must still be linked *)
+              masm, false, Codegen.simulated_link_cycles masm
+            | None -> assert false
+          else
+            let masm = Codegen.compile ~arch program in
+            ( masm,
+              true,
+              Codegen.simulated_compile_cycles program
+              + Codegen.simulated_link_cycles masm )
+        in
+        (match cache with
+        | Some c ->
+          Codecache.add c ~digest:image.Wire.i_digest ~arch:arch.Arch.name
+            ~trusted ~program ~verdict:(Ok ()) ~masm:(Some masm)
+        | None -> ());
+        program, masm, recompiled, false, compile_cycles
+    in
     (* the function table must be exactly the program's functions, in the
-       canonical order (index order is load-bearing for Vfun values) *)
+       canonical order (index order is load-bearing for Vfun values); the
+       table is per-image state, so this runs on cache hits too *)
     let expected =
       List.sort String.compare (Fir.Ast.fun_names program)
     in
@@ -169,27 +246,6 @@ let unpack ?(pid = 0) ?(seed = 42) ?(trusted = false)
     let heap =
       Heap.restore ~cells:image.Wire.i_cells
         ~ptable_snapshot:image.Wire.i_ptable
-    in
-    (* decide the execution payload *)
-    let binary_fast_path =
-      trusted
-      && String.equal image.Wire.i_arch arch.Arch.name
-      && image.Wire.i_masm <> None
-    in
-    let masm, recompiled, compile_cycles =
-      if binary_fast_path then
-        match image.Wire.i_masm with
-        | Some payload ->
-          let masm = Masm.decode payload in
-          (* no recompilation, but the stub must still be linked *)
-          masm, false, Codegen.simulated_link_cycles masm
-        | None -> assert false
-      else
-        let masm = Codegen.compile ~arch program in
-        ( masm,
-          true,
-          Codegen.simulated_compile_cycles program
-          + Codegen.simulated_link_cycles masm )
     in
     let proc =
       Process.restore ~pid ~arch ~seed ~program ~heap
@@ -229,6 +285,7 @@ let unpack ?(pid = 0) ?(seed = 42) ?(trusted = false)
           u_bytes = String.length bytes;
           u_verified = verified;
           u_recompiled = recompiled;
+          u_cache_hit = cache_hit;
           u_compile_cycles = compile_cycles;
         } )
   with

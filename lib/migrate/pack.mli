@@ -22,8 +22,11 @@ type unpack_costs = {
   u_bytes : int;
   u_verified : bool;
   u_recompiled : bool;
+  u_cache_hit : bool;
+      (** typecheck + codegen served from the recompilation cache *)
   u_compile_cycles : int;
-    (** simulated recompile+link cycles (link only on the fast path) *)
+    (** simulated recompile+link cycles (link only on the fast path or a
+        cache hit) *)
 }
 
 val pack :
@@ -49,9 +52,15 @@ val pack_running : ?with_binary:bool -> Process.t -> packed
 val unpack :
   ?pid:int -> ?seed:int -> ?trusted:bool ->
   ?extern_signatures:Fir.Typecheck.extern_lookup ->
+  ?cache:Codecache.t ->
   arch:Arch.t -> string ->
   (Process.t * Masm.image * unpack_costs, string) result
 (** Verify and reconstruct a process from image bytes.  [trusted] skips
     verification and enables the binary fast path;
     [extern_signatures] extends the strict typecheck with the host
-    environment's externs. *)
+    environment's externs.  [cache] is the destination node's
+    recompilation cache: it is consulted only after the wire layer has
+    recomputed the digest over the received bytes and after the
+    per-image structural heap verification; a hit elides FIR decode,
+    typecheck and codegen (charging link cycles only), a miss runs the
+    full pipeline and populates the cache. *)

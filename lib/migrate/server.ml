@@ -23,28 +23,39 @@ type stats = {
   mutable rejected : int;
   mutable bytes_received : int;
   mutable recompilations : int;
+  mutable cache_hits : int;
 }
 
 type t = {
   arch : Arch.t;
   trusted : bool;
   extern_signatures : Fir.Typecheck.extern_lookup;
+  cache : Codecache.t option;
   mutable next_pid : int;
   stats : stats;
 }
 
 let create ?(trusted = false)
-    ?(extern_signatures = Extern.signatures) ?(first_pid = 1000) arch =
+    ?(extern_signatures = Extern.signatures) ?(first_pid = 1000) ?cache arch
+    =
   {
     arch;
     trusted;
     extern_signatures;
+    cache;
     next_pid = first_pid;
     stats =
-      { accepted = 0; rejected = 0; bytes_received = 0; recompilations = 0 };
+      {
+        accepted = 0;
+        rejected = 0;
+        bytes_received = 0;
+        recompilations = 0;
+        cache_hits = 0;
+      };
   }
 
 let stats t = t.stats
+let cache t = t.cache
 
 (* Handle one inbound migration: verify, recompile, reconstruct.  The
    caller decides what to do with the resulting process (schedule it,
@@ -54,13 +65,16 @@ let handle ?seed t bytes =
   let pid = t.next_pid in
   match
     Pack.unpack ?seed ~pid ~trusted:t.trusted
-      ~extern_signatures:t.extern_signatures ~arch:t.arch bytes
+      ~extern_signatures:t.extern_signatures ?cache:t.cache ~arch:t.arch
+      bytes
   with
   | Ok (proc, masm, costs) ->
     t.next_pid <- t.next_pid + 1;
     t.stats.accepted <- t.stats.accepted + 1;
     if costs.Pack.u_recompiled then
       t.stats.recompilations <- t.stats.recompilations + 1;
+    if costs.Pack.u_cache_hit then
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
     Ok { o_pid = pid; o_costs = costs; o_process = proc; o_masm = masm }
   | Error msg ->
     t.stats.rejected <- t.stats.rejected + 1;

@@ -17,6 +17,7 @@ type stats = {
   mutable rejected : int;
   mutable bytes_received : int;
   mutable recompilations : int;
+  mutable cache_hits : int;
 }
 
 type t
@@ -24,9 +25,14 @@ type t
 val create :
   ?trusted:bool ->
   ?extern_signatures:Fir.Typecheck.extern_lookup ->
-  ?first_pid:int -> Arch.t -> t
+  ?first_pid:int -> ?cache:Codecache.t -> Arch.t -> t
+(** [cache] is this node's recompilation cache (shared with nobody: the
+    cache is keyed by architecture and verify mode, but each daemon owns
+    its own bounded store). *)
 
 val stats : t -> stats
+
+val cache : t -> Codecache.t option
 
 val handle : ?seed:int -> t -> string -> (request_outcome, string) result
 (** Handle one inbound migration; assigns a fresh pid on success. *)

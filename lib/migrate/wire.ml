@@ -18,10 +18,18 @@ open Runtime
 exception Corrupt = Fir.Serial.Corrupt
 
 let magic = "MPRC"
-let version = 5
+
+(* v6: the header carries the sender-computed content digest of the FIR
+   payload (Fir.Digest).  [decode] recomputes it over the received bytes
+   and rejects mismatches, so anything downstream — the recompilation
+   cache in particular — can rely on the digest naming exactly the bytes
+   that arrived.  The digest is integrity metadata only; it never stands
+   in for verification or typechecking. *)
+let version = 6
 
 type image = {
   i_arch : string; (* source architecture name *)
+  i_digest : string; (* Fir.Digest of i_fir, recomputed on receipt *)
   i_fir : string; (* Fir.Serial encoding of the program *)
   i_masm : string option; (* binary payload for the same-arch fast path *)
   i_ftable : string list;
@@ -117,6 +125,7 @@ let get_spec_level r =
 let encode image =
   let body = Buffer.create 65536 in
   put_string body image.i_arch;
+  put_string body image.i_digest;
   put_string body image.i_fir;
   (match image.i_masm with
   | None -> put_u8 body 0
@@ -156,7 +165,13 @@ let decode s =
     raise (Corrupt "process-image checksum mismatch");
   let r = { Fir.Serial.data = body; pos = 0 } in
   let i_arch = get_string r in
+  let i_digest = get_string r in
   let i_fir = get_string r in
+  (* the digest names the FIR content; recompute it over the bytes that
+     actually arrived BEFORE anything (the recompilation cache included)
+     can key off it *)
+  if not (String.equal (Fir.Digest.of_encoded i_fir) i_digest) then
+    raise (Corrupt "FIR digest mismatch");
   let i_masm = match get_u8 r with
     | 0 -> None
     | 1 -> Some (get_string r)
@@ -179,6 +194,7 @@ let decode s =
     raise (Corrupt "trailing garbage in process image");
   {
     i_arch;
+    i_digest;
     i_fir;
     i_masm;
     i_ftable;

@@ -14,6 +14,10 @@ exception Corrupt of string
 
 type image = {
   i_arch : string;
+  i_digest : string;
+      (** {!Fir.Digest} of [i_fir]; {!decode} recomputes it over the
+          received bytes and rejects mismatches (integrity metadata — it
+          never substitutes for verification) *)
   i_fir : string;  (** {!Fir.Serial} encoding of the program *)
   i_masm : string option;
   i_ftable : string list;

@@ -59,7 +59,8 @@ type migration_record = {
   mr_bytes : int;
   mr_pack_s : float;
   mr_transfer_s : float;
-  mr_compile_s : float;
+  mr_compile_s : float; (* link-only on a recompilation-cache hit *)
+  mr_cache_hit : bool;
   mr_ok : bool;
 }
 
@@ -140,11 +141,18 @@ let extern_signatures : Fir.Typecheck.extern_lookup =
 (* ------------------------------------------------------------------ *)
 
 let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
-    ?(quantum = 64) ?(seed = 1) ?net () =
+    ?(quantum = 64) ?(seed = 1) ?(code_cache = 16) ?net () =
   let net = match net with Some n -> n | None -> Simnet.create () in
   let nodes =
     Array.init node_count (fun i ->
         let arch = arches.(i mod Array.length arches) in
+        (* each node's daemon owns its own bounded recompilation cache
+           (code_cache <= 0 disables caching cluster-wide) *)
+        let cache =
+          if code_cache > 0 then
+            Some (Migrate.Codecache.create ~capacity:code_cache ())
+          else None
+        in
         {
           node_id = i;
           node_name = Printf.sprintf "node%d" i;
@@ -152,7 +160,7 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
           alive = true;
           daemon =
             Migrate.Server.create ~trusted
-              ~extern_signatures arch ~first_pid:0;
+              ~extern_signatures arch ~first_pid:0 ?cache;
           busy_seconds = 0.0;
           clock = 0.0;
         })
@@ -714,6 +722,8 @@ let handle_migrate t (entry : entry) _req host =
           mr_pack_s = pack_s;
           mr_transfer_s = transfer_s;
           mr_compile_s = compile_s;
+          mr_cache_hit =
+            outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
           mr_ok = true;
         };
       log t "pid %d migrated %s -> %s (%d bytes, new pid %d)"
@@ -728,6 +738,7 @@ let handle_migrate t (entry : entry) _req host =
           mr_pack_s = pack_s;
           mr_transfer_s = transfer_s;
           mr_compile_s = 0.0;
+          mr_cache_hit = false;
           mr_ok = false;
         };
       Process.migration_failed proc)
@@ -753,6 +764,7 @@ let handle_to_storage t (entry : entry) req path ~kind =
       mr_pack_s = pack_s;
       mr_transfer_s = write_s;
       mr_compile_s = 0.0;
+      mr_cache_hit = false;
       mr_ok = true;
     };
   (match kind with
@@ -836,8 +848,8 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
          the binary fast path (link only); cross-architecture ones
          recompile from the FIR *)
       match
-        Migrate.Pack.unpack ~seed ~trusted:true
-          ~extern_signatures ~arch:n.node_arch bytes
+        Migrate.Pack.unpack ~seed ~trusted:true ~extern_signatures
+          ?cache:(Migrate.Server.cache n.daemon) ~arch:n.node_arch bytes
       with
       | Error msg -> Error msg
       | Ok (proc0, masm, costs) ->
@@ -1069,6 +1081,31 @@ let events t = List.rev t.events
 let migrations t = List.rev t.migrations
 let storage t = t.storage
 let net t = t.net
+
+(* Aggregate recompilation-cache statistics over every node's daemon. *)
+let cache_hit_rate t =
+  let hits = ref 0 and misses = ref 0 in
+  Array.iter
+    (fun n ->
+      match Migrate.Server.cache n.daemon with
+      | None -> ()
+      | Some c ->
+        let s = Migrate.Codecache.stats c in
+        hits := !hits + s.Migrate.Codecache.hits;
+        misses := !misses + s.Migrate.Codecache.misses)
+    t.nodes;
+  let total = !hits + !misses in
+  if total = 0 then 0.0 else float_of_int !hits /. float_of_int total
+
+let cache_reports t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n ->
+         match Migrate.Server.cache n.daemon with
+         | None -> None
+         | Some c ->
+           Some
+             (Printf.sprintf "%s: %s" n.node_name
+                (Migrate.Codecache.report c)))
 let alive_count t =
   Array.fold_left (fun acc n -> if n.alive then acc + 1 else acc) 0 t.nodes
 
@@ -1122,7 +1159,7 @@ let migrate_running t ~pid ~node_id =
           record_migration t
             { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
               mr_pack_s = pack_s; mr_transfer_s = transfer_s;
-              mr_compile_s = 0.0; mr_ok = false };
+              mr_compile_s = 0.0; mr_cache_hit = false; mr_ok = false };
           Error msg
         | Ok outcome ->
           let old_uids = Spec.Engine.unique_ids entry.proc.Process.spec in
@@ -1161,7 +1198,10 @@ let migrate_running t ~pid ~node_id =
           record_migration t
             { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
               mr_pack_s = pack_s; mr_transfer_s = transfer_s;
-              mr_compile_s = compile_s; mr_ok = true };
+              mr_compile_s = compile_s;
+              mr_cache_hit =
+                outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
+              mr_ok = true };
           log t
             "pid %d transparently migrated %s -> %s (%d bytes, new pid %d)"
             pid src.node_name target.node_name bytes new_pid;

@@ -44,7 +44,8 @@ type migration_record = {
   mr_bytes : int;
   mr_pack_s : float;
   mr_transfer_s : float;
-  mr_compile_s : float;
+  mr_compile_s : float;  (** link-only on a recompilation-cache hit *)
+  mr_cache_hit : bool;
   mr_ok : bool;
 }
 
@@ -55,10 +56,12 @@ val msg_roll : int
 
 val create :
   ?node_count:int -> ?arches:Arch.t array -> ?trusted:bool ->
-  ?quantum:int -> ?seed:int -> ?net:Simnet.t -> unit -> t
+  ?quantum:int -> ?seed:int -> ?code_cache:int -> ?net:Simnet.t -> unit -> t
 (** A cluster of [node_count] nodes named [node0..]; architectures are
     assigned round-robin from [arches].  [trusted] enables the binary
-    fast path for inter-node migration. *)
+    fast path for inter-node migration.  [code_cache] (default 16) is the
+    per-node recompilation-cache capacity in entries; [<= 0] disables
+    caching cluster-wide. *)
 
 val node : t -> int -> node
 val node_count : t -> int
@@ -134,3 +137,10 @@ val events : t -> string list
 val migrations : t -> migration_record list
 val storage : t -> Storage.t
 val net : t -> Simnet.t
+
+val cache_hit_rate : t -> float
+(** Aggregate recompilation-cache hit rate across every node's daemon
+    (0.0 when caching is disabled or nothing was ever looked up). *)
+
+val cache_reports : t -> string list
+(** One {!Migrate.Codecache.report} line per node with a cache. *)

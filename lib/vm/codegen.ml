@@ -24,7 +24,12 @@ exception Codegen_error of string
 
 type emitter = { mutable code : Masm.instr array; mutable len : int }
 
-let new_emitter () = { code = Array.make 64 (Masm.Jmp 0); len = 0 }
+(* [hint] pre-sizes the instruction array — callers pass the FIR body's
+   node count, which bounds the emitted instruction count closely enough
+   that large functions avoid the repeated doubling-and-blit of growing
+   from 64. *)
+let new_emitter ?(hint = 64) () =
+  { code = Array.make (max 16 hint) (Masm.Jmp 0); len = 0 }
 
 let emit em i =
   if em.len = Array.length em.code then begin
@@ -44,8 +49,10 @@ let finish em = Array.sub em.code 0 em.len
 (* Slot assignment                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Collect all variables bound in a body, in binding order. *)
-let rec bound_vars acc = function
+(* Visit every variable bound in a body, in binding order — the order
+   slot assignment depends on (parameters and early bindings win the
+   registers). *)
+let rec iter_bound_vars k = function
   | Let_atom (v, _, _, e)
   | Let_cast (v, _, _, e)
   | Let_unop (v, _, _, _, e)
@@ -56,14 +63,16 @@ let rec bound_vars acc = function
   | Let_proj (v, _, _, _, e)
   | Let_load (v, _, _, _, e)
   | Let_ext (v, _, _, _, e) ->
-    bound_vars (v :: acc) e
-  | Set_proj (_, _, _, e) | Store (_, _, _, e) -> bound_vars acc e
-  | If (_, e1, e2) -> bound_vars (bound_vars acc e1) e2
+    k v;
+    iter_bound_vars k e
+  | Set_proj (_, _, _, e) | Store (_, _, _, e) -> iter_bound_vars k e
+  | If (_, e1, e2) ->
+    iter_bound_vars k e1;
+    iter_bound_vars k e2
   | Switch (_, cases, default) ->
-    bound_vars
-      (List.fold_left (fun acc (_, e) -> bound_vars acc e) acc cases)
-      default
-  | Call _ | Exit _ | Migrate _ | Speculate _ | Commit _ | Rollback _ -> acc
+    List.iter (fun (_, e) -> iter_bound_vars k e) cases;
+    iter_bound_vars k default
+  | Call _ | Exit _ | Migrate _ | Speculate _ | Commit _ | Rollback _ -> ()
 
 type alloc = {
   slots : Masm.slot Fir.Var.Table.t;
@@ -71,26 +80,26 @@ type alloc = {
 }
 
 let allocate_slots (arch : Arch.t) fd =
-  let ordered =
-    List.map fst fd.f_params @ List.rev (bound_vars [] fd.f_body)
-  in
   let slots = Fir.Var.Table.create 32 in
   let next = ref 0 and nspills = ref 0 in
-  List.iter
-    (fun v ->
-      if not (Fir.Var.Table.mem slots v) then begin
-        let slot =
-          if !next < arch.Arch.registers then Masm.Reg !next
-          else begin
-            let s = !next - arch.Arch.registers in
-            incr nspills;
-            Masm.Spill s
-          end
-        in
-        Fir.Var.Table.replace slots v slot;
-        incr next
-      end)
-    ordered;
+  (* the table doubles as the dedupe set, so assignment is a single pass
+     over the body with no intermediate list *)
+  let bind v =
+    if not (Fir.Var.Table.mem slots v) then begin
+      let slot =
+        if !next < arch.Arch.registers then Masm.Reg !next
+        else begin
+          let s = !next - arch.Arch.registers in
+          incr nspills;
+          Masm.Spill s
+        end
+      in
+      Fir.Var.Table.replace slots v slot;
+      incr next
+    end
+  in
+  List.iter (fun (v, _) -> bind v) fd.f_params;
+  iter_bound_vars bind fd.f_body;
   { slots; nspills = !nspills }
 
 let slot_of alloc v =
@@ -187,7 +196,7 @@ let rec gen em alloc e =
 
 let compile_fun arch fd =
   let alloc = allocate_slots arch fd in
-  let em = new_emitter () in
+  let em = new_emitter ~hint:(exp_size fd.f_body) () in
   gen em alloc fd.f_body;
   {
     Masm.fn_name = fd.f_name;

@@ -154,7 +154,9 @@ let image_to_string image = Format.asprintf "%a" pp_image image
 exception Corrupt = Fir.Serial.Corrupt
 
 let magic = "MASM"
-let version = 2
+
+(* v3: rides on the Serial v4 tagged-stream list encoding *)
+let version = 3
 
 open struct
   (* reuse the primitive readers/writers from the FIR codec *)

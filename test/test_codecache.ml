@@ -1,0 +1,283 @@
+(* Tests for the content-addressed recompilation cache: FIR digests, the
+   v6 wire header, hit/miss/eviction accounting, cross-architecture and
+   trust-mode isolation, negative caching of hostile payloads, and the
+   disabled-cache (--code-cache 0) path matching uncached behaviour. *)
+
+open Fir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* the migrating workload and driver from the migration tests *)
+let migrating_sum = Test_migrate.migrating_sum
+let run_to_migration = Test_migrate.run_to_migration
+
+let packed_bytes n =
+  let proc, _ = run_to_migration (migrating_sum n) in
+  (Migrate.Pack.pack_request proc).Migrate.Pack.p_bytes
+
+let finish proc masm =
+  let emu = Vm.Emulator.create masm proc in
+  let rec go () =
+    match proc.Vm.Process.status with
+    | Vm.Process.Running ->
+      Vm.Emulator.step emu;
+      go ()
+    | s -> s
+  in
+  match go () with
+  | Vm.Process.Exited n -> n
+  | s ->
+    Alcotest.failf "process did not exit: %s"
+      (match s with
+      | Vm.Process.Trapped m -> "trap " ^ m
+      | Vm.Process.Migrating _ -> "migrating"
+      | _ -> "?")
+
+let unpack ?cache ?(trusted = false) ?(arch = Vm.Arch.cisc32) bytes =
+  match Migrate.Pack.unpack ?cache ~trusted ~arch bytes with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "unpack failed: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Digests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_stable () =
+  let p = migrating_sum 30 in
+  let d1 = Digest.of_program p in
+  let d2 = Digest.of_encoded (Serial.encode p) in
+  check_str "digest is a function of the canonical encoding" d1 d2;
+  check_int "hex digest length" Digest.hex_length (String.length d1);
+  let q = migrating_sum 31 in
+  check "different programs digest differently" false
+    (String.equal d1 (Digest.of_program q))
+
+let test_wire_v6_roundtrip () =
+  let proc, _ = run_to_migration (migrating_sum 24) in
+  let packed = Migrate.Pack.pack_request proc in
+  let im = packed.Migrate.Pack.p_image in
+  check_str "header digest matches the FIR payload"
+    (Digest.of_encoded im.Migrate.Wire.i_fir)
+    im.Migrate.Wire.i_digest;
+  let im' = Migrate.Wire.decode packed.Migrate.Pack.p_bytes in
+  check_str "digest survives the round trip" im.Migrate.Wire.i_digest
+    im'.Migrate.Wire.i_digest;
+  check_str "FIR survives the round trip" im.Migrate.Wire.i_fir
+    im'.Migrate.Wire.i_fir
+
+(* ------------------------------------------------------------------ *)
+(* Hit / miss / equivalence                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit () =
+  let n = 40 in
+  let bytes = packed_bytes n in
+  let cache = Migrate.Codecache.create ~capacity:8 () in
+  let _, _, cold = unpack ~cache bytes in
+  check "first delivery misses" false cold.Migrate.Pack.u_cache_hit;
+  check "first delivery compiles" true cold.Migrate.Pack.u_recompiled;
+  let proc, masm, warm = unpack ~cache bytes in
+  check "second delivery hits" true warm.Migrate.Pack.u_cache_hit;
+  check "hit does not recompile" false warm.Migrate.Pack.u_recompiled;
+  check "hit still verified" true warm.Migrate.Pack.u_verified;
+  check "hit charges strictly fewer cycles" true
+    (warm.Migrate.Pack.u_compile_cycles < cold.Migrate.Pack.u_compile_cycles);
+  check_int "hit charges link cycles only"
+    (Vm.Codegen.simulated_link_cycles masm)
+    warm.Migrate.Pack.u_compile_cycles;
+  (* the cached code is the real thing: the process finishes correctly *)
+  check_int "resumed process computes the right sum"
+    (Test_migrate.expected_sum n) (finish proc masm);
+  let s = Migrate.Codecache.stats cache in
+  check_int "one hit recorded" 1 s.Migrate.Codecache.hits;
+  check_int "one miss recorded" 1 s.Migrate.Codecache.misses
+
+let test_cache_disabled_matches_uncached () =
+  let bytes = packed_bytes 26 in
+  let cache = Migrate.Codecache.create ~capacity:0 () in
+  check "capacity 0 disables" false (Migrate.Codecache.enabled cache);
+  let _, _, c1 = unpack ~cache bytes in
+  let _, _, c2 = unpack ~cache bytes in
+  let _, _, plain = unpack bytes in
+  List.iter
+    (fun (c : Migrate.Pack.unpack_costs) ->
+      check "no hit" false c.Migrate.Pack.u_cache_hit;
+      check "always recompiles" true c.Migrate.Pack.u_recompiled;
+      check_int "same cycles as the uncached path"
+        plain.Migrate.Pack.u_compile_cycles c.Migrate.Pack.u_compile_cycles)
+    [ c1; c2 ];
+  let s = Migrate.Codecache.stats cache in
+  check_int "disabled cache records nothing" 0
+    (s.Migrate.Codecache.hits + s.Migrate.Codecache.misses);
+  check_int "disabled cache stores nothing" 0
+    (Migrate.Codecache.length cache)
+
+(* ------------------------------------------------------------------ *)
+(* Isolation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_arch_isolation () =
+  let bytes = packed_bytes 28 in
+  let cache = Migrate.Codecache.create ~capacity:8 () in
+  let _, _, _ = unpack ~cache ~arch:Vm.Arch.cisc32 bytes in
+  let _, masm64, c = unpack ~cache ~arch:Vm.Arch.risc64 bytes in
+  check "another architecture never hits" false c.Migrate.Pack.u_cache_hit;
+  check_str "risc64 got risc64 code" Vm.Arch.risc64.Vm.Arch.name
+    masm64.Vm.Masm.im_arch;
+  let _, masm64', c' = unpack ~cache ~arch:Vm.Arch.risc64 bytes in
+  check "same architecture hits" true c'.Migrate.Pack.u_cache_hit;
+  check_str "the hit serves matching code" Vm.Arch.risc64.Vm.Arch.name
+    masm64'.Vm.Masm.im_arch;
+  check_int "both architectures cached" 2 (Migrate.Codecache.length cache)
+
+let test_trust_mode_isolation () =
+  let bytes = packed_bytes 28 in
+  let cache = Migrate.Codecache.create ~capacity:8 () in
+  let _, _, _ = unpack ~cache ~trusted:true bytes in
+  (* an entry admitted without a typecheck must not serve a verified
+     request *)
+  let _, _, c = unpack ~cache ~trusted:false bytes in
+  check "trusted entry cannot serve a verified request" false
+    c.Migrate.Pack.u_cache_hit;
+  check "the verified request ran the full pipeline" true
+    c.Migrate.Pack.u_verified
+
+(* ------------------------------------------------------------------ *)
+(* Eviction and bounds                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_eviction () =
+  let a = packed_bytes 30 in
+  let b = packed_bytes 31 in
+  let cache = Migrate.Codecache.create ~capacity:1 () in
+  let _, _, _ = unpack ~cache a in
+  let _, _, _ = unpack ~cache b in
+  (* b displaced a *)
+  check_int "capacity bound holds" 1 (Migrate.Codecache.length cache);
+  let _, _, ca = unpack ~cache a in
+  check "evicted entry misses again" false ca.Migrate.Pack.u_cache_hit;
+  let s = Migrate.Codecache.stats cache in
+  check "evictions recorded" true (s.Migrate.Codecache.evictions >= 2);
+  check_int "no hit ever possible at capacity 1 with alternation" 0
+    s.Migrate.Codecache.hits
+
+let test_instr_budget_and_invalidate () =
+  let bytes = packed_bytes 32 in
+  let im = Migrate.Wire.decode bytes in
+  let digest = im.Migrate.Wire.i_digest in
+  (* an instruction budget smaller than one entry: the entry is admitted
+     then immediately evicted *)
+  let tiny = Migrate.Codecache.create ~max_instrs:1 ~capacity:8 () in
+  let _, _, _ = unpack ~cache:tiny bytes in
+  check_int "over-budget entry evicted" 0 (Migrate.Codecache.length tiny);
+  check_int "instruction accounting returns to zero" 0
+    (Migrate.Codecache.total_instrs tiny);
+  (* invalidate drops all modes/arches of a digest *)
+  let cache = Migrate.Codecache.create ~capacity:8 () in
+  let _, _, _ = unpack ~cache bytes in
+  let _, _, _ = unpack ~cache ~trusted:true bytes in
+  check_int "two modes cached" 2 (Migrate.Codecache.length cache);
+  Migrate.Codecache.invalidate cache ~digest;
+  check_int "invalidate empties both" 0 (Migrate.Codecache.length cache);
+  let _, _, c = unpack ~cache bytes in
+  check "post-invalidate delivery misses" false c.Migrate.Pack.u_cache_hit;
+  Migrate.Codecache.clear cache;
+  check_int "clear empties the cache" 0 (Migrate.Codecache.length cache)
+
+(* ------------------------------------------------------------------ *)
+(* Negative caching                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_negative_caching () =
+  (* an ill-typed program, packaged with a consistent digest *)
+  let evil =
+    let v = Var.fresh "p" in
+    Ast.program ~main:"main"
+      [
+        {
+          Ast.f_name = "main";
+          f_params = [];
+          f_body =
+            Ast.Let_atom
+              (v, Types.Tptr Types.Tint, Ast.Int 9, Ast.Exit (Ast.Int 0));
+        };
+      ]
+  in
+  let proc, _ = run_to_migration (migrating_sum 20) in
+  let im = (Migrate.Pack.pack_request proc).Migrate.Pack.p_image in
+  let fir = Serial.encode evil in
+  let bytes =
+    Migrate.Wire.encode
+      { im with
+        Migrate.Wire.i_fir = fir;
+        i_digest = Digest.of_encoded fir;
+      }
+  in
+  let cache = Migrate.Codecache.create ~capacity:8 () in
+  let reject () =
+    match Migrate.Pack.unpack ~cache ~arch:Vm.Arch.cisc32 bytes with
+    | Error msg -> check "typecheck rejection" true
+                     (String.length msg >= 12
+                      && String.sub msg 0 12 = "FIR rejected")
+    | Ok _ -> Alcotest.fail "ill-typed FIR accepted"
+  in
+  reject ();
+  reject ();
+  let s = Migrate.Codecache.stats cache in
+  check_int "second rejection served from the negative entry" 1
+    s.Migrate.Codecache.hits;
+  check_int "only one typecheck paid" 1 s.Migrate.Codecache.misses
+
+(* ------------------------------------------------------------------ *)
+(* Cluster aggregation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_hit_rate () =
+  (* resurrect the same checkpoint twice on one node: the second
+     resurrection hits the node's cache *)
+  let cl = Net.Cluster.create ~node_count:2 ~trusted:true () in
+  let proc, _ = run_to_migration (migrating_sum 22) in
+  let packed = Migrate.Pack.pack_request ~with_binary:false proc in
+  ignore
+    (Net.Storage.write (Net.Cluster.storage cl) "ckpt.img"
+       packed.Migrate.Pack.p_bytes);
+  (match Net.Cluster.resurrect cl ~node_id:0 ~path:"ckpt.img" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "resurrect failed: %s" m);
+  check "cold cluster has no hits" true (Net.Cluster.cache_hit_rate cl = 0.0);
+  (match Net.Cluster.resurrect cl ~node_id:0 ~path:"ckpt.img" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "resurrect failed: %s" m);
+  check "second resurrection hits" true
+    (Net.Cluster.cache_hit_rate cl = 0.5);
+  check_int "one report per node" 2
+    (List.length (Net.Cluster.cache_reports cl));
+  (* a cache-disabled cluster reports nothing *)
+  let off = Net.Cluster.create ~node_count:2 ~code_cache:0 () in
+  check_int "disabled cluster has no reports" 0
+    (List.length (Net.Cluster.cache_reports off))
+
+let suites =
+  [
+    ( "codecache",
+      [
+        Alcotest.test_case "digest stability" `Quick test_digest_stable;
+        Alcotest.test_case "wire v6 digest round-trip" `Quick
+          test_wire_v6_roundtrip;
+        Alcotest.test_case "hit skips typecheck+codegen" `Quick
+          test_cache_hit;
+        Alcotest.test_case "capacity 0 matches uncached" `Quick
+          test_cache_disabled_matches_uncached;
+        Alcotest.test_case "cross-arch isolation" `Quick
+          test_cross_arch_isolation;
+        Alcotest.test_case "trust-mode isolation" `Quick
+          test_trust_mode_isolation;
+        Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "instr budget + invalidate" `Quick
+          test_instr_budget_and_invalidate;
+        Alcotest.test_case "negative caching" `Quick test_negative_caching;
+        Alcotest.test_case "cluster hit rate" `Quick test_cluster_hit_rate;
+      ] );
+  ]

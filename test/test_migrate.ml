@@ -321,13 +321,41 @@ let test_reject_ill_typed_fir () =
       ]
   in
   let bytes =
-    reencode (fun im -> { im with Migrate.Wire.i_fir = Serial.encode evil })
+    (* the digest must match the substituted bytes, or the wire layer
+       rejects before the typechecker ever runs — that path has its own
+       test below *)
+    reencode (fun im ->
+        let fir = Serial.encode evil in
+        { im with
+          Migrate.Wire.i_fir = fir;
+          i_digest = Fir.Digest.of_encoded fir;
+        })
   in
   (match Migrate.Pack.unpack ~arch:Vm.Arch.cisc32 bytes with
-  | Error _ -> ()
+  | Error msg ->
+    if not (String.length msg >= 12 && String.sub msg 0 12 = "FIR rejected")
+    then Alcotest.failf "expected a typecheck rejection, got: %s" msg
   | Ok _ -> Alcotest.fail "ill-typed FIR accepted by untrusted unpack");
   (* note: a TRUSTED unpack would accept it — trust is the only bypass *)
   ()
+
+let test_reject_digest_mismatch () =
+  (* swap the FIR without fixing the digest: the wire layer must reject
+     the image as corrupt before typecheck or cache can see it *)
+  let other =
+    let proc, _ = run_to_migration (migrating_sum 21) in
+    (Migrate.Pack.pack_request proc).Migrate.Pack.p_image
+  in
+  let bytes =
+    reencode (fun im -> { im with Migrate.Wire.i_fir = other.Migrate.Wire.i_fir })
+  in
+  match Migrate.Pack.unpack ~arch:Vm.Arch.cisc32 bytes with
+  | Error msg ->
+    if
+      not
+        (String.length msg >= 7 && String.sub msg 0 7 = "corrupt")
+    then Alcotest.failf "expected a corrupt-image rejection, got: %s" msg
+  | Ok _ -> Alcotest.fail "digest-mismatched image accepted"
 
 let test_reject_bad_menv () =
   let bytes =
@@ -430,6 +458,8 @@ let suites =
         Alcotest.test_case "corrupt bytes" `Quick test_reject_corrupt;
         Alcotest.test_case "truncated bytes" `Quick test_reject_truncated;
         Alcotest.test_case "ill-typed FIR" `Quick test_reject_ill_typed_fir;
+        Alcotest.test_case "FIR digest mismatch" `Quick
+          test_reject_digest_mismatch;
         Alcotest.test_case "bad migrate_env" `Quick test_reject_bad_menv;
         Alcotest.test_case "unknown resume function" `Quick
           test_reject_bad_entry;
