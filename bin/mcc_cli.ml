@@ -3,7 +3,7 @@
      mcc compile FILE [--fir] [-S]         check / dump FIR or MASM
      mcc run FILE [--backend ...] [--arch ...]
      mcc resume IMAGE [--trusted]          execute a checkpoint image
-     mcc grid [--ranks N] [--fail]         the Figure 2 demo
+     mcc grid [--ranks N] [--fail] [--trace FILE]   the Figure 2 demo
 
    [run] services migration requests locally: checkpoint://path and
    suspend://path write resumable image files to disk (the paper's
@@ -291,13 +291,21 @@ let serve_cmd =
                 repeated images of the same program skip typecheck and \
                 codegen and are relinked from cached code.")
   in
-  let action spool arch once trusted cache_capacity =
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the server's metrics registry (counters and \
+                histograms) after each processed batch.")
+  in
+  let action spool arch once trusted cache_capacity show_metrics =
     let arch = arch_of_string arch in
     let cache =
       if cache_capacity > 0 then
         Some (Migrate.Codecache.create ~capacity:cache_capacity ())
       else None
     in
+    let server = Migrate.Server.create ~trusted ?cache arch in
     let process_batch () =
       let images =
         Sys.readdir spool |> Array.to_list
@@ -309,39 +317,45 @@ let serve_cmd =
           let path = Filename.concat spool name in
           let bytes = read_file path in
           Sys.remove path;
-          match Migrate.Pack.unpack ~trusted ?cache ~arch bytes with
+          match Migrate.Server.handle server bytes with
           | Error m -> Printf.eprintf "mcc serve: %s rejected: %s\n" name m
-          | Ok (proc, masm, costs) ->
+          | Ok outcome ->
+            let costs = outcome.Migrate.Server.o_costs in
             Printf.eprintf
               "mcc serve: accepted %s (%d bytes%s); resuming\n" name
               costs.Migrate.Pack.u_bytes
               (if costs.Migrate.Pack.u_cache_hit then ", code cache hit"
                else if costs.Migrate.Pack.u_recompiled then ", recompiled"
                else ", binary fast path");
-            let emu = Vm.Emulator.create masm proc in
+            let proc = outcome.Migrate.Server.o_process in
+            let emu =
+              Vm.Emulator.create outcome.Migrate.Server.o_masm proc
+            in
             let code = drive (fun () -> Vm.Emulator.step emu) proc in
             print_string (Vm.Process.output proc);
             Printf.eprintf "mcc serve: %s finished with exit %d\n" name code)
         images;
       List.length images
     in
-    let print_cache_stats () =
-      match cache with
+    let print_stats () =
+      (match cache with
       | Some c -> Printf.eprintf "mcc serve: code cache: %s\n"
                     (Migrate.Codecache.report c)
-      | None -> ()
+      | None -> ());
+      if show_metrics then
+        prerr_string (Obs.Metrics.render (Migrate.Server.metrics server))
     in
     if once then begin
       let n = process_batch () in
       if n = 0 then Printf.eprintf "mcc serve: spool empty\n";
-      print_cache_stats ();
+      print_stats ();
       0
     end
     else begin
       Printf.eprintf "mcc serve: watching %s (ctrl-c to stop)\n" spool;
       let rec loop () =
         let n = process_batch () in
-        if n > 0 then print_cache_stats ();
+        if n > 0 then print_stats ();
         Unix.sleepf 0.2;
         loop ()
       in
@@ -353,7 +367,8 @@ let serve_cmd =
        ~doc:"Run a migration server over a spool directory: verify, \
              recompile and execute inbound process images.")
     Term.(
-      const action $ dir_arg $ arch_arg $ once_arg $ trusted_arg $ cache_arg)
+      const action $ dir_arg $ arch_arg $ once_arg $ trusted_arg $ cache_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mcc grid                                                            *)
@@ -373,7 +388,16 @@ let grid_cmd =
     Arg.(value & flag & info [ "fail" ] ~doc:"Inject a node failure and \
                                               recover.")
   in
-  let action ranks rows_per_rank cols timesteps interval fail =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the cluster event trace (migrations, checkpoints, \
+                failures, speculation) to FILE as JSON lines, ordered by \
+                simulated time.")
+  in
+  let action ranks rows_per_rank cols timesteps interval fail trace_file =
     let config =
       { Mcc.Gridapp.ranks; rows_per_rank; cols; timesteps; interval;
         work_us_per_step = 1000 }
@@ -410,12 +434,29 @@ let grid_cmd =
           (if matches then "" else "  <-- MISMATCH"))
       sums;
     Printf.printf "simulated time: %.4f s\n" (Net.Cluster.now cluster);
-    if !ok then 0 else 3
+    let trace_ok =
+      match trace_file with
+      | None -> true
+      | Some path -> (
+        try
+          let oc = open_out path in
+          Obs.Trace.write_jsonl (Net.Cluster.trace cluster) oc;
+          close_out oc;
+          Printf.eprintf "mcc grid: trace written to %s (%d events)\n" path
+            (Obs.Trace.length (Net.Cluster.trace cluster));
+          true
+        with Sys_error m ->
+          Printf.eprintf "mcc grid: cannot write trace: %s\n" m;
+          false)
+    in
+    if not trace_ok then 1 else if !ok then 0 else 3
   in
   Cmd.v
     (Cmd.info "grid" ~doc:"Run the Figure 2 grid computation on the \
                            simulated cluster.")
-    Term.(const action $ ranks $ rows $ cols $ steps $ interval $ fail)
+    Term.(
+      const action $ ranks $ rows $ cols $ steps $ interval $ fail
+      $ trace_arg)
 
 let () =
   let info =

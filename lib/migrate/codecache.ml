@@ -57,41 +57,72 @@ type t = {
   table : (string * string * verify_mode, entry) Hashtbl.t;
   mutable total_instrs : int;
   mutable tick : int;
-  stats : stats;
+  (* counters live in a metrics registry; [stats] is a snapshot view *)
+  metrics : Obs.Metrics.t;
+  c_lookups : Obs.Metrics.counter;
+  c_hits : Obs.Metrics.counter;
+  c_misses : Obs.Metrics.counter;
+  c_evictions : Obs.Metrics.counter;
+  c_insertions : Obs.Metrics.counter;
 }
 
 let create ?max_instrs ~capacity () =
+  let metrics = Obs.Metrics.create () in
+  (* register outside the record literal: field expressions evaluate in
+     unspecified order, and the registry renders in registration order *)
+  let c_lookups = Obs.Metrics.counter metrics "codecache.lookups" in
+  let c_hits = Obs.Metrics.counter metrics "codecache.hits" in
+  let c_misses = Obs.Metrics.counter metrics "codecache.misses" in
+  let c_evictions = Obs.Metrics.counter metrics "codecache.evictions" in
+  let c_insertions = Obs.Metrics.counter metrics "codecache.insertions" in
   {
     capacity;
     max_instrs;
     table = Hashtbl.create (max 16 capacity);
     total_instrs = 0;
     tick = 0;
-    stats = { hits = 0; misses = 0; evictions = 0; insertions = 0 };
+    metrics;
+    c_lookups;
+    c_hits;
+    c_misses;
+    c_evictions;
+    c_insertions;
   }
 
 let enabled t = t.capacity > 0
-let stats t = t.stats
+let metrics t = t.metrics
+
+(* Thin view: the historical record, snapshotted from the registry. *)
+let stats t =
+  {
+    hits = Obs.Metrics.count t.c_hits;
+    misses = Obs.Metrics.count t.c_misses;
+    evictions = Obs.Metrics.count t.c_evictions;
+    insertions = Obs.Metrics.count t.c_insertions;
+  }
+
+let lookups t = Obs.Metrics.count t.c_lookups
 let length t = Hashtbl.length t.table
 let total_instrs t = t.total_instrs
 
 let hit_rate t =
-  let total = t.stats.hits + t.stats.misses in
-  if total = 0 then 0.0
-  else float_of_int t.stats.hits /. float_of_int total
+  let hits = Obs.Metrics.count t.c_hits in
+  let total = hits + Obs.Metrics.count t.c_misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
 
 let find t ~digest ~arch ~trusted =
   if not (enabled t) then None
   else begin
+    Obs.Metrics.incr t.c_lookups;
     let key = digest, arch, mode_of_trusted trusted in
     match Hashtbl.find_opt t.table key with
     | Some e ->
       t.tick <- t.tick + 1;
       e.e_tick <- t.tick;
-      t.stats.hits <- t.stats.hits + 1;
+      Obs.Metrics.incr t.c_hits;
       Some e
     | None ->
-      t.stats.misses <- t.stats.misses + 1;
+      Obs.Metrics.incr t.c_misses;
       None
   end
 
@@ -115,7 +146,7 @@ let evict_lru t =
   | None -> ()
   | Some (key, _) ->
     remove_key t key;
-    t.stats.evictions <- t.stats.evictions + 1
+    Obs.Metrics.incr t.c_evictions
 
 let over_budget t =
   Hashtbl.length t.table > t.capacity
@@ -141,7 +172,7 @@ let add t ~digest ~arch ~trusted ~program ~verdict ~masm =
         e_tick = t.tick;
       };
     t.total_instrs <- t.total_instrs + instrs;
-    t.stats.insertions <- t.stats.insertions + 1;
+    Obs.Metrics.incr t.c_insertions;
     (* the just-added entry carries the freshest tick, so it survives
        unless it alone exceeds the instruction budget *)
     while over_budget t && Hashtbl.length t.table > 0 do
@@ -164,4 +195,7 @@ let clear t =
 
 let report t =
   Printf.sprintf "%d entries (%d instrs), %d hits / %d misses, %d evictions"
-    (length t) t.total_instrs t.stats.hits t.stats.misses t.stats.evictions
+    (length t) t.total_instrs
+    (Obs.Metrics.count t.c_hits)
+    (Obs.Metrics.count t.c_misses)
+    (Obs.Metrics.count t.c_evictions)

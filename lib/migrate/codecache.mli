@@ -34,6 +34,8 @@ type stats = {
   mutable evictions : int;
   mutable insertions : int;
 }
+(** Historical view: a snapshot built from the metrics registry at call
+    time (see {!stats}). *)
 
 type t
 
@@ -61,6 +63,17 @@ val invalidate : t -> digest:string -> unit
 val clear : t -> unit
 
 val stats : t -> stats
+(** A snapshot of the registry counters in the historical record shape;
+    mutating the returned record has no effect on the cache. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The live registry: counters [codecache.lookups], [codecache.hits],
+    [codecache.misses], [codecache.evictions], [codecache.insertions]. *)
+
+val lookups : t -> int
+(** Total lookups against an enabled cache; by construction
+    [lookups = hits + misses]. *)
+
 val length : t -> int
 val total_instrs : t -> int
 val hit_rate : t -> float

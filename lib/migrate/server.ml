@@ -32,36 +32,71 @@ type t = {
   extern_signatures : Fir.Typecheck.extern_lookup;
   cache : Codecache.t option;
   mutable next_pid : int;
-  stats : stats;
+  (* counters/histograms live in a metrics registry; [stats] is a
+     snapshot view in the historical record shape *)
+  metrics : Obs.Metrics.t;
+  c_accepted : Obs.Metrics.counter;
+  c_rejected : Obs.Metrics.counter;
+  c_bytes : Obs.Metrics.counter;
+  c_recompilations : Obs.Metrics.counter;
+  c_cache_hits : Obs.Metrics.counter;
+  h_bytes : Obs.Metrics.histogram; (* image size per request *)
+  h_compile_cycles : Obs.Metrics.histogram; (* per accepted request *)
 }
 
 let create ?(trusted = false)
     ?(extern_signatures = Extern.signatures) ?(first_pid = 1000) ?cache arch
     =
+  let metrics = Obs.Metrics.create () in
+  (* register outside the record literal: field expressions evaluate in
+     unspecified order, and the registry renders in registration order *)
+  let c_accepted = Obs.Metrics.counter metrics "server.accepted" in
+  let c_rejected = Obs.Metrics.counter metrics "server.rejected" in
+  let c_bytes = Obs.Metrics.counter metrics "server.bytes_received" in
+  let c_recompilations =
+    Obs.Metrics.counter metrics "server.recompilations"
+  in
+  let c_cache_hits = Obs.Metrics.counter metrics "server.cache_hits" in
+  let h_bytes = Obs.Metrics.histogram metrics "server.image_bytes" in
+  let h_compile_cycles =
+    Obs.Metrics.histogram metrics "server.compile_cycles"
+  in
   {
     arch;
     trusted;
     extern_signatures;
     cache;
     next_pid = first_pid;
-    stats =
-      {
-        accepted = 0;
-        rejected = 0;
-        bytes_received = 0;
-        recompilations = 0;
-        cache_hits = 0;
-      };
+    metrics;
+    c_accepted;
+    c_rejected;
+    c_bytes;
+    c_recompilations;
+    c_cache_hits;
+    h_bytes;
+    h_compile_cycles;
   }
 
-let stats t = t.stats
+let metrics t = t.metrics
+
+(* Thin view: the historical record, snapshotted from the registry. *)
+let stats t =
+  {
+    accepted = Obs.Metrics.count t.c_accepted;
+    rejected = Obs.Metrics.count t.c_rejected;
+    bytes_received = Obs.Metrics.count t.c_bytes;
+    recompilations = Obs.Metrics.count t.c_recompilations;
+    cache_hits = Obs.Metrics.count t.c_cache_hits;
+  }
+
 let cache t = t.cache
 
 (* Handle one inbound migration: verify, recompile, reconstruct.  The
    caller decides what to do with the resulting process (schedule it,
    execute it to completion, ...). *)
 let handle ?seed t bytes =
-  t.stats.bytes_received <- t.stats.bytes_received + String.length bytes;
+  Obs.Metrics.incr ~by:(String.length bytes) t.c_bytes;
+  Obs.Metrics.observe t.h_bytes (float_of_int (String.length bytes));
   let pid = t.next_pid in
   match
     Pack.unpack ?seed ~pid ~trusted:t.trusted
@@ -70,12 +105,12 @@ let handle ?seed t bytes =
   with
   | Ok (proc, masm, costs) ->
     t.next_pid <- t.next_pid + 1;
-    t.stats.accepted <- t.stats.accepted + 1;
-    if costs.Pack.u_recompiled then
-      t.stats.recompilations <- t.stats.recompilations + 1;
-    if costs.Pack.u_cache_hit then
-      t.stats.cache_hits <- t.stats.cache_hits + 1;
+    Obs.Metrics.incr t.c_accepted;
+    if costs.Pack.u_recompiled then Obs.Metrics.incr t.c_recompilations;
+    if costs.Pack.u_cache_hit then Obs.Metrics.incr t.c_cache_hits;
+    Obs.Metrics.observe t.h_compile_cycles
+      (float_of_int costs.Pack.u_compile_cycles);
     Ok { o_pid = pid; o_costs = costs; o_process = proc; o_masm = masm }
   | Error msg ->
-    t.stats.rejected <- t.stats.rejected + 1;
+    Obs.Metrics.incr t.c_rejected;
     Error msg

@@ -19,6 +19,8 @@ type stats = {
   mutable recompilations : int;
   mutable cache_hits : int;
 }
+(** Historical view: a snapshot built from the metrics registry at call
+    time (see {!stats}). *)
 
 type t
 
@@ -31,6 +33,13 @@ val create :
     its own bounded store). *)
 
 val stats : t -> stats
+(** A snapshot of the registry counters in the historical record shape;
+    mutating the returned record has no effect on the server. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The live registry: counters [server.accepted], [server.rejected],
+    [server.bytes_received], [server.recompilations], [server.cache_hits]
+    and histograms [server.image_bytes], [server.compile_cycles]. *)
 
 val cache : t -> Codecache.t option
 

@@ -95,11 +95,29 @@ type t = {
   mutable obj_fail_prob : float;
   mutable migrations : migration_record list;
   mutable events : string list; (* newest first, for diagnostics *)
+  (* observability: the typed event trace and the metrics registry.
+     Events carry SIMULATED time; counters aggregate what the trace
+     itemises *)
+  tracer : Obs.Trace.t;
+  metrics : Obs.Metrics.t;
+  c_rounds : Obs.Metrics.counter;
+  c_quanta : Obs.Metrics.counter;
+  c_migrations_ok : Obs.Metrics.counter;
+  c_migrations_failed : Obs.Metrics.counter;
+  c_migration_cache_hits : Obs.Metrics.counter;
+  c_checkpoints : Obs.Metrics.counter;
+  c_node_failures : Obs.Metrics.counter;
+  c_resurrections : Obs.Metrics.counter;
+  h_migrate_bytes : Obs.Metrics.histogram;
+  h_pack_s : Obs.Metrics.histogram;
+  h_transfer_s : Obs.Metrics.histogram;
+  h_compile_s : Obs.Metrics.histogram;
   (* time base of the quantum currently executing (single-threaded):
      lets extern handlers compute the running process's precise local
      time even mid-quantum *)
   mutable cur_base : float;
   mutable cur_cycles0 : int;
+  mutable cur_pid : int; (* pid of the process in that quantum, or -1 *)
 }
 
 let msg_none = Mpi.msg_none
@@ -141,7 +159,8 @@ let extern_signatures : Fir.Typecheck.extern_lookup =
 (* ------------------------------------------------------------------ *)
 
 let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
-    ?(quantum = 64) ?(seed = 1) ?(code_cache = 16) ?net () =
+    ?(quantum = 64) ?(seed = 1) ?(code_cache = 16) ?net ?trace_capacity ()
+    =
   let net = match net with Some n -> n | None -> Simnet.create () in
   let nodes =
     Array.init node_count (fun i ->
@@ -165,6 +184,37 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
           clock = 0.0;
         })
   in
+  let metrics = Obs.Metrics.create () in
+  (* register outside the record literal: field expressions evaluate in
+     unspecified order, and the registry renders in registration order *)
+  let c_rounds = Obs.Metrics.counter metrics "sched.rounds" in
+  let c_quanta = Obs.Metrics.counter metrics "sched.quanta" in
+  let c_migrations_ok =
+    Obs.Metrics.counter metrics "cluster.migrations_ok"
+  in
+  let c_migrations_failed =
+    Obs.Metrics.counter metrics "cluster.migrations_failed"
+  in
+  let c_migration_cache_hits =
+    Obs.Metrics.counter metrics "cluster.migration_cache_hits"
+  in
+  let c_checkpoints = Obs.Metrics.counter metrics "cluster.checkpoints" in
+  let c_node_failures =
+    Obs.Metrics.counter metrics "cluster.node_failures"
+  in
+  let c_resurrections =
+    Obs.Metrics.counter metrics "cluster.resurrections"
+  in
+  let h_migrate_bytes =
+    Obs.Metrics.histogram metrics "cluster.migrate_bytes"
+  in
+  let h_pack_s = Obs.Metrics.histogram metrics "cluster.pack_seconds" in
+  let h_transfer_s =
+    Obs.Metrics.histogram metrics "cluster.transfer_seconds"
+  in
+  let h_compile_s =
+    Obs.Metrics.histogram metrics "cluster.compile_seconds"
+  in
   {
     nodes;
     net;
@@ -184,8 +234,23 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
     obj_fail_prob = 0.0;
     migrations = [];
     events = [];
+    tracer = Obs.Trace.create ?capacity:trace_capacity ();
+    metrics;
+    c_rounds;
+    c_quanta;
+    c_migrations_ok;
+    c_migrations_failed;
+    c_migration_cache_hits;
+    c_checkpoints;
+    c_node_failures;
+    c_resurrections;
+    h_migrate_bytes;
+    h_pack_s;
+    h_transfer_s;
+    h_compile_s;
     cur_base = 0.0;
     cur_cycles0 = 0;
+    cur_pid = -1;
   }
 
 let log t fmt =
@@ -225,6 +290,23 @@ let charge_seconds (proc : Process.t) s =
   proc.Process.cycles <-
     proc.Process.cycles
     + int_of_float (s *. float_of_int proc.Process.arch.Arch.clock_mhz *. 1e6)
+
+(* Best available simulated time for an event attributed to [e]: the
+   precise mid-quantum time when [e]'s process is the one currently
+   executing, its node's local clock otherwise (cascaded rollbacks,
+   host-initiated failure/recovery). *)
+let entry_time t (e : entry) =
+  if e.proc.Process.pid = t.cur_pid then effective_now t e.proc
+  else (node t e.node_id).clock
+
+let entry_rank (e : entry) = match e.rank with Some r -> r | None -> -1
+
+let emit t ~time ?node ?pid ?rank kind =
+  Obs.Trace.record t.tracer ~time ?node ?pid ?rank kind
+
+let emit_entry t (e : entry) kind =
+  Obs.Trace.record t.tracer ~time:(entry_time t e) ~node:e.node_id
+    ~pid:e.proc.Process.pid ~rank:(entry_rank e) kind
 
 (* ------------------------------------------------------------------ *)
 (* Externs                                                             *)
@@ -363,6 +445,8 @@ let cluster_extern t entry : Process.handler =
         }
       in
       Mpi.enqueue dst_mailbox msg;
+      emit_entry t entry
+        (Obs.Trace.Msg_send { dst = dst_rank; tag; cells = len });
       (* wake the current holder of the rank, if any *)
       (match entry_of_rank t dst_rank with
       | Some dst -> dst.proc.Process.waiting <- false
@@ -377,6 +461,7 @@ let cluster_extern t entry : Process.handler =
     with
     | Mpi.Roll ->
       entry.parked_on <- None;
+      emit_entry t entry (Obs.Trace.Msg_roll { src = src_rank });
       Value.Vint msg_roll
     | Mpi.None_yet ->
       proc.Process.waiting <- true;
@@ -385,6 +470,8 @@ let cluster_extern t entry : Process.handler =
     | Mpi.Received m ->
       entry.parked_on <- None;
       let n = min maxlen (Array.length m.Mpi.msg_payload) in
+      emit_entry t entry
+        (Obs.Trace.Msg_recv { src = src_rank; tag; cells = n });
       write_cells ptr m.Mpi.msg_payload n;
       (match m.Mpi.msg_spec with
       | Some (spid, uid) when spid <> proc.Process.pid ->
@@ -579,8 +666,28 @@ let register_entry t (entry : entry) =
   Hashtbl.replace t.by_pid entry.proc.Process.pid entry;
   let pid = entry.proc.Process.pid in
   Spec.Engine.set_hooks entry.proc.Process.spec
-    ~on_rollback:(fun uids -> cascade t ~sender_pid:pid ~uids ~code:msg_roll)
-    ~on_commit:(fun ~uid ~parent -> rekey_dependencies t ~pid ~uid ~parent);
+    ~on_enter:(fun ~uid ~depth ->
+      emit_entry t entry (Obs.Trace.Spec_enter { uid; depth }))
+    ~on_rollback:(fun uids ->
+      emit_entry t entry (Obs.Trace.Spec_rollback { uids });
+      cascade t ~sender_pid:pid ~uids ~code:msg_roll)
+    ~on_commit:(fun ~uid ~parent ->
+      emit_entry t entry
+        (Obs.Trace.Spec_commit { uid; durable = parent = None });
+      rekey_dependencies t ~pid ~uid ~parent);
+  entry.proc.Process.on_gc <-
+    Some
+      (fun res ->
+        emit_entry t entry
+          (Obs.Trace.Gc
+             {
+               gc_kind =
+                 (match res.Gc.kind with
+                 | Gc.Minor -> Obs.Trace.Minor
+                 | Gc.Major -> Obs.Trace.Major);
+               live = res.Gc.live_blocks;
+               collected = res.Gc.collected_blocks;
+             }));
   match entry.rank with
   | Some r -> Hashtbl.replace t.ranks r entry.proc.Process.pid
   | None -> ()
@@ -665,7 +772,20 @@ let pack_seconds (proc : Process.t) =
   Arch.seconds proc.Process.arch
     (cells * proc.Process.arch.Arch.cycles Arch.Mem)
 
-let record_migration t mr = t.migrations <- mr :: t.migrations
+(* Every storage/migration image is both itemised (the record list the
+   benches read) and aggregated into the metrics registry. *)
+let record_migration t mr =
+  t.migrations <- mr :: t.migrations;
+  (match mr.mr_kind with
+  | `Checkpoint -> Obs.Metrics.incr t.c_checkpoints
+  | `Migrate | `Suspend ->
+    if mr.mr_ok then Obs.Metrics.incr t.c_migrations_ok
+    else Obs.Metrics.incr t.c_migrations_failed);
+  if mr.mr_cache_hit then Obs.Metrics.incr t.c_migration_cache_hits;
+  Obs.Metrics.observe t.h_migrate_bytes (float_of_int mr.mr_bytes);
+  Obs.Metrics.observe t.h_pack_s mr.mr_pack_s;
+  Obs.Metrics.observe t.h_transfer_s mr.mr_transfer_s;
+  Obs.Metrics.observe t.h_compile_s mr.mr_compile_s
 
 let handle_migrate t (entry : entry) _req host =
   let proc = entry.proc in
@@ -680,6 +800,7 @@ let handle_migrate t (entry : entry) _req host =
     let pack_s = pack_seconds proc in
     let transfer_s = Simnet.transfer_seconds t.net bytes in
     Simnet.record_transfer t.net bytes;
+    emit_entry t entry (Obs.Trace.Migrate_start { target = host; bytes });
     (match Migrate.Server.handle target.daemon packed.Migrate.Pack.p_bytes
      with
     | Ok outcome ->
@@ -726,6 +847,17 @@ let handle_migrate t (entry : entry) _req host =
             outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
           mr_ok = true;
         };
+      let cache_hit =
+        outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit
+      in
+      emit t
+        ~time:(max target.clock (src.clock +. pack_s +. transfer_s))
+        ~node:target.node_id ~pid ~rank:(entry_rank new_entry)
+        (if cache_hit then Obs.Trace.Cache_hit else Obs.Trace.Cache_miss);
+      emit t ~time:new_entry.start_at ~node:target.node_id ~pid
+        ~rank:(entry_rank new_entry)
+        (Obs.Trace.Migrate_done
+           { ok = true; cache_hit; bytes; pack_s; transfer_s; compile_s });
       log t "pid %d migrated %s -> %s (%d bytes, new pid %d)"
         proc.Process.pid src.node_name target.node_name bytes pid
     | Error msg ->
@@ -741,9 +873,30 @@ let handle_migrate t (entry : entry) _req host =
           mr_cache_hit = false;
           mr_ok = false;
         };
+      emit_entry t entry
+        (Obs.Trace.Migrate_done
+           {
+             ok = false;
+             cache_hit = false;
+             bytes;
+             pack_s;
+             transfer_s;
+             compile_s = 0.0;
+           });
       Process.migration_failed proc)
   | Some _ | None ->
     log t "pid %d migration target %s unavailable" proc.Process.pid host;
+    emit_entry t entry (Obs.Trace.Migrate_start { target = host; bytes = 0 });
+    emit_entry t entry
+      (Obs.Trace.Migrate_done
+         {
+           ok = false;
+           cache_hit = false;
+           bytes = 0;
+           pack_s = 0.0;
+           transfer_s = 0.0;
+           compile_s = 0.0;
+         });
     Process.migration_failed proc
 
 let handle_to_storage t (entry : entry) req path ~kind =
@@ -775,6 +928,7 @@ let handle_to_storage t (entry : entry) req path ~kind =
   | `Suspend | `Migrate ->
     charge_seconds proc pack_s;
     Process.migration_completed proc);
+  emit_entry t entry (Obs.Trace.Checkpoint { path; bytes });
   log t "pid %d wrote %s image %s (%d bytes)" proc.Process.pid
     (match kind with `Checkpoint -> "checkpoint" | _ -> "suspend")
     path bytes;
@@ -804,6 +958,8 @@ let fail_node t node_id =
   if n.alive then begin
     n.alive <- false;
     log t "%s FAILED" n.node_name;
+    Obs.Metrics.incr t.c_node_failures;
+    emit t ~time:n.clock ~node:node_id Obs.Trace.Node_fail;
     let victims =
       List.filter
         (fun (e : entry) ->
@@ -827,7 +983,16 @@ let fail_node t node_id =
                 && not (Process.is_terminated other.proc)
               then begin
                 Mpi.post_roll_notice other.mailbox ~src_rank:dead_rank;
-                other.proc.Process.waiting <- false
+                (* only wake a survivor the notice is relevant to: one
+                   parked on the dead rank (or parked without a recorded
+                   source).  Waking a process parked on an UNRELATED rank
+                   would violate the parked_on contract — the scheduler
+                   would spin it on a poll that still returns nothing *)
+                match other.parked_on with
+                | Some (src, _) when src = dead_rank ->
+                  other.proc.Process.waiting <- false
+                | Some _ -> ()
+                | None -> other.proc.Process.waiting <- false
               end)
             t.entries
         | None -> ())
@@ -838,10 +1003,15 @@ let fail_node t node_id =
    (the paper's resurrection daemon executing the saved checkpoint). *)
 let resurrect ?rank ?(seed = 11) t ~node_id ~path =
   let n = node t node_id in
-  if not n.alive then Error "resurrection node is down"
+  let failed msg =
+    emit t ~time:(now t) ~node:node_id
+      (Obs.Trace.Resurrect { path; ok = false });
+    Error msg
+  in
+  if not n.alive then failed "resurrection node is down"
   else
     match Storage.read t.storage path with
-    | None -> Error ("no checkpoint " ^ path)
+    | None -> failed ("no checkpoint " ^ path)
     | Some (bytes, read_s) -> (
       (* executing a saved checkpoint from the cluster's own store is
          within the trust domain: same-architecture resurrections take
@@ -851,7 +1021,7 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
         Migrate.Pack.unpack ~seed ~trusted:true ~extern_signatures
           ?cache:(Migrate.Server.cache n.daemon) ~arch:n.node_arch bytes
       with
-      | Error msg -> Error msg
+      | Error msg -> failed msg
       | Ok (proc0, masm, costs) ->
         let outcome =
           { Migrate.Server.o_pid = 0; o_costs = costs; o_process = proc0;
@@ -877,6 +1047,33 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
         in
         register_entry t entry;
         n.busy_seconds <- n.busy_seconds +. compile_s;
+        Obs.Metrics.incr t.c_resurrections;
+        (* a resurrection is an inbound migration from the store: the
+           saved image travels through the same unpack/code-cache path
+           as a live migration, so it shows up in the trace as one *)
+        emit t ~time:(now t) ~node:node_id ~pid ~rank:(entry_rank entry)
+          (Obs.Trace.Migrate_start
+             { target = n.node_name; bytes = String.length bytes });
+        emit t ~time:entry.start_at ~node:node_id ~pid
+          ~rank:(entry_rank entry)
+          (if outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit then
+             Obs.Trace.Cache_hit
+           else Obs.Trace.Cache_miss);
+        emit t ~time:entry.start_at ~node:node_id ~pid
+          ~rank:(entry_rank entry)
+          (Obs.Trace.Migrate_done
+             {
+               ok = true;
+               cache_hit =
+                 outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
+               bytes = String.length bytes;
+               pack_s = 0.0;
+               transfer_s = read_s;
+               compile_s;
+             });
+        emit t ~time:entry.start_at ~node:node_id ~pid
+          ~rank:(entry_rank entry)
+          (Obs.Trace.Resurrect { path; ok = true });
         log t "resurrected %s as pid %d (rank %s) on %s" path pid
           (match rank with Some r -> string_of_int r | None -> "-")
           n.node_name;
@@ -906,16 +1103,12 @@ let wake_ready t n =
           match e.parked_on with
           | Some (src, tag) ->
             Mpi.has_roll_notice e.mailbox ~src_rank:src
-            || List.exists
-                 (fun m ->
-                   m.Mpi.msg_src_rank = src && m.Mpi.msg_tag = tag
-                   && m.Mpi.msg_deliver_at <= n.clock)
-                 e.mailbox.Mpi.queue
+            || Mpi.has_delivered e.mailbox ~now:n.clock ~src_rank:src ~tag
           | None ->
             (match Mpi.next_delivery e.mailbox with
             | Some at -> at <= n.clock
             | None -> false)
-            || Hashtbl.length e.mailbox.Mpi.roll_notices > 0
+            || Mpi.has_any_roll_notice e.mailbox
         in
         if ready then e.proc.Process.waiting <- false)
     t.entries
@@ -931,12 +1124,11 @@ let next_event_on t n =
         if e.start_at > n.clock then candidates := e.start_at :: !candidates;
         if e.proc.Process.waiting then begin
           match e.parked_on with
-          | Some (src, tag) ->
-            List.iter
-              (fun m ->
-                if m.Mpi.msg_src_rank = src && m.Mpi.msg_tag = tag then
-                  candidates := m.Mpi.msg_deliver_at :: !candidates)
-              e.mailbox.Mpi.queue
+          | Some (src, tag) -> (
+            match Mpi.next_matching_delivery e.mailbox ~src_rank:src ~tag
+            with
+            | Some at -> candidates := at :: !candidates
+            | None -> ())
           | None -> (
             match Mpi.next_delivery e.mailbox with
             | Some at -> candidates := at :: !candidates
@@ -956,6 +1148,7 @@ let next_event_on t n =
    parallel; processes sharing a node serialise (and pay context
    switches).  Returns true if any process made progress. *)
 let round t =
+  Obs.Metrics.incr t.c_rounds;
   let progressed = ref false in
   Array.iter
     (fun n ->
@@ -976,6 +1169,7 @@ let round t =
             (* time base for extern handlers running in this quantum *)
             t.cur_base <- n.clock +. Arch.seconds n.node_arch !node_cycles;
             t.cur_cycles0 <- before;
+            t.cur_pid <- e.proc.Process.pid;
             let ext = handler t e in
             let steps = ref t.quantum in
             while
@@ -996,10 +1190,12 @@ let round t =
             let delta = e.proc.Process.cycles - before in
             if delta > 0 || !steps < t.quantum then begin
               progressed := true;
-              incr ran
+              incr ran;
+              Obs.Metrics.incr t.c_quanta
             end;
             node_cycles := !node_cycles + delta)
           procs;
+        t.cur_pid <- -1;
         (* context switches between the processes that shared the node *)
         if !ran > 1 then
           node_cycles :=
@@ -1081,6 +1277,8 @@ let events t = List.rev t.events
 let migrations t = List.rev t.migrations
 let storage t = t.storage
 let net t = t.net
+let trace t = t.tracer
+let metrics t = t.metrics
 
 (* Aggregate recompilation-cache statistics over every node's daemon. *)
 let cache_hit_rate t =
@@ -1152,6 +1350,8 @@ let migrate_running t ~pid ~node_id =
         let pack_s = pack_seconds entry.proc in
         let transfer_s = Simnet.transfer_seconds t.net bytes in
         Simnet.record_transfer t.net bytes;
+        emit_entry t entry
+          (Obs.Trace.Migrate_start { target = target.node_name; bytes });
         match Migrate.Server.handle target.daemon packed.Migrate.Pack.p_bytes
         with
         | Error msg ->
@@ -1160,6 +1360,10 @@ let migrate_running t ~pid ~node_id =
             { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
               mr_pack_s = pack_s; mr_transfer_s = transfer_s;
               mr_compile_s = 0.0; mr_cache_hit = false; mr_ok = false };
+          emit_entry t entry
+            (Obs.Trace.Migrate_done
+               { ok = false; cache_hit = false; bytes; pack_s; transfer_s;
+                 compile_s = 0.0 });
           Error msg
         | Ok outcome ->
           let old_uids = Spec.Engine.unique_ids entry.proc.Process.spec in
@@ -1202,6 +1406,19 @@ let migrate_running t ~pid ~node_id =
               mr_cache_hit =
                 outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
               mr_ok = true };
+          let cache_hit =
+            outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit
+          in
+          emit t
+            ~time:(max target.clock (src.clock +. pack_s +. transfer_s))
+            ~node:target.node_id ~pid:new_pid
+            ~rank:(entry_rank new_entry)
+            (if cache_hit then Obs.Trace.Cache_hit else Obs.Trace.Cache_miss);
+          emit t ~time:new_entry.start_at ~node:target.node_id ~pid:new_pid
+            ~rank:(entry_rank new_entry)
+            (Obs.Trace.Migrate_done
+               { ok = true; cache_hit; bytes; pack_s; transfer_s;
+                 compile_s });
           log t
             "pid %d transparently migrated %s -> %s (%d bytes, new pid %d)"
             pid src.node_name target.node_name bytes new_pid;

@@ -56,12 +56,14 @@ val msg_roll : int
 
 val create :
   ?node_count:int -> ?arches:Arch.t array -> ?trusted:bool ->
-  ?quantum:int -> ?seed:int -> ?code_cache:int -> ?net:Simnet.t -> unit -> t
+  ?quantum:int -> ?seed:int -> ?code_cache:int -> ?net:Simnet.t ->
+  ?trace_capacity:int -> unit -> t
 (** A cluster of [node_count] nodes named [node0..]; architectures are
     assigned round-robin from [arches].  [trusted] enables the binary
     fast path for inter-node migration.  [code_cache] (default 16) is the
     per-node recompilation-cache capacity in entries; [<= 0] disables
-    caching cluster-wide. *)
+    caching cluster-wide.  [trace_capacity] bounds the event-trace ring
+    (default 65536 events). *)
 
 val node : t -> int -> node
 val node_count : t -> int
@@ -137,6 +139,18 @@ val events : t -> string list
 val migrations : t -> migration_record list
 val storage : t -> Storage.t
 val net : t -> Simnet.t
+
+val trace : t -> Obs.Trace.t
+(** The typed event trace: migrations, failures, resurrections,
+    speculation resolution, message traffic and collections, stamped
+    with simulated time (export with {!Obs.Trace.write_jsonl}). *)
+
+val metrics : t -> Obs.Metrics.t
+(** The cluster-level registry: scheduler counters ([sched.rounds],
+    [sched.quanta]), migration counters and cost histograms
+    ([cluster.migrations_ok], [cluster.migrate_bytes],
+    [cluster.pack_seconds], ...), failure/recovery counters.  Per-node
+    daemon and cache registries live on the daemons themselves. *)
 
 val cache_hit_rate : t -> float
 (** Aggregate recompilation-cache hit rate across every node's daemon

@@ -14,6 +14,13 @@
    transactional Isolation property).  The cluster maintains the
    dependency registry and performs the cascade.
 
+   The mailbox is a two-list FIFO (enqueue pushes onto [back]; receivers
+   scan [front], refilling it from [back] when needed), so enqueue is
+   O(1) and an N-message burst costs O(N) total instead of the O(N^2) a
+   naive [queue @ [msg]] append produces.  Oldest-first delivery order is
+   preserved: [front] is oldest-first, [back] newest-first, and the
+   refill reverses [back] behind [front].
+
    Receive results (returned to FIR code from msg_try_recv):
    - n >= 0   : n cells copied into the buffer
    - MSG_NONE : nothing available yet (poll again / park)
@@ -35,14 +42,38 @@ type message = {
 }
 
 type mailbox = {
-  mutable queue : message list; (* oldest first *)
+  mutable front : message list; (* oldest first *)
+  mutable back : message list; (* newest first *)
+  mutable size : int;
   (* ranks whose failure/rollback the owner has not yet observed *)
   roll_notices : (int, unit) Hashtbl.t;
 }
 
-let create_mailbox () = { queue = []; roll_notices = Hashtbl.create 4 }
+let create_mailbox () =
+  { front = []; back = []; size = 0; roll_notices = Hashtbl.create 4 }
 
-let enqueue mbox msg = mbox.queue <- mbox.queue @ [ msg ]
+let enqueue mbox msg =
+  mbox.back <- msg :: mbox.back;
+  mbox.size <- mbox.size + 1
+
+(* Move everything into [front], oldest first.  Amortized O(1) per
+   enqueued message: each message is reversed into [front] at most once
+   between receives. *)
+let normalize mbox =
+  if mbox.back <> [] then begin
+    mbox.front <- mbox.front @ List.rev mbox.back;
+    mbox.back <- []
+  end
+
+let pending mbox = mbox.size
+
+(* Queued messages, oldest first (introspection: scheduler wake checks,
+   tests). *)
+let messages mbox =
+  mbox.front @ List.rev mbox.back
+
+let exists_message mbox f =
+  List.exists f mbox.front || List.exists f mbox.back
 
 let post_roll_notice mbox ~src_rank =
   Hashtbl.replace mbox.roll_notices src_rank ()
@@ -50,6 +81,8 @@ let post_roll_notice mbox ~src_rank =
 let clear_roll_notice mbox ~src_rank = Hashtbl.remove mbox.roll_notices src_rank
 
 let has_roll_notice mbox ~src_rank = Hashtbl.mem mbox.roll_notices src_rank
+
+let has_any_roll_notice mbox = Hashtbl.length mbox.roll_notices > 0
 
 (* Take the first delivered message matching (src_rank, tag).  A pending
    roll notice from that rank takes priority and is consumed. *)
@@ -63,7 +96,8 @@ let try_recv mbox ~now ~src_rank ~tag =
     clear_roll_notice mbox ~src_rank;
     Roll
   end
-  else
+  else begin
+    normalize mbox;
     let rec split acc = function
       | [] -> None_yet
       | m :: rest ->
@@ -71,36 +105,55 @@ let try_recv mbox ~now ~src_rank ~tag =
           m.msg_src_rank = src_rank && m.msg_tag = tag
           && m.msg_deliver_at <= now
         then begin
-          mbox.queue <- List.rev_append acc rest;
+          mbox.front <- List.rev_append acc rest;
+          mbox.size <- mbox.size - 1;
           Received m
         end
         else split (m :: acc) rest
     in
-    split [] mbox.queue
+    split [] mbox.front
+  end
 
 (* Discard queued messages that originated from any of the given
    speculation level uids (used when the sender rolls back: its
    speculative messages must be unsent). *)
 let discard_speculative mbox ~uids ~sender_pid =
   let dropped = ref 0 in
-  mbox.queue <-
-    List.filter
-      (fun m ->
-        match m.msg_spec with
-        | Some (pid, uid) when pid = sender_pid && List.mem uid uids ->
-          incr dropped;
-          false
-        | Some _ | None -> true)
-      mbox.queue;
+  let keep m =
+    match m.msg_spec with
+    | Some (pid, uid) when pid = sender_pid && List.mem uid uids ->
+      incr dropped;
+      false
+    | Some _ | None -> true
+  in
+  mbox.front <- List.filter keep mbox.front;
+  mbox.back <- List.filter keep mbox.back;
+  mbox.size <- mbox.size - !dropped;
   !dropped
 
 (* Earliest pending delivery time, for the scheduler's idle-time skip. *)
 let next_delivery mbox =
-  List.fold_left
-    (fun acc m ->
+  let fold acc m =
+    match acc with
+    | None -> Some m.msg_deliver_at
+    | Some t -> Some (min t m.msg_deliver_at)
+  in
+  List.fold_left fold (List.fold_left fold None mbox.front) mbox.back
+
+(* Earliest pending delivery from a specific (src, tag) — what a parked
+   receiver is actually waiting for. *)
+let next_matching_delivery mbox ~src_rank ~tag =
+  let fold acc m =
+    if m.msg_src_rank = src_rank && m.msg_tag = tag then
       match acc with
       | None -> Some m.msg_deliver_at
-      | Some t -> Some (min t m.msg_deliver_at))
-    None mbox.queue
+      | Some t -> Some (min t m.msg_deliver_at)
+    else acc
+  in
+  List.fold_left fold (List.fold_left fold None mbox.front) mbox.back
 
-let pending mbox = List.length mbox.queue
+(* Is a matching message already deliverable at [now]? *)
+let has_delivered mbox ~now ~src_rank ~tag =
+  exists_message mbox (fun m ->
+      m.msg_src_rank = src_rank && m.msg_tag = tag
+      && m.msg_deliver_at <= now)

@@ -7,6 +7,9 @@
     joins that speculation (the paper's relaxation of Isolation), and the
     cluster rolls them back together.
 
+    The mailbox is a two-list FIFO: enqueue is O(1), so an N-message
+    burst costs O(N) total, and delivery order stays oldest-first.
+
     Receive results surfaced to FIR code: [n >= 0] cells copied,
     {!msg_none} (nothing yet), or {!msg_roll} (the peer failed or rolled
     back: abort your speculation and retry, as in Figure 2). *)
@@ -29,17 +32,16 @@ type message = {
       (** (sender pid, sender level unique id) when speculative *)
 }
 
-type mailbox = {
-  mutable queue : message list;  (** oldest first *)
-  roll_notices : (int, unit) Hashtbl.t;
-      (** source ranks whose failure/rollback is not yet observed *)
-}
+type mailbox
+(** Abstract: the queue representation is the FIFO's business.  Use
+    {!messages} / {!exists_message} to inspect pending messages. *)
 
 val create_mailbox : unit -> mailbox
 val enqueue : mailbox -> message -> unit
 val post_roll_notice : mailbox -> src_rank:int -> unit
 val clear_roll_notice : mailbox -> src_rank:int -> unit
 val has_roll_notice : mailbox -> src_rank:int -> bool
+val has_any_roll_notice : mailbox -> bool
 
 type recv_result = Received of message | Roll | None_yet
 
@@ -53,4 +55,18 @@ val discard_speculative : mailbox -> uids:int list -> sender_pid:int -> int
     Returns the number dropped. *)
 
 val next_delivery : mailbox -> float option
+
+val next_matching_delivery :
+  mailbox -> src_rank:int -> tag:int -> float option
+(** Earliest pending delivery from a specific (src, tag) — what a parked
+    receiver is actually waiting for. *)
+
+val has_delivered : mailbox -> now:float -> src_rank:int -> tag:int -> bool
+(** Is a matching message already deliverable at [now]? *)
+
 val pending : mailbox -> int
+
+val messages : mailbox -> message list
+(** Queued messages, oldest first. *)
+
+val exists_message : mailbox -> (message -> bool) -> bool

@@ -9,34 +9,55 @@
    function of image size and recompilation cost rather than hard-coded.
 
    The network also owns the simulated clock.  Time is advanced by the
-   cluster scheduler; message deliveries are timestamped against it. *)
+   cluster scheduler; message deliveries are timestamped against it.
+
+   Traffic accounting lives in an Obs.Metrics registry (counters
+   net.bytes_sent / net.messages / net.transfers) instead of ad-hoc
+   mutable fields, so the cluster, the CLI and the benches all read it
+   through the same interface. *)
 
 type t = {
   mutable now : float; (* simulated seconds *)
   bandwidth_bps : float;
   latency_s : float; (* one-way propagation *)
   connect_s : float; (* connection establishment *)
-  mutable bytes_sent : int;
-  mutable messages_sent : int;
-  mutable transfers : int; (* bulk transfers (migrations, checkpoints) *)
+  metrics : Obs.Metrics.t;
+  bytes_sent : Obs.Metrics.counter;
+  messages_sent : Obs.Metrics.counter;
+  transfers : Obs.Metrics.counter; (* bulk transfers (migrations, ckpts) *)
 }
 
 (* Defaults match the paper's testbed scale: 100 Mbps, sub-millisecond
    LAN latency, ~1 ms TCP connection establishment. *)
 let create ?(bandwidth_mbps = 100.0) ?(latency_us = 200.0)
     ?(connect_ms = 1.0) () =
+  let metrics = Obs.Metrics.create () in
+  (* register outside the record literal: field expressions evaluate in
+     unspecified order, and the registry renders in registration order *)
+  let bytes_sent = Obs.Metrics.counter metrics "net.bytes_sent" in
+  let messages_sent = Obs.Metrics.counter metrics "net.messages" in
+  let transfers = Obs.Metrics.counter metrics "net.transfers" in
   {
     now = 0.0;
     bandwidth_bps = bandwidth_mbps *. 1e6;
     latency_s = latency_us *. 1e-6;
     connect_s = connect_ms *. 1e-3;
-    bytes_sent = 0;
-    messages_sent = 0;
-    transfers = 0;
+    metrics;
+    bytes_sent;
+    messages_sent;
+    transfers;
   }
 
 let now t = t.now
-let advance t dt = if dt > 0.0 then t.now <- t.now +. dt
+
+(* A negative charge is always an upstream accounting bug (a cost model
+   returned nonsense or a caller subtracted the wrong way): fail loudly
+   instead of silently freezing the clock. *)
+let advance t dt =
+  if dt < 0.0 then
+    invalid_arg (Printf.sprintf "Simnet.advance: negative dt %g" dt);
+  t.now <- t.now +. dt
+
 let advance_to t time = if time > t.now then t.now <- time
 
 (* Cost of a bulk transfer (new connection): setup + latency + serialization
@@ -49,9 +70,15 @@ let message_seconds t bytes =
   t.latency_s +. (float_of_int (8 * bytes) /. t.bandwidth_bps)
 
 let record_transfer t bytes =
-  t.bytes_sent <- t.bytes_sent + bytes;
-  t.transfers <- t.transfers + 1
+  Obs.Metrics.incr ~by:bytes t.bytes_sent;
+  Obs.Metrics.incr t.transfers
 
 let record_message t bytes =
-  t.bytes_sent <- t.bytes_sent + bytes;
-  t.messages_sent <- t.messages_sent + 1
+  Obs.Metrics.incr ~by:bytes t.bytes_sent;
+  Obs.Metrics.incr t.messages_sent
+
+(* Thin views over the registry (the historical accessors). *)
+let metrics t = t.metrics
+let bytes_sent t = Obs.Metrics.count t.bytes_sent
+let messages_sent t = Obs.Metrics.count t.messages_sent
+let transfers t = Obs.Metrics.count t.transfers

@@ -11,11 +11,15 @@ val create :
 (** Defaults: 100 Mbps, 200 µs one-way latency, 1 ms connection setup. *)
 
 val now : t -> float
+
 val advance : t -> float -> unit
-(** Move the event floor forward by a (non-negative) delta. *)
+(** Move the event floor forward by a delta.
+    @raise Invalid_argument on a negative delta — a negative time charge
+    is always an upstream accounting bug. *)
 
 val advance_to : t -> float -> unit
-(** Move the event floor forward to a time (never backwards). *)
+(** Move the event floor forward to a time (never backwards; past times
+    are ignored). *)
 
 val transfer_seconds : t -> int -> float
 (** Cost of a bulk transfer on a new connection (migrations,
@@ -26,3 +30,13 @@ val message_seconds : t -> int -> float
 
 val record_transfer : t -> int -> unit
 val record_message : t -> int -> unit
+
+val metrics : t -> Obs.Metrics.t
+(** The traffic registry: counters [net.bytes_sent], [net.messages],
+    [net.transfers]. *)
+
+val bytes_sent : t -> int
+(** Thin view over the registry. *)
+
+val messages_sent : t -> int
+val transfers : t -> int

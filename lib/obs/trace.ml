@@ -1,0 +1,188 @@
+(* Typed event tracing: a bounded ring buffer of timestamped events.
+
+   Every event carries the SIMULATED time at which it happened (the
+   cluster's discrete-event clock, not wall-clock: the reproduction's
+   claims are about simulated cost accounting, and wall-clock stamps
+   would vary run to run and host to host), plus the node / pid / rank
+   attribution the per-phase analyses need (-1 where not applicable).
+
+   The buffer is a fixed-capacity ring: recording never allocates
+   unboundedly and a long soak run keeps the most recent window.  The
+   number of overwritten events is reported so an exporter can say what
+   it dropped.
+
+   Export is JSONL — one self-describing JSON object per line — ordered
+   by simulated time.  Nodes advance on independent local clocks, so raw
+   recording order is only per-node monotone; the exporter stably sorts
+   by timestamp to present one cluster-wide monotone timeline. *)
+
+type gc_kind = Minor | Major
+
+type kind =
+  | Migrate_start of { target : string; bytes : int }
+  | Migrate_done of {
+      ok : bool;
+      cache_hit : bool;
+      bytes : int;
+      pack_s : float;
+      transfer_s : float;
+      compile_s : float;
+    }
+  | Cache_hit
+  | Cache_miss
+  | Spec_enter of { uid : int; depth : int }
+  | Spec_commit of { uid : int; durable : bool }
+  | Spec_rollback of { uids : int list }
+  | Node_fail
+  | Checkpoint of { path : string; bytes : int }
+  | Resurrect of { path : string; ok : bool }
+  | Gc of { gc_kind : gc_kind; live : int; collected : int }
+  | Msg_send of { dst : int; tag : int; cells : int }
+  | Msg_recv of { src : int; tag : int; cells : int }
+  | Msg_roll of { src : int }
+
+type event = {
+  time : float; (* simulated seconds *)
+  node : int; (* -1 when not attributable *)
+  pid : int;
+  rank : int;
+  kind : kind;
+}
+
+type t = {
+  buf : event option array;
+  mutable head : int; (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
+  { buf = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let dropped t = t.dropped
+
+let record t ~time ?(node = -1) ?(pid = -1) ?(rank = -1) kind =
+  let cap = capacity t in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.buf.(t.head) <- Some { time; node; pid; rank; kind };
+  t.head <- (t.head + 1) mod cap
+
+let clear t =
+  Array.fill t.buf 0 (capacity t) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+(* Oldest-recorded first (per-node monotone; see [to_jsonl] for the
+   cluster-wide monotone ordering). *)
+let events t =
+  let cap = capacity t in
+  let start = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i ->
+      match t.buf.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let kind_label = function
+  | Migrate_start _ -> "migrate_start"
+  | Migrate_done _ -> "migrate_done"
+  | Cache_hit -> "cache_hit"
+  | Cache_miss -> "cache_miss"
+  | Spec_enter _ -> "spec_enter"
+  | Spec_commit _ -> "spec_commit"
+  | Spec_rollback _ -> "spec_rollback"
+  | Node_fail -> "node_fail"
+  | Checkpoint _ -> "checkpoint"
+  | Resurrect _ -> "resurrect"
+  | Gc _ -> "gc"
+  | Msg_send _ -> "msg_send"
+  | Msg_recv _ -> "msg_recv"
+  | Msg_roll _ -> "msg_roll"
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Printf.bprintf buf "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  (* shortest round-trippable form that is still valid JSON *)
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.9g" x
+
+let kind_fields buf = function
+  | Migrate_start { target; bytes } ->
+    Printf.bprintf buf ",\"target\":\"%s\",\"bytes\":%d"
+      (json_escape target) bytes
+  | Migrate_done { ok; cache_hit; bytes; pack_s; transfer_s; compile_s } ->
+    Printf.bprintf buf
+      ",\"ok\":%b,\"cache_hit\":%b,\"bytes\":%d,\"pack_s\":%s,\"transfer_s\":%s,\"compile_s\":%s"
+      ok cache_hit bytes (json_float pack_s) (json_float transfer_s)
+      (json_float compile_s)
+  | Cache_hit | Cache_miss | Node_fail -> ()
+  | Spec_enter { uid; depth } ->
+    Printf.bprintf buf ",\"uid\":%d,\"depth\":%d" uid depth
+  | Spec_commit { uid; durable } ->
+    Printf.bprintf buf ",\"uid\":%d,\"durable\":%b" uid durable
+  | Spec_rollback { uids } ->
+    Printf.bprintf buf ",\"uids\":[%s]"
+      (String.concat "," (List.map string_of_int uids))
+  | Checkpoint { path; bytes } ->
+    Printf.bprintf buf ",\"path\":\"%s\",\"bytes\":%d" (json_escape path)
+      bytes
+  | Resurrect { path; ok } ->
+    Printf.bprintf buf ",\"path\":\"%s\",\"ok\":%b" (json_escape path) ok
+  | Gc { gc_kind; live; collected } ->
+    Printf.bprintf buf ",\"gc_kind\":\"%s\",\"live\":%d,\"collected\":%d"
+      (match gc_kind with Minor -> "minor" | Major -> "major")
+      live collected
+  | Msg_send { dst; tag; cells } ->
+    Printf.bprintf buf ",\"dst\":%d,\"tag\":%d,\"cells\":%d" dst tag cells
+  | Msg_recv { src; tag; cells } ->
+    Printf.bprintf buf ",\"src\":%d,\"tag\":%d,\"cells\":%d" src tag cells
+  | Msg_roll { src } -> Printf.bprintf buf ",\"src\":%d" src
+
+let event_to_json e =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "{\"t\":%s,\"ev\":\"%s\"" (json_float e.time)
+    (kind_label e.kind);
+  if e.node >= 0 then Printf.bprintf buf ",\"node\":%d" e.node;
+  if e.pid >= 0 then Printf.bprintf buf ",\"pid\":%d" e.pid;
+  if e.rank >= 0 then Printf.bprintf buf ",\"rank\":%d" e.rank;
+  kind_fields buf e.kind;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Cluster-wide monotone timeline: a stable sort by simulated time (the
+   recording order breaks ties, preserving causal order within a node). *)
+let timeline t =
+  List.stable_sort (fun a b -> Float.compare a.time b.time) (events t)
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (event_to_json e);
+      Buffer.add_char buf '\n')
+    (timeline t);
+  Buffer.contents buf
+
+let write_jsonl t oc = output_string oc (to_jsonl t)

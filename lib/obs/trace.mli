@@ -1,0 +1,75 @@
+(** Typed event tracing: a bounded ring buffer of timestamped events
+    with a JSONL exporter.
+
+    Events are stamped with SIMULATED time (the cluster's discrete-event
+    clock, not wall-clock) plus node / pid / rank attribution, [-1]
+    where not applicable.  The buffer is a fixed-capacity ring — a long
+    run keeps the most recent window and reports how many events it
+    overwrote. *)
+
+type gc_kind = Minor | Major
+
+type kind =
+  | Migrate_start of { target : string; bytes : int }
+  | Migrate_done of {
+      ok : bool;
+      cache_hit : bool;
+      bytes : int;
+      pack_s : float;
+      transfer_s : float;
+      compile_s : float;
+    }
+  | Cache_hit
+  | Cache_miss
+  | Spec_enter of { uid : int; depth : int }
+  | Spec_commit of { uid : int; durable : bool }
+  | Spec_rollback of { uids : int list }
+  | Node_fail
+  | Checkpoint of { path : string; bytes : int }
+  | Resurrect of { path : string; ok : bool }
+  | Gc of { gc_kind : gc_kind; live : int; collected : int }
+  | Msg_send of { dst : int; tag : int; cells : int }
+  | Msg_recv of { src : int; tag : int; cells : int }
+  | Msg_roll of { src : int }
+
+type event = {
+  time : float;  (** simulated seconds *)
+  node : int;
+  pid : int;
+  rank : int;
+  kind : kind;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 65536 events.
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val record :
+  t -> time:float -> ?node:int -> ?pid:int -> ?rank:int -> kind -> unit
+
+val clear : t -> unit
+
+val events : t -> event list
+(** In recording order, oldest first (monotone per node, not globally). *)
+
+val timeline : t -> event list
+(** Stably sorted by simulated time: one cluster-wide monotone timeline;
+    recording order breaks ties. *)
+
+val kind_label : kind -> string
+
+val event_to_json : event -> string
+(** One JSON object, no trailing newline. *)
+
+val to_jsonl : t -> string
+(** The {!timeline}, one JSON object per line. *)
+
+val write_jsonl : t -> out_channel -> unit

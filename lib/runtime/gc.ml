@@ -28,6 +28,18 @@ type result = {
   collected_cells : int;
 }
 
+(* Process-global collection metrics.  Heaps are per-process but the
+   collector itself is a library, so the registry is module-global: every
+   collection in the program lands here (the cluster additionally
+   attributes collections to nodes through the per-process [on_gc] hook in
+   Vm.Process). *)
+let metrics = Obs.Metrics.create ()
+let c_minor = Obs.Metrics.counter metrics "gc.minor_collections"
+let c_major = Obs.Metrics.counter metrics "gc.major_collections"
+let c_collected_blocks = Obs.Metrics.counter metrics "gc.collected_blocks"
+let c_collected_cells = Obs.Metrics.counter metrics "gc.collected_cells"
+let h_live = Obs.Metrics.histogram metrics "gc.live_blocks"
+
 let flag_marked = 1
 
 (* [pinned] is the concatenation of all speculation levels' checkpoint
@@ -135,6 +147,12 @@ let collect heap ~kind ~roots ~pinned =
   | Minor -> stats.Heap.minor_collections <- stats.Heap.minor_collections + 1
   | Major -> stats.Heap.major_collections <- stats.Heap.major_collections + 1);
   stats.Heap.collected_cells <- stats.Heap.collected_cells + !dead_cells;
+  (match kind with
+  | Minor -> Obs.Metrics.incr c_minor
+  | Major -> Obs.Metrics.incr c_major);
+  Obs.Metrics.incr ~by:!dead c_collected_blocks;
+  Obs.Metrics.incr ~by:!dead_cells c_collected_cells;
+  Obs.Metrics.observe h_live (float_of_int !live);
   {
     kind;
     forward;

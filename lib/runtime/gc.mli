@@ -36,3 +36,9 @@ val collect :
 
 val forward_addr : result -> int -> int
 (** Map an address through the forwarding table (identity if unmoved). *)
+
+val metrics : Obs.Metrics.t
+(** Process-global collection metrics: counters [gc.minor_collections],
+    [gc.major_collections], [gc.collected_blocks], [gc.collected_cells]
+    and histogram [gc.live_blocks].  Heaps are per-process; per-node
+    attribution happens through the [on_gc] hook in [Vm.Process]. *)

@@ -52,32 +52,48 @@ type t = {
   heap : Heap.t;
   mutable levels : level list; (* newest first *)
   mutable next_id : int;
-  stats : stats;
+  (* counters live in a metrics registry; [stats] is a snapshot view *)
+  metrics : Obs.Metrics.t;
+  c_entered : Obs.Metrics.counter;
+  c_committed : Obs.Metrics.counter;
+  c_rolled_back : Obs.Metrics.counter;
+  c_blocks_saved : Obs.Metrics.counter;
+  c_blocks_discarded : Obs.Metrics.counter;
   (* Distributed-speculation hooks (paper, Section 1: dependent processes
      "join that process's speculation and roll back together").  A host
      environment — the simulated cluster — installs these to observe level
-     resolution: [on_rollback] receives the unique ids of every level that
-     was just undone; [on_commit] receives the committed level's unique id
-     and its parent's (None when folding into level 0, i.e. the changes
-     became durable). *)
+     resolution: [on_enter] fires when a level is pushed; [on_rollback]
+     receives the unique ids of every level that was just undone;
+     [on_commit] receives the committed level's unique id and its parent's
+     (None when folding into level 0, i.e. the changes became durable). *)
+  mutable on_enter : (uid:int -> depth:int -> unit) option;
   mutable on_rollback : (int list -> unit) option;
   mutable on_commit : (uid:int -> parent:int option -> unit) option;
 }
 
 let create heap =
+  let metrics = Obs.Metrics.create () in
+  (* register outside the record literal: field expressions evaluate in
+     unspecified order, and the registry renders in registration order *)
+  let c_entered = Obs.Metrics.counter metrics "spec.entered" in
+  let c_committed = Obs.Metrics.counter metrics "spec.committed" in
+  let c_rolled_back = Obs.Metrics.counter metrics "spec.rolled_back" in
+  let c_blocks_saved = Obs.Metrics.counter metrics "spec.blocks_saved" in
+  let c_blocks_discarded =
+    Obs.Metrics.counter metrics "spec.blocks_discarded"
+  in
   let t =
     {
       heap;
       levels = [];
       next_id = 1;
-      stats =
-        {
-          entered = 0;
-          committed = 0;
-          rolled_back = 0;
-          blocks_saved = 0;
-          blocks_discarded = 0;
-        };
+      metrics;
+      c_entered;
+      c_committed;
+      c_rolled_back;
+      c_blocks_saved;
+      c_blocks_discarded;
+      on_enter = None;
       on_rollback = None;
       on_commit = None;
     }
@@ -90,13 +106,23 @@ let create heap =
         let original = Heap.clone_for_cow heap idx in
         top.saved <- (idx, original) :: top.saved;
         Hashtbl.add top.saved_set idx ();
-        t.stats.blocks_saved <- t.stats.blocks_saved + 1
+        Obs.Metrics.incr t.c_blocks_saved
       end
   in
   Heap.set_before_write heap (Some hook);
   t
 
-let stats t = t.stats
+let metrics t = t.metrics
+
+(* Thin view: the historical record, snapshotted from the registry. *)
+let stats t =
+  {
+    entered = Obs.Metrics.count t.c_entered;
+    committed = Obs.Metrics.count t.c_committed;
+    rolled_back = Obs.Metrics.count t.c_rolled_back;
+    blocks_saved = Obs.Metrics.count t.c_blocks_saved;
+    blocks_discarded = Obs.Metrics.count t.c_blocks_discarded;
+  }
 let depth t = List.length t.levels
 
 (* Unique level identities, newest first.  Level numbers (1..N) shift when
@@ -141,8 +167,12 @@ let enter t ~cont =
   in
   t.next_id <- t.next_id + 1;
   t.levels <- lvl :: t.levels;
-  t.stats.entered <- t.stats.entered + 1;
-  depth t
+  Obs.Metrics.incr t.c_entered;
+  let d = depth t in
+  (match t.on_enter with
+  | Some hook -> hook ~uid:lvl.unique_id ~depth:d
+  | None -> ());
+  d
 
 (* ------------------------------------------------------------------ *)
 (* commit                                                              *)
@@ -176,7 +206,7 @@ let commit t l =
     List.iter
       (fun (idx, original) ->
         if Hashtbl.mem parent.saved_set idx then
-          t.stats.blocks_discarded <- t.stats.blocks_discarded + 1
+          Obs.Metrics.incr t.c_blocks_discarded
         else begin
           parent.saved <- (idx, original) :: parent.saved;
           Hashtbl.add parent.saved_set idx ()
@@ -184,10 +214,9 @@ let commit t l =
       lvl.saved
   | [] ->
     (* committing to level 0: all originals become unreachable *)
-    t.stats.blocks_discarded <-
-      t.stats.blocks_discarded + List.length lvl.saved);
+    Obs.Metrics.incr ~by:(List.length lvl.saved) t.c_blocks_discarded);
   t.levels <- newer @ older;
-  t.stats.committed <- t.stats.committed + 1;
+  Obs.Metrics.incr t.c_committed;
   match t.on_commit with
   | Some hook ->
     let parent =
@@ -230,7 +259,7 @@ let rollback t l =
     | [] -> raise (Invalid_level "rollback: empty undo set")
   in
   t.levels <- kept;
-  t.stats.rolled_back <- t.stats.rolled_back + 1;
+  Obs.Metrics.incr t.c_rolled_back;
   (* retry semantics: level l is immediately re-entered with the same
      continuation *)
   let (_ : int) = enter t ~cont:entered_level.cont in
@@ -248,7 +277,8 @@ let rollback_abandon t l =
   | [] -> ());
   cont
 
-let set_hooks t ~on_rollback ~on_commit =
+let set_hooks ?on_enter t ~on_rollback ~on_commit =
+  t.on_enter <- on_enter;
   t.on_rollback <- Some on_rollback;
   t.on_commit <- Some on_commit
 

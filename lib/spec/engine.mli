@@ -36,6 +36,8 @@ type stats = {
   mutable blocks_saved : int;
   mutable blocks_discarded : int;
 }
+(** Historical view: a snapshot built from the metrics registry at call
+    time (see {!stats}). *)
 
 type t
 
@@ -43,6 +45,13 @@ val create : Heap.t -> t
 (** Create an engine over [heap], installing its copy-on-write hook. *)
 
 val stats : t -> stats
+(** A snapshot of the registry counters in the historical record shape;
+    mutating the returned record has no effect on the engine. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The live registry: counters [spec.entered], [spec.committed],
+    [spec.rolled_back], [spec.blocks_saved], [spec.blocks_discarded]. *)
+
 val depth : t -> int
 
 val level_saved_count : t -> int -> int
@@ -83,12 +92,14 @@ val rollback_abandon : t -> int -> cont
 (** Like {!rollback} but without the retry re-entry. *)
 
 val set_hooks :
+  ?on_enter:(uid:int -> depth:int -> unit) ->
   t -> on_rollback:(int list -> unit) ->
   on_commit:(uid:int -> parent:int option -> unit) -> unit
-(** Install host-environment observers: [on_rollback] receives the unique
-    ids of every level just undone (newest first); [on_commit] receives
-    the committed level's unique id and its parent's ([None] when folding
-    into level 0). *)
+(** Install host-environment observers: [on_enter] fires when a level is
+    pushed (with its unique id and the resulting depth); [on_rollback]
+    receives the unique ids of every level just undone (newest first);
+    [on_commit] receives the committed level's unique id and its parent's
+    ([None] when folding into level 0). *)
 
 (** {2 GC integration} *)
 

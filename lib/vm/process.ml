@@ -41,6 +41,8 @@ type t = {
   mutable steps : int; (* basic blocks executed *)
   mutable cycles : int; (* simulated cycles consumed *)
   mutable waiting : bool; (* scheduler hint: blocked on input *)
+  mutable on_gc : (Gc.result -> unit) option;
+      (* host observer, fired after every collection (tracing) *)
   output : Buffer.t;
   rng : Random.State.t;
 }
@@ -66,6 +68,7 @@ let create ?(pid = 0) ?(arch = Arch.cisc32) ?(seed = 42)
     steps = 0;
     cycles = 0;
     waiting = false;
+    on_gc = None;
     output = Buffer.create 128;
     rng = Random.State.make [| seed; pid |];
   }
@@ -92,6 +95,7 @@ let restore ?(pid = 0) ?(arch = Arch.cisc32) ?(seed = 42) ~program ~heap
     steps = 0;
     cycles = 0;
     waiting = false;
+    on_gc = None;
     output = Buffer.create 128;
     rng = Random.State.make [| seed; pid |];
   }
@@ -135,6 +139,7 @@ let collect t kind =
   in
   Spec.Engine.rewrite_after_gc t.spec res;
   charge t Arch.Trap;
+  (match t.on_gc with Some hook -> hook res | None -> ());
   res
 
 let maybe_collect t =

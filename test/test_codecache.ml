@@ -231,6 +231,91 @@ let test_negative_caching () =
   check_int "only one typecheck paid" 1 s.Migrate.Codecache.misses
 
 (* ------------------------------------------------------------------ *)
+(* Accounting consistency                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* An ill-typed program packaged with a consistent digest — produces a
+   NEGATIVE cache entry (cached rejection, zero instructions). *)
+let hostile_bytes () =
+  let evil =
+    let v = Var.fresh "p" in
+    Ast.program ~main:"main"
+      [
+        {
+          Ast.f_name = "main";
+          f_params = [];
+          f_body =
+            Ast.Let_atom
+              (v, Types.Tptr Types.Tint, Ast.Int 9, Ast.Exit (Ast.Int 0));
+        };
+      ]
+  in
+  let proc, _ = run_to_migration (migrating_sum 21) in
+  let im = (Migrate.Pack.pack_request proc).Migrate.Pack.p_image in
+  let fir = Serial.encode evil in
+  Migrate.Wire.encode
+    { im with Migrate.Wire.i_fir = fir; i_digest = Digest.of_encoded fir }
+
+let test_stats_consistency () =
+  let a = packed_bytes 33 in
+  let b = packed_bytes 34 in
+  let evil = hostile_bytes () in
+  let cache = Migrate.Codecache.create ~capacity:8 () in
+  let _ = unpack ~cache a in
+  let _ = unpack ~cache a in
+  let _ = unpack ~cache b in
+  let _ = unpack ~cache ~trusted:true b in
+  (match Migrate.Pack.unpack ~cache ~arch:Vm.Arch.cisc32 evil with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ill-typed FIR accepted");
+  let s = Migrate.Codecache.stats cache in
+  check_int "lookups = hits + misses"
+    (Migrate.Codecache.lookups cache)
+    (s.Migrate.Codecache.hits + s.Migrate.Codecache.misses);
+  check_int "one lookup per delivery" 5 (Migrate.Codecache.lookups cache);
+  (* the stats view is a snapshot: mutating it changes nothing *)
+  s.Migrate.Codecache.hits <- 999;
+  let s' = Migrate.Codecache.stats cache in
+  check_int "stats record is a snapshot" 1 s'.Migrate.Codecache.hits
+
+let test_instr_accounting_with_negative_entries () =
+  let a = packed_bytes 35 in
+  let b = packed_bytes 36 in
+  let evil = hostile_bytes () in
+  let digest_of bytes = (Migrate.Wire.decode bytes).Migrate.Wire.i_digest in
+  (* fill a cache with positive AND negative entries, then drop them all
+     by invalidation: the instruction accounting must return to zero *)
+  let cache = Migrate.Codecache.create ~capacity:8 () in
+  let _ = unpack ~cache a in
+  let _ = unpack ~cache b in
+  (match Migrate.Pack.unpack ~cache ~arch:Vm.Arch.cisc32 evil with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ill-typed FIR accepted");
+  check_int "three entries live" 3 (Migrate.Codecache.length cache);
+  check "positive entries hold instructions" true
+    (Migrate.Codecache.total_instrs cache > 0);
+  List.iter
+    (fun bytes -> Migrate.Codecache.invalidate cache ~digest:(digest_of bytes))
+    [ a; b; evil ];
+  check_int "all entries dropped" 0 (Migrate.Codecache.length cache);
+  check_int "instruction accounting back to zero" 0
+    (Migrate.Codecache.total_instrs cache);
+  (* same via LRU eviction: alternate through a capacity-1 cache *)
+  let tiny = Migrate.Codecache.create ~capacity:1 () in
+  let _ = unpack ~cache:tiny a in
+  let _ = unpack ~cache:tiny b in
+  (match Migrate.Pack.unpack ~cache:tiny ~arch:Vm.Arch.cisc32 evil with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ill-typed FIR accepted");
+  (* the negative entry (zero instructions) is the sole survivor *)
+  check_int "negative entry survived alone" 1 (Migrate.Codecache.length tiny);
+  check_int "a negative entry holds no instructions" 0
+    (Migrate.Codecache.total_instrs tiny);
+  Migrate.Codecache.invalidate tiny ~digest:(digest_of evil);
+  check_int "eviction path also returns to zero" 0
+    (Migrate.Codecache.total_instrs tiny)
+
+(* ------------------------------------------------------------------ *)
 (* Cluster aggregation                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -278,6 +363,10 @@ let suites =
         Alcotest.test_case "instr budget + invalidate" `Quick
           test_instr_budget_and_invalidate;
         Alcotest.test_case "negative caching" `Quick test_negative_caching;
+        Alcotest.test_case "stats consistency (lookups = hits + misses)"
+          `Quick test_stats_consistency;
+        Alcotest.test_case "instr accounting with negative entries" `Quick
+          test_instr_accounting_with_negative_entries;
         Alcotest.test_case "cluster hit rate" `Quick test_cluster_hit_rate;
       ] );
   ]

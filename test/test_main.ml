@@ -1,6 +1,6 @@
 let () =
   Alcotest.run "mojave"
-    (Test_fir.suites @ Test_runtime.suites @ Test_spec.suites
+    (Test_obs.suites @ Test_fir.suites @ Test_runtime.suites @ Test_spec.suites
     @ Test_vm.suites @ Test_migrate.suites @ Test_codecache.suites
     @ Test_net.suites
     @ Test_minic.suites @ Test_miniml.suites @ Test_pascal.suites

@@ -34,8 +34,16 @@ let test_simnet_clock () =
   check "advance_to never goes back" true (Net.Simnet.now net = 0.5);
   Net.Simnet.advance_to net 0.9;
   check "advance_to forward" true (Net.Simnet.now net = 0.9);
-  Net.Simnet.advance net (-1.0);
-  check "negative advance ignored" true (Net.Simnet.now net = 0.9)
+  (* a negative [advance] is a caller bug (time never flows backwards)
+     and must be rejected loudly, not ignored *)
+  (try
+     Net.Simnet.advance net (-1.0);
+     Alcotest.fail "negative advance must raise"
+   with Invalid_argument _ -> ());
+  check "clock unchanged after rejected advance" true
+    (Net.Simnet.now net = 0.9);
+  Net.Simnet.advance net 0.0;
+  check "zero advance is a no-op" true (Net.Simnet.now net = 0.9)
 
 (* ------------------------------------------------------------------ *)
 (* Storage                                                             *)
@@ -126,6 +134,31 @@ let test_mailbox_discard_speculative () =
   in
   check_int "one dropped" 1 dropped;
   check_int "two remain" 2 (Net.Mpi.pending mbox)
+
+(* With the two-list FIFO, a 10k-message burst is linear work and
+   delivery order stays oldest-first (the old [queue @ [msg]] enqueue
+   made a burst O(N^2)). *)
+let test_mailbox_fifo_burst () =
+  let mbox = Net.Mpi.create_mailbox () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Net.Mpi.enqueue mbox (msg ~src:1 ~tag:0 ~at:0.0 [| i |])
+  done;
+  check_int "all pending" n (Net.Mpi.pending mbox);
+  (match Net.Mpi.messages mbox with
+  | first :: _ ->
+    check "messages lists oldest first" true
+      (first.Net.Mpi.msg_payload = [| Value.Vint 1 |])
+  | [] -> Alcotest.fail "burst lost");
+  let in_order = ref true in
+  for i = 1 to n do
+    match Net.Mpi.try_recv mbox ~now:1.0 ~src_rank:1 ~tag:0 with
+    | Net.Mpi.Received m ->
+      if m.Net.Mpi.msg_payload <> [| Value.Vint i |] then in_order := false
+    | _ -> in_order := false
+  done;
+  check "delivered oldest-first" true !in_order;
+  check_int "drained" 0 (Net.Mpi.pending mbox)
 
 (* ------------------------------------------------------------------ *)
 (* Cluster: basic scheduling and messaging                             *)
@@ -368,6 +401,121 @@ let spin_forever =
         func "main" [] (fun _ -> callf "spin" []);
       ])
 
+(* rank [me] polls rank [src] forever; exits 222 on MSG_ROLL *)
+let watcher_of src =
+  Builder.(
+    prog
+      [
+        func "poll" [ "buf", Types.Tptr Types.Tint ] (fun args ->
+            match args with
+            | [ buf ] ->
+              ext Types.Tint "msg_try_recv_int"
+                [ int src; int 0; buf; int 1 ]
+                (fun r ->
+                  eq r (int (-2)) (fun rolled ->
+                      if_ rolled (exit_ (int 222)) (callf "poll" [ buf ])))
+            | _ -> assert false);
+        func "main" [] (fun _ ->
+            array Types.Tint ~size:(int 1) ~init:(int 0) (fun buf ->
+                callf "poll" [ buf ]));
+      ])
+
+(* Regression: fail_node must only wake survivors parked on the DEAD
+   rank.  A process parked on an unrelated rank stays parked — waking it
+   would violate the parked_on contract and spin it on a poll that still
+   returns nothing. *)
+let test_fail_node_wakes_only_related_parked () =
+  let cluster = Net.Cluster.create ~node_count:4 () in
+  let victim = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 spin_forever in
+  (* parked on rank 0: must wake and observe MSG_ROLL *)
+  let related =
+    Net.Cluster.spawn cluster ~rank:1 ~node_id:1 (watcher_of 0)
+  in
+  (* parked on rank 2 (a live spinner): must stay parked *)
+  let unrelated =
+    Net.Cluster.spawn cluster ~rank:3 ~node_id:3 (watcher_of 2)
+  in
+  let _ = Net.Cluster.spawn cluster ~rank:2 ~node_id:2 spin_forever in
+  (* enough rounds for both watchers to poll once and park *)
+  let _ = Net.Cluster.run cluster ~max_rounds:10 in
+  let entry pid =
+    match Net.Cluster.entry_of_pid cluster pid with
+    | Some e -> e
+    | None -> Alcotest.failf "no pid %d" pid
+  in
+  check "unrelated watcher parked before the failure" true
+    (entry unrelated).Net.Cluster.proc.Vm.Process.waiting;
+  Net.Cluster.fail_node cluster 0;
+  check "victim trapped" true
+    (match status_of_pid cluster victim with
+    | Vm.Process.Trapped _ -> true
+    | _ -> false);
+  (* the related watcher was woken by the roll notice ... *)
+  check "related watcher woken" true
+    (not (entry related).Net.Cluster.proc.Vm.Process.waiting);
+  (* ... the unrelated one was not *)
+  check "unrelated watcher still parked" true
+    (entry unrelated).Net.Cluster.proc.Vm.Process.waiting;
+  check "unrelated watcher still parked on rank 2" true
+    ((entry unrelated).Net.Cluster.parked_on = Some (2, 0));
+  let _ = Net.Cluster.run cluster ~max_rounds:50 in
+  check "related watcher observed MSG_ROLL" true
+    (status_of_pid cluster related = Vm.Process.Exited 222);
+  (* the unrelated watcher's source is alive: still polling, no roll *)
+  check "unrelated watcher never saw a roll" true
+    (match status_of_pid cluster unrelated with
+    | Vm.Process.Running -> true
+    | _ -> false)
+
+(* Regression: a migration towards an already-dead node must fail
+   cleanly — the source continues locally (migration_failed semantics)
+   and exactly one copy of the process ever exists. *)
+let test_migration_to_dead_target_single_copy () =
+  let cluster = Net.Cluster.create ~node_count:2 () in
+  Net.Cluster.fail_node cluster 1;
+  let pid =
+    Net.Cluster.spawn cluster ~node_id:0
+      (migrate_then_finish ~target:"mcc://node1")
+  in
+  let _ = Net.Cluster.run cluster in
+  check "source observed migration_failed and continued locally" true
+    (status_of_pid cluster pid = Vm.Process.Exited 105);
+  (* no successor entry was ever created: one process, not two *)
+  check_int "exactly one process entry" 1
+    (List.length (Net.Cluster.statuses cluster));
+  (* the trace shows the attempt and its failure *)
+  let events = Obs.Trace.events (Net.Cluster.trace cluster) in
+  check "trace has the failed migrate_done" true
+    (List.exists
+       (fun (e : Obs.Trace.event) ->
+         match e.Obs.Trace.kind with
+         | Obs.Trace.Migrate_done { ok = false; _ } -> true
+         | _ -> false)
+       events)
+
+(* After a SUCCESSFUL migration the source entry is terminated: the
+   packed process must never run in two places. *)
+let test_migration_leaves_single_live_copy () =
+  let cluster = Net.Cluster.create ~node_count:2 () in
+  let pid =
+    Net.Cluster.spawn cluster ~rank:5 ~node_id:0
+      (migrate_then_finish ~target:"mcc://node1")
+  in
+  let _ = Net.Cluster.run cluster in
+  check "source terminated" true
+    (status_of_pid cluster pid = Vm.Process.Exited 0);
+  let live =
+    List.filter
+      (fun (_, _, _, status) ->
+        match status with
+        | Vm.Process.Running | Vm.Process.Migrating _ -> true
+        | Vm.Process.Exited _ | Vm.Process.Trapped _ -> false)
+      (Net.Cluster.statuses cluster)
+  in
+  check_int "no live copies left" 0 (List.length live);
+  check_int "two entries total (source + successor)" 2
+    (List.length (Net.Cluster.statuses cluster))
+
 let test_msg_roll_on_failure () =
   let cluster = Net.Cluster.create ~node_count:2 () in
   let victim = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 spin_forever in
@@ -490,6 +638,78 @@ let test_speculation_join_cascade () =
   check "receiver rolled back with the sender" true
     (status_of_pid cluster receiver = Vm.Process.Exited 300)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: the cluster trace                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive migration, failure, cascade and resurrection, then check the
+   exported timeline is monotone and the JSONL parses line by line. *)
+let test_cluster_trace () =
+  let cluster = Net.Cluster.create ~node_count:3 () in
+  let _ =
+    Net.Cluster.spawn cluster ~rank:3 ~node_id:0
+      (migrate_then_finish ~target:"mcc://node1")
+  in
+  let victim = Net.Cluster.spawn cluster ~rank:0 ~node_id:2 spin_forever in
+  let watcher = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 (watcher_of 0) in
+  let _ = Net.Cluster.run cluster ~max_rounds:10 in
+  Net.Cluster.fail_node cluster 2;
+  let _ = Net.Cluster.run cluster ~max_rounds:100 in
+  ignore victim;
+  check "watcher rolled" true
+    (status_of_pid cluster watcher = Vm.Process.Exited 222);
+  let tr = Net.Cluster.trace cluster in
+  let timeline = Obs.Trace.timeline tr in
+  check "trace non-empty" true (timeline <> []);
+  (* timestamps are simulated time, cluster-wide monotone after sorting *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.Obs.Trace.time <= b.Obs.Trace.time && monotone rest
+    | _ -> true
+  in
+  check "timeline monotone" true (monotone timeline);
+  check "no event before time zero" true
+    (List.for_all (fun e -> e.Obs.Trace.time >= 0.0) timeline);
+  let has pred = List.exists (fun e -> pred e.Obs.Trace.kind) timeline in
+  check "migration start traced" true
+    (has (function Obs.Trace.Migrate_start _ -> true | _ -> false));
+  check "migration done traced" true
+    (has (function Obs.Trace.Migrate_done { ok = true; _ } -> true
+         | _ -> false));
+  check "node failure traced" true
+    (has (function Obs.Trace.Node_fail -> true | _ -> false));
+  check "roll delivery traced" true
+    (has (function Obs.Trace.Msg_roll _ -> true | _ -> false));
+  (* every JSONL line is one object with a time and an event label *)
+  let jsonl = Obs.Trace.to_jsonl tr in
+  let lines = String.split_on_char '\n' jsonl in
+  let lines = List.filter (fun l -> l <> "") lines in
+  check_int "one line per event" (List.length timeline) (List.length lines);
+  List.iter
+    (fun line ->
+      check "line is an object" true
+        (String.length line > 2
+        && line.[0] = '{'
+        && line.[String.length line - 1] = '}');
+      let contains sub =
+        let n = String.length sub in
+        let rec scan i =
+          i + n <= String.length line
+          && (String.sub line i n = sub || scan (i + 1))
+        in
+        scan 0
+      in
+      check "line carries a timestamp" true (contains "\"t\":");
+      check "line carries an event label" true (contains "\"ev\":"))
+    lines;
+  (* the metrics registry aggregates what the trace itemises *)
+  let m = Net.Cluster.metrics cluster in
+  check "one migration counted" true
+    (Obs.Metrics.counter_value m "cluster.migrations_ok" = 1);
+  check "one node failure counted" true
+    (Obs.Metrics.counter_value m "cluster.node_failures" = 1);
+  check "rounds counted" true (Obs.Metrics.counter_value m "sched.rounds" > 0)
+
 let suites =
   [
     ( "net.simnet",
@@ -505,6 +725,8 @@ let suites =
         Alcotest.test_case "roll notices" `Quick test_mailbox_roll_notice;
         Alcotest.test_case "speculative discard" `Quick
           test_mailbox_discard_speculative;
+        Alcotest.test_case "10k burst stays FIFO" `Quick
+          test_mailbox_fifo_burst;
       ] );
     ( "net.cluster",
       [
@@ -525,7 +747,15 @@ let suites =
         Alcotest.test_case "suspend protocol" `Quick test_cluster_suspend;
         Alcotest.test_case "MSG_ROLL on node failure" `Quick
           test_msg_roll_on_failure;
+        Alcotest.test_case "failure wakes only related parked processes"
+          `Quick test_fail_node_wakes_only_related_parked;
+        Alcotest.test_case "migration to dead target keeps a single copy"
+          `Quick test_migration_to_dead_target_single_copy;
+        Alcotest.test_case "successful migration leaves one live copy"
+          `Quick test_migration_leaves_single_live_copy;
         Alcotest.test_case "speculation join cascade" `Quick
           test_speculation_join_cascade;
+        Alcotest.test_case "trace timeline and JSONL export" `Quick
+          test_cluster_trace;
       ] );
   ]
