@@ -159,8 +159,10 @@ let e1 () =
   (* every delivery goes through the instrumented migration server, so
      the table below is read back out of its metrics registry rather
      than hand-tallied *)
-  let server_fir = Migrate.Server.create arch in
-  let server_bin = Migrate.Server.create ~trusted:true arch in
+  let server_fir = Migrate.Server.(create_cfg Config.default arch) in
+  let server_bin =
+    Migrate.Server.(create_cfg { Config.default with trusted = true } arch)
+  in
   Printf.printf "  %-10s %-6s %-10s %-10s %-10s %-10s %-8s %s\n" "heap"
     "path" "image" "pack(s)" "xfer(s)" "compile(s)" "total" "xfer%";
   let results = ref [] in
@@ -575,7 +577,7 @@ let f1 () =
   let tally fir p =
     let ok = ref 0 and clean = ref 0 and bad = ref 0 in
     for seed = 1 to runs do
-      let cluster = Net.Cluster.create ~node_count:1 ~seed () in
+      let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1; seed } in
       Net.Cluster.set_object cluster 1 "AAAA";
       Net.Cluster.set_object cluster 2 "BBBB";
       Net.Cluster.set_object_failure_probability cluster p;
@@ -625,10 +627,13 @@ let grid_config interval =
   { Mcc.Gridapp.ranks = 4; rows_per_rank = 6; cols = 12; timesteps = 120;
     interval; work_us_per_step = 3000 }
 
-let fresh_cluster ?(nodes = 5) () =
-  Net.Cluster.create ~node_count:nodes
-    ~net:(Net.Simnet.create ~latency_us:5.0 ())
-    ()
+let fresh_cluster ?(nodes = 5) ?(faults = Net.Faults.none) ?(seed = 1) () =
+  Net.Cluster.create_cfg
+    { Net.Cluster.Config.default with
+      node_count = nodes;
+      seed;
+      net = Some (Net.Simnet.create ~latency_us:5.0 ());
+      faults }
 
 (* run to completion without faults; returns simulated seconds *)
 let grid_clean interval =
@@ -742,6 +747,166 @@ let f2b () =
     (List.for_all (fun (i, c, f) -> ignore i; f > c) rows);
   verdict "short intervals pay visible checkpoint overhead"
     (faulty_of 2 > faulty_of 10 || clean_of 2 > clean_of 10)
+
+(* ================================================================== *)
+(* F3: grid completion under injected fault classes                    *)
+(* ================================================================== *)
+
+(* Each class is a fault plan fed to the deterministic injection
+   runtime; the grid must still terminate with golden checksums and
+   exactly one live copy of every rank.  Times are simulated seconds
+   well inside the ~0.36 s fault-free span of the 120-step grid. *)
+let f3_classes =
+  let base = { Net.Faults.none with Net.Faults.f_retransmit_s = 0.0001 } in
+  [
+    "baseline", Net.Faults.none;
+    "loss 10%", { base with Net.Faults.f_loss = 0.10 };
+    "dup 5%", { base with Net.Faults.f_dup = 0.05 };
+    "jitter", { base with Net.Faults.f_jitter_s = 0.00002 };
+    ( "partition",
+      { base with
+        Net.Faults.f_partitions =
+          [ { Net.Faults.pa = 0; pb = 1; p_from = 0.05; p_until = 0.12 } ] } );
+    ( "stall",
+      { base with
+        Net.Faults.f_stalls =
+          [ { Net.Faults.s_node = 2; s_at = 0.08; s_for = 0.01 } ] } );
+    ( "crash",
+      { base with
+        Net.Faults.f_crashes = [ { Net.Faults.c_node = 1; c_at = 0.15 } ] } );
+    ( "combined",
+      { base with
+        Net.Faults.f_loss = 0.10;
+        f_dup = 0.05;
+        f_jitter_s = 0.00002;
+        f_partitions =
+          [ { Net.Faults.pa = 0; pb = 2; p_from = 0.05; p_until = 0.09 } ];
+        f_stalls = [ { Net.Faults.s_node = 3; s_at = 0.10; s_for = 0.005 } ];
+        f_crashes = [ { Net.Faults.c_node = 1; c_at = 0.15 } ] } );
+  ]
+
+let f3 () =
+  section "F3: grid completion under injected fault classes (10% loss, \
+           duplication, jitter, partition, stall, crash)";
+  let config = grid_config 10 in
+  let golden = Mcc.Gridapp.golden_checksums config in
+  Printf.printf "  %-11s %-9s %-11s %-8s %-8s %-12s %s\n" "class"
+    "time(s)" "retransmit" "dup" "retries" "backoff(ms)" "crashes";
+  let rows = ref [] and all_ok = ref true in
+  List.iter
+    (fun (name, plan) ->
+      let plan =
+        match Net.Faults.validate plan with
+        | Ok p -> p
+        | Error e -> failwith ("f3: bad plan for " ^ name ^ ": " ^ e)
+      in
+      let cluster = fresh_cluster ~faults:plan ~seed:7 () in
+      let d = Mcc.Gridapp.deploy ~spare:true cluster config in
+      let _ = Mcc.Gridapp.run_resilient d in
+      let done_ok =
+        Array.for_all2 (fun g s -> s = Some g) golden
+          (Mcc.Gridapp.checksums d)
+      in
+      (* no duplicated ranks: exactly one terminated copy of each *)
+      let copies = Array.make config.Mcc.Gridapp.ranks 0 in
+      List.iter
+        (fun (_, rank, _, status) ->
+          match rank, status with
+          | Some r, Vm.Process.Exited _
+            when r >= 0 && r < Array.length copies ->
+            copies.(r) <- copies.(r) + 1
+          | _ -> ())
+        (Net.Cluster.statuses cluster);
+      let single = Array.for_all (fun n -> n = 1) copies in
+      all_ok := !all_ok && done_ok && single;
+      let t = Net.Cluster.now cluster in
+      rows := (name, t) :: !rows;
+      let m = Net.Cluster.metrics cluster in
+      let c n = Obs.Metrics.counter_value m n in
+      Printf.printf "  %-11s %-9.4f %-11d %-8d %-8d %-12.3f %d%s\n" name t
+        (c "faults.retransmits")
+        (c "faults.msg_dup")
+        (c "migrate.retries")
+        (1e3 *. Obs.Metrics.hist_sum_of m "migrate.backoff_seconds")
+        (c "faults.crashes")
+        (if done_ok && single then "" else "  [FAILED]"))
+    f3_classes;
+  print_newline ();
+  verdict "every fault class terminates with golden checksums, one copy \
+           per rank" !all_ok;
+  let baseline_t = List.assoc "baseline" !rows in
+  verdict "no faulty class finishes before the fault-free baseline"
+    (List.for_all
+       (fun (name, t) -> name = "baseline" || t >= baseline_t -. 1e-9)
+       !rows);
+  (* the resilient hop protocol itself: one whole-process migration per
+     fault class, reporting the per-hop retry/backoff decisions *)
+  Printf.printf "\n  migration hop protocol (single process, node 0 -> 1):\n";
+  Printf.printf "  %-14s %-9s %-8s %-12s %s\n" "class" "attempts"
+    "retries" "backoff(ms)" "outcome";
+  let worker =
+    match
+      Minic.Driver.compile
+        {|
+int main() {
+  int acc = 0;
+  int i;
+  int round;
+  for (round = 0; round < 400; round = round + 1) {
+    for (i = 0; i < 50; i = i + 1) acc = (acc + i * 7) % 1000000;
+  }
+  return acc;
+}
+|}
+    with
+    | Ok fir -> fir
+    | Error e -> failwith (Minic.Driver.error_to_string e)
+  in
+  let retried = ref false and degraded = ref false in
+  List.iter
+    (fun (name, plan) ->
+      let cluster =
+        fresh_cluster ~nodes:2
+          ~faults:{ plan with Net.Faults.f_seed = 7 }
+          ~seed:7 ()
+      in
+      let pid = Net.Cluster.spawn cluster ~node_id:0 worker in
+      let _ = Net.Cluster.run cluster ~max_rounds:25 in
+      (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+      | Ok rep ->
+        if rep.Net.Cluster.rep_retries > 0 then retried := true;
+        Printf.printf "  %-14s %-9d %-8d %-12.3f migrated\n" name
+          rep.Net.Cluster.rep_attempts rep.Net.Cluster.rep_retries
+          (1e3 *. rep.Net.Cluster.rep_backoff_s)
+      | Error (Net.Cluster.Unreachable { attempts; reason }) ->
+        degraded := true;
+        Printf.printf "  %-14s %-9d %-8d %-12s resumed locally (%s)\n" name
+          attempts (attempts - 1) "-" reason
+      | Error e ->
+        Printf.printf "  %-14s %-9s %-8s %-12s ERROR %s\n" name "-" "-" "-"
+          (Net.Cluster.migration_error_to_string e));
+      let _ = Net.Cluster.run cluster in
+      ())
+    [
+      "clean", Net.Faults.none;
+      ( "loss 30%",
+        { Net.Faults.none with
+          Net.Faults.f_loss = 0.30;
+          f_retransmit_s = 0.0001 } );
+      ( "partition+heal",
+        { Net.Faults.none with
+          Net.Faults.f_partitions =
+            [ { Net.Faults.pa = 0; pb = 1; p_from = 0.0; p_until = 0.05 } ]
+        } );
+      ( "partition",
+        { Net.Faults.none with
+          Net.Faults.f_partitions =
+            [ { Net.Faults.pa = 0; pb = 1; p_from = 0.0; p_until = infinity }
+            ] } );
+    ];
+  print_newline ();
+  verdict "faulty hops were retried with backoff" !retried;
+  verdict "an unreachable target degrades to local execution" !degraded
 
 (* ================================================================== *)
 (* A1 (ablation): copy-on-write speculation vs migration-based         *)
@@ -990,6 +1155,7 @@ let experiments =
     "f1", ("f1", f1);
     "f2", ("f2", f2);
     "f2b", ("f2b", f2b);
+    "f3", ("f3", f3);
     "a1", ("a1", a1);
     "a2", ("a2", a2);
     (* micro-benchmark, not part of the default paper-reproduction run *)
@@ -1000,7 +1166,7 @@ let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
-    | _ -> [ "e1"; "e1c"; "e2"; "e5"; "f1"; "f2"; "f2b"; "a1"; "a2" ]
+    | _ -> [ "e1"; "e1c"; "e2"; "e5"; "f1"; "f2"; "f2b"; "f3"; "a1"; "a2" ]
   in
   print_endline
     "Mojave Compiler reproduction — benchmark harness (paper: Smith, \

@@ -305,7 +305,11 @@ let serve_cmd =
         Some (Migrate.Codecache.create ~capacity:cache_capacity ())
       else None
     in
-    let server = Migrate.Server.create ~trusted ?cache arch in
+    let server =
+      Migrate.Server.create_cfg
+        { Migrate.Server.Config.default with trusted; cache }
+        arch
+    in
     let process_batch () =
       let images =
         Sys.readdir spool |> Array.to_list
@@ -397,19 +401,53 @@ let grid_cmd =
                 failures, speculation) to FILE as JSON lines, ordered by \
                 simulated time.")
   in
-  let action ranks rows_per_rank cols timesteps interval fail trace_file =
+  let fault_plan_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "fault-plan" ] ~docv:"FILE"
+          ~doc:"Inject faults from a plan file (message loss, \
+                duplication, delay jitter, link partitions, node stalls \
+                and crashes); see the Faults module for the line format. \
+                Crashed ranks are resurrected from their checkpoints.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Cluster (and fault-plan) seed; identical seeds and plans \
+                reproduce identical runs and traces.")
+  in
+  let action ranks rows_per_rank cols timesteps interval fail trace_file
+      fault_plan_file seed =
     let config =
       { Mcc.Gridapp.ranks; rows_per_rank; cols; timesteps; interval;
         work_us_per_step = 1000 }
     in
-    let golden = Mcc.Gridapp.golden_checksums config in
-    let nodes = if fail then ranks + 1 else ranks in
-    let cluster =
-      Net.Cluster.create ~node_count:nodes
-        ~net:(Net.Simnet.create ~latency_us:5.0 ())
-        ()
+    let plan =
+      match fault_plan_file with
+      | None -> Ok Net.Faults.none
+      | Some path -> Net.Faults.parse_plan ?seed (read_file path)
     in
-    let d = Mcc.Gridapp.deploy ~spare:fail cluster config in
+    match plan with
+    | Error m ->
+      Printf.eprintf "mcc grid: bad fault plan: %s\n" m;
+      2
+    | Ok plan ->
+    let golden = Mcc.Gridapp.golden_checksums config in
+    let faulty = not (Net.Faults.is_none plan) in
+    (* faults that can kill a node need somewhere to resurrect to *)
+    let nodes = if fail || faulty then ranks + 1 else ranks in
+    let cluster =
+      Net.Cluster.create_cfg
+        { Net.Cluster.Config.default with
+          node_count = nodes;
+          seed = (match seed with Some s -> s | None -> 1);
+          net = Some (Net.Simnet.create ~latency_us:5.0 ());
+          faults = plan }
+    in
+    let d = Mcc.Gridapp.deploy ~spare:(fail || faulty) cluster config in
     if fail then begin
       let victims =
         Mcc.Gridapp.fail_and_recover ~rounds_before_failure:20 d
@@ -418,7 +456,9 @@ let grid_cmd =
       Printf.printf "killed node1 (ranks %s), recovered from checkpoints\n"
         (String.concat "," (List.map string_of_int victims))
     end;
-    let _ = Mcc.Gridapp.run d in
+    let _ =
+      if faulty then Mcc.Gridapp.run_resilient d else Mcc.Gridapp.run d
+    in
     let sums = Mcc.Gridapp.checksums d in
     let ok = ref true in
     Array.iteri
@@ -434,6 +474,18 @@ let grid_cmd =
           (if matches then "" else "  <-- MISMATCH"))
       sums;
     Printf.printf "simulated time: %.4f s\n" (Net.Cluster.now cluster);
+    if faulty then begin
+      let m = Net.Cluster.metrics cluster in
+      Printf.printf
+        "faults: %d msg retransmits, %d msg dups, %d hops lost, %d \
+         migrate retries, %d stalls, %d crashes\n"
+        (Obs.Metrics.counter_value m "faults.retransmits")
+        (Obs.Metrics.counter_value m "faults.msg_dup")
+        (Obs.Metrics.counter_value m "faults.hop_lost")
+        (Obs.Metrics.counter_value m "migrate.retries")
+        (Obs.Metrics.counter_value m "faults.stalls")
+        (Obs.Metrics.counter_value m "faults.crashes")
+    end;
     let trace_ok =
       match trace_file with
       | None -> true
@@ -456,7 +508,7 @@ let grid_cmd =
                            simulated cluster.")
     Term.(
       const action $ ranks $ rows $ cols $ steps $ interval $ fail
-      $ trace_arg)
+      $ trace_arg $ fault_plan_arg $ seed_arg)
 
 let () =
   let info =

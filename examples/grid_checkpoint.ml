@@ -33,7 +33,7 @@ let () =
 
   (* ---- fault-free run ---- *)
   let net = Net.Simnet.create ~latency_us:5.0 () in
-  let cluster = Net.Cluster.create ~node_count:4 ~net () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 4; net = Some net } in
   let d = Mcc.Gridapp.deploy cluster config in
   let _ = Mcc.Gridapp.run d in
   show_checksums "fault-free distributed run:" (Mcc.Gridapp.checksums d);
@@ -41,7 +41,7 @@ let () =
 
   (* ---- run with an injected node failure ---- *)
   let net = Net.Simnet.create ~latency_us:5.0 () in
-  let cluster = Net.Cluster.create ~node_count:5 ~net () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 5; net = Some net } in
   let d = Mcc.Gridapp.deploy ~spare:true cluster config in
   let victims =
     Mcc.Gridapp.fail_and_recover ~rounds_before_failure:20 d ~victim_node:1

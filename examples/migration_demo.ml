@@ -36,9 +36,10 @@ let () =
 
   (* a two-node cluster with DIFFERENT architectures *)
   let cluster =
-    Net.Cluster.create ~node_count:2
-      ~arches:[| Vm.Arch.cisc32; Vm.Arch.risc64 |]
-      ()
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        node_count = 2;
+        arches = [| Vm.Arch.cisc32; Vm.Arch.risc64 |] }
   in
   let fir = Mcc.Api.compile_exn (Mcc.Api.C worker) in
   let pid = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 ~engine:`Masm fir in
@@ -90,7 +91,7 @@ int main() {
 }
 |})
   in
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 suspender in
   let _ = Net.Cluster.run cluster in
   (match Net.Cluster.entry_of_pid cluster pid with

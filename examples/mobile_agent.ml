@@ -62,9 +62,9 @@ let () =
   print_endline "Mobile agent touring a heterogeneous cluster";
   print_endline "============================================\n";
   let cluster =
-    Net.Cluster.create ~node_count:4
-      ~arches:[| Vm.Arch.cisc32; Vm.Arch.risc64 |]
-      ()
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        arches = [| Vm.Arch.cisc32; Vm.Arch.risc64 |] }
   in
   let fir = Mcc.Api.compile_exn (Mcc.Api.C agent_source) in
   let pid0 = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 ~engine:`Masm fir in

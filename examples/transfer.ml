@@ -64,7 +64,7 @@ type tally = {
 (* One run against a fresh fault-injected object store; consistency means
    the two objects hold either the original or the fully swapped values. *)
 let run_once fir ~fail_prob ~seed =
-  let cluster = Net.Cluster.create ~node_count:1 ~seed () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1; seed } in
   Net.Cluster.set_object cluster 1 "AAAA";
   Net.Cluster.set_object cluster 2 "BBBB";
   Net.Cluster.set_object_failure_probability cluster fail_prob;

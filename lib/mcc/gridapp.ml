@@ -295,6 +295,68 @@ let ranks_on_node d node_id =
       | _ -> None)
     (List.init d.d_config.ranks (fun r -> r))
 
+(* Self-healing run loop for fault-plan crashes: run until quiescent and,
+   whenever ranks died with their node (Trapped) but left a checkpoint on
+   shared storage, resurrect them on the least-loaded live node and keep
+   going.  Stops when every rank exited, the round budget is spent, or a
+   dead rank has no checkpoint to come back from (wedged — the caller sees
+   it as missing checksums). *)
+let run_resilient ?(max_rounds = 2_000_000) d =
+  let cluster = d.d_cluster in
+  let storage = Net.Cluster.storage cluster in
+  let least_loaded_live_node () =
+    let best = ref None in
+    for id = 0 to Net.Cluster.node_count cluster - 1 do
+      let n = Net.Cluster.node cluster id in
+      if n.Net.Cluster.alive then begin
+        let load = List.length (ranks_on_node d id) in
+        match !best with
+        | Some (_, l) when l <= load -> ()
+        | _ -> best := Some (id, load)
+      end
+    done;
+    Option.map fst !best
+  in
+  let dead_ranks () =
+    List.filter
+      (fun r ->
+        match rank_status d r with Vm.Process.Trapped _ -> true | _ -> false)
+      (List.init d.d_config.ranks (fun r -> r))
+  in
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let budget = max_rounds - !total in
+    if budget <= 0 then continue_ := false
+    else begin
+      total := !total + run ~max_rounds:budget d;
+      if all_exited d then continue_ := false
+      else begin
+        match dead_ranks () with
+        | [] ->
+          (* quiescent with nothing to resurrect: wedged (the caller sees
+             missing checksums) or simply out of progress *)
+          continue_ := false
+        | dead ->
+          let recovered_all =
+            List.for_all
+              (fun r ->
+                Net.Storage.exists storage (checkpoint_path r)
+                &&
+                match least_loaded_live_node () with
+                | None -> false
+                | Some node_id -> (
+                  match recover d ~rank:r ~node_id with
+                  | Ok _ -> true
+                  | Error _ -> false))
+              dead
+          in
+          if not recovered_all then continue_ := false
+      end
+    end
+  done;
+  !total
+
 (* Inject a node failure once the first round of checkpoints exists, then
    resurrect the victims on [spare_node].  Returns the victim ranks.
    [after_time] delays the failure until the simulated clock reaches it

@@ -57,6 +57,15 @@ val deploy :
 val rank_status : deployment -> int -> Vm.Process.status
 val all_exited : deployment -> bool
 val run : ?max_rounds:int -> deployment -> int
+
+val run_resilient : ?max_rounds:int -> deployment -> int
+(** Like {!run}, but self-healing: whenever ranks die with their node
+    (e.g. a fault-plan crash) and have a checkpoint on shared storage,
+    they are resurrected on the least-loaded live node and the run
+    continues.  Returns total rounds executed.  Stops — possibly with
+    ranks unfinished — when a dead rank has no checkpoint or no live
+    node remains. *)
+
 val checksums : deployment -> int option array
 
 val recover : deployment -> rank:int -> node_id:int -> (int, string) result

@@ -26,17 +26,44 @@ type stats = {
   mutable cache_hits : int;
 }
 
+module Config = struct
+  type t = {
+    trusted : bool;
+    extern_signatures : Fir.Typecheck.extern_lookup;
+    first_pid : int;
+    cache : Codecache.t option;
+    dedup_window : int;
+  }
+
+  let default =
+    {
+      trusted = false;
+      extern_signatures = Extern.signatures;
+      first_pid = 1000;
+      cache = None;
+      dedup_window = 64;
+    }
+end
+
 type t = {
   arch : Arch.t;
   trusted : bool;
   extern_signatures : Fir.Typecheck.extern_lookup;
   cache : Codecache.t option;
   mutable next_pid : int;
+  (* idempotent receive: accepted requests remembered by delivery key so
+     a duplicated or retried hop returns the original outcome instead of
+     double-spawning.  Bounded FIFO of [dedup_window] entries; 0
+     disables. *)
+  dedup_window : int;
+  dedup : (string, request_outcome) Hashtbl.t;
+  dedup_order : string Queue.t;
   (* counters/histograms live in a metrics registry; [stats] is a
      snapshot view in the historical record shape *)
   metrics : Obs.Metrics.t;
   c_accepted : Obs.Metrics.counter;
   c_rejected : Obs.Metrics.counter;
+  c_duplicates : Obs.Metrics.counter;
   c_bytes : Obs.Metrics.counter;
   c_recompilations : Obs.Metrics.counter;
   c_cache_hits : Obs.Metrics.counter;
@@ -44,14 +71,13 @@ type t = {
   h_compile_cycles : Obs.Metrics.histogram; (* per accepted request *)
 }
 
-let create ?(trusted = false)
-    ?(extern_signatures = Extern.signatures) ?(first_pid = 1000) ?cache arch
-    =
+let create_cfg (cfg : Config.t) arch =
   let metrics = Obs.Metrics.create () in
   (* register outside the record literal: field expressions evaluate in
      unspecified order, and the registry renders in registration order *)
   let c_accepted = Obs.Metrics.counter metrics "server.accepted" in
   let c_rejected = Obs.Metrics.counter metrics "server.rejected" in
+  let c_duplicates = Obs.Metrics.counter metrics "server.duplicates" in
   let c_bytes = Obs.Metrics.counter metrics "server.bytes_received" in
   let c_recompilations =
     Obs.Metrics.counter metrics "server.recompilations"
@@ -63,19 +89,31 @@ let create ?(trusted = false)
   in
   {
     arch;
-    trusted;
-    extern_signatures;
-    cache;
-    next_pid = first_pid;
+    trusted = cfg.Config.trusted;
+    extern_signatures = cfg.Config.extern_signatures;
+    cache = cfg.Config.cache;
+    next_pid = cfg.Config.first_pid;
+    dedup_window = max 0 cfg.Config.dedup_window;
+    dedup = Hashtbl.create 16;
+    dedup_order = Queue.create ();
     metrics;
     c_accepted;
     c_rejected;
+    c_duplicates;
     c_bytes;
     c_recompilations;
     c_cache_hits;
     h_bytes;
     h_compile_cycles;
   }
+
+(* Deprecated optional-argument constructor; use {!create_cfg}. *)
+let create ?(trusted = false)
+    ?(extern_signatures = Extern.signatures) ?(first_pid = 1000) ?cache arch
+    =
+  create_cfg
+    { Config.default with trusted; extern_signatures; first_pid; cache }
+    arch
 
 let metrics t = t.metrics
 
@@ -114,3 +152,35 @@ let handle ?seed t bytes =
   | Error msg ->
     Obs.Metrics.incr t.c_rejected;
     Error msg
+
+(* Idempotent receive.  [key] identifies one logical delivery: the image
+   digest plus whatever envelope identity the transport has (the cluster
+   appends a per-migration hop id, so a retransmitted hop shares the key
+   while distinct migrations of an identical image never collide).
+   Rejections are NOT remembered — a retried hop may legitimately
+   succeed later (e.g. the cache warmed, or the reject was transient
+   policy). *)
+
+type delivery = Fresh of request_outcome | Duplicate of request_outcome
+
+let delivery_key bytes = Fir.Digest.of_encoded bytes
+
+let receive ?seed ?key t bytes =
+  let key = match key with Some k -> k | None -> delivery_key bytes in
+  match Hashtbl.find_opt t.dedup key with
+  | Some outcome ->
+    Obs.Metrics.incr t.c_duplicates;
+    Ok (Duplicate outcome)
+  | None -> (
+    match handle ?seed t bytes with
+    | Error _ as e -> e
+    | Ok outcome ->
+      if t.dedup_window > 0 then begin
+        Hashtbl.replace t.dedup key outcome;
+        Queue.push key t.dedup_order;
+        if Queue.length t.dedup_order > t.dedup_window then begin
+          let oldest = Queue.pop t.dedup_order in
+          Hashtbl.remove t.dedup oldest
+        end
+      end;
+      Ok (Fresh outcome))

@@ -22,15 +22,36 @@ type stats = {
 (** Historical view: a snapshot built from the metrics registry at call
     time (see {!stats}). *)
 
+(** Typed server configuration — the one way to say everything about a
+    daemon.  [cache] is this node's recompilation cache (shared with
+    nobody: the cache is keyed by architecture and verify mode, but each
+    daemon owns its own bounded store).  [dedup_window] bounds the
+    idempotent-receive memory in accepted requests ([0] disables
+    deduplication entirely). *)
+module Config : sig
+  type t = {
+    trusted : bool;
+    extern_signatures : Fir.Typecheck.extern_lookup;
+    first_pid : int;
+    cache : Codecache.t option;
+    dedup_window : int;
+  }
+
+  val default : t
+  (** untrusted, base externs, pids from 1000, no cache, 64-entry dedup
+      window *)
+end
+
 type t
+
+val create_cfg : Config.t -> Arch.t -> t
 
 val create :
   ?trusted:bool ->
   ?extern_signatures:Fir.Typecheck.extern_lookup ->
   ?first_pid:int -> ?cache:Codecache.t -> Arch.t -> t
-(** [cache] is this node's recompilation cache (shared with nobody: the
-    cache is keyed by architecture and verify mode, but each daemon owns
-    its own bounded store). *)
+[@@ocaml.deprecated "use Server.create_cfg with a Server.Config.t"]
+(** Thin wrapper over {!create_cfg} kept for one release. *)
 
 val stats : t -> stats
 (** A snapshot of the registry counters in the historical record shape;
@@ -44,4 +65,30 @@ val metrics : t -> Obs.Metrics.t
 val cache : t -> Codecache.t option
 
 val handle : ?seed:int -> t -> string -> (request_outcome, string) result
-(** Handle one inbound migration; assigns a fresh pid on success. *)
+(** Handle one inbound migration; assigns a fresh pid on success.
+    No deduplication: every call is treated as a distinct request (the
+    transport owns delivery semantics).  Prefer {!receive} when the
+    transport can retry or duplicate. *)
+
+(** {2 Idempotent receive} *)
+
+type delivery =
+  | Fresh of request_outcome  (** first delivery: a process was built *)
+  | Duplicate of request_outcome
+      (** the key was seen before; the ORIGINAL outcome is returned and
+          nothing new was spawned.  Callers must treat this as "already
+          delivered" — the embedded process may have run since. *)
+
+val delivery_key : string -> string
+(** The content half of the delivery identity: the digest of the encoded
+    image bytes. *)
+
+val receive :
+  ?seed:int -> ?key:string -> t -> string -> (delivery, string) result
+(** Handle one delivery idempotently.  [key] (default
+    [delivery_key bytes]) identifies the logical delivery; transports
+    that can carry an envelope id should append it so retransmissions of
+    one hop share a key while distinct migrations of byte-identical
+    images do not collide.  Accepted requests are remembered in a
+    bounded FIFO ([Config.dedup_window]); rejections are not (a retried
+    hop may succeed later). *)

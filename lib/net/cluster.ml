@@ -64,6 +64,86 @@ type migration_record = {
   mr_ok : bool;
 }
 
+(* What a successful host-initiated migration reports (the structured
+   replacement for the old bare successor pid). *)
+type migration_report = {
+  rep_pid : int; (* successor pid *)
+  rep_attempts : int; (* hop transmissions, >= 1 *)
+  rep_retries : int; (* rep_attempts - 1 *)
+  rep_backoff_s : float; (* total backoff waited between attempts *)
+  rep_elapsed_s : float; (* simulated initiation -> resume on target *)
+  rep_bytes : int;
+  rep_cache_hit : bool;
+}
+
+type migration_error =
+  | No_such_process of int
+  | Not_running (* terminated, or already at a migration point *)
+  | Target_down
+  | Already_there
+  | Unreachable of { attempts : int; reason : string }
+    (* retry budget exhausted: every transmission was lost or
+       partitioned; the process keeps running where it was *)
+  | Rejected of string (* the target daemon refused the image *)
+
+let migration_error_to_string = function
+  | No_such_process pid -> Printf.sprintf "no process %d" pid
+  | Not_running -> "process is not running"
+  | Target_down -> "target node is down"
+  | Already_there -> "already there"
+  | Unreachable { attempts; reason } ->
+    Printf.sprintf "target unreachable after %d attempts (last: %s)"
+      attempts reason
+  | Rejected msg -> msg
+
+(* Typed cluster configuration: one record instead of the optional-
+   argument pile that kept growing on [create].  [retry] is the
+   migration protocol's resilience policy; [faults] the injection plan
+   the whole cluster (delivery, scheduler, storage faults) draws from. *)
+module Config = struct
+  type retry = {
+    max_attempts : int; (* total transmissions per migration hop *)
+    hop_timeout_s : float; (* wait before declaring an attempt lost *)
+    backoff_base_s : float;
+    backoff_factor : float; (* base * factor^(attempt-1) between tries *)
+  }
+
+  let default_retry =
+    {
+      max_attempts = 5;
+      hop_timeout_s = 0.02;
+      backoff_base_s = 0.002;
+      backoff_factor = 2.0;
+    }
+
+  type t = {
+    node_count : int;
+    arches : Arch.t array;
+    trusted : bool;
+    quantum : int;
+    seed : int;
+    code_cache : int;
+    net : Simnet.t option;
+    trace_capacity : int option;
+    retry : retry;
+    faults : Faults.plan;
+  }
+
+  let default =
+    {
+      node_count = 4;
+      arches = [| Arch.cisc32 |];
+      trusted = false;
+      quantum = 64;
+      seed = 1;
+      code_cache = 16;
+      net = None;
+      trace_capacity = None;
+      retry = default_retry;
+      faults = Faults.none;
+    }
+end
+
 type t = {
   nodes : node array;
   net : Simnet.t;
@@ -79,9 +159,11 @@ type t = {
   (* (sender pid, sender level uid) -> dependent (receiver pid, receiver uid) *)
   deps : (int * int, (int * int) list ref) Hashtbl.t;
   mutable next_pid : int;
-  rng : Random.State.t;
   trusted : bool;
   quantum : int;
+  retry : Config.retry;
+  faults : Faults.t;
+  mutable hop_seq : int; (* envelope id generator for migration hops *)
   obj_store : (int, Bytes.t) Hashtbl.t; (* Figure 1's account objects *)
   (* speculative object writes: (writer pid, level uid) -> saved old
      contents, newest first.  The object store participates in the
@@ -94,10 +176,10 @@ type t = {
   fs_undo : (int * int, (string * string option) list ref) Hashtbl.t;
   mutable obj_fail_prob : float;
   mutable migrations : migration_record list;
-  mutable events : string list; (* newest first, for diagnostics *)
   (* observability: the typed event trace and the metrics registry.
      Events carry SIMULATED time; counters aggregate what the trace
-     itemises *)
+     itemises.  The legacy [events] string log is a rendered view over
+     the trace (see [events]). *)
   tracer : Obs.Trace.t;
   metrics : Obs.Metrics.t;
   c_rounds : Obs.Metrics.counter;
@@ -108,6 +190,8 @@ type t = {
   c_checkpoints : Obs.Metrics.counter;
   c_node_failures : Obs.Metrics.counter;
   c_resurrections : Obs.Metrics.counter;
+  c_migrate_retries : Obs.Metrics.counter;
+  h_backoff_s : Obs.Metrics.histogram;
   h_migrate_bytes : Obs.Metrics.histogram;
   h_pack_s : Obs.Metrics.histogram;
   h_transfer_s : Obs.Metrics.histogram;
@@ -158,18 +242,16 @@ let extern_signatures : Fir.Typecheck.extern_lookup =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
-    ?(quantum = 64) ?(seed = 1) ?(code_cache = 16) ?net ?trace_capacity ()
-    =
-  let net = match net with Some n -> n | None -> Simnet.create () in
+let create_cfg (cfg : Config.t) =
+  let net = match cfg.Config.net with Some n -> n | None -> Simnet.create () in
   let nodes =
-    Array.init node_count (fun i ->
-        let arch = arches.(i mod Array.length arches) in
+    Array.init cfg.Config.node_count (fun i ->
+        let arch = cfg.Config.arches.(i mod Array.length cfg.Config.arches) in
         (* each node's daemon owns its own bounded recompilation cache
            (code_cache <= 0 disables caching cluster-wide) *)
         let cache =
-          if code_cache > 0 then
-            Some (Migrate.Codecache.create ~capacity:code_cache ())
+          if cfg.Config.code_cache > 0 then
+            Some (Migrate.Codecache.create ~capacity:cfg.Config.code_cache ())
           else None
         in
         {
@@ -178,8 +260,15 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
           node_arch = arch;
           alive = true;
           daemon =
-            Migrate.Server.create ~trusted
-              ~extern_signatures arch ~first_pid:0 ?cache;
+            Migrate.Server.create_cfg
+              {
+                Migrate.Server.Config.default with
+                trusted = cfg.Config.trusted;
+                extern_signatures;
+                first_pid = 0;
+                cache;
+              }
+              arch;
           busy_seconds = 0.0;
           clock = 0.0;
         })
@@ -205,6 +294,12 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
   let c_resurrections =
     Obs.Metrics.counter metrics "cluster.resurrections"
   in
+  let c_migrate_retries =
+    Obs.Metrics.counter metrics "migrate.retries"
+  in
+  let h_backoff_s =
+    Obs.Metrics.histogram metrics "migrate.backoff_seconds"
+  in
   let h_migrate_bytes =
     Obs.Metrics.histogram metrics "cluster.migrate_bytes"
   in
@@ -215,6 +310,25 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
   let h_compile_s =
     Obs.Metrics.histogram metrics "cluster.compile_seconds"
   in
+  (* the fault runtime draws from (plan seed, cluster seed): the same
+     plan is reproducible per cluster seed, and seed sweeps (F1) still
+     vary their storage-fault draws *)
+  let faults =
+    Faults.create ~salt:cfg.Config.seed ~metrics cfg.Config.faults
+  in
+  let tracer = Obs.Trace.create ?capacity:cfg.Config.trace_capacity () in
+  (* scripted partition windows are part of the run's story: put them in
+     the trace up front, stamped with their opening times *)
+  List.iter
+    (fun (w : Faults.partition) ->
+      Obs.Trace.record tracer ~time:w.Faults.p_from ~node:w.Faults.pa
+        (Obs.Trace.Link_partition
+           {
+             peer_a = w.Faults.pa;
+             peer_b = w.Faults.pb;
+             until_s = w.Faults.p_until;
+           }))
+    (List.rev cfg.Config.faults.Faults.f_partitions);
   {
     nodes;
     net;
@@ -225,16 +339,17 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
     rank_mailboxes = Hashtbl.create 32;
     deps = Hashtbl.create 32;
     next_pid = 1;
-    rng = Random.State.make [| seed |];
-    trusted;
-    quantum;
+    trusted = cfg.Config.trusted;
+    quantum = cfg.Config.quantum;
+    retry = cfg.Config.retry;
+    faults;
+    hop_seq = 0;
     obj_store = Hashtbl.create 8;
     obj_undo = Hashtbl.create 8;
     fs_undo = Hashtbl.create 8;
     obj_fail_prob = 0.0;
     migrations = [];
-    events = [];
-    tracer = Obs.Trace.create ?capacity:trace_capacity ();
+    tracer;
     metrics;
     c_rounds;
     c_quanta;
@@ -244,6 +359,8 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
     c_checkpoints;
     c_node_failures;
     c_resurrections;
+    c_migrate_retries;
+    h_backoff_s;
     h_migrate_bytes;
     h_pack_s;
     h_transfer_s;
@@ -253,12 +370,22 @@ let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
     cur_pid = -1;
   }
 
-let log t fmt =
-  Printf.ksprintf
-    (fun s ->
-      t.events <-
-        Printf.sprintf "[%10.6f] %s" (Simnet.now t.net) s :: t.events)
-    fmt
+(* Deprecated optional-argument constructor; use {!create_cfg}. *)
+let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
+    ?(quantum = 64) ?(seed = 1) ?(code_cache = 16) ?net ?trace_capacity ()
+    =
+  create_cfg
+    {
+      Config.default with
+      node_count;
+      arches;
+      trusted;
+      quantum;
+      seed;
+      code_cache;
+      net;
+      trace_capacity;
+    }
 
 let node t id =
   if id < 0 || id >= Array.length t.nodes then
@@ -345,7 +472,7 @@ let rec force_rollback t ~pid ~uid ~code =
       in
       match level with
       | None ->
-        log t "pid %d: unrecoverable speculative dependency" pid;
+        emit_entry t entry (Obs.Trace.Forced_rollback { level = -1 });
         entry.proc.Process.status <-
           Process.Trapped "unrecoverable speculative dependency"
       | Some level ->
@@ -357,7 +484,7 @@ let rec force_rollback t ~pid ~uid ~code =
            to this process's own dependents transitively *)
         Process.do_rollback entry.proc ~level ~code;
         entry.proc.Process.waiting <- false;
-        log t "pid %d: forced rollback to level %d" pid level))
+        emit_entry t entry (Obs.Trace.Forced_rollback { level })))
 
 (* Undo everything that depended on the given (now rolled back or dead)
    speculation levels of [sender_pid]: discard their unconsumed messages,
@@ -406,7 +533,7 @@ and cascade t ~sender_pid ~uids ~code =
           ds)
     uids
 
-let cluster_extern t entry : Process.handler =
+let cluster_extern t (entry : entry) : Process.handler =
  fun proc name args ->
   let heap = proc.Process.heap in
   let read_cells ptr len =
@@ -429,6 +556,18 @@ let cluster_extern t entry : Process.handler =
       let payload = read_cells ptr len in
       let bytes = 8 * len in
       Simnet.record_message t.net bytes;
+      let send_at = effective_now t proc in
+      (* fault decision for this delivery: loss surfaces as link-level
+         retransmission delay (never a silent drop — receivers poll),
+         partitions delay to their heal time, jitter adds spread, and a
+         duplicate enqueues a second copy *)
+      let fault =
+        Faults.on_message t.faults ~now:send_at ~src:entry.node_id
+          ~dst:
+            (match entry_of_rank t dst_rank with
+            | Some dst -> dst.node_id
+            | None -> -1)
+      in
       let msg =
         {
           Mpi.msg_src_rank =
@@ -437,21 +576,34 @@ let cluster_extern t entry : Process.handler =
           msg_tag = tag;
           msg_payload = payload;
           msg_deliver_at =
-            effective_now t proc +. Simnet.message_seconds t.net bytes;
+            send_at +. Simnet.message_seconds t.net bytes
+            +. fault.Faults.d_delay_s;
           msg_spec =
             (match Spec.Engine.current_unique proc.Process.spec with
             | Some uid -> Some (proc.Process.pid, uid)
             | None -> None);
         }
       in
-      Mpi.enqueue dst_mailbox msg;
-      emit_entry t entry
-        (Obs.Trace.Msg_send { dst = dst_rank; tag; cells = len });
-      (* wake the current holder of the rank, if any *)
-      (match entry_of_rank t dst_rank with
-      | Some dst -> dst.proc.Process.waiting <- false
-      | None -> ());
-      Value.Vint 0
+      if fault.Faults.d_dropped then begin
+        (* undeliverable (permanently partitioned link): the sender does
+           not know — exactly the paper's fire-and-forget send *)
+        emit_entry t entry (Obs.Trace.Msg_drop { dst = dst_rank; tag });
+        Value.Vint 0
+      end
+      else begin
+        Mpi.enqueue dst_mailbox msg;
+        if fault.Faults.d_duplicate then begin
+          Mpi.enqueue dst_mailbox msg;
+          emit_entry t entry (Obs.Trace.Msg_dup { dst = dst_rank; tag })
+        end;
+        emit_entry t entry
+          (Obs.Trace.Msg_send { dst = dst_rank; tag; cells = len });
+        (* wake the current holder of the rank, if any *)
+        (match entry_of_rank t dst_rank with
+        | Some dst -> dst.proc.Process.waiting <- false
+        | None -> ());
+        Value.Vint 0
+      end
     | None -> Value.Vint (-1))
   | ("msg_try_recv" | "msg_try_recv_int"),
     [ Value.Vint src_rank; Value.Vint tag; (Value.Vptr _ as ptr);
@@ -536,7 +688,10 @@ let cluster_extern t entry : Process.handler =
     | Some n -> Value.Vint n
     | None -> Value.Vint (-1))
   | "obj_read", [ Value.Vint obj; (Value.Vptr _ as ptr); Value.Vint k ] ->
-    if Random.State.float t.rng 1.0 < t.obj_fail_prob then Value.Vint (-1)
+    (* storage faults draw from the seeded fault-plan RNG, never the
+       global Random state: reproducible under the cluster seed *)
+    if Random.State.float (Faults.rng t.faults) 1.0 < t.obj_fail_prob then
+      Value.Vint (-1)
     else begin
       match Hashtbl.find_opt t.obj_store obj with
       | None -> Value.Vint (-1)
@@ -549,7 +704,8 @@ let cluster_extern t entry : Process.handler =
         Value.Vint n
     end
   | "obj_write", [ Value.Vint obj; (Value.Vptr _ as ptr); Value.Vint k ] ->
-    if Random.State.float t.rng 1.0 < t.obj_fail_prob then Value.Vint (-1)
+    if Random.State.float (Faults.rng t.faults) 1.0 < t.obj_fail_prob then
+      Value.Vint (-1)
     else begin
       (* a write from inside a speculation is undoable *)
       (match Spec.Engine.current_unique proc.Process.spec with
@@ -717,9 +873,8 @@ let spawn ?rank ?(engine = `Interp) ?(seed = 7) t ~node_id program =
     }
   in
   register_entry t entry;
-  log t "spawned pid %d (rank %s) on %s" pid
-    (match rank with Some r -> string_of_int r | None -> "-")
-    n.node_name;
+  emit t ~time:entry.start_at ~node:node_id ~pid ~rank:(entry_rank entry)
+    Obs.Trace.Spawn;
   pid
 
 (* A process that migrates (or is resurrected) gets a NEW pid and its
@@ -787,6 +942,88 @@ let record_migration t mr =
   Obs.Metrics.observe t.h_transfer_s mr.mr_transfer_s;
   Obs.Metrics.observe t.h_compile_s mr.mr_compile_s
 
+(* One migration hop under the fault plan: per-hop timeout, bounded
+   retry, exponential backoff — all in simulated time.  Every attempt
+   (lost or not) puts the bytes on the wire; a lost attempt costs the
+   hop timeout plus the backoff before the next transmission.  Returns
+   the total link-level delay from initiation to the image landing, or
+   the exhausted-attempt count for the caller's degradation policy. *)
+type hop_success = {
+  hx_delay_s : float;
+  hx_attempts : int;
+  hx_backoff_s : float;
+}
+
+let transmit_hop t ~send_at ~src_node ~dst_node ~target_name ~bytes ~pid
+    ~rank =
+  let retry = t.retry in
+  let transfer_s = Simnet.transfer_seconds t.net bytes in
+  let rec go attempt elapsed backoff_total =
+    Simnet.record_transfer t.net bytes;
+    match
+      Faults.on_hop t.faults ~now:(send_at +. elapsed) ~src:src_node
+        ~dst:dst_node
+    with
+    | `Deliver ->
+      Ok
+        {
+          hx_delay_s = elapsed +. transfer_s;
+          hx_attempts = attempt;
+          hx_backoff_s = backoff_total;
+        }
+    | (`Lost | `Partitioned) as fate ->
+      let reason =
+        match fate with `Lost -> "lost" | `Partitioned -> "partitioned"
+      in
+      if attempt >= retry.Config.max_attempts then
+        Error (attempt, elapsed +. retry.Config.hop_timeout_s, reason)
+      else begin
+        let backoff =
+          retry.Config.backoff_base_s
+          *. (retry.Config.backoff_factor ** float_of_int (attempt - 1))
+        in
+        Obs.Metrics.incr t.c_migrate_retries;
+        Obs.Metrics.observe t.h_backoff_s backoff;
+        emit t
+          ~time:(send_at +. elapsed +. retry.Config.hop_timeout_s)
+          ~node:src_node ~pid ~rank
+          (Obs.Trace.Migrate_retry
+             { target = target_name; attempt; backoff_s = backoff; reason });
+        go (attempt + 1)
+          (elapsed +. retry.Config.hop_timeout_s +. backoff)
+          (backoff_total +. backoff)
+      end
+  in
+  go 1 0.0 0.0
+
+(* Deliver landed image bytes to a node's daemon idempotently, keyed by
+   (image digest, hop id): a retransmitted or duplicated hop returns the
+   original outcome instead of double-spawning.  The fault plan may make
+   the image arrive twice — deliver it twice on purpose and let the
+   dedup table absorb the second copy. *)
+let deliver_hop t (target : node) ~bytes ~pid ~rank ~arrive_at =
+  t.hop_seq <- t.hop_seq + 1;
+  let key =
+    Printf.sprintf "%s#%d"
+      (Migrate.Server.delivery_key bytes)
+      t.hop_seq
+  in
+  match Migrate.Server.receive ~key target.daemon bytes with
+  | Error _ as e -> e
+  | Ok (Migrate.Server.Duplicate _) ->
+    (* impossible for a fresh hop id; keep the type checker honest *)
+    Error "duplicate delivery of a fresh hop"
+  | Ok (Migrate.Server.Fresh outcome) ->
+    if Faults.dup_hop t.faults then begin
+      (match Migrate.Server.receive ~key target.daemon bytes with
+      | Ok (Migrate.Server.Duplicate _) -> ()
+      | Ok (Migrate.Server.Fresh _) | Error _ ->
+        invalid_arg "Cluster: duplicated hop was not deduplicated");
+      emit t ~time:arrive_at ~node:target.node_id ~pid ~rank
+        (Obs.Trace.Dup_delivery { target = target.node_name })
+    end;
+    Ok outcome
+
 let handle_migrate t (entry : entry) _req host =
   let proc = entry.proc in
   let src = node t entry.node_id in
@@ -798,12 +1035,28 @@ let handle_migrate t (entry : entry) _req host =
     let packed = Migrate.Pack.pack_request ~with_binary proc in
     let bytes = String.length packed.Migrate.Pack.p_bytes in
     let pack_s = pack_seconds proc in
-    let transfer_s = Simnet.transfer_seconds t.net bytes in
-    Simnet.record_transfer t.net bytes;
     emit_entry t entry (Obs.Trace.Migrate_start { target = host; bytes });
-    (match Migrate.Server.handle target.daemon packed.Migrate.Pack.p_bytes
-     with
-    | Ok outcome ->
+    let hop =
+      transmit_hop t ~send_at:(src.clock +. pack_s)
+        ~src_node:src.node_id ~dst_node:target.node_id ~target_name:host
+        ~bytes ~pid:proc.Process.pid ~rank:(entry_rank entry)
+    in
+    let delivered =
+      match hop with
+      | Error _ as e -> e
+      | Ok hx -> (
+        match
+          deliver_hop t target ~bytes:packed.Migrate.Pack.p_bytes
+            ~pid:proc.Process.pid ~rank:(entry_rank entry)
+            ~arrive_at:(src.clock +. pack_s +. hx.hx_delay_s)
+        with
+        | Ok outcome -> Ok (hx, outcome)
+        | Error msg ->
+          Error (hx.hx_attempts, hx.hx_delay_s, "rejected: " ^ msg))
+    in
+    (match delivered with
+    | Ok (hx, outcome) ->
+      let transfer_s = hx.hx_delay_s in
       let old_uids = Spec.Engine.unique_ids proc.Process.spec in
       let compile_s =
         Arch.seconds target.node_arch
@@ -857,18 +1110,20 @@ let handle_migrate t (entry : entry) _req host =
       emit t ~time:new_entry.start_at ~node:target.node_id ~pid
         ~rank:(entry_rank new_entry)
         (Obs.Trace.Migrate_done
-           { ok = true; cache_hit; bytes; pack_s; transfer_s; compile_s });
-      log t "pid %d migrated %s -> %s (%d bytes, new pid %d)"
-        proc.Process.pid src.node_name target.node_name bytes pid
-    | Error msg ->
-      log t "pid %d migration to %s rejected: %s" proc.Process.pid host msg;
+           { ok = true; cache_hit; bytes; pack_s; transfer_s; compile_s })
+    | Error (_attempts, elapsed_s, _reason) ->
+      (* graceful degradation: the target stayed unreachable (or its
+         daemon rejected the image) — the process resumes locally
+         instead of wedging, having paid for the pack and the timed-out
+         attempts *)
+      charge_seconds proc (pack_s +. elapsed_s);
       record_migration t
         {
           mr_kind = `Migrate;
           mr_pid = proc.Process.pid;
           mr_bytes = bytes;
           mr_pack_s = pack_s;
-          mr_transfer_s = transfer_s;
+          mr_transfer_s = 0.0;
           mr_compile_s = 0.0;
           mr_cache_hit = false;
           mr_ok = false;
@@ -880,12 +1135,11 @@ let handle_migrate t (entry : entry) _req host =
              cache_hit = false;
              bytes;
              pack_s;
-             transfer_s;
+             transfer_s = 0.0;
              compile_s = 0.0;
            });
       Process.migration_failed proc)
   | Some _ | None ->
-    log t "pid %d migration target %s unavailable" proc.Process.pid host;
     emit_entry t entry (Obs.Trace.Migrate_start { target = host; bytes = 0 });
     emit_entry t entry
       (Obs.Trace.Migrate_done
@@ -929,9 +1183,6 @@ let handle_to_storage t (entry : entry) req path ~kind =
     charge_seconds proc pack_s;
     Process.migration_completed proc);
   emit_entry t entry (Obs.Trace.Checkpoint { path; bytes });
-  log t "pid %d wrote %s image %s (%d bytes)" proc.Process.pid
-    (match kind with `Checkpoint -> "checkpoint" | _ -> "suspend")
-    path bytes;
   ignore req
 
 let handle_migration t (entry : entry) =
@@ -944,8 +1195,12 @@ let handle_migration t (entry : entry) =
     | Migrate.Protocol.Checkpoint_to path ->
       handle_to_storage t entry req path ~kind:`Checkpoint
     | exception Migrate.Protocol.Bad_target _ ->
-      log t "pid %d: bad migration target %S" entry.proc.Process.pid
-        req.Process.m_target;
+      emit_entry t entry
+        (Obs.Trace.Migrate_start { target = req.Process.m_target; bytes = 0 });
+      emit_entry t entry
+        (Obs.Trace.Migrate_done
+           { ok = false; cache_hit = false; bytes = 0; pack_s = 0.0;
+             transfer_s = 0.0; compile_s = 0.0 });
       Process.migration_failed entry.proc)
   | Process.Running | Process.Exited _ | Process.Trapped _ -> ()
 
@@ -957,7 +1212,6 @@ let fail_node t node_id =
   let n = node t node_id in
   if n.alive then begin
     n.alive <- false;
-    log t "%s FAILED" n.node_name;
     Obs.Metrics.incr t.c_node_failures;
     emit t ~time:n.clock ~node:node_id Obs.Trace.Node_fail;
     let victims =
@@ -1074,9 +1328,6 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
         emit t ~time:entry.start_at ~node:node_id ~pid
           ~rank:(entry_rank entry)
           (Obs.Trace.Resurrect { path; ok = true });
-        log t "resurrected %s as pid %d (rank %s) on %s" path pid
-          (match rank with Some r -> string_of_int r | None -> "-")
-          n.node_name;
         Ok pid)
 
 (* ------------------------------------------------------------------ *)
@@ -1150,6 +1401,54 @@ let next_event_on t n =
 let round t =
   Obs.Metrics.incr t.c_rounds;
   let progressed = ref false in
+  (* Scripted node faults fire when the CLUSTER has reached their time:
+     the floor is the minimum local clock over alive nodes still hosting
+     work.  Gating on the floor (not the victim's own clock) keeps the
+     failure causal — nodes run ahead of each other, and a crash fired
+     on a racing node's local clock would post roll notices that lagging
+     nodes observe before the messages sent to them earlier, breaking
+     the grid's checkpoint alignment.  A stall jumps the node's clock
+     (the node loses the time); a crash is a full [fail_node] with the
+     usual cascade. *)
+  let floor_clock =
+    let f =
+      Array.fold_left
+        (fun acc n ->
+          if
+            n.alive
+            && List.exists
+                 (fun (e : entry) ->
+                   e.node_id = n.node_id
+                   && not (Process.is_terminated e.proc))
+                 t.entries
+          then min acc n.clock
+          else acc)
+        infinity t.nodes
+    in
+    if f = infinity then now t else f
+  in
+  Array.iter
+    (fun n ->
+      if n.alive then begin
+        (match
+           Faults.take_stall t.faults ~node:n.node_id ~now:floor_clock
+         with
+        | Some stall_s ->
+          n.clock <- n.clock +. stall_s;
+          Simnet.advance_to t.net n.clock;
+          emit t ~time:n.clock ~node:n.node_id
+            (Obs.Trace.Node_stall { stall_s });
+          progressed := true
+        | None -> ());
+        if
+          n.alive
+          && Faults.take_crash t.faults ~node:n.node_id ~now:floor_clock
+        then begin
+          fail_node t n.node_id;
+          progressed := true
+        end
+      end)
+    t.nodes;
   Array.iter
     (fun n ->
       if n.alive then begin
@@ -1273,12 +1572,111 @@ let statuses t =
         e.proc.Process.status ))
     t.entries
 
-let events t = List.rev t.events
+(* The legacy stringly event log, now a rendered view over the typed
+   trace (deprecated: read Obs.Trace directly).  The wording keeps the
+   phrases long-time consumers grep for ("FAILED", "resurrected",
+   "forced rollback", "checkpoint"). *)
+let render_event t (e : Obs.Trace.event) =
+  let name_of id =
+    if id >= 0 && id < Array.length t.nodes then t.nodes.(id).node_name
+    else Printf.sprintf "node%d" id
+  in
+  let text =
+    match e.Obs.Trace.kind with
+    | Obs.Trace.Spawn ->
+      Printf.sprintf "spawned pid %d (rank %s) on %s" e.Obs.Trace.pid
+        (if e.Obs.Trace.rank >= 0 then string_of_int e.Obs.Trace.rank
+         else "-")
+        (name_of e.Obs.Trace.node)
+    | Obs.Trace.Migrate_start { target; bytes } ->
+      Printf.sprintf "pid %d: migrating to %s (%d bytes)" e.Obs.Trace.pid
+        target bytes
+    | Obs.Trace.Migrate_done { ok; bytes; cache_hit; _ } ->
+      if ok then
+        Printf.sprintf "pid %d migrated to %s (%d bytes%s)" e.Obs.Trace.pid
+          (name_of e.Obs.Trace.node) bytes
+          (if cache_hit then ", cache hit" else "")
+      else Printf.sprintf "pid %d migration failed" e.Obs.Trace.pid
+    | Obs.Trace.Migrate_retry { target; attempt; backoff_s; reason } ->
+      Printf.sprintf
+        "pid %d: hop to %s %s (attempt %d), backing off %gs"
+        e.Obs.Trace.pid target reason attempt backoff_s
+    | Obs.Trace.Dup_delivery { target } ->
+      Printf.sprintf "pid %d: duplicate hop to %s deduplicated"
+        e.Obs.Trace.pid target
+    | Obs.Trace.Cache_hit ->
+      Printf.sprintf "pid %d: recompilation cache hit" e.Obs.Trace.pid
+    | Obs.Trace.Cache_miss ->
+      Printf.sprintf "pid %d: recompilation cache miss" e.Obs.Trace.pid
+    | Obs.Trace.Spec_enter { uid; depth } ->
+      Printf.sprintf "pid %d: speculation enter (uid %d, depth %d)"
+        e.Obs.Trace.pid uid depth
+    | Obs.Trace.Spec_commit { uid; durable } ->
+      Printf.sprintf "pid %d: speculation commit (uid %d%s)"
+        e.Obs.Trace.pid uid (if durable then ", durable" else "")
+    | Obs.Trace.Spec_rollback { uids } ->
+      Printf.sprintf "pid %d: speculation rollback (uids %s)"
+        e.Obs.Trace.pid
+        (String.concat "," (List.map string_of_int uids))
+    | Obs.Trace.Forced_rollback { level } ->
+      if level < 0 then
+        Printf.sprintf "pid %d: unrecoverable speculative dependency"
+          e.Obs.Trace.pid
+      else
+        Printf.sprintf "pid %d: forced rollback to level %d"
+          e.Obs.Trace.pid level
+    | Obs.Trace.Node_fail ->
+      Printf.sprintf "%s FAILED" (name_of e.Obs.Trace.node)
+    | Obs.Trace.Node_stall { stall_s } ->
+      Printf.sprintf "%s stalled for %gs" (name_of e.Obs.Trace.node)
+        stall_s
+    | Obs.Trace.Link_partition { peer_a; peer_b; until_s } ->
+      Printf.sprintf "link %s-%s partitioned%s" (name_of peer_a)
+        (name_of peer_b)
+        (if until_s = infinity then " (never heals)"
+         else Printf.sprintf " until %g" until_s)
+    | Obs.Trace.Checkpoint { path; bytes } ->
+      Printf.sprintf "pid %d wrote checkpoint image %s (%d bytes)"
+        e.Obs.Trace.pid path bytes
+    | Obs.Trace.Resurrect { path; ok } ->
+      if ok then
+        Printf.sprintf "resurrected %s as pid %d (rank %s) on %s" path
+          e.Obs.Trace.pid
+          (if e.Obs.Trace.rank >= 0 then string_of_int e.Obs.Trace.rank
+           else "-")
+          (name_of e.Obs.Trace.node)
+      else Printf.sprintf "resurrection from %s failed" path
+    | Obs.Trace.Gc { gc_kind; live; collected } ->
+      Printf.sprintf "pid %d: %s gc (%d live, %d collected)"
+        e.Obs.Trace.pid
+        (match gc_kind with Obs.Trace.Minor -> "minor" | _ -> "major")
+        live collected
+    | Obs.Trace.Msg_send { dst; tag; cells } ->
+      Printf.sprintf "pid %d sent %d cells to rank %d (tag %d)"
+        e.Obs.Trace.pid cells dst tag
+    | Obs.Trace.Msg_recv { src; tag; cells } ->
+      Printf.sprintf "pid %d received %d cells from rank %d (tag %d)"
+        e.Obs.Trace.pid cells src tag
+    | Obs.Trace.Msg_roll { src } ->
+      Printf.sprintf "pid %d observed MSG_ROLL from rank %d"
+        e.Obs.Trace.pid src
+    | Obs.Trace.Msg_drop { dst; tag } ->
+      Printf.sprintf "pid %d: message to rank %d dropped (tag %d)"
+        e.Obs.Trace.pid dst tag
+    | Obs.Trace.Msg_dup { dst; tag } ->
+      Printf.sprintf "pid %d: message to rank %d duplicated (tag %d)"
+        e.Obs.Trace.pid dst tag
+  in
+  Printf.sprintf "[%10.6f] %s" e.Obs.Trace.time text
+
+let events t = List.map (render_event t) (Obs.Trace.timeline t.tracer)
+
 let migrations t = List.rev t.migrations
 let storage t = t.storage
 let net t = t.net
 let trace t = t.tracer
 let metrics t = t.metrics
+let fault_plan t = Faults.plan t.faults
 
 (* Aggregate recompilation-cache statistics over every node's daemon. *)
 let cache_hit_rate t =
@@ -1331,16 +1729,16 @@ let node_count t = Array.length t.nodes
    the source.  The process never observes the move. *)
 let migrate_running t ~pid ~node_id =
   match entry_of_pid t pid with
-  | None -> Error (Printf.sprintf "no process %d" pid)
+  | None -> Error (No_such_process pid)
   | Some entry -> (
     match entry.proc.Process.status with
     | Process.Exited _ | Process.Trapped _ | Process.Migrating _ ->
-      Error "process is not running"
+      Error Not_running
     | Process.Running -> (
       let src = node t entry.node_id in
       let target = node t node_id in
-      if not target.alive then Error "target node is down"
-      else if target.node_id = src.node_id then Error "already there"
+      if not target.alive then Error Target_down
+      else if target.node_id = src.node_id then Error Already_there
       else begin
         let with_binary =
           t.trusted && Arch.equal src.node_arch target.node_arch
@@ -1348,24 +1746,37 @@ let migrate_running t ~pid ~node_id =
         let packed = Migrate.Pack.pack_running ~with_binary entry.proc in
         let bytes = String.length packed.Migrate.Pack.p_bytes in
         let pack_s = pack_seconds entry.proc in
-        let transfer_s = Simnet.transfer_seconds t.net bytes in
-        Simnet.record_transfer t.net bytes;
         emit_entry t entry
           (Obs.Trace.Migrate_start { target = target.node_name; bytes });
-        match Migrate.Server.handle target.daemon packed.Migrate.Pack.p_bytes
-        with
-        | Error msg ->
+        let fail_invisibly err =
           (* failure is invisible: the process keeps running where it is *)
           record_migration t
             { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
-              mr_pack_s = pack_s; mr_transfer_s = transfer_s;
+              mr_pack_s = pack_s; mr_transfer_s = 0.0;
               mr_compile_s = 0.0; mr_cache_hit = false; mr_ok = false };
           emit_entry t entry
             (Obs.Trace.Migrate_done
-               { ok = false; cache_hit = false; bytes; pack_s; transfer_s;
-                 compile_s = 0.0 });
-          Error msg
-        | Ok outcome ->
+               { ok = false; cache_hit = false; bytes; pack_s;
+                 transfer_s = 0.0; compile_s = 0.0 });
+          Error err
+        in
+        match
+          transmit_hop t ~send_at:(src.clock +. pack_s)
+            ~src_node:src.node_id ~dst_node:target.node_id
+            ~target_name:target.node_name ~bytes ~pid
+            ~rank:(entry_rank entry)
+        with
+        | Error (attempts, _elapsed, reason) ->
+          fail_invisibly (Unreachable { attempts; reason })
+        | Ok hx -> (
+          let transfer_s = hx.hx_delay_s in
+          match
+            deliver_hop t target ~bytes:packed.Migrate.Pack.p_bytes ~pid
+              ~rank:(entry_rank entry)
+              ~arrive_at:(src.clock +. pack_s +. transfer_s)
+          with
+          | Error msg -> fail_invisibly (Rejected msg)
+          | Ok outcome ->
           let old_uids = Spec.Engine.unique_ids entry.proc.Process.spec in
           let compile_s =
             Arch.seconds target.node_arch
@@ -1419,8 +1830,14 @@ let migrate_running t ~pid ~node_id =
             (Obs.Trace.Migrate_done
                { ok = true; cache_hit; bytes; pack_s; transfer_s;
                  compile_s });
-          log t
-            "pid %d transparently migrated %s -> %s (%d bytes, new pid %d)"
-            pid src.node_name target.node_name bytes new_pid;
-          Ok new_pid
+          Ok
+            {
+              rep_pid = new_pid;
+              rep_attempts = hx.hx_attempts;
+              rep_retries = hx.hx_attempts - 1;
+              rep_backoff_s = hx.hx_backoff_s;
+              rep_elapsed_s = new_entry.start_at -. src.clock;
+              rep_bytes = bytes;
+              rep_cache_hit = cache_hit;
+            })
       end))

@@ -49,21 +49,80 @@ type migration_record = {
   mr_ok : bool;
 }
 
+type migration_report = {
+  rep_pid : int;  (** successor pid *)
+  rep_attempts : int;  (** hop transmissions, >= 1 *)
+  rep_retries : int;  (** [rep_attempts - 1] *)
+  rep_backoff_s : float;  (** total backoff waited between attempts *)
+  rep_elapsed_s : float;
+      (** simulated seconds from initiation to resume on the target *)
+  rep_bytes : int;
+  rep_cache_hit : bool;
+}
+(** What a successful {!migrate_running} reports. *)
+
+type migration_error =
+  | No_such_process of int
+  | Not_running  (** terminated, or already at a migration point *)
+  | Target_down
+  | Already_there
+  | Unreachable of { attempts : int; reason : string }
+      (** retry budget exhausted — every transmission was lost or
+          partitioned; the process keeps running where it was *)
+  | Rejected of string  (** the target daemon refused the image *)
+
+val migration_error_to_string : migration_error -> string
+
+(** Typed cluster configuration: the one record that says everything —
+    topology, trust, scheduling quantum, seed, cache and trace sizing,
+    the migration retry policy and the fault-injection plan. *)
+module Config : sig
+  type retry = {
+    max_attempts : int;  (** total transmissions per migration hop *)
+    hop_timeout_s : float;  (** wait before declaring an attempt lost *)
+    backoff_base_s : float;
+    backoff_factor : float;
+        (** sender waits [base * factor^(attempt-1)] between attempts *)
+  }
+
+  val default_retry : retry
+  (** 5 attempts, 20 ms hop timeout, 2 ms base backoff doubling. *)
+
+  type t = {
+    node_count : int;
+    arches : Arch.t array;  (** assigned round-robin *)
+    trusted : bool;  (** binary fast path for inter-node migration *)
+    quantum : int;
+    seed : int;
+    code_cache : int;
+        (** per-node recompilation-cache capacity; [<= 0] disables *)
+    net : Simnet.t option;  (** [None] = default Simnet *)
+    trace_capacity : int option;  (** event-trace ring bound *)
+    retry : retry;
+    faults : Faults.plan;
+  }
+
+  val default : t
+  (** 4 nodes, cisc32, untrusted, quantum 64, seed 1, 16-entry caches,
+      default net and trace, {!default_retry}, {!Faults.none}. *)
+end
+
 type t
 
 val msg_none : int
 val msg_roll : int
 
+val create_cfg : Config.t -> t
+(** Build a cluster of [node_count] nodes named [node0..] from a typed
+    configuration. *)
+
 val create :
   ?node_count:int -> ?arches:Arch.t array -> ?trusted:bool ->
   ?quantum:int -> ?seed:int -> ?code_cache:int -> ?net:Simnet.t ->
   ?trace_capacity:int -> unit -> t
-(** A cluster of [node_count] nodes named [node0..]; architectures are
-    assigned round-robin from [arches].  [trusted] enables the binary
-    fast path for inter-node migration.  [code_cache] (default 16) is the
-    per-node recompilation-cache capacity in entries; [<= 0] disables
-    caching cluster-wide.  [trace_capacity] bounds the event-trace ring
-    (default 65536 events). *)
+[@@ocaml.deprecated "use Cluster.create_cfg with a Cluster.Config.t"]
+(** Thin wrapper over {!create_cfg} kept for one release; it cannot set
+    a retry policy or a fault plan. *)
 
 val node : t -> int -> node
 val node_count : t -> int
@@ -84,7 +143,11 @@ val extern_signatures : Fir.Typecheck.extern_lookup
 
 val set_object : t -> int -> string -> unit
 val get_object : t -> int -> string option
+
 val set_object_failure_probability : t -> float -> unit
+(** Storage-fault probability for [obj_read]/[obj_write].  Draws come
+    from the seeded fault-plan RNG (never the global [Random] state), so
+    runs are reproducible under [Config.seed]. *)
 
 (** {2 Placement and execution} *)
 
@@ -121,12 +184,15 @@ val resurrect :
 val abort_speculation : ?code:int -> t -> pid:int -> level:int -> unit
 (** Host-initiated rollback; the dependency cascade follows. *)
 
-val migrate_running : t -> pid:int -> node_id:int -> (int, string) result
+val migrate_running :
+  t -> pid:int -> node_id:int -> (migration_report, migration_error) result
 (** Transparently migrate a RUNNING process to another node (the paper's
     load-balancing / mobile-agent use): packed between basic blocks,
-    verified and recompiled by the target's daemon.  The process cannot
-    observe the move; on failure it keeps running where it was.  Returns
-    the successor's pid. *)
+    shipped under the retry policy (per-hop timeout, bounded retry,
+    exponential backoff in simulated time), delivered idempotently to
+    the target's daemon.  The process cannot observe the move; on any
+    failure — including an exhausted retry budget — it keeps running
+    where it was. *)
 
 (** {2 Introspection} *)
 
@@ -134,11 +200,17 @@ val statuses : t -> (int * int option * int * Process.status) list
 (** (pid, rank, node, status) for every process ever placed. *)
 
 val events : t -> string list
-(** The cluster event log, oldest first. *)
+(** Deprecated view: the typed trace ({!trace}) rendered as the
+    historical stringly log, simulated-time order.  Bounded by the trace
+    ring's capacity; read {!Obs.Trace.timeline} directly instead. *)
 
 val migrations : t -> migration_record list
 val storage : t -> Storage.t
 val net : t -> Simnet.t
+
+val fault_plan : t -> Faults.plan
+(** The fault-injection plan the cluster was built with
+    ({!Faults.none} when faults are off). *)
 
 val trace : t -> Obs.Trace.t
 (** The typed event trace: migrations, failures, resurrections,

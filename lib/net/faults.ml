@@ -1,0 +1,394 @@
+(* Deterministic fault injection (the robustness direction of the
+   ROADMAP): a seeded, scriptable plan of message loss, duplication,
+   delay jitter, link partitions, transient stalls and crash-at-time
+   events, applied to the simulated cluster's delivery and scheduling
+   paths.
+
+   Two design rules keep faulted runs both terminating and reproducible:
+
+   - Loss of a SMALL message is modelled as link-level retransmission:
+     the message arrives late (timeout + doubling backoff per lost
+     transmission), never never.  Cluster programs poll msg_try_recv in
+     busy loops with per-step tags; a silently dropped border row would
+     wedge the whole grid, which is a transport bug, not the failure
+     mode the paper studies.  Migration hops are different: the caller
+     (the migration protocol) owns the retry policy, so [on_hop] reports
+     the loss and lets it decide.
+
+   - Every probabilistic decision draws from one RNG seeded by
+     (plan seed, salt).  The draw order is fixed by the deterministic
+     scheduler, so the same plan + seed reproduces the same fault
+     schedule — and the same trace — byte for byte. *)
+
+type partition = { pa : int; pb : int; p_from : float; p_until : float }
+type stall = { s_node : int; s_at : float; s_for : float }
+type crash = { c_node : int; c_at : float }
+
+type plan = {
+  f_seed : int;
+  f_loss : float;
+  f_dup : float;
+  f_jitter_s : float;
+  f_retransmit_s : float;
+  f_partitions : partition list;
+  f_stalls : stall list;
+  f_crashes : crash list;
+}
+
+let none =
+  {
+    f_seed = 1;
+    f_loss = 0.0;
+    f_dup = 0.0;
+    f_jitter_s = 0.0;
+    f_retransmit_s = 0.002;
+    f_partitions = [];
+    f_stalls = [];
+    f_crashes = [];
+  }
+
+let is_none p =
+  p.f_loss = 0.0 && p.f_dup = 0.0 && p.f_jitter_s = 0.0
+  && p.f_partitions = [] && p.f_stalls = [] && p.f_crashes = []
+
+let validate p =
+  let prob name v =
+    if v < 0.0 || v >= 1.0 then
+      Error (Printf.sprintf "%s must be in [0,1), got %g" name v)
+    else Ok ()
+  in
+  let nonneg name v =
+    if v < 0.0 then Error (Printf.sprintf "%s must be >= 0, got %g" name v)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = prob "loss" p.f_loss in
+  let* () = prob "dup" p.f_dup in
+  let* () = nonneg "jitter" p.f_jitter_s in
+  let* () =
+    if p.f_retransmit_s <= 0.0 then Error "retransmit must be > 0"
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc w ->
+        let* () = acc in
+        if w.p_until < w.p_from then
+          Error
+            (Printf.sprintf "partition %d-%d heals before it starts" w.pa
+               w.pb)
+        else Ok ())
+      (Ok ()) p.f_partitions
+  in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        nonneg "stall duration" s.s_for)
+      (Ok ()) p.f_stalls
+  in
+  Ok p
+
+(* ------------------------------------------------------------------ *)
+(* Plan files                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let plan_to_string p =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "seed %d\n" p.f_seed;
+  if p.f_loss > 0.0 then add "loss %g\n" p.f_loss;
+  if p.f_dup > 0.0 then add "dup %g\n" p.f_dup;
+  if p.f_jitter_s > 0.0 then add "jitter %g\n" p.f_jitter_s;
+  if p.f_retransmit_s <> none.f_retransmit_s then
+    add "retransmit %g\n" p.f_retransmit_s;
+  List.iter
+    (fun w ->
+      if w.p_until = infinity then
+        add "partition %d %d from %g until forever\n" w.pa w.pb w.p_from
+      else
+        add "partition %d %d from %g until %g\n" w.pa w.pb w.p_from
+          w.p_until)
+    (List.rev p.f_partitions);
+  List.iter
+    (fun s -> add "stall %d at %g for %g\n" s.s_node s.s_at s.s_for)
+    (List.rev p.f_stalls);
+  List.iter
+    (fun c -> add "crash %d at %g\n" c.c_node c.c_at)
+    (List.rev p.f_crashes);
+  Buffer.contents buf
+
+let parse_plan ?seed text =
+  let ( let* ) = Result.bind in
+  let err lineno fmt =
+    Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s))
+      fmt
+  in
+  let float_of lineno what s =
+    match float_of_string_opt s with
+    | Some v -> Ok v
+    | None ->
+      if String.equal s "forever" || String.equal s "inf" then Ok infinity
+      else err lineno "bad %s %S" what s
+  in
+  let int_of lineno what s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> err lineno "bad %s %S" what s
+  in
+  let lines = String.split_on_char '\n' text in
+  let result =
+    List.fold_left
+      (fun acc line ->
+        let* lineno, p = acc in
+        let lineno = lineno + 1 in
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun w -> w <> "")
+        in
+        let* p =
+          match words with
+          | [] -> Ok p
+          | [ "seed"; n ] ->
+            let* n = int_of lineno "seed" n in
+            Ok { p with f_seed = n }
+          | [ "loss"; v ] ->
+            let* v = float_of lineno "loss" v in
+            Ok { p with f_loss = v }
+          | [ "dup"; v ] ->
+            let* v = float_of lineno "dup" v in
+            Ok { p with f_dup = v }
+          | [ "jitter"; v ] ->
+            let* v = float_of lineno "jitter" v in
+            Ok { p with f_jitter_s = v }
+          | [ "retransmit"; v ] ->
+            let* v = float_of lineno "retransmit" v in
+            Ok { p with f_retransmit_s = v }
+          | [ "partition"; a; b; "from"; f; "until"; u ] ->
+            let* a = int_of lineno "node" a in
+            let* b = int_of lineno "node" b in
+            let* f = float_of lineno "time" f in
+            let* u = float_of lineno "time" u in
+            Ok
+              {
+                p with
+                f_partitions =
+                  { pa = a; pb = b; p_from = f; p_until = u }
+                  :: p.f_partitions;
+              }
+          | [ "stall"; n; "at"; a; "for"; d ] ->
+            let* n = int_of lineno "node" n in
+            let* a = float_of lineno "time" a in
+            let* d = float_of lineno "duration" d in
+            Ok
+              {
+                p with
+                f_stalls =
+                  { s_node = n; s_at = a; s_for = d } :: p.f_stalls;
+              }
+          | [ "crash"; n; "at"; a ] ->
+            let* n = int_of lineno "node" n in
+            let* a = float_of lineno "time" a in
+            Ok
+              {
+                p with
+                f_crashes = { c_node = n; c_at = a } :: p.f_crashes;
+              }
+          | directive :: _ -> err lineno "unknown directive %S" directive
+        in
+        Ok (lineno, p))
+      (Ok (0, none))
+      lines
+  in
+  let* _, p = result in
+  let p = match seed with Some s -> { p with f_seed = s } | None -> p in
+  validate p
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  t_plan : plan;
+  t_rng : Random.State.t;
+  (* scheduled events not yet fired (each fires exactly once) *)
+  mutable t_stalls : stall list;
+  mutable t_crashes : crash list;
+  c_retransmits : Obs.Metrics.counter;
+  c_msg_dup : Obs.Metrics.counter;
+  c_msg_dropped : Obs.Metrics.counter;
+  c_hop_lost : Obs.Metrics.counter;
+  c_hop_dup : Obs.Metrics.counter;
+  c_stalls : Obs.Metrics.counter;
+  c_crashes : Obs.Metrics.counter;
+}
+
+let create ?(salt = 0) ?metrics plan =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  (* register outside the record literal: field expressions evaluate in
+     unspecified order, and the registry renders in registration order *)
+  let c_retransmits = Obs.Metrics.counter metrics "faults.retransmits" in
+  let c_msg_dup = Obs.Metrics.counter metrics "faults.msg_dup" in
+  let c_msg_dropped = Obs.Metrics.counter metrics "faults.msg_dropped" in
+  let c_hop_lost = Obs.Metrics.counter metrics "faults.hop_lost" in
+  let c_hop_dup = Obs.Metrics.counter metrics "faults.hop_dup" in
+  let c_stalls = Obs.Metrics.counter metrics "faults.stalls" in
+  let c_crashes = Obs.Metrics.counter metrics "faults.crashes" in
+  {
+    t_plan = plan;
+    t_rng = Random.State.make [| plan.f_seed; salt; 0x6d6f6a61 (* "moja" *) |];
+    t_stalls = plan.f_stalls;
+    t_crashes = plan.f_crashes;
+    c_retransmits;
+    c_msg_dup;
+    c_msg_dropped;
+    c_hop_lost;
+    c_hop_dup;
+    c_stalls;
+    c_crashes;
+  }
+
+let plan t = t.t_plan
+let rng t = t.t_rng
+
+let covers w a b =
+  (w.pa = a && w.pb = b) || (w.pa = b && w.pb = a)
+
+let partitioned t ~now ~a ~b =
+  List.exists
+    (fun w -> covers w a b && w.p_from <= now && now < w.p_until)
+    t.t_plan.f_partitions
+
+let heal_time t ~now ~a ~b =
+  let heal =
+    List.fold_left
+      (fun acc w ->
+        if covers w a b && w.p_from <= now && now < w.p_until then
+          max acc w.p_until
+        else acc)
+      neg_infinity t.t_plan.f_partitions
+  in
+  if heal = neg_infinity || heal = infinity then None else Some heal
+
+type delivery = {
+  d_dropped : bool;
+  d_delay_s : float;
+  d_duplicate : bool;
+  d_retransmits : int;
+}
+
+let no_fault =
+  { d_dropped = false; d_delay_s = 0.0; d_duplicate = false;
+    d_retransmits = 0 }
+
+(* Consecutive lost transmissions of one message cost timeout, 2x
+   timeout, 4x, ... — a sender-side exponential backoff.  The cap is a
+   safety net: at 10 % loss the chance of hitting it is 10^-32. *)
+let max_retransmits = 32
+
+let on_message t ~now ~src ~dst =
+  let p = t.t_plan in
+  if src = dst || src < 0 || dst < 0 || is_none p then no_fault
+  else begin
+    (* a partition at send time delays delivery until the link heals *)
+    let part_delay, part_dropped =
+      if partitioned t ~now ~a:src ~b:dst then
+        match heal_time t ~now ~a:src ~b:dst with
+        | Some h -> h -. now, false
+        | None -> 0.0, true (* never heals: undeliverable *)
+      else 0.0, false
+    in
+    if part_dropped then begin
+      Obs.Metrics.incr t.c_msg_dropped;
+      { no_fault with d_dropped = true }
+    end
+    else begin
+      let retrans = ref 0 in
+      let delay = ref part_delay in
+      if p.f_loss > 0.0 then begin
+        let timeout = ref p.f_retransmit_s in
+        while
+          !retrans < max_retransmits
+          && Random.State.float t.t_rng 1.0 < p.f_loss
+        do
+          delay := !delay +. !timeout;
+          timeout := !timeout *. 2.0;
+          incr retrans
+        done;
+        Obs.Metrics.incr ~by:!retrans t.c_retransmits
+      end;
+      if p.f_jitter_s > 0.0 then
+        delay := !delay +. Random.State.float t.t_rng p.f_jitter_s;
+      let duplicate =
+        p.f_dup > 0.0 && Random.State.float t.t_rng 1.0 < p.f_dup
+      in
+      if duplicate then Obs.Metrics.incr t.c_msg_dup;
+      if !retrans >= max_retransmits then begin
+        Obs.Metrics.incr t.c_msg_dropped;
+        { no_fault with d_dropped = true }
+      end
+      else
+        {
+          d_dropped = false;
+          d_delay_s = !delay;
+          d_duplicate = duplicate;
+          d_retransmits = !retrans;
+        }
+    end
+  end
+
+let on_hop t ~now ~src ~dst =
+  let p = t.t_plan in
+  if src = dst || is_none p then `Deliver
+  else if partitioned t ~now ~a:src ~b:dst then begin
+    Obs.Metrics.incr t.c_hop_lost;
+    `Partitioned
+  end
+  else if p.f_loss > 0.0 && Random.State.float t.t_rng 1.0 < p.f_loss
+  then begin
+    Obs.Metrics.incr t.c_hop_lost;
+    `Lost
+  end
+  else `Deliver
+
+let dup_hop t =
+  let p = t.t_plan in
+  if p.f_dup > 0.0 && Random.State.float t.t_rng 1.0 < p.f_dup then begin
+    Obs.Metrics.incr t.c_hop_dup;
+    true
+  end
+  else false
+
+let take_stall t ~node ~now =
+  let due, rest =
+    List.partition
+      (fun s -> s.s_node = node && s.s_at <= now)
+      t.t_stalls
+  in
+  match due with
+  | [] -> None
+  | _ ->
+    t.t_stalls <- rest;
+    Obs.Metrics.incr ~by:(List.length due) t.c_stalls;
+    Some (List.fold_left (fun acc s -> acc +. s.s_for) 0.0 due)
+
+let take_crash t ~node ~now =
+  let due, rest =
+    List.partition
+      (fun c -> c.c_node = node && c.c_at <= now)
+      t.t_crashes
+  in
+  match due with
+  | [] -> false
+  | _ ->
+    t.t_crashes <- rest;
+    Obs.Metrics.incr ~by:(List.length due) t.c_crashes;
+    true

@@ -1,0 +1,134 @@
+(** Deterministic fault injection for the simulated cluster.
+
+    A {!plan} is a declarative, seeded description of the faults to
+    inject into message delivery and node behaviour: per-transmission
+    loss (surfaced as link-level retransmission delay), duplication,
+    delay jitter, link partitions, transient node stalls and
+    crash-at-time events.  A runtime {!t} owns the seeded RNG that turns
+    the plan's probabilities into concrete decisions, so the same plan +
+    seed always yields the same fault schedule — traces are reproducible
+    byte for byte.
+
+    The cluster consults the runtime at three points: when a message is
+    enqueued ({!on_message}), when a migration image is pushed across a
+    link ({!on_hop}, one call per transmission attempt), and at the top
+    of every scheduling round ({!take_stall}, {!take_crash}).  Storage
+    faults ({!Net.Cluster.set_object_failure_probability}) draw from the
+    same RNG ({!rng}), so they are reproducible under the same seed. *)
+
+type partition = {
+  pa : int;  (** node id *)
+  pb : int;  (** node id *)
+  p_from : float;  (** simulated seconds *)
+  p_until : float;  (** [infinity] = never heals *)
+}
+
+type stall = {
+  s_node : int;
+  s_at : float;  (** fires when the node's local clock reaches this *)
+  s_for : float;  (** stall duration, simulated seconds *)
+}
+
+type crash = { c_node : int; c_at : float }
+
+type plan = {
+  f_seed : int;
+  f_loss : float;  (** per-transmission loss probability, [0,1) *)
+  f_dup : float;  (** per-message duplication probability, [0,1) *)
+  f_jitter_s : float;  (** max extra delivery delay, uniform in [0, j] *)
+  f_retransmit_s : float;
+      (** base retransmission timeout a lost transmission costs; doubled
+          on each consecutive loss of the same message *)
+  f_partitions : partition list;
+  f_stalls : stall list;
+  f_crashes : crash list;
+}
+
+val none : plan
+(** The empty plan: a cluster built with it behaves exactly like a
+    fault-free one (no RNG draws on the message path). *)
+
+val is_none : plan -> bool
+
+val validate : plan -> (plan, string) result
+(** Range-check probabilities and times. *)
+
+(** {2 Plan files}
+
+    Line-oriented text, ['#'] comments, blank lines ignored:
+    {v
+    seed 7
+    loss 0.10
+    dup 0.05
+    jitter 0.0005
+    retransmit 0.002
+    partition 1 2 from 0.05 until 0.12
+    partition 0 3 from 0.2 until forever
+    stall 3 at 0.08 for 0.01
+    crash 1 at 0.15
+    v} *)
+
+val parse_plan : ?seed:int -> string -> (plan, string) result
+(** Parse plan-file CONTENTS (not a path).  [seed] overrides any [seed]
+    line in the file ([--seed N] on the CLI). *)
+
+val plan_to_string : plan -> string
+(** Render a plan back into the file format ([parse_plan] round-trips). *)
+
+(** {2 Runtime} *)
+
+type t
+
+val create : ?salt:int -> ?metrics:Obs.Metrics.t -> plan -> t
+(** [salt] (e.g. the cluster seed) is mixed into the RNG state alongside
+    [plan.f_seed], so distinct clusters running the same plan can still
+    diverge when asked to.  [metrics] receives the fault counters
+    ([faults.retransmits], [faults.msg_dup], [faults.msg_dropped],
+    [faults.hop_lost], [faults.hop_dup], [faults.stalls],
+    [faults.crashes]); a private registry is used when omitted. *)
+
+val plan : t -> plan
+
+val rng : t -> Random.State.t
+(** The seeded fault RNG — shared with the cluster's storage-fault
+    draws so every probabilistic decision is reproducible. *)
+
+type delivery = {
+  d_dropped : bool;
+      (** undeliverable: the link is partitioned and never heals, or the
+          retransmission budget was exhausted *)
+  d_delay_s : float;  (** extra delay beyond the nominal network time *)
+  d_duplicate : bool;  (** enqueue a second copy of the message *)
+  d_retransmits : int;  (** lost transmissions before the one that got through *)
+}
+
+val on_message : t -> now:float -> src:int -> dst:int -> delivery
+(** Fault decision for one small message from node [src] to node [dst]
+    sent at simulated time [now].  Loss is modelled as link-level
+    retransmission (the message arrives late, not never), so polling
+    receivers cannot wedge; a partition window delays delivery to its
+    heal time.  Loopback ([src = dst]) and unknown destinations are
+    never faulted. *)
+
+val on_hop : t -> now:float -> src:int -> dst:int -> [ `Deliver | `Lost | `Partitioned ]
+(** Fault decision for ONE transmission attempt of a migration image.
+    Unlike {!on_message}, a lost hop is reported to the caller — the
+    migration protocol owns the retry/backoff policy. *)
+
+val dup_hop : t -> bool
+(** Should a delivered migration image also arrive a second time?
+    (Exercises the receiver's idempotent-receive path.) *)
+
+val partitioned : t -> now:float -> a:int -> b:int -> bool
+
+val heal_time : t -> now:float -> a:int -> b:int -> float option
+(** Latest [p_until] over the partition windows covering (a,b) at [now];
+    [None] when the link is not partitioned or never heals. *)
+
+val take_stall : t -> node:int -> now:float -> float option
+(** The duration of a stall scheduled on [node] at or before [now], if
+    any; each stall fires exactly once. *)
+
+val take_crash : t -> node:int -> now:float -> bool
+(** True when a crash scheduled on [node] is due at [now]; each crash
+    fires exactly once. *)

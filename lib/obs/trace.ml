@@ -19,6 +19,7 @@
 type gc_kind = Minor | Major
 
 type kind =
+  | Spawn
   | Migrate_start of { target : string; bytes : int }
   | Migrate_done of {
       ok : bool;
@@ -28,18 +29,30 @@ type kind =
       transfer_s : float;
       compile_s : float;
     }
+  | Migrate_retry of {
+      target : string;
+      attempt : int;
+      backoff_s : float;
+      reason : string;
+    }
+  | Dup_delivery of { target : string }
   | Cache_hit
   | Cache_miss
   | Spec_enter of { uid : int; depth : int }
   | Spec_commit of { uid : int; durable : bool }
   | Spec_rollback of { uids : int list }
+  | Forced_rollback of { level : int }
   | Node_fail
+  | Node_stall of { stall_s : float }
+  | Link_partition of { peer_a : int; peer_b : int; until_s : float }
   | Checkpoint of { path : string; bytes : int }
   | Resurrect of { path : string; ok : bool }
   | Gc of { gc_kind : gc_kind; live : int; collected : int }
   | Msg_send of { dst : int; tag : int; cells : int }
   | Msg_recv of { src : int; tag : int; cells : int }
   | Msg_roll of { src : int }
+  | Msg_drop of { dst : int; tag : int }
+  | Msg_dup of { dst : int; tag : int }
 
 type event = {
   time : float; (* simulated seconds *)
@@ -87,20 +100,28 @@ let events t =
       | None -> assert false)
 
 let kind_label = function
+  | Spawn -> "spawn"
   | Migrate_start _ -> "migrate_start"
   | Migrate_done _ -> "migrate_done"
+  | Migrate_retry _ -> "migrate_retry"
+  | Dup_delivery _ -> "dup_delivery"
   | Cache_hit -> "cache_hit"
   | Cache_miss -> "cache_miss"
   | Spec_enter _ -> "spec_enter"
   | Spec_commit _ -> "spec_commit"
   | Spec_rollback _ -> "spec_rollback"
+  | Forced_rollback _ -> "forced_rollback"
   | Node_fail -> "node_fail"
+  | Node_stall _ -> "node_stall"
+  | Link_partition _ -> "link_partition"
   | Checkpoint _ -> "checkpoint"
   | Resurrect _ -> "resurrect"
   | Gc _ -> "gc"
   | Msg_send _ -> "msg_send"
   | Msg_recv _ -> "msg_recv"
   | Msg_roll _ -> "msg_roll"
+  | Msg_drop _ -> "msg_drop"
+  | Msg_dup _ -> "msg_dup"
 
 (* ------------------------------------------------------------------ *)
 (* JSONL export                                                        *)
@@ -137,7 +158,23 @@ let kind_fields buf = function
       ",\"ok\":%b,\"cache_hit\":%b,\"bytes\":%d,\"pack_s\":%s,\"transfer_s\":%s,\"compile_s\":%s"
       ok cache_hit bytes (json_float pack_s) (json_float transfer_s)
       (json_float compile_s)
-  | Cache_hit | Cache_miss | Node_fail -> ()
+  | Migrate_retry { target; attempt; backoff_s; reason } ->
+    Printf.bprintf buf
+      ",\"target\":\"%s\",\"attempt\":%d,\"backoff_s\":%s,\"reason\":\"%s\""
+      (json_escape target) attempt (json_float backoff_s)
+      (json_escape reason)
+  | Dup_delivery { target } ->
+    Printf.bprintf buf ",\"target\":\"%s\"" (json_escape target)
+  | Forced_rollback { level } -> Printf.bprintf buf ",\"level\":%d" level
+  | Node_stall { stall_s } ->
+    Printf.bprintf buf ",\"stall_s\":%s" (json_float stall_s)
+  | Link_partition { peer_a; peer_b; until_s } ->
+    Printf.bprintf buf ",\"peer_a\":%d,\"peer_b\":%d,\"until_s\":%s"
+      peer_a peer_b
+      (if until_s = infinity then "null" else json_float until_s)
+  | Msg_drop { dst; tag } | Msg_dup { dst; tag } ->
+    Printf.bprintf buf ",\"dst\":%d,\"tag\":%d" dst tag
+  | Spawn | Cache_hit | Cache_miss | Node_fail -> ()
   | Spec_enter { uid; depth } ->
     Printf.bprintf buf ",\"uid\":%d,\"depth\":%d" uid depth
   | Spec_commit { uid; durable } ->

@@ -10,6 +10,7 @@
 type gc_kind = Minor | Major
 
 type kind =
+  | Spawn
   | Migrate_start of { target : string; bytes : int }
   | Migrate_done of {
       ok : bool;
@@ -19,18 +20,38 @@ type kind =
       transfer_s : float;
       compile_s : float;
     }
+  | Migrate_retry of {
+      target : string;
+      attempt : int;  (** the transmission that just failed, 1-based *)
+      backoff_s : float;  (** sender waits this long before the next *)
+      reason : string;  (** "lost" | "partitioned" *)
+    }
+  | Dup_delivery of { target : string }
+      (** a duplicated migration hop arrived; the receiving daemon
+          deduplicated it instead of double-spawning *)
   | Cache_hit
   | Cache_miss
   | Spec_enter of { uid : int; depth : int }
   | Spec_commit of { uid : int; durable : bool }
   | Spec_rollback of { uids : int list }
+  | Forced_rollback of { level : int }
+      (** a dependency cascade rolled this process back; [level < 0]
+          means no level was left to restore (the process trapped) *)
   | Node_fail
+  | Node_stall of { stall_s : float }  (** injected transient stall *)
+  | Link_partition of { peer_a : int; peer_b : int; until_s : float }
+      (** a scripted partition window opens; [until_s = infinity] never
+          heals *)
   | Checkpoint of { path : string; bytes : int }
   | Resurrect of { path : string; ok : bool }
   | Gc of { gc_kind : gc_kind; live : int; collected : int }
   | Msg_send of { dst : int; tag : int; cells : int }
   | Msg_recv of { src : int; tag : int; cells : int }
   | Msg_roll of { src : int }
+  | Msg_drop of { dst : int; tag : int }
+      (** injected fault made the message undeliverable *)
+  | Msg_dup of { dst : int; tag : int }
+      (** injected fault delivered the message twice *)
 
 type event = {
   time : float;  (** simulated seconds *)

@@ -322,7 +322,7 @@ let test_instr_accounting_with_negative_entries () =
 let test_cluster_hit_rate () =
   (* resurrect the same checkpoint twice on one node: the second
      resurrection hits the node's cache *)
-  let cl = Net.Cluster.create ~node_count:2 ~trusted:true () in
+  let cl = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2; trusted = true } in
   let proc, _ = run_to_migration (migrating_sum 22) in
   let packed = Migrate.Pack.pack_request ~with_binary:false proc in
   ignore
@@ -340,7 +340,7 @@ let test_cluster_hit_rate () =
   check_int "one report per node" 2
     (List.length (Net.Cluster.cache_reports cl));
   (* a cache-disabled cluster reports nothing *)
-  let off = Net.Cluster.create ~node_count:2 ~code_cache:0 () in
+  let off = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2; code_cache = 0 } in
   check_int "disabled cluster has no reports" 0
     (List.length (Net.Cluster.cache_reports off))
 

@@ -30,7 +30,7 @@ let worker_with_work us =
 
 let test_des_parallel_nodes () =
   (* two 100 ms jobs on two nodes finish in ~100 ms, not 200 *)
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let p = worker_with_work 100_000 in
   let _ = Net.Cluster.spawn cluster ~node_id:0 p in
   let _ = Net.Cluster.spawn cluster ~node_id:1 p in
@@ -40,7 +40,7 @@ let test_des_parallel_nodes () =
 
 let test_des_shared_node_serializes () =
   (* the same two jobs on ONE node serialise (plus context switches) *)
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   let p = worker_with_work 100_000 in
   let _ = Net.Cluster.spawn cluster ~node_id:0 p in
   let _ = Net.Cluster.spawn cluster ~node_id:0 p in
@@ -72,7 +72,7 @@ int main() {
 }
 |}
   in
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let spid = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 sender in
   let rpid = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 receiver in
   let _ = Net.Cluster.run cluster in
@@ -114,9 +114,10 @@ let test_transparent_migration () =
     | _ -> Alcotest.fail "reference run failed"
   in
   let cluster =
-    Net.Cluster.create ~node_count:2
-      ~arches:[| Vm.Arch.cisc32; Vm.Arch.risc64 |]
-      ()
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        node_count = 2;
+        arches = [| Vm.Arch.cisc32; Vm.Arch.risc64 |] }
   in
   let pid = Net.Cluster.spawn cluster ~node_id:0 summing_worker in
   (* let it run a little, then move it mid-computation *)
@@ -124,8 +125,13 @@ let test_transparent_migration () =
   check "still running before the move" true
     (status_of cluster pid = Vm.Process.Running);
   (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
-  | Error m -> Alcotest.failf "transparent migration failed: %s" m
-  | Ok new_pid ->
+  | Error e ->
+    Alcotest.failf "transparent migration failed: %s"
+      (Net.Cluster.migration_error_to_string e)
+  | Ok rep ->
+    let new_pid = rep.Net.Cluster.rep_pid in
+    check "reported one attempt, no retries" true
+      (rep.Net.Cluster.rep_attempts = 1 && rep.Net.Cluster.rep_retries = 0);
     check "source terminated" true
       (status_of cluster pid = Vm.Process.Exited 0);
     let _ = Net.Cluster.run cluster in
@@ -148,25 +154,34 @@ let test_transparent_migration_of_ml () =
     | Ok fir -> fir
     | Error e -> Alcotest.failf "%s" (Miniml.Driver.error_to_string e)
   in
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 fir in
   let _ = Net.Cluster.run cluster ~max_rounds:10 in
   match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
-  | Error m -> Alcotest.failf "ML transparent migration failed: %s" m
-  | Ok new_pid ->
+  | Error e ->
+    Alcotest.failf "ML transparent migration failed: %s"
+      (Net.Cluster.migration_error_to_string e)
+  | Ok rep ->
     let _ = Net.Cluster.run cluster in
     check "ML process completed after the move" true
-      (status_of cluster new_pid = Vm.Process.Exited (3000 * 3001 / 2))
+      (status_of cluster rep.Net.Cluster.rep_pid
+      = Vm.Process.Exited (3000 * 3001 / 2))
 
 let test_migrate_running_rejections () =
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 (worker_with_work 10) in
   (match Net.Cluster.migrate_running cluster ~pid ~node_id:0 with
-  | Error _ -> ()
+  | Error Net.Cluster.Already_there -> ()
+  | Error e ->
+    Alcotest.failf "expected Already_there, got %s"
+      (Net.Cluster.migration_error_to_string e)
   | Ok _ -> Alcotest.fail "migration to the same node accepted");
   Net.Cluster.fail_node cluster 1;
   (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
-  | Error _ -> ()
+  | Error Net.Cluster.Target_down -> ()
+  | Error e ->
+    Alcotest.failf "expected Target_down, got %s"
+      (Net.Cluster.migration_error_to_string e)
   | Ok _ -> Alcotest.fail "migration to a dead node accepted");
   let _ = Net.Cluster.run cluster in
   (* the failed attempts were invisible *)
@@ -201,7 +216,7 @@ int main() {
 }
 |}
   in
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let rpid = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 receiver in
   let _ = Net.Cluster.run cluster in
   check "receiver suspended" true
@@ -476,9 +491,10 @@ let prop_grid_matches_golden =
       in
       let golden = Mcc.Gridapp.golden_checksums config in
       let cluster =
-        Net.Cluster.create ~node_count:ranks
-          ~net:(Net.Simnet.create ~latency_us:5.0 ())
-          ()
+        Net.Cluster.create_cfg
+          { Net.Cluster.Config.default with
+            node_count = ranks;
+            net = Some (Net.Simnet.create ~latency_us:5.0 ()) }
       in
       let d = Mcc.Gridapp.deploy cluster config in
       let _ = Mcc.Gridapp.run d in
@@ -538,7 +554,7 @@ int main() {
 }
 |}
   in
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 prog in
   let _ = Net.Cluster.run cluster in
   check "file round-trip through shared storage" true
@@ -564,7 +580,7 @@ int main() {
 }
 |}
   in
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 prog in
   let _ = Net.Cluster.run cluster in
   check "aborted file write rolled back" true
@@ -592,7 +608,7 @@ int main() {
 }
 |}
   in
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 prog in
   let _ = Net.Cluster.run cluster in
   check "committed file write is durable" true
@@ -614,7 +630,7 @@ int main() {
 }
 |}
   in
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 prog in
   let _ = Net.Cluster.run cluster in
   check "speculatively created file removed on abort" true
@@ -875,7 +891,7 @@ int main() {
 |}
   in
   let net = Net.Simnet.create ~latency_us:0.01 ~connect_ms:0.001 () in
-  let cluster = Net.Cluster.create ~node_count:3 ~net () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 3; net = Some net } in
   let spid = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 sender in
   let rpid = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 receiver in
   (* run until the receiver has consumed and parked on the second poll *)
@@ -890,8 +906,11 @@ int main() {
     (status_of cluster spid = Vm.Process.Running);
   (* migrate the parked receiver to node2 mid-speculation *)
   (match Net.Cluster.migrate_running cluster ~pid:rpid ~node_id:2 with
-  | Error m -> Alcotest.failf "migration failed: %s" m
-  | Ok new_pid ->
+  | Error e ->
+    Alcotest.failf "migration failed: %s"
+      (Net.Cluster.migration_error_to_string e)
+  | Ok rep ->
+    let new_pid = rep.Net.Cluster.rep_pid in
     let _ = Net.Cluster.run cluster in
     check "sender rolled back and finished" true
       (status_of cluster spid = Vm.Process.Exited 100);
@@ -921,7 +940,7 @@ int main() {
 }
 |}
   in
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 prog in
   let _ = Net.Cluster.run cluster in
   check "original rolled back after its checkpoint" true

@@ -1,0 +1,614 @@
+(* Tests for the fault-injection subsystem and the resilient migration
+   protocol: plan-file parsing, seeded determinism of every fault
+   decision, loss-as-retransmission on the message path, partition
+   windows, stall/crash scheduling, idempotent receive of duplicated
+   migration hops, bounded retry with backoff, graceful degradation when
+   the retry budget is exhausted, and whole-grid completion (verified
+   against the golden model) under combined fault classes.
+
+   The cluster-level tests take their fault seed from MCC_FAULT_SEED
+   when set, so CI can run the suite under several seeds; the
+   reproducibility tests compare two runs under the SAME seed and hold
+   for any value. *)
+
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let env_seed =
+  match Sys.getenv_opt "MCC_FAULT_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with Failure _ -> 11)
+  | None -> 11
+
+let compile_c src =
+  match Minic.Driver.compile src with
+  | Ok fir -> fir
+  | Error e -> Alcotest.failf "C compile: %s" (Minic.Driver.error_to_string e)
+
+let status_of cluster pid =
+  match Net.Cluster.entry_of_pid cluster pid with
+  | Some e -> e.Net.Cluster.proc.Vm.Process.status
+  | None -> Alcotest.failf "pid %d lost" pid
+
+let mk_cluster ?(nodes = 3) ?(seed = 1) plan =
+  Net.Cluster.create_cfg
+    { Net.Cluster.Config.default with
+      node_count = nodes;
+      seed;
+      net = Some (Net.Simnet.create ~latency_us:5.0 ());
+      faults = plan }
+
+(* ------------------------------------------------------------------ *)
+(* Plan files                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_plan_text =
+  "# demo fault plan\n\
+   seed 7\n\
+   loss 0.10\n\
+   dup 0.05\n\
+   jitter 0.0005\n\
+   retransmit 0.001\n\
+   partition 1 2 from 0.05 until 0.12\n\
+   partition 0 3 from 0.2 until forever\n\
+   stall 3 at 0.08 for 0.01\n\
+   crash 1 at 0.15\n"
+
+let test_plan_roundtrip () =
+  match Net.Faults.parse_plan sample_plan_text with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok p ->
+    check_int "seed" 7 p.Net.Faults.f_seed;
+    check "loss" true (p.Net.Faults.f_loss = 0.10);
+    check_int "partitions" 2 (List.length p.Net.Faults.f_partitions);
+    check "one never heals" true
+      (List.exists
+         (fun w -> w.Net.Faults.p_until = infinity)
+         p.Net.Faults.f_partitions);
+    check_int "stalls" 1 (List.length p.Net.Faults.f_stalls);
+    check_int "crashes" 1 (List.length p.Net.Faults.f_crashes);
+    (match Net.Faults.parse_plan (Net.Faults.plan_to_string p) with
+    | Error m -> Alcotest.failf "re-parse: %s" m
+    | Ok p2 -> check "plan_to_string round-trips" true (p2 = p))
+
+let expect_error what text =
+  match Net.Faults.parse_plan text with
+  | Ok _ -> Alcotest.failf "%s was accepted" what
+  | Error _ -> ()
+
+let test_plan_errors () =
+  expect_error "loss out of range" "loss 1.5\n";
+  expect_error "negative dup" "dup -0.1\n";
+  expect_error "unknown directive" "lose 0.1\n";
+  expect_error "truncated partition" "partition 0 1 from 0.0\n";
+  expect_error "negative stall duration" "stall 0 at 1.0 for -0.5\n";
+  expect_error "partition healing before it starts"
+    "partition 0 1 from 0.5 until 0.2\n";
+  expect_error "bad number" "loss zero\n"
+
+let test_plan_seed_override () =
+  match Net.Faults.parse_plan ~seed:42 "seed 7\nloss 0.2\n" with
+  | Ok p -> check_int "CLI seed overrides the file's" 42 p.Net.Faults.f_seed
+  | Error m -> Alcotest.failf "parse: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Fault runtime, unit level                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lossy_plan =
+  { Net.Faults.none with
+    f_seed = env_seed;
+    f_loss = 0.3;
+    f_dup = 0.2;
+    f_jitter_s = 0.001;
+    f_retransmit_s = 0.002 }
+
+let test_delivery_determinism () =
+  let draws () =
+    let t = Net.Faults.create ~salt:5 lossy_plan in
+    List.init 200 (fun i ->
+        Net.Faults.on_message t
+          ~now:(float_of_int i *. 0.001)
+          ~src:0 ~dst:1)
+  in
+  check "same plan + salt, same decisions" true (draws () = draws ());
+  List.iter
+    (fun d ->
+      check "loss delays, never drops" true (not d.Net.Faults.d_dropped);
+      check "delay is non-negative" true (d.Net.Faults.d_delay_s >= 0.0))
+    (draws ());
+  check "some transmissions were lost" true
+    (List.exists (fun d -> d.Net.Faults.d_retransmits > 0) (draws ()));
+  check "some messages were duplicated" true
+    (List.exists (fun d -> d.Net.Faults.d_duplicate) (draws ()))
+
+let test_no_faults_for_loopback () =
+  let t = Net.Faults.create lossy_plan in
+  let d = Net.Faults.on_message t ~now:0.0 ~src:2 ~dst:2 in
+  check "loopback is never faulted" true
+    ((not d.Net.Faults.d_dropped)
+    && d.Net.Faults.d_delay_s = 0.0
+    && not d.Net.Faults.d_duplicate)
+
+let test_partition_windows () =
+  let plan =
+    { Net.Faults.none with
+      f_partitions =
+        [
+          { Net.Faults.pa = 0; pb = 1; p_from = 0.0; p_until = 0.5 };
+          { Net.Faults.pa = 0; pb = 2; p_from = 0.0; p_until = infinity };
+        ] }
+  in
+  let t = Net.Faults.create plan in
+  let d = Net.Faults.on_message t ~now:0.1 ~src:0 ~dst:1 in
+  check "healing partition delays to the heal time" true
+    ((not d.Net.Faults.d_dropped) && d.Net.Faults.d_delay_s >= 0.399);
+  let d = Net.Faults.on_message t ~now:0.1 ~src:1 ~dst:0 in
+  check "partitions are symmetric" true (d.Net.Faults.d_delay_s >= 0.399);
+  let d = Net.Faults.on_message t ~now:0.1 ~src:2 ~dst:0 in
+  check "permanent partition drops" true d.Net.Faults.d_dropped;
+  let d = Net.Faults.on_message t ~now:0.6 ~src:0 ~dst:1 in
+  check "after heal the link is clean" true
+    ((not d.Net.Faults.d_dropped) && d.Net.Faults.d_delay_s = 0.0);
+  check "partitioned query" true
+    (Net.Faults.partitioned t ~now:0.2 ~a:1 ~b:0);
+  check "heal_time reported" true
+    (Net.Faults.heal_time t ~now:0.2 ~a:0 ~b:1 = Some 0.5);
+  check "heal_time is None when never healing" true
+    (Net.Faults.heal_time t ~now:0.2 ~a:0 ~b:2 = None)
+
+let test_stall_crash_fire_once () =
+  let plan =
+    { Net.Faults.none with
+      f_stalls = [ { Net.Faults.s_node = 1; s_at = 0.1; s_for = 0.05 } ];
+      f_crashes = [ { Net.Faults.c_node = 2; c_at = 0.2 } ] }
+  in
+  let t = Net.Faults.create plan in
+  check "stall not due yet" true
+    (Net.Faults.take_stall t ~node:1 ~now:0.05 = None);
+  check "stall on another node never fires" true
+    (Net.Faults.take_stall t ~node:0 ~now:9.0 = None);
+  check "stall fires when due" true
+    (Net.Faults.take_stall t ~node:1 ~now:0.2 = Some 0.05);
+  check "stall fires exactly once" true
+    (Net.Faults.take_stall t ~node:1 ~now:0.3 = None);
+  check "crash on another node never fires" false
+    (Net.Faults.take_crash t ~node:1 ~now:0.3);
+  check "crash fires when due" true
+    (Net.Faults.take_crash t ~node:2 ~now:0.25);
+  check "crash fires exactly once" false
+    (Net.Faults.take_crash t ~node:2 ~now:0.3)
+
+(* ------------------------------------------------------------------ *)
+(* Idempotent receive (Migrate.Server.receive)                         *)
+(* ------------------------------------------------------------------ *)
+
+let image_bytes () =
+  let proc = Vm.Process.create (compile_c "int main() { return 9; }") in
+  (Migrate.Pack.pack_running proc).Migrate.Pack.p_bytes
+
+let test_idempotent_receive () =
+  let bytes = image_bytes () in
+  let server = Migrate.Server.(create_cfg Config.default Vm.Arch.cisc32) in
+  let first =
+    match Migrate.Server.receive ~key:"img#1" server bytes with
+    | Ok (Migrate.Server.Fresh o) -> o
+    | Ok (Migrate.Server.Duplicate _) ->
+      Alcotest.fail "first delivery reported as duplicate"
+    | Error m -> Alcotest.failf "receive: %s" m
+  in
+  (match Migrate.Server.receive ~key:"img#1" server bytes with
+  | Ok (Migrate.Server.Duplicate o) ->
+    check_int "duplicate returns the original pid" first.Migrate.Server.o_pid
+      o.Migrate.Server.o_pid
+  | Ok (Migrate.Server.Fresh _) ->
+    Alcotest.fail "retransmitted hop double-spawned"
+  | Error m -> Alcotest.failf "receive: %s" m);
+  (* a DIFFERENT hop of byte-identical bytes is a fresh delivery *)
+  (match Migrate.Server.receive ~key:"img#2" server bytes with
+  | Ok (Migrate.Server.Fresh o) ->
+    check "distinct hop gets a distinct pid" true
+      (o.Migrate.Server.o_pid <> first.Migrate.Server.o_pid)
+  | Ok (Migrate.Server.Duplicate _) ->
+    Alcotest.fail "distinct hop wrongly deduplicated"
+  | Error m -> Alcotest.failf "receive: %s" m);
+  check_int "one duplicate counted" 1
+    (Obs.Metrics.counter_value
+       (Migrate.Server.metrics server)
+       "server.duplicates")
+
+let test_dedup_window_bounded () =
+  let bytes = image_bytes () in
+  let server =
+    Migrate.Server.(
+      create_cfg { Config.default with dedup_window = 2 } Vm.Arch.cisc32)
+  in
+  let fresh key =
+    match Migrate.Server.receive ~key server bytes with
+    | Ok (Migrate.Server.Fresh _) -> true
+    | Ok (Migrate.Server.Duplicate _) -> false
+    | Error m -> Alcotest.failf "receive: %s" m
+  in
+  check "k1 fresh" true (fresh "k1");
+  check "k2 fresh" true (fresh "k2");
+  check "k3 fresh, evicts k1" true (fresh "k3");
+  check "k1 was forgotten" true (fresh "k1");
+  check "k3 still remembered" false (fresh "k3")
+
+(* ------------------------------------------------------------------ *)
+(* Resilient migration protocol on the cluster                         *)
+(* ------------------------------------------------------------------ *)
+
+let summing_worker =
+  compile_c
+    {|
+int main() {
+  int *data = alloc_int(50);
+  int i;
+  for (i = 0; i < 50; i = i + 1) data[i] = i * 7;
+  int acc = 0;
+  int round;
+  for (round = 0; round < 400; round = round + 1) {
+    for (i = 0; i < 50; i = i + 1) acc = (acc + data[i]) % 1000000;
+  }
+  return acc;
+}
+|}
+
+let expected_sum =
+  let proc = Vm.Process.create summing_worker in
+  match Vm.Interp.run proc with
+  | Vm.Process.Exited n -> n
+  | _ -> Alcotest.fail "reference run failed"
+
+let test_migrate_retry_through_partition () =
+  (* the link to the target is partitioned when the hop starts and heals
+     at 0.05 s: the protocol must retry with backoff until it gets
+     through, and the process must observe nothing *)
+  let plan =
+    { Net.Faults.none with
+      f_seed = env_seed;
+      f_partitions =
+        [ { Net.Faults.pa = 0; pb = 1; p_from = 0.0; p_until = 0.05 } ] }
+  in
+  let cluster = mk_cluster ~nodes:2 plan in
+  let pid = Net.Cluster.spawn cluster ~node_id:0 summing_worker in
+  let _ = Net.Cluster.run cluster ~max_rounds:25 in
+  (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  | Error e ->
+    Alcotest.failf "migration failed: %s"
+      (Net.Cluster.migration_error_to_string e)
+  | Ok rep ->
+    check "the hop was retried" true (rep.Net.Cluster.rep_attempts >= 2);
+    check "backoff was waited" true (rep.Net.Cluster.rep_backoff_s > 0.0);
+    check_int "retries = attempts - 1"
+      (rep.Net.Cluster.rep_attempts - 1)
+      rep.Net.Cluster.rep_retries;
+    let _ = Net.Cluster.run cluster in
+    check "successor finished with the same result" true
+      (status_of cluster rep.Net.Cluster.rep_pid
+      = Vm.Process.Exited expected_sum));
+  check "retries were counted" true
+    (Obs.Metrics.counter_value (Net.Cluster.metrics cluster)
+       "migrate.retries"
+    >= 1);
+  check "the retry is in the typed trace" true
+    (List.exists
+       (fun e ->
+         match e.Obs.Trace.kind with
+         | Obs.Trace.Migrate_retry { reason = "partitioned"; _ } -> true
+         | _ -> false)
+       (Obs.Trace.timeline (Net.Cluster.trace cluster)))
+
+let test_unreachable_resumes_locally () =
+  (* the partition never heals: the retry budget runs out and the
+     process keeps running where it was, invisibly *)
+  let plan =
+    { Net.Faults.none with
+      f_seed = env_seed;
+      f_partitions =
+        [ { Net.Faults.pa = 0; pb = 1; p_from = 0.0; p_until = infinity } ]
+    }
+  in
+  let cluster = mk_cluster ~nodes:2 plan in
+  let pid = Net.Cluster.spawn cluster ~node_id:0 summing_worker in
+  let _ = Net.Cluster.run cluster ~max_rounds:25 in
+  (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  | Error (Net.Cluster.Unreachable { attempts; reason }) ->
+    check_int "every attempt in the budget was used"
+      Net.Cluster.Config.default_retry.Net.Cluster.Config.max_attempts
+      attempts;
+    check "reason says partitioned" true (reason = "partitioned")
+  | Error e ->
+    Alcotest.failf "expected Unreachable, got %s"
+      (Net.Cluster.migration_error_to_string e)
+  | Ok _ -> Alcotest.fail "migration through a dead link succeeded");
+  let _ = Net.Cluster.run cluster in
+  check "the process completed locally" true
+    (status_of cluster pid = Vm.Process.Exited expected_sum);
+  (match Net.Cluster.migrations cluster with
+  | [ mr ] -> check "recorded as a failed migration" false mr.Net.Cluster.mr_ok
+  | l -> Alcotest.failf "expected 1 migration record, got %d" (List.length l))
+
+let test_duplicated_hop_is_deduplicated () =
+  (* every migration hop also arrives a second time; the target daemon
+     must dedup instead of double-spawning *)
+  let plan =
+    { Net.Faults.none with f_seed = env_seed; f_dup = 0.999999 }
+  in
+  let cluster = mk_cluster ~nodes:2 plan in
+  let pid = Net.Cluster.spawn cluster ~node_id:0 summing_worker in
+  let _ = Net.Cluster.run cluster ~max_rounds:25 in
+  (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  | Error e ->
+    Alcotest.failf "migration failed: %s"
+      (Net.Cluster.migration_error_to_string e)
+  | Ok rep ->
+    let _ = Net.Cluster.run cluster in
+    check "exactly one successor ran to the right answer" true
+      (status_of cluster rep.Net.Cluster.rep_pid
+      = Vm.Process.Exited expected_sum));
+  check_int "source + one successor, nothing double-spawned" 2
+    (List.length (Net.Cluster.statuses cluster));
+  let daemon = (Net.Cluster.node cluster 1).Net.Cluster.daemon in
+  check "the daemon saw and absorbed the duplicate" true
+    (Obs.Metrics.counter_value
+       (Migrate.Server.metrics daemon)
+       "server.duplicates"
+    >= 1);
+  check "dup_delivery is in the typed trace" true
+    (List.exists
+       (fun e ->
+         match e.Obs.Trace.kind with
+         | Obs.Trace.Dup_delivery _ -> true
+         | _ -> false)
+       (Obs.Trace.timeline (Net.Cluster.trace cluster)))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-grid runs under faults, against the golden model              *)
+(* ------------------------------------------------------------------ *)
+
+let grid_cfg =
+  { Mcc.Gridapp.ranks = 3; rows_per_rank = 4; cols = 8; timesteps = 12;
+    interval = 4; work_us_per_step = 0 }
+
+let run_grid ?(nodes = 3) ?(spare = false) ?(resilient = false) plan =
+  let cluster = mk_cluster ~nodes ~seed:env_seed plan in
+  let d = Mcc.Gridapp.deploy ~spare cluster grid_cfg in
+  let _ =
+    if resilient then Mcc.Gridapp.run_resilient d else Mcc.Gridapp.run d
+  in
+  (cluster, Mcc.Gridapp.checksums d)
+
+let check_golden sums =
+  Array.iteri
+    (fun r s ->
+      match s with
+      | Some n ->
+        check_int (Printf.sprintf "rank %d checksum" r)
+          (Mcc.Gridapp.golden_checksums grid_cfg).(r)
+          n
+      | None -> Alcotest.failf "rank %d never finished" r)
+    sums
+
+(* exactly one copy of each rank completed: a duplicated or retried hop
+   (or a resurrection) never left two live holders *)
+let check_single_holder cluster =
+  for r = 0 to grid_cfg.Mcc.Gridapp.ranks - 1 do
+    let exited =
+      List.filter
+        (fun (_, rank, _, status) ->
+          rank = Some r
+          && match status with Vm.Process.Exited _ -> true | _ -> false)
+        (Net.Cluster.statuses cluster)
+    in
+    check_int (Printf.sprintf "one exited copy of rank %d" r) 1
+      (List.length exited)
+  done
+
+let grid_faults =
+  { Net.Faults.none with
+    f_seed = env_seed;
+    f_loss = 0.10;
+    f_dup = 0.05;
+    f_jitter_s = 0.00002;
+    f_retransmit_s = 0.0001 }
+
+let test_grid_under_loss () =
+  let cluster, sums = run_grid grid_faults in
+  check_golden sums;
+  check_single_holder cluster;
+  check "retransmissions actually happened" true
+    (Obs.Metrics.counter_value (Net.Cluster.metrics cluster)
+       "faults.retransmits"
+    > 0)
+
+let test_trace_reproducible () =
+  (* identical seed + plan => byte-identical JSONL traces *)
+  let trace_of () =
+    let cluster, sums = run_grid grid_faults in
+    check_golden sums;
+    Obs.Trace.to_jsonl (Net.Cluster.trace cluster)
+  in
+  let t1 = trace_of () and t2 = trace_of () in
+  check "trace is non-trivial" true (String.length t1 > 1000);
+  Alcotest.(check string) "byte-identical traces" t1 t2
+
+let test_grid_partition_then_heal () =
+  let plan =
+    { grid_faults with
+      f_partitions =
+        [ { Net.Faults.pa = 0; pb = 1; p_from = 0.0005; p_until = 0.001 } ]
+    }
+  in
+  let cluster, sums = run_grid plan in
+  check_golden sums;
+  check_single_holder cluster
+
+let test_grid_crash_and_stall_recovery () =
+  (* acceptance scenario: 10 % loss, a healing two-node partition, a
+     stall, and a node crash — the grid still terminates with the golden
+     checksums and exactly one live copy of each rank.  The crash lands
+     between the first checkpoint round (step 4) and completion; rank 1
+     is resurrected from its checkpoint on the spare node. *)
+  let work_cfg = { grid_cfg with Mcc.Gridapp.work_us_per_step = 500 } in
+  let golden = Mcc.Gridapp.golden_checksums work_cfg in
+  let plan =
+    { Net.Faults.none with
+      f_seed = env_seed;
+      f_loss = 0.10;
+      f_retransmit_s = 0.0001;
+      f_partitions =
+        [ { Net.Faults.pa = 0; pb = 1; p_from = 0.0004; p_until = 0.0008 } ];
+      f_stalls = [ { Net.Faults.s_node = 2; s_at = 0.002; s_for = 0.0005 } ];
+      f_crashes = [ { Net.Faults.c_node = 1; c_at = 0.004 } ] }
+  in
+  let cluster = mk_cluster ~nodes:4 ~seed:env_seed plan in
+  let d = Mcc.Gridapp.deploy ~spare:true cluster work_cfg in
+  let _ = Mcc.Gridapp.run_resilient d in
+  Array.iteri
+    (fun r s ->
+      match s with
+      | Some n -> check_int (Printf.sprintf "rank %d checksum" r) golden.(r) n
+      | None -> Alcotest.failf "rank %d never finished" r)
+    (Mcc.Gridapp.checksums d);
+  for r = 0 to work_cfg.Mcc.Gridapp.ranks - 1 do
+    let exited =
+      List.filter
+        (fun (_, rank, _, status) ->
+          rank = Some r
+          && match status with Vm.Process.Exited _ -> true | _ -> false)
+        (Net.Cluster.statuses cluster)
+    in
+    check_int (Printf.sprintf "one exited copy of rank %d" r) 1
+      (List.length exited)
+  done;
+  let m = Net.Cluster.metrics cluster in
+  check "the crash fired" true
+    (Obs.Metrics.counter_value m "faults.crashes" = 1
+    && Obs.Metrics.counter_value m "cluster.node_failures" = 1);
+  check "the stall fired" true
+    (Obs.Metrics.counter_value m "faults.stalls" = 1);
+  check "the resurrection was counted" true
+    (Obs.Metrics.counter_value m "cluster.resurrections" >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded storage faults                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_storage_faults_seeded () =
+  (* obj_read/obj_write failures draw from the fault-plan RNG, never the
+     global Random state: the same seed reproduces the same pattern *)
+  let prog =
+    compile_c
+      {|
+int main() {
+  int *buf = alloc_int(4);
+  int ok = 0; int i;
+  for (i = 0; i < 32; i = i + 1) {
+    if (obj_write(1, buf, 4) == 4) ok = ok + 1;
+  }
+  return ok;
+}
+|}
+  in
+  let run_one () =
+    let cluster =
+      mk_cluster ~nodes:1 ~seed:env_seed
+        { Net.Faults.none with f_seed = env_seed }
+    in
+    Net.Cluster.set_object cluster 1 "AAAA";
+    Net.Cluster.set_object_failure_probability cluster 0.5;
+    let pid = Net.Cluster.spawn cluster ~node_id:0 prog in
+    let _ = Net.Cluster.run cluster in
+    match status_of cluster pid with
+    | Vm.Process.Exited n -> n
+    | Vm.Process.Trapped m -> Alcotest.failf "prog trapped: %s" m
+    | _ -> Alcotest.fail "prog did not exit"
+  in
+  let a = run_one () and b = run_one () in
+  check_int "same seed, same storage-fault pattern" a b;
+  check "some writes failed and some succeeded" true (a > 0 && a < 32)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated wrappers still work (callers get one release of grace)   *)
+(* ------------------------------------------------------------------ *)
+
+[@@@alert "-deprecated"]
+
+let test_deprecated_wrappers () =
+  let cluster = Net.Cluster.create ~node_count:2 ~seed:3 () in
+  let pid =
+    Net.Cluster.spawn cluster ~node_id:0 (compile_c "int main() { return 7; }")
+  in
+  let _ = Net.Cluster.run cluster in
+  check "wrapper-built cluster runs" true
+    (status_of cluster pid = Vm.Process.Exited 7);
+  check "wrapper cluster has no faults" true
+    (Net.Faults.is_none (Net.Cluster.fault_plan cluster));
+  let server = Migrate.Server.create ~trusted:true Vm.Arch.cisc32 in
+  check_int "wrapper-built server starts clean" 0
+    (Migrate.Server.stats server).Migrate.Server.accepted
+
+[@@@alert "+deprecated"]
+
+let suites =
+  [
+    ( "faults.plan",
+      [
+        Alcotest.test_case "parse + render round-trip" `Quick
+          test_plan_roundtrip;
+        Alcotest.test_case "malformed plans are rejected" `Quick
+          test_plan_errors;
+        Alcotest.test_case "CLI seed overrides the file" `Quick
+          test_plan_seed_override;
+      ] );
+    ( "faults.unit",
+      [
+        Alcotest.test_case "seeded decisions are deterministic" `Quick
+          test_delivery_determinism;
+        Alcotest.test_case "loopback is never faulted" `Quick
+          test_no_faults_for_loopback;
+        Alcotest.test_case "partition windows delay, drop and heal" `Quick
+          test_partition_windows;
+        Alcotest.test_case "stalls and crashes fire exactly once" `Quick
+          test_stall_crash_fire_once;
+      ] );
+    ( "faults.idempotent_receive",
+      [
+        Alcotest.test_case "duplicate hops return the original outcome"
+          `Quick test_idempotent_receive;
+        Alcotest.test_case "dedup memory is a bounded FIFO" `Quick
+          test_dedup_window_bounded;
+      ] );
+    ( "faults.migration",
+      [
+        Alcotest.test_case "retry with backoff through a partition" `Quick
+          test_migrate_retry_through_partition;
+        Alcotest.test_case "unreachable target: resume locally" `Quick
+          test_unreachable_resumes_locally;
+        Alcotest.test_case "duplicated hop never double-spawns" `Quick
+          test_duplicated_hop_is_deduplicated;
+      ] );
+    ( "faults.grid",
+      [
+        Alcotest.test_case "grid completes under loss + dup + jitter"
+          `Quick test_grid_under_loss;
+        Alcotest.test_case "same seed, byte-identical traces" `Quick
+          test_trace_reproducible;
+        Alcotest.test_case "partition-then-heal completes" `Quick
+          test_grid_partition_then_heal;
+        Alcotest.test_case "crash + stall: resurrect and finish" `Quick
+          test_grid_crash_and_stall_recovery;
+      ] );
+    ( "faults.storage",
+      [
+        Alcotest.test_case "storage faults are seeded" `Quick
+          test_storage_faults_seeded;
+      ] );
+    ( "faults.wrappers",
+      [
+        Alcotest.test_case "deprecated constructors still work" `Quick
+          test_deprecated_wrappers;
+      ] );
+  ]

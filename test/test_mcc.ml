@@ -94,7 +94,7 @@ let test_grid_sources_compile () =
 
 let test_grid_matches_golden () =
   let golden = Array.to_list (Mcc.Gridapp.golden_checksums quick_config) in
-  let cluster = Net.Cluster.create ~node_count:3 ~net:(fast_net ()) () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 3; net = Some (fast_net ()) } in
   let d = Mcc.Gridapp.deploy cluster quick_config in
   let _ = Mcc.Gridapp.run d in
   Alcotest.(check (list int))
@@ -104,7 +104,7 @@ let test_grid_matches_golden () =
 let test_grid_no_checkpoint_matches () =
   let config = { quick_config with Mcc.Gridapp.interval = 0 } in
   let golden = Array.to_list (Mcc.Gridapp.golden_checksums config) in
-  let cluster = Net.Cluster.create ~node_count:3 ~net:(fast_net ()) () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 3; net = Some (fast_net ()) } in
   let d = Mcc.Gridapp.deploy cluster config in
   let _ = Mcc.Gridapp.run d in
   Alcotest.(check (list int)) "baseline (no checkpoints) matches" golden
@@ -116,13 +116,13 @@ let test_grid_single_rank () =
       interval = 3; work_us_per_step = 0 }
   in
   let golden = Array.to_list (Mcc.Gridapp.golden_checksums config) in
-  let cluster = Net.Cluster.create ~node_count:1 ~net:(fast_net ()) () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1; net = Some (fast_net ()) } in
   let d = Mcc.Gridapp.deploy cluster config in
   let _ = Mcc.Gridapp.run d in
   Alcotest.(check (list int)) "single rank" golden (all_checksums d config)
 
 let test_grid_checkpoints_written () =
-  let cluster = Net.Cluster.create ~node_count:3 ~net:(fast_net ()) () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 3; net = Some (fast_net ()) } in
   let d = Mcc.Gridapp.deploy cluster quick_config in
   let _ = Mcc.Gridapp.run d in
   let storage = Net.Cluster.storage cluster in
@@ -140,7 +140,7 @@ let failure_config =
 
 let test_grid_recovers_from_failure () =
   let golden = Array.to_list (Mcc.Gridapp.golden_checksums failure_config) in
-  let cluster = Net.Cluster.create ~node_count:4 ~net:(fast_net ()) () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 4; net = Some (fast_net ()) } in
   let d = Mcc.Gridapp.deploy ~spare:true cluster failure_config in
   let victims =
     Mcc.Gridapp.fail_and_recover ~rounds_before_failure:10 d ~victim_node:1
@@ -172,7 +172,7 @@ let test_grid_failure_without_checkpoints_is_fatal () =
   (* without the primitives there is no recovery: the survivors see
      MSG_ROLL and give up (Figure 2's motivation) *)
   let config = { failure_config with Mcc.Gridapp.interval = 0 } in
-  let cluster = Net.Cluster.create ~node_count:4 ~net:(fast_net ()) () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 4; net = Some (fast_net ()) } in
   let d = Mcc.Gridapp.deploy ~spare:true cluster config in
   (* let it start, then kill a node *)
   let _ = Net.Cluster.run cluster ~max_rounds:30 in
@@ -198,7 +198,7 @@ let test_grid_double_failure () =
       interval = 10; work_us_per_step = 200 }
   in
   let golden = Array.to_list (Mcc.Gridapp.golden_checksums config) in
-  let cluster = Net.Cluster.create ~node_count:4 ~net:(fast_net ()) () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 4; net = Some (fast_net ()) } in
   let d = Mcc.Gridapp.deploy ~spare:true cluster config in
   let v1 =
     Mcc.Gridapp.fail_and_recover ~rounds_before_failure:10 d ~victim_node:0

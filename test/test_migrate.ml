@@ -400,7 +400,7 @@ let test_reject_forged_heap_ref () =
 (* ------------------------------------------------------------------ *)
 
 let test_server () =
-  let server = Migrate.Server.create Vm.Arch.risc64 in
+  let server = Migrate.Server.(create_cfg Config.default Vm.Arch.risc64) in
   let bytes = packed_bytes () in
   (match Migrate.Server.handle server bytes with
   | Error msg -> Alcotest.failf "server rejected a good image: %s" msg

@@ -498,7 +498,7 @@ int main() {
   check "C programs typecheck against cluster externs" true
     (Fir.Typecheck.well_typed ~strict:true
        ~externs:Net.Cluster.extern_signatures receiver);
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let spid = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 sender in
   let rpid = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 receiver in
   let _ = Net.Cluster.run cluster in
@@ -539,7 +539,7 @@ int main() {
     (Fir.Typecheck.well_typed ~strict:true
        ~externs:Net.Cluster.extern_signatures fir);
   (* no faults: the transfer succeeds and swaps the objects *)
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   Net.Cluster.set_object cluster 1 "AAAA";
   Net.Cluster.set_object cluster 2 "BBBB";
   let pid = Net.Cluster.spawn cluster ~node_id:0 fir in
@@ -552,7 +552,7 @@ int main() {
   check_str "obj1 swapped" "BBBB" (Option.get (Net.Cluster.get_object cluster 1));
   check_str "obj2 swapped" "AAAA" (Option.get (Net.Cluster.get_object cluster 2));
   (* certain faults: the transfer fails atomically, objects unchanged *)
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   Net.Cluster.set_object cluster 1 "AAAA";
   Net.Cluster.set_object cluster 2 "BBBB";
   Net.Cluster.set_object_failure_probability cluster 1.0;

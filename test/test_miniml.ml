@@ -222,7 +222,7 @@ let test_ml_on_cluster () =
     | Ok fir -> fir
     | Error _ -> Alcotest.fail "C compile failed"
   in
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let p1 = Net.Cluster.spawn cluster ~node_id:0 ml in
   let p2 = Net.Cluster.spawn cluster ~node_id:1 c in
   let _ = Net.Cluster.run cluster in

@@ -173,7 +173,7 @@ let status_of_pid cluster pid =
   | None -> Alcotest.failf "no pid %d" pid
 
 let test_cluster_runs_to_exit () =
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid1 = Net.Cluster.spawn cluster ~node_id:0 (exit_program 7) in
   let pid2 =
     Net.Cluster.spawn cluster ~engine:`Masm ~node_id:1 (exit_program 8)
@@ -223,7 +223,7 @@ let receiver_program =
       ])
 
 let test_cluster_message_passing () =
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let recv_pid =
     Net.Cluster.spawn cluster ~rank:1 ~node_id:1 receiver_program
   in
@@ -234,7 +234,7 @@ let test_cluster_message_passing () =
     (status_of_pid cluster recv_pid = Vm.Process.Exited 60)
 
 let test_cluster_send_to_nowhere () =
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   (* rank 1 never registered: send returns -1 *)
   let pid = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 sender_program in
   let _ = Net.Cluster.run cluster in
@@ -264,7 +264,7 @@ let migrate_then_finish ~target =
       ])
 
 let test_cluster_migrate () =
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid =
     Net.Cluster.spawn cluster ~rank:3 ~node_id:0
       (migrate_then_finish ~target:"mcc://node1")
@@ -289,7 +289,7 @@ let test_cluster_migrate () =
   | l -> Alcotest.failf "expected 1 migration record, got %d" (List.length l)
 
 let test_cluster_migrate_to_dead_node () =
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   Net.Cluster.fail_node cluster 1;
   let pid =
     Net.Cluster.spawn cluster ~node_id:0
@@ -301,7 +301,7 @@ let test_cluster_migrate_to_dead_node () =
     (status_of_pid cluster pid = Vm.Process.Exited 105)
 
 let test_cluster_checkpoint_and_resurrect () =
-  let cluster = Net.Cluster.create ~node_count:3 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 3 } in
   let p =
     Builder.(
       prog
@@ -353,7 +353,7 @@ let test_cluster_checkpoint_and_resurrect () =
   | Ok _ -> Alcotest.fail "resurrected on a dead node"
 
 let test_cluster_suspend () =
-  let cluster = Net.Cluster.create ~node_count:1 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 1 } in
   let pid =
     Net.Cluster.spawn cluster ~node_id:0
       (migrate_then_finish ~target:"suspend://s1")
@@ -425,7 +425,7 @@ let watcher_of src =
    would violate the parked_on contract and spin it on a poll that still
    returns nothing. *)
 let test_fail_node_wakes_only_related_parked () =
-  let cluster = Net.Cluster.create ~node_count:4 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 4 } in
   let victim = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 spin_forever in
   (* parked on rank 0: must wake and observe MSG_ROLL *)
   let related =
@@ -471,7 +471,7 @@ let test_fail_node_wakes_only_related_parked () =
    cleanly — the source continues locally (migration_failed semantics)
    and exactly one copy of the process ever exists. *)
 let test_migration_to_dead_target_single_copy () =
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   Net.Cluster.fail_node cluster 1;
   let pid =
     Net.Cluster.spawn cluster ~node_id:0
@@ -496,7 +496,7 @@ let test_migration_to_dead_target_single_copy () =
 (* After a SUCCESSFUL migration the source entry is terminated: the
    packed process must never run in two places. *)
 let test_migration_leaves_single_live_copy () =
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid =
     Net.Cluster.spawn cluster ~rank:5 ~node_id:0
       (migrate_then_finish ~target:"mcc://node1")
@@ -517,7 +517,7 @@ let test_migration_leaves_single_live_copy () =
     (List.length (Net.Cluster.statuses cluster))
 
 let test_msg_roll_on_failure () =
-  let cluster = Net.Cluster.create ~node_count:2 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let victim = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 spin_forever in
   let watcher = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 roll_watcher in
   let _ = Net.Cluster.run cluster ~max_rounds:10 in
@@ -626,7 +626,7 @@ let test_speculation_join_cascade () =
   (* near-zero latency so the receiver consumes the speculative message
      well before the sender's rollback *)
   let net = Net.Simnet.create ~latency_us:0.01 ~connect_ms:0.001 () in
-  let cluster = Net.Cluster.create ~node_count:2 ~net () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2; net = Some net } in
   let sender = Net.Cluster.spawn cluster ~rank:0 ~node_id:0 spec_sender in
   let receiver = Net.Cluster.spawn cluster ~rank:1 ~node_id:1 spec_receiver in
   let _ = Net.Cluster.run cluster ~max_rounds:5000 in
@@ -645,7 +645,7 @@ let test_speculation_join_cascade () =
 (* Drive migration, failure, cascade and resurrection, then check the
    exported timeline is monotone and the JSONL parses line by line. *)
 let test_cluster_trace () =
-  let cluster = Net.Cluster.create ~node_count:3 () in
+  let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 3 } in
   let _ =
     Net.Cluster.spawn cluster ~rank:3 ~node_id:0
       (migrate_then_finish ~target:"mcc://node1")
