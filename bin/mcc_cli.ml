@@ -296,9 +296,21 @@ let serve_cmd =
       value & flag
       & info [ "metrics" ]
           ~doc:"Print the server's metrics registry (counters and \
-                histograms) after each processed batch.")
+                histograms, including the delta-migration ledger: \
+                migrate.bytes_full, migrate.bytes_delta, \
+                migrate.delta_hit_rate) after each processed batch.")
   in
-  let action spool arch once trusted cache_capacity show_metrics =
+  let baseline_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "baseline-cache" ] ~docv:"N"
+          ~doc:"Retained delta baselines (0 disables delta receive): an \
+                inbound delta image is reconstructed against the cached \
+                full image it names and digest-verified before \
+                verification.")
+  in
+  let action spool arch once trusted cache_capacity baseline_cache
+      show_metrics =
     let arch = arch_of_string arch in
     let cache =
       if cache_capacity > 0 then
@@ -307,7 +319,8 @@ let serve_cmd =
     in
     let server =
       Migrate.Server.create_cfg
-        { Migrate.Server.Config.default with trusted; cache }
+        { Migrate.Server.Config.default with trusted; cache;
+          baseline_cache }
         arch
     in
     let process_batch () =
@@ -372,7 +385,7 @@ let serve_cmd =
              recompile and execute inbound process images.")
     Term.(
       const action $ dir_arg $ arch_arg $ once_arg $ trusted_arg $ cache_arg
-      $ metrics_arg)
+      $ baseline_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mcc grid                                                            *)
@@ -419,8 +432,24 @@ let grid_cmd =
           ~doc:"Cluster (and fault-plan) seed; identical seeds and plans \
                 reproduce identical runs and traces.")
   in
+  let delta_arg =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "delta" ]
+                ~doc:"Ship delta images and incremental checkpoint \
+                      segments when a retained baseline makes them \
+                      smaller (the default)." );
+            ( false,
+              info [ "no-delta" ]
+                ~doc:"Force every migration hop and checkpoint to carry \
+                      a full image." );
+          ])
+  in
   let action ranks rows_per_rank cols timesteps interval fail trace_file
-      fault_plan_file seed =
+      fault_plan_file seed delta =
     let config =
       { Mcc.Gridapp.ranks; rows_per_rank; cols; timesteps; interval;
         work_us_per_step = 1000 }
@@ -445,7 +474,8 @@ let grid_cmd =
           node_count = nodes;
           seed = (match seed with Some s -> s | None -> 1);
           net = Some (Net.Simnet.create ~latency_us:5.0 ());
-          faults = plan }
+          faults = plan;
+          delta }
     in
     let d = Mcc.Gridapp.deploy ~spare:(fail || faulty) cluster config in
     if fail then begin
@@ -474,6 +504,14 @@ let grid_cmd =
           (if matches then "" else "  <-- MISMATCH"))
       sums;
     Printf.printf "simulated time: %.4f s\n" (Net.Cluster.now cluster);
+    (let m = Net.Cluster.metrics cluster in
+     let full_b = Obs.Metrics.counter_value m "migrate.bytes_full"
+     and delta_b = Obs.Metrics.counter_value m "migrate.bytes_delta" in
+     if delta && full_b + delta_b > 0 then
+       Printf.printf
+         "delta shipping: %d full B, %d delta B, hit rate %.2f\n" full_b
+         delta_b
+         (Obs.Metrics.gauge_read m "migrate.delta_hit_rate"));
     if faulty then begin
       let m = Net.Cluster.metrics cluster in
       Printf.printf
@@ -508,7 +546,7 @@ let grid_cmd =
                            simulated cluster.")
     Term.(
       const action $ ranks $ rows $ cols $ steps $ interval $ fail
-      $ trace_arg $ fault_plan_arg $ seed_arg)
+      $ trace_arg $ fault_plan_arg $ seed_arg $ delta_arg)
 
 let () =
   let info =

@@ -63,6 +63,27 @@ let put_list buf f xs =
     xs;
   put_u8 buf 0
 
+(* LEB128 variable-width integers for the wire layer's heap segments
+   (process images are dominated by cell dumps of small integers; a
+   varint turns most 8-byte fields into 1 byte).  [put_uvarint] treats
+   the int as a raw 63-bit pattern — [lsr] makes negative OCaml ints
+   terminate — and [put_varint] zigzags first so small negative values
+   stay short. *)
+let put_uvarint buf n =
+  let n = ref n in
+  let continue_ = ref true in
+  while !continue_ do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      put_u8 buf b;
+      continue_ := false
+    end
+    else put_u8 buf (b lor 0x80)
+  done
+
+let put_varint buf n = put_uvarint buf ((n lsl 1) lxor (n asr 62))
+
 type reader = { data : string; mutable pos : int }
 
 let need r n =
@@ -125,6 +146,19 @@ let get_list r f =
     | n -> raise (Corrupt (Printf.sprintf "bad list tag %d" n))
   in
   go []
+
+let get_uvarint r =
+  let rec go shift acc =
+    if shift > 62 then raise (Corrupt "varint too long");
+    let b = get_u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_varint r =
+  let u = get_uvarint r in
+  (u lsr 1) lxor (-(u land 1))
 
 (* ------------------------------------------------------------------ *)
 (* Adler-32.                                                           *)

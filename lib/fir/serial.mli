@@ -29,6 +29,14 @@ val put_string : Buffer.t -> string -> unit
 val put_bool : Buffer.t -> bool -> unit
 val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
 
+val put_uvarint : Buffer.t -> int -> unit
+(** LEB128: 1 byte for values < 128, up to 9 bytes for the full 63-bit
+    pattern (negative ints encode as their raw bit pattern). *)
+
+val put_varint : Buffer.t -> int -> unit
+(** Zigzag + LEB128: small magnitudes of either sign stay short — the
+    heap-segment cell encoding of {!Migrate.Wire}. *)
+
 (** {2 Primitive readers} *)
 
 type reader = { data : string; mutable pos : int }
@@ -40,6 +48,8 @@ val get_f64_bits : reader -> float
 val get_string : reader -> string
 val get_bool : reader -> bool
 val get_list : reader -> (reader -> 'a) -> 'a list
+val get_uvarint : reader -> int
+val get_varint : reader -> int
 
 val adler32 : string -> int
 

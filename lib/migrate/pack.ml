@@ -32,6 +32,9 @@ exception Unpack_error of string
 type packed = {
   p_image : Wire.image;
   p_bytes : string; (* the encoded image: what actually travels *)
+  p_dirty : (int * int, unit) Hashtbl.t;
+      (* (index, page) pairs written since the PREVIOUS pack — the
+         change set a delta against that previous image may ship *)
 }
 
 type unpack_costs = {
@@ -86,7 +89,44 @@ let pack ?(with_binary = true) proc ~entry ~args ~label =
       i_label = label;
     }
   in
-  { p_image = image; p_bytes = Wire.encode image }
+  (* The dirty set accumulated since the previous pack is exactly what a
+     delta against that previous image may ship (the collector already
+     dropped freed indices, and the snapshot keys are stable across the
+     compaction slide).  Clearing it makes THIS image the new baseline
+     that future writes are tracked against. *)
+  let p_dirty = Heap.dirty_snapshot heap in
+  Heap.clear_dirty heap;
+  { p_image = image; p_bytes = Wire.encode image; p_dirty }
+
+(* Encode [packed] as a delta against [baseline] (identified on the wire
+   by [base_digest], the baseline's {!Wire.image_digest}).  Returns
+   [None] when a delta is semantically impossible — different
+   architecture or different FIR payload — rather than merely
+   unprofitable; byte-size policy is the caller's. *)
+let delta ~baseline ~base_digest packed =
+  let image = packed.p_image in
+  if
+    (not (String.equal image.Wire.i_arch baseline.Wire.i_arch))
+    || not (String.equal image.Wire.i_digest baseline.Wire.i_digest)
+  then None
+  else
+    let changed idx page = Hashtbl.mem packed.p_dirty (idx, page) in
+    let d_blocks, stats = Wire.diff ~baseline ~image ~changed in
+    let delta =
+      {
+        Wire.d_arch = image.Wire.i_arch;
+        d_base = base_digest;
+        d_fir_digest = image.Wire.i_digest;
+        d_new_digest = Wire.image_digest image;
+        d_ptable = image.Wire.i_ptable;
+        d_blocks;
+        d_spec = image.Wire.i_spec;
+        d_menv = image.Wire.i_menv;
+        d_entry = image.Wire.i_entry;
+        d_label = image.Wire.i_label;
+      }
+    in
+    Some (Wire.encode_delta delta, stats)
 
 (* Pack a process that has stopped at a migration request. *)
 let pack_request ?with_binary proc =
@@ -153,10 +193,13 @@ let value_matches program ftable_names ty v =
    typecheck, codegen), which is a pure function of the FIR bytes; a miss
    runs the full untrusted-source pipeline and then populates the cache,
    including negative entries for payloads that fail the typecheck. *)
-let unpack ?(pid = 0) ?(seed = 42) ?(trusted = false)
-    ?(extern_signatures = Extern.signatures) ?cache ~arch bytes =
+(* Reconstruct from an already-decoded image — the shared tail of the
+   full-packet path ([unpack]) and the delta path (the server decodes the
+   packet, rebuilds the image against its retained baseline, then lands
+   here).  [bytes_len] is the on-the-wire size, for cost accounting. *)
+let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
+    ?(extern_signatures = Extern.signatures) ?cache ~arch ~bytes_len image =
   try
-    let image = Wire.decode bytes in
     let verified = not trusted in
     (* structural heap checks are per-image state, never cacheable *)
     if verified then Wire.verify image;
@@ -282,7 +325,7 @@ let unpack ?(pid = 0) ?(seed = 42) ?(trusted = false)
       ( proc,
         masm,
         {
-          u_bytes = String.length bytes;
+          u_bytes = bytes_len;
           u_verified = verified;
           u_recompiled = recompiled;
           u_cache_hit = cache_hit;
@@ -296,3 +339,10 @@ let unpack ?(pid = 0) ?(seed = 42) ?(trusted = false)
   | Function_table.Invalid_function msg ->
     Error ("bad function table: " ^ msg)
   | Spec.Engine.Invalid_level msg -> Error ("bad speculation state: " ^ msg)
+
+let unpack ?pid ?seed ?trusted ?extern_signatures ?cache ~arch bytes =
+  match Wire.decode bytes with
+  | image ->
+    unpack_image ?pid ?seed ?trusted ?extern_signatures ?cache ~arch
+      ~bytes_len:(String.length bytes) image
+  | exception Wire.Corrupt msg -> Error ("corrupt image: " ^ msg)

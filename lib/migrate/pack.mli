@@ -15,7 +15,10 @@ exception Unpack_error of string
 
 type packed = {
   p_image : Wire.image;
-  p_bytes : string;  (** the encoded image: what actually travels *)
+  p_bytes : string;  (** the encoded full image: what travels cold *)
+  p_dirty : (int * int, unit) Hashtbl.t;
+      (** (pointer-table index, page) pairs written since the PREVIOUS
+          pack of this process — the change set {!delta} may ship *)
 }
 
 type unpack_costs = {
@@ -49,6 +52,15 @@ val pack_running : ?with_binary:bool -> Process.t -> packed
     balancing (paper, Sections 4.2.1 and 7).
     @raise Invalid_argument if the process is not [Running]. *)
 
+val delta :
+  baseline:Wire.image -> base_digest:string -> packed ->
+  (string * Wire.dstats) option
+(** Encode a freshly-packed process as a delta against [baseline]
+    (identified on the wire by [base_digest], its {!Wire.image_digest}),
+    shipping only the pages its dirty set marks.  [None] when a delta is
+    impossible (different architecture or FIR payload); whether a
+    possible delta is worth sending is the caller's policy. *)
+
 val unpack :
   ?pid:int -> ?seed:int -> ?trusted:bool ->
   ?extern_signatures:Fir.Typecheck.extern_lookup ->
@@ -64,3 +76,14 @@ val unpack :
     per-image structural heap verification; a hit elides FIR decode,
     typecheck and codegen (charging link cycles only), a miss runs the
     full pipeline and populates the cache. *)
+
+val unpack_image :
+  ?pid:int -> ?seed:int -> ?trusted:bool ->
+  ?extern_signatures:Fir.Typecheck.extern_lookup ->
+  ?cache:Codecache.t ->
+  arch:Arch.t -> bytes_len:int -> Wire.image ->
+  (Process.t * Masm.image * unpack_costs, string) result
+(** As {!unpack}, from an already-decoded image — the shared tail of the
+    full path and the delta path (where the image was reconstructed from
+    a retained baseline).  [bytes_len] is the on-the-wire size charged to
+    [u_bytes]. *)

@@ -33,6 +33,7 @@ module Config = struct
     first_pid : int;
     cache : Codecache.t option;
     dedup_window : int;
+    baseline_cache : int;
   }
 
   let default =
@@ -42,8 +43,15 @@ module Config = struct
       first_pid = 1000;
       cache = None;
       dedup_window = 64;
+      baseline_cache = 4;
     }
 end
+
+(* A retained baseline: a full image this server has accepted, kept so a
+   later delta packet naming its content digest can be reconstructed
+   locally.  LRU over [baseline_cap] entries (the codecache idiom: a
+   logical clock, evict the stalest). *)
+type baseline_entry = { b_image : Wire.image; mutable b_tick : int }
 
 type t = {
   arch : Arch.t;
@@ -51,6 +59,9 @@ type t = {
   extern_signatures : Fir.Typecheck.extern_lookup;
   cache : Codecache.t option;
   mutable next_pid : int;
+  baseline_cap : int;
+  baselines : (string, baseline_entry) Hashtbl.t; (* image_digest -> *)
+  mutable baseline_tick : int;
   (* idempotent receive: accepted requests remembered by delivery key so
      a duplicated or retried hop returns the original outcome instead of
      double-spawning.  Bounded FIFO of [dedup_window] entries; 0
@@ -67,7 +78,12 @@ type t = {
   c_bytes : Obs.Metrics.counter;
   c_recompilations : Obs.Metrics.counter;
   c_cache_hits : Obs.Metrics.counter;
-  h_bytes : Obs.Metrics.histogram; (* image size per request *)
+  c_bytes_full : Obs.Metrics.counter; (* bytes arriving as full packets *)
+  c_bytes_delta : Obs.Metrics.counter; (* bytes arriving as deltas *)
+  c_delta_hits : Obs.Metrics.counter; (* deltas applied to a baseline *)
+  c_delta_misses : Obs.Metrics.counter; (* unknown/failed baseline *)
+  g_delta_hit_rate : Obs.Metrics.gauge;
+  h_bytes : Obs.Metrics.histogram; (* image size per request, both kinds *)
   h_compile_cycles : Obs.Metrics.histogram; (* per accepted request *)
 }
 
@@ -83,6 +99,11 @@ let create_cfg (cfg : Config.t) arch =
     Obs.Metrics.counter metrics "server.recompilations"
   in
   let c_cache_hits = Obs.Metrics.counter metrics "server.cache_hits" in
+  let c_bytes_full = Obs.Metrics.counter metrics "migrate.bytes_full" in
+  let c_bytes_delta = Obs.Metrics.counter metrics "migrate.bytes_delta" in
+  let c_delta_hits = Obs.Metrics.counter metrics "migrate.delta_hits" in
+  let c_delta_misses = Obs.Metrics.counter metrics "migrate.delta_misses" in
+  let g_delta_hit_rate = Obs.Metrics.gauge metrics "migrate.delta_hit_rate" in
   let h_bytes = Obs.Metrics.histogram metrics "server.image_bytes" in
   let h_compile_cycles =
     Obs.Metrics.histogram metrics "server.compile_cycles"
@@ -93,6 +114,9 @@ let create_cfg (cfg : Config.t) arch =
     extern_signatures = cfg.Config.extern_signatures;
     cache = cfg.Config.cache;
     next_pid = cfg.Config.first_pid;
+    baseline_cap = max 0 cfg.Config.baseline_cache;
+    baselines = Hashtbl.create 8;
+    baseline_tick = 0;
     dedup_window = max 0 cfg.Config.dedup_window;
     dedup = Hashtbl.create 16;
     dedup_order = Queue.create ();
@@ -103,6 +127,11 @@ let create_cfg (cfg : Config.t) arch =
     c_bytes;
     c_recompilations;
     c_cache_hits;
+    c_bytes_full;
+    c_bytes_delta;
+    c_delta_hits;
+    c_delta_misses;
+    g_delta_hit_rate;
     h_bytes;
     h_compile_cycles;
   }
@@ -129,17 +158,83 @@ let stats t =
 
 let cache t = t.cache
 
-(* Handle one inbound migration: verify, recompile, reconstruct.  The
-   caller decides what to do with the resulting process (schedule it,
-   execute it to completion, ...). *)
-let handle ?seed t bytes =
-  Obs.Metrics.incr ~by:(String.length bytes) t.c_bytes;
-  Obs.Metrics.observe t.h_bytes (float_of_int (String.length bytes));
+(* ------------------------------------------------------------------ *)
+(* Baseline retention                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let has_baseline t digest = Hashtbl.mem t.baselines digest
+let baseline_count t = Hashtbl.length t.baselines
+let clear_baselines t = Hashtbl.reset t.baselines
+
+let touch_baseline t entry =
+  t.baseline_tick <- t.baseline_tick + 1;
+  entry.b_tick <- t.baseline_tick
+
+let evict_stalest_baseline t =
+  let victim =
+    Hashtbl.fold
+      (fun digest entry acc ->
+        match acc with
+        | Some (_, best) when best.b_tick <= entry.b_tick -> acc
+        | _ -> Some (digest, entry))
+      t.baselines None
+  in
+  match victim with
+  | Some (digest, _) -> Hashtbl.remove t.baselines digest
+  | None -> ()
+
+(* Retain [image] (digest: its {!Wire.image_digest}) so future deltas
+   against it can be reconstructed; returns the digest.  With
+   [baseline_cache = 0] nothing is retained and every delta misses. *)
+let remember_baseline ?digest t image =
+  let digest =
+    match digest with Some d -> d | None -> Wire.image_digest image
+  in
+  if t.baseline_cap > 0 then begin
+    (match Hashtbl.find_opt t.baselines digest with
+    | Some entry -> touch_baseline t entry
+    | None ->
+      let entry = { b_image = image; b_tick = 0 } in
+      touch_baseline t entry;
+      Hashtbl.replace t.baselines digest entry;
+      while Hashtbl.length t.baselines > t.baseline_cap do
+        evict_stalest_baseline t
+      done);
+    ()
+  end;
+  digest
+
+(* An unknown-baseline rejection is a protocol miss, not a bad image:
+   the sender reacts by re-shipping in full, so it needs to recognize
+   the error shape. *)
+let unknown_baseline_prefix = "unknown baseline "
+let unknown_baseline_error digest = unknown_baseline_prefix ^ digest
+
+let is_unknown_baseline msg =
+  String.length msg >= String.length unknown_baseline_prefix
+  && String.equal
+       (String.sub msg 0 (String.length unknown_baseline_prefix))
+       unknown_baseline_prefix
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let update_delta_hit_rate t =
+  let hits = Obs.Metrics.count t.c_delta_hits in
+  let misses = Obs.Metrics.count t.c_delta_misses in
+  if hits + misses > 0 then
+    Obs.Metrics.set t.g_delta_hit_rate
+      (float_of_int hits /. float_of_int (hits + misses))
+
+(* The shared tail: [image] is either a decoded full packet or a
+   delta reconstruction; [bytes] is what actually travelled. *)
+let finish ?seed t ~bytes image =
   let pid = t.next_pid in
   match
-    Pack.unpack ?seed ~pid ~trusted:t.trusted
+    Pack.unpack_image ?seed ~pid ~trusted:t.trusted
       ~extern_signatures:t.extern_signatures ?cache:t.cache ~arch:t.arch
-      bytes
+      ~bytes_len:(String.length bytes) image
   with
   | Ok (proc, masm, costs) ->
     t.next_pid <- t.next_pid + 1;
@@ -152,6 +247,56 @@ let handle ?seed t bytes =
   | Error msg ->
     Obs.Metrics.incr t.c_rejected;
     Error msg
+
+(* Handle one inbound migration: verify, recompile, reconstruct.  The
+   caller decides what to do with the resulting process (schedule it,
+   execute it to completion, ...).  A full packet that is accepted is
+   retained as a delta baseline; a delta packet is reconstructed against
+   the retained baseline it names (rejected with a recognizable
+   {!is_unknown_baseline} error when this server no longer has it — the
+   sender falls back to a full image). *)
+let handle ?seed t bytes =
+  Obs.Metrics.incr ~by:(String.length bytes) t.c_bytes;
+  Obs.Metrics.observe t.h_bytes (float_of_int (String.length bytes));
+  match Wire.decode_packet bytes with
+  | exception Wire.Corrupt msg ->
+    Obs.Metrics.incr t.c_rejected;
+    Error ("corrupt image: " ^ msg)
+  | Wire.Full image ->
+    Obs.Metrics.incr ~by:(String.length bytes) t.c_bytes_full;
+    let result = finish ?seed t ~bytes image in
+    (match result with
+    | Ok _ -> ignore (remember_baseline t image)
+    | Error _ -> ());
+    result
+  | Wire.Delta delta -> (
+    Obs.Metrics.incr ~by:(String.length bytes) t.c_bytes_delta;
+    match Hashtbl.find_opt t.baselines delta.Wire.d_base with
+    | None ->
+      Obs.Metrics.incr t.c_delta_misses;
+      update_delta_hit_rate t;
+      Obs.Metrics.incr t.c_rejected;
+      Error (unknown_baseline_error delta.Wire.d_base)
+    | Some entry -> (
+      touch_baseline t entry;
+      match Wire.apply_delta ~baseline:entry.b_image delta with
+      | exception Wire.Corrupt _ ->
+        (* the baseline we hold does not reconstruct what the sender
+           meant — count it as a miss so the sender's full-image
+           fallback keeps the books straight *)
+        Obs.Metrics.incr t.c_delta_misses;
+        update_delta_hit_rate t;
+        Obs.Metrics.incr t.c_rejected;
+        Error (unknown_baseline_error delta.Wire.d_base)
+      | image ->
+        Obs.Metrics.incr t.c_delta_hits;
+        update_delta_hit_rate t;
+        let result = finish ?seed t ~bytes image in
+        (match result with
+        | Ok _ ->
+          ignore (remember_baseline ~digest:delta.Wire.d_new_digest t image)
+        | Error _ -> ());
+        result))
 
 (* Idempotent receive.  [key] identifies one logical delivery: the image
    digest plus whatever envelope identity the transport has (the cluster

@@ -27,7 +27,10 @@ type stats = {
     nobody: the cache is keyed by architecture and verify mode, but each
     daemon owns its own bounded store).  [dedup_window] bounds the
     idempotent-receive memory in accepted requests ([0] disables
-    deduplication entirely). *)
+    deduplication entirely).  [baseline_cache] bounds the retained
+    delta baselines ([0] disables delta receive: every delta packet is
+    rejected as unknown-baseline and the sender falls back to full
+    images). *)
 module Config : sig
   type t = {
     trusted : bool;
@@ -35,11 +38,12 @@ module Config : sig
     first_pid : int;
     cache : Codecache.t option;
     dedup_window : int;
+    baseline_cache : int;
   }
 
   val default : t
   (** untrusted, base externs, pids from 1000, no cache, 64-entry dedup
-      window *)
+      window, 4 retained baselines *)
 end
 
 type t
@@ -59,16 +63,52 @@ val stats : t -> stats
 
 val metrics : t -> Obs.Metrics.t
 (** The live registry: counters [server.accepted], [server.rejected],
-    [server.bytes_received], [server.recompilations], [server.cache_hits]
-    and histograms [server.image_bytes], [server.compile_cycles]. *)
+    [server.bytes_received], [server.recompilations],
+    [server.cache_hits], [migrate.bytes_full], [migrate.bytes_delta],
+    [migrate.delta_hits], [migrate.delta_misses], the gauge
+    [migrate.delta_hit_rate], and histograms [server.image_bytes]
+    (both packet kinds), [server.compile_cycles]. *)
 
 val cache : t -> Codecache.t option
 
+(** {2 Delta baselines}
+
+    Accepted full images (and successful delta reconstructions) are
+    retained, LRU-bounded by [Config.baseline_cache], so a later delta
+    packet naming one by {!Wire.image_digest} can be rebuilt locally. *)
+
+val has_baseline : t -> string -> bool
+(** Senders negotiate with this before choosing the delta encoding (the
+    simulated cluster's stand-in for a baseline-offer handshake). *)
+
+val remember_baseline : ?digest:string -> t -> Wire.image -> string
+(** Retain [image] as a delta baseline (LRU, bounded by
+    [Config.baseline_cache]; a no-op returning the digest when the bound
+    is [0]).  [digest] defaults to [Wire.image_digest image] — pass it
+    when already computed.  Senders call this on their OWN daemon after
+    packing, so a process bouncing back can arrive as a delta. *)
+
+val baseline_count : t -> int
+
+val clear_baselines : t -> unit
+(** Forget every baseline (tests: simulate a receiver restart). *)
+
+val is_unknown_baseline : string -> bool
+(** Recognizes the rejection [handle] returns for a delta whose baseline
+    this server does not hold (or cannot reconstruct from): the sender's
+    cue to fall back to a full image rather than treat the hop as a
+    hard failure. *)
+
 val handle : ?seed:int -> t -> string -> (request_outcome, string) result
 (** Handle one inbound migration; assigns a fresh pid on success.
-    No deduplication: every call is treated as a distinct request (the
-    transport owns delivery semantics).  Prefer {!receive} when the
-    transport can retry or duplicate. *)
+    Accepts either packet kind: a full image is retained as a delta
+    baseline after acceptance; a delta is reconstructed against the
+    baseline it names and digest-verified before the normal
+    verification pipeline runs ({!is_unknown_baseline} rejections when
+    the baseline is missing or stale).  No deduplication: every call is
+    treated as a distinct request (the transport owns delivery
+    semantics).  Prefer {!receive} when the transport can retry or
+    duplicate. *)
 
 (** {2 Idempotent receive} *)
 

@@ -8,10 +8,10 @@
    An optional MASM payload rides along for the same-architecture binary
    fast path; heterogeneous targets ignore it and recompile from FIR.
 
-   All integers are little-endian fixed-width regardless of the (simulated)
-   source architecture's endianness or word size: this is the "standard
-   byte ordering and alignment rules on heap data" that make cross-
-   architecture migration possible without guessing at C data layouts. *)
+   All integers are little-endian regardless of the (simulated) source
+   architecture's endianness or word size: this is the "standard byte
+   ordering and alignment rules on heap data" that make cross-architecture
+   migration possible without guessing at C data layouts. *)
 
 open Runtime
 
@@ -19,13 +19,20 @@ exception Corrupt = Fir.Serial.Corrupt
 
 let magic = "MPRC"
 
-(* v6: the header carries the sender-computed content digest of the FIR
-   payload (Fir.Digest).  [decode] recomputes it over the received bytes
-   and rejects mismatches, so anything downstream — the recompilation
-   cache in particular — can rely on the digest naming exactly the bytes
-   that arrived.  The digest is integrity metadata only; it never stands
-   in for verification or typechecking. *)
-let version = 6
+(* v7: two packet kinds share the frame.  A FULL packet is the complete
+   image (as in v6, but with varint/run-length heap segments).  A DELTA
+   packet names a baseline image by content digest and carries only the
+   blocks that changed since that baseline was packed; the FIR, MASM and
+   function table never travel again.  [decode] recomputes the FIR digest
+   over the received bytes of a full packet and rejects mismatches, so
+   anything downstream — the recompilation cache in particular — can rely
+   on the digest naming exactly the bytes that arrived.  Digests are
+   integrity metadata only; they never stand in for verification or
+   typechecking. *)
+let version = 7
+
+let kind_full = 0
+let kind_delta = 1
 
 type image = {
   i_arch : string; (* source architecture name *)
@@ -48,21 +55,28 @@ type image = {
 open struct
   let put_u8 = Fir.Serial.put_u8
   let put_i64 = Fir.Serial.put_i64
+  let put_uvarint = Fir.Serial.put_uvarint
+  let put_varint = Fir.Serial.put_varint
   let put_string = Fir.Serial.put_string
   let put_list = Fir.Serial.put_list
   let put_f64 = Fir.Serial.put_f64_bits
   let get_u8 = Fir.Serial.get_u8
   let get_i64 = Fir.Serial.get_i64
+  let get_uvarint = Fir.Serial.get_uvarint
+  let get_varint = Fir.Serial.get_varint
   let get_string = Fir.Serial.get_string
   let get_list = Fir.Serial.get_list
   let get_f64 = Fir.Serial.get_f64_bits
 end
 
+(* Integers dominate heap segments (block headers, counters, enum
+   payloads), and most are small: zigzag varints where v6 spent fixed
+   eight-byte words. *)
 let put_value buf = function
   | Value.Vunit -> put_u8 buf 0
   | Value.Vint n ->
     put_u8 buf 1;
-    put_i64 buf n
+    put_varint buf n
   | Value.Vfloat f ->
     put_u8 buf 2;
     put_f64 buf f
@@ -71,40 +85,90 @@ let put_value buf = function
     put_u8 buf (if b then 1 else 0)
   | Value.Venum (c, v) ->
     put_u8 buf 4;
-    put_i64 buf c;
-    put_i64 buf v
+    put_varint buf c;
+    put_varint buf v
   | Value.Vptr (i, o) ->
     put_u8 buf 5;
-    put_i64 buf i;
-    put_i64 buf o
+    put_varint buf i;
+    put_varint buf o
   | Value.Vfun f ->
     put_u8 buf 6;
-    put_i64 buf f
+    put_varint buf f
 
 let get_value r =
   match get_u8 r with
   | 0 -> Value.Vunit
-  | 1 -> Value.Vint (get_i64 r)
+  | 1 -> Value.Vint (get_varint r)
   | 2 -> Value.Vfloat (get_f64 r)
   | 3 -> Value.Vbool (get_u8 r <> 0)
   | 4 ->
-    let c = get_i64 r in
-    let v = get_i64 r in
+    let c = get_varint r in
+    let v = get_varint r in
     Value.Venum (c, v)
   | 5 ->
-    let i = get_i64 r in
-    let o = get_i64 r in
+    let i = get_varint r in
+    let o = get_varint r in
     Value.Vptr (i, o)
-  | 6 -> Value.Vfun (get_i64 r)
+  | 6 -> Value.Vfun (get_varint r)
   | n -> raise (Corrupt (Printf.sprintf "bad value tag %d" n))
+
+(* Bit-exact cell equality.  Stdlib polymorphic equality is wrong for
+   floats here: it conflates -0.0 with 0.0 (distinct bit patterns that
+   must survive a round trip byte-identically) and makes NaN unequal to
+   itself (which would break every run containing one).  Compare the
+   transported representation instead. *)
+let cell_equal a b =
+  match a, b with
+  | Value.Vfloat x, Value.Vfloat y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> a = b
+
+(* Run-length heap segments: uvarint run count, then the cell once.
+   Initialised arrays and freshly-zeroed pages collapse to a few bytes;
+   the worst case (no two adjacent cells equal) costs one extra byte per
+   cell, which the varint integer encoding more than buys back. *)
+let put_cells buf cells lo len =
+  let i = ref lo in
+  let hi = lo + len in
+  while !i < hi do
+    let v = cells.(!i) in
+    let j = ref (!i + 1) in
+    while !j < hi && cell_equal cells.(!j) v do
+      incr j
+    done;
+    put_uvarint buf (!j - !i);
+    put_value buf v;
+    i := !j
+  done
+
+let get_cells r dst lo len =
+  let i = ref lo in
+  let hi = lo + len in
+  while !i < hi do
+    let run = get_uvarint r in
+    if run <= 0 || !i + run > hi then
+      raise (Corrupt "bad heap-segment run length");
+    let v = get_value r in
+    Array.fill dst !i run v;
+    i := !i + run
+  done
+
+let put_ptable buf ptable =
+  put_uvarint buf (Array.length ptable);
+  Array.iter (put_varint buf) ptable
+
+let get_ptable r =
+  let n = get_uvarint r in
+  if n > 100_000_000 then raise (Corrupt "bad pointer-table size");
+  Array.init n (fun _ -> get_varint r)
 
 let put_spec_level buf (s : Spec.Engine.snapshot_level) =
   put_string buf s.Spec.Engine.s_entry;
   put_list buf put_value s.Spec.Engine.s_args;
   put_list buf
     (fun buf (idx, addr) ->
-      put_i64 buf idx;
-      put_i64 buf addr)
+      put_varint buf idx;
+      put_varint buf addr)
     s.Spec.Engine.s_saved
 
 let get_spec_level r =
@@ -112,36 +176,253 @@ let get_spec_level r =
   let s_args = get_list r get_value in
   let s_saved =
     get_list r (fun r ->
-        let idx = get_i64 r in
-        let addr = get_i64 r in
+        let idx = get_varint r in
+        let addr = get_varint r in
         idx, addr)
   in
   { Spec.Engine.s_entry; s_args; s_saved }
 
 (* ------------------------------------------------------------------ *)
-(* Image codec                                                         *)
+(* Image content digest                                                *)
 (* ------------------------------------------------------------------ *)
 
-let encode image =
-  let body = Buffer.create 65536 in
-  put_string body image.i_arch;
-  put_string body image.i_digest;
-  put_string body image.i_fir;
-  (match image.i_masm with
-  | None -> put_u8 body 0
-  | Some payload ->
-    put_u8 body 1;
-    put_string body payload);
-  put_list body put_string image.i_ftable;
-  put_i64 body (Array.length image.i_ptable);
-  Array.iter (put_i64 body) image.i_ptable;
-  put_i64 body (Array.length image.i_cells);
-  Array.iter (put_value body) image.i_cells;
-  put_list body put_spec_level image.i_spec;
-  put_i64 body image.i_menv;
-  put_string body image.i_entry;
-  put_i64 body image.i_label;
-  let body = Buffer.contents body in
+(* Content address of an image's SEMANTIC payload: architecture, FIR
+   digest, function table, pointer table, heap cells, speculation
+   snapshot and resume point.  Deliberately excludes the raw FIR bytes
+   (the digest already names them) and the MASM payload (a delta-
+   reconstructed image inherits the baseline's binary, which may differ
+   from what the sender would have attached) — so sender and receiver
+   compute identical digests for semantically identical images. *)
+let image_digest image =
+  let buf = Buffer.create 65536 in
+  put_string buf image.i_arch;
+  put_string buf image.i_digest;
+  put_list buf put_string image.i_ftable;
+  put_ptable buf image.i_ptable;
+  put_uvarint buf (Array.length image.i_cells);
+  put_cells buf image.i_cells 0 (Array.length image.i_cells);
+  put_list buf put_spec_level image.i_spec;
+  put_varint buf image.i_menv;
+  put_string buf image.i_entry;
+  put_varint buf image.i_label;
+  Fir.Serial.encoded_digest (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Delta images                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One entry per block of the NEW heap, in block-chain order; the
+   receiver rebuilds the cell array by appending them.  [Dcopy] and
+   [Dpatch] pull the block's bytes out of the named baseline image, so
+   only genuinely-dirty ranges travel. *)
+type dblock =
+  | Dcopy of int  (* unchanged: baseline block for this index, verbatim *)
+  | Dlit of { idx : int; tag : int; cells : Value.t array }
+      (* new or reshaped block: full payload *)
+  | Dpatch of { idx : int; ranges : (int * Value.t array) list }
+      (* same shape as baseline: overwrite (offset, cells) ranges *)
+
+type delta = {
+  d_arch : string;
+  d_base : string; (* image_digest of the baseline this patches *)
+  d_fir_digest : string; (* must equal the baseline's i_digest *)
+  d_new_digest : string; (* image_digest of the reconstruction *)
+  d_ptable : int array;
+  d_blocks : dblock list;
+  d_spec : Spec.Engine.snapshot_level list;
+  d_menv : int;
+  d_entry : string;
+  d_label : int;
+}
+
+type packet = Full of image | Delta of delta
+
+type dstats = {
+  ds_blocks : int;
+  ds_copy : int;
+  ds_patch : int;
+  ds_lit : int;
+  ds_shipped_cells : int; (* data cells that travel in the delta *)
+  ds_total_cells : int; (* data cells in the new image *)
+}
+
+(* Block map of an image: pointer-table index -> (addr, tag code, size).
+   Indices are unique within a well-formed image (verify checks this);
+   building the map does not require a verified image, only a tiling
+   block chain, which the walk itself checks. *)
+let block_map image =
+  let ncells = Array.length image.i_cells in
+  let header_at addr k =
+    match image.i_cells.(addr + k) with
+    | Value.Vint n -> n
+    | _ -> raise (Corrupt "non-integer block header cell")
+  in
+  let map = Hashtbl.create 256 in
+  let addr = ref 0 in
+  while !addr < ncells do
+    if !addr + Heap.header_cells > ncells then
+      raise (Corrupt "truncated block header");
+    let size = header_at !addr Heap.h_size in
+    let idx = header_at !addr Heap.h_index in
+    let tag = header_at !addr Heap.h_tag in
+    if size < 0 || !addr + Heap.header_cells + size > ncells then
+      raise (Corrupt "block overruns heap");
+    Hashtbl.replace map idx (!addr, tag, size);
+    addr := !addr + Heap.header_cells + size
+  done;
+  if !addr <> ncells then raise (Corrupt "block chain does not tile heap");
+  map
+
+(* Compute the delta between [baseline] and [image].  [changed idx page]
+   reports whether the heap's dirty tracking saw a write to that
+   {!Heap.dirty_page_cells}-cell page of the block at pointer-table index
+   [idx] since [baseline] was packed (see Heap: a clean page is
+   guaranteed identical to the baseline).  Blocks whose index is absent
+   from the baseline, or whose tag or size differ, ship in full. *)
+let diff ~baseline ~image ~changed =
+  let base = block_map baseline in
+  let blocks = ref [] in
+  let copy = ref 0 and patch = ref 0 and lit = ref 0 in
+  let shipped = ref 0 and total = ref 0 in
+  let ncells = Array.length image.i_cells in
+  let header_at addr k =
+    match image.i_cells.(addr + k) with
+    | Value.Vint n -> n
+    | _ -> raise (Corrupt "non-integer block header cell")
+  in
+  let addr = ref 0 in
+  while !addr < ncells do
+    if !addr + Heap.header_cells > ncells then
+      raise (Corrupt "truncated block header");
+    let size = header_at !addr Heap.h_size in
+    let idx = header_at !addr Heap.h_index in
+    let tag = header_at !addr Heap.h_tag in
+    if size < 0 || !addr + Heap.header_cells + size > ncells then
+      raise (Corrupt "block overruns heap");
+    total := !total + size;
+    let data = !addr + Heap.header_cells in
+    (match Hashtbl.find_opt base idx with
+    | Some (_, btag, bsize) when btag = tag && bsize = size ->
+      (* same shape: collect maximal runs of contiguous dirty pages *)
+      let npages = Heap.pages_of_size size in
+      let ranges = ref [] in
+      let p = ref 0 in
+      while !p < npages do
+        if changed idx !p then begin
+          let q = ref (!p + 1) in
+          while !q < npages && changed idx !q do
+            incr q
+          done;
+          let off = !p * Heap.dirty_page_cells in
+          let len = min (!q * Heap.dirty_page_cells) size - off in
+          ranges := (off, Array.sub image.i_cells (data + off) len) :: !ranges;
+          shipped := !shipped + len;
+          p := !q
+        end
+        else incr p
+      done;
+      if !ranges = [] then begin
+        blocks := Dcopy idx :: !blocks;
+        incr copy
+      end
+      else begin
+        blocks := Dpatch { idx; ranges = List.rev !ranges } :: !blocks;
+        incr patch
+      end
+    | Some _ | None ->
+      blocks :=
+        Dlit { idx; tag; cells = Array.sub image.i_cells data size }
+        :: !blocks;
+      shipped := !shipped + size;
+      incr lit);
+    addr := !addr + Heap.header_cells + size
+  done;
+  if !addr <> ncells then raise (Corrupt "block chain does not tile heap");
+  ( List.rev !blocks,
+    {
+      ds_blocks = !copy + !patch + !lit;
+      ds_copy = !copy;
+      ds_patch = !patch;
+      ds_lit = !lit;
+      ds_shipped_cells = !shipped;
+      ds_total_cells = !total;
+    } )
+
+(* Reconstruct the new image from [baseline] and a delta.  The FIR, MASM
+   payload and function table are inherited from the baseline; the
+   rebuilt image's content digest must match [d_new_digest] — a mismatch
+   means the sender's dirty tracking and our baseline disagree, and the
+   caller must fall back to requesting a full image. *)
+let apply_delta ~baseline delta =
+  if not (String.equal delta.d_arch baseline.i_arch) then
+    raise (Corrupt "delta architecture does not match baseline");
+  if not (String.equal delta.d_fir_digest baseline.i_digest) then
+    raise (Corrupt "delta FIR digest does not match baseline");
+  let base = block_map baseline in
+  let buf = ref [] in
+  let n = ref 0 in
+  let push v =
+    buf := v :: !buf;
+    incr n
+  in
+  let header idx tag size =
+    push (Value.Vint idx);
+    push (Value.Vint tag);
+    push (Value.Vint size);
+    push (Value.Vint 0) (* collector flags are always clear in an image *)
+  in
+  List.iter
+    (fun db ->
+      match db with
+      | Dcopy idx ->
+        (match Hashtbl.find_opt base idx with
+        | None -> raise (Corrupt "delta copies a block absent from baseline")
+        | Some (addr, tag, size) ->
+          header idx tag size;
+          for k = 0 to size - 1 do
+            push baseline.i_cells.(addr + Heap.header_cells + k)
+          done)
+      | Dlit { idx; tag; cells } ->
+        ignore (Heap.tag_of_code tag);
+        header idx tag (Array.length cells);
+        Array.iter push cells
+      | Dpatch { idx; ranges } ->
+        (match Hashtbl.find_opt base idx with
+        | None -> raise (Corrupt "delta patches a block absent from baseline")
+        | Some (addr, tag, size) ->
+          header idx tag size;
+          let data = Array.sub baseline.i_cells (addr + Heap.header_cells) size in
+          List.iter
+            (fun (off, cells) ->
+              let len = Array.length cells in
+              if off < 0 || len < 0 || off + len > size then
+                raise (Corrupt "delta patch range overruns block");
+              Array.blit cells 0 data off len)
+            ranges;
+          Array.iter push data))
+    delta.d_blocks;
+  let i_cells = Array.make !n Value.Vunit in
+  List.iteri (fun k v -> i_cells.(!n - 1 - k) <- v) !buf;
+  let image =
+    {
+      baseline with
+      i_ptable = delta.d_ptable;
+      i_cells;
+      i_spec = delta.d_spec;
+      i_menv = delta.d_menv;
+      i_entry = delta.d_entry;
+      i_label = delta.d_label;
+    }
+  in
+  if not (String.equal (image_digest image) delta.d_new_digest) then
+    raise (Corrupt "delta reconstruction digest mismatch");
+  image
+
+(* ------------------------------------------------------------------ *)
+(* Packet codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let frame body =
   let buf = Buffer.create (String.length body + 32) in
   Buffer.add_string buf magic;
   put_i64 buf version;
@@ -150,7 +431,7 @@ let encode image =
   Buffer.add_string buf body;
   Buffer.contents buf
 
-let decode s =
+let unframe s =
   if String.length s < 4 || not (String.equal (String.sub s 0 4) magic) then
     raise (Corrupt "bad process-image magic");
   let r = { Fir.Serial.data = s; pos = 4 } in
@@ -163,7 +444,30 @@ let decode s =
   let body = String.sub s r.Fir.Serial.pos len in
   if Fir.Serial.adler32 body <> sum then
     raise (Corrupt "process-image checksum mismatch");
-  let r = { Fir.Serial.data = body; pos = 0 } in
+  body
+
+let encode image =
+  let body = Buffer.create 65536 in
+  put_u8 body kind_full;
+  put_string body image.i_arch;
+  put_string body image.i_digest;
+  put_string body image.i_fir;
+  (match image.i_masm with
+  | None -> put_u8 body 0
+  | Some payload ->
+    put_u8 body 1;
+    put_string body payload);
+  put_list body put_string image.i_ftable;
+  put_ptable body image.i_ptable;
+  put_uvarint body (Array.length image.i_cells);
+  put_cells body image.i_cells 0 (Array.length image.i_cells);
+  put_list body put_spec_level image.i_spec;
+  put_varint body image.i_menv;
+  put_string body image.i_entry;
+  put_varint body image.i_label;
+  frame (Buffer.contents body)
+
+let get_image r =
   let i_arch = get_string r in
   let i_digest = get_string r in
   let i_fir = get_string r in
@@ -172,26 +476,22 @@ let decode s =
      can key off it *)
   if not (String.equal (Fir.Digest.of_encoded i_fir) i_digest) then
     raise (Corrupt "FIR digest mismatch");
-  let i_masm = match get_u8 r with
+  let i_masm =
+    match get_u8 r with
     | 0 -> None
     | 1 -> Some (get_string r)
     | n -> raise (Corrupt (Printf.sprintf "bad masm flag %d" n))
   in
   let i_ftable = get_list r get_string in
-  let nptable = get_i64 r in
-  if nptable < 0 || nptable > 100_000_000 then
-    raise (Corrupt "bad pointer-table size");
-  let i_ptable = Array.init nptable (fun _ -> get_i64 r) in
-  let ncells = get_i64 r in
-  if ncells < 0 || ncells > 1_000_000_000 then
-    raise (Corrupt "bad heap size");
-  let i_cells = Array.init ncells (fun _ -> get_value r) in
+  let i_ptable = get_ptable r in
+  let ncells = get_uvarint r in
+  if ncells > 1_000_000_000 then raise (Corrupt "bad heap size");
+  let i_cells = Array.make ncells Value.Vunit in
+  get_cells r i_cells 0 ncells;
   let i_spec = get_list r get_spec_level in
-  let i_menv = get_i64 r in
+  let i_menv = get_varint r in
   let i_entry = get_string r in
-  let i_label = get_i64 r in
-  if r.Fir.Serial.pos <> String.length body then
-    raise (Corrupt "trailing garbage in process image");
+  let i_label = get_varint r in
   {
     i_arch;
     i_digest;
@@ -205,6 +505,114 @@ let decode s =
     i_entry;
     i_label;
   }
+
+let put_dblock buf = function
+  | Dcopy idx ->
+    put_u8 buf 0;
+    put_varint buf idx
+  | Dlit { idx; tag; cells } ->
+    put_u8 buf 1;
+    put_varint buf idx;
+    put_u8 buf tag;
+    put_uvarint buf (Array.length cells);
+    put_cells buf cells 0 (Array.length cells)
+  | Dpatch { idx; ranges } ->
+    put_u8 buf 2;
+    put_varint buf idx;
+    put_uvarint buf (List.length ranges);
+    List.iter
+      (fun (off, cells) ->
+        put_uvarint buf off;
+        put_uvarint buf (Array.length cells);
+        put_cells buf cells 0 (Array.length cells))
+      ranges
+
+let get_dblock r =
+  match get_u8 r with
+  | 0 -> Dcopy (get_varint r)
+  | 1 ->
+    let idx = get_varint r in
+    let tag = get_u8 r in
+    let size = get_uvarint r in
+    if size > 1_000_000_000 then raise (Corrupt "bad delta block size");
+    let cells = Array.make size Value.Vunit in
+    get_cells r cells 0 size;
+    Dlit { idx; tag; cells }
+  | 2 ->
+    let idx = get_varint r in
+    let nranges = get_uvarint r in
+    if nranges > 100_000_000 then raise (Corrupt "bad delta range count");
+    let ranges =
+      List.init nranges (fun _ ->
+          let off = get_uvarint r in
+          let len = get_uvarint r in
+          if len > 1_000_000_000 then raise (Corrupt "bad delta range length");
+          let cells = Array.make len Value.Vunit in
+          get_cells r cells 0 len;
+          off, cells)
+    in
+    Dpatch { idx; ranges }
+  | n -> raise (Corrupt (Printf.sprintf "bad delta block kind %d" n))
+
+let encode_delta delta =
+  let body = Buffer.create 8192 in
+  put_u8 body kind_delta;
+  put_string body delta.d_arch;
+  put_string body delta.d_base;
+  put_string body delta.d_fir_digest;
+  put_string body delta.d_new_digest;
+  put_ptable body delta.d_ptable;
+  put_uvarint body (List.length delta.d_blocks);
+  List.iter (put_dblock body) delta.d_blocks;
+  put_list body put_spec_level delta.d_spec;
+  put_varint body delta.d_menv;
+  put_string body delta.d_entry;
+  put_varint body delta.d_label;
+  frame (Buffer.contents body)
+
+let get_delta r =
+  let d_arch = get_string r in
+  let d_base = get_string r in
+  let d_fir_digest = get_string r in
+  let d_new_digest = get_string r in
+  let d_ptable = get_ptable r in
+  let nblocks = get_uvarint r in
+  if nblocks > 100_000_000 then raise (Corrupt "bad delta block count");
+  let d_blocks = List.init nblocks (fun _ -> get_dblock r) in
+  let d_spec = get_list r get_spec_level in
+  let d_menv = get_varint r in
+  let d_entry = get_string r in
+  let d_label = get_varint r in
+  {
+    d_arch;
+    d_base;
+    d_fir_digest;
+    d_new_digest;
+    d_ptable;
+    d_blocks;
+    d_spec;
+    d_menv;
+    d_entry;
+    d_label;
+  }
+
+let decode_packet s =
+  let body = unframe s in
+  let r = { Fir.Serial.data = body; pos = 0 } in
+  let kind = get_u8 r in
+  let packet =
+    if kind = kind_full then Full (get_image r)
+    else if kind = kind_delta then Delta (get_delta r)
+    else raise (Corrupt (Printf.sprintf "bad packet kind %d" kind))
+  in
+  if r.Fir.Serial.pos <> String.length body then
+    raise (Corrupt "trailing garbage in process image");
+  packet
+
+let decode s =
+  match decode_packet s with
+  | Full image -> image
+  | Delta _ -> raise (Corrupt "delta packet where a full image was expected")
 
 (* ------------------------------------------------------------------ *)
 (* Structural verification                                             *)

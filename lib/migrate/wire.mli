@@ -5,6 +5,13 @@
     continuation name, migration label).  An optional MASM payload rides
     along for the trusted same-architecture fast path.
 
+    v7 adds a second packet kind: a {e delta} names a previously-shipped
+    baseline image by content digest and carries only the heap blocks
+    (and within a block, only the {!Runtime.Heap.dirty_page_cells}-cell
+    pages) written since that baseline was packed.  The FIR, MASM and
+    function table never travel again on a warm path.  Heap segments use
+    zigzag-varint integers and run-length cell runs in both kinds.
+
     {!verify} applies the structural safety checks a migration target
     runs before trusting a received heap. *)
 
@@ -30,11 +37,12 @@ type image = {
 }
 
 val encode : image -> string
-(** Checksummed, versioned, little-endian regardless of the source
-    architecture. *)
+(** A full packet: checksummed, versioned, little-endian regardless of
+    the source architecture. *)
 
 val decode : string -> image
-(** @raise Corrupt on bad magic/version/checksum/truncation. *)
+(** @raise Corrupt on bad magic/version/checksum/truncation, or if the
+    bytes hold a delta packet rather than a full image. *)
 
 val verify : image -> unit
 (** Structural verification: the block chain tiles the heap exactly,
@@ -45,7 +53,76 @@ val verify : image -> unit
 
 val byte_size : image -> int
 
+(** {2 Delta images}
+
+    A delta is valid against exactly one baseline, named by
+    {!image_digest}.  Reconstruction ({!apply_delta}) inherits the
+    baseline's FIR, MASM and function table, and is digest-verified
+    against the sender's post-mutation digest — any disagreement (stale
+    baseline, corrupt dirty tracking) raises, and the caller falls back
+    to a full image. *)
+
+type dblock =
+  | Dcopy of int
+      (** unchanged since the baseline: reuse its block verbatim *)
+  | Dlit of { idx : int; tag : int; cells : Value.t array }
+      (** new block, or one whose tag/size changed: full payload *)
+  | Dpatch of { idx : int; ranges : (int * Value.t array) list }
+      (** same shape as the baseline block: overwrite (offset, cells)
+          ranges covering the dirty pages *)
+
+type delta = {
+  d_arch : string;
+  d_base : string;  (** {!image_digest} of the baseline this patches *)
+  d_fir_digest : string;  (** must equal the baseline's [i_digest] *)
+  d_new_digest : string;  (** {!image_digest} of the reconstruction *)
+  d_ptable : int array;
+  d_blocks : dblock list;  (** new heap's blocks, in chain order *)
+  d_spec : Spec.Engine.snapshot_level list;
+  d_menv : int;
+  d_entry : string;
+  d_label : int;
+}
+
+type packet = Full of image | Delta of delta
+
+type dstats = {
+  ds_blocks : int;
+  ds_copy : int;
+  ds_patch : int;
+  ds_lit : int;
+  ds_shipped_cells : int;  (** data cells that travel in the delta *)
+  ds_total_cells : int;  (** data cells in the new image *)
+}
+
+val image_digest : image -> string
+(** Content address of the image's semantic payload (excludes the raw
+    FIR bytes — the FIR digest already names them — and the MASM
+    payload, which delta reconstruction inherits from the baseline), so
+    sender and receiver agree on digests for reconstructed images. *)
+
+val diff :
+  baseline:image -> image:image -> changed:(int -> int -> bool) ->
+  dblock list * dstats
+(** [diff ~baseline ~image ~changed] computes the block list shipping
+    [image] against [baseline]; [changed idx page] is the heap's dirty
+    tracking (a [false] answer asserts the page is byte-identical to the
+    baseline). *)
+
+val apply_delta : baseline:image -> delta -> image
+(** @raise Corrupt if the delta does not match the baseline (arch / FIR
+    digest / block shapes) or the reconstruction's digest disagrees with
+    [d_new_digest]. *)
+
+val encode_delta : delta -> string
+
+val decode_packet : string -> packet
+(** Either packet kind. @raise Corrupt as {!decode}. *)
+
 (** {2 Cell codec (shared with tests)} *)
 
 val put_value : Buffer.t -> Value.t -> unit
 val get_value : Fir.Serial.reader -> Value.t
+val cell_equal : Value.t -> Value.t -> bool
+(** Bit-exact: floats compare by IEEE bit pattern (-0.0 ≠ 0.0, NaN =
+    itself), matching what the wire transports. *)

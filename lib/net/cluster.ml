@@ -37,6 +37,11 @@ type entry = {
      from that source), so unrelated traffic cannot spin-livelock a
      parked receiver *)
   mutable parked_on : (int * int) option;
+  (* (image_digest, image) of this process's most recent pack — what its
+     heap's dirty set is tracked against, hence the only image the NEXT
+     pack can ship a delta over.  Updated at EVERY pack (the dirty set is
+     cleared there even when the migration subsequently fails). *)
+  mutable baseline : (string * Migrate.Wire.image) option;
 }
 
 type node = {
@@ -61,6 +66,7 @@ type migration_record = {
   mr_transfer_s : float;
   mr_compile_s : float; (* link-only on a recompilation-cache hit *)
   mr_cache_hit : bool;
+  mr_delta : bool; (* the image travelled as a delta over a baseline *)
   mr_ok : bool;
 }
 
@@ -74,6 +80,7 @@ type migration_report = {
   rep_elapsed_s : float; (* simulated initiation -> resume on target *)
   rep_bytes : int;
   rep_cache_hit : bool;
+  rep_delta : bool; (* shipped as a delta (no fallback needed) *)
 }
 
 type migration_error =
@@ -127,6 +134,10 @@ module Config = struct
     trace_capacity : int option;
     retry : retry;
     faults : Faults.plan;
+    delta : bool;
+        (* ship deltas over negotiated baselines on repeated migrations,
+           and append incremental checkpoints to an existing chain *)
+    baseline_cache : int; (* retained baselines per daemon; 0 disables *)
   }
 
   let default =
@@ -141,8 +152,24 @@ module Config = struct
       trace_capacity = None;
       retry = default_retry;
       faults = Faults.none;
+      delta = true;
+      baseline_cache = 4;
     }
 end
+
+(* Incremental-checkpoint chain state for one storage path: the image the
+   NEXT delta segment would patch (the last one written into the chain)
+   and how many [path.dN] segments exist on the store. *)
+type ckpt_chain = {
+  mutable cc_digest : string;
+  mutable cc_image : Migrate.Wire.image;
+  mutable cc_len : int;
+}
+
+(* A chain longer than this is rewritten in full: resurrection replays
+   every segment, so unbounded chains would trade write bytes for
+   unbounded recovery time. *)
+let max_chain_len = 8
 
 type t = {
   nodes : node array;
@@ -191,6 +218,16 @@ type t = {
   c_node_failures : Obs.Metrics.counter;
   c_resurrections : Obs.Metrics.counter;
   c_migrate_retries : Obs.Metrics.counter;
+  (* delta migration: whether it is enabled, the per-path checkpoint
+     chains, and the byte/outcome accounting the benches read *)
+  delta : bool;
+  ckpt_chains : (string, ckpt_chain) Hashtbl.t;
+  c_bytes_full : Obs.Metrics.counter;
+  c_bytes_delta : Obs.Metrics.counter;
+  c_delta_hits : Obs.Metrics.counter;
+  c_delta_misses : Obs.Metrics.counter;
+  c_delta_fallbacks : Obs.Metrics.counter;
+  g_delta_hit_rate : Obs.Metrics.gauge;
   h_backoff_s : Obs.Metrics.histogram;
   h_migrate_bytes : Obs.Metrics.histogram;
   h_pack_s : Obs.Metrics.histogram;
@@ -267,6 +304,10 @@ let create_cfg (cfg : Config.t) =
                 extern_signatures;
                 first_pid = 0;
                 cache;
+                baseline_cache =
+                  (if cfg.Config.delta then
+                     max 0 cfg.Config.baseline_cache
+                   else 0);
               }
               arch;
           busy_seconds = 0.0;
@@ -296,6 +337,16 @@ let create_cfg (cfg : Config.t) =
   in
   let c_migrate_retries =
     Obs.Metrics.counter metrics "migrate.retries"
+  in
+  let c_bytes_full = Obs.Metrics.counter metrics "migrate.bytes_full" in
+  let c_bytes_delta = Obs.Metrics.counter metrics "migrate.bytes_delta" in
+  let c_delta_hits = Obs.Metrics.counter metrics "migrate.delta_hits" in
+  let c_delta_misses = Obs.Metrics.counter metrics "migrate.delta_misses" in
+  let c_delta_fallbacks =
+    Obs.Metrics.counter metrics "migrate.delta_fallbacks"
+  in
+  let g_delta_hit_rate =
+    Obs.Metrics.gauge metrics "migrate.delta_hit_rate"
   in
   let h_backoff_s =
     Obs.Metrics.histogram metrics "migrate.backoff_seconds"
@@ -360,6 +411,14 @@ let create_cfg (cfg : Config.t) =
     c_node_failures;
     c_resurrections;
     c_migrate_retries;
+    delta = cfg.Config.delta;
+    ckpt_chains = Hashtbl.create 8;
+    c_bytes_full;
+    c_bytes_delta;
+    c_delta_hits;
+    c_delta_misses;
+    c_delta_fallbacks;
+    g_delta_hit_rate;
     h_backoff_s;
     h_migrate_bytes;
     h_pack_s;
@@ -870,6 +929,7 @@ let spawn ?rank ?(engine = `Interp) ?(seed = 7) t ~node_id program =
       rank;
       start_at = (node t node_id).clock;
       parked_on = None;
+      baseline = None;
     }
   in
   register_entry t entry;
@@ -926,6 +986,33 @@ let pack_seconds (proc : Process.t) =
   let cells = Heap.used_cells proc.Process.heap in
   Arch.seconds proc.Process.arch
     (cells * proc.Process.arch.Arch.cycles Arch.Mem)
+
+(* Simulated delta-encode cost: only the cells that travel are
+   re-encoded — one header visit per surviving block (the diff walk)
+   plus the shipped data cells. *)
+let delta_pack_seconds (proc : Process.t) (st : Migrate.Wire.dstats) =
+  let cells =
+    (st.Migrate.Wire.ds_blocks * Heap.header_cells)
+    + st.Migrate.Wire.ds_shipped_cells
+  in
+  Arch.seconds proc.Process.arch
+    (cells * proc.Process.arch.Arch.cycles Arch.Mem)
+
+(* Byte/outcome accounting for one shipped image (a network hop or a
+   storage segment).  The hit-rate gauge only means something while the
+   delta machinery is on. *)
+let note_shipment t ~as_delta ~bytes =
+  if as_delta then Obs.Metrics.incr ~by:bytes t.c_bytes_delta
+  else Obs.Metrics.incr ~by:bytes t.c_bytes_full;
+  if t.delta then begin
+    if as_delta then Obs.Metrics.incr t.c_delta_hits
+    else Obs.Metrics.incr t.c_delta_misses;
+    let h = Obs.Metrics.count t.c_delta_hits in
+    let m = Obs.Metrics.count t.c_delta_misses in
+    if h + m > 0 then
+      Obs.Metrics.set t.g_delta_hit_rate
+        (float_of_int h /. float_of_int (h + m))
+  end
 
 (* Every storage/migration image is both itemised (the record list the
    benches read) and aggregated into the metrics registry. *)
@@ -1024,6 +1111,182 @@ let deliver_hop t (target : node) ~bytes ~pid ~rank ~arrive_at =
     end;
     Ok outcome
 
+(* ------------------------------------------------------------------ *)
+(* Shipment choice: full image or delta over a negotiated baseline      *)
+(* ------------------------------------------------------------------ *)
+
+type shipment = {
+  sh_bytes : string;
+  sh_delta : bool;
+  sh_pack_s : float;
+}
+
+let full_shipment (entry : entry) packed =
+  {
+    sh_bytes = packed.Migrate.Pack.p_bytes;
+    sh_delta = false;
+    sh_pack_s = pack_seconds entry.proc;
+  }
+
+(* Choose the wire encoding for one hop: a delta over the process's
+   PREVIOUS image (what its dirty set is tracked against — the baseline
+   as it stood before this pack, not the image just packed) when delta
+   shipping is on, the receiver still holds that baseline (the
+   negotiation step), the architecture and FIR permit one, and it
+   actually saves bytes; the full image otherwise. *)
+let choose_shipment t ~baseline (entry : entry) (target : node) packed =
+  let full = full_shipment entry packed in
+  if not t.delta then full
+  else
+    match baseline with
+    | None -> full
+    | Some (digest, base_image) ->
+      if not (Migrate.Server.has_baseline target.daemon digest) then full
+      else (
+        match
+          Migrate.Pack.delta ~baseline:base_image ~base_digest:digest packed
+        with
+        | None -> full
+        | Some (bytes, stats) ->
+          if
+            String.length bytes
+            >= String.length packed.Migrate.Pack.p_bytes
+          then full
+          else
+            {
+              sh_bytes = bytes;
+              sh_delta = true;
+              sh_pack_s = delta_pack_seconds entry.proc stats;
+            })
+
+(* One complete shipment of a packed process to [target]: transmission
+   under the fault plan, idempotent delivery, and — when a delta is
+   rejected because the receiver no longer holds the baseline it had at
+   negotiation time (evicted or restarted in between) — a transparent
+   fallback re-transmission of the full image.  The result aggregates
+   the cost of everything that travelled, fallback included. *)
+type ship_result = {
+  sr_outcome : Migrate.Server.request_outcome;
+  sr_bytes : int; (* total bytes on the wire *)
+  sr_pack_s : float;
+  sr_transfer_s : float;
+  sr_attempts : int;
+  sr_backoff_s : float;
+  sr_delta : bool; (* the ACCEPTED shipment was a delta *)
+}
+
+type ship_failure = {
+  sf_kind : [ `Unreachable | `Rejected ];
+  sf_attempts : int;
+  sf_pack_s : float; (* pack work performed, fallback included *)
+  sf_elapsed_s : float; (* time burned transmitting / timing out *)
+  sf_reason : string;
+}
+
+let ship_shipment t (entry : entry) (src : node) (target : node) packed sh =
+  let pid = entry.proc.Process.pid and rank = entry_rank entry in
+  let attempt (sh : shipment) ~send_at =
+    let bytes = String.length sh.sh_bytes in
+    note_shipment t ~as_delta:sh.sh_delta ~bytes;
+    match
+      transmit_hop t ~send_at ~src_node:src.node_id
+        ~dst_node:target.node_id ~target_name:target.node_name ~bytes ~pid
+        ~rank
+    with
+    | Error (attempts, elapsed, reason) ->
+      Error (`Unreachable (attempts, elapsed, reason))
+    | Ok hx -> (
+      match
+        deliver_hop t target ~bytes:sh.sh_bytes ~pid ~rank
+          ~arrive_at:(send_at +. hx.hx_delay_s)
+      with
+      | Ok outcome -> Ok (hx, outcome)
+      | Error msg -> Error (`Rejected (hx, msg)))
+  in
+  match attempt sh ~send_at:(src.clock +. sh.sh_pack_s) with
+  | Ok (hx, outcome) ->
+    Ok
+      {
+        sr_outcome = outcome;
+        sr_bytes = String.length sh.sh_bytes;
+        sr_pack_s = sh.sh_pack_s;
+        sr_transfer_s = hx.hx_delay_s;
+        sr_attempts = hx.hx_attempts;
+        sr_backoff_s = hx.hx_backoff_s;
+        sr_delta = sh.sh_delta;
+      }
+  | Error (`Rejected (hx, msg))
+    when sh.sh_delta && Migrate.Server.is_unknown_baseline msg -> (
+    (* the negotiated baseline evaporated before delivery: pay for the
+       wasted delta hop and re-ship the full image *)
+    Obs.Metrics.incr t.c_delta_fallbacks;
+    let fullsh = full_shipment entry packed in
+    let resend_at =
+      src.clock +. sh.sh_pack_s +. hx.hx_delay_s +. fullsh.sh_pack_s
+    in
+    match attempt fullsh ~send_at:resend_at with
+    | Ok (hx2, outcome) ->
+      Ok
+        {
+          sr_outcome = outcome;
+          sr_bytes =
+            String.length sh.sh_bytes + String.length fullsh.sh_bytes;
+          sr_pack_s = sh.sh_pack_s +. fullsh.sh_pack_s;
+          sr_transfer_s = hx.hx_delay_s +. hx2.hx_delay_s;
+          sr_attempts = hx.hx_attempts + hx2.hx_attempts;
+          sr_backoff_s = hx.hx_backoff_s +. hx2.hx_backoff_s;
+          sr_delta = false;
+        }
+    | Error (`Unreachable (attempts, elapsed, reason)) ->
+      Error
+        {
+          sf_kind = `Unreachable;
+          sf_attempts = hx.hx_attempts + attempts;
+          sf_pack_s = sh.sh_pack_s +. fullsh.sh_pack_s;
+          sf_elapsed_s = hx.hx_delay_s +. elapsed;
+          sf_reason = reason;
+        }
+    | Error (`Rejected (hx2, msg)) ->
+      Error
+        {
+          sf_kind = `Rejected;
+          sf_attempts = hx.hx_attempts + hx2.hx_attempts;
+          sf_pack_s = sh.sh_pack_s +. fullsh.sh_pack_s;
+          sf_elapsed_s = hx.hx_delay_s +. hx2.hx_delay_s;
+          sf_reason = msg;
+        })
+  | Error (`Unreachable (attempts, elapsed, reason)) ->
+    Error
+      {
+        sf_kind = `Unreachable;
+        sf_attempts = attempts;
+        sf_pack_s = sh.sh_pack_s;
+        sf_elapsed_s = elapsed;
+        sf_reason = reason;
+      }
+  | Error (`Rejected (hx, msg)) ->
+    Error
+      {
+        sf_kind = `Rejected;
+        sf_attempts = hx.hx_attempts;
+        sf_pack_s = sh.sh_pack_s;
+        sf_elapsed_s = hx.hx_delay_s;
+        sf_reason = msg;
+      }
+
+(* Every pack rebases the process's dirty tracking: record the fresh
+   image as the entry's baseline (success or failure downstream) and
+   retain it on the node's own daemon, so a later hop ARRIVING here can
+   be encoded as a delta over it. *)
+let rebase_baseline (n : node) (entry : entry)
+    (packed : Migrate.Pack.packed) =
+  let digest = Migrate.Wire.image_digest packed.Migrate.Pack.p_image in
+  entry.baseline <- Some (digest, packed.Migrate.Pack.p_image);
+  ignore
+    (Migrate.Server.remember_baseline ~digest n.daemon
+       packed.Migrate.Pack.p_image);
+  digest
+
 let handle_migrate t (entry : entry) _req host =
   let proc = entry.proc in
   let src = node t entry.node_id in
@@ -1032,31 +1295,18 @@ let handle_migrate t (entry : entry) _req host =
     let with_binary =
       t.trusted && Arch.equal src.node_arch target.node_arch
     in
+    let prev_baseline = entry.baseline in
     let packed = Migrate.Pack.pack_request ~with_binary proc in
-    let bytes = String.length packed.Migrate.Pack.p_bytes in
-    let pack_s = pack_seconds proc in
+    let baseline_digest = rebase_baseline src entry packed in
+    let sh = choose_shipment t ~baseline:prev_baseline entry target packed in
+    let bytes = String.length sh.sh_bytes in
     emit_entry t entry (Obs.Trace.Migrate_start { target = host; bytes });
-    let hop =
-      transmit_hop t ~send_at:(src.clock +. pack_s)
-        ~src_node:src.node_id ~dst_node:target.node_id ~target_name:host
-        ~bytes ~pid:proc.Process.pid ~rank:(entry_rank entry)
-    in
-    let delivered =
-      match hop with
-      | Error _ as e -> e
-      | Ok hx -> (
-        match
-          deliver_hop t target ~bytes:packed.Migrate.Pack.p_bytes
-            ~pid:proc.Process.pid ~rank:(entry_rank entry)
-            ~arrive_at:(src.clock +. pack_s +. hx.hx_delay_s)
-        with
-        | Ok outcome -> Ok (hx, outcome)
-        | Error msg ->
-          Error (hx.hx_attempts, hx.hx_delay_s, "rejected: " ^ msg))
-    in
-    (match delivered with
-    | Ok (hx, outcome) ->
-      let transfer_s = hx.hx_delay_s in
+    (match ship_shipment t entry src target packed sh with
+    | Ok sr ->
+      let outcome = sr.sr_outcome in
+      let bytes = sr.sr_bytes in
+      let pack_s = sr.sr_pack_s in
+      let transfer_s = sr.sr_transfer_s in
       let old_uids = Spec.Engine.unique_ids proc.Process.spec in
       let compile_s =
         Arch.seconds target.node_arch
@@ -1078,6 +1328,9 @@ let handle_migrate t (entry : entry) _req host =
             max target.clock (src.clock +. pack_s +. transfer_s)
             +. compile_s;
           parked_on = None;
+          (* the successor's heap was restored from (and its dirty set
+             is empty relative to) the image just shipped *)
+          baseline = Some (baseline_digest, packed.Migrate.Pack.p_image);
         }
       in
       Process.migration_completed proc;
@@ -1098,6 +1351,7 @@ let handle_migrate t (entry : entry) _req host =
           mr_compile_s = compile_s;
           mr_cache_hit =
             outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
+          mr_delta = sr.sr_delta;
           mr_ok = true;
         };
       let cache_hit =
@@ -1111,21 +1365,22 @@ let handle_migrate t (entry : entry) _req host =
         ~rank:(entry_rank new_entry)
         (Obs.Trace.Migrate_done
            { ok = true; cache_hit; bytes; pack_s; transfer_s; compile_s })
-    | Error (_attempts, elapsed_s, _reason) ->
+    | Error sf ->
       (* graceful degradation: the target stayed unreachable (or its
          daemon rejected the image) — the process resumes locally
          instead of wedging, having paid for the pack and the timed-out
          attempts *)
-      charge_seconds proc (pack_s +. elapsed_s);
+      charge_seconds proc (sf.sf_pack_s +. sf.sf_elapsed_s);
       record_migration t
         {
           mr_kind = `Migrate;
           mr_pid = proc.Process.pid;
           mr_bytes = bytes;
-          mr_pack_s = pack_s;
+          mr_pack_s = sf.sf_pack_s;
           mr_transfer_s = 0.0;
           mr_compile_s = 0.0;
           mr_cache_hit = false;
+          mr_delta = false;
           mr_ok = false;
         };
       emit_entry t entry
@@ -1134,7 +1389,7 @@ let handle_migrate t (entry : entry) _req host =
              ok = false;
              cache_hit = false;
              bytes;
-             pack_s;
+             pack_s = sf.sf_pack_s;
              transfer_s = 0.0;
              compile_s = 0.0;
            });
@@ -1160,9 +1415,70 @@ let handle_to_storage t (entry : entry) req path ~kind =
      resurrection of processes is done by executing the saved checkpoint"
      (paper, Section 2) *)
   let packed = Migrate.Pack.pack_request ~with_binary:true proc in
-  let bytes = String.length packed.Migrate.Pack.p_bytes in
-  let pack_s = pack_seconds proc in
-  let write_s = Storage.write t.storage path packed.Migrate.Pack.p_bytes in
+  let prev_baseline = entry.baseline in
+  let new_digest =
+    rebase_baseline (node t entry.node_id) entry packed
+  in
+  (* A CHECKPOINT may extend the path's existing chain with a delta
+     segment, but only when the chain's last image is exactly what this
+     process's dirty set was tracked against (its previous pack) — the
+     chain is rewritten in full otherwise, and after [max_chain_len]
+     segments (resurrection replays every segment).  SUSPEND images stay
+     full: they are the directly-executable single files of Section 2. *)
+  let segment =
+    if kind <> `Checkpoint || not t.delta then None
+    else
+      match Hashtbl.find_opt t.ckpt_chains path, prev_baseline with
+      | Some cc, Some (d, img)
+        when String.equal cc.cc_digest d && cc.cc_len < max_chain_len -> (
+        match
+          Migrate.Pack.delta ~baseline:img ~base_digest:d packed
+        with
+        | Some (seg_bytes, stats)
+          when String.length seg_bytes
+               < String.length packed.Migrate.Pack.p_bytes ->
+          Some (cc, seg_bytes, stats)
+        | Some _ | None -> None)
+      | (Some _ | None), _ -> None
+  in
+  let stored_path, bytes, pack_s, write_s, as_delta =
+    match segment with
+    | Some (cc, seg_bytes, stats) ->
+      cc.cc_len <- cc.cc_len + 1;
+      cc.cc_digest <- new_digest;
+      cc.cc_image <- packed.Migrate.Pack.p_image;
+      let seg_path = Printf.sprintf "%s.d%d" path cc.cc_len in
+      let write_s = Storage.write t.storage seg_path seg_bytes in
+      ( seg_path,
+        String.length seg_bytes,
+        delta_pack_seconds proc stats,
+        write_s,
+        true )
+    | None ->
+      (* full (re)write: replace the base image and drop any now-stale
+         delta segments so a resurrection can never replay them *)
+      (match Hashtbl.find_opt t.ckpt_chains path with
+      | Some cc ->
+        for k = 1 to cc.cc_len do
+          Storage.remove t.storage (Printf.sprintf "%s.d%d" path k)
+        done
+      | None -> ());
+      Hashtbl.replace t.ckpt_chains path
+        {
+          cc_digest = new_digest;
+          cc_image = packed.Migrate.Pack.p_image;
+          cc_len = 0;
+        };
+      let write_s =
+        Storage.write t.storage path packed.Migrate.Pack.p_bytes
+      in
+      ( path,
+        String.length packed.Migrate.Pack.p_bytes,
+        pack_seconds proc,
+        write_s,
+        false )
+  in
+  note_shipment t ~as_delta ~bytes;
   record_migration t
     {
       mr_kind = kind;
@@ -1172,6 +1488,7 @@ let handle_to_storage t (entry : entry) req path ~kind =
       mr_transfer_s = write_s;
       mr_compile_s = 0.0;
       mr_cache_hit = false;
+      mr_delta = as_delta;
       mr_ok = true;
     };
   (match kind with
@@ -1182,7 +1499,7 @@ let handle_to_storage t (entry : entry) req path ~kind =
   | `Suspend | `Migrate ->
     charge_seconds proc pack_s;
     Process.migration_completed proc);
-  emit_entry t entry (Obs.Trace.Checkpoint { path; bytes });
+  emit_entry t entry (Obs.Trace.Checkpoint { path = stored_path; bytes });
   ignore req
 
 let handle_migration t (entry : entry) =
@@ -1267,13 +1584,49 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
     match Storage.read t.storage path with
     | None -> failed ("no checkpoint " ^ path)
     | Some (bytes, read_s) -> (
+      (* replay the checkpoint chain: the base image at [path], then
+         every [path.dN] delta segment in order, each digest-verified
+         against its reconstruction *)
+      let rec replay image total_bytes total_read_s k =
+        match
+          Storage.read t.storage (Printf.sprintf "%s.d%d" path k)
+        with
+        | None -> Ok (image, total_bytes, total_read_s)
+        | Some (seg_bytes, seg_read_s) -> (
+          match Migrate.Wire.decode_packet seg_bytes with
+          | Migrate.Wire.Delta d -> (
+            match Migrate.Wire.apply_delta ~baseline:image d with
+            | image' ->
+              replay image'
+                (total_bytes + String.length seg_bytes)
+                (total_read_s +. seg_read_s) (k + 1)
+            | exception Migrate.Wire.Corrupt msg ->
+              Error (Printf.sprintf "checkpoint segment %d: %s" k msg))
+          | Migrate.Wire.Full _ ->
+            Error
+              (Printf.sprintf
+                 "checkpoint segment %d is not a delta image" k)
+          | exception Migrate.Wire.Corrupt msg ->
+            Error (Printf.sprintf "checkpoint segment %d: %s" k msg))
+      in
+      let replayed =
+        match Migrate.Wire.decode bytes with
+        | image -> replay image (String.length bytes) read_s 1
+        | exception Migrate.Wire.Corrupt msg ->
+          Error ("corrupt image: " ^ msg)
+      in
+      match replayed with
+      | Error msg -> failed msg
+      | Ok (image, total_bytes, read_s) -> (
+      let bytes_len = total_bytes in
       (* executing a saved checkpoint from the cluster's own store is
          within the trust domain: same-architecture resurrections take
          the binary fast path (link only); cross-architecture ones
          recompile from the FIR *)
       match
-        Migrate.Pack.unpack ~seed ~trusted:true ~extern_signatures
-          ?cache:(Migrate.Server.cache n.daemon) ~arch:n.node_arch bytes
+        Migrate.Pack.unpack_image ~seed ~trusted:true ~extern_signatures
+          ?cache:(Migrate.Server.cache n.daemon) ~arch:n.node_arch
+          ~bytes_len image
       with
       | Error msg -> failed msg
       | Ok (proc0, masm, costs) ->
@@ -1297,6 +1650,14 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
             rank;
             start_at = now t +. read_s +. compile_s;
             parked_on = None;
+            (* the resumed heap is byte-identical to the replayed image
+               (and its dirty set is empty), so that image is a valid
+               pack baseline; retain it on the daemon so the first hop
+               away can already be a delta *)
+            baseline =
+              Some
+                ( Migrate.Server.remember_baseline n.daemon image,
+                  image );
           }
         in
         register_entry t entry;
@@ -1307,7 +1668,7 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
            as a live migration, so it shows up in the trace as one *)
         emit t ~time:(now t) ~node:node_id ~pid ~rank:(entry_rank entry)
           (Obs.Trace.Migrate_start
-             { target = n.node_name; bytes = String.length bytes });
+             { target = n.node_name; bytes = bytes_len });
         emit t ~time:entry.start_at ~node:node_id ~pid
           ~rank:(entry_rank entry)
           (if outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit then
@@ -1320,7 +1681,7 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
                ok = true;
                cache_hit =
                  outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
-               bytes = String.length bytes;
+               bytes = bytes_len;
                pack_s = 0.0;
                transfer_s = read_s;
                compile_s;
@@ -1328,7 +1689,7 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
         emit t ~time:entry.start_at ~node:node_id ~pid
           ~rank:(entry_rank entry)
           (Obs.Trace.Resurrect { path; ok = true });
-        Ok pid)
+        Ok pid))
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                           *)
@@ -1743,40 +2104,37 @@ let migrate_running t ~pid ~node_id =
         let with_binary =
           t.trusted && Arch.equal src.node_arch target.node_arch
         in
+        let prev_baseline = entry.baseline in
         let packed = Migrate.Pack.pack_running ~with_binary entry.proc in
-        let bytes = String.length packed.Migrate.Pack.p_bytes in
-        let pack_s = pack_seconds entry.proc in
+        let baseline_digest = rebase_baseline src entry packed in
+        let sh =
+          choose_shipment t ~baseline:prev_baseline entry target packed
+        in
+        let bytes = String.length sh.sh_bytes in
         emit_entry t entry
           (Obs.Trace.Migrate_start { target = target.node_name; bytes });
-        let fail_invisibly err =
+        match ship_shipment t entry src target packed sh with
+        | Error sf ->
           (* failure is invisible: the process keeps running where it is *)
           record_migration t
             { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
-              mr_pack_s = pack_s; mr_transfer_s = 0.0;
-              mr_compile_s = 0.0; mr_cache_hit = false; mr_ok = false };
+              mr_pack_s = sf.sf_pack_s; mr_transfer_s = 0.0;
+              mr_compile_s = 0.0; mr_cache_hit = false; mr_ok = false;
+              mr_delta = false };
           emit_entry t entry
             (Obs.Trace.Migrate_done
-               { ok = false; cache_hit = false; bytes; pack_s;
-                 transfer_s = 0.0; compile_s = 0.0 });
-          Error err
-        in
-        match
-          transmit_hop t ~send_at:(src.clock +. pack_s)
-            ~src_node:src.node_id ~dst_node:target.node_id
-            ~target_name:target.node_name ~bytes ~pid
-            ~rank:(entry_rank entry)
-        with
-        | Error (attempts, _elapsed, reason) ->
-          fail_invisibly (Unreachable { attempts; reason })
-        | Ok hx -> (
-          let transfer_s = hx.hx_delay_s in
-          match
-            deliver_hop t target ~bytes:packed.Migrate.Pack.p_bytes ~pid
-              ~rank:(entry_rank entry)
-              ~arrive_at:(src.clock +. pack_s +. transfer_s)
-          with
-          | Error msg -> fail_invisibly (Rejected msg)
-          | Ok outcome ->
+               { ok = false; cache_hit = false; bytes;
+                 pack_s = sf.sf_pack_s; transfer_s = 0.0;
+                 compile_s = 0.0 });
+          Error
+            (match sf.sf_kind with
+            | `Unreachable ->
+              Unreachable
+                { attempts = sf.sf_attempts; reason = sf.sf_reason }
+            | `Rejected -> Rejected sf.sf_reason)
+        | Ok sr ->
+          let outcome = sr.sr_outcome in
+          let pack_s = sr.sr_pack_s and transfer_s = sr.sr_transfer_s in
           let old_uids = Spec.Engine.unique_ids entry.proc.Process.spec in
           let compile_s =
             Arch.seconds target.node_arch
@@ -1800,6 +2158,8 @@ let migrate_running t ~pid ~node_id =
                 max target.clock (src.clock +. pack_s +. transfer_s)
                 +. compile_s;
               parked_on = None;
+              baseline =
+                Some (baseline_digest, packed.Migrate.Pack.p_image);
             }
           in
           entry.proc.Process.status <- Process.Exited 0;
@@ -1811,12 +2171,12 @@ let migrate_running t ~pid ~node_id =
           src.busy_seconds <- src.busy_seconds +. pack_s;
           target.busy_seconds <- target.busy_seconds +. compile_s;
           record_migration t
-            { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
+            { mr_kind = `Migrate; mr_pid = pid; mr_bytes = sr.sr_bytes;
               mr_pack_s = pack_s; mr_transfer_s = transfer_s;
               mr_compile_s = compile_s;
               mr_cache_hit =
                 outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
-              mr_ok = true };
+              mr_ok = true; mr_delta = sr.sr_delta };
           let cache_hit =
             outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit
           in
@@ -1828,16 +2188,17 @@ let migrate_running t ~pid ~node_id =
           emit t ~time:new_entry.start_at ~node:target.node_id ~pid:new_pid
             ~rank:(entry_rank new_entry)
             (Obs.Trace.Migrate_done
-               { ok = true; cache_hit; bytes; pack_s; transfer_s;
-                 compile_s });
+               { ok = true; cache_hit; bytes = sr.sr_bytes; pack_s;
+                 transfer_s; compile_s });
           Ok
             {
               rep_pid = new_pid;
-              rep_attempts = hx.hx_attempts;
-              rep_retries = hx.hx_attempts - 1;
-              rep_backoff_s = hx.hx_backoff_s;
+              rep_attempts = sr.sr_attempts;
+              rep_retries = sr.sr_attempts - 1;
+              rep_backoff_s = sr.sr_backoff_s;
               rep_elapsed_s = new_entry.start_at -. src.clock;
-              rep_bytes = bytes;
+              rep_bytes = sr.sr_bytes;
               rep_cache_hit = cache_hit;
-            })
+              rep_delta = sr.sr_delta;
+            }
       end))

@@ -26,6 +26,11 @@ type entry = {
   mutable start_at : float;  (** not schedulable before this (node) time *)
   mutable parked_on : (int * int) option;
       (** (src rank, tag) of the last unsuccessful poll *)
+  mutable baseline : (string * Migrate.Wire.image) option;
+      (** ({!Migrate.Wire.image_digest}, image) of this process's most
+          recent pack — what its heap dirty set is tracked against, and
+          hence the only image a delta may be encoded over.  Rebased at
+          EVERY pack (packing clears the dirty set). *)
 }
 
 type node = {
@@ -46,6 +51,9 @@ type migration_record = {
   mr_transfer_s : float;
   mr_compile_s : float;  (** link-only on a recompilation-cache hit *)
   mr_cache_hit : bool;
+  mr_delta : bool;
+      (** the accepted shipment was a delta (incremental checkpoint
+          segment or delta migration hop) *)
   mr_ok : bool;
 }
 
@@ -58,6 +66,7 @@ type migration_report = {
       (** simulated seconds from initiation to resume on the target *)
   rep_bytes : int;
   rep_cache_hit : bool;
+  rep_delta : bool;  (** the hop that was accepted shipped as a delta *)
 }
 (** What a successful {!migrate_running} reports. *)
 
@@ -100,11 +109,19 @@ module Config : sig
     trace_capacity : int option;  (** event-trace ring bound *)
     retry : retry;
     faults : Faults.plan;
+    delta : bool;
+        (** ship deltas (and incremental checkpoint segments) when a
+            negotiated baseline makes one possible and smaller; [false]
+            forces every image on the wire to be full *)
+    baseline_cache : int;
+        (** per-daemon retained-baseline bound; [<= 0] disables delta
+            RECEIVE on every node (senders then always fall back) *)
   }
 
   val default : t
   (** 4 nodes, cisc32, untrusted, quantum 64, seed 1, 16-entry caches,
-      default net and trace, {!default_retry}, {!Faults.none}. *)
+      default net and trace, {!default_retry}, {!Faults.none}, delta
+      shipping on with 4 retained baselines per daemon. *)
 end
 
 type t
@@ -221,8 +238,12 @@ val metrics : t -> Obs.Metrics.t
 (** The cluster-level registry: scheduler counters ([sched.rounds],
     [sched.quanta]), migration counters and cost histograms
     ([cluster.migrations_ok], [cluster.migrate_bytes],
-    [cluster.pack_seconds], ...), failure/recovery counters.  Per-node
-    daemon and cache registries live on the daemons themselves. *)
+    [cluster.pack_seconds], ...), failure/recovery counters, and the
+    delta-shipping ledger ([migrate.bytes_full], [migrate.bytes_delta],
+    [migrate.delta_hits], [migrate.delta_misses],
+    [migrate.delta_fallbacks], gauge [migrate.delta_hit_rate]).
+    Per-node daemon and cache registries live on the daemons
+    themselves. *)
 
 val cache_hit_rate : t -> float
 (** Aggregate recompilation-cache hit rate across every node's daemon

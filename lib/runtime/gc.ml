@@ -128,10 +128,16 @@ let collect heap ~kind ~roots ~pinned =
     end
     else begin
       (* dead: if the pointer table still targets this block, the index
-         itself is dead — free the entry for reuse *)
+         itself is dead — free the entry for reuse, and forget its dirty
+         pages (the delta layer's dirty set is keyed by index, which is
+         stable across the compaction slide; freeing is the only event it
+         must observe — a later reuse of the slot re-marks on alloc) *)
       if Pointer_table.is_valid ptable idx
          && Pointer_table.get ptable idx = !addr
-      then Pointer_table.free ptable idx;
+      then begin
+        Pointer_table.free ptable idx;
+        Heap.drop_dirty heap idx
+      end;
       incr dead;
       dead_cells := !dead_cells + footprint
     end;

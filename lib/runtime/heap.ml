@@ -51,6 +51,17 @@ type stats = {
   mutable barrier_hits : int;
 }
 
+(* Dirty-block tracking for delta migration (incremental pack): every
+   mutation marks the touched page of the touched block, keyed by the
+   block's pointer-table INDEX — stable across compaction, so a
+   collection needs no fixups beyond dropping freed indices.  Pages are
+   sub-block granules so one write into a large array does not force the
+   whole array onto the wire.  The set is conservative by construction:
+   allocation, copy-on-write cloning and rollback retargeting mark every
+   page of the affected block, so "not dirty" always means "identical to
+   the last cleared baseline". *)
+let dirty_page_cells = 64
+
 type t = {
   mutable store : Value.t array;
   mutable alloc_ptr : int;
@@ -62,6 +73,8 @@ type t = {
      full major sweep (used by bench a2 to quantify the generational
      design choice) *)
   mutable minor_enabled : bool;
+  dirty : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* index -> dirty pages since the last [clear_dirty] *)
   stats : stats;
 }
 
@@ -74,6 +87,7 @@ let create ?(initial_cells = 4096) () =
     remembered = Hashtbl.create 64;
     before_write = None;
     minor_enabled = true;
+    dirty = Hashtbl.create 64;
     stats =
       {
         blocks_allocated = 0;
@@ -87,6 +101,46 @@ let create ?(initial_cells = 4096) () =
   }
 
 let stats t = t.stats
+
+(* -------------------- dirty-block tracking -------------------- *)
+
+let pages_of_size size = max 1 ((size + dirty_page_cells - 1) / dirty_page_cells)
+
+let dirty_page_set t idx =
+  match Hashtbl.find_opt t.dirty idx with
+  | Some pages -> pages
+  | None ->
+    let pages = Hashtbl.create 4 in
+    Hashtbl.add t.dirty idx pages;
+    pages
+
+let mark_dirty_cell t idx off =
+  Hashtbl.replace (dirty_page_set t idx) (off / dirty_page_cells) ()
+
+let mark_dirty_block t idx ~size =
+  let pages = dirty_page_set t idx in
+  for p = 0 to pages_of_size size - 1 do
+    Hashtbl.replace pages p ()
+  done
+
+let drop_dirty t idx = Hashtbl.remove t.dirty idx
+let clear_dirty t = Hashtbl.reset t.dirty
+let is_dirty t idx page =
+  match Hashtbl.find_opt t.dirty idx with
+  | Some pages -> Hashtbl.mem pages page
+  | None -> false
+
+let dirty_block_count t = Hashtbl.length t.dirty
+
+(* Flattened copy for the pack layer: the set survives the clear that
+   pack performs once the image becomes the new baseline. *)
+let dirty_snapshot t =
+  let snap = Hashtbl.create (max 16 (Hashtbl.length t.dirty)) in
+  Hashtbl.iter
+    (fun idx pages ->
+      Hashtbl.iter (fun page () -> Hashtbl.replace snap (idx, page) ()) pages)
+    t.dirty;
+  snap
 let set_minor_enabled t flag = t.minor_enabled <- flag
 let pointer_table t = t.ptable
 let used_cells t = t.alloc_ptr
@@ -148,6 +202,9 @@ let alloc t ~tag ~size ~init =
   let idx = Pointer_table.alloc t.ptable addr in
   write_header t addr ~index:idx ~tag ~size;
   Array.fill t.store (addr + header_cells) size init;
+  (* a fresh block is dirty by definition — and the index may be a reused
+     slot whose baseline content was something else entirely *)
+  mark_dirty_block t idx ~size;
   t.stats.blocks_allocated <- t.stats.blocks_allocated + 1;
   t.stats.cells_allocated <- t.stats.cells_allocated + header_cells + size;
   idx
@@ -214,6 +271,7 @@ let write t idx off v =
   let addr = addr_of t idx in
   check_offset t addr off;
   barrier t idx addr v;
+  mark_dirty_cell t idx off;
   t.store.(addr + header_cells + off) <- v
 
 (* Read a raw block back as a string; used to decode migration target
@@ -253,13 +311,21 @@ let clone_for_cow t idx =
   Array.blit t.store (old_addr + header_cells) t.store
     (new_addr + header_cells) size;
   Pointer_table.set t.ptable idx new_addr;
+  (* conservatively dirty: the clone will diverge from the original, and
+     a later rollback may retarget to content older than the baseline *)
+  mark_dirty_block t idx ~size;
   t.stats.cow_clones <- t.stats.cow_clones + 1;
   t.stats.blocks_allocated <- t.stats.blocks_allocated + 1;
   t.stats.cells_allocated <- t.stats.cells_allocated + header_cells + size;
   old_addr
 
-(* Restore an index to a previously saved address (rollback). *)
-let retarget t idx addr = Pointer_table.set t.ptable idx addr
+(* Restore an index to a previously saved address (rollback).  The
+   restored original's content need not match the delta baseline (the
+   baseline may have been taken after the clone), so the whole block is
+   conservatively dirty. *)
+let retarget t idx addr =
+  Pointer_table.set t.ptable idx addr;
+  mark_dirty_block t idx ~size:(block_size_at t addr)
 
 (* ------------------------------------------------------------------ *)
 (* Iteration (used by the collector and the wire codec)                *)
@@ -314,6 +380,9 @@ let restore ~cells ~ptable_snapshot =
     remembered = Hashtbl.create 64;
     before_write = None;
     minor_enabled = true;
+    (* a restored heap IS the image it was restored from: nothing is
+       dirty relative to that baseline *)
+    dirty = Hashtbl.create 64;
     stats =
       {
         blocks_allocated = 0;

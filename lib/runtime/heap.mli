@@ -43,6 +43,8 @@ type t = {
   remembered : (int, unit) Hashtbl.t;
   mutable before_write : (int -> unit) option;
   mutable minor_enabled : bool;
+  dirty : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** index -> dirty pages since the last {!clear_dirty} *)
   stats : stats;
 }
 
@@ -117,6 +119,31 @@ val live_blocks : t -> int
 val needs_minor : t -> bool
 val needs_major : t -> bool
 val reserve : t -> int -> unit
+
+(** {2 Dirty-block tracking (delta migration)}
+
+    Every mutation marks the touched {!dirty_page_cells}-cell page of the
+    touched block, keyed by pointer-table index (stable across
+    compaction).  Allocation, copy-on-write cloning and rollback
+    retargeting conservatively mark the whole block, so a clean page is
+    guaranteed identical to the last baseline cleared with
+    {!clear_dirty}.  The collector drops freed indices. *)
+
+val dirty_page_cells : int
+(** Cells per dirty-tracking page (64). *)
+
+val pages_of_size : int -> int
+(** Dirty-tracking pages covering a block of [size] data cells (≥ 1). *)
+
+val mark_dirty_cell : t -> int -> int -> unit
+val mark_dirty_block : t -> int -> size:int -> unit
+val drop_dirty : t -> int -> unit
+val clear_dirty : t -> unit
+val is_dirty : t -> int -> int -> bool
+val dirty_block_count : t -> int
+
+val dirty_snapshot : t -> (int * int, unit) Hashtbl.t
+(** Flattened (index, page) copy, decoupled from later clears. *)
 
 (** {2 Migration support} *)
 

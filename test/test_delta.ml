@@ -1,0 +1,542 @@
+(* Tests for delta migration and incremental checkpoints (wire v7):
+   compact value-codec edges, property-style full-vs-delta round-trips
+   over random heap mutation sequences, baseline negotiation and
+   invalidation on the server, end-to-end delta shipping on the cluster
+   (same results as full shipping, fewer bytes), lost/duplicated delta
+   hops under the fault plan (fallback to full, no double spawn), and
+   incremental checkpoint chains replayed at resurrection. *)
+
+open Runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile_c src =
+  match Minic.Driver.compile src with
+  | Ok fir -> fir
+  | Error e -> Alcotest.failf "C compile: %s" (Minic.Driver.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Compact value codec: varint / float-bits edges                      *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip v =
+  let buf = Buffer.create 16 in
+  Migrate.Wire.put_value buf v;
+  let r = { Fir.Serial.data = Buffer.contents buf; pos = 0 } in
+  let v' = Migrate.Wire.get_value r in
+  check "no trailing bytes" true (r.Fir.Serial.pos = Buffer.length buf);
+  v'
+
+let test_codec_edges () =
+  List.iter
+    (fun v ->
+      check
+        (Printf.sprintf "%s round-trips" (Value.to_string v))
+        true
+        (Migrate.Wire.cell_equal v (roundtrip v)))
+    [
+      Value.Vunit;
+      Value.Vbool true;
+      Value.Vbool false;
+      Value.Vint 0;
+      Value.Vint 1;
+      Value.Vint (-1);
+      Value.Vint max_int;
+      Value.Vint min_int;
+      Value.Vfloat 0.0;
+      Value.Vfloat (-0.0);
+      Value.Vfloat Float.nan;
+      Value.Vfloat Float.infinity;
+      Value.Vfloat Float.neg_infinity;
+      Value.Vfloat 1.5e-300;
+      Value.Venum (7, 3);
+      Value.Vptr (0, 0);
+      Value.Vptr (123456, 789);
+      Value.Vfun 42;
+    ]
+
+let test_cell_equal_float_bits () =
+  (* delta diffing must compare floats by bit pattern: -0.0 is a real
+     change and NaN is not *)
+  check "-0.0 differs from 0.0" false
+    (Migrate.Wire.cell_equal (Value.Vfloat 0.0) (Value.Vfloat (-0.0)));
+  check "NaN equals itself" true
+    (Migrate.Wire.cell_equal (Value.Vfloat Float.nan)
+       (Value.Vfloat Float.nan));
+  (* and the codec preserves the distinction *)
+  (match roundtrip (Value.Vfloat (-0.0)) with
+  | Value.Vfloat f -> check "-0.0 survives the wire" true (1.0 /. f < 0.0)
+  | _ -> Alcotest.fail "float decoded as non-float");
+  check "small ints are small on the wire" true
+    (let buf = Buffer.create 16 in
+     Migrate.Wire.put_value buf (Value.Vint 3);
+     Buffer.length buf = 2)
+
+(* ------------------------------------------------------------------ *)
+(* Property: full vs baseline+delta round-trip over random mutations   *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker whose state is a [cells]-slot array; between migration
+   points it performs a seeded pseudo-random write sequence and churns
+   short-lived allocations (so the GC runs over the dirty tracking). *)
+let mutating_worker ~seed ~cells ~rounds ~writes =
+  compile_c
+    (Printf.sprintf
+       {|
+int main() {
+  int n = %d;
+  int *data = alloc_int(n);
+  int i;
+  for (i = 0; i < n; i = i + 1) data[i] = i * 3 + %d;
+  int x = %d;
+  int r;
+  for (r = 0; r < %d; r = r + 1) {
+    migrate("mcc://hop");
+    for (i = 0; i < %d; i = i + 1) {
+      x = (x * 75 + 74) %% 65537;
+      data[x %% n] = data[x %% n] + x;
+    }
+    int *tmp = alloc_int(64);
+    for (i = 0; i < 64; i = i + 1) tmp[i] = x + i;
+    data[0] = data[0] + tmp[63];
+  }
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) acc = (acc + data[i]) %% 1000003;
+  return acc;
+}
+|}
+       cells seed seed rounds writes)
+
+let run_to_migration proc =
+  match Vm.Interp.run proc with
+  | Vm.Process.Migrating _ -> ()
+  | _ -> Alcotest.fail "worker did not reach a migration point"
+
+let finish_locally proc =
+  let rec go () =
+    match proc.Vm.Process.status with
+    | Vm.Process.Running ->
+      ignore (Vm.Interp.run proc);
+      go ()
+    | Vm.Process.Migrating _ ->
+      Vm.Process.migration_failed proc;
+      go ()
+    | Vm.Process.Exited n -> n
+    | Vm.Process.Trapped m -> Alcotest.failf "worker trapped: %s" m
+  in
+  go ()
+
+let test_delta_roundtrip_property () =
+  List.iter
+    (fun seed ->
+      let rounds = 4 in
+      let fir = mutating_worker ~seed ~cells:2000 ~rounds ~writes:40 in
+      let proc = Vm.Process.create fir in
+      run_to_migration proc;
+      let baseline =
+        ref (Migrate.Pack.pack_request ~with_binary:false proc)
+      in
+      let last = ref None in
+      for _hop = 2 to rounds do
+        Vm.Process.migration_failed proc;
+        run_to_migration proc;
+        let packed = Migrate.Pack.pack_request ~with_binary:false proc in
+        let digest =
+          Migrate.Wire.image_digest !baseline.Migrate.Pack.p_image
+        in
+        (match
+           Migrate.Pack.delta ~baseline:!baseline.Migrate.Pack.p_image
+             ~base_digest:digest packed
+         with
+        | None -> Alcotest.fail "delta encoding impossible"
+        | Some (dbytes, stats) ->
+          check "delta ships fewer cells than the heap holds" true
+            (stats.Migrate.Wire.ds_shipped_cells
+            < stats.Migrate.Wire.ds_total_cells);
+          (match Migrate.Wire.decode_packet dbytes with
+          | Migrate.Wire.Full _ -> Alcotest.fail "delta decoded as full"
+          | Migrate.Wire.Delta d ->
+            let image =
+              Migrate.Wire.apply_delta
+                ~baseline:!baseline.Migrate.Pack.p_image d
+            in
+            (* the strong form: the reconstruction re-encodes to the
+               exact bytes a full hop would have carried, so heap cells,
+               pointer table and every other field are byte-identical *)
+            check
+              (Printf.sprintf "seed %d: reconstruction is byte-identical"
+                 seed)
+              true
+              (String.equal
+                 (Migrate.Wire.encode image)
+                 packed.Migrate.Pack.p_bytes);
+            last := Some image));
+        baseline := packed
+      done;
+      (* resuming the delta-reconstructed image yields the same result
+         as the process that never left *)
+      match !last with
+      | None -> Alcotest.fail "no hops ran"
+      | Some image -> (
+        match
+          Migrate.Pack.unpack_image ~arch:Vm.Arch.cisc32
+            ~bytes_len:(String.length (Migrate.Wire.encode image))
+            image
+        with
+        | Error m -> Alcotest.failf "unpack of reconstruction: %s" m
+        | Ok (proc2, _masm, _costs) ->
+          let local = finish_locally proc in
+          let resumed = finish_locally proc2 in
+          check_int
+            (Printf.sprintf "seed %d: post-resume results agree" seed)
+            local resumed))
+    [ 1; 2; 7; 42; 20260807 ]
+
+(* ------------------------------------------------------------------ *)
+(* Server: baseline cache, negotiation, invalidation                   *)
+(* ------------------------------------------------------------------ *)
+
+let pack_pair () =
+  let fir = mutating_worker ~seed:9 ~cells:400 ~rounds:2 ~writes:25 in
+  let proc = Vm.Process.create fir in
+  run_to_migration proc;
+  let p1 = Migrate.Pack.pack_request ~with_binary:false proc in
+  Vm.Process.migration_failed proc;
+  run_to_migration proc;
+  let p2 = Migrate.Pack.pack_request ~with_binary:false proc in
+  p1, p2
+
+let test_server_delta_accept () =
+  let p1, p2 = pack_pair () in
+  let server = Migrate.Server.(create_cfg Config.default Vm.Arch.cisc32) in
+  (match Migrate.Server.handle server p1.Migrate.Pack.p_bytes with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "full image rejected: %s" m);
+  let digest = Migrate.Wire.image_digest p1.Migrate.Pack.p_image in
+  check "the full image became a baseline" true
+    (Migrate.Server.has_baseline server digest);
+  let dbytes =
+    match
+      Migrate.Pack.delta ~baseline:p1.Migrate.Pack.p_image
+        ~base_digest:digest p2
+    with
+    | Some (b, _) -> b
+    | None -> Alcotest.fail "delta encoding impossible"
+  in
+  check "the delta travels smaller" true
+    (String.length dbytes < String.length p2.Migrate.Pack.p_bytes);
+  (match Migrate.Server.handle server dbytes with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "delta rejected: %s" m);
+  let m = Migrate.Server.metrics server in
+  check_int "one delta hit" 1
+    (Obs.Metrics.counter_value m "migrate.delta_hits");
+  check_int "no delta misses" 0
+    (Obs.Metrics.counter_value m "migrate.delta_misses");
+  check "hit-rate gauge follows" true
+    (Obs.Metrics.gauge_read m "migrate.delta_hit_rate" = 1.0);
+  (* the reconstruction itself was retained: a THIRD generation could
+     diff against p2's digest *)
+  check "reconstruction retained as a baseline" true
+    (Migrate.Server.has_baseline server
+       (Migrate.Wire.image_digest p2.Migrate.Pack.p_image))
+
+let test_server_unknown_baseline () =
+  let p1, p2 = pack_pair () in
+  let server = Migrate.Server.(create_cfg Config.default Vm.Arch.cisc32) in
+  (match Migrate.Server.handle server p1.Migrate.Pack.p_bytes with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "full image rejected: %s" m);
+  (* receiver restart: every baseline is gone *)
+  Migrate.Server.clear_baselines server;
+  let digest = Migrate.Wire.image_digest p1.Migrate.Pack.p_image in
+  check "negotiation now reports no baseline" false
+    (Migrate.Server.has_baseline server digest);
+  let dbytes =
+    match
+      Migrate.Pack.delta ~baseline:p1.Migrate.Pack.p_image
+        ~base_digest:digest p2
+    with
+    | Some (b, _) -> b
+    | None -> Alcotest.fail "delta encoding impossible"
+  in
+  (match Migrate.Server.handle server dbytes with
+  | Ok _ -> Alcotest.fail "delta accepted without its baseline"
+  | Error m ->
+    check "rejection is the fallback cue" true
+      (Migrate.Server.is_unknown_baseline m));
+  (* the sender's fallback: re-ship the full image *)
+  (match Migrate.Server.handle server p2.Migrate.Pack.p_bytes with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "fallback full rejected: %s" m);
+  let m = Migrate.Server.metrics server in
+  check_int "the miss was counted" 1
+    (Obs.Metrics.counter_value m "migrate.delta_misses");
+  check "full and delta bytes are ledgered separately" true
+    (Obs.Metrics.counter_value m "migrate.bytes_full"
+     = String.length p1.Migrate.Pack.p_bytes
+       + String.length p2.Migrate.Pack.p_bytes
+    && Obs.Metrics.counter_value m "migrate.bytes_delta"
+       = String.length dbytes)
+
+let test_baseline_lru_bound () =
+  let p1, p2 = pack_pair () in
+  let server =
+    Migrate.Server.(
+      create_cfg { Config.default with baseline_cache = 1 } Vm.Arch.cisc32)
+  in
+  let d1 = Migrate.Server.remember_baseline server p1.Migrate.Pack.p_image in
+  check "first baseline held" true (Migrate.Server.has_baseline server d1);
+  let d2 = Migrate.Server.remember_baseline server p2.Migrate.Pack.p_image in
+  check "bound is enforced" true
+    (Migrate.Server.baseline_count server = 1);
+  check "stalest was evicted" false (Migrate.Server.has_baseline server d1);
+  check "newest survives" true (Migrate.Server.has_baseline server d2);
+  let off =
+    Migrate.Server.(
+      create_cfg { Config.default with baseline_cache = 0 } Vm.Arch.cisc32)
+  in
+  ignore (Migrate.Server.remember_baseline off p1.Migrate.Pack.p_image);
+  check "cache 0 retains nothing" true
+    (Migrate.Server.baseline_count off = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: delta shipping end-to-end                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounce node0 <-> node1 five times, mutating a slice of a 4000-slot
+   array between hops: hop 1 is cold (full), every later hop finds its
+   baseline on the other side. *)
+let bouncing_worker =
+  {|
+int main() {
+  int n = 4000;
+  int *data = alloc_int(n);
+  int i;
+  for (i = 0; i < n; i = i + 1) data[i] = i * 5;
+  int r;
+  for (r = 0; r < 5; r = r + 1) {
+    for (i = 0; i < 60; i = i + 1) {
+      data[(r * 60 + i) % n] = data[(r * 60 + i) % n] + r + 1;
+    }
+    if (r % 2 == 0) { migrate("mcc://node1"); }
+    else { migrate("mcc://node0"); }
+  }
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) acc = (acc + data[i]) % 1000003;
+  return acc;
+}
+|}
+
+let bounce ~delta =
+  let cluster =
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        node_count = 2;
+        seed = 5;
+        net = Some (Net.Simnet.create ~latency_us:5.0 ());
+        delta }
+  in
+  let pid =
+    Net.Cluster.spawn cluster ~node_id:0 (compile_c bouncing_worker)
+  in
+  let _ = Net.Cluster.run cluster in
+  let code =
+    Net.Cluster.statuses cluster
+    |> List.filter_map (fun (_, _, _, s) ->
+           match s with Vm.Process.Exited n when n <> 0 -> Some n | _ -> None)
+  in
+  ignore pid;
+  code, Net.Cluster.migrations cluster, Net.Cluster.metrics cluster
+
+let test_cluster_delta_bounce () =
+  let code_on, recs_on, m_on = bounce ~delta:true in
+  let code_off, recs_off, m_off = bounce ~delta:false in
+  check "delta on and off finish with identical results" true
+    (code_on = code_off && code_on <> []);
+  let full_hops r = List.filter (fun mr -> not mr.Net.Cluster.mr_delta) r in
+  let delta_hops r = List.filter (fun mr -> mr.Net.Cluster.mr_delta) r in
+  check "delta off never ships a delta" true (delta_hops recs_off = []);
+  check_int "hop 1 is cold, hops 2..5 are deltas" 4
+    (List.length (delta_hops recs_on));
+  let cold =
+    match full_hops recs_on with
+    | mr :: _ -> mr.Net.Cluster.mr_bytes
+    | [] -> Alcotest.fail "no cold hop"
+  in
+  List.iter
+    (fun mr ->
+      check "every warm delta hop is smaller than the cold hop" true
+        (mr.Net.Cluster.mr_bytes < cold))
+    (delta_hops recs_on);
+  check "delta bytes ledgered on the cluster registry" true
+    (Obs.Metrics.counter_value m_on "migrate.bytes_delta" > 0
+    && Obs.Metrics.counter_value m_off "migrate.bytes_delta" = 0);
+  check "hit rate reflects 4/5 delta hops" true
+    (let r = Obs.Metrics.gauge_read m_on "migrate.delta_hit_rate" in
+     r >= 0.79 && r <= 0.81)
+
+(* Lost and duplicated DELTA hops under the fault plan: the retry
+   protocol and idempotent receive must keep exactly-once semantics, and
+   an unknown-baseline rejection (none here, but loss-induced
+   retransmission) must never double-spawn. *)
+let faulty_delta_bounce seed =
+  let plan =
+    { Net.Faults.none with
+      Net.Faults.f_seed = seed;
+      f_loss = 0.3;
+      f_dup = 0.25;
+      f_retransmit_s = 0.002 }
+  in
+  let cluster =
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        node_count = 2;
+        seed;
+        net = Some (Net.Simnet.create ~latency_us:5.0 ());
+        faults = plan }
+  in
+  let pid =
+    Net.Cluster.spawn cluster ~node_id:0 (compile_c bouncing_worker)
+  in
+  ignore pid;
+  let _ = Net.Cluster.run cluster in
+  let exited =
+    Net.Cluster.statuses cluster
+    |> List.filter_map (fun (_, _, _, s) ->
+           match s with
+           | Vm.Process.Exited n when n <> 0 -> Some n
+           | _ -> None)
+  in
+  check
+    (Printf.sprintf "seed %d: exactly one worker finished" seed)
+    true
+    (List.length exited = 1);
+  exited
+
+let test_faulty_delta_hops () =
+  let reference, _, _ = bounce ~delta:true in
+  List.iter
+    (fun seed ->
+      let exited = faulty_delta_bounce seed in
+      check
+        (Printf.sprintf "seed %d: result survives lost/dup delta hops"
+           seed)
+        true
+        (exited = reference))
+    [ 3; 20260807 ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental checkpoints: chain segments + resurrection replay       *)
+(* ------------------------------------------------------------------ *)
+
+let checkpointing_worker =
+  {|
+int main() {
+  int n = 3000;
+  int *data = alloc_int(n);
+  int i;
+  for (i = 0; i < n; i = i + 1) data[i] = i;
+  int r;
+  for (r = 0; r < 4; r = r + 1) {
+    for (i = 0; i < 40; i = i + 1) {
+      data[(r * 40 + i) % n] = data[(r * 40 + i) % n] * 2 + 1;
+    }
+    migrate("checkpoint://ck");
+  }
+  int acc = 0;
+  for (i = 0; i < n; i = i + 1) acc = (acc + data[i]) % 1000003;
+  return acc;
+}
+|}
+
+let test_incremental_checkpoints () =
+  let fir = compile_c checkpointing_worker in
+  let run ~delta =
+    let cluster =
+      Net.Cluster.create_cfg
+        { Net.Cluster.Config.default with node_count = 2; seed = 5; delta }
+    in
+    let pid = Net.Cluster.spawn cluster ~node_id:0 fir in
+    let _ = Net.Cluster.run cluster in
+    let code =
+      match Net.Cluster.entry_of_pid cluster pid with
+      | Some e -> (
+        match e.Net.Cluster.proc.Vm.Process.status with
+        | Vm.Process.Exited n -> n
+        | _ -> Alcotest.fail "worker did not finish")
+      | None -> Alcotest.fail "worker lost"
+    in
+    cluster, code
+  in
+  let cluster, code = run ~delta:true in
+  let _, code_full = run ~delta:false in
+  check_int "delta checkpoints do not change the result" code_full code;
+  let st = Net.Cluster.storage cluster in
+  check "the base segment exists" true (Net.Storage.exists st "ck");
+  check "later checkpoints became chain segments" true
+    (Net.Storage.exists st "ck.d1");
+  let ckpts =
+    List.filter
+      (fun mr -> mr.Net.Cluster.mr_kind = `Checkpoint)
+      (Net.Cluster.migrations cluster)
+  in
+  check "at least one checkpoint shipped as a delta" true
+    (List.exists (fun mr -> mr.Net.Cluster.mr_delta) ckpts);
+  check "delta segments are smaller than the full checkpoint" true
+    (let full =
+       List.filter (fun mr -> not mr.Net.Cluster.mr_delta) ckpts
+     and deltas = List.filter (fun mr -> mr.Net.Cluster.mr_delta) ckpts in
+     match full, deltas with
+     | f :: _, _ :: _ ->
+       List.for_all
+         (fun d -> d.Net.Cluster.mr_bytes < f.Net.Cluster.mr_bytes)
+         deltas
+     | _ -> false);
+  (* resurrection replays base + deltas and resumes from the LAST
+     checkpoint: the revived worker finishes with the same result *)
+  match Net.Cluster.resurrect cluster ~node_id:1 ~path:"ck" with
+  | Error m -> Alcotest.failf "resurrect: %s" m
+  | Ok pid2 ->
+    let _ = Net.Cluster.run cluster in
+    (match Net.Cluster.entry_of_pid cluster pid2 with
+    | Some e ->
+      check "replayed chain resumes and finishes identically" true
+        (e.Net.Cluster.proc.Vm.Process.status = Vm.Process.Exited code)
+    | None -> Alcotest.fail "resurrected pid lost")
+
+let suites =
+  [
+    ( "delta.codec",
+      [
+        Alcotest.test_case "value codec edges round-trip" `Quick
+          test_codec_edges;
+        Alcotest.test_case "float cells compare by bit pattern" `Quick
+          test_cell_equal_float_bits;
+      ] );
+    ( "delta.roundtrip",
+      [
+        Alcotest.test_case
+          "random mutation sequences: delta == full, resume agrees" `Quick
+          test_delta_roundtrip_property;
+      ] );
+    ( "delta.server",
+      [
+        Alcotest.test_case "full then delta accepted, digest-verified"
+          `Quick test_server_delta_accept;
+        Alcotest.test_case "unknown baseline rejected, full fallback"
+          `Quick test_server_unknown_baseline;
+        Alcotest.test_case "baseline cache is LRU-bounded" `Quick
+          test_baseline_lru_bound;
+      ] );
+    ( "delta.cluster",
+      [
+        Alcotest.test_case "bounce ships deltas, same results as full"
+          `Quick test_cluster_delta_bounce;
+        Alcotest.test_case "lost/dup delta hops: no double spawn" `Quick
+          test_faulty_delta_hops;
+        Alcotest.test_case "incremental checkpoints replay at resurrect"
+          `Quick test_incremental_checkpoints;
+      ] );
+  ]

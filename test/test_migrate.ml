@@ -428,8 +428,9 @@ let test_image_size_scales () =
         .Migrate.Pack.p_bytes
   in
   let s100 = size 100 and s1000 = size 1000 in
-  (* 900 extra int cells at ~9 wire bytes each, over a fixed FIR payload *)
-  check "image size grows with heap" true (s1000 - s100 > 900 * 8)
+  (* 900 extra int cells over a fixed FIR payload; v7's varint/run-length
+     heap segments cost at least one wire byte per distinct cell *)
+  check "image size grows with heap" true (s1000 - s100 > 900)
 
 let suites =
   [
