@@ -448,8 +448,39 @@ let grid_cmd =
                       a full image." );
           ])
   in
+  let hb_interval_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hb-interval" ] ~docv:"SECONDS"
+          ~doc:"Run a heartbeat failure detector with this emission \
+                interval.  Recovery decisions then come from heartbeat \
+                silence on the survivors' clocks, never from ground-truth \
+                crash state; a stalled node can be falsely suspected and \
+                its stale incarnation is epoch-fenced.")
+  in
+  let suspect_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "suspect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Suspect a node once every peer has heard no heartbeat \
+                from it for this long (default 5x the heartbeat \
+                interval).  Implies the failure detector.")
+  in
+  let replication_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "replication" ] ~docv:"K"
+          ~doc:"Replicate every checkpoint across K node-local stores \
+                (which die with their node, and whose writes are subject \
+                to the plan's storage faults) instead of the \
+                indestructible shared store.  Reads digest-verify and \
+                read-repair.")
+  in
   let action ranks rows_per_rank cols timesteps interval fail trace_file
-      fault_plan_file seed delta =
+      fault_plan_file seed delta hb_interval suspect_timeout replication =
     let config =
       { Mcc.Gridapp.ranks; rows_per_rank; cols; timesteps; interval;
         work_us_per_step = 1000 }
@@ -466,6 +497,21 @@ let grid_cmd =
     | Ok plan ->
     let golden = Mcc.Gridapp.golden_checksums config in
     let faulty = not (Net.Faults.is_none plan) in
+    let detector =
+      match (hb_interval, suspect_timeout) with
+      | None, None -> None
+      | hi, st ->
+        let hb =
+          match hi with
+          | Some s -> s
+          | None -> Net.Detector.default.Net.Detector.hb_interval_s
+        in
+        let timeout = match st with Some s -> s | None -> 5.0 *. hb in
+        Some
+          { Net.Detector.default with
+            Net.Detector.hb_interval_s = hb;
+            suspect_timeout_s = timeout }
+    in
     (* faults that can kill a node need somewhere to resurrect to *)
     let nodes = if fail || faulty then ranks + 1 else ranks in
     let cluster =
@@ -475,7 +521,9 @@ let grid_cmd =
           seed = (match seed with Some s -> s | None -> 1);
           net = Some (Net.Simnet.create ~latency_us:5.0 ());
           faults = plan;
-          delta }
+          delta;
+          detector;
+          replication }
     in
     let d = Mcc.Gridapp.deploy ~spare:(fail || faulty) cluster config in
     if fail then begin
@@ -524,6 +572,26 @@ let grid_cmd =
         (Obs.Metrics.counter_value m "faults.stalls")
         (Obs.Metrics.counter_value m "faults.crashes")
     end;
+    (let m = Net.Cluster.metrics cluster in
+     if Net.Cluster.detection_enabled cluster then
+       Printf.printf
+         "detector: %d heartbeats, %d suspicions (%d false), %d fence \
+          rejections, %d resurrections\n"
+         (Obs.Metrics.counter_value m "detector.heartbeats")
+         (Obs.Metrics.counter_value m "detector.suspicions")
+         (Obs.Metrics.counter_value m "detector.false_suspicions")
+         (Obs.Metrics.counter_value m "fence.rejections")
+         (Obs.Metrics.counter_value m "cluster.resurrections");
+     if replication > 0 then
+       Printf.printf
+         "storage: k=%d, %d read-repairs, %d corrupt reads, %d lost / %d \
+          torn / %d flipped replica writes\n"
+         (Net.Storage.replication (Net.Cluster.storage cluster))
+         (Obs.Metrics.counter_value m "storage.repairs")
+         (Obs.Metrics.counter_value m "storage.corrupt_reads")
+         (Obs.Metrics.counter_value m "faults.store_lost")
+         (Obs.Metrics.counter_value m "faults.store_torn")
+         (Obs.Metrics.counter_value m "faults.store_flip"));
     let trace_ok =
       match trace_file with
       | None -> true
@@ -546,7 +614,8 @@ let grid_cmd =
                            simulated cluster.")
     Term.(
       const action $ ranks $ rows $ cols $ steps $ interval $ fail
-      $ trace_arg $ fault_plan_arg $ seed_arg $ delta_arg)
+      $ trace_arg $ fault_plan_arg $ seed_arg $ delta_arg $ hb_interval_arg
+      $ suspect_timeout_arg $ replication_arg)
 
 let () =
   let info =

@@ -295,20 +295,38 @@ let ranks_on_node d node_id =
       | _ -> None)
     (List.init d.d_config.ranks (fun r -> r))
 
-(* Self-healing run loop for fault-plan crashes: run until quiescent and,
-   whenever ranks died with their node (Trapped) but left a checkpoint on
-   shared storage, resurrect them on the least-loaded live node and keep
-   going.  Stops when every rank exited, the round budget is spent, or a
-   dead rank has no checkpoint to come back from (wedged — the caller sees
-   it as missing checksums). *)
+(* Self-healing run loop.
+
+   Without a failure detector (legacy, omniscient mode): run until
+   quiescent and, whenever ranks died with their node (Trapped) but left
+   a checkpoint on shared storage, resurrect them on the least-loaded
+   live node and keep going.
+
+   With a failure detector configured on the cluster, recovery is driven
+   ONLY by heartbeat suspicion: a rank is resurrected when the node
+   currently hosting it is suspected (unanimous heartbeat silence past
+   the timeout) — the loop never consults ground-truth crash state.  A
+   stalled or partitioned node can therefore be FALSELY suspected; the
+   resurrection bumps the rank's incarnation epoch, and the cluster's
+   epoch fencing guarantees the zombie never completes.  When the system
+   goes quiescent without a matured suspicion (every survivor parked on
+   a silent rank), idle time is pumped through {!Net.Cluster.advance_clocks}
+   so silence can cross the timeout; a bounded number of fruitless pumps
+   declares the run wedged.
+
+   Stops when every rank exited, the round budget is spent, or a rank
+   needing recovery has no checkpoint to come back from (wedged — the
+   caller sees it as missing checksums). *)
 let run_resilient ?(max_rounds = 2_000_000) d =
   let cluster = d.d_cluster in
   let storage = Net.Cluster.storage cluster in
+  let detect = Net.Cluster.detection_enabled cluster in
+  let suspects = ref [] in
   let least_loaded_live_node () =
     let best = ref None in
     for id = 0 to Net.Cluster.node_count cluster - 1 do
       let n = Net.Cluster.node cluster id in
-      if n.Net.Cluster.alive then begin
+      if n.Net.Cluster.alive && not (List.mem id !suspects) then begin
         let load = List.length (ranks_on_node d id) in
         match !best with
         | Some (_, l) when l <= load -> ()
@@ -323,21 +341,69 @@ let run_resilient ?(max_rounds = 2_000_000) d =
         match rank_status d r with Vm.Process.Trapped _ -> true | _ -> false)
       (List.init d.d_config.ranks (fun r -> r))
   in
+  (* Detection mode: a rank needs recovery iff its current holder sits
+     on a suspected node, has not already exited, AND has a checkpoint
+     to come back from.  Exited holders are left alone (their result is
+     in), and a suspected node with nothing unfinished on it triggers
+     nothing.  The checkpoint guard matters under false suspicion: a
+     stalled node suspected before the first checkpoint interval must
+     not wedge the run — with no checkpoint there is nothing safe to
+     resurrect, so we keep running and let the suspicion clear when the
+     stall ends (a genuinely dead rank with no checkpoint wedges via the
+     bounded idle-pump path below). *)
+  let ranks_needing_recovery () =
+    if not detect then dead_ranks ()
+    else begin
+      suspects := Net.Cluster.suspected_nodes cluster;
+      if !suspects = [] then []
+      else
+        List.filter
+          (fun r ->
+            match Net.Cluster.entry_of_pid cluster d.d_pids.(r) with
+            | Some e ->
+              List.mem e.Net.Cluster.node_id !suspects
+              && (match e.Net.Cluster.proc.Vm.Process.status with
+                 | Vm.Process.Exited _ -> false
+                 | _ -> true)
+              && Net.Storage.exists storage (checkpoint_path r)
+            | None -> false)
+          (List.init d.d_config.ranks (fun r -> r))
+    end
+  in
+  let pump_dt =
+    match Net.Cluster.detector_config cluster with
+    | Some c ->
+      c.Net.Detector.hb_interval_s +. c.Net.Detector.suspect_timeout_s
+    | None -> 0.0
+  in
+  let idle_pumps = ref 0 in
+  let max_idle_pumps = 64 in
   let total = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     let budget = max_rounds - !total in
     if budget <= 0 then continue_ := false
     else begin
-      total := !total + run ~max_rounds:budget d;
+      total :=
+        !total
+        + Net.Cluster.run cluster ~max_rounds:budget ~stop:(fun () ->
+              all_exited d || (detect && ranks_needing_recovery () <> []));
       if all_exited d then continue_ := false
       else begin
-        match dead_ranks () with
+        match ranks_needing_recovery () with
         | [] ->
-          (* quiescent with nothing to resurrect: wedged (the caller sees
-             missing checksums) or simply out of progress *)
-          continue_ := false
-        | dead ->
+          if detect && !idle_pumps < max_idle_pumps then begin
+            (* quiescent without a matured suspicion: pass idle time so
+               heartbeat silence can cross the suspicion timeout *)
+            incr idle_pumps;
+            Net.Cluster.advance_clocks cluster pump_dt
+          end
+          else
+            (* quiescent with nothing to resurrect: wedged (the caller
+               sees missing checksums) or simply out of progress *)
+            continue_ := false
+        | need ->
+          idle_pumps := 0;
           let recovered_all =
             List.for_all
               (fun r ->
@@ -349,7 +415,7 @@ let run_resilient ?(max_rounds = 2_000_000) d =
                   match recover d ~rank:r ~node_id with
                   | Ok _ -> true
                   | Error _ -> false))
-              dead
+              need
           in
           if not recovered_all then continue_ := false
       end

@@ -59,12 +59,19 @@ val all_exited : deployment -> bool
 val run : ?max_rounds:int -> deployment -> int
 
 val run_resilient : ?max_rounds:int -> deployment -> int
-(** Like {!run}, but self-healing: whenever ranks die with their node
-    (e.g. a fault-plan crash) and have a checkpoint on shared storage,
-    they are resurrected on the least-loaded live node and the run
-    continues.  Returns total rounds executed.  Stops — possibly with
-    ranks unfinished — when a dead rank has no checkpoint or no live
-    node remains. *)
+(** Like {!run}, but self-healing: ranks that die with their node (e.g.
+    a fault-plan crash) and have a checkpoint on storage are resurrected
+    on the least-loaded live node and the run continues.  Returns total
+    rounds executed.  Stops — possibly with ranks unfinished — when a
+    dead rank has no checkpoint or no live node remains.
+
+    When the cluster was configured with a heartbeat failure detector
+    ({!Net.Cluster.Config.t.detector}), recovery decisions come ONLY
+    from heartbeat suspicion, never from ground-truth crash state: a
+    rank is resurrected (with a bumped incarnation epoch) when its
+    node is unanimously silent past the suspicion timeout.  A stalled
+    node can be falsely suspected; epoch fencing guarantees exactly one
+    incarnation of the rank completes. *)
 
 val checksums : deployment -> int option array
 

@@ -136,14 +136,6 @@ let create_cfg (cfg : Config.t) arch =
     h_compile_cycles;
   }
 
-(* Deprecated optional-argument constructor; use {!create_cfg}. *)
-let create ?(trusted = false)
-    ?(extern_signatures = Extern.signatures) ?(first_pid = 1000) ?cache arch
-    =
-  create_cfg
-    { Config.default with trusted; extern_signatures; first_pid; cache }
-    arch
-
 let metrics t = t.metrics
 
 (* Thin view: the historical record, snapshotted from the registry. *)

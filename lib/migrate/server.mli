@@ -50,13 +50,6 @@ type t
 
 val create_cfg : Config.t -> Arch.t -> t
 
-val create :
-  ?trusted:bool ->
-  ?extern_signatures:Fir.Typecheck.extern_lookup ->
-  ?first_pid:int -> ?cache:Codecache.t -> Arch.t -> t
-[@@ocaml.deprecated "use Server.create_cfg with a Server.Config.t"]
-(** Thin wrapper over {!create_cfg} kept for one release. *)
-
 val stats : t -> stats
 (** A snapshot of the registry counters in the historical record shape;
     mutating the returned record has no effect on the server. *)

@@ -23,13 +23,16 @@ let magic = "MPRC"
    image (as in v6, but with varint/run-length heap segments).  A DELTA
    packet names a baseline image by content digest and carries only the
    blocks that changed since that baseline was packed; the FIR, MASM and
-   function table never travel again.  [decode] recomputes the FIR digest
+   function table never travel again.  v8 appends the rank incarnation
+   epoch to both kinds: resurrection bumps it, hops and checkpoints
+   carry it, and the cluster fences stale incarnations on it.  [decode]
+   recomputes the FIR digest
    over the received bytes of a full packet and rejects mismatches, so
    anything downstream — the recompilation cache in particular — can rely
    on the digest naming exactly the bytes that arrived.  Digests are
    integrity metadata only; they never stand in for verification or
    typechecking. *)
-let version = 7
+let version = 8
 
 let kind_full = 0
 let kind_delta = 1
@@ -46,6 +49,10 @@ type image = {
   i_menv : int; (* pointer-table index of the migrate_env block *)
   i_entry : string; (* continuation function *)
   i_label : int; (* migration label *)
+  i_epoch : int;
+      (* rank incarnation epoch (v8): bumped on every resurrection and
+         carried on hops and checkpoints so stale incarnations can be
+         fenced; 0 for processes with no rank *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -205,6 +212,10 @@ let image_digest image =
   put_varint buf image.i_menv;
   put_string buf image.i_entry;
   put_varint buf image.i_label;
+  (* i_epoch is deliberately excluded: it is incarnation METADATA, not
+     semantic payload — two incarnations of the same state must share a
+     baseline digest so delta negotiation still works across a
+     resurrection *)
   Fir.Serial.encoded_digest (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
@@ -233,6 +244,7 @@ type delta = {
   d_menv : int;
   d_entry : string;
   d_label : int;
+  d_epoch : int; (* incarnation epoch of the reconstruction *)
 }
 
 type packet = Full of image | Delta of delta
@@ -412,6 +424,7 @@ let apply_delta ~baseline delta =
       i_menv = delta.d_menv;
       i_entry = delta.d_entry;
       i_label = delta.d_label;
+      i_epoch = delta.d_epoch;
     }
   in
   if not (String.equal (image_digest image) delta.d_new_digest) then
@@ -465,6 +478,7 @@ let encode image =
   put_varint body image.i_menv;
   put_string body image.i_entry;
   put_varint body image.i_label;
+  put_varint body image.i_epoch;
   frame (Buffer.contents body)
 
 let get_image r =
@@ -492,6 +506,8 @@ let get_image r =
   let i_menv = get_varint r in
   let i_entry = get_string r in
   let i_label = get_varint r in
+  let i_epoch = get_varint r in
+  if i_epoch < 0 then raise (Corrupt "negative incarnation epoch");
   {
     i_arch;
     i_digest;
@@ -504,6 +520,7 @@ let get_image r =
     i_menv;
     i_entry;
     i_label;
+    i_epoch;
   }
 
 let put_dblock buf = function
@@ -568,6 +585,7 @@ let encode_delta delta =
   put_varint body delta.d_menv;
   put_string body delta.d_entry;
   put_varint body delta.d_label;
+  put_varint body delta.d_epoch;
   frame (Buffer.contents body)
 
 let get_delta r =
@@ -583,6 +601,8 @@ let get_delta r =
   let d_menv = get_varint r in
   let d_entry = get_string r in
   let d_label = get_varint r in
+  let d_epoch = get_varint r in
+  if d_epoch < 0 then raise (Corrupt "negative incarnation epoch");
   {
     d_arch;
     d_base;
@@ -594,6 +614,7 @@ let get_delta r =
     d_menv;
     d_entry;
     d_label;
+    d_epoch;
   }
 
 let decode_packet s =

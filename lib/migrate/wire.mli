@@ -12,6 +12,11 @@
     function table never travel again on a warm path.  Heap segments use
     zigzag-varint integers and run-length cell runs in both kinds.
 
+    v8 appends the rank incarnation epoch to both packet kinds:
+    resurrection bumps it, migration hops and checkpoint writes carry
+    it, and the cluster rejects stale-epoch traffic (fencing).  The
+    epoch is incarnation metadata, excluded from {!image_digest}.
+
     {!verify} applies the structural safety checks a migration target
     runs before trusting a received heap. *)
 
@@ -34,6 +39,9 @@ type image = {
   i_menv : int;  (** pointer-table index of the migrate_env block *)
   i_entry : string;
   i_label : int;
+  i_epoch : int;
+      (** rank incarnation epoch; bumped on every resurrection, [0] for
+          processes with no rank *)
 }
 
 val encode : image -> string
@@ -82,6 +90,7 @@ type delta = {
   d_menv : int;
   d_entry : string;
   d_label : int;
+  d_epoch : int;  (** incarnation epoch of the reconstruction *)
 }
 
 type packet = Full of image | Delta of delta
@@ -97,9 +106,11 @@ type dstats = {
 
 val image_digest : image -> string
 (** Content address of the image's semantic payload (excludes the raw
-    FIR bytes — the FIR digest already names them — and the MASM
-    payload, which delta reconstruction inherits from the baseline), so
-    sender and receiver agree on digests for reconstructed images. *)
+    FIR bytes — the FIR digest already names them — the MASM payload,
+    which delta reconstruction inherits from the baseline, and the
+    incarnation epoch, which is metadata: two incarnations of the same
+    state share a baseline digest), so sender and receiver agree on
+    digests for reconstructed images. *)
 
 val diff :
   baseline:image -> image:image -> changed:(int -> int -> bool) ->

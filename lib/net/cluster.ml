@@ -31,6 +31,12 @@ type entry = {
   mutable node_id : int;
   mailbox : Mpi.mailbox;
   mutable rank : int option;
+  (* the incarnation of the rank this process embodies.  Resurrection
+     bumps the rank's current epoch; an entry whose epoch is older than
+     the rank's current one is a ZOMBIE (it survived a false suspicion)
+     and is fenced at its next interaction point.  Migration preserves
+     the epoch: the successor is the same incarnation. *)
+  mutable epoch : int;
   mutable start_at : float; (* not schedulable before this time *)
   (* the (src rank, tag) the process last polled unsuccessfully: the
      scheduler only wakes it for a matching delivery (or a roll notice
@@ -92,6 +98,10 @@ type migration_error =
     (* retry budget exhausted: every transmission was lost or
        partitioned; the process keeps running where it was *)
   | Rejected of string (* the target daemon refused the image *)
+  | Fenced of { rank : int; stale : int; current : int }
+    (* the process is a superseded incarnation of its rank: a newer
+       epoch exists (the rank was resurrected elsewhere), so this copy
+       must halt instead of acting *)
 
 let migration_error_to_string = function
   | No_such_process pid -> Printf.sprintf "no process %d" pid
@@ -102,6 +112,9 @@ let migration_error_to_string = function
     Printf.sprintf "target unreachable after %d attempts (last: %s)"
       attempts reason
   | Rejected msg -> msg
+  | Fenced { rank; stale; current } ->
+    Printf.sprintf "fenced: rank %d epoch %d superseded by epoch %d" rank
+      stale current
 
 (* Typed cluster configuration: one record instead of the optional-
    argument pile that kept growing on [create].  [retry] is the
@@ -138,6 +151,14 @@ module Config = struct
         (* ship deltas over negotiated baselines on repeated migrations,
            and append incremental checkpoints to an existing chain *)
     baseline_cache : int; (* retained baselines per daemon; 0 disables *)
+    detector : Detector.config option;
+        (* heartbeat failure detection; None (the default) runs the
+           legacy omniscient mode: no beats, no suspicion, no extra RNG
+           draws, traces byte-identical to pre-detector builds *)
+    replication : int;
+        (* checkpoint replication factor: 0 (default) = the reliable
+           shared "NFS" store; k >= 1 = k-way replication across
+           node-local stores that die with their node *)
   }
 
   let default =
@@ -154,6 +175,8 @@ module Config = struct
       faults = Faults.none;
       delta = true;
       baseline_cache = 4;
+      detector = None;
+      replication = 0;
     }
 end
 
@@ -178,6 +201,12 @@ type t = {
   mutable entries : entry list; (* newest first *)
   by_pid : (int, entry) Hashtbl.t;
   ranks : (int, int) Hashtbl.t; (* rank -> pid *)
+  (* rank -> current incarnation epoch (absent = 0).  Bumped by every
+     resurrection under that rank; entries carrying an older epoch are
+     fenced.  The table is the cluster-level ground truth a real system
+     would hold in its membership/coordination service. *)
+  epochs : (int, int) Hashtbl.t;
+  detector : Detector.t option;
   (* rank-level mailboxes: messages are addressed to RANKS, and the queue
      survives the death of the process currently holding the rank (a
      resurrected or migrated successor inherits it, like DEMOS/MP's
@@ -218,6 +247,7 @@ type t = {
   c_node_failures : Obs.Metrics.counter;
   c_resurrections : Obs.Metrics.counter;
   c_migrate_retries : Obs.Metrics.counter;
+  c_fence_rejections : Obs.Metrics.counter;
   (* delta migration: whether it is enabled, the per-path checkpoint
      chains, and the byte/outcome accounting the benches read *)
   delta : bool;
@@ -338,6 +368,9 @@ let create_cfg (cfg : Config.t) =
   let c_migrate_retries =
     Obs.Metrics.counter metrics "migrate.retries"
   in
+  let c_fence_rejections =
+    Obs.Metrics.counter metrics "fence.rejections"
+  in
   let c_bytes_full = Obs.Metrics.counter metrics "migrate.bytes_full" in
   let c_bytes_delta = Obs.Metrics.counter metrics "migrate.bytes_delta" in
   let c_delta_hits = Obs.Metrics.counter metrics "migrate.delta_hits" in
@@ -367,6 +400,16 @@ let create_cfg (cfg : Config.t) =
   let faults =
     Faults.create ~salt:cfg.Config.seed ~metrics cfg.Config.faults
   in
+  let storage =
+    Storage.create ~replication:cfg.Config.replication
+      ~nodes:cfg.Config.node_count ~faults ~metrics net
+  in
+  let detector =
+    Option.map
+      (fun dcfg ->
+        Detector.create ~metrics ~nodes:cfg.Config.node_count dcfg)
+      cfg.Config.detector
+  in
   let tracer = Obs.Trace.create ?capacity:cfg.Config.trace_capacity () in
   (* scripted partition windows are part of the run's story: put them in
      the trace up front, stamped with their opening times *)
@@ -383,10 +426,12 @@ let create_cfg (cfg : Config.t) =
   {
     nodes;
     net;
-    storage = Storage.create net;
+    storage;
     entries = [];
     by_pid = Hashtbl.create 32;
     ranks = Hashtbl.create 32;
+    epochs = Hashtbl.create 8;
+    detector;
     rank_mailboxes = Hashtbl.create 32;
     deps = Hashtbl.create 32;
     next_pid = 1;
@@ -411,6 +456,7 @@ let create_cfg (cfg : Config.t) =
     c_node_failures;
     c_resurrections;
     c_migrate_retries;
+    c_fence_rejections;
     delta = cfg.Config.delta;
     ckpt_chains = Hashtbl.create 8;
     c_bytes_full;
@@ -428,23 +474,16 @@ let create_cfg (cfg : Config.t) =
     cur_cycles0 = 0;
     cur_pid = -1;
   }
-
-(* Deprecated optional-argument constructor; use {!create_cfg}. *)
-let create ?(node_count = 4) ?(arches = [| Arch.cisc32 |]) ?(trusted = false)
-    ?(quantum = 64) ?(seed = 1) ?(code_cache = 16) ?net ?trace_capacity ()
-    =
-  create_cfg
-    {
-      Config.default with
-      node_count;
-      arches;
-      trusted;
-      quantum;
-      seed;
-      code_cache;
-      net;
-      trace_capacity;
-    }
+  |> fun t ->
+  (* read-repair events belong in the cluster trace: stamp them with the
+     cluster-wide clock at the moment of the repairing read *)
+  Storage.set_on_repair t.storage (fun ~path ~replicas ->
+      let time =
+        Array.fold_left (fun acc n -> Float.max acc n.clock) 0.0 t.nodes
+      in
+      Obs.Trace.record t.tracer ~time
+        (Obs.Trace.Storage_repair { path; replicas }));
+  t
 
 let node t id =
   if id < 0 || id >= Array.length t.nodes then
@@ -493,6 +532,38 @@ let emit t ~time ?node ?pid ?rank kind =
 let emit_entry t (e : entry) kind =
   Obs.Trace.record t.tracer ~time:(entry_time t e) ~node:e.node_id
     ~pid:e.proc.Process.pid ~rank:(entry_rank e) kind
+
+(* ------------------------------------------------------------------ *)
+(* Incarnation epochs and fencing                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rank_epoch t rank =
+  match Hashtbl.find_opt t.epochs rank with Some e -> e | None -> 0
+
+(* An entry is stale when a resurrection has bumped its rank's epoch past
+   the one the entry carries: it is a zombie incarnation of a rank whose
+   authority has moved on, and it must not be allowed to interact. *)
+let is_stale t (e : entry) =
+  match e.rank with
+  | None -> false
+  | Some r -> e.epoch < rank_epoch t r
+
+(* Fence a stale incarnation at an interaction point: record the typed
+   rejection and halt the zombie so exactly one copy of the rank keeps
+   running.  Idempotent — a fenced process stays fenced. *)
+let fence t (e : entry) ~what =
+  let current = match e.rank with Some r -> rank_epoch t r | None -> 0 in
+  Obs.Metrics.incr t.c_fence_rejections;
+  emit_entry t e
+    (Obs.Trace.Fenced { stale_epoch = e.epoch; current_epoch = current; what });
+  (match e.proc.Process.status with
+  | Process.Exited _ | Process.Trapped _ -> ()
+  | Process.Running | Process.Migrating _ ->
+    e.proc.Process.status <-
+      Process.Trapped
+        (Printf.sprintf "fenced: stale incarnation epoch %d (current %d)"
+           e.epoch current));
+  e.proc.Process.waiting <- false
 
 (* ------------------------------------------------------------------ *)
 (* Externs                                                             *)
@@ -610,6 +681,12 @@ let cluster_extern t (entry : entry) : Process.handler =
                                      (Value.Vptr _ as ptr); Value.Vint len ]
     ->
     if len < 0 then raise (Process.Extern_failure "msg_send: negative length");
+    if is_stale t entry then begin
+      (* zombie incarnation: reject the send and halt the process *)
+      fence t entry ~what:"send";
+      Value.Vint msg_roll
+    end
+    else
     (match Hashtbl.find_opt t.rank_mailboxes dst_rank with
     | Some dst_mailbox ->
       let payload = read_cells ptr len in
@@ -641,6 +718,7 @@ let cluster_extern t (entry : entry) : Process.handler =
             (match Spec.Engine.current_unique proc.Process.spec with
             | Some uid -> Some (proc.Process.pid, uid)
             | None -> None);
+          msg_src_epoch = entry.epoch;
         }
       in
       if fault.Faults.d_dropped then begin
@@ -667,6 +745,32 @@ let cluster_extern t (entry : entry) : Process.handler =
   | ("msg_try_recv" | "msg_try_recv_int"),
     [ Value.Vint src_rank; Value.Vint tag; (Value.Vptr _ as ptr);
       Value.Vint maxlen ] -> (
+    if is_stale t entry then begin
+      fence t entry ~what:"recv";
+      Value.Vint msg_roll
+    end
+    else begin
+    (* the rank mailbox is shared with any zombie predecessor of this
+       rank: purge traffic a stale incarnation enqueued before it was
+       fenced, so the successor never consumes superseded state *)
+    if Hashtbl.length t.epochs > 0 then begin
+      let stale_seen = ref (-1, -1) in
+      let dropped =
+        Mpi.discard_stale entry.mailbox ~stale:(fun m ->
+            let r = m.Mpi.msg_src_rank in
+            if r >= 0 && m.Mpi.msg_src_epoch < rank_epoch t r then begin
+              stale_seen := m.Mpi.msg_src_epoch, rank_epoch t r;
+              true
+            end
+            else false)
+      in
+      if dropped > 0 then begin
+        let stale_epoch, current_epoch = !stale_seen in
+        Obs.Metrics.incr ~by:dropped t.c_fence_rejections;
+        emit_entry t entry
+          (Obs.Trace.Fenced { stale_epoch; current_epoch; what = "stale_msg" })
+      end
+    end;
     match
       Mpi.try_recv entry.mailbox ~now:(effective_now t proc) ~src_rank ~tag
     with
@@ -695,7 +799,8 @@ let cluster_extern t (entry : entry) : Process.handler =
         add_dependency t ~sender:(spid, uid)
           ~receiver:(proc.Process.pid, ruid)
       | Some _ | None -> ());
-      Value.Vint n)
+      Value.Vint n
+    end)
   | "rank", [] ->
     Value.Vint (match entry.rank with Some r -> r | None -> -1)
   | "sim_now_us", [] ->
@@ -927,6 +1032,7 @@ let spawn ?rank ?(engine = `Interp) ?(seed = 7) t ~node_id program =
       node_id;
       mailbox = mailbox_for t rank;
       rank;
+      epoch = (match rank with Some r -> rank_epoch t r | None -> 0);
       start_at = (node t node_id).clock;
       parked_on = None;
       baseline = None;
@@ -1290,13 +1396,17 @@ let rebase_baseline (n : node) (entry : entry)
 let handle_migrate t (entry : entry) _req host =
   let proc = entry.proc in
   let src = node t entry.node_id in
+  if is_stale t entry then fence t entry ~what:"migrate"
+  else
   match node_by_name t host with
   | Some target when target.alive && target.node_id <> entry.node_id ->
     let with_binary =
       t.trusted && Arch.equal src.node_arch target.node_arch
     in
     let prev_baseline = entry.baseline in
-    let packed = Migrate.Pack.pack_request ~with_binary proc in
+    let packed =
+      Migrate.Pack.pack_request ~with_binary ~epoch:entry.epoch proc
+    in
     let baseline_digest = rebase_baseline src entry packed in
     let sh = choose_shipment t ~baseline:prev_baseline entry target packed in
     let bytes = String.length sh.sh_bytes in
@@ -1324,6 +1434,8 @@ let handle_migrate t (entry : entry) _req host =
           node_id = target.node_id;
           mailbox = entry.mailbox; (* rank-addressed messages follow *)
           rank = entry.rank;
+          (* migration is the SAME incarnation on a new node *)
+          epoch = entry.epoch;
           start_at =
             max target.clock (src.clock +. pack_s +. transfer_s)
             +. compile_s;
@@ -1410,11 +1522,18 @@ let handle_migrate t (entry : entry) _req host =
 
 let handle_to_storage t (entry : entry) req path ~kind =
   let proc = entry.proc in
+  if is_stale t entry then begin
+    fence t entry ~what:"checkpoint";
+    ignore req
+  end
+  else begin
   (* images on the cluster's own reliable store carry the binary payload:
      "the checkpoints are formatted as executable files and the
      resurrection of processes is done by executing the saved checkpoint"
      (paper, Section 2) *)
-  let packed = Migrate.Pack.pack_request ~with_binary:true proc in
+  let packed =
+    Migrate.Pack.pack_request ~with_binary:true ~epoch:entry.epoch proc
+  in
   let prev_baseline = entry.baseline in
   let new_digest =
     rebase_baseline (node t entry.node_id) entry packed
@@ -1501,6 +1620,7 @@ let handle_to_storage t (entry : entry) req path ~kind =
     Process.migration_completed proc);
   emit_entry t entry (Obs.Trace.Checkpoint { path = stored_path; bytes });
   ignore req
+  end
 
 let handle_migration t (entry : entry) =
   match entry.proc.Process.status with
@@ -1530,6 +1650,8 @@ let fail_node t node_id =
   if n.alive then begin
     n.alive <- false;
     Obs.Metrics.incr t.c_node_failures;
+    (* node-local checkpoint replicas die with the node *)
+    Storage.fail_node t.storage node_id;
     emit t ~time:n.clock ~node:node_id Obs.Trace.Node_fail;
     let victims =
       List.filter
@@ -1569,6 +1691,38 @@ let fail_node t node_id =
         | None -> ())
       victims
   end
+
+(* Logically terminate a (possibly still executing) old incarnation of
+   [rank] before its successor is created.  The epoch bump must already
+   have happened, making the old holder stale: fence it so it never runs
+   another instruction, cascade its uncommitted speculative sends, and
+   post roll notices so survivors that already consumed its traffic roll
+   back to their last durable point and re-send to the successor.  This
+   mirrors [fail_node]'s per-victim work, but for a single rank on a node
+   that may in fact still be alive (a false suspicion). *)
+let kill_incarnation t ~rank =
+  match entry_of_rank t rank with
+  | None -> ()
+  | Some e ->
+    if not (Process.is_terminated e.proc) then begin
+      let uids = Spec.Engine.unique_ids e.proc.Process.spec in
+      fence t e ~what:"schedule";
+      cascade t ~sender_pid:e.proc.Process.pid ~uids ~code:msg_roll;
+      List.iter
+        (fun (other : entry) ->
+          if
+            other.proc.Process.pid <> e.proc.Process.pid
+            && not (Process.is_terminated other.proc)
+          then begin
+            Mpi.post_roll_notice other.mailbox ~src_rank:rank;
+            match other.parked_on with
+            | Some (src, _) when src = rank ->
+              other.proc.Process.waiting <- false
+            | Some _ -> ()
+            | None -> other.proc.Process.waiting <- false
+          end)
+        t.entries
+    end
 
 (* Resurrect a checkpointed process from shared storage on a live node
    (the paper's resurrection daemon executing the saved checkpoint). *)
@@ -1630,6 +1784,18 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
       with
       | Error msg -> failed msg
       | Ok (proc0, masm, costs) ->
+        (* bump the rank's incarnation epoch FIRST, so the old holder (a
+           zombie under false suspicion) is stale before it could ever be
+           scheduled again — resurrection never yields two live copies *)
+        let epoch =
+          match rank with
+          | None -> 0
+          | Some r ->
+            let e' = rank_epoch t r + 1 in
+            Hashtbl.replace t.epochs r e';
+            kill_incarnation t ~rank:r;
+            e'
+        in
         let outcome =
           { Migrate.Server.o_pid = 0; o_costs = costs; o_process = proc0;
             o_masm = masm }
@@ -1648,6 +1814,7 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
             node_id;
             mailbox = mailbox_for t rank;
             rank;
+            epoch;
             start_at = now t +. read_s +. compile_s;
             parked_on = None;
             (* the resumed heap is byte-identical to the replayed image
@@ -1754,6 +1921,41 @@ let next_event_on t n =
           acc !candidates)
     None t.entries
 
+(* Emit every heartbeat now due on each alive node's local clock and fan
+   it out to every other node through the fault layer: a partitioned or
+   lossy link silently eats the beat (silence IS the failure signal — no
+   retransmission), a healthy one delivers it after the charged transfer
+   time plus jitter.  A crashed node emits nothing; a stalled node's
+   beats are skipped via {!Detector.skip_to}, so its silence is visible
+   to observers even though the node is "alive". *)
+let pump_heartbeats t =
+  match t.detector with
+  | None -> ()
+  | Some det ->
+    let cfg = Detector.config det in
+    let hb_s = Simnet.message_seconds t.net cfg.Detector.hb_bytes in
+    Array.iter
+      (fun n ->
+        if n.alive then
+          List.iter
+            (fun emit_at ->
+              Array.iter
+                (fun (m : node) ->
+                  if m.node_id <> n.node_id then begin
+                    Simnet.record_message t.net cfg.Detector.hb_bytes;
+                    match
+                      Faults.on_heartbeat t.faults ~now:emit_at
+                        ~src:n.node_id ~dst:m.node_id
+                    with
+                    | `Drop -> ()
+                    | `Deliver delay ->
+                      Detector.record det ~src:n.node_id ~dst:m.node_id
+                        ~at:(emit_at +. hb_s +. delay)
+                  end)
+                t.nodes)
+            (Detector.due det ~node:n.node_id ~now:n.clock))
+      t.nodes
+
 (* Run one scheduling round: each alive node runs its runnable,
    non-parked processes for one quantum and advances its LOCAL clock by
    the work done.  Nodes therefore progress independently and in
@@ -1797,6 +1999,12 @@ let round t =
         | Some stall_s ->
           n.clock <- n.clock +. stall_s;
           Simnet.advance_to t.net n.clock;
+          (* the stalled node emits no heartbeats for the whole window:
+             the beats it "would have sent" are skipped, so observers see
+             exactly the silence a real freeze produces *)
+          (match t.detector with
+          | Some det -> Detector.skip_to det ~node:n.node_id ~at:n.clock
+          | None -> ());
           emit t ~time:n.clock ~node:n.node_id
             (Obs.Trace.Node_stall { stall_s });
           progressed := true
@@ -1825,6 +2033,13 @@ let round t =
         let ran = ref 0 in
         List.iter
           (fun (e : entry) ->
+            if is_stale t e then begin
+              (* schedule-time fence: a zombie incarnation never executes
+                 another instruction once its rank's epoch has moved on *)
+              fence t e ~what:"schedule";
+              progressed := true
+            end
+            else begin
             let before = e.proc.Process.cycles in
             (* time base for extern handlers running in this quantum *)
             t.cur_base <- n.clock +. Arch.seconds n.node_arch !node_cycles;
@@ -1853,7 +2068,8 @@ let round t =
               incr ran;
               Obs.Metrics.incr t.c_quanta
             end;
-            node_cycles := !node_cycles + delta)
+            node_cycles := !node_cycles + delta
+            end)
           procs;
         t.cur_pid <- -1;
         (* context switches between the processes that shared the node *)
@@ -1878,6 +2094,7 @@ let round t =
         Simnet.advance_to t.net n.clock
       end)
     t.nodes;
+  pump_heartbeats t;
   !progressed
 
 (* Idle nodes jump their clocks to the next relevant event (a pending
@@ -1905,7 +2122,33 @@ let idle_advance t =
           | Some _ | None -> ()
       end)
     t.nodes;
+  pump_heartbeats t;
   !advanced
+
+(* Advance every alive node's local clock by [dt] even with no runnable
+   work: lets a resilience driver pump heartbeat traffic and time out
+   suspicions when the system is otherwise quiescent (every survivor
+   parked on a rank whose holder's node went silent).
+
+   Clocks advance to (cluster-wide now + dt), not (own clock + dt): an
+   idle node's lagging clock is an artifact of the conservative DES (it
+   simply had nothing to do), and while it lags it keeps promoting old
+   heartbeats as "recent", vetoing unanimous suspicion for as long as
+   the lag.  The node has no pending work, so jumping it to the present
+   is observationally safe. *)
+let advance_clocks t dt =
+  if dt > 0.0 then begin
+    let target = now t +. dt in
+    Array.iter
+      (fun n ->
+        if n.alive then begin
+          n.clock <- Float.max n.clock target;
+          Simnet.advance_to t.net n.clock
+        end)
+      t.nodes;
+    pump_heartbeats t;
+    Array.iter (fun n -> if n.alive then wake_ready t n) t.nodes
+  end
 
 (* Run until nothing can make progress anymore or [max_rounds] is hit.
    [stop] is polled between rounds for driver-controlled termination. *)
@@ -2027,6 +2270,15 @@ let render_event t (e : Obs.Trace.event) =
     | Obs.Trace.Msg_dup { dst; tag } ->
       Printf.sprintf "pid %d: message to rank %d duplicated (tag %d)"
         e.Obs.Trace.pid dst tag
+    | Obs.Trace.Suspect { subject; false_positive } ->
+      Printf.sprintf "detector suspects %s%s" (name_of subject)
+        (if false_positive then " (false positive)" else "")
+    | Obs.Trace.Fenced { stale_epoch; current_epoch; what } ->
+      Printf.sprintf "pid %d fenced at %s: epoch %d superseded by %d"
+        e.Obs.Trace.pid what stale_epoch current_epoch
+    | Obs.Trace.Storage_repair { path; replicas } ->
+      Printf.sprintf "storage read-repaired %d replica(s) of %s" replicas
+        path
   in
   Printf.sprintf "[%10.6f] %s" e.Obs.Trace.time text
 
@@ -2066,6 +2318,25 @@ let cache_reports t =
 let alive_count t =
   Array.fold_left (fun acc n -> if n.alive then acc + 1 else acc) 0 t.nodes
 
+let detection_enabled t = Option.is_some t.detector
+let detector_config t = Option.map Detector.config t.detector
+
+(* Nodes the failure detector currently suspects, judged ONLY from
+   heartbeat silence on the observers' local clocks — ground-truth
+   aliveness picks who gets to observe (dead observers don't vote) and
+   labels false positives in the metrics, but never drives detection. *)
+let suspected_nodes t =
+  match t.detector with
+  | None -> []
+  | Some det ->
+    pump_heartbeats t;
+    let clocks = Array.map (fun n -> n.clock) t.nodes in
+    let alive = Array.map (fun n -> n.alive) t.nodes in
+    Detector.suspects det ~clocks ~alive
+      ~on_suspect:(fun ~subject ~false_positive ->
+        emit t ~time:(now t) ~node:subject
+          (Obs.Trace.Suspect { subject; false_positive }))
+
 (* Public wrapper for host-initiated aborts (tests, recovery drivers):
    roll [pid] back to [level]; the dependency cascade follows from the
    engine hook. *)
@@ -2098,14 +2369,25 @@ let migrate_running t ~pid ~node_id =
     | Process.Running -> (
       let src = node t entry.node_id in
       let target = node t node_id in
-      if not target.alive then Error Target_down
+      if is_stale t entry then begin
+        let current =
+          match entry.rank with Some r -> rank_epoch t r | None -> 0
+        in
+        fence t entry ~what:"migrate";
+        Error (Fenced { rank = entry_rank entry; stale = entry.epoch;
+                        current })
+      end
+      else if not target.alive then Error Target_down
       else if target.node_id = src.node_id then Error Already_there
       else begin
         let with_binary =
           t.trusted && Arch.equal src.node_arch target.node_arch
         in
         let prev_baseline = entry.baseline in
-        let packed = Migrate.Pack.pack_running ~with_binary entry.proc in
+        let packed =
+          Migrate.Pack.pack_running ~with_binary ~epoch:entry.epoch
+            entry.proc
+        in
         let baseline_digest = rebase_baseline src entry packed in
         let sh =
           choose_shipment t ~baseline:prev_baseline entry target packed
@@ -2154,6 +2436,7 @@ let migrate_running t ~pid ~node_id =
               node_id = target.node_id;
               mailbox = entry.mailbox;
               rank = entry.rank;
+              epoch = entry.epoch;
               start_at =
                 max target.clock (src.clock +. pack_s +. transfer_s)
                 +. compile_s;

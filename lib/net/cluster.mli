@@ -23,6 +23,10 @@ type entry = {
   mutable node_id : int;
   mailbox : Mpi.mailbox;
   mutable rank : int option;
+  mutable epoch : int;
+      (** incarnation epoch of the rank this entry was created under; an
+          entry whose epoch falls behind the rank's current epoch is a
+          zombie and is fenced at every interaction point *)
   mutable start_at : float;  (** not schedulable before this (node) time *)
   mutable parked_on : (int * int) option;
       (** (src rank, tag) of the last unsuccessful poll *)
@@ -79,6 +83,10 @@ type migration_error =
       (** retry budget exhausted — every transmission was lost or
           partitioned; the process keeps running where it was *)
   | Rejected of string  (** the target daemon refused the image *)
+  | Fenced of { rank : int; stale : int; current : int }
+      (** the process is a stale incarnation of [rank]: a resurrection
+          bumped the rank's epoch to [current] past the process's
+          [stale] one, and zombies may not migrate *)
 
 val migration_error_to_string : migration_error -> string
 
@@ -116,12 +124,22 @@ module Config : sig
     baseline_cache : int;
         (** per-daemon retained-baseline bound; [<= 0] disables delta
             RECEIVE on every node (senders then always fall back) *)
+    detector : Detector.config option;
+        (** [Some cfg] runs a heartbeat failure detector over the
+            cluster; [None] (default) emits no heartbeats and draws no
+            extra randomness, keeping legacy traces byte-identical *)
+    replication : int;
+        (** checkpoint replication factor: [k >= 1] places every stored
+            file on [k] distinct node-local stores that die with their
+            node (clamped to [node_count]); [<= 0] (default) keeps the
+            legacy indestructible shared store *)
   }
 
   val default : t
   (** 4 nodes, cisc32, untrusted, quantum 64, seed 1, 16-entry caches,
       default net and trace, {!default_retry}, {!Faults.none}, delta
-      shipping on with 4 retained baselines per daemon. *)
+      shipping on with 4 retained baselines per daemon, no failure
+      detector, unreplicated shared storage. *)
 end
 
 type t
@@ -132,14 +150,6 @@ val msg_roll : int
 val create_cfg : Config.t -> t
 (** Build a cluster of [node_count] nodes named [node0..] from a typed
     configuration. *)
-
-val create :
-  ?node_count:int -> ?arches:Arch.t array -> ?trusted:bool ->
-  ?quantum:int -> ?seed:int -> ?code_cache:int -> ?net:Simnet.t ->
-  ?trace_capacity:int -> unit -> t
-[@@ocaml.deprecated "use Cluster.create_cfg with a Cluster.Config.t"]
-(** Thin wrapper over {!create_cfg} kept for one release; it cannot set
-    a retry policy or a fault plan. *)
 
 val node : t -> int -> node
 val node_count : t -> int
@@ -177,6 +187,12 @@ val run : ?max_rounds:int -> ?stop:(unit -> bool) -> t -> int
 (** Schedule until quiescent, stopped, or out of rounds; returns the
     number of rounds executed. *)
 
+val advance_clocks : t -> float -> unit
+(** Advance every alive node's local clock by the given seconds even
+    with nothing runnable, pumping heartbeat traffic: lets a resilience
+    driver time out suspicions when the system is quiescent (every
+    survivor parked on a rank whose holder went silent). *)
+
 (** {2 Failure and recovery} *)
 
 val fail_node : t -> int -> unit
@@ -191,6 +207,13 @@ val resurrect :
     resurrection daemon of Figure 2); same-architecture resurrections
     take the binary fast path.  Returns the new pid.
 
+    Resurrecting under [?rank] BUMPS that rank's incarnation epoch
+    first: any old holder of the rank still executing (a false
+    suspicion) is fenced before the successor exists — it never runs
+    another instruction, its uncommitted speculative sends cascade, and
+    survivors that consumed its traffic roll back and re-send — so
+    resurrection never yields two live copies of a rank.
+
     A checkpoint taken mid-speculation restores the process's LOCAL
     speculation state; cross-process dependency edges are not restored
     across death (live migration re-keys them, see {!migrate_running}).
@@ -200,6 +223,21 @@ val resurrect :
 
 val abort_speculation : ?code:int -> t -> pid:int -> level:int -> unit
 (** Host-initiated rollback; the dependency cascade follows. *)
+
+val detection_enabled : t -> bool
+(** A heartbeat failure detector was configured. *)
+
+val detector_config : t -> Detector.config option
+
+val suspected_nodes : t -> int list
+(** Nodes the failure detector currently suspects (ascending), judged
+    ONLY from heartbeat silence on the observers' local clocks — never
+    from ground-truth aliveness.  A stalled or partitioned node can be
+    falsely suspected; epoch fencing makes resurrecting over it safe.
+    Empty when no detector is configured. *)
+
+val rank_epoch : t -> int -> int
+(** The rank's current incarnation epoch (0 until first resurrection). *)
 
 val migrate_running :
   t -> pid:int -> node_id:int -> (migration_report, migration_error) result

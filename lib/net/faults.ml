@@ -33,6 +33,9 @@ type plan = {
   f_partitions : partition list;
   f_stalls : stall list;
   f_crashes : crash list;
+  f_store_lost : float;
+  f_store_torn : float;
+  f_store_flip : float;
 }
 
 let none =
@@ -45,11 +48,15 @@ let none =
     f_partitions = [];
     f_stalls = [];
     f_crashes = [];
+    f_store_lost = 0.0;
+    f_store_torn = 0.0;
+    f_store_flip = 0.0;
   }
 
 let is_none p =
   p.f_loss = 0.0 && p.f_dup = 0.0 && p.f_jitter_s = 0.0
   && p.f_partitions = [] && p.f_stalls = [] && p.f_crashes = []
+  && p.f_store_lost = 0.0 && p.f_store_torn = 0.0 && p.f_store_flip = 0.0
 
 let validate p =
   let prob name v =
@@ -61,10 +68,21 @@ let validate p =
     if v < 0.0 then Error (Printf.sprintf "%s must be >= 0, got %g" name v)
     else Ok ()
   in
+  (* storage fates fire at most once per replica write, so unlike loss
+     (which feeds a retransmission loop) probability 1.0 is safe — and
+     useful for deterministic tests *)
+  let store_prob name v =
+    if v < 0.0 || v > 1.0 then
+      Error (Printf.sprintf "%s must be in [0,1], got %g" name v)
+    else Ok ()
+  in
   let ( let* ) = Result.bind in
   let* () = prob "loss" p.f_loss in
   let* () = prob "dup" p.f_dup in
   let* () = nonneg "jitter" p.f_jitter_s in
+  let* () = store_prob "store_lost" p.f_store_lost in
+  let* () = store_prob "store_torn" p.f_store_torn in
+  let* () = store_prob "store_flip" p.f_store_flip in
   let* () =
     if p.f_retransmit_s <= 0.0 then Error "retransmit must be > 0"
     else Ok ()
@@ -102,6 +120,9 @@ let plan_to_string p =
   if p.f_jitter_s > 0.0 then add "jitter %g\n" p.f_jitter_s;
   if p.f_retransmit_s <> none.f_retransmit_s then
     add "retransmit %g\n" p.f_retransmit_s;
+  if p.f_store_lost > 0.0 then add "store_lost %g\n" p.f_store_lost;
+  if p.f_store_torn > 0.0 then add "store_torn %g\n" p.f_store_torn;
+  if p.f_store_flip > 0.0 then add "store_flip %g\n" p.f_store_flip;
   List.iter
     (fun w ->
       if w.p_until = infinity then
@@ -170,6 +191,15 @@ let parse_plan ?seed text =
           | [ "retransmit"; v ] ->
             let* v = float_of lineno "retransmit" v in
             Ok { p with f_retransmit_s = v }
+          | [ "store_lost"; v ] ->
+            let* v = float_of lineno "store_lost" v in
+            Ok { p with f_store_lost = v }
+          | [ "store_torn"; v ] ->
+            let* v = float_of lineno "store_torn" v in
+            Ok { p with f_store_torn = v }
+          | [ "store_flip"; v ] ->
+            let* v = float_of lineno "store_flip" v in
+            Ok { p with f_store_flip = v }
           | [ "partition"; a; b; "from"; f; "until"; u ] ->
             let* a = int_of lineno "node" a in
             let* b = int_of lineno "node" b in
@@ -227,6 +257,10 @@ type t = {
   c_hop_dup : Obs.Metrics.counter;
   c_stalls : Obs.Metrics.counter;
   c_crashes : Obs.Metrics.counter;
+  c_hb_dropped : Obs.Metrics.counter;
+  c_store_lost : Obs.Metrics.counter;
+  c_store_torn : Obs.Metrics.counter;
+  c_store_flip : Obs.Metrics.counter;
 }
 
 let create ?(salt = 0) ?metrics plan =
@@ -242,6 +276,10 @@ let create ?(salt = 0) ?metrics plan =
   let c_hop_dup = Obs.Metrics.counter metrics "faults.hop_dup" in
   let c_stalls = Obs.Metrics.counter metrics "faults.stalls" in
   let c_crashes = Obs.Metrics.counter metrics "faults.crashes" in
+  let c_hb_dropped = Obs.Metrics.counter metrics "faults.hb_dropped" in
+  let c_store_lost = Obs.Metrics.counter metrics "faults.store_lost" in
+  let c_store_torn = Obs.Metrics.counter metrics "faults.store_torn" in
+  let c_store_flip = Obs.Metrics.counter metrics "faults.store_flip" in
   {
     t_plan = plan;
     t_rng = Random.State.make [| plan.f_seed; salt; 0x6d6f6a61 (* "moja" *) |];
@@ -254,6 +292,10 @@ let create ?(salt = 0) ?metrics plan =
     c_hop_dup;
     c_stalls;
     c_crashes;
+    c_hb_dropped;
+    c_store_lost;
+    c_store_torn;
+    c_store_flip;
   }
 
 let plan t = t.t_plan
@@ -358,6 +400,56 @@ let on_hop t ~now ~src ~dst =
     `Lost
   end
   else `Deliver
+
+(* Heartbeats are fire-and-forget: unlike application messages they are
+   NOT retransmitted on loss — a dropped beat is silence, which is
+   exactly the signal the failure detector interprets.  A partition at
+   emission time drops the beat outright (partitions heal for queued
+   application traffic, but a heartbeat that arrives after the suspicion
+   window is as good as lost). *)
+let on_heartbeat t ~now ~src ~dst =
+  let p = t.t_plan in
+  if src = dst || is_none p then `Deliver 0.0
+  else if partitioned t ~now ~a:src ~b:dst then begin
+    Obs.Metrics.incr t.c_hb_dropped;
+    `Drop
+  end
+  else if p.f_loss > 0.0 && Random.State.float t.t_rng 1.0 < p.f_loss
+  then begin
+    Obs.Metrics.incr t.c_hb_dropped;
+    `Drop
+  end
+  else if p.f_jitter_s > 0.0 then
+    `Deliver (Random.State.float t.t_rng p.f_jitter_s)
+  else `Deliver 0.0
+
+(* Fate of one replica write in the checkpoint store.  [`Torn frac]
+   persists only a prefix of the data (a torn write: the node died or
+   the disk filled mid-write); [`Flip frac] persists the data with one
+   byte corrupted at the given relative position.  Both leave the stored
+   digest describing the ORIGINAL bytes, so a digest-verified read
+   detects the damage.  At most one draw per configured class, so plans
+   without storage faults consume no randomness here. *)
+let on_store_write t =
+  let p = t.t_plan in
+  if p.f_store_lost = 0.0 && p.f_store_torn = 0.0 && p.f_store_flip = 0.0
+  then `Ok
+  else begin
+    let draw pr = pr > 0.0 && Random.State.float t.t_rng 1.0 < pr in
+    if draw p.f_store_lost then begin
+      Obs.Metrics.incr t.c_store_lost;
+      `Lost
+    end
+    else if draw p.f_store_torn then begin
+      Obs.Metrics.incr t.c_store_torn;
+      `Torn (0.1 +. Random.State.float t.t_rng 0.8)
+    end
+    else if draw p.f_store_flip then begin
+      Obs.Metrics.incr t.c_store_flip;
+      `Flip (Random.State.float t.t_rng 1.0)
+    end
+    else `Ok
+  end
 
 let dup_hop t =
   let p = t.t_plan in

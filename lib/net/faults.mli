@@ -9,12 +9,14 @@
     seed always yields the same fault schedule — traces are reproducible
     byte for byte.
 
-    The cluster consults the runtime at three points: when a message is
+    The cluster consults the runtime at five points: when a message is
     enqueued ({!on_message}), when a migration image is pushed across a
-    link ({!on_hop}, one call per transmission attempt), and at the top
-    of every scheduling round ({!take_stall}, {!take_crash}).  Storage
-    faults ({!Net.Cluster.set_object_failure_probability}) draw from the
-    same RNG ({!rng}), so they are reproducible under the same seed. *)
+    link ({!on_hop}, one call per transmission attempt), when a
+    heartbeat is emitted ({!on_heartbeat}), when a checkpoint replica is
+    persisted ({!on_store_write}), and at the top of every scheduling
+    round ({!take_stall}, {!take_crash}).  Object-store faults
+    ({!Net.Cluster.set_object_failure_probability}) draw from the same
+    RNG ({!rng}), so they are reproducible under the same seed. *)
 
 type partition = {
   pa : int;  (** node id *)
@@ -42,6 +44,12 @@ type plan = {
   f_partitions : partition list;
   f_stalls : stall list;
   f_crashes : crash list;
+  f_store_lost : float;
+      (** per-replica-write probability the file silently vanishes, [0,1] *)
+  f_store_torn : float;
+      (** per-replica-write probability only a prefix persists, [0,1] *)
+  f_store_flip : float;
+      (** per-replica-write probability one stored byte is corrupted, [0,1] *)
 }
 
 val none : plan
@@ -66,6 +74,9 @@ val validate : plan -> (plan, string) result
     partition 0 3 from 0.2 until forever
     stall 3 at 0.08 for 0.01
     crash 1 at 0.15
+    store_lost 0.05
+    store_torn 0.02
+    store_flip 0.02
     v} *)
 
 val parse_plan : ?seed:int -> string -> (plan, string) result
@@ -85,7 +96,9 @@ val create : ?salt:int -> ?metrics:Obs.Metrics.t -> plan -> t
     diverge when asked to.  [metrics] receives the fault counters
     ([faults.retransmits], [faults.msg_dup], [faults.msg_dropped],
     [faults.hop_lost], [faults.hop_dup], [faults.stalls],
-    [faults.crashes]); a private registry is used when omitted. *)
+    [faults.crashes], [faults.hb_dropped], [faults.store_lost],
+    [faults.store_torn], [faults.store_flip]); a private registry is
+    used when omitted. *)
 
 val plan : t -> plan
 
@@ -118,6 +131,25 @@ val on_hop : t -> now:float -> src:int -> dst:int -> [ `Deliver | `Lost | `Parti
 val dup_hop : t -> bool
 (** Should a delivered migration image also arrive a second time?
     (Exercises the receiver's idempotent-receive path.) *)
+
+val on_heartbeat :
+  t -> now:float -> src:int -> dst:int -> [ `Deliver of float | `Drop ]
+(** Fault decision for one heartbeat emitted by node [src] towards
+    observer [dst] at [src]'s local time [now].  Heartbeats are
+    fire-and-forget: loss and partitions drop the beat outright (no
+    retransmission — silence is the signal the failure detector reads);
+    [`Deliver d] adds [d] seconds of jitter on top of the nominal
+    network time.  Fault-free plans consume no randomness. *)
+
+val on_store_write :
+  t -> [ `Ok | `Lost | `Torn of float | `Flip of float ]
+(** Fate of one checkpoint-replica write.  [`Lost]: the write is
+    acknowledged but nothing persists.  [`Torn frac]: only the first
+    [frac] of the bytes persist.  [`Flip frac]: the data persists with
+    one byte corrupted at relative position [frac].  The stored digest
+    always describes the original bytes, so a digest-verified read
+    detects torn and flipped replicas.  Plans with no storage-fault
+    probabilities consume no randomness. *)
 
 val partitioned : t -> now:float -> a:int -> b:int -> bool
 

@@ -39,6 +39,7 @@ type message = {
   msg_payload : Value.t array;
   msg_deliver_at : float; (* simulated arrival time *)
   msg_spec : (int * int) option; (* (sender pid, sender level unique id) *)
+  msg_src_epoch : int; (* sender's rank incarnation epoch at send time *)
 }
 
 type mailbox = {
@@ -125,6 +126,24 @@ let discard_speculative mbox ~uids ~sender_pid =
       incr dropped;
       false
     | Some _ | None -> true
+  in
+  mbox.front <- List.filter keep mbox.front;
+  mbox.back <- List.filter keep mbox.back;
+  mbox.size <- mbox.size - !dropped;
+  !dropped
+
+(* Drop queued messages whose sender incarnation is stale ([stale m]
+   decides, typically by comparing [msg_src_epoch] against the rank's
+   current epoch).  Used by epoch fencing: traffic from a superseded
+   incarnation must not be consumed by anyone. *)
+let discard_stale mbox ~stale =
+  let dropped = ref 0 in
+  let keep m =
+    if stale m then begin
+      incr dropped;
+      false
+    end
+    else true
   in
   mbox.front <- List.filter keep mbox.front;
   mbox.back <- List.filter keep mbox.back;

@@ -30,6 +30,9 @@ type message = {
   msg_deliver_at : float;  (** simulated arrival time *)
   msg_spec : (int * int) option;
       (** (sender pid, sender level unique id) when speculative *)
+  msg_src_epoch : int;
+      (** the sender's rank incarnation epoch at send time; fencing
+          rejects messages from superseded incarnations *)
 }
 
 type mailbox
@@ -53,6 +56,10 @@ val discard_speculative : mailbox -> uids:int list -> sender_pid:int -> int
 (** Drop queued messages originating from the given speculation levels
     (the sender rolled back: its speculative messages are unsent).
     Returns the number dropped. *)
+
+val discard_stale : mailbox -> stale:(message -> bool) -> int
+(** Drop queued messages from superseded sender incarnations (epoch
+    fencing).  Returns the number dropped. *)
 
 val next_delivery : mailbox -> float option
 

@@ -45,6 +45,9 @@ type kind =
   | Node_fail
   | Node_stall of { stall_s : float }
   | Link_partition of { peer_a : int; peer_b : int; until_s : float }
+  | Suspect of { subject : int; false_positive : bool }
+  | Fenced of { stale_epoch : int; current_epoch : int; what : string }
+  | Storage_repair of { path : string; replicas : int }
   | Checkpoint of { path : string; bytes : int }
   | Resurrect of { path : string; ok : bool }
   | Gc of { gc_kind : gc_kind; live : int; collected : int }
@@ -114,6 +117,9 @@ let kind_label = function
   | Node_fail -> "node_fail"
   | Node_stall _ -> "node_stall"
   | Link_partition _ -> "link_partition"
+  | Suspect _ -> "suspect"
+  | Fenced _ -> "fenced"
+  | Storage_repair _ -> "storage_repair"
   | Checkpoint _ -> "checkpoint"
   | Resurrect _ -> "resurrect"
   | Gc _ -> "gc"
@@ -174,6 +180,16 @@ let kind_fields buf = function
       (if until_s = infinity then "null" else json_float until_s)
   | Msg_drop { dst; tag } | Msg_dup { dst; tag } ->
     Printf.bprintf buf ",\"dst\":%d,\"tag\":%d" dst tag
+  | Suspect { subject; false_positive } ->
+    Printf.bprintf buf ",\"subject\":%d,\"false_positive\":%b" subject
+      false_positive
+  | Fenced { stale_epoch; current_epoch; what } ->
+    Printf.bprintf buf
+      ",\"stale_epoch\":%d,\"current_epoch\":%d,\"what\":\"%s\"" stale_epoch
+      current_epoch (json_escape what)
+  | Storage_repair { path; replicas } ->
+    Printf.bprintf buf ",\"path\":\"%s\",\"replicas\":%d" (json_escape path)
+      replicas
   | Spawn | Cache_hit | Cache_miss | Node_fail -> ()
   | Spec_enter { uid; depth } ->
     Printf.bprintf buf ",\"uid\":%d,\"depth\":%d" uid depth

@@ -42,6 +42,16 @@ type kind =
   | Link_partition of { peer_a : int; peer_b : int; until_s : float }
       (** a scripted partition window opens; [until_s = infinity] never
           heals *)
+  | Suspect of { subject : int; false_positive : bool }
+      (** the failure detector suspected [subject]; [false_positive] is
+          ground truth the detector itself never sees *)
+  | Fenced of { stale_epoch : int; current_epoch : int; what : string }
+      (** a stale incarnation was rejected at an interaction point
+          ([what]: "schedule" | "send" | "recv" | "migrate" |
+          "checkpoint" | "stale_msg") *)
+  | Storage_repair of { path : string; replicas : int }
+      (** a digest-verified read repaired [replicas] damaged or missing
+          replicas of [path] *)
   | Checkpoint of { path : string; bytes : int }
   | Resurrect of { path : string; ok : bool }
   | Gc of { gc_kind : gc_kind; live : int; collected : int }

@@ -30,13 +30,15 @@ let status_of cluster pid =
   | Some e -> e.Net.Cluster.proc.Vm.Process.status
   | None -> Alcotest.failf "pid %d lost" pid
 
-let mk_cluster ?(nodes = 3) ?(seed = 1) plan =
+let mk_cluster ?(nodes = 3) ?(seed = 1) ?detector ?(replication = 0) plan =
   Net.Cluster.create_cfg
     { Net.Cluster.Config.default with
       node_count = nodes;
       seed;
       net = Some (Net.Simnet.create ~latency_us:5.0 ());
-      faults = plan }
+      faults = plan;
+      detector;
+      replication }
 
 (* ------------------------------------------------------------------ *)
 (* Plan files                                                          *)
@@ -531,26 +533,256 @@ int main() {
   check "some writes failed and some succeeded" true (a > 0 && a < 32)
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated wrappers still work (callers get one release of grace)   *)
+(* Replicated checkpoint storage                                       *)
 (* ------------------------------------------------------------------ *)
 
-[@@@alert "-deprecated"]
+let counter cluster name =
+  Obs.Metrics.counter_value (Net.Cluster.metrics cluster) name
 
-let test_deprecated_wrappers () =
-  let cluster = Net.Cluster.create ~node_count:2 ~seed:3 () in
-  let pid =
-    Net.Cluster.spawn cluster ~node_id:0 (compile_c "int main() { return 7; }")
+let mk_storage ?(replication = 2) ?(nodes = 3) ?(plan = Net.Faults.none) () =
+  let net = Net.Simnet.create ~latency_us:5.0 () in
+  let metrics = Obs.Metrics.create () in
+  let faults = Net.Faults.create ~salt:env_seed ~metrics plan in
+  let storage =
+    Net.Storage.create ~replication ~nodes ~faults ~metrics net
   in
-  let _ = Net.Cluster.run cluster in
-  check "wrapper-built cluster runs" true
-    (status_of cluster pid = Vm.Process.Exited 7);
-  check "wrapper cluster has no faults" true
-    (Net.Faults.is_none (Net.Cluster.fault_plan cluster));
-  let server = Migrate.Server.create ~trusted:true Vm.Arch.cisc32 in
-  check_int "wrapper-built server starts clean" 0
-    (Migrate.Server.stats server).Migrate.Server.accepted
+  (storage, metrics)
 
-[@@@alert "+deprecated"]
+let test_replica_survives_node_loss () =
+  (* full replication: every node holds a copy; losing one node's store
+     leaves the data readable and intact *)
+  let storage, _ = mk_storage ~replication:3 ~nodes:3 () in
+  let data = "checkpoint-payload-0123456789" in
+  let dt = Net.Storage.write storage "ck" data in
+  check "write charged transfer time" true (dt > 0.0);
+  check_int "all replicas verify" 3 (Net.Storage.good_replicas storage "ck");
+  Net.Storage.fail_node storage 0;
+  check_int "one replica died with its node" 2
+    (Net.Storage.good_replicas storage "ck");
+  (match Net.Storage.read storage "ck" with
+  | Some (got, _) -> Alcotest.(check string) "bytes intact" data got
+  | None -> Alcotest.fail "read failed with two good replicas")
+
+let test_torn_write_read_repair () =
+  (* half the replica writes are torn: some path ends up with exactly
+     one good copy — a read must digest-verify, serve the good copy and
+     repair the torn replica; a path with NO good copy must fail the
+     read rather than return corrupt bytes *)
+  let plan =
+    { Net.Faults.none with f_seed = env_seed; f_store_torn = 0.5 }
+  in
+  let storage, metrics = mk_storage ~replication:2 ~nodes:3 ~plan () in
+  let data i = Printf.sprintf "payload-%04d-0123456789abcdef" i in
+  let paths = List.init 64 (fun i -> (Printf.sprintf "p%02d" i, data i)) in
+  List.iter (fun (p, d) -> ignore (Net.Storage.write storage p d)) paths;
+  let with_goodness n =
+    List.filter (fun (p, _) -> Net.Storage.good_replicas storage p = n) paths
+  in
+  (match with_goodness 1 with
+  | [] -> Alcotest.fail "no path ended up with exactly one good replica"
+  | (p, d) :: _ -> (
+    match Net.Storage.read storage p with
+    | Some (got, _) ->
+      Alcotest.(check string) "read served the verifying copy" d got;
+      check_int "read-repair restored full redundancy" 2
+        (Net.Storage.good_replicas storage p)
+    | None -> Alcotest.fail "read failed with a good replica present"));
+  check "repairs were counted" true
+    (Obs.Metrics.counter_value metrics "storage.repairs" >= 1);
+  (match with_goodness 0 with
+  | [] -> Alcotest.fail "no path ended up with zero good replicas"
+  | (p, _) :: _ ->
+    check "no verifying copy: read refuses rather than serve torn bytes"
+      true
+      (Net.Storage.read storage p = None));
+  check "corrupt reads were counted" true
+    (Obs.Metrics.counter_value metrics "storage.corrupt_reads" >= 1)
+
+let test_bit_flip_never_served () =
+  (* every replica write takes a bit flip: the digest check must reject
+     both copies — a flipped checkpoint is never returned as data *)
+  let plan =
+    { Net.Faults.none with f_seed = env_seed; f_store_flip = 1.0 }
+  in
+  let storage, metrics = mk_storage ~replication:2 ~nodes:2 ~plan () in
+  ignore (Net.Storage.write storage "ck" "bytes-that-matter-0123456789");
+  check "flipped replicas exist but do not verify" true
+    (Net.Storage.exists storage "ck"
+    && Net.Storage.good_replicas storage "ck" = 0);
+  check "read returns nothing rather than flipped bytes" true
+    (Net.Storage.read storage "ck" = None);
+  check "corrupt reads counted" true
+    (Obs.Metrics.counter_value metrics "storage.corrupt_reads" >= 1);
+  check "flips drew from the seeded fault RNG" true
+    (Obs.Metrics.counter_value metrics "faults.store_flip" >= 1)
+
+let test_single_replica_loss_is_typed_error () =
+  (* k = 1 and the only replica write is lost: resurrection must fail
+     with the existing typed error, never resurrect from thin air *)
+  let plan =
+    { Net.Faults.none with f_seed = env_seed; f_store_lost = 1.0 }
+  in
+  let cluster = mk_cluster ~nodes:2 ~seed:env_seed ~replication:1 plan in
+  let storage = Net.Cluster.storage cluster in
+  let dt = Net.Storage.write storage "ck" "lost-forever" in
+  check "the write itself was charged" true (dt > 0.0);
+  check "the only replica was lost" false (Net.Storage.exists storage "ck");
+  check "lost writes counted" true (counter cluster "faults.store_lost" >= 1);
+  match Net.Cluster.resurrect cluster ~node_id:0 ~path:"ck" with
+  | Ok _ -> Alcotest.fail "resurrected from a lost checkpoint"
+  | Error m -> check "typed error, not wrong data" true (String.length m > 0)
+
+let test_wire_epoch_roundtrip () =
+  (* the incarnation epoch rides the wire but is NOT part of the image's
+     identity: two incarnations of a rank share their baseline digest,
+     so delta negotiation survives resurrection *)
+  let proc, _ =
+    Test_migrate.run_to_migration (Test_migrate.migrating_sum 24)
+  in
+  let packed = Migrate.Pack.pack_request ~with_binary:false ~epoch:3 proc in
+  let im = packed.Migrate.Pack.p_image in
+  check_int "pack stamps the incarnation epoch" 3 im.Migrate.Wire.i_epoch;
+  let im' = Migrate.Wire.decode (Migrate.Wire.encode im) in
+  check_int "epoch survives the wire round trip" 3 im'.Migrate.Wire.i_epoch;
+  Alcotest.(check string) "epoch is incarnation metadata, not identity"
+    (Migrate.Wire.image_digest im)
+    (Migrate.Wire.image_digest { im with Migrate.Wire.i_epoch = 7 })
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat failure detection and epoch fencing                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Timings for crash detection: coarse heartbeats, a timeout a few
+   multiples of the interval — suspicion matures during the quiescent
+   pumping after survivors park on the dead rank. *)
+let crash_detector =
+  { Net.Detector.hb_interval_s = 0.0005;
+    suspect_timeout_s = 0.002;
+    hb_bytes = 8 }
+
+let work_cfg = { grid_cfg with Mcc.Gridapp.work_us_per_step = 500 }
+
+let check_golden_cfg cfg sums =
+  let golden = Mcc.Gridapp.golden_checksums cfg in
+  Array.iteri
+    (fun r s ->
+      match s with
+      | Some n -> check_int (Printf.sprintf "rank %d checksum" r) golden.(r) n
+      | None -> Alcotest.failf "rank %d never finished" r)
+    sums
+
+let test_heartbeat_crash_detection () =
+  (* no omniscient crash knowledge: node 1 dies and the ONLY signal is
+     its missed heartbeats.  Rank 1 must be resurrected (bumped epoch)
+     on suspicion and the grid must still reach the golden checksums —
+     with its checkpoint replicas surviving the loss of node 1's local
+     store *)
+  let plan =
+    { Net.Faults.none with
+      f_seed = env_seed;
+      f_crashes = [ { Net.Faults.c_node = 1; c_at = 0.004 } ] }
+  in
+  let cluster =
+    mk_cluster ~nodes:4 ~seed:env_seed ~detector:crash_detector
+      ~replication:2 plan
+  in
+  let d = Mcc.Gridapp.deploy ~spare:true cluster work_cfg in
+  let _ = Mcc.Gridapp.run_resilient d in
+  check_golden_cfg work_cfg (Mcc.Gridapp.checksums d);
+  check_single_holder cluster;
+  check "heartbeats actually flowed" true
+    (counter cluster "detector.heartbeats" > 0);
+  check "the crash was suspected from silence alone" true
+    (counter cluster "detector.suspicions" >= 1);
+  check "rank 1 came back under a bumped incarnation epoch" true
+    (Net.Cluster.rank_epoch cluster 1 >= 1);
+  check "the resurrection was counted" true
+    (counter cluster "cluster.resurrections" >= 1)
+
+(* Timings for false suspicion: interval and timeout well under one grid
+   step's busy time, so survivors' clocks creep past the silence window
+   while a stalled peer is merely slow. *)
+let stall_detector =
+  { Net.Detector.hb_interval_s = 0.00005;
+    suspect_timeout_s = 0.0002;
+    hb_bytes = 8 }
+
+let false_suspicion_run seed =
+  (* 3 nodes, 3 ranks, NO spare: every observer is busy, so unanimity
+     can mature mid-run.  Node 2 stalls long past the suspicion timeout
+     after checkpoints exist; it is not dead, so the detector's
+     suspicion is FALSE — resurrection bumps rank 2's epoch and the
+     stalled original must be fenced when it wakes. *)
+  let plan =
+    { Net.Faults.none with
+      f_seed = seed;
+      f_stalls = [ { Net.Faults.s_node = 2; s_at = 0.0045; s_for = 0.05 } ]
+    }
+  in
+  let cluster =
+    mk_cluster ~nodes:3 ~seed ~detector:stall_detector ~replication:2
+      plan
+  in
+  let d = Mcc.Gridapp.deploy cluster work_cfg in
+  let _ = Mcc.Gridapp.run_resilient d in
+  (cluster, d)
+
+let test_false_suspicion_fencing () =
+  List.iter
+    (fun seed ->
+      let cluster, d = false_suspicion_run seed in
+      check_golden_cfg work_cfg (Mcc.Gridapp.checksums d);
+      check_single_holder cluster;
+      check
+        (Printf.sprintf "seed %d: the stalled node was falsely suspected"
+           seed)
+        true
+        (counter cluster "detector.false_suspicions" >= 1);
+      check
+        (Printf.sprintf "seed %d: the zombie incarnation was fenced" seed)
+        true
+        (counter cluster "fence.rejections" >= 1);
+      (* suspicion can cascade past the stalled node itself — a parked
+         observer jumping its clock over the stall window makes slower
+         peers look silent too — so WHICH rank gets resurrected varies
+         by seed; fencing guarantees every resurrection bumped an
+         epoch and left one live copy *)
+      check
+        (Printf.sprintf "seed %d: a resurrection happened under detection"
+           seed)
+        true
+        (counter cluster "cluster.resurrections" >= 1);
+      check
+        (Printf.sprintf "seed %d: some rank runs under a bumped epoch" seed)
+        true
+        (List.exists
+           (fun r -> Net.Cluster.rank_epoch cluster r >= 1)
+           [ 0; 1; 2 ]))
+    [ env_seed; env_seed + 9 ]
+
+let test_detector_trace_deterministic () =
+  (* detection, fencing and replicated storage draw only from the seeded
+     RNG and the simulated clocks: the same seed must reproduce the
+     false-suspicion story byte for byte *)
+  let run () =
+    let cluster, d = false_suspicion_run env_seed in
+    check_golden_cfg work_cfg (Mcc.Gridapp.checksums d);
+    cluster
+  in
+  let c1 = run () and c2 = run () in
+  let has pred c =
+    List.exists
+      (fun e -> pred e.Obs.Trace.kind)
+      (Obs.Trace.timeline (Net.Cluster.trace c))
+  in
+  check "suspicion is in the typed trace" true
+    (has (function Obs.Trace.Suspect _ -> true | _ -> false) c1);
+  check "fencing is in the typed trace" true
+    (has (function Obs.Trace.Fenced _ -> true | _ -> false) c1);
+  let t1 = Obs.Trace.to_jsonl (Net.Cluster.trace c1)
+  and t2 = Obs.Trace.to_jsonl (Net.Cluster.trace c2) in
+  check "trace is non-trivial" true (String.length t1 > 1000);
+  Alcotest.(check string) "byte-identical detector traces" t1 t2
 
 let suites =
   [
@@ -606,9 +838,26 @@ let suites =
         Alcotest.test_case "storage faults are seeded" `Quick
           test_storage_faults_seeded;
       ] );
-    ( "faults.wrappers",
+    ( "faults.replicated_storage",
       [
-        Alcotest.test_case "deprecated constructors still work" `Quick
-          test_deprecated_wrappers;
+        Alcotest.test_case "replica survives losing a node's store" `Quick
+          test_replica_survives_node_loss;
+        Alcotest.test_case "torn write: digest-verify and read-repair"
+          `Quick test_torn_write_read_repair;
+        Alcotest.test_case "bit flip is never served as data" `Quick
+          test_bit_flip_never_served;
+        Alcotest.test_case "k=1 lost replica: typed error" `Quick
+          test_single_replica_loss_is_typed_error;
+        Alcotest.test_case "incarnation epoch rides the wire" `Quick
+          test_wire_epoch_roundtrip;
+      ] );
+    ( "faults.detector",
+      [
+        Alcotest.test_case "crash detected by missed heartbeats" `Quick
+          test_heartbeat_crash_detection;
+        Alcotest.test_case "false suspicion: fenced, exactly one copy"
+          `Quick test_false_suspicion_fencing;
+        Alcotest.test_case "same seed, byte-identical detector traces"
+          `Quick test_detector_trace_deterministic;
       ] );
   ]

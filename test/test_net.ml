@@ -64,7 +64,17 @@ let test_storage () =
   | None -> Alcotest.fail "read failed");
   check "exists" true (Net.Storage.exists st "ckpt1");
   check_int "size" 5 (Option.get (Net.Storage.size st "ckpt1"));
-  check_int "list" 1 (List.length (Net.Storage.list st))
+  check_int "list" 1 (List.length (Net.Storage.list st));
+  (* listing order is part of the API: sorted, independent of insertion
+     order and of Hashtbl internals (which differ across OCaml
+     versions) — consumers diff listings across runs *)
+  List.iter
+    (fun p -> ignore (Net.Storage.write st p p))
+    [ "zz"; "a9"; "m/3"; "a1"; "ckpt0" ];
+  Alcotest.(check (list string))
+    "listing is sorted and deterministic"
+    [ "a1"; "a9"; "ckpt0"; "ckpt1"; "m/3"; "zz" ]
+    (Net.Storage.list st)
 
 (* ------------------------------------------------------------------ *)
 (* Mailboxes                                                           *)
@@ -78,6 +88,7 @@ let msg ?(spec = None) ~src ~tag ~at payload =
     msg_payload = Array.map (fun n -> Value.Vint n) payload;
     msg_deliver_at = at;
     msg_spec = spec;
+    msg_src_epoch = 0;
   }
 
 let test_mailbox_matching () =
