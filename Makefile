@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci`.
 
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench bench-perf ci clean
 
 all: build
 
@@ -12,6 +12,12 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Run the S1/V1 substrate meters and fail on a >30 % speedup-ratio
+# regression against bench/baselines/ (see EXPERIMENTS.md, "Reading
+# S1/V1").
+bench-perf:
+	dune exec bench/main.exe -- perfcheck
 
 ci: build test
 

@@ -303,7 +303,7 @@ let e1c () =
       Migrate.Pack.unpack ~trusted:false ?cache ~arch
         packed.Migrate.Pack.p_bytes
     with
-    | Ok (_, _, costs) ->
+    | Ok (_, _, _, costs) ->
       let compile_s =
         float_of_int costs.Migrate.Pack.u_compile_cycles /. clock
       in
@@ -1391,7 +1391,7 @@ let a1 () =
     match !packed with
     | Some p -> (
       match Migrate.Pack.unpack ~arch p.Migrate.Pack.p_bytes with
-      | Ok (_, _, c) -> c.Migrate.Pack.u_compile_cycles
+      | Ok (_, _, _, c) -> c.Migrate.Pack.u_compile_cycles
       | Error m -> failwith m)
     | None -> 0
   in
@@ -1549,6 +1549,465 @@ let m1 () =
     (ns_10k < 4.0 *. ns_1k +. 50.0)
 
 (* ================================================================== *)
+(* S1 / V1: the simulation-core and VM fast-path meters                *)
+(*                                                                     *)
+(* S1 drives a many-process ping-pong through Simnet/Cluster and       *)
+(* reports scheduler events (quanta) per wall-clock second, once with  *)
+(* the legacy O(nodes x entries) scan scheduler                        *)
+(* ([legacy_scan_sched = true]) and once with the indexed per-node     *)
+(* resident lists — both from this build, so the before/after rows in  *)
+(* BENCH_s1.json come from one commit.  V1 runs compute/branch/memory  *)
+(* kernels to completion on the MASM emulator in [Baseline] and [Fast] *)
+(* modes (plus the FIR interpreter for scale) and reports MIPS into    *)
+(* BENCH_v1.json.  Both files are one JSON object per line.            *)
+(*                                                                     *)
+(* [perfcheck] re-runs both meters and compares the SPEEDUP RATIOS     *)
+(* (indexed/scan, fast/baseline) against bench/baselines/*.json: the   *)
+(* ratio is what the optimization owns, and unlike absolute throughput *)
+(* it transfers across machines.  A ratio below 70 % of the committed  *)
+(* one fails the check (exit 1).                                       *)
+(* ================================================================== *)
+
+(* minimal reader for our own one-object-per-line JSON output *)
+let json_field line name =
+  let pat = Printf.sprintf "\"%s\":" name in
+  let plen = String.length pat and len = String.length line in
+  let rec find i =
+    if i + plen > len then None
+    else if String.equal (String.sub line i plen) pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while !stop < len && line.[!stop] <> ',' && line.[!stop] <> '}' do
+      incr stop
+    done;
+    let raw = String.trim (String.sub line start (!stop - start)) in
+    if String.length raw >= 2 && raw.[0] = '"' then
+      Some (String.sub raw 1 (String.length raw - 2))
+    else Some raw
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let read_lines path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        Some (List.rev acc)
+    in
+    go []
+  end
+
+(* --- S1 ----------------------------------------------------------- *)
+
+(* One side of a ping-pong pair: [starts = 1] sends first.  The poll
+   loop is the cluster's park/wake path — the receiver parks on
+   (peer, k) and the scheduler wakes it from the mailbox index. *)
+let pingpong_source ~rounds ~peer ~starts =
+  Printf.sprintf
+    {|
+int main() {
+  float *b = alloc_float(4);
+  int k; int got;
+  for (k = 0; k < %d; k = k + 1) {
+    if (%d == 1) {
+      msg_send(%d, k, b, 4);
+      got = msg_try_recv(%d, k, b, 4);
+      while (got == 0 - 1) { got = msg_try_recv(%d, k, b, 4); }
+      if (got < 0) { return 1; }
+    } else {
+      got = msg_try_recv(%d, k, b, 4);
+      while (got == 0 - 1) { got = msg_try_recv(%d, k, b, 4); }
+      if (got < 0) { return 1; }
+      msg_send(%d, k, b, 4);
+    }
+  }
+  return 0;
+}
+|}
+    rounds starts peer peer peer peer peer peer
+
+(* An S1 case: [pairs] ping-pong pairs over [nodes] nodes, pair [p]
+   playing [rounds_of_pair p] rounds.  Two regimes:
+
+   - "pingpong": staggered completions (pair p plays 20+p rounds) — a
+     mixed population where the legacy scan pays O(nodes x entries) per
+     round while the work shrinks;
+   - "longtail": a few hundred short-lived pairs plus ONE long-running
+     pair (a service process outliving a burst of batch jobs).  After
+     the burst drains, the legacy scheduler still scans every dead
+     entry from every node on every round of the survivor's life —
+     the indexed scheduler has purged them. *)
+type s1_case = {
+  s1_name : string;
+  s1_pairs : int;
+  s1_nodes : int;
+  s1_rounds_of_pair : int -> int;
+}
+
+let s1_cases =
+  [
+    { s1_name = "pingpong"; s1_pairs = 96; s1_nodes = 12;
+      s1_rounds_of_pair = (fun p -> 20 + p) };
+    { s1_name = "longtail"; s1_pairs = 384; s1_nodes = 16;
+      s1_rounds_of_pair = (fun p -> if p = 0 then 1500 else 8) };
+  ]
+
+(* the compiled FIR depends only on (rounds, peer, starts); cache across
+   cases, the warm-up and the timed repetitions *)
+let s1_fir_cache : (int * int * int, Fir.Ast.program) Hashtbl.t =
+  Hashtbl.create 64
+
+let s1_fir ~rounds ~peer ~starts =
+  match Hashtbl.find_opt s1_fir_cache (rounds, peer, starts) with
+  | Some fir -> fir
+  | None ->
+    let fir =
+      match Minic.Driver.compile (pingpong_source ~rounds ~peer ~starts) with
+      | Ok fir -> fir
+      | Error e -> failwith (Minic.Driver.error_to_string e)
+    in
+    Hashtbl.add s1_fir_cache (rounds, peer, starts) fir;
+    fir
+
+let s1_run case ~legacy =
+  let cluster =
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        node_count = case.s1_nodes;
+        seed = 7;
+        legacy_scan_sched = legacy;
+        net = Some (Net.Simnet.create ~latency_us:5.0 ()) }
+  in
+  for p = 0 to case.s1_pairs - 1 do
+    let rounds = case.s1_rounds_of_pair p in
+    let spawn_side ~rank ~peer ~starts =
+      let fir = s1_fir ~rounds ~peer ~starts in
+      ignore
+        (Net.Cluster.spawn cluster ~engine:`Masm ~rank
+           ~node_id:(rank mod case.s1_nodes) fir)
+    in
+    spawn_side ~rank:(2 * p) ~peer:((2 * p) + 1) ~starts:1;
+    spawn_side ~rank:((2 * p) + 1) ~peer:(2 * p) ~starts:0
+  done;
+  let _, wall_s = wall (fun () -> ignore (Net.Cluster.run cluster)) in
+  List.iter
+    (fun (pid, _, _, status) ->
+      match status with
+      | Vm.Process.Exited 0 -> ()
+      | s ->
+        failwith
+          (Printf.sprintf "s1: pid %d finished %s" pid
+             (match s with
+             | Vm.Process.Exited n -> Printf.sprintf "Exited %d" n
+             | Vm.Process.Trapped m -> "Trapped " ^ m
+             | Vm.Process.Running -> "Running"
+             | Vm.Process.Migrating _ -> "Migrating")))
+    (Net.Cluster.statuses cluster);
+  let quanta =
+    Obs.Metrics.counter_value (Net.Cluster.metrics cluster) "sched.quanta"
+  in
+  let rounds =
+    Obs.Metrics.counter_value (Net.Cluster.metrics cluster) "sched.rounds"
+  in
+  quanta, rounds, wall_s, Net.Cluster.now cluster
+
+(* one warm-up + [iters] timed runs per mode; the simulation is
+   deterministic, so quanta/rounds/sim must agree across repetitions —
+   report the median wall time *)
+let s1_measure ?(iters = 3) case ~legacy =
+  ignore (s1_run case ~legacy);
+  let samples = Array.init iters (fun _ -> s1_run case ~legacy) in
+  let q0, r0, _, sim0 = samples.(0) in
+  Array.iter
+    (fun (q, r, _, sim) ->
+      if q <> q0 || r <> r0 || sim <> sim0 then
+        failwith "s1: repetitions diverged (non-deterministic run)")
+    samples;
+  let walls = Array.map (fun (_, _, w, _) -> w) samples in
+  Array.sort compare walls;
+  q0, r0, walls.(iters / 2), sim0
+
+let s1_row case ~mode ~quanta ~rounds ~wall_s ~sim_s =
+  Printf.sprintf
+    "{\"bench\":\"s1\",\"case\":\"%s\",\"mode\":\"%s\",\
+     \"quanta\":%d,\"rounds\":%d,\"wall_s\":%.6f,\"sim_s\":%.6f,\
+     \"events_per_sec\":%.1f}"
+    case.s1_name mode quanta rounds wall_s sim_s
+    (float_of_int quanta /. wall_s)
+
+(* rows + per-case (name, scan events/sec, indexed events/sec) *)
+let s1_results () =
+  List.fold_left
+    (fun (rows, speeds) case ->
+      let q_scan, r_scan, w_scan, sim_scan = s1_measure case ~legacy:true in
+      let q_idx, r_idx, w_idx, sim_idx = s1_measure case ~legacy:false in
+      if q_scan <> q_idx || r_scan <> r_idx || sim_scan <> sim_idx then
+        failwith "s1: scan and indexed schedulers diverged";
+      let rows =
+        rows
+        @ [ s1_row case ~mode:"scan" ~quanta:q_scan ~rounds:r_scan
+              ~wall_s:w_scan ~sim_s:sim_scan;
+            s1_row case ~mode:"indexed" ~quanta:q_idx ~rounds:r_idx
+              ~wall_s:w_idx ~sim_s:sim_idx ]
+      in
+      let eps w = float_of_int q_scan /. w in
+      rows, speeds @ [ case, eps w_scan, eps w_idx, w_scan, w_idx ])
+    ([], []) s1_cases
+
+let s1 () =
+  section "S1: scheduler events/sec (indexed vs legacy scan)";
+  Printf.printf
+    "Each case runs the identical simulation both ways (same quanta, \
+     rounds\nand simulated seconds) — only the host wall-clock \
+     differs.\n\n";
+  let rows, speeds = s1_results () in
+  Printf.printf "  %-10s %-9s %-9s %-9s %-11s %-12s %s\n" "case" "mode"
+    "procs" "quanta" "wall(s)" "events/sec" "speedup";
+  List.iter
+    (fun (case, eps_scan, eps_idx, w_scan, w_idx) ->
+      let quanta = int_of_float (eps_scan *. w_scan +. 0.5) in
+      Printf.printf "  %-10s %-9s %-9d %-9d %-11.4f %-12.0f\n"
+        case.s1_name "scan" (2 * case.s1_pairs) quanta w_scan eps_scan;
+      Printf.printf "  %-10s %-9s %-9d %-9d %-11.4f %-12.0f %.2fx\n"
+        case.s1_name "indexed" (2 * case.s1_pairs) quanta w_idx eps_idx
+        (eps_idx /. eps_scan))
+    speeds;
+  write_lines "BENCH_s1.json" rows;
+  Printf.printf "\n  wrote BENCH_s1.json\n";
+  print_newline ();
+  verdict "identical simulation, faster wall clock (no regression)"
+    (List.for_all
+       (fun (_, eps_scan, eps_idx, _, _) -> eps_idx >= 0.9 *. eps_scan)
+       speeds)
+
+(* --- V1 ----------------------------------------------------------- *)
+
+let v1_kernels =
+  [
+    ( "compute",
+      {|
+int main() {
+  float s = 0.0; int i;
+  for (i = 0; i < 300000; i = i + 1) {
+    s = s + (float)(i % 7) * 0.5 - (float)(i % 3) * 0.25;
+    s = s * 0.999 + 1.0;
+  }
+  return (int)s % 101;
+}
+|} );
+    ( "branch",
+      {|
+int main() {
+  int acc = 0; int i;
+  for (i = 0; i < 300000; i = i + 1) {
+    if (i % 2 == 0) { acc = acc + 1; }
+    else { if (i % 3 == 0) { acc = acc + 2; } else { acc = acc - 1; } }
+    if (acc > 1000) { acc = acc - 1000; }
+  }
+  return acc % 101;
+}
+|} );
+    ( "memory",
+      {|
+int main() {
+  int n = 4096;
+  float *a = alloc_float(n);
+  int i; int k;
+  for (i = 0; i < n; i = i + 1) { a[i] = (float)(i % 17); }
+  for (k = 0; k < 60; k = k + 1) {
+    for (i = 0; i < n - 1; i = i + 1) {
+      a[i] = a[i + 1] * 0.5 + a[i] * 0.5;
+    }
+  }
+  return (int)a[7] % 101;
+}
+|} );
+  ]
+
+let v1_compile src =
+  match Minic.Driver.compile src with
+  | Ok fir -> fir
+  | Error e -> failwith (Minic.Driver.error_to_string e)
+
+let v1_exit = function
+  | Vm.Process.Exited n -> n
+  | _ -> failwith "v1: kernel did not run to completion"
+
+(* median-of-[iters] wall time for one emulator mode; returns
+   (instrs, wall_s, exit, cycles) *)
+let v1_emulate ?(iters = 3) fir mode =
+  let arch = Vm.Arch.cisc32 in
+  let masm = Vm.Codegen.compile ~arch fir in
+  let linked = Vm.Link.link masm in
+  let sample () =
+    let proc = Vm.Process.create ~arch ~seed:11 fir in
+    let emu = Vm.Emulator.create ~mode ~linked masm proc in
+    let status, w = wall (fun () -> Vm.Emulator.run emu) in
+    Vm.Emulator.instructions emu, w, v1_exit status, proc.Vm.Process.cycles
+  in
+  ignore (sample ());
+  let samples = Array.init iters (fun _ -> sample ()) in
+  Array.sort (fun (_, a, _, _) (_, b, _, _) -> compare a b) samples;
+  samples.(iters / 2)
+
+let v1_interp ?(iters = 3) fir =
+  let sample () =
+    let proc = Vm.Process.create ~arch:Vm.Arch.cisc32 ~seed:11 fir in
+    let status, w = wall (fun () -> Vm.Interp.run proc) in
+    w, v1_exit status
+  in
+  ignore (sample ());
+  let samples = Array.init iters (fun _ -> sample ()) in
+  Array.sort compare samples;
+  samples.(iters / 2)
+
+let v1_row ~case ~mode ~instrs ~wall_s =
+  Printf.sprintf
+    "{\"bench\":\"v1\",\"case\":\"%s\",\"mode\":\"%s\",\"instrs\":%d,\
+     \"wall_s\":%.6f,\"mips\":%.3f}"
+    case mode instrs wall_s
+    (float_of_int instrs /. wall_s /. 1e6)
+
+let v1_results () =
+  List.map
+    (fun (case, src) ->
+      let fir = v1_compile src in
+      let i_base, w_base, x_base, c_base =
+        v1_emulate fir Vm.Emulator.Baseline
+      in
+      let i_fast, w_fast, x_fast, c_fast = v1_emulate fir Vm.Emulator.Fast in
+      if i_base <> i_fast || x_base <> x_fast || c_base <> c_fast then
+        failwith ("v1: Baseline and Fast diverged on " ^ case);
+      let w_interp, x_interp = v1_interp fir in
+      if x_interp <> x_fast then
+        failwith ("v1: interpreter diverged on " ^ case);
+      let rows =
+        [ v1_row ~case ~mode:"interp" ~instrs:i_fast ~wall_s:w_interp;
+          v1_row ~case ~mode:"baseline" ~instrs:i_base ~wall_s:w_base;
+          v1_row ~case ~mode:"fast" ~instrs:i_fast ~wall_s:w_fast ]
+      in
+      case, rows, i_fast, w_interp, w_base, w_fast)
+    v1_kernels
+
+let v1 () =
+  section "V1: emulator MIPS (pre-resolved fast path vs baseline)";
+  Printf.printf
+    "compute/branch/memory kernels run to completion; instrs is the \
+     retired\nMASM instruction count (the interpreter row reuses it for \
+     scale).\nBaseline and Fast are checked to produce identical exits \
+     and identical\ncycle counts.\n\n";
+  let results = v1_results () in
+  Printf.printf "  %-10s %-10s %-11s %-10s %s\n" "kernel" "mode"
+    "instrs" "wall(s)" "MIPS";
+  let all_rows =
+    List.concat_map
+      (fun (case, rows, instrs, w_i, w_b, w_f) ->
+        let mips w = float_of_int instrs /. w /. 1e6 in
+        Printf.printf "  %-10s %-10s %-11d %-10.4f %.2f\n" case "interp"
+          instrs w_i (mips w_i);
+        Printf.printf "  %-10s %-10s %-11d %-10.4f %.2f\n" case "baseline"
+          instrs w_b (mips w_b);
+        Printf.printf "  %-10s %-10s %-11d %-10.4f %.2f\n" case "fast"
+          instrs w_f (mips w_f);
+        Printf.printf "    speedup (fast/baseline): %.2fx\n" (w_b /. w_f);
+        rows)
+      results
+  in
+  write_lines "BENCH_v1.json" all_rows;
+  Printf.printf "\n  wrote BENCH_v1.json\n";
+  print_newline ();
+  verdict "fast mode no slower than baseline on every kernel"
+    (List.for_all (fun (_, _, _, _, w_b, w_f) -> w_f <= w_b) results)
+
+(* --- perfcheck ----------------------------------------------------- *)
+
+(* speedup ratio per (bench, case) from a row list: fast mode
+   events-per-unit-wall over slow mode *)
+let ratios_of_rows rows =
+  let field line name =
+    match json_field line name with
+    | Some v -> v
+    | None -> failwith ("perfcheck: missing field " ^ name ^ " in " ^ line)
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      let bench = field line "bench" in
+      let case = field line "case" in
+      let mode = field line "mode" in
+      let wall = float_of_string (field line "wall_s") in
+      Hashtbl.replace tbl (bench, case, mode) wall)
+    rows;
+  let pairs =
+    Hashtbl.fold
+      (fun (bench, case, _) _ acc ->
+        if List.mem (bench, case) acc then acc else (bench, case) :: acc)
+      tbl []
+  in
+  List.filter_map
+    (fun (bench, case) ->
+      let get mode = Hashtbl.find_opt tbl (bench, case, mode) in
+      let slow, fast =
+        if String.equal bench "s1" then get "scan", get "indexed"
+        else get "baseline", get "fast"
+      in
+      match slow, fast with
+      | Some s, Some f -> Some ((bench, case), s /. f)
+      | _ -> None)
+    (List.sort compare pairs)
+
+let perfcheck () =
+  section "PERFCHECK: speedup-ratio regression gate";
+  let check name fresh_rows baseline_path =
+    match read_lines baseline_path with
+    | None ->
+      Printf.printf "  %s: no baseline at %s — SKIP (commit one)\n" name
+        baseline_path;
+      true
+    | Some baseline_rows ->
+      let fresh = ratios_of_rows fresh_rows in
+      let committed = ratios_of_rows baseline_rows in
+      List.for_all
+        (fun (key, base_ratio) ->
+          match List.assoc_opt key fresh with
+          | None ->
+            Printf.printf "  %s: case %s/%s missing from fresh run [FAIL]\n"
+              name (fst key) (snd key);
+            false
+          | Some ratio ->
+            let ok = ratio >= 0.7 *. base_ratio in
+            Printf.printf
+              "  %s %s/%s: speedup %.2fx vs committed %.2fx %s\n" name
+              (fst key) (snd key) ratio base_ratio
+              (if ok then "[PASS]" else "[FAIL: regressed > 30%]");
+            ok)
+        committed
+  in
+  let s1_rows, _ = s1_results () in
+  write_lines "BENCH_s1.json" s1_rows;
+  let v1_rows =
+    List.concat_map (fun (_, rows, _, _, _, _) -> rows) (v1_results ())
+  in
+  write_lines "BENCH_v1.json" v1_rows;
+  let ok_s1 = check "s1" s1_rows "bench/baselines/BENCH_s1.json" in
+  let ok_v1 = check "v1" v1_rows "bench/baselines/BENCH_v1.json" in
+  print_newline ();
+  verdict "no perf regression > 30% vs committed baselines"
+    (ok_s1 && ok_v1);
+  if not (ok_s1 && ok_v1) then exit 1
+
+(* ================================================================== *)
 (* Driver                                                              *)
 (* ================================================================== *)
 
@@ -1571,6 +2030,12 @@ let experiments =
     "a2", ("a2", a2);
     (* micro-benchmark, not part of the default paper-reproduction run *)
     "m1", ("m1", m1);
+    (* perf meters for the scheduler/VM fast paths (BENCH_*.json) *)
+    "s1", ("s1", s1);
+    "v1", ("v1", v1);
+    (* regression gate: re-measures s1+v1 and compares speedup ratios
+       against bench/baselines/*.json; exits 1 on > 30% regression *)
+    "perfcheck", ("perfcheck", perfcheck);
   ]
 
 let () =
@@ -1579,7 +2044,7 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ ->
       [ "e1"; "e1c"; "e1d"; "e2"; "e5"; "f1"; "f2"; "f2b"; "f3"; "f4"; "a1";
-        "a2" ]
+        "a2"; "s1"; "v1" ]
   in
   print_endline
     "Mojave Compiler reproduction — benchmark harness (paper: Smith, \

@@ -248,7 +248,7 @@ let resume_cmd =
     | Error m ->
       Printf.eprintf "mcc: image rejected: %s\n" m;
       1
-    | Ok (proc, masm, costs) ->
+    | Ok (proc, masm, _linked, costs) ->
       Printf.eprintf "mcc: image accepted (%d bytes%s)\n"
         costs.Migrate.Pack.u_bytes
         (if costs.Migrate.Pack.u_recompiled then ", recompiled"

@@ -63,7 +63,9 @@ val image_bytes : Vm.Process.t -> string
 
 val resume :
   ?arch:Vm.Arch.t -> ?trusted:bool -> ?seed:int -> string ->
-  (Vm.Process.t * Vm.Masm.image * Migrate.Pack.unpack_costs, string) result
+  ( Vm.Process.t * Vm.Masm.image * Vm.Link.image * Migrate.Pack.unpack_costs,
+    string )
+  result
 
 val resume_and_run :
   ?arch:Vm.Arch.t -> ?trusted:bool -> ?seed:int ->

@@ -40,6 +40,10 @@ type entry = {
   e_program : Fir.Ast.program; (* decoded once, shared read-only *)
   e_verdict : (unit, string) result; (* typecheck verdict at admission *)
   e_masm : Masm.image option; (* None exactly when e_verdict is Error *)
+  mutable e_linked : Link.image option;
+      (* pre-resolved form of [e_masm], built at admission or memoized on
+         first use ([linked_of]); linking is a pure function of the MASM
+         image, so sharing it across hits is safe *)
   e_instrs : int;
   mutable e_tick : int; (* last-use stamp (LRU) *)
 }
@@ -155,7 +159,20 @@ let over_budget t =
   | Some budget -> t.total_instrs > budget
   | None -> false
 
-let add t ~digest ~arch ~trusted ~program ~verdict ~masm =
+(* The pre-resolved image for a positive entry, linked at most once and
+   shared by every subsequent hit.  [None] for negative entries. *)
+let linked_of (e : entry) =
+  match e.e_linked with
+  | Some _ as l -> l
+  | None -> (
+    match e.e_masm with
+    | None -> None
+    | Some masm ->
+      let l = Link.link masm in
+      e.e_linked <- Some l;
+      Some l)
+
+let add t ?linked ~digest ~arch ~trusted ~program ~verdict ~masm () =
   if enabled t then begin
     let key = digest, arch, mode_of_trusted trusted in
     let instrs =
@@ -168,6 +185,7 @@ let add t ~digest ~arch ~trusted ~program ~verdict ~masm =
         e_program = program;
         e_verdict = verdict;
         e_masm = masm;
+        e_linked = linked;
         e_instrs = instrs;
         e_tick = t.tick;
       };

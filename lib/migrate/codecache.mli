@@ -24,6 +24,9 @@ type entry = {
   e_program : Fir.Ast.program;
   e_verdict : (unit, string) result;
   e_masm : Masm.image option;  (** [None] exactly when the verdict is an error *)
+  mutable e_linked : Link.image option;
+      (** pre-resolved form of [e_masm]; use {!linked_of}, which links at
+          most once and shares the result across hits *)
   e_instrs : int;
   mutable e_tick : int;
 }
@@ -49,13 +52,20 @@ val find : t -> digest:string -> arch:string -> trusted:bool -> entry option
 
 val add :
   t ->
+  ?linked:Link.image ->
   digest:string -> arch:string -> trusted:bool ->
   program:Fir.Ast.program ->
   verdict:(unit, string) result ->
   masm:Masm.image option ->
+  unit ->
   unit
 (** Admit (or replace) an entry, then evict least-recently-used entries
-    until the bounds hold again. *)
+    until the bounds hold again.  [linked], when the admitter already
+    paid for the pre-resolution pass, is stored so hits never re-link. *)
+
+val linked_of : entry -> Link.image option
+(** The entry's pre-resolved image, linking (and memoizing) on first
+    use.  [None] exactly when the verdict is an error. *)
 
 val invalidate : t -> digest:string -> unit
 (** Drop every entry for the digest, across architectures and modes. *)

@@ -212,7 +212,7 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
           ~trusted
       | None -> None
     in
-    let program, masm, recompiled, cache_hit, compile_cycles =
+    let program, masm, linked, recompiled, cache_hit, compile_cycles =
       match cached with
       | Some { Codecache.e_verdict = Error msg; _ } ->
         (* negative entry: this exact payload already failed the
@@ -224,9 +224,15 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
           | Some m -> m
           | None -> assert false (* Ok verdict always carries code *)
         in
+        let linked =
+          match Codecache.linked_of e with
+          | Some l -> l
+          | None -> assert false (* Ok verdict always carries code *)
+        in
         (* typecheck + codegen elided; the stub must still be linked *)
         ( e.Codecache.e_program,
           masm,
+          linked,
           false,
           true,
           Codegen.simulated_link_cycles masm )
@@ -248,7 +254,7 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
             | Some c ->
               Codecache.add c ~digest:image.Wire.i_digest
                 ~arch:arch.Arch.name ~trusted ~program
-                ~verdict:(Error msg) ~masm:None
+                ~verdict:(Error msg) ~masm:None ()
             | None -> ());
             raise (Unpack_error ("FIR rejected: " ^ msg))
         end;
@@ -273,12 +279,16 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
               Codegen.simulated_compile_cycles program
               + Codegen.simulated_link_cycles masm )
         in
+        (* pre-resolve once, here, so the returned engine image and any
+           future cache hit share the same linked form *)
+        let linked = Link.link masm in
         (match cache with
         | Some c ->
-          Codecache.add c ~digest:image.Wire.i_digest ~arch:arch.Arch.name
-            ~trusted ~program ~verdict:(Ok ()) ~masm:(Some masm)
+          Codecache.add c ~linked ~digest:image.Wire.i_digest
+            ~arch:arch.Arch.name ~trusted ~program ~verdict:(Ok ())
+            ~masm:(Some masm) ()
         | None -> ());
-        program, masm, recompiled, false, compile_cycles
+        program, masm, linked, recompiled, false, compile_cycles
     in
     (* the function table must be exactly the program's functions, in the
        canonical order (index order is load-bearing for Vfun values); the
@@ -326,6 +336,7 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
     Ok
       ( proc,
         masm,
+        linked,
         {
           u_bytes = bytes_len;
           u_verified = verified;

@@ -16,6 +16,7 @@ type request_outcome = {
   o_costs : Pack.unpack_costs;
   o_process : Process.t;
   o_masm : Masm.image;
+  o_linked : Link.image; (* pre-resolved [o_masm], ready for an engine *)
 }
 
 type stats = {
@@ -228,14 +229,21 @@ let finish ?seed t ~bytes image =
       ~extern_signatures:t.extern_signatures ?cache:t.cache ~arch:t.arch
       ~bytes_len:(String.length bytes) image
   with
-  | Ok (proc, masm, costs) ->
+  | Ok (proc, masm, linked, costs) ->
     t.next_pid <- t.next_pid + 1;
     Obs.Metrics.incr t.c_accepted;
     if costs.Pack.u_recompiled then Obs.Metrics.incr t.c_recompilations;
     if costs.Pack.u_cache_hit then Obs.Metrics.incr t.c_cache_hits;
     Obs.Metrics.observe t.h_compile_cycles
       (float_of_int costs.Pack.u_compile_cycles);
-    Ok { o_pid = pid; o_costs = costs; o_process = proc; o_masm = masm }
+    Ok
+      {
+        o_pid = pid;
+        o_costs = costs;
+        o_process = proc;
+        o_masm = masm;
+        o_linked = linked;
+      }
   | Error msg ->
     Obs.Metrics.incr t.c_rejected;
     Error msg

@@ -62,6 +62,13 @@ type node = {
      so out-of-phase processes (e.g. a freshly resurrected rank) overlap
      with their peers instead of serialising against a global clock. *)
   mutable clock : float;
+  (* the entries hosted on this node, newest first (the per-node index
+     the indexed scheduler iterates: a round touches each entry once
+     through its node instead of scanning the global list per node).
+     Terminated entries are purged lazily each round; an entry never
+     changes node in place (migration registers a fresh entry), so the
+     list only ever gains at registration and loses at purge. *)
+  mutable residents : entry list;
 }
 
 type migration_record = {
@@ -159,6 +166,12 @@ module Config = struct
         (* checkpoint replication factor: 0 (default) = the reliable
            shared "NFS" store; k >= 1 = k-way replication across
            node-local stores that die with their node *)
+    legacy_scan_sched : bool;
+        (* run the scheduler's pre-index linear scans (every entry
+           visited per node per round) instead of the per-node resident
+           lists.  Semantically identical — the equivalence suite
+           asserts byte-identical traces — and kept executable so the
+           S1 bench measures before/after from one build *)
   }
 
   let default =
@@ -177,6 +190,7 @@ module Config = struct
       baseline_cache = 4;
       detector = None;
       replication = 0;
+      legacy_scan_sched = false;
     }
 end
 
@@ -217,6 +231,7 @@ type t = {
   mutable next_pid : int;
   trusted : bool;
   quantum : int;
+  scan_sched : bool; (* legacy linear-scan scheduler (see Config) *)
   retry : Config.retry;
   faults : Faults.t;
   mutable hop_seq : int; (* envelope id generator for migration hops *)
@@ -342,6 +357,7 @@ let create_cfg (cfg : Config.t) =
               arch;
           busy_seconds = 0.0;
           clock = 0.0;
+          residents = [];
         })
   in
   let metrics = Obs.Metrics.create () in
@@ -437,6 +453,7 @@ let create_cfg (cfg : Config.t) =
     next_pid = 1;
     trusted = cfg.Config.trusted;
     quantum = cfg.Config.quantum;
+    scan_sched = cfg.Config.legacy_scan_sched;
     retry = cfg.Config.retry;
     faults;
     hop_seq = 0;
@@ -983,6 +1000,10 @@ let mailbox_for t rank =
 
 let register_entry t (entry : entry) =
   t.entries <- entry :: t.entries;
+  (* the per-node index the scheduler iterates; an entry never changes
+     node in place, so registration is the only insertion point *)
+  let n = node t entry.node_id in
+  n.residents <- entry :: n.residents;
   Hashtbl.replace t.by_pid entry.proc.Process.pid entry;
   let pid = entry.proc.Process.pid in
   Spec.Engine.set_hooks entry.proc.Process.spec
@@ -1430,7 +1451,10 @@ let handle_migrate t (entry : entry) _req host =
       let new_entry =
         {
           proc = new_proc;
-          engine = Emu_engine (Emulator.create outcome.Migrate.Server.o_masm new_proc);
+          engine =
+            Emu_engine
+              (Emulator.create ~linked:outcome.Migrate.Server.o_linked
+                 outcome.Migrate.Server.o_masm new_proc);
           node_id = target.node_id;
           mailbox = entry.mailbox; (* rank-addressed messages follow *)
           rank = entry.rank;
@@ -1783,7 +1807,7 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
           ~bytes_len image
       with
       | Error msg -> failed msg
-      | Ok (proc0, masm, costs) ->
+      | Ok (proc0, masm, linked, costs) ->
         (* bump the rank's incarnation epoch FIRST, so the old holder (a
            zombie under false suspicion) is stale before it could ever be
            scheduled again — resurrection never yields two live copies *)
@@ -1798,7 +1822,7 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
         in
         let outcome =
           { Migrate.Server.o_pid = 0; o_costs = costs; o_process = proc0;
-            o_masm = masm }
+            o_masm = masm; o_linked = linked }
         in
         let pid = t.next_pid in
         t.next_pid <- t.next_pid + 1;
@@ -1810,7 +1834,10 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
         let entry =
           {
             proc;
-            engine = Emu_engine (Emulator.create outcome.Migrate.Server.o_masm proc);
+            engine =
+              Emu_engine
+                (Emulator.create ~linked:outcome.Migrate.Server.o_linked
+                   outcome.Migrate.Server.o_masm proc);
             node_id;
             mailbox = mailbox_for t rank;
             rank;
@@ -1872,54 +1899,71 @@ let runnable t (e : entry) =
      | Process.Exited _ | Process.Trapped _ -> false)
   && e.start_at <= n.clock
 
-(* Wake parked processes on [n] whose awaited event is due on the node's
+(* Wake one parked process if its awaited event is due on its node's
    local clock. *)
-let wake_ready t n =
-  List.iter
-    (fun (e : entry) ->
-      if e.node_id = n.node_id && e.proc.Process.waiting then
-        let ready =
-          match e.parked_on with
-          | Some (src, tag) ->
-            Mpi.has_roll_notice e.mailbox ~src_rank:src
-            || Mpi.has_delivered e.mailbox ~now:n.clock ~src_rank:src ~tag
-          | None ->
-            (match Mpi.next_delivery e.mailbox with
-            | Some at -> at <= n.clock
-            | None -> false)
-            || Mpi.has_any_roll_notice e.mailbox
-        in
-        if ready then e.proc.Process.waiting <- false)
-    t.entries
+let wake_entry (e : entry) ~clock =
+  if e.proc.Process.waiting then
+    let ready =
+      match e.parked_on with
+      | Some (src, tag) ->
+        Mpi.has_roll_notice e.mailbox ~src_rank:src
+        || Mpi.has_delivered e.mailbox ~now:clock ~src_rank:src ~tag
+      | None ->
+        (match Mpi.next_delivery e.mailbox with
+        | Some at -> at <= clock
+        | None -> false)
+        || Mpi.has_any_roll_notice e.mailbox
+    in
+    if ready then e.proc.Process.waiting <- false
 
-(* The earliest future event relevant to node [n]: a delayed process
-   start, or the delivery a parked process is waiting for. *)
+(* Wake parked processes on [n] whose awaited event is due on the node's
+   local clock.  Indexed mode iterates the node's residents; legacy
+   mode scans every entry (the pre-index behaviour, kept behind
+   Config.legacy_scan_sched for the S1 before/after measurement). *)
+let wake_ready t n =
+  if t.scan_sched then
+    List.iter
+      (fun (e : entry) ->
+        if e.node_id = n.node_id then wake_entry e ~clock:n.clock)
+      t.entries
+  else List.iter (fun e -> wake_entry e ~clock:n.clock) n.residents
+
+(* The earliest future event relevant to one entry, folded into [acc]:
+   a delayed start, or the delivery a parked process is waiting for. *)
+let fold_next_event ~clock acc (e : entry) =
+  if Process.is_terminated e.proc then acc
+  else begin
+    let best = ref acc in
+    let consider c =
+      match !best with
+      | None -> best := Some c
+      | Some a -> if c < a then best := Some c
+    in
+    if e.start_at > clock then consider e.start_at;
+    if e.proc.Process.waiting then begin
+      match e.parked_on with
+      | Some (src, tag) -> (
+        match Mpi.next_matching_delivery e.mailbox ~src_rank:src ~tag with
+        | Some at -> consider at
+        | None -> ())
+      | None -> (
+        match Mpi.next_delivery e.mailbox with
+        | Some at -> consider at
+        | None -> ())
+    end;
+    !best
+  end
+
+(* The earliest future event relevant to node [n]. *)
 let next_event_on t n =
-  List.fold_left
-    (fun acc (e : entry) ->
-      if e.node_id <> n.node_id || Process.is_terminated e.proc then acc
-      else
-        let candidates = ref [] in
-        if e.start_at > n.clock then candidates := e.start_at :: !candidates;
-        if e.proc.Process.waiting then begin
-          match e.parked_on with
-          | Some (src, tag) -> (
-            match Mpi.next_matching_delivery e.mailbox ~src_rank:src ~tag
-            with
-            | Some at -> candidates := at :: !candidates
-            | None -> ())
-          | None -> (
-            match Mpi.next_delivery e.mailbox with
-            | Some at -> candidates := at :: !candidates
-            | None -> ())
-        end;
-        List.fold_left
-          (fun acc c ->
-            match acc with
-            | None -> Some c
-            | Some a -> Some (min a c))
-          acc !candidates)
-    None t.entries
+  if t.scan_sched then
+    List.fold_left
+      (fun acc (e : entry) ->
+        if e.node_id <> n.node_id then acc
+        else fold_next_event ~clock:n.clock acc e)
+      None t.entries
+  else
+    List.fold_left (fold_next_event ~clock:n.clock) None n.residents
 
 (* Emit every heartbeat now due on each alive node's local clock and fan
    it out to every other node through the fault layer: a partitioned or
@@ -1973,19 +2017,21 @@ let round t =
      the grid's checkpoint alignment.  A stall jumps the node's clock
      (the node loses the time); a crash is a full [fail_node] with the
      usual cascade. *)
+  let hosts_work n =
+    if t.scan_sched then
+      List.exists
+        (fun (e : entry) ->
+          e.node_id = n.node_id && not (Process.is_terminated e.proc))
+        t.entries
+    else
+      List.exists
+        (fun (e : entry) -> not (Process.is_terminated e.proc))
+        n.residents
+  in
   let floor_clock =
     let f =
       Array.fold_left
-        (fun acc n ->
-          if
-            n.alive
-            && List.exists
-                 (fun (e : entry) ->
-                   e.node_id = n.node_id
-                   && not (Process.is_terminated e.proc))
-                 t.entries
-          then min acc n.clock
-          else acc)
+        (fun acc n -> if n.alive && hosts_work n then min acc n.clock else acc)
         infinity t.nodes
     in
     if f = infinity then now t else f
@@ -2021,13 +2067,29 @@ let round t =
   Array.iter
     (fun n ->
       if n.alive then begin
+        (* purge terminated entries from the per-node index (terminal
+           statuses are permanent; the global list keeps them for
+           introspection and cascades) *)
+        if not t.scan_sched then
+          n.residents <-
+            List.filter
+              (fun (e : entry) -> not (Process.is_terminated e.proc))
+              n.residents;
         wake_ready t n;
         let procs =
-          List.filter
-            (fun (e : entry) ->
-              e.node_id = n.node_id && runnable t e
-              && not e.proc.Process.waiting)
-            (List.rev t.entries)
+          (* spawn order (oldest first), exactly the order the global
+             scan produced: residents are newest-first like t.entries *)
+          if t.scan_sched then
+            List.filter
+              (fun (e : entry) ->
+                e.node_id = n.node_id && runnable t e
+                && not e.proc.Process.waiting)
+              (List.rev t.entries)
+          else
+            List.filter
+              (fun (e : entry) ->
+                runnable t e && not e.proc.Process.waiting)
+              (List.rev n.residents)
         in
         let node_cycles = ref 0 in
         let ran = ref 0 in
@@ -2105,12 +2167,13 @@ let idle_advance t =
     (fun n ->
       if n.alive then begin
         wake_ready t n;
+        let can_run (e : entry) = runnable t e && not e.proc.Process.waiting in
         let has_work =
-          List.exists
-            (fun (e : entry) ->
-              e.node_id = n.node_id && runnable t e
-              && not e.proc.Process.waiting)
-            t.entries
+          if t.scan_sched then
+            List.exists
+              (fun (e : entry) -> e.node_id = n.node_id && can_run e)
+              t.entries
+          else List.exists can_run n.residents
         in
         if not has_work then
           match next_event_on t n with
@@ -2167,6 +2230,10 @@ let run ?(max_rounds = 1_000_000) ?(stop = fun () -> false) t =
 (* Introspection                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Every entry ever registered (terminated included), in SPAWN ORDER:
+   ascending pid.  [t.entries] is newest-first and pids are allocated
+   monotonically, so the single reverse restores registration order —
+   the order is documented, stable, and asserted by the test suite. *)
 let statuses t =
   List.rev_map
     (fun (e : entry) ->
@@ -2432,7 +2499,8 @@ let migrate_running t ~pid ~node_id =
               proc = new_proc;
               engine =
                 Emu_engine
-                  (Emulator.create outcome.Migrate.Server.o_masm new_proc);
+                  (Emulator.create ~linked:outcome.Migrate.Server.o_linked
+                     outcome.Migrate.Server.o_masm new_proc);
               node_id = target.node_id;
               mailbox = entry.mailbox;
               rank = entry.rank;

@@ -45,6 +45,10 @@ type node = {
   daemon : Migrate.Server.t;
   mutable busy_seconds : float;
   mutable clock : float;  (** local simulated clock (busy + idle) *)
+  mutable residents : entry list;
+      (** entries registered on this node, newest first; terminated
+          entries are purged lazily each round.  Scheduler index only —
+          the global entry list remains the source of truth. *)
 }
 
 type migration_record = {
@@ -133,6 +137,11 @@ module Config : sig
             file on [k] distinct node-local stores that die with their
             node (clamped to [node_count]); [<= 0] (default) keeps the
             legacy indestructible shared store *)
+    legacy_scan_sched : bool;
+        (** [true] schedules by scanning the global entry list every
+            round (the pre-index behaviour, kept for equivalence tests
+            and as the S1 baseline); [false] (default) uses the per-node
+            resident lists and indexed mailboxes *)
   }
 
   val default : t

@@ -14,12 +14,22 @@
    transactional Isolation property).  The cluster maintains the
    dependency registry and performs the cascade.
 
-   The mailbox is a two-list FIFO (enqueue pushes onto [back]; receivers
-   scan [front], refilling it from [back] when needed), so enqueue is
-   O(1) and an N-message burst costs O(N) total instead of the O(N^2) a
-   naive [queue @ [msg]] append produces.  Oldest-first delivery order is
-   preserved: [front] is oldest-first, [back] newest-first, and the
-   refill reverses [back] behind [front].
+   The mailbox is INDEXED by (src_rank, tag): each key owns a two-list
+   FIFO bucket (enqueue pushes onto [back]; receivers scan [front],
+   refilling it from [back] when needed), so a receive touches only the
+   traffic it can match instead of scanning the whole queue — the
+   scheduler's wake checks ([next_matching_delivery], [has_delivered])
+   are what made the flat queue a per-round O(pending) cost.  Every
+   message carries a mailbox-local enqueue stamp, so global oldest-first
+   order is still available for introspection ([messages]) and for the
+   order-sensitive purges ([discard_speculative], [discard_stale]).
+   The earliest pending delivery time is cached and invalidated only
+   when the holder of the minimum leaves the queue.
+
+   Receive semantics are unchanged: [try_recv] takes the FIRST message
+   in enqueue order matching (src, tag) whose delivery time has passed —
+   enqueue order, not delivery order, because network jitter may deliver
+   a later send earlier, and the bucket preserves exactly that order.
 
    Receive results (returned to FIR code from msg_try_recv):
    - n >= 0   : n cells copied into the buffer
@@ -42,39 +52,89 @@ type message = {
   msg_src_epoch : int; (* sender's rank incarnation epoch at send time *)
 }
 
+(* One (src_rank, tag) class of traffic: a two-list FIFO of
+   (enqueue stamp, message).  [front] oldest-first, [back] newest-first;
+   the refill reverses [back] behind [front] (amortized O(1) per
+   message). *)
+type bucket = {
+  mutable front : (int * message) list;
+  mutable back : (int * message) list;
+  mutable count : int;
+}
+
 type mailbox = {
-  mutable front : message list; (* oldest first *)
-  mutable back : message list; (* newest first *)
+  buckets : (int * int, bucket) Hashtbl.t;
   mutable size : int;
+  mutable seq : int; (* mailbox-local enqueue stamp generator *)
+  (* cached earliest pending delivery over the whole mailbox; valid
+     only while [min_valid] — removing the minimum invalidates it and
+     the next [next_delivery] recomputes *)
+  mutable min_at : float;
+  mutable min_valid : bool;
   (* ranks whose failure/rollback the owner has not yet observed *)
   roll_notices : (int, unit) Hashtbl.t;
 }
 
 let create_mailbox () =
-  { front = []; back = []; size = 0; roll_notices = Hashtbl.create 4 }
+  {
+    buckets = Hashtbl.create 8;
+    size = 0;
+    seq = 0;
+    min_at = infinity;
+    min_valid = true;
+    roll_notices = Hashtbl.create 4;
+  }
+
+let bucket_for mbox key =
+  match Hashtbl.find_opt mbox.buckets key with
+  | Some b -> b
+  | None ->
+    let b = { front = []; back = []; count = 0 } in
+    Hashtbl.add mbox.buckets key b;
+    b
 
 let enqueue mbox msg =
-  mbox.back <- msg :: mbox.back;
-  mbox.size <- mbox.size + 1
+  let b = bucket_for mbox (msg.msg_src_rank, msg.msg_tag) in
+  b.back <- (mbox.seq, msg) :: b.back;
+  b.count <- b.count + 1;
+  mbox.seq <- mbox.seq + 1;
+  mbox.size <- mbox.size + 1;
+  if mbox.min_valid && msg.msg_deliver_at < mbox.min_at then
+    mbox.min_at <- msg.msg_deliver_at
 
-(* Move everything into [front], oldest first.  Amortized O(1) per
-   enqueued message: each message is reversed into [front] at most once
-   between receives. *)
-let normalize mbox =
-  if mbox.back <> [] then begin
-    mbox.front <- mbox.front @ List.rev mbox.back;
-    mbox.back <- []
+(* Move a bucket's [back] into [front], oldest first. *)
+let normalize b =
+  if b.back <> [] then begin
+    b.front <- b.front @ List.rev b.back;
+    b.back <- []
   end
 
 let pending mbox = mbox.size
 
-(* Queued messages, oldest first (introspection: scheduler wake checks,
-   tests). *)
-let messages mbox =
-  mbox.front @ List.rev mbox.back
+(* All queued (stamp, message) pairs, in enqueue order. *)
+let stamped mbox =
+  let all =
+    Hashtbl.fold
+      (fun _ b acc -> List.rev_append b.back (List.rev_append b.front acc))
+      mbox.buckets []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+(* Queued messages, oldest first (introspection: tests, rendering). *)
+let messages mbox = List.map snd (stamped mbox)
+
+exception Found
 
 let exists_message mbox f =
-  List.exists f mbox.front || List.exists f mbox.back
+  let check (_, m) = if f m then raise Found in
+  try
+    Hashtbl.iter
+      (fun _ b ->
+        List.iter check b.front;
+        List.iter check b.back)
+      mbox.buckets;
+    false
+  with Found -> true
 
 let post_roll_notice mbox ~src_rank =
   Hashtbl.replace mbox.roll_notices src_rank ()
@@ -84,6 +144,12 @@ let clear_roll_notice mbox ~src_rank = Hashtbl.remove mbox.roll_notices src_rank
 let has_roll_notice mbox ~src_rank = Hashtbl.mem mbox.roll_notices src_rank
 
 let has_any_roll_notice mbox = Hashtbl.length mbox.roll_notices > 0
+
+(* A message left the queue: the cached minimum survives unless that
+   message could have been its holder. *)
+let note_removed mbox (m : message) =
+  mbox.size <- mbox.size - 1;
+  if m.msg_deliver_at <= mbox.min_at then mbox.min_valid <- false
 
 (* Take the first delivered message matching (src_rank, tag).  A pending
    roll notice from that rank takes priority and is consumed. *)
@@ -98,38 +164,53 @@ let try_recv mbox ~now ~src_rank ~tag =
     Roll
   end
   else begin
-    normalize mbox;
-    let rec split acc = function
-      | [] -> None_yet
-      | m :: rest ->
-        if
-          m.msg_src_rank = src_rank && m.msg_tag = tag
-          && m.msg_deliver_at <= now
-        then begin
-          mbox.front <- List.rev_append acc rest;
-          mbox.size <- mbox.size - 1;
-          Received m
-        end
-        else split (m :: acc) rest
-    in
-    split [] mbox.front
+    match Hashtbl.find_opt mbox.buckets (src_rank, tag) with
+    | None -> None_yet
+    | Some b ->
+      normalize b;
+      let rec split acc = function
+        | [] -> None_yet
+        | ((_, m) as sm) :: rest ->
+          if m.msg_deliver_at <= now then begin
+            b.front <- List.rev_append acc rest;
+            b.count <- b.count - 1;
+            note_removed mbox m;
+            Received m
+          end
+          else split (sm :: acc) rest
+      in
+      split [] b.front
   end
+
+(* Rebuild the index from a kept (stamp, message) list in enqueue
+   order (the purge operations filter over the global order). *)
+let rebuild mbox kept =
+  Hashtbl.reset mbox.buckets;
+  mbox.size <- 0;
+  mbox.min_valid <- false;
+  List.iter
+    (fun ((stamp, m) : int * message) ->
+      let b = bucket_for mbox (m.msg_src_rank, m.msg_tag) in
+      b.back <- (stamp, m) :: b.back;
+      b.count <- b.count + 1;
+      mbox.size <- mbox.size + 1)
+    kept;
+  Hashtbl.iter (fun _ b -> normalize b) mbox.buckets
 
 (* Discard queued messages that originated from any of the given
    speculation level uids (used when the sender rolls back: its
-   speculative messages must be unsent). *)
+   speculative messages must be unsent).  [keep] runs over the global
+   enqueue order, oldest first. *)
 let discard_speculative mbox ~uids ~sender_pid =
   let dropped = ref 0 in
-  let keep m =
+  let keep (_, m) =
     match m.msg_spec with
     | Some (pid, uid) when pid = sender_pid && List.mem uid uids ->
       incr dropped;
       false
     | Some _ | None -> true
   in
-  mbox.front <- List.filter keep mbox.front;
-  mbox.back <- List.filter keep mbox.back;
-  mbox.size <- mbox.size - !dropped;
+  if mbox.size > 0 then rebuild mbox (List.filter keep (stamped mbox));
   !dropped
 
 (* Drop queued messages whose sender incarnation is stale ([stale m]
@@ -138,41 +219,54 @@ let discard_speculative mbox ~uids ~sender_pid =
    incarnation must not be consumed by anyone. *)
 let discard_stale mbox ~stale =
   let dropped = ref 0 in
-  let keep m =
+  let keep (_, m) =
     if stale m then begin
       incr dropped;
       false
     end
     else true
   in
-  mbox.front <- List.filter keep mbox.front;
-  mbox.back <- List.filter keep mbox.back;
-  mbox.size <- mbox.size - !dropped;
+  if mbox.size > 0 then rebuild mbox (List.filter keep (stamped mbox));
   !dropped
 
-(* Earliest pending delivery time, for the scheduler's idle-time skip. *)
+(* Earliest pending delivery time, for the scheduler's idle-time skip.
+   Cached; recomputed only after the minimum's holder was removed. *)
 let next_delivery mbox =
-  let fold acc m =
-    match acc with
-    | None -> Some m.msg_deliver_at
-    | Some t -> Some (min t m.msg_deliver_at)
-  in
-  List.fold_left fold (List.fold_left fold None mbox.front) mbox.back
+  if mbox.size = 0 then None
+  else begin
+    if not mbox.min_valid then begin
+      let m = ref infinity in
+      Hashtbl.iter
+        (fun _ b ->
+          let see (_, msg) =
+            if msg.msg_deliver_at < !m then m := msg.msg_deliver_at
+          in
+          List.iter see b.front;
+          List.iter see b.back)
+        mbox.buckets;
+      mbox.min_at <- !m;
+      mbox.min_valid <- true
+    end;
+    Some mbox.min_at
+  end
 
 (* Earliest pending delivery from a specific (src, tag) — what a parked
-   receiver is actually waiting for. *)
+   receiver is actually waiting for.  Touches one bucket. *)
 let next_matching_delivery mbox ~src_rank ~tag =
-  let fold acc m =
-    if m.msg_src_rank = src_rank && m.msg_tag = tag then
+  match Hashtbl.find_opt mbox.buckets (src_rank, tag) with
+  | None -> None
+  | Some b ->
+    let fold acc (_, m) =
       match acc with
       | None -> Some m.msg_deliver_at
       | Some t -> Some (min t m.msg_deliver_at)
-    else acc
-  in
-  List.fold_left fold (List.fold_left fold None mbox.front) mbox.back
+    in
+    List.fold_left fold (List.fold_left fold None b.front) b.back
 
-(* Is a matching message already deliverable at [now]? *)
+(* Is a matching message already deliverable at [now]?  One bucket. *)
 let has_delivered mbox ~now ~src_rank ~tag =
-  exists_message mbox (fun m ->
-      m.msg_src_rank = src_rank && m.msg_tag = tag
-      && m.msg_deliver_at <= now)
+  match Hashtbl.find_opt mbox.buckets (src_rank, tag) with
+  | None -> false
+  | Some b ->
+    let due (_, m) = m.msg_deliver_at <= now in
+    List.exists due b.front || List.exists due b.back

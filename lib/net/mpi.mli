@@ -7,8 +7,12 @@
     joins that speculation (the paper's relaxation of Isolation), and the
     cluster rolls them back together.
 
-    The mailbox is a two-list FIFO: enqueue is O(1), so an N-message
-    burst costs O(N) total, and delivery order stays oldest-first.
+    The mailbox is indexed by (src_rank, tag): each key owns a two-list
+    FIFO bucket, so receives and the scheduler's wake checks touch only
+    the traffic they can match.  Enqueue is O(1), an N-message burst
+    costs O(N) total, and delivery order within a key stays
+    oldest-first; {!messages} reconstructs the global enqueue order
+    from per-message stamps.
 
     Receive results surfaced to FIR code: [n >= 0] cells copied,
     {!msg_none} (nothing yet), or {!msg_roll} (the peer failed or rolled
@@ -36,7 +40,7 @@ type message = {
 }
 
 type mailbox
-(** Abstract: the queue representation is the FIFO's business.  Use
+(** Abstract: the index representation is the mailbox's business.  Use
     {!messages} / {!exists_message} to inspect pending messages. *)
 
 val create_mailbox : unit -> mailbox

@@ -7,15 +7,27 @@
 
 exception Emulator_error of string
 
+(** [Fast] executes the pre-resolved image (see {!Link}) — the default.
+    [Baseline] keeps the pre-optimization per-instruction loop
+    executable, so the V1 bench measures before/after from one build
+    and the equivalence tests can assert both modes produce identical
+    results and identical cycle counts. *)
+type mode = Fast | Baseline
+
 type t
 
-val create : Masm.image -> Process.t -> t
-(** @raise Emulator_error if the image's architecture does not match the
+val create : ?mode:mode -> ?linked:Link.image -> Masm.image -> Process.t -> t
+(** [linked] shares a pre-resolved image (e.g. from the recompilation
+    cache) instead of linking [image] here.
+    @raise Emulator_error if the image's architecture does not match the
     process's (cross-architecture execution requires recompilation). *)
 
 val step : ?extern:Process.handler -> t -> unit
 val run :
   ?extern:Process.handler -> ?max_steps:int -> t -> Process.status
+
+val instructions : t -> int
+(** Emulated instructions retired so far (the V1 MIPS meter). *)
 
 val context_switch_cycles : Arch.t -> int
 (** Save + restore one full register file plus scheduler traps — the

@@ -241,7 +241,15 @@ let step ?(extern = Extern.base) proc =
     let fname, args = proc.Process.cont in
     match
       let fd = Process.fundef proc fname in
-      if List.length fd.f_params <> List.length args then
+      (* single-pass arity comparison (mirrors Emulator.enter_function):
+         walk both lists together; lengths are only materialised for the
+         error message on the cold path *)
+      let rec same_length = function
+        | [], [] -> true
+        | _ :: ps, _ :: xs -> same_length (ps, xs)
+        | [], _ :: _ | _ :: _, [] -> false
+      in
+      if not (same_length (fd.f_params, args)) then
         raise
           (Trap
              (Printf.sprintf "arity mismatch calling %s: %d params, %d args"

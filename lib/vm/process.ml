@@ -108,6 +108,11 @@ let is_terminated t =
 
 let charge t cls = t.cycles <- t.cycles + t.arch.Arch.cycles cls
 
+(* Bulk variant for engines that fold static per-instruction costs into
+   a block-local accumulator (see Link): one addition replaces a charge
+   per instruction, with identical totals at every observation point. *)
+let charge_cycles t n = t.cycles <- t.cycles + n
+
 (* Resolve a function value to its name through the function table. *)
 let fun_name t = function
   | Value.Vfun idx -> Function_table.name t.ftable idx

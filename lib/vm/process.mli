@@ -61,6 +61,13 @@ val restore :
 val output : t -> string
 val is_terminated : t -> bool
 val charge : t -> Arch.instr_class -> unit
+
+val charge_cycles : t -> int -> unit
+(** Bulk charge: add a pre-computed cycle count (engines accumulate
+    static per-instruction costs locally and flush once per observation
+    boundary — see {!Link}). *)
+
+(** {2 Function resolution} *)
 val fun_name : t -> Value.t -> string
 val fun_value : t -> string -> Value.t
 val fundef : t -> string -> Fir.Ast.fundef

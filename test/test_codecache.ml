@@ -75,10 +75,10 @@ let test_cache_hit () =
   let n = 40 in
   let bytes = packed_bytes n in
   let cache = Migrate.Codecache.create ~capacity:8 () in
-  let _, _, cold = unpack ~cache bytes in
+  let _, _, _, cold = unpack ~cache bytes in
   check "first delivery misses" false cold.Migrate.Pack.u_cache_hit;
   check "first delivery compiles" true cold.Migrate.Pack.u_recompiled;
-  let proc, masm, warm = unpack ~cache bytes in
+  let proc, masm, _, warm = unpack ~cache bytes in
   check "second delivery hits" true warm.Migrate.Pack.u_cache_hit;
   check "hit does not recompile" false warm.Migrate.Pack.u_recompiled;
   check "hit still verified" true warm.Migrate.Pack.u_verified;
@@ -98,9 +98,9 @@ let test_cache_disabled_matches_uncached () =
   let bytes = packed_bytes 26 in
   let cache = Migrate.Codecache.create ~capacity:0 () in
   check "capacity 0 disables" false (Migrate.Codecache.enabled cache);
-  let _, _, c1 = unpack ~cache bytes in
-  let _, _, c2 = unpack ~cache bytes in
-  let _, _, plain = unpack bytes in
+  let _, _, _, c1 = unpack ~cache bytes in
+  let _, _, _, c2 = unpack ~cache bytes in
+  let _, _, _, plain = unpack bytes in
   List.iter
     (fun (c : Migrate.Pack.unpack_costs) ->
       check "no hit" false c.Migrate.Pack.u_cache_hit;
@@ -121,12 +121,12 @@ let test_cache_disabled_matches_uncached () =
 let test_cross_arch_isolation () =
   let bytes = packed_bytes 28 in
   let cache = Migrate.Codecache.create ~capacity:8 () in
-  let _, _, _ = unpack ~cache ~arch:Vm.Arch.cisc32 bytes in
-  let _, masm64, c = unpack ~cache ~arch:Vm.Arch.risc64 bytes in
+  let _, _, _, _ = unpack ~cache ~arch:Vm.Arch.cisc32 bytes in
+  let _, masm64, _, c = unpack ~cache ~arch:Vm.Arch.risc64 bytes in
   check "another architecture never hits" false c.Migrate.Pack.u_cache_hit;
   check_str "risc64 got risc64 code" Vm.Arch.risc64.Vm.Arch.name
     masm64.Vm.Masm.im_arch;
-  let _, masm64', c' = unpack ~cache ~arch:Vm.Arch.risc64 bytes in
+  let _, masm64', _, c' = unpack ~cache ~arch:Vm.Arch.risc64 bytes in
   check "same architecture hits" true c'.Migrate.Pack.u_cache_hit;
   check_str "the hit serves matching code" Vm.Arch.risc64.Vm.Arch.name
     masm64'.Vm.Masm.im_arch;
@@ -135,10 +135,10 @@ let test_cross_arch_isolation () =
 let test_trust_mode_isolation () =
   let bytes = packed_bytes 28 in
   let cache = Migrate.Codecache.create ~capacity:8 () in
-  let _, _, _ = unpack ~cache ~trusted:true bytes in
+  let _, _, _, _ = unpack ~cache ~trusted:true bytes in
   (* an entry admitted without a typecheck must not serve a verified
      request *)
-  let _, _, c = unpack ~cache ~trusted:false bytes in
+  let _, _, _, c = unpack ~cache ~trusted:false bytes in
   check "trusted entry cannot serve a verified request" false
     c.Migrate.Pack.u_cache_hit;
   check "the verified request ran the full pipeline" true
@@ -152,11 +152,11 @@ let test_lru_eviction () =
   let a = packed_bytes 30 in
   let b = packed_bytes 31 in
   let cache = Migrate.Codecache.create ~capacity:1 () in
-  let _, _, _ = unpack ~cache a in
-  let _, _, _ = unpack ~cache b in
+  let _, _, _, _ = unpack ~cache a in
+  let _, _, _, _ = unpack ~cache b in
   (* b displaced a *)
   check_int "capacity bound holds" 1 (Migrate.Codecache.length cache);
-  let _, _, ca = unpack ~cache a in
+  let _, _, _, ca = unpack ~cache a in
   check "evicted entry misses again" false ca.Migrate.Pack.u_cache_hit;
   let s = Migrate.Codecache.stats cache in
   check "evictions recorded" true (s.Migrate.Codecache.evictions >= 2);
@@ -170,18 +170,18 @@ let test_instr_budget_and_invalidate () =
   (* an instruction budget smaller than one entry: the entry is admitted
      then immediately evicted *)
   let tiny = Migrate.Codecache.create ~max_instrs:1 ~capacity:8 () in
-  let _, _, _ = unpack ~cache:tiny bytes in
+  let _, _, _, _ = unpack ~cache:tiny bytes in
   check_int "over-budget entry evicted" 0 (Migrate.Codecache.length tiny);
   check_int "instruction accounting returns to zero" 0
     (Migrate.Codecache.total_instrs tiny);
   (* invalidate drops all modes/arches of a digest *)
   let cache = Migrate.Codecache.create ~capacity:8 () in
-  let _, _, _ = unpack ~cache bytes in
-  let _, _, _ = unpack ~cache ~trusted:true bytes in
+  let _, _, _, _ = unpack ~cache bytes in
+  let _, _, _, _ = unpack ~cache ~trusted:true bytes in
   check_int "two modes cached" 2 (Migrate.Codecache.length cache);
   Migrate.Codecache.invalidate cache ~digest;
   check_int "invalidate empties both" 0 (Migrate.Codecache.length cache);
-  let _, _, c = unpack ~cache bytes in
+  let _, _, _, c = unpack ~cache bytes in
   check "post-invalidate delivery misses" false c.Migrate.Pack.u_cache_hit;
   Migrate.Codecache.clear cache;
   check_int "clear empties the cache" 0 (Migrate.Codecache.length cache)

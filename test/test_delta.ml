@@ -185,7 +185,7 @@ let test_delta_roundtrip_property () =
             image
         with
         | Error m -> Alcotest.failf "unpack of reconstruction: %s" m
-        | Ok (proc2, _masm, _costs) ->
+        | Ok (proc2, _masm, _linked, _costs) ->
           let local = finish_locally proc in
           let resumed = finish_locally proc2 in
           check_int

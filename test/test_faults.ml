@@ -784,6 +784,96 @@ let test_detector_trace_deterministic () =
   check "trace is non-trivial" true (String.length t1 > 1000);
   Alcotest.(check string) "byte-identical detector traces" t1 t2
 
+(* ------------------------------------------------------------------ *)
+(* Scheduler equivalence: indexed residents vs the legacy scan          *)
+(* ------------------------------------------------------------------ *)
+
+(* The indexed scheduler (per-node resident lists, indexed mailbox
+   wake-ups) must be OBSERVABLY identical to the legacy per-round scan
+   it replaced: byte-identical typed traces, an identical metrics
+   registry and the golden checksums, under fault-injected grid runs
+   across multiple seeds.  [legacy_scan_sched] keeps the old path
+   executable precisely so this stays checkable from one build. *)
+
+let sched_eq_seeds = [ env_seed; env_seed + 31 ]
+
+let run_grid_sched ~legacy ~seed ~cfg ~nodes ~spare ~resilient plan =
+  let cluster =
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        node_count = nodes;
+        seed;
+        net = Some (Net.Simnet.create ~latency_us:5.0 ());
+        faults = plan;
+        legacy_scan_sched = legacy }
+  in
+  let d = Mcc.Gridapp.deploy ~spare cluster cfg in
+  let _ =
+    if resilient then Mcc.Gridapp.run_resilient d else Mcc.Gridapp.run d
+  in
+  (cluster, Mcc.Gridapp.checksums d)
+
+let check_sched_equivalent ~name ~cfg ~nodes ~spare ~resilient plan_of =
+  List.iter
+    (fun seed ->
+      let plan = plan_of seed in
+      let golden = Mcc.Gridapp.golden_checksums cfg in
+      let observe legacy =
+        let cluster, sums =
+          run_grid_sched ~legacy ~seed ~cfg ~nodes ~spare ~resilient plan
+        in
+        Array.iteri
+          (fun r s ->
+            match s with
+            | Some n ->
+              check_int (Printf.sprintf "%s: rank %d checksum" name r)
+                golden.(r) n
+            | None -> Alcotest.failf "%s: rank %d never finished" name r)
+          sums;
+        ( Obs.Trace.to_jsonl (Net.Cluster.trace cluster),
+          Obs.Metrics.render (Net.Cluster.metrics cluster) )
+      in
+      let trace_scan, metrics_scan = observe true in
+      let trace_idx, metrics_idx = observe false in
+      check (Printf.sprintf "%s seed %d: trace is non-trivial" name seed)
+        true
+        (String.length trace_scan > 1000);
+      Alcotest.(check string)
+        (Printf.sprintf "%s seed %d: byte-identical traces" name seed)
+        trace_scan trace_idx;
+      Alcotest.(check string)
+        (Printf.sprintf "%s seed %d: identical metrics" name seed)
+        metrics_scan metrics_idx)
+    sched_eq_seeds
+
+let test_sched_equivalence_loss () =
+  (* the F3 regime: loss + duplication + jitter over the whole grid *)
+  check_sched_equivalent ~name:"loss" ~cfg:grid_cfg ~nodes:3 ~spare:false
+    ~resilient:false (fun seed ->
+      { Net.Faults.none with
+        f_seed = seed;
+        f_loss = 0.10;
+        f_dup = 0.05;
+        f_jitter_s = 0.00002;
+        f_retransmit_s = 0.0001 })
+
+let test_sched_equivalence_crash () =
+  (* the F4 regime: loss, a healing partition, a stall and a node
+     crash, recovered by resurrection on the spare *)
+  let cfg = { grid_cfg with Mcc.Gridapp.work_us_per_step = 500 } in
+  check_sched_equivalent ~name:"crash" ~cfg ~nodes:4 ~spare:true
+    ~resilient:true (fun seed ->
+      { Net.Faults.none with
+        f_seed = seed;
+        f_loss = 0.10;
+        f_retransmit_s = 0.0001;
+        f_partitions =
+          [ { Net.Faults.pa = 0; pb = 1; p_from = 0.0004; p_until = 0.0008 }
+          ];
+        f_stalls =
+          [ { Net.Faults.s_node = 2; s_at = 0.002; s_for = 0.0005 } ];
+        f_crashes = [ { Net.Faults.c_node = 1; c_at = 0.004 } ] })
+
 let suites =
   [
     ( "faults.plan",
@@ -832,6 +922,13 @@ let suites =
           test_grid_partition_then_heal;
         Alcotest.test_case "crash + stall: resurrect and finish" `Quick
           test_grid_crash_and_stall_recovery;
+      ] );
+    ( "faults.sched_equivalence",
+      [
+        Alcotest.test_case "loss grid: scan = indexed, 2 seeds" `Quick
+          test_sched_equivalence_loss;
+        Alcotest.test_case "crash grid: scan = indexed, 2 seeds" `Quick
+          test_sched_equivalence_crash;
       ] );
     ( "faults.storage",
       [

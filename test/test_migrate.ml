@@ -142,7 +142,7 @@ let test_pack_roundtrip_untrusted () =
     Migrate.Pack.unpack ~arch:Vm.Arch.cisc32 packed.Migrate.Pack.p_bytes
   with
   | Error msg -> Alcotest.failf "unpack failed: %s" msg
-  | Ok (proc', _masm, costs) ->
+  | Ok (proc', _masm, _linked, costs) ->
     check "untrusted images are verified" true costs.Migrate.Pack.u_verified;
     check "untrusted images are recompiled" true
       costs.Migrate.Pack.u_recompiled;
@@ -161,7 +161,7 @@ let test_pack_roundtrip_binary () =
       packed.Migrate.Pack.p_bytes
   with
   | Error msg -> Alcotest.failf "unpack failed: %s" msg
-  | Ok (proc', masm, costs) ->
+  | Ok (proc', masm, _linked, costs) ->
     check "binary fast path skips recompilation" false
       costs.Migrate.Pack.u_recompiled;
     (* only the stub-linking charge remains: it must be well under the
@@ -171,7 +171,7 @@ let test_pack_roundtrip_binary () =
         Migrate.Pack.unpack ~trusted:false ~arch:Vm.Arch.cisc32
           packed.Migrate.Pack.p_bytes
       with
-      | Ok (_, _, c) -> c.Migrate.Pack.u_compile_cycles
+      | Ok (_, _, _, c) -> c.Migrate.Pack.u_compile_cycles
       | Error m -> Alcotest.failf "untrusted unpack failed: %s" m
     in
     check "fast path much cheaper than recompilation" true
@@ -191,7 +191,7 @@ let test_pack_heterogeneous () =
       packed.Migrate.Pack.p_bytes
   with
   | Error msg -> Alcotest.failf "unpack failed: %s" msg
-  | Ok (proc', masm, costs) ->
+  | Ok (proc', masm, _linked, costs) ->
     check "cross-arch forces recompilation" true
       costs.Migrate.Pack.u_recompiled;
     check_str "image recompiled for target" "risc64" masm.Vm.Masm.im_arch;
@@ -263,7 +263,7 @@ let test_spec_migration () =
   let packed = Migrate.Pack.pack_request proc in
   match Migrate.Pack.unpack ~arch:Vm.Arch.cisc32 packed.Migrate.Pack.p_bytes with
   | Error msg -> Alcotest.failf "unpack failed: %s" msg
-  | Ok (proc', _, _) ->
+  | Ok (proc', _, _, _) ->
     check_int "restored speculation depth" 1
       (Spec.Engine.depth proc'.Vm.Process.spec);
     let status = Vm.Interp.run proc' in

@@ -413,7 +413,7 @@ int main() {
      Migrate.Pack.unpack ~arch:Vm.Arch.risc64 packed.Migrate.Pack.p_bytes
    with
   | Error m -> Alcotest.failf "unpack failed: %s" m
-  | Ok (proc', masm, _) ->
+  | Ok (proc', masm, _linked, _) ->
     let emu = Vm.Emulator.create masm proc' in
     (match Vm.Emulator.run emu with
     | Vm.Process.Exited n ->

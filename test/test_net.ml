@@ -274,6 +274,31 @@ let migrate_then_finish ~target =
                 migrate ~label:1 dst (fn "after") [ int 100 ]));
       ])
 
+(* [statuses] order is part of the API contract: one row per process
+   ever placed, in spawn order — i.e. ascending pid — stable across
+   runs, scheduling and mid-run migrations (a migration's successor is
+   a NEW entry appended at its own spawn position). *)
+let test_statuses_spawn_order () =
+  let cluster =
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with node_count = 3 }
+  in
+  let pids =
+    List.init 6 (fun i ->
+        Net.Cluster.spawn cluster ~node_id:(i mod 3) (exit_program i))
+  in
+  let order () = List.map (fun (pid, _, _, _) -> pid) (Net.Cluster.statuses cluster) in
+  check "before running: spawn order" true (order () = pids);
+  let migrator_pid =
+    Net.Cluster.spawn cluster ~node_id:0
+      (migrate_then_finish ~target:"mcc://node1")
+  in
+  let _ = Net.Cluster.run cluster in
+  let final = order () in
+  check "after running: same prefix, successor appended" true
+    (final = pids @ [ migrator_pid; migrator_pid + 1 ]);
+  check "ascending pids" true (List.sort compare final = final)
+
 let test_cluster_migrate () =
   let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid =
@@ -743,6 +768,8 @@ let suites =
       [
         Alcotest.test_case "runs processes to completion" `Quick
           test_cluster_runs_to_exit;
+        Alcotest.test_case "statuses is stable spawn order" `Quick
+          test_statuses_spawn_order;
         Alcotest.test_case "message passing" `Quick
           test_cluster_message_passing;
         Alcotest.test_case "send to unknown rank" `Quick

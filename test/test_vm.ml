@@ -415,6 +415,56 @@ let test_emulator_traps_match () =
           ]);
     ]
 
+(* The Fast (pre-resolved) mode must be OBSERVABLY identical to the
+   Baseline per-instruction loop it replaced: same status, same output,
+   same retired-instruction count, and — because externs read cycles
+   mid-block — the same final cycle count, on every program and both
+   architectures. *)
+let test_emulator_modes_equivalent () =
+  List.iter
+    (fun (name, p, _) ->
+      List.iter
+        (fun arch ->
+          let run mode =
+            let image = Vm.Codegen.compile ~arch p in
+            let proc = Vm.Process.create ~seed:5 ~arch p in
+            let emu = Vm.Emulator.create ~mode image proc in
+            let status = Vm.Emulator.run emu in
+            status, proc, Vm.Emulator.instructions emu
+          in
+          let label what =
+            Printf.sprintf "%s on %s: %s" name arch.Vm.Arch.name what
+          in
+          let st_b, proc_b, instrs_b = run Vm.Emulator.Baseline in
+          let st_f, proc_f, instrs_f = run Vm.Emulator.Fast in
+          check_int (label "exit") (exit_code st_b) (exit_code st_f);
+          check_str (label "output")
+            (Vm.Process.output proc_b)
+            (Vm.Process.output proc_f);
+          check_int (label "instructions") instrs_b instrs_f;
+          check_int (label "steps") proc_b.Vm.Process.steps
+            proc_f.Vm.Process.steps;
+          check_int (label "cycles") proc_b.Vm.Process.cycles
+            proc_f.Vm.Process.cycles)
+        Vm.Arch.all)
+    all_programs;
+  (* trapping programs agree too (and charge the trap identically) *)
+  let trapper =
+    Builder.(
+      prog
+        [ func "main" [] (fun _ -> div (int 1) (int 0) (fun x -> exit_ x)) ])
+  in
+  let run mode =
+    let image = Vm.Codegen.compile trapper in
+    let proc = Vm.Process.create trapper in
+    let emu = Vm.Emulator.create ~mode image proc in
+    Vm.Emulator.run emu, proc
+  in
+  match run Vm.Emulator.Baseline, run Vm.Emulator.Fast with
+  | (Vm.Process.Trapped m_b, _), (Vm.Process.Trapped m_f, _) ->
+    check_str "trap message" m_b m_f
+  | _ -> Alcotest.fail "modes disagree on trapping"
+
 let test_emulator_migration () =
   let image = Vm.Codegen.compile migrator in
   let proc = Vm.Process.create migrator in
@@ -549,6 +599,8 @@ let suites =
         Alcotest.test_case "output matches" `Quick
           test_emulator_output_matches;
         Alcotest.test_case "traps match" `Quick test_emulator_traps_match;
+        Alcotest.test_case "fast mode = baseline mode" `Quick
+          test_emulator_modes_equivalent;
         Alcotest.test_case "migration from compiled code" `Quick
           test_emulator_migration;
         Alcotest.test_case "arch mismatch rejected" `Quick
