@@ -1533,20 +1533,52 @@ let m1 () =
         done;
         now_s () -. t0)
   in
-  Printf.printf "  %-10s %-12s %s\n" "messages" "total(us)" "ns/message";
-  let per_msg n =
-    let t = burst n in
+  (* interleaved 5-enqueue / 3-drain bursts: the front list is
+     non-empty every time the back list flips, which is the pattern the
+     pre-fix [normalize] handled by appending the reversed back list
+     onto the NON-EMPTY front — O(N^2) across a long run of bursts *)
+  let interleaved n =
+    time_op ~iters:9 (fun () ->
+        let mb = Net.Mpi.create_mailbox () in
+        let t0 = now_s () in
+        let sent = ref 0 and got = ref 0 in
+        let recv_one () =
+          match Net.Mpi.try_recv mb ~now:0.0 ~src_rank:0 ~tag:0 with
+          | Net.Mpi.Received _ -> incr got
+          | Net.Mpi.Roll | Net.Mpi.None_yet ->
+            failwith "m1: FIFO lost a message"
+        in
+        while !sent < n do
+          for _ = 1 to 5 do
+            Net.Mpi.enqueue mb (mk_msg !sent);
+            incr sent
+          done;
+          for _ = 1 to 3 do recv_one () done
+        done;
+        while !got < n do recv_one () done;
+        now_s () -. t0)
+  in
+  Printf.printf "  %-12s %-10s %-12s %s\n" "pattern" "messages" "total(us)"
+    "ns/message";
+  let per_msg pattern f n =
+    let t = f n in
     let ns = t /. float_of_int n *. 1e9 in
-    Printf.printf "  %-10d %-12.1f %.1f\n" n (t *. 1e6) ns;
+    Printf.printf "  %-12s %-10d %-12.1f %.1f\n" pattern n (t *. 1e6) ns;
     ns
   in
-  let ns_1k = per_msg 1_000 in
-  let ns_10k = per_msg 10_000 in
+  let ns_1k = per_msg "burst" burst 1_000 in
+  let ns_10k = per_msg "burst" burst 10_000 in
+  let ns_i1k = per_msg "interleaved" interleaved 1_000 in
+  let ns_i10k = per_msg "interleaved" interleaved 10_000 in
   print_newline ();
   (* a quadratic queue would make the per-message cost ~10x worse at
      10k; linear keeps it flat (generous 4x + noise-floor allowance) *)
   verdict "enqueue+drain cost per message flat at 10k (linear, not O(N^2))"
-    (ns_10k < 4.0 *. ns_1k +. 50.0)
+    (ns_10k < 4.0 *. ns_1k +. 50.0);
+  verdict
+    "interleaved bursts stay flat too (normalize never merges a \
+     non-empty front)"
+    (ns_i10k < 4.0 *. ns_i1k +. 50.0)
 
 (* ================================================================== *)
 (* S1 / V1: the simulation-core and VM fast-path meters                *)
@@ -1930,6 +1962,144 @@ let v1 () =
   verdict "fast mode no slower than baseline on every kernel"
     (List.for_all (fun (_, _, _, _, w_b, w_f) -> w_f <= w_b) results)
 
+(* --- T1 ----------------------------------------------------------- *)
+
+(* Request serving under live-traffic migration: N closed-loop clients
+   fire >= 10^5 requests at K registered services addressed by logical
+   address, under message loss + duplication, while the services are
+   re-homed mid-traffic ("migrate" mode) or left in place ("static"
+   mode).  Every run must be exactly-once — zero loss, zero duplicate
+   service work, zero reply reordering — and in migrate mode the
+   senders must demonstrably rebind (Recipient_moved notices consumed,
+   forwarder relays observed and then quiescing). *)
+
+let t1_cfg =
+  { Mcc.Gridapp.Serve.clients = 8; services = 4;
+    requests_per_client = 12_500; work_us = 5 }
+
+let t1_seeds = [ 11; 23 ]
+
+let t1_plan seed =
+  { Net.Faults.none with
+    Net.Faults.f_seed = seed;
+    f_loss = 0.05;
+    f_dup = 0.02;
+    f_jitter_s = 0.000005;
+    f_retransmit_s = 0.00005 }
+
+type t1_sample = {
+  t1_case : string;
+  t1_mode : string;
+  t1_wall : float;
+  t1_sim : float;
+  t1_report : Mcc.Gridapp.Serve.report;
+  t1_exact : bool;
+}
+
+let t1_run ~seed ~migrate =
+  let cluster =
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        node_count = 6;
+        seed;
+        net = Some (Net.Simnet.create ~latency_us:5.0 ());
+        faults = t1_plan seed }
+  in
+  let d = Mcc.Gridapp.Serve.deploy ~engine:`Masm cluster t1_cfg in
+  let r, wall_s =
+    wall (fun () ->
+        if migrate then
+          Mcc.Gridapp.Serve.run ~migrate_every_s:0.004 ~migrations:10 d
+        else Mcc.Gridapp.Serve.run d)
+  in
+  { t1_case = Printf.sprintf "serve-s%d" seed;
+    t1_mode = (if migrate then "migrate" else "static");
+    t1_wall = wall_s;
+    t1_sim = Net.Cluster.now cluster;
+    t1_report = r;
+    t1_exact = Mcc.Gridapp.Serve.exactly_once d r }
+
+let t1_row s =
+  let r = s.t1_report in
+  Printf.sprintf
+    "{\"bench\":\"t1\",\"case\":\"%s\",\"mode\":\"%s\",\
+     \"requests\":%d,\"migrations\":%d,\"forwarded\":%d,\
+     \"rebinds\":%d,\"p50_ms\":%.4f,\"p90_ms\":%.4f,\"p99_ms\":%.4f,\
+     \"mean_ms\":%.4f,\"wall_s\":%.6f,\"sim_s\":%.6f,\
+     \"req_per_sec\":%.1f}"
+    s.t1_case s.t1_mode r.Mcc.Gridapp.Serve.rp_requests r.rp_migrations
+    r.rp_forwarded r.rp_rebinds r.rp_p50_ms r.rp_p90_ms r.rp_p99_ms
+    r.rp_mean_ms s.t1_wall s.t1_sim
+    (float_of_int r.rp_requests /. s.t1_wall)
+
+let t1_results () =
+  List.concat_map
+    (fun seed ->
+      [ t1_run ~seed ~migrate:false; t1_run ~seed ~migrate:true ])
+    t1_seeds
+
+let t1 () =
+  section "T1: request serving under live-traffic migration (registry)";
+  Printf.printf
+    "%d closed-loop clients x %d requests (= %d total) at %d services\n\
+     addressed by logical address, with 5%% loss + 2%% duplication; the\n\
+     migrate rows re-home a service round-robin every 4 simulated ms\n\
+     while requests are in flight.  Latency quantiles come from the\n\
+     cluster's app.latency_seconds histogram.\n\n"
+    t1_cfg.Mcc.Gridapp.Serve.clients
+    t1_cfg.Mcc.Gridapp.Serve.requests_per_client
+    (t1_cfg.Mcc.Gridapp.Serve.clients
+    * t1_cfg.Mcc.Gridapp.Serve.requests_per_client)
+    t1_cfg.Mcc.Gridapp.Serve.services;
+  let samples = t1_results () in
+  Printf.printf "  %-11s %-8s %-8s %-6s %-6s %-8s %-8s %-8s %-8s %-9s %s\n"
+    "case" "mode" "requests" "moves" "fwd" "rebinds" "p50(ms)" "p90(ms)"
+    "p99(ms)" "mean(ms)" "wall(s)";
+  List.iter
+    (fun s ->
+      let r = s.t1_report in
+      Printf.printf
+        "  %-11s %-8s %-8d %-6d %-6d %-8d %-8.3f %-8.3f %-8.3f %-9.3f \
+         %.3f\n"
+        s.t1_case s.t1_mode r.Mcc.Gridapp.Serve.rp_requests r.rp_migrations
+        r.rp_forwarded r.rp_rebinds r.rp_p50_ms r.rp_p90_ms r.rp_p99_ms
+        r.rp_mean_ms s.t1_wall)
+    samples;
+  let rows = List.map t1_row samples in
+  write_lines "BENCH_t1.json" rows;
+  Printf.printf "\n  wrote BENCH_t1.json\n";
+  print_newline ();
+  let migrates =
+    List.filter (fun s -> String.equal s.t1_mode "migrate") samples
+  in
+  let exact_ok = List.for_all (fun s -> s.t1_exact) samples in
+  let moves_ok =
+    List.for_all
+      (fun s -> s.t1_report.Mcc.Gridapp.Serve.rp_migrations > 0)
+      migrates
+  in
+  let rebind_ok =
+    List.for_all
+      (fun s ->
+        s.t1_report.Mcc.Gridapp.Serve.rp_forwarded > 0
+        && s.t1_report.Mcc.Gridapp.Serve.rp_rebinds > 0)
+      migrates
+  in
+  verdict
+    (Printf.sprintf "every request served exactly once (%d runs, 2 seeds)"
+       (List.length samples))
+    exact_ok;
+  verdict "migrations landed mid-traffic on every migrate run" moves_ok;
+  verdict "senders rebound after each move (forwarders relayed, then \
+           notices consumed)"
+    rebind_ok;
+  (* unlike the perf meters these are correctness gates: losing,
+     duplicating or reordering a request must fail the run *)
+  if not (exact_ok && moves_ok && rebind_ok) then exit 1;
+  samples
+
+let t1_cmd () = ignore (t1 ())
+
 (* --- perfcheck ----------------------------------------------------- *)
 
 (* speedup ratio per (bench, case) from a row list: fast mode
@@ -1960,6 +2130,11 @@ let ratios_of_rows rows =
       let get mode = Hashtbl.find_opt tbl (bench, case, mode) in
       let slow, fast =
         if String.equal bench "s1" then get "scan", get "indexed"
+        else if String.equal bench "t1" then
+          (* ratio = wall_static / wall_migrate: a regression on the
+             forward/rebind serving path inflates the migrate wall and
+             drags the ratio below the gate *)
+          get "static", get "migrate"
         else get "baseline", get "fast"
       in
       match slow, fast with
@@ -2000,12 +2175,20 @@ let perfcheck () =
     List.concat_map (fun (_, rows, _, _, _, _) -> rows) (v1_results ())
   in
   write_lines "BENCH_v1.json" v1_rows;
+  let t1_samples = t1_results () in
+  if not (List.for_all (fun s -> s.t1_exact) t1_samples) then begin
+    Printf.printf "  t1: exactly-once violated in fresh run [FAIL]\n";
+    exit 1
+  end;
+  let t1_rows = List.map t1_row t1_samples in
+  write_lines "BENCH_t1.json" t1_rows;
   let ok_s1 = check "s1" s1_rows "bench/baselines/BENCH_s1.json" in
   let ok_v1 = check "v1" v1_rows "bench/baselines/BENCH_v1.json" in
+  let ok_t1 = check "t1" t1_rows "bench/baselines/BENCH_t1.json" in
   print_newline ();
   verdict "no perf regression > 30% vs committed baselines"
-    (ok_s1 && ok_v1);
-  if not (ok_s1 && ok_v1) then exit 1
+    (ok_s1 && ok_v1 && ok_t1);
+  if not (ok_s1 && ok_v1 && ok_t1) then exit 1
 
 (* ================================================================== *)
 (* Driver                                                              *)
@@ -2033,8 +2216,12 @@ let experiments =
     (* perf meters for the scheduler/VM fast paths (BENCH_*.json) *)
     "s1", ("s1", s1);
     "v1", ("v1", v1);
-    (* regression gate: re-measures s1+v1 and compares speedup ratios
-       against bench/baselines/*.json; exits 1 on > 30% regression *)
+    (* serving-under-migration meter: latency quantiles + exactly-once
+       gate for the registry's forward/notify/rebind protocol *)
+    "t1", ("t1", t1_cmd);
+    (* regression gate: re-measures s1+v1+t1 and compares speedup
+       ratios against bench/baselines/*.json; exits 1 on > 30%
+       regression *)
     "perfcheck", ("perfcheck", perfcheck);
   ]
 
@@ -2044,7 +2231,7 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ ->
       [ "e1"; "e1c"; "e1d"; "e2"; "e5"; "f1"; "f2"; "f2b"; "f3"; "f4"; "a1";
-        "a2"; "s1"; "v1" ]
+        "a2"; "s1"; "v1"; "t1" ]
   in
   print_endline
     "Mojave Compiler reproduction — benchmark harness (paper: Smith, \

@@ -4,6 +4,9 @@
      mcc run FILE [--backend ...] [--arch ...]
      mcc resume IMAGE [--trusted]          execute a checkpoint image
      mcc grid [--ranks N] [--fail] [--trace FILE]   the Figure 2 demo
+     mcc grid --serve-bench [--clients N] [--services K] [--requests N]
+              [--migrations N] [--migrate-every S]   request serving under
+                                                     live-traffic migration
 
    [run] services migration requests locally: checkpoint://path and
    suspend://path write resumable image files to disk (the paper's
@@ -479,8 +482,51 @@ let grid_cmd =
                 indestructible shared store.  Reads digest-verify and \
                 read-repair.")
   in
+  let serve_bench_arg =
+    Arg.(
+      value & flag
+      & info [ "serve-bench" ]
+          ~doc:"Instead of the stencil, run the request-serving workload: \
+                closed-loop clients addressing registered services by \
+                logical address while the services migrate mid-traffic.  \
+                Prints latency quantiles and the registry's \
+                forward/rebind counters; exit status 3 if any request \
+                was lost, duplicated or reordered.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"Client ranks (serve-bench).")
+  in
+  let services_arg =
+    Arg.(value & opt int 2
+         & info [ "services" ] ~docv:"K"
+             ~doc:"Registered service processes (serve-bench).")
+  in
+  let requests_arg =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Requests per client (serve-bench).")
+  in
+  let work_us_arg =
+    Arg.(value & opt int 20
+         & info [ "work-us" ] ~docv:"US"
+             ~doc:"Simulated service time per request (serve-bench).")
+  in
+  let migrations_arg =
+    Arg.(value & opt int 4
+         & info [ "migrations" ] ~docv:"N"
+             ~doc:"Service re-homings to land mid-traffic (serve-bench; \
+                   0 = static run).")
+  in
+  let migrate_every_arg =
+    Arg.(value & opt float 0.002
+         & info [ "migrate-every" ] ~docv:"SECONDS"
+             ~doc:"Simulated seconds between service re-homings \
+                   (serve-bench).")
+  in
   let action ranks rows_per_rank cols timesteps interval fail trace_file
-      fault_plan_file seed delta hb_interval suspect_timeout replication =
+      fault_plan_file seed delta hb_interval suspect_timeout replication
+      serve_bench clients services requests work_us migrations migrate_every =
     let config =
       { Mcc.Gridapp.ranks; rows_per_rank; cols; timesteps; interval;
         work_us_per_step = 1000 }
@@ -495,6 +541,55 @@ let grid_cmd =
       Printf.eprintf "mcc grid: bad fault plan: %s\n" m;
       2
     | Ok plan ->
+    let write_trace cluster =
+      match trace_file with
+      | None -> true
+      | Some path -> (
+        try
+          let oc = open_out path in
+          Obs.Trace.write_jsonl (Net.Cluster.trace cluster) oc;
+          close_out oc;
+          Printf.eprintf "mcc grid: trace written to %s (%d events)\n" path
+            (Obs.Trace.length (Net.Cluster.trace cluster));
+          true
+        with Sys_error m ->
+          Printf.eprintf "mcc grid: cannot write trace: %s\n" m;
+          false)
+    in
+    if serve_bench then begin
+      let scfg =
+        { Mcc.Gridapp.Serve.clients; services;
+          requests_per_client = requests; work_us }
+      in
+      let cluster =
+        Net.Cluster.create_cfg
+          { Net.Cluster.Config.default with
+            node_count = max ranks 2;
+            seed = (match seed with Some s -> s | None -> 1);
+            net = Some (Net.Simnet.create ~latency_us:5.0 ());
+            faults = plan;
+            delta }
+      in
+      let d = Mcc.Gridapp.Serve.deploy cluster scfg in
+      let r =
+        Mcc.Gridapp.Serve.run ~migrate_every_s:migrate_every ~migrations d
+      in
+      let exact = Mcc.Gridapp.Serve.exactly_once d r in
+      Printf.printf "served %d requests (%d clients x %d) at %d services\n"
+        r.Mcc.Gridapp.Serve.rp_requests clients requests services;
+      Printf.printf
+        "latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, mean %.3f ms\n"
+        r.rp_p50_ms r.rp_p90_ms r.rp_p99_ms r.rp_mean_ms;
+      Printf.printf
+        "registry: %d migrations, %d forwarded, %d rebinds, %d expired \
+         sends\n"
+        r.rp_migrations r.rp_forwarded r.rp_rebinds r.rp_expired;
+      Printf.printf "simulated time: %.4f s\n" (Net.Cluster.now cluster);
+      Printf.printf "exactly-once: %s\n" (if exact then "yes" else "NO");
+      let trace_ok = write_trace cluster in
+      if not trace_ok then 1 else if exact then 0 else 3
+    end
+    else begin
     let golden = Mcc.Gridapp.golden_checksums config in
     let faulty = not (Net.Faults.is_none plan) in
     let detector =
@@ -592,22 +687,9 @@ let grid_cmd =
          (Obs.Metrics.counter_value m "faults.store_lost")
          (Obs.Metrics.counter_value m "faults.store_torn")
          (Obs.Metrics.counter_value m "faults.store_flip"));
-    let trace_ok =
-      match trace_file with
-      | None -> true
-      | Some path -> (
-        try
-          let oc = open_out path in
-          Obs.Trace.write_jsonl (Net.Cluster.trace cluster) oc;
-          close_out oc;
-          Printf.eprintf "mcc grid: trace written to %s (%d events)\n" path
-            (Obs.Trace.length (Net.Cluster.trace cluster));
-          true
-        with Sys_error m ->
-          Printf.eprintf "mcc grid: cannot write trace: %s\n" m;
-          false)
-    in
+    let trace_ok = write_trace cluster in
     if not trace_ok then 1 else if !ok then 0 else 3
+    end
   in
   Cmd.v
     (Cmd.info "grid" ~doc:"Run the Figure 2 grid computation on the \
@@ -615,7 +697,9 @@ let grid_cmd =
     Term.(
       const action $ ranks $ rows $ cols $ steps $ interval $ fail
       $ trace_arg $ fault_plan_arg $ seed_arg $ delta_arg $ hb_interval_arg
-      $ suspect_timeout_arg $ replication_arg)
+      $ suspect_timeout_arg $ replication_arg $ serve_bench_arg $ clients_arg
+      $ services_arg $ requests_arg $ work_us_arg $ migrations_arg
+      $ migrate_every_arg)
 
 let () =
   let info =

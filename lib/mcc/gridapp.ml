@@ -468,3 +468,289 @@ let fail_and_recover ?(rounds_before_failure = 400) ?after_time d
       victims
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* The request-serving workload (registry / live-traffic migration)    *)
+(* ------------------------------------------------------------------ *)
+
+(* A closed-loop RPC workload over the process registry: C client ranks
+   each fire [requests_per_client] requests round-robin across K service
+   processes addressed by LOGICAL ADDRESS (laddr 1..K, [svc_send]),
+   never by rank.  Services are re-homed mid-traffic with
+   {!Net.Cluster.migrate_running}: each move gives the successor a fresh
+   rank, so every client binding goes stale and the
+   forward/notify/rebind protocol is what keeps the requests flowing.
+
+   Exactly-once accounting under loss/dup/jitter fault plans:
+   - the link layer models loss as retransmission delay, so a request
+     or reply is never silently dropped (absent a permanent partition);
+   - a DUPLICATED request is deduplicated by the service (per-client
+     last-seq table): the work runs once and one reply is sent;
+   - a DUPLICATED reply is discarded by the client (its seq is behind
+     the one outstanding request of the closed loop).
+
+   Each client exits with its count of ordering violations (0 = clean)
+   and each service with the number of UNIQUE requests it served, so the
+   zero-loss / zero-dup claims are checked from exit codes alone.
+   Per-request latency is recorded into the cluster metrics histogram
+   ["app.latency_seconds"] via the [lat_us] probe. *)
+module Serve = struct
+  type config = {
+    clients : int;
+    services : int;
+    requests_per_client : int;
+    work_us : int;  (* simulated service time per request *)
+  }
+
+  let default_config =
+    { clients = 4; services = 2; requests_per_client = 50; work_us = 20 }
+
+  let request_tag = 7
+  let reply_tag_base = 1000
+
+  (* Unique requests service [k] (laddr k+1) owes: each client walks
+     seq mod K round-robin, so the split is deterministic. *)
+  let expected_served cfg k =
+    let per_client =
+      (cfg.requests_per_client / cfg.services)
+      + (if k < cfg.requests_per_client mod cfg.services then 1 else 0)
+    in
+    cfg.clients * per_client
+
+  let client_source cfg rank =
+    Printf.sprintf
+      {|
+// serving client, rank %d (generated)
+int main() {
+  int r = %d;
+  float *buf = alloc_float(4);
+  float *rbuf = alloc_float(4);
+  int seq; int rc; int got; int rs; int viol; int t0; int fin;
+  viol = 0;
+  for (seq = 0; seq < %d; seq = seq + 1) {
+    int laddr = 1 + (seq %% %d);
+    t0 = sim_now_us();
+    buf[0] = (float)r;
+    buf[1] = (float)seq;
+    buf[2] = (float)t0;
+    rc = svc_send(laddr, %d, buf, 3);
+    while (rc == 0 - 3) { rc = svc_send(laddr, %d, buf, 3); }
+    if (rc < 0) { return 0 - 100; }
+    fin = 0;
+    while (fin == 0) {
+      got = msg_try_recv_any(%d + r, rbuf, 4);
+      if (got >= 0) {
+        rs = (int)rbuf[1];
+        if (rs == seq) {
+          lat_us(sim_now_us() - t0);
+          fin = 1;
+        }
+        if (rs > seq) { viol = viol + 1; fin = 1; }
+      }
+    }
+  }
+  return viol;
+}
+|}
+      rank rank cfg.requests_per_client cfg.services request_tag request_tag
+      reply_tag_base
+
+  let service_source cfg k =
+    let total = expected_served cfg k in
+    Printf.sprintf
+      {|
+// serving worker %d (generated): %d unique requests, then exit
+int main() {
+  float *rbuf = alloc_float(4);
+  int *last = alloc_int(%d);
+  int i; int got; int cl; int s; int served;
+  for (i = 0; i < %d; i = i + 1) { last[i] = 0 - 1; }
+  served = 0;
+  while (served < %d) {
+    got = msg_try_recv_any(%d, rbuf, 4);
+    if (got >= 0) {
+      cl = (int)rbuf[0];
+      s = (int)rbuf[1];
+      if (s > last[cl]) {
+        last[cl] = s;
+        %smsg_send(cl, %d + cl, rbuf, 3);
+        served = served + 1;
+      }
+    }
+  }
+  return served;
+}
+|}
+      k total cfg.clients cfg.clients total request_tag
+      (if cfg.work_us > 0 then Printf.sprintf "work_us(%d);\n        " cfg.work_us
+       else "")
+      reply_tag_base
+
+  let compile source_text =
+    match Minic.Driver.compile source_text with
+    | Ok fir -> fir
+    | Error e ->
+      invalid_arg
+        ("Gridapp.Serve: generated source failed to compile: "
+        ^ Minic.Driver.error_to_string e)
+
+  type deployment = {
+    sv_config : config;
+    sv_cluster : Net.Cluster.t;
+    sv_client_pids : int array;  (* client rank -> pid (never moves) *)
+    mutable sv_service_pids : int array;  (* service k -> CURRENT pid *)
+    sv_laddrs : int array;  (* service k -> logical address *)
+  }
+
+  (* Clients take ranks 0..C-1, services C..C+K-1; both are spread over
+     the nodes round-robin.  Every service is registered, so from here
+     on migration re-homes it. *)
+  let deploy ?(engine = `Interp) cluster cfg =
+    if cfg.clients < 1 || cfg.services < 1 then
+      invalid_arg "Gridapp.Serve.deploy: clients and services must be >= 1";
+    let nodes = Net.Cluster.node_count cluster in
+    let client_pids =
+      Array.init cfg.clients (fun r ->
+          Net.Cluster.spawn cluster ~engine ~rank:r ~node_id:(r mod nodes)
+            (compile (client_source cfg r)))
+    in
+    let service_pids =
+      Array.init cfg.services (fun k ->
+          let rank = cfg.clients + k in
+          Net.Cluster.spawn cluster ~engine ~rank ~node_id:(rank mod nodes)
+            (compile (service_source cfg k)))
+    in
+    let laddrs =
+      Array.map
+        (fun pid -> Net.Cluster.register_service cluster ~pid)
+        service_pids
+    in
+    { sv_config = cfg; sv_cluster = cluster; sv_client_pids = client_pids;
+      sv_service_pids = service_pids; sv_laddrs = laddrs }
+
+  let exit_code cluster pid =
+    match Net.Cluster.entry_of_pid cluster pid with
+    | Some e -> (
+      match e.Net.Cluster.proc.Vm.Process.status with
+      | Vm.Process.Exited n -> Some n
+      | _ -> None)
+    | None -> None
+
+  let all_exited d =
+    let done_ pid = exit_code d.sv_cluster pid <> None in
+    Array.for_all done_ d.sv_client_pids
+    && Array.for_all done_ d.sv_service_pids
+
+  type report = {
+    rp_requests : int;  (* latency observations = completed requests *)
+    rp_violations : int;  (* sum of client exit codes *)
+    rp_migrations : int;  (* successful service re-homings *)
+    rp_served : int array;  (* per service: unique requests served *)
+    rp_p50_ms : float;
+    rp_p90_ms : float;
+    rp_p99_ms : float;
+    rp_mean_ms : float;
+    rp_forwarded : int;  (* messages relayed through forwarders *)
+    rp_rebinds : int;  (* Recipient_moved notices consumed *)
+    rp_expired : int;  (* sends that hit an expired forwarder *)
+    rp_wedged : bool;  (* went quiescent before every rank exited *)
+  }
+
+  (* Drive the run, re-homing one service round-robin to the next node
+     every [migrate_every_s] simulated seconds until [migrations] moves
+     landed, then run to completion.  A service that already exited (or
+     is mid-quantum in a state the packer rejects) is skipped; the move
+     budget is not charged. *)
+  let run ?(max_rounds = 20_000_000) ?(migrate_every_s = 0.002)
+      ?(migrations = 0) d =
+    let cluster = d.sv_cluster in
+    let nodes = Net.Cluster.node_count cluster in
+    let moved = ref 0 in
+    let skipped = ref 0 in
+    let next_at = ref (Net.Cluster.now cluster +. migrate_every_s) in
+    let total = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let budget = max_rounds - !total in
+      if budget <= 0 then continue_ := false
+      else begin
+        let more_moves () = !moved + !skipped < migrations && nodes > 1 in
+        total :=
+          !total
+          + Net.Cluster.run cluster ~max_rounds:budget ~stop:(fun () ->
+                all_exited d
+                || (more_moves () && Net.Cluster.now cluster >= !next_at));
+        if all_exited d then continue_ := false
+        else if more_moves () && Net.Cluster.now cluster >= !next_at then begin
+          let k = (!moved + !skipped) mod d.sv_config.services in
+          let pid = d.sv_service_pids.(k) in
+          (match Net.Cluster.entry_of_pid cluster pid with
+          | Some e
+            when e.Net.Cluster.proc.Vm.Process.status = Vm.Process.Running ->
+            let target = (e.Net.Cluster.node_id + 1) mod nodes in
+            (match Net.Cluster.migrate_running cluster ~pid ~node_id:target with
+            | Ok rep ->
+              d.sv_service_pids.(k) <- rep.Net.Cluster.rep_pid;
+              incr moved
+            | Error _ -> incr skipped)
+          | Some _ | None -> incr skipped);
+          next_at := Net.Cluster.now cluster +. migrate_every_s
+        end
+        else
+          (* quiescent with ranks unfinished: wedged — report it rather
+             than spinning the round budget down *)
+          continue_ := false
+      end
+    done;
+    let metrics = Net.Cluster.metrics cluster in
+    let requests, p50, p90, p99, mean =
+      match Obs.Metrics.find_histogram metrics "app.latency_seconds" with
+      | Some h ->
+        ( Obs.Metrics.hist_count h,
+          1e3 *. Obs.Metrics.quantile h 0.50,
+          1e3 *. Obs.Metrics.quantile h 0.90,
+          1e3 *. Obs.Metrics.quantile h 0.99,
+          1e3 *. Obs.Metrics.hist_mean h )
+      | None -> 0, 0.0, 0.0, 0.0, 0.0
+    in
+    let violations =
+      Array.fold_left
+        (fun acc pid ->
+          match exit_code cluster pid with Some n -> acc + n | None -> acc)
+        0 d.sv_client_pids
+    in
+    let served =
+      Array.map
+        (fun pid -> Option.value ~default:(-1) (exit_code cluster pid))
+        d.sv_service_pids
+    in
+    {
+      rp_requests = requests;
+      rp_violations = violations;
+      rp_migrations = !moved;
+      rp_served = served;
+      rp_p50_ms = p50;
+      rp_p90_ms = p90;
+      rp_p99_ms = p99;
+      rp_mean_ms = mean;
+      rp_forwarded = Net.Registry.forwarded (Net.Cluster.registry cluster);
+      rp_rebinds = Obs.Metrics.counter_value metrics "registry.rebinds";
+      rp_expired =
+        Net.Registry.expired_count (Net.Cluster.registry cluster);
+      rp_wedged = not (all_exited d);
+    }
+
+  (* The exactly-once check: every request completed (latency observed),
+     every service served exactly its deterministic share of UNIQUE
+     requests, no ordering violations, nothing wedged. *)
+  let exactly_once d (r : report) =
+    let cfg = d.sv_config in
+    let served_ok = ref (Array.length r.rp_served = cfg.services) in
+    Array.iteri
+      (fun k served ->
+        if served <> expected_served cfg k then served_ok := false)
+      r.rp_served;
+    (not r.rp_wedged) && r.rp_violations = 0
+    && r.rp_requests = cfg.clients * cfg.requests_per_client
+    && !served_ok
+end

@@ -87,3 +87,79 @@ val fail_and_recover :
     simulated clock passes [after_time]), kill [victim_node], resurrect
     its ranks on [spare_node].  Returns the victim ranks ([] if the
     computation finished first). *)
+
+(** The request-serving workload: closed-loop RPC clients addressing K
+    registered services by logical address ([svc_send]), while the
+    services are re-homed mid-traffic with
+    {!Net.Cluster.migrate_running} — every move gives the successor a
+    fresh rank, so the registry's forward / notify / rebind protocol is
+    what keeps requests flowing.  Duplicated requests are deduplicated
+    service-side (per-client last-seq), duplicated replies client-side;
+    exit codes carry the exactly-once evidence (clients: ordering
+    violations, services: unique requests served). *)
+module Serve : sig
+  type config = {
+    clients : int;
+    services : int;
+    requests_per_client : int;
+    work_us : int;  (** simulated service time per request *)
+  }
+
+  val default_config : config
+
+  val request_tag : int
+  val reply_tag_base : int
+  (** Replies to client [r] arrive on tag [reply_tag_base + r]. *)
+
+  val expected_served : config -> int -> int
+  (** Unique requests service [k] (laddr [k+1]) owes — the round-robin
+      split is deterministic. *)
+
+  val client_source : config -> int -> string
+  val service_source : config -> int -> string
+
+  type deployment = {
+    sv_config : config;
+    sv_cluster : Net.Cluster.t;
+    sv_client_pids : int array;  (** client rank -> pid (never moves) *)
+    mutable sv_service_pids : int array;  (** service k -> CURRENT pid *)
+    sv_laddrs : int array;  (** service k -> logical address *)
+  }
+
+  val deploy :
+    ?engine:[ `Interp | `Masm ] -> Net.Cluster.t -> config -> deployment
+  (** Clients on ranks 0..C-1, services on C..C+K-1, spread round-robin
+      over the nodes; every service registered in the process registry.
+      @raise Invalid_argument when a count is < 1 or generated source
+      fails to compile (a library bug). *)
+
+  val all_exited : deployment -> bool
+
+  type report = {
+    rp_requests : int;  (** latency observations = completed requests *)
+    rp_violations : int;  (** sum of client exit codes *)
+    rp_migrations : int;  (** successful service re-homings *)
+    rp_served : int array;  (** per service: unique requests served *)
+    rp_p50_ms : float;
+    rp_p90_ms : float;
+    rp_p99_ms : float;
+    rp_mean_ms : float;
+    rp_forwarded : int;  (** messages relayed through forwarders *)
+    rp_rebinds : int;  (** Recipient_moved notices consumed *)
+    rp_expired : int;  (** sends that hit an expired forwarder *)
+    rp_wedged : bool;  (** went quiescent before every rank exited *)
+  }
+
+  val run :
+    ?max_rounds:int -> ?migrate_every_s:float -> ?migrations:int ->
+    deployment -> report
+  (** Drive to completion, re-homing one service round-robin to the
+      next node every [migrate_every_s] simulated seconds until
+      [migrations] moves landed (0 = a static run).  Latency quantiles
+      come from the cluster's ["app.latency_seconds"] histogram. *)
+
+  val exactly_once : deployment -> report -> bool
+  (** Every request completed, every service served exactly its
+      deterministic share of unique requests, no ordering violations,
+      nothing wedged. *)
+end

@@ -78,6 +78,17 @@ let builtins : (string * builtin) list =
     ( "msg_try_recv_int",
       { b_args = [ Cint; Cint; Cptr Cint; Cint ]; b_ret = Cint;
         b_kind = Bext "msg_try_recv_int" } );
+    (* location-transparent messaging: send by logical address, receive
+       from any source, and the request-latency probe *)
+    ( "svc_send",
+      { b_args = [ Cint; Cint; Cptr Cfloat; Cint ]; b_ret = Cint;
+        b_kind = Bext "svc_send" } );
+    ( "svc_resolve",
+      { b_args = [ Cint ]; b_ret = Cint; b_kind = Bext "svc_resolve" } );
+    ( "msg_try_recv_any",
+      { b_args = [ Cint; Cptr Cfloat; Cint ]; b_ret = Cint;
+        b_kind = Bext "msg_try_recv_any" } );
+    "lat_us", { b_args = [ Cint ]; b_ret = Cvoid; b_kind = Bext "lat_us" };
     ( "obj_read",
       { b_args = [ Cint; Cptr Cint; Cint ]; b_ret = Cint;
         b_kind = Bext "obj_read" } );

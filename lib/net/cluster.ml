@@ -48,6 +48,15 @@ type entry = {
      pack can ship a delta over.  Updated at EVERY pack (the dirty set is
      cleared there even when the migration subsequently fails). *)
   mutable baseline : (string * Migrate.Wire.image) option;
+  (* sender-side binding cache: laddr -> the rank this process last
+     resolved it to.  Migration of the SENDER carries the cache (it is
+     process state); migration of the TARGET leaves it stale until a
+     Recipient_moved notice or a typed MSG_MOVED forces a re-resolve. *)
+  bindings : (int, int) Hashtbl.t;
+  (* moved notices owed to this process by forwarders it sent through:
+     (delivery time, laddr, new rank), newest first.  Consumed — oldest
+     first — at the next svc_send once due, rebinding the cache. *)
+  mutable notices : (float * int * int) list;
 }
 
 type node = {
@@ -172,6 +181,12 @@ module Config = struct
            lists.  Semantically identical — the equivalence suite
            asserts byte-identical traces — and kept executable so the
            S1 bench measures before/after from one build *)
+    forward_ttl_s : float;
+        (* how long a vacated rank keeps forwarding after a registered
+           service migrates away.  Long enough for every active sender
+           to learn the new rank from a Recipient_moved notice; a send
+           arriving later gets the typed MSG_MOVED error and must
+           re-resolve through the registry *)
   }
 
   let default =
@@ -191,6 +206,7 @@ module Config = struct
       detector = None;
       replication = 0;
       legacy_scan_sched = false;
+      forward_ttl_s = 0.25;
     }
 end
 
@@ -226,6 +242,12 @@ type t = {
      resurrected or migrated successor inherits it, like DEMOS/MP's
      forwarding stubs).  Unranked processes get private mailboxes. *)
   rank_mailboxes : (int, Mpi.mailbox) Hashtbl.t;
+  (* the process registry: laddr -> current rank, plus the bounded-TTL
+     forwarders left on vacated ranks (ROADMAP item 1) *)
+  registry : Registry.t;
+  (* fresh ranks for re-homed services, far above user-assigned ones *)
+  mutable next_dyn_rank : int;
+  forward_ttl_s : float;
   (* (sender pid, sender level uid) -> dependent (receiver pid, receiver uid) *)
   deps : (int * int, (int * int) list ref) Hashtbl.t;
   mutable next_pid : int;
@@ -273,6 +295,14 @@ type t = {
   c_delta_misses : Obs.Metrics.counter;
   c_delta_fallbacks : Obs.Metrics.counter;
   g_delta_hit_rate : Obs.Metrics.gauge;
+  (* registry counters: service moves, forwarded relays, sender rebinds
+     and TTL expiries, plus the request-latency histogram the serving
+     workloads (Gridapp T1) feed through the lat_us extern *)
+  c_svc_moves : Obs.Metrics.counter;
+  c_svc_forwarded : Obs.Metrics.counter;
+  c_svc_rebinds : Obs.Metrics.counter;
+  c_svc_expired : Obs.Metrics.counter;
+  h_app_latency : Obs.Metrics.histogram;
   h_backoff_s : Obs.Metrics.histogram;
   h_migrate_bytes : Obs.Metrics.histogram;
   h_pack_s : Obs.Metrics.histogram;
@@ -289,6 +319,12 @@ type t = {
 let msg_none = Mpi.msg_none
 let msg_roll = Mpi.msg_roll
 
+(* svc_send's typed "recipient moved" code (-3): the cached binding led
+   to a vacated rank whose forwarder TTL has passed.  The message was
+   NOT sent — the caller drops its cache and retries, re-resolving
+   through the registry.  Never a silent drop. *)
+let msg_moved = -3
+
 (* ------------------------------------------------------------------ *)
 (* Externs available to cluster processes                              *)
 (* ------------------------------------------------------------------ *)
@@ -301,6 +337,14 @@ let extern_signatures_list : (string * (Fir.Types.ty list * Fir.Types.ty)) list
     "msg_try_recv", ([ Tint; Tint; Tptr Tfloat; Tint ], Tint);
     "msg_send_int", ([ Tint; Tint; Tptr Tint; Tint ], Tint);
     "msg_try_recv_int", ([ Tint; Tint; Tptr Tint; Tint ], Tint);
+    (* location-transparent messaging: sends by logical address, the
+       wildcard receive a mobile service needs (its clients' ranks are
+       whatever the registry said at their send time), and the
+       request-latency probe the serving benches feed *)
+    "svc_send", ([ Tint; Tint; Tptr Tfloat; Tint ], Tint);
+    "svc_resolve", ([ Tint ], Tint);
+    "msg_try_recv_any", ([ Tint; Tptr Tfloat; Tint ], Tint);
+    "lat_us", ([ Tint ], Tunit);
     "rank", ([], Tint);
     "sim_now_us", ([], Tint);
     "obj_read", ([ Tint; Tptr Tint; Tint ], Tint);
@@ -397,6 +441,13 @@ let create_cfg (cfg : Config.t) =
   let g_delta_hit_rate =
     Obs.Metrics.gauge metrics "migrate.delta_hit_rate"
   in
+  let c_svc_moves = Obs.Metrics.counter metrics "registry.moves" in
+  let c_svc_forwarded = Obs.Metrics.counter metrics "registry.forwarded" in
+  let c_svc_rebinds = Obs.Metrics.counter metrics "registry.rebinds" in
+  let c_svc_expired = Obs.Metrics.counter metrics "registry.expired" in
+  let h_app_latency =
+    Obs.Metrics.histogram metrics "app.latency_seconds"
+  in
   let h_backoff_s =
     Obs.Metrics.histogram metrics "migrate.backoff_seconds"
   in
@@ -449,6 +500,9 @@ let create_cfg (cfg : Config.t) =
     epochs = Hashtbl.create 8;
     detector;
     rank_mailboxes = Hashtbl.create 32;
+    registry = Registry.create ();
+    next_dyn_rank = 1 lsl 16;
+    forward_ttl_s = cfg.Config.forward_ttl_s;
     deps = Hashtbl.create 32;
     next_pid = 1;
     trusted = cfg.Config.trusted;
@@ -482,6 +536,11 @@ let create_cfg (cfg : Config.t) =
     c_delta_misses;
     c_delta_fallbacks;
     g_delta_hit_rate;
+    c_svc_moves;
+    c_svc_forwarded;
+    c_svc_rebinds;
+    c_svc_expired;
+    h_app_latency;
     h_backoff_s;
     h_migrate_bytes;
     h_pack_s;
@@ -680,6 +739,115 @@ and cascade t ~sender_pid ~uids ~code =
           ds)
     uids
 
+(* Consume every moved notice now due on the sender's clock, rebinding
+   its cached laddr bindings (oldest first, so the newest notice wins a
+   double migration).  This is how "forwarding chains collapse as
+   notices propagate": once a sender rebinds, its traffic goes direct
+   and the forwarder stops relaying for it. *)
+let consume_notices t (entry : entry) ~now =
+  match entry.notices with
+  | [] -> ()
+  | notices ->
+    let due, pending = List.partition (fun (at, _, _) -> at <= now) notices in
+    if due <> [] then begin
+      entry.notices <- pending;
+      List.iter
+        (fun (_, laddr, new_rank) ->
+          match Hashtbl.find_opt entry.bindings laddr with
+          | Some r when r = new_rank -> ()
+          | Some _ | None ->
+            Hashtbl.replace entry.bindings laddr new_rank;
+            Obs.Metrics.incr t.c_svc_rebinds;
+            emit_entry t entry
+              (Obs.Trace.Recipient_moved { laddr; new_rank }))
+        (List.rev due)
+    end
+
+(* The shared send path: enqueue [read_payload ()] to [dst_rank]'s
+   mailbox under the fault plan.  [extra_delay_s] is the relay cost a
+   forwarded send pays on top of the direct link time (one
+   store-and-forward traversal per chain hop). *)
+let send_payload t (entry : entry) (proc : Process.t) ~dst_rank ~tag
+    ~read_payload ~extra_delay_s =
+  match Hashtbl.find_opt t.rank_mailboxes dst_rank with
+  | None -> Value.Vint (-1)
+  | Some dst_mailbox ->
+    let payload = read_payload () in
+    let len = Array.length payload in
+    let bytes = 8 * len in
+    Simnet.record_message t.net bytes;
+    let send_at = effective_now t proc in
+    (* fault decision for this delivery: loss surfaces as link-level
+       retransmission delay (never a silent drop — receivers poll),
+       partitions delay to their heal time, jitter adds spread, and a
+       duplicate enqueues a second copy *)
+    let fault =
+      Faults.on_message t.faults ~now:send_at ~src:entry.node_id
+        ~dst:
+          (match entry_of_rank t dst_rank with
+          | Some dst -> dst.node_id
+          | None -> -1)
+    in
+    let msg =
+      {
+        Mpi.msg_src_rank = (match entry.rank with Some r -> r | None -> -1);
+        msg_src_pid = proc.Process.pid;
+        msg_tag = tag;
+        msg_payload = payload;
+        msg_deliver_at =
+          send_at +. Simnet.message_seconds t.net bytes
+          +. fault.Faults.d_delay_s +. extra_delay_s;
+        msg_spec =
+          (match Spec.Engine.current_unique proc.Process.spec with
+          | Some uid -> Some (proc.Process.pid, uid)
+          | None -> None);
+        msg_src_epoch = entry.epoch;
+      }
+    in
+    if fault.Faults.d_dropped then begin
+      (* undeliverable (permanently partitioned link): the sender does
+         not know — exactly the paper's fire-and-forget send *)
+      emit_entry t entry (Obs.Trace.Msg_drop { dst = dst_rank; tag });
+      Value.Vint 0
+    end
+    else begin
+      Mpi.enqueue dst_mailbox msg;
+      if fault.Faults.d_duplicate then begin
+        Mpi.enqueue dst_mailbox msg;
+        emit_entry t entry (Obs.Trace.Msg_dup { dst = dst_rank; tag })
+      end;
+      emit_entry t entry
+        (Obs.Trace.Msg_send { dst = dst_rank; tag; cells = len });
+      (* wake the current holder of the rank, if any *)
+      (match entry_of_rank t dst_rank with
+      | Some dst -> dst.proc.Process.waiting <- false
+      | None -> ());
+      Value.Vint 0
+    end
+
+(* The rank mailbox is shared with any zombie predecessor of the rank:
+   purge traffic a stale incarnation enqueued before it was fenced, so
+   the successor never consumes superseded state. *)
+let purge_stale_traffic t (entry : entry) =
+  if Hashtbl.length t.epochs > 0 then begin
+    let stale_seen = ref (-1, -1) in
+    let dropped =
+      Mpi.discard_stale entry.mailbox ~stale:(fun m ->
+          let r = m.Mpi.msg_src_rank in
+          if r >= 0 && m.Mpi.msg_src_epoch < rank_epoch t r then begin
+            stale_seen := m.Mpi.msg_src_epoch, rank_epoch t r;
+            true
+          end
+          else false)
+    in
+    if dropped > 0 then begin
+      let stale_epoch, current_epoch = !stale_seen in
+      Obs.Metrics.incr ~by:dropped t.c_fence_rejections;
+      emit_entry t entry
+        (Obs.Trace.Fenced { stale_epoch; current_epoch; what = "stale_msg" })
+    end
+  end
+
 let cluster_extern t (entry : entry) : Process.handler =
  fun proc name args ->
   let heap = proc.Process.heap in
@@ -704,61 +872,78 @@ let cluster_extern t (entry : entry) : Process.handler =
       Value.Vint msg_roll
     end
     else
-    (match Hashtbl.find_opt t.rank_mailboxes dst_rank with
-    | Some dst_mailbox ->
-      let payload = read_cells ptr len in
-      let bytes = 8 * len in
-      Simnet.record_message t.net bytes;
-      let send_at = effective_now t proc in
-      (* fault decision for this delivery: loss surfaces as link-level
-         retransmission delay (never a silent drop — receivers poll),
-         partitions delay to their heal time, jitter adds spread, and a
-         duplicate enqueues a second copy *)
-      let fault =
-        Faults.on_message t.faults ~now:send_at ~src:entry.node_id
-          ~dst:
-            (match entry_of_rank t dst_rank with
-            | Some dst -> dst.node_id
-            | None -> -1)
+      send_payload t entry proc ~dst_rank ~tag
+        ~read_payload:(fun () -> read_cells ptr len)
+        ~extra_delay_s:0.0
+  | "svc_send", [ Value.Vint laddr; Value.Vint tag; (Value.Vptr _ as ptr);
+                  Value.Vint len ] -> (
+    if len < 0 then raise (Process.Extern_failure "svc_send: negative length");
+    if is_stale t entry then begin
+      (* the registry never weakens fencing: a zombie's sends are
+         rejected exactly as rank-addressed ones are *)
+      fence t entry ~what:"send";
+      Value.Vint msg_roll
+    end
+    else begin
+      let now_s = effective_now t proc in
+      (* due moved notices first: rebind before resolving, so a sender
+         that was told about the move goes direct from this call on *)
+      consume_notices t entry ~now:now_s;
+      let bound =
+        match Hashtbl.find_opt entry.bindings laddr with
+        | Some r -> Some r
+        | None -> (
+          match Registry.lookup t.registry laddr with
+          | Some r ->
+            Hashtbl.replace entry.bindings laddr r;
+            Some r
+          | None -> None)
       in
-      let msg =
-        {
-          Mpi.msg_src_rank =
-            (match entry.rank with Some r -> r | None -> -1);
-          msg_src_pid = proc.Process.pid;
-          msg_tag = tag;
-          msg_payload = payload;
-          msg_deliver_at =
-            send_at +. Simnet.message_seconds t.net bytes
-            +. fault.Faults.d_delay_s;
-          msg_spec =
-            (match Spec.Engine.current_unique proc.Process.spec with
-            | Some uid -> Some (proc.Process.pid, uid)
-            | None -> None);
-          msg_src_epoch = entry.epoch;
-        }
-      in
-      if fault.Faults.d_dropped then begin
-        (* undeliverable (permanently partitioned link): the sender does
-           not know — exactly the paper's fire-and-forget send *)
-        emit_entry t entry (Obs.Trace.Msg_drop { dst = dst_rank; tag });
-        Value.Vint 0
-      end
-      else begin
-        Mpi.enqueue dst_mailbox msg;
-        if fault.Faults.d_duplicate then begin
-          Mpi.enqueue dst_mailbox msg;
-          emit_entry t entry (Obs.Trace.Msg_dup { dst = dst_rank; tag })
-        end;
-        emit_entry t entry
-          (Obs.Trace.Msg_send { dst = dst_rank; tag; cells = len });
-        (* wake the current holder of the rank, if any *)
-        (match entry_of_rank t dst_rank with
-        | Some dst -> dst.proc.Process.waiting <- false
-        | None -> ());
-        Value.Vint 0
-      end
+      match bound with
+      | None -> Value.Vint (-1) (* unknown laddr: like an unknown rank *)
+      | Some r -> (
+        match Registry.resolve t.registry ~now:now_s r with
+        | Registry.Direct final ->
+          send_payload t entry proc ~dst_rank:final ~tag
+            ~read_payload:(fun () -> read_cells ptr len)
+            ~extra_delay_s:0.0
+        | Registry.Forwarded { final; hops } ->
+          (* relay through the vacated rank(s): the message pays one
+             extra store-and-forward traversal per chain hop, and the
+             forwarder owes the sender a Recipient_moved notice (due
+             one link time from now — the notice travels back) *)
+          let relay_s =
+            float_of_int hops *. Simnet.message_seconds t.net (8 * len)
+          in
+          Obs.Metrics.incr t.c_svc_forwarded;
+          emit_entry t entry
+            (Obs.Trace.Msg_forward
+               { laddr; from_rank = r; to_rank = final; hops });
+          entry.notices <-
+            (now_s +. Simnet.message_seconds t.net 32, laddr, final)
+            :: entry.notices;
+          send_payload t entry proc ~dst_rank:final ~tag
+            ~read_payload:(fun () -> read_cells ptr len)
+            ~extra_delay_s:relay_s
+        | Registry.Expired rank ->
+          (* the forwarder is gone: typed error, never a silent drop.
+             Dropping the cached binding makes the retry re-resolve
+             through the registry's authoritative table *)
+          Hashtbl.remove entry.bindings laddr;
+          Obs.Metrics.incr t.c_svc_expired;
+          emit_entry t entry (Obs.Trace.Forward_expired { laddr; rank });
+          Value.Vint msg_moved)
+    end)
+  | "svc_resolve", [ Value.Vint laddr ] -> (
+    (* authoritative resolve: refreshes the caller's cached binding *)
+    match Registry.lookup t.registry laddr with
+    | Some r ->
+      Hashtbl.replace entry.bindings laddr r;
+      Value.Vint r
     | None -> Value.Vint (-1))
+  | "lat_us", [ Value.Vint us ] ->
+    Obs.Metrics.observe t.h_app_latency (float_of_int us /. 1e6);
+    Value.Vunit
   | ("msg_try_recv" | "msg_try_recv_int"),
     [ Value.Vint src_rank; Value.Vint tag; (Value.Vptr _ as ptr);
       Value.Vint maxlen ] -> (
@@ -767,27 +952,7 @@ let cluster_extern t (entry : entry) : Process.handler =
       Value.Vint msg_roll
     end
     else begin
-    (* the rank mailbox is shared with any zombie predecessor of this
-       rank: purge traffic a stale incarnation enqueued before it was
-       fenced, so the successor never consumes superseded state *)
-    if Hashtbl.length t.epochs > 0 then begin
-      let stale_seen = ref (-1, -1) in
-      let dropped =
-        Mpi.discard_stale entry.mailbox ~stale:(fun m ->
-            let r = m.Mpi.msg_src_rank in
-            if r >= 0 && m.Mpi.msg_src_epoch < rank_epoch t r then begin
-              stale_seen := m.Mpi.msg_src_epoch, rank_epoch t r;
-              true
-            end
-            else false)
-      in
-      if dropped > 0 then begin
-        let stale_epoch, current_epoch = !stale_seen in
-        Obs.Metrics.incr ~by:dropped t.c_fence_rejections;
-        emit_entry t entry
-          (Obs.Trace.Fenced { stale_epoch; current_epoch; what = "stale_msg" })
-      end
-    end;
+    purge_stale_traffic t entry;
     match
       Mpi.try_recv entry.mailbox ~now:(effective_now t proc) ~src_rank ~tag
     with
@@ -808,6 +973,46 @@ let cluster_extern t (entry : entry) : Process.handler =
       (match m.Mpi.msg_spec with
       | Some (spid, uid) when spid <> proc.Process.pid ->
         (* join the sender's speculation *)
+        let ruid =
+          match Spec.Engine.current_unique proc.Process.spec with
+          | Some u -> u
+          | None -> -1
+        in
+        add_dependency t ~sender:(spid, uid)
+          ~receiver:(proc.Process.pid, ruid)
+      | Some _ | None -> ());
+      Value.Vint n
+    end)
+  | "msg_try_recv_any", [ Value.Vint tag; (Value.Vptr _ as ptr);
+                          Value.Vint maxlen ] -> (
+    if is_stale t entry then begin
+      fence t entry ~what:"recv";
+      Value.Vint msg_roll
+    end
+    else begin
+    purge_stale_traffic t entry;
+    (* wildcard receive: a mobile service cannot know its clients'
+       ranks ahead of time (and a client cannot know which rank its
+       reply comes from after the service moved), so it matches on tag
+       alone.  Parking records src -1: the scheduler wakes it for any
+       delivery with this tag. *)
+    match Mpi.try_recv_any entry.mailbox ~now:(effective_now t proc) ~tag with
+    | Mpi.Roll ->
+      entry.parked_on <- None;
+      emit_entry t entry (Obs.Trace.Msg_roll { src = -1 });
+      Value.Vint msg_roll
+    | Mpi.None_yet ->
+      proc.Process.waiting <- true;
+      entry.parked_on <- Some (-1, tag);
+      Value.Vint msg_none
+    | Mpi.Received m ->
+      entry.parked_on <- None;
+      let n = min maxlen (Array.length m.Mpi.msg_payload) in
+      emit_entry t entry
+        (Obs.Trace.Msg_recv { src = m.Mpi.msg_src_rank; tag; cells = n });
+      write_cells ptr m.Mpi.msg_payload n;
+      (match m.Mpi.msg_spec with
+      | Some (spid, uid) when spid <> proc.Process.pid ->
         let ruid =
           match Spec.Engine.current_unique proc.Process.spec with
           | Some u -> u
@@ -921,6 +1126,7 @@ let cluster_extern t (entry : entry) : Process.handler =
       Value.Vint k
     end
   | ( ( "msg_send" | "msg_send_int" | "msg_try_recv" | "msg_try_recv_int"
+      | "msg_try_recv_any" | "svc_send" | "svc_resolve" | "lat_us"
       | "rank" | "sim_now_us" | "obj_read" | "obj_write" | "fs_write"
       | "fs_read" | "fs_size" ),
       _ ) ->
@@ -1057,6 +1263,8 @@ let spawn ?rank ?(engine = `Interp) ?(seed = 7) t ~node_id program =
       start_at = (node t node_id).clock;
       parked_on = None;
       baseline = None;
+      bindings = Hashtbl.create 4;
+      notices = [];
     }
   in
   register_entry t entry;
@@ -1064,12 +1272,62 @@ let spawn ?rank ?(engine = `Interp) ?(seed = 7) t ~node_id program =
     Obs.Trace.Spawn;
   pid
 
+(* Register a ranked process as a SERVICE: allocate it a stable logical
+   address (sequential from 1, so a deployment script can predict the
+   laddrs its clients are compiled against).  From here on, migrating
+   the process re-homes it under a fresh rank and the registry forwards
+   — svc_send traffic keeps flowing while it moves. *)
+let register_service t ~pid =
+  match entry_of_pid t pid with
+  | None -> invalid_arg (Printf.sprintf "Cluster.register_service: no pid %d" pid)
+  | Some e -> (
+    match e.rank with
+    | None ->
+      invalid_arg "Cluster.register_service: process has no rank"
+    | Some r ->
+      let laddr = Registry.register t.registry ~rank:r in
+      emit_entry t e
+        (Obs.Trace.Service_bind { laddr; new_rank = r; old_rank = -1 });
+      laddr)
+
+let registry t = t.registry
+
+let service_rank t ~laddr = Registry.lookup t.registry laddr
+
 (* A process that migrates (or is resurrected) gets a NEW pid and its
    speculation levels are re-installed with FRESH unique ids.  The
    distributed-speculation registries are keyed by (pid, uid), so every
    key and every dependent entry naming the old identity must be re-keyed
    to the successor, or dependents could escape a later cascade.
    [uid_map] pairs old level uids with new ones (both newest-first). *)
+(* Deterministic table re-key.  A Hashtbl's fold order depends on its
+   internals (insertion history, resize points), so merging COLLIDING
+   remapped keys in fold order would make the merged lists' order — and
+   hence later cascade order and traces — nondeterministic, breaking
+   the byte-identical-trace guarantee the sched_equivalence suite
+   relies on.  Entries are stably sorted by their ORIGINAL (pid, uid)
+   key first; a collision appends the larger key's values behind the
+   smaller's.  Exposed (and pure) so the regression suite can feed it
+   deliberately colliding keys in permuted orders. *)
+module Rekey = struct
+  let merge ~remap entries =
+    let sorted =
+      List.stable_sort (fun (a, _) (b, _) -> compare a b) entries
+    in
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (k, v) ->
+        let k' = remap k in
+        match Hashtbl.find_opt tbl k' with
+        | None ->
+          Hashtbl.add tbl k' (ref v);
+          order := k' :: !order
+        | Some existing -> existing := !existing @ v)
+      sorted;
+    List.rev_map (fun k -> k, !(Hashtbl.find tbl k)) !order
+end
+
 let rekey_identity t ~old_pid ~new_pid ~uid_map =
   let map_uid uid =
     match List.assoc_opt uid uid_map with Some u -> u | None -> uid
@@ -1078,28 +1336,21 @@ let rekey_identity t ~old_pid ~new_pid ~uid_map =
     if pid = old_pid then new_pid, map_uid uid else pid, uid
   in
   (* dependency edges: keys (senders) and list entries (receivers) *)
-  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.deps [] in
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, List.map map_key !v) :: acc) t.deps []
+  in
   Hashtbl.reset t.deps;
   List.iter
-    (fun (k, v) ->
-      v := List.map map_key !v;
-      let k' = map_key k in
-      match Hashtbl.find_opt t.deps k' with
-      | None -> Hashtbl.add t.deps k' v
-      | Some existing -> existing := !v @ !existing)
-    entries;
+    (fun (k', vs) -> Hashtbl.add t.deps k' (ref vs))
+    (Rekey.merge ~remap:map_key entries);
   (* external-state undo logs: keys only (they name the writer) *)
   let rekey_undo : 'k 'v. (int * int, ('k * 'v) list ref) Hashtbl.t -> unit =
    fun table ->
-    let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+    let entries = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) table [] in
     Hashtbl.reset table;
     List.iter
-      (fun (k, v) ->
-        let k' = map_key k in
-        match Hashtbl.find_opt table k' with
-        | None -> Hashtbl.add table k' v
-        | Some existing -> existing := !v @ !existing)
-      entries
+      (fun (k', vs) -> Hashtbl.add table k' (ref vs))
+      (Rekey.merge ~remap:map_key entries)
   in
   rekey_undo t.obj_undo;
   rekey_undo t.fs_undo
@@ -1414,6 +1665,62 @@ let rebase_baseline (n : node) (entry : entry)
        packed.Migrate.Pack.p_image);
   digest
 
+(* Where a migrating process's successor lives in rank space.  An
+   ordinary process keeps its rank, mailbox and epoch — rank-addressed
+   traffic follows it invisibly, exactly as before.  A REGISTERED
+   service vacates its rank: the successor gets a fresh rank (with a
+   fresh shared mailbox and that rank's epoch), and [complete_rehome]
+   below rebinds the laddr and leaves a forwarder behind.  Fresh ranks
+   make the old binding observably stale, which is what exercises the
+   forward/notify/rebind protocol. *)
+let successor_home t (entry : entry) =
+  match entry.rank with
+  | Some old_rank when Registry.laddr_of_rank t.registry old_rank <> None ->
+    let r = t.next_dyn_rank in
+    t.next_dyn_rank <- t.next_dyn_rank + 1;
+    Some r, rank_mailbox t r, rank_epoch t r
+  | Some _ | None -> entry.rank, entry.mailbox, entry.epoch
+
+(* After a re-homed service's successor is registered: rebind the laddr
+   (installing the bounded-TTL forwarder on the vacated rank), then
+   relay the in-flight traffic already queued there — each message pays
+   one extra store-and-forward traversal, and its sender is owed a
+   Recipient_moved notice so it rebinds instead of relaying forever. *)
+let complete_rehome t (old_entry : entry) (new_entry : entry) =
+  match old_entry.rank, new_entry.rank with
+  | Some old_rank, Some new_rank when old_rank <> new_rank -> (
+    match Registry.laddr_of_rank t.registry old_rank with
+    | None -> ()
+    | Some laddr ->
+      let at = new_entry.start_at in
+      Registry.rebind t.registry ~laddr ~new_rank ~now:at
+        ~ttl:t.forward_ttl_s;
+      Obs.Metrics.incr t.c_svc_moves;
+      emit t ~time:at ~node:new_entry.node_id
+        ~pid:new_entry.proc.Process.pid ~rank:new_rank
+        (Obs.Trace.Service_bind { laddr; new_rank; old_rank });
+      let new_mbox = new_entry.mailbox in
+      List.iter
+        (fun (m : Mpi.message) ->
+          let bytes = 8 * Array.length m.Mpi.msg_payload in
+          let hop = Simnet.message_seconds t.net bytes in
+          (* the relay leaves the old node no earlier than the message
+             would have arrived there (or the successor exists) *)
+          Mpi.enqueue new_mbox
+            { m with
+              Mpi.msg_deliver_at = max m.Mpi.msg_deliver_at at +. hop };
+          Obs.Metrics.incr t.c_svc_forwarded;
+          emit t ~time:at ~node:new_entry.node_id
+            ~pid:new_entry.proc.Process.pid ~rank:new_rank
+            (Obs.Trace.Msg_forward
+               { laddr; from_rank = old_rank; to_rank = new_rank; hops = 1 });
+          match entry_of_rank t m.Mpi.msg_src_rank with
+          | Some sender when not (Process.is_terminated sender.proc) ->
+            sender.notices <- (at +. hop, laddr, new_rank) :: sender.notices
+          | Some _ | None -> ())
+        (Mpi.take_all (rank_mailbox t old_rank)))
+  | _ -> ()
+
 let handle_migrate t (entry : entry) _req host =
   let proc = entry.proc in
   let src = node t entry.node_id in
@@ -1448,6 +1755,9 @@ let handle_migrate t (entry : entry) _req host =
       let pid = t.next_pid in
       t.next_pid <- t.next_pid + 1;
       let new_proc = { new_proc with Process.pid } in
+      (* an ordinary process keeps rank+mailbox (rank-addressed messages
+         follow); a registered service is re-homed under a fresh rank *)
+      let new_rank, new_mailbox, new_epoch = successor_home t entry in
       let new_entry =
         {
           proc = new_proc;
@@ -1456,10 +1766,11 @@ let handle_migrate t (entry : entry) _req host =
               (Emulator.create ~linked:outcome.Migrate.Server.o_linked
                  outcome.Migrate.Server.o_masm new_proc);
           node_id = target.node_id;
-          mailbox = entry.mailbox; (* rank-addressed messages follow *)
-          rank = entry.rank;
-          (* migration is the SAME incarnation on a new node *)
-          epoch = entry.epoch;
+          mailbox = new_mailbox;
+          rank = new_rank;
+          (* migration is the SAME incarnation on a new node (a fresh
+             service rank starts at that rank's epoch) *)
+          epoch = new_epoch;
           start_at =
             max target.clock (src.clock +. pack_s +. transfer_s)
             +. compile_s;
@@ -1467,10 +1778,13 @@ let handle_migrate t (entry : entry) _req host =
           (* the successor's heap was restored from (and its dirty set
              is empty relative to) the image just shipped *)
           baseline = Some (baseline_digest, packed.Migrate.Pack.p_image);
+          bindings = entry.bindings;
+          notices = entry.notices;
         }
       in
       Process.migration_completed proc;
       register_entry t new_entry;
+      complete_rehome t entry new_entry;
       rekey_identity t ~old_pid:proc.Process.pid ~new_pid:pid
         ~uid_map:
           (List.combine old_uids
@@ -1701,12 +2015,14 @@ let fail_node t node_id =
               then begin
                 Mpi.post_roll_notice other.mailbox ~src_rank:dead_rank;
                 (* only wake a survivor the notice is relevant to: one
-                   parked on the dead rank (or parked without a recorded
-                   source).  Waking a process parked on an UNRELATED rank
-                   would violate the parked_on contract — the scheduler
-                   would spin it on a poll that still returns nothing *)
+                   parked on the dead rank, parked wildcard (src < 0 —
+                   a roll notice from anyone is its awaited event), or
+                   parked without a recorded source.  Waking a process
+                   parked on an UNRELATED rank would violate the
+                   parked_on contract — the scheduler would spin it on
+                   a poll that still returns nothing *)
                 match other.parked_on with
-                | Some (src, _) when src = dead_rank ->
+                | Some (src, _) when src = dead_rank || src < 0 ->
                   other.proc.Process.waiting <- false
                 | Some _ -> ()
                 | None -> other.proc.Process.waiting <- false
@@ -1740,7 +2056,7 @@ let kill_incarnation t ~rank =
           then begin
             Mpi.post_roll_notice other.mailbox ~src_rank:rank;
             match other.parked_on with
-            | Some (src, _) when src = rank ->
+            | Some (src, _) when src = rank || src < 0 ->
               other.proc.Process.waiting <- false
             | Some _ -> ()
             | None -> other.proc.Process.waiting <- false
@@ -1844,6 +2160,8 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
             epoch;
             start_at = now t +. read_s +. compile_s;
             parked_on = None;
+            bindings = Hashtbl.create 4;
+            notices = [];
             (* the resumed heap is byte-identical to the replayed image
                (and its dirty set is empty), so that image is a valid
                pack baseline; retain it on the daemon so the first hop
@@ -1905,9 +2223,14 @@ let wake_entry (e : entry) ~clock =
   if e.proc.Process.waiting then
     let ready =
       match e.parked_on with
-      | Some (src, tag) ->
+      | Some (src, tag) when src >= 0 ->
         Mpi.has_roll_notice e.mailbox ~src_rank:src
         || Mpi.has_delivered e.mailbox ~now:clock ~src_rank:src ~tag
+      | Some (_, tag) ->
+        (* wildcard park (src -1): any delivery with the tag, or any
+           roll notice, is the awaited event *)
+        Mpi.has_any_roll_notice e.mailbox
+        || Mpi.has_delivered_any e.mailbox ~now:clock ~tag
       | None ->
         (match Mpi.next_delivery e.mailbox with
         | Some at -> at <= clock
@@ -1942,8 +2265,12 @@ let fold_next_event ~clock acc (e : entry) =
     if e.start_at > clock then consider e.start_at;
     if e.proc.Process.waiting then begin
       match e.parked_on with
-      | Some (src, tag) -> (
+      | Some (src, tag) when src >= 0 -> (
         match Mpi.next_matching_delivery e.mailbox ~src_rank:src ~tag with
+        | Some at -> consider at
+        | None -> ())
+      | Some (_, tag) -> (
+        match Mpi.next_matching_delivery_any e.mailbox ~tag with
         | Some at -> consider at
         | None -> ())
       | None -> (
@@ -2346,6 +2673,25 @@ let render_event t (e : Obs.Trace.event) =
     | Obs.Trace.Storage_repair { path; replicas } ->
       Printf.sprintf "storage read-repaired %d replica(s) of %s" replicas
         path
+    | Obs.Trace.Service_bind { laddr; new_rank; old_rank } ->
+      if old_rank < 0 then
+        Printf.sprintf "pid %d registered as service laddr %d (rank %d)"
+          e.Obs.Trace.pid laddr new_rank
+      else
+        Printf.sprintf
+          "service laddr %d re-homed to rank %d (rank %d forwards)" laddr
+          new_rank old_rank
+    | Obs.Trace.Msg_forward { laddr; from_rank; to_rank; hops } ->
+      Printf.sprintf
+        "laddr %d: message relayed from rank %d to rank %d (%d hop%s)"
+        laddr from_rank to_rank hops (if hops = 1 then "" else "s")
+    | Obs.Trace.Recipient_moved { laddr; new_rank } ->
+      Printf.sprintf "pid %d rebound laddr %d to rank %d" e.Obs.Trace.pid
+        laddr new_rank
+    | Obs.Trace.Forward_expired { laddr; rank } ->
+      Printf.sprintf
+        "pid %d: forwarder for laddr %d at rank %d expired (MSG_MOVED)"
+        e.Obs.Trace.pid laddr rank
   in
   Printf.sprintf "[%10.6f] %s" e.Obs.Trace.time text
 
@@ -2494,6 +2840,7 @@ let migrate_running t ~pid ~node_id =
           let new_proc =
             { outcome.Migrate.Server.o_process with Process.pid = new_pid }
           in
+          let new_rank, new_mailbox, new_epoch = successor_home t entry in
           let new_entry =
             {
               proc = new_proc;
@@ -2502,19 +2849,22 @@ let migrate_running t ~pid ~node_id =
                   (Emulator.create ~linked:outcome.Migrate.Server.o_linked
                      outcome.Migrate.Server.o_masm new_proc);
               node_id = target.node_id;
-              mailbox = entry.mailbox;
-              rank = entry.rank;
-              epoch = entry.epoch;
+              mailbox = new_mailbox;
+              rank = new_rank;
+              epoch = new_epoch;
               start_at =
                 max target.clock (src.clock +. pack_s +. transfer_s)
                 +. compile_s;
               parked_on = None;
               baseline =
                 Some (baseline_digest, packed.Migrate.Pack.p_image);
+              bindings = entry.bindings;
+              notices = entry.notices;
             }
           in
           entry.proc.Process.status <- Process.Exited 0;
           register_entry t new_entry;
+          complete_rehome t entry new_entry;
           rekey_identity t ~old_pid:pid ~new_pid
             ~uid_map:
               (List.combine old_uids

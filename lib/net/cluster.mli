@@ -35,6 +35,13 @@ type entry = {
           recent pack — what its heap dirty set is tracked against, and
           hence the only image a delta may be encoded over.  Rebased at
           EVERY pack (packing clears the dirty set). *)
+  bindings : (int, int) Hashtbl.t;
+      (** sender-side binding cache: laddr -> last resolved rank.
+          Carried across the SENDER's own migrations; left stale by the
+          target's moves until a notice or typed error refreshes it *)
+  mutable notices : (float * int * int) list;
+      (** (due time, laddr, new rank) moved notices owed by forwarders
+          this process sent through; consumed at its next svc_send *)
 }
 
 type node = {
@@ -142,6 +149,10 @@ module Config : sig
             round (the pre-index behaviour, kept for equivalence tests
             and as the S1 baseline); [false] (default) uses the per-node
             resident lists and indexed mailboxes *)
+    forward_ttl_s : float;
+        (** how long a vacated rank keeps forwarding after a registered
+            service migrates away (default 0.25 simulated seconds); a
+            send arriving later gets the typed {!msg_moved} error *)
   }
 
   val default : t
@@ -155,6 +166,12 @@ type t
 
 val msg_none : int
 val msg_roll : int
+
+val msg_moved : int
+(** svc_send's typed "recipient moved" code (-3): the cached binding
+    led to a vacated rank whose forwarder TTL passed.  Nothing was
+    sent; the caller's cache entry is dropped so a retry re-resolves
+    through the registry.  Never a silent drop. *)
 
 val create_cfg : Config.t -> t
 (** Build a cluster of [node_count] nodes named [node0..] from a typed
@@ -195,6 +212,30 @@ val spawn :
 val run : ?max_rounds:int -> ?stop:(unit -> bool) -> t -> int
 (** Schedule until quiescent, stopped, or out of rounds; returns the
     number of rounds executed. *)
+
+(** {2 The process registry (location-transparent addressing)} *)
+
+val register_service : t -> pid:int -> int
+(** Allocate a ranked process a stable logical address (sequential
+    from 1).  From here on {!migrate_running} (or a process-initiated
+    migrate) RE-HOMES it: the successor gets a fresh rank, the laddr
+    rebinds, the vacated rank forwards for {!Config.t.forward_ttl_s}
+    with [Recipient_moved] notices to senders, and in-flight messages
+    are relayed — traffic addressed with [svc_send] keeps flowing while
+    the process moves. *)
+
+val registry : t -> Registry.t
+(** The registry itself (bindings, forwarders, counters). *)
+
+val service_rank : t -> laddr:int -> int option
+(** Authoritative current rank of a logical address. *)
+
+(** Deterministic table re-key (exposed for the regression suite):
+    entries stably sorted by original key, colliding remapped keys
+    merged in that canonical order — never in [Hashtbl.fold] order. *)
+module Rekey : sig
+  val merge : remap:('k -> 'j) -> ('k * 'v list) list -> ('j * 'v list) list
+end
 
 val advance_clocks : t -> float -> unit
 (** Advance every alive node's local clock by the given seconds even

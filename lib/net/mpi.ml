@@ -102,10 +102,15 @@ let enqueue mbox msg =
   if mbox.min_valid && msg.msg_deliver_at < mbox.min_at then
     mbox.min_at <- msg.msg_deliver_at
 
-(* Move a bucket's [back] into [front], oldest first. *)
+(* Refill a bucket's [front] from [back], oldest first.  Proper
+   two-list discipline: [back] is reversed ONLY when [front] is empty,
+   so each message is reversed at most once and an interleaved
+   enqueue/recv workload stays amortized O(1) per operation (appending
+   behind a non-empty [front] re-walked the whole front every call —
+   quadratic under bursts). *)
 let normalize b =
-  if b.back <> [] then begin
-    b.front <- b.front @ List.rev b.back;
+  if b.front = [] && b.back <> [] then begin
+    b.front <- List.rev b.back;
     b.back <- []
   end
 
@@ -168,18 +173,31 @@ let try_recv mbox ~now ~src_rank ~tag =
     | None -> None_yet
     | Some b ->
       normalize b;
+      (* First deliverable message of [l] (enqueue order): the message
+         and the remainder with it removed, order preserved. *)
       let rec split acc = function
-        | [] -> None_yet
+        | [] -> None
         | ((_, m) as sm) :: rest ->
-          if m.msg_deliver_at <= now then begin
-            b.front <- List.rev_append acc rest;
-            b.count <- b.count - 1;
-            note_removed mbox m;
-            Received m
-          end
+          if m.msg_deliver_at <= now then Some (m, List.rev_append acc rest)
           else split (sm :: acc) rest
       in
-      split [] b.front
+      (match split [] b.front with
+      | Some (m, front') ->
+        b.front <- front';
+        b.count <- b.count - 1;
+        note_removed mbox m;
+        Received m
+      | None -> (
+        (* Jitter can make a NEWER message deliverable while older
+           [front] traffic is still in flight; scan [back] in enqueue
+           order without merging it behind a non-empty [front]. *)
+        match split [] (List.rev b.back) with
+        | None -> None_yet
+        | Some (m, back_in_order) ->
+          b.back <- List.rev back_in_order;
+          b.count <- b.count - 1;
+          note_removed mbox m;
+          Received m))
   end
 
 (* Rebuild the index from a kept (stamp, message) list in enqueue
@@ -270,3 +288,85 @@ let has_delivered mbox ~now ~src_rank ~tag =
   | Some b ->
     let due (_, m) = m.msg_deliver_at <= now in
     List.exists due b.front || List.exists due b.back
+
+(* Wildcard receive: first delivered message with [tag] from ANY source,
+   in mailbox enqueue order (the per-message stamps make the choice
+   deterministic even though bucket iteration is not).  A pending roll
+   notice from any rank takes priority — the lowest rank's notice is
+   consumed, again for determinism. *)
+let try_recv_any mbox ~now ~tag =
+  let notice =
+    Hashtbl.fold
+      (fun r () acc ->
+        match acc with
+        | None -> Some r
+        | Some r' -> Some (min r r'))
+      mbox.roll_notices None
+  in
+  match notice with
+  | Some src_rank ->
+    clear_roll_notice mbox ~src_rank;
+    Roll
+  | None -> (
+    let best = ref None in
+    Hashtbl.iter
+      (fun (_, t) b ->
+        if t = tag then begin
+          let see ((stamp, m) as sm) =
+            if m.msg_deliver_at <= now then
+              match !best with
+              | Some ((s, _), _) when s <= stamp -> ()
+              | _ -> best := Some (sm, b)
+          in
+          List.iter see b.front;
+          List.iter see b.back
+        end)
+      mbox.buckets;
+    match !best with
+    | None -> None_yet
+    | Some ((stamp, m), b) ->
+      let drop l = List.filter (fun (s, _) -> s <> stamp) l in
+      b.front <- drop b.front;
+      b.back <- drop b.back;
+      b.count <- b.count - 1;
+      note_removed mbox m;
+      Received m)
+
+(* Earliest pending delivery with [tag] from any source — what a
+   wildcard-parked receiver is waiting for. *)
+let next_matching_delivery_any mbox ~tag =
+  Hashtbl.fold
+    (fun (_, t) b acc ->
+      if t <> tag then acc
+      else
+        let fold acc (_, m) =
+          match acc with
+          | None -> Some m.msg_deliver_at
+          | Some x -> Some (min x m.msg_deliver_at)
+        in
+        List.fold_left fold (List.fold_left fold acc b.front) b.back)
+    mbox.buckets None
+
+(* Is any message with [tag] already deliverable at [now]? *)
+let has_delivered_any mbox ~now ~tag =
+  try
+    Hashtbl.iter
+      (fun (_, t) b ->
+        if t = tag then begin
+          let due (_, m) = if m.msg_deliver_at <= now then raise Found in
+          List.iter due b.front;
+          List.iter due b.back
+        end)
+      mbox.buckets;
+    false
+  with Found -> true
+
+(* Remove and return EVERYTHING queued, oldest first: the migration path
+   drains a re-homed service's old mailbox through the forwarder. *)
+let take_all mbox =
+  let all = messages mbox in
+  Hashtbl.reset mbox.buckets;
+  mbox.size <- 0;
+  mbox.min_at <- infinity;
+  mbox.min_valid <- true;
+  all

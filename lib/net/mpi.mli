@@ -75,6 +75,24 @@ val next_matching_delivery :
 val has_delivered : mailbox -> now:float -> src_rank:int -> tag:int -> bool
 (** Is a matching message already deliverable at [now]? *)
 
+val try_recv_any : mailbox -> now:float -> tag:int -> recv_result
+(** Wildcard receive: first delivered message with [tag] from ANY
+    source, in mailbox enqueue order (deterministic via the per-message
+    stamps).  A pending roll notice from any rank takes priority; the
+    lowest rank's notice is consumed. *)
+
+val next_matching_delivery_any : mailbox -> tag:int -> float option
+(** Earliest pending delivery with [tag] from any source — what a
+    wildcard-parked receiver is waiting for. *)
+
+val has_delivered_any : mailbox -> now:float -> tag:int -> bool
+(** Is any message with [tag] already deliverable at [now]? *)
+
+val take_all : mailbox -> message list
+(** Remove and return everything queued, oldest first (the migration
+    path drains a re-homed service's old mailbox through its
+    forwarder). *)
+
 val pending : mailbox -> int
 
 val messages : mailbox -> message list

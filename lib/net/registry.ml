@@ -1,0 +1,159 @@
+(* The process registry: stable logical addresses over mobile ranks
+   (ROADMAP item 1; cf. the Milanés et al. survey's "communication
+   redirection" and DCESH's location-transparent computations).
+
+   A LOGICAL ADDRESS (laddr) names a long-lived service process
+   independently of where it currently runs.  The registry maps each
+   laddr to the rank currently serving it; when a registered service
+   migrates, the cluster allocates the successor a FRESH rank, rebinds
+   the laddr, and installs a bounded-TTL FORWARDER on the old rank.  A
+   send that still resolves to the old rank is relayed one hop to the
+   new one (paying the extra network latency) and the sender is owed a
+   Recipient_moved notice so it rebinds; once every sender has rebound
+   the forwarder goes quiet and may expire.  A send that arrives AFTER
+   expiry gets a typed [`Expired] — never a silent drop — and the
+   caller re-resolves authoritatively.
+
+   Forwarding chains (A -> B -> C after a double migration) are
+   path-compressed on both sides: [rebind] re-points every forwarder
+   whose next hop was the old rank, and [resolve] re-points the entry
+   forwarder at the final rank it just walked to.  Each message
+   therefore pays at most the chain length ONCE; afterwards the chain
+   is flat.
+
+   Epoch fencing is orthogonal and unchanged: the registry moves
+   ranks around, the cluster still stamps every send with the sender's
+   incarnation epoch and fences stale ones.  The laddr of a service
+   survives resurrection exactly because it names (pid lineage +
+   epoch), not a mailbox. *)
+
+type forwarder = {
+  fw_from : int; (* the vacated rank *)
+  mutable fw_next : int; (* next hop (path-compressed) *)
+  fw_expires : float; (* absolute simulated time *)
+  mutable fw_relayed : int; (* messages this forwarder relayed *)
+}
+
+type t = {
+  bindings : (int, int ref) Hashtbl.t; (* laddr -> current rank *)
+  by_rank : (int, int) Hashtbl.t; (* current rank -> laddr *)
+  forwarders : (int, forwarder) Hashtbl.t; (* vacated rank -> forwarder *)
+  mutable next_laddr : int;
+  (* counters (mirrored into the cluster's Obs registry) *)
+  mutable registered : int;
+  mutable moves : int;
+  mutable forwarded : int;
+  mutable expired : int;
+  mutable resolves : int;
+  mutable compressions : int;
+}
+
+let create () =
+  {
+    bindings = Hashtbl.create 8;
+    by_rank = Hashtbl.create 8;
+    forwarders = Hashtbl.create 8;
+    next_laddr = 1;
+    registered = 0;
+    moves = 0;
+    forwarded = 0;
+    expired = 0;
+    resolves = 0;
+    compressions = 0;
+  }
+
+let register t ~rank =
+  let laddr = t.next_laddr in
+  t.next_laddr <- t.next_laddr + 1;
+  Hashtbl.replace t.bindings laddr (ref rank);
+  Hashtbl.replace t.by_rank rank laddr;
+  t.registered <- t.registered + 1;
+  laddr
+
+let lookup t laddr =
+  t.resolves <- t.resolves + 1;
+  Option.map ( ! ) (Hashtbl.find_opt t.bindings laddr)
+
+let laddr_of_rank t rank = Hashtbl.find_opt t.by_rank rank
+
+let forwarder_of t rank = Hashtbl.find_opt t.forwarders rank
+
+(* Rebind [laddr] to [new_rank]; the old rank gets a forwarder that
+   relays until [now + ttl].  Existing forwarders pointing AT the old
+   rank are re-pointed at the new one (chain collapse on the write
+   side: after A->B->C, A forwards straight to C). *)
+let rebind t ~laddr ~new_rank ~now ~ttl =
+  match Hashtbl.find_opt t.bindings laddr with
+  | None -> invalid_arg "Registry.rebind: unknown laddr"
+  | Some cur ->
+    let old_rank = !cur in
+    if old_rank <> new_rank then begin
+      cur := new_rank;
+      Hashtbl.remove t.by_rank old_rank;
+      Hashtbl.replace t.by_rank new_rank laddr;
+      Hashtbl.replace t.forwarders old_rank
+        { fw_from = old_rank; fw_next = new_rank; fw_expires = now +. ttl;
+          fw_relayed = 0 };
+      Hashtbl.iter
+        (fun _ fw ->
+          if fw.fw_next = old_rank then begin
+            fw.fw_next <- new_rank;
+            t.compressions <- t.compressions + 1
+          end)
+        t.forwarders;
+      t.moves <- t.moves + 1
+    end
+
+type resolution =
+  | Direct of int
+  | Forwarded of { final : int; hops : int }
+  | Expired of int
+
+(* Follow the forwarder chain from a (possibly stale) rank.  Any LIVE
+   forwarder on the walk relays; an expired one ends the walk with a
+   typed error.  The entry forwarder is path-compressed to the final
+   rank so the next sender through it pays one hop. *)
+let resolve t ~now rank =
+  match Hashtbl.find_opt t.forwarders rank with
+  | None -> Direct rank
+  | Some first ->
+    if now > first.fw_expires then begin
+      t.expired <- t.expired + 1;
+      Expired rank
+    end
+    else begin
+      let rec walk r hops =
+        match Hashtbl.find_opt t.forwarders r with
+        | Some fw when now <= fw.fw_expires ->
+          fw.fw_relayed <- fw.fw_relayed + 1;
+          walk fw.fw_next (hops + 1)
+        | Some _ | None -> (r, hops)
+      in
+      let final, hops = walk rank 0 in
+      if first.fw_next <> final then begin
+        first.fw_next <- final;
+        t.compressions <- t.compressions + 1
+      end;
+      t.forwarded <- t.forwarded + 1;
+      Forwarded { final; hops }
+    end
+
+(* Drop forwarders whose TTL has passed (housekeeping; resolution
+   through one already fails typed). *)
+let expire t ~now =
+  let dead =
+    Hashtbl.fold
+      (fun r fw acc -> if now > fw.fw_expires then r :: acc else acc)
+      t.forwarders []
+  in
+  List.iter (Hashtbl.remove t.forwarders) dead;
+  List.length dead
+
+let service_count t = Hashtbl.length t.bindings
+let forwarder_count t = Hashtbl.length t.forwarders
+let registered t = t.registered
+let moves t = t.moves
+let forwarded t = t.forwarded
+let expired_count t = t.expired
+let resolves t = t.resolves
+let compressions t = t.compressions

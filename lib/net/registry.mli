@@ -1,0 +1,71 @@
+(** The process registry: location-transparent logical addresses over
+    mobile ranks (ROADMAP item 1).
+
+    A logical address (laddr) names a long-lived service process
+    independently of the rank currently serving it.  When a registered
+    service migrates the cluster rebinds the laddr to the successor's
+    fresh rank and installs a bounded-TTL {e forwarder} on the vacated
+    rank: sends still resolving there are relayed one extra hop and the
+    sender is owed a [Recipient_moved] notice so it rebinds; a send
+    arriving after the TTL gets a typed {!Expired} — never a silent
+    drop.  Forwarding chains left by repeated migration (A→B→C) are
+    path-compressed on both rebind and resolve, so each sender pays the
+    chain length at most once.
+
+    Epoch fencing is orthogonal: the registry moves ranks, the cluster
+    still fences stale incarnations at every send. *)
+
+type forwarder = {
+  fw_from : int;  (** the vacated rank *)
+  mutable fw_next : int;  (** next hop (path-compressed) *)
+  fw_expires : float;  (** absolute simulated time *)
+  mutable fw_relayed : int;  (** messages this forwarder relayed *)
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> rank:int -> int
+(** Bind a fresh laddr (sequential from 1) to [rank]. *)
+
+val lookup : t -> int -> int option
+(** Authoritative current rank of a laddr. *)
+
+val laddr_of_rank : t -> int -> int option
+(** The laddr currently bound to [rank], if it serves one (how the
+    migration path recognises a registered service). *)
+
+val forwarder_of : t -> int -> forwarder option
+
+val rebind : t -> laddr:int -> new_rank:int -> now:float -> ttl:float -> unit
+(** Point [laddr] at [new_rank]; the old rank forwards until
+    [now +. ttl].  Chains through the old rank are collapsed. *)
+
+type resolution =
+  | Direct of int  (** the rank is current; send straight to it *)
+  | Forwarded of { final : int; hops : int }
+      (** the rank was vacated; a live forwarder chain of [hops] links
+          leads to [final] — relay there and notify the sender *)
+  | Expired of int
+      (** the rank's forwarder TTL has passed: typed error, the caller
+          must re-resolve authoritatively *)
+
+val resolve : t -> now:float -> int -> resolution
+(** Follow (and path-compress) the forwarder chain from a possibly
+    stale rank. *)
+
+val expire : t -> now:float -> int
+(** Drop forwarders past their TTL; returns how many. *)
+
+val service_count : t -> int
+val forwarder_count : t -> int
+val registered : t -> int
+val moves : t -> int
+
+val forwarded : t -> int
+(** Total relays performed by every forwarder, ever. *)
+
+val expired_count : t -> int
+val resolves : t -> int
+val compressions : t -> int

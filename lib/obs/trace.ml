@@ -56,6 +56,10 @@ type kind =
   | Msg_roll of { src : int }
   | Msg_drop of { dst : int; tag : int }
   | Msg_dup of { dst : int; tag : int }
+  | Service_bind of { laddr : int; new_rank : int; old_rank : int }
+  | Msg_forward of { laddr : int; from_rank : int; to_rank : int; hops : int }
+  | Recipient_moved of { laddr : int; new_rank : int }
+  | Forward_expired of { laddr : int; rank : int }
 
 type event = {
   time : float; (* simulated seconds *)
@@ -128,6 +132,10 @@ let kind_label = function
   | Msg_roll _ -> "msg_roll"
   | Msg_drop _ -> "msg_drop"
   | Msg_dup _ -> "msg_dup"
+  | Service_bind _ -> "service_bind"
+  | Msg_forward _ -> "msg_forward"
+  | Recipient_moved _ -> "recipient_moved"
+  | Forward_expired _ -> "forward_expired"
 
 (* ------------------------------------------------------------------ *)
 (* JSONL export                                                        *)
@@ -212,6 +220,16 @@ let kind_fields buf = function
   | Msg_recv { src; tag; cells } ->
     Printf.bprintf buf ",\"src\":%d,\"tag\":%d,\"cells\":%d" src tag cells
   | Msg_roll { src } -> Printf.bprintf buf ",\"src\":%d" src
+  | Service_bind { laddr; new_rank; old_rank } ->
+    Printf.bprintf buf ",\"laddr\":%d,\"new_rank\":%d,\"old_rank\":%d" laddr
+      new_rank old_rank
+  | Msg_forward { laddr; from_rank; to_rank; hops } ->
+    Printf.bprintf buf ",\"laddr\":%d,\"from_rank\":%d,\"to_rank\":%d,\"hops\":%d"
+      laddr from_rank to_rank hops
+  | Recipient_moved { laddr; new_rank } ->
+    Printf.bprintf buf ",\"laddr\":%d,\"new_rank\":%d" laddr new_rank
+  | Forward_expired { laddr; rank } ->
+    Printf.bprintf buf ",\"laddr\":%d,\"rank\":%d" laddr rank
 
 let event_to_json e =
   let buf = Buffer.create 128 in

@@ -62,6 +62,18 @@ type kind =
       (** injected fault made the message undeliverable *)
   | Msg_dup of { dst : int; tag : int }
       (** injected fault delivered the message twice *)
+  | Service_bind of { laddr : int; new_rank : int; old_rank : int }
+      (** a registered service was re-homed: its logical address now
+          resolves to [new_rank]; [old_rank] forwards until its TTL *)
+  | Msg_forward of { laddr : int; from_rank : int; to_rank : int; hops : int }
+      (** a send that resolved to a vacated rank was relayed through a
+          forwarder chain of [hops] links *)
+  | Recipient_moved of { laddr : int; new_rank : int }
+      (** a sender consumed a moved notice and rebound its cached
+          binding for [laddr] to [new_rank] *)
+  | Forward_expired of { laddr : int; rank : int }
+      (** a send resolved to a vacated rank whose forwarder TTL had
+          passed; the sender got the typed MSG_MOVED error *)
 
 type event = {
   time : float;  (** simulated seconds *)
