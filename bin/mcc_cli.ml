@@ -524,9 +524,64 @@ let grid_cmd =
              ~doc:"Simulated seconds between service re-homings \
                    (serve-bench).")
   in
+  let skew_arg =
+    Arg.(
+      value & flag
+      & info [ "skew" ]
+          ~doc:"Skewed, phase-shifting request stream: 4 of every 5 \
+                requests target the current phase's hot service \
+                (serve-bench; the T2 workload).")
+  in
+  let pack_arg =
+    Arg.(value & opt int 0
+         & info [ "pack" ] ~docv:"P"
+             ~doc:"Cram all services onto the first P nodes instead of \
+                   spreading them (serve-bench; 0 = spread).  The \
+                   deliberately bad placement the balance engine is \
+                   measured against.")
+  in
+  let balance_arg =
+    Arg.(
+      value & flag
+      & info [ "balance" ]
+          ~doc:"Enable the load-aware placement policy engine: sample \
+                per-node load gauges every period and automatically \
+                re-home registered services through the unified move \
+                API (serve-bench).")
+  in
+  let balance_period_arg =
+    Arg.(value & opt float Net.Balance.Config.default.Net.Balance.Config.period_s
+         & info [ "balance-period" ] ~docv:"SECONDS"
+             ~doc:"Simulated seconds between load samples (serve-bench).")
+  in
+  let balance_tolerance_arg =
+    Arg.(value
+         & opt float Net.Balance.Config.default.Net.Balance.Config.tolerance
+         & info [ "balance-tolerance" ] ~docv:"FRAC"
+             ~doc:"Load-spread tolerance band as a fraction of mean node \
+                   load; no moves are proposed inside the band \
+                   (serve-bench).")
+  in
+  let balance_budget_arg =
+    Arg.(value
+         & opt int Net.Balance.Config.default.Net.Balance.Config.move_budget
+         & info [ "balance-budget" ] ~docv:"N"
+             ~doc:"Max moves in or out of any node per sampling period \
+                   (serve-bench).")
+  in
+  let balance_decay_arg =
+    Arg.(value
+         & opt float
+             Net.Balance.Config.default.Net.Balance.Config.affinity_decay
+         & info [ "balance-decay" ] ~docv:"FRAC"
+             ~doc:"Per-period decay factor of the communication-affinity \
+                   matrix (serve-bench).")
+  in
   let action ranks rows_per_rank cols timesteps interval fail trace_file
       fault_plan_file seed delta hb_interval suspect_timeout replication
-      serve_bench clients services requests work_us migrations migrate_every =
+      serve_bench clients services requests work_us migrations migrate_every
+      skew pack balance balance_period balance_tolerance balance_budget
+      balance_decay =
     let config =
       { Mcc.Gridapp.ranks; rows_per_rank; cols; timesteps; interval;
         work_us_per_step = 1000 }
@@ -559,7 +614,7 @@ let grid_cmd =
     if serve_bench then begin
       let scfg =
         { Mcc.Gridapp.Serve.clients; services;
-          requests_per_client = requests; work_us }
+          requests_per_client = requests; work_us; skew }
       in
       let cluster =
         Net.Cluster.create_cfg
@@ -568,9 +623,16 @@ let grid_cmd =
             seed = (match seed with Some s -> s | None -> 1);
             net = Some (Net.Simnet.create ~latency_us:5.0 ());
             faults = plan;
-            delta }
+            delta;
+            balance =
+              { Net.Balance.Config.enabled = balance;
+                period_s = balance_period;
+                tolerance = balance_tolerance;
+                move_budget = balance_budget;
+                affinity_decay = balance_decay } }
       in
-      let d = Mcc.Gridapp.Serve.deploy cluster scfg in
+      let placement = if pack > 0 then `Pack pack else `Spread in
+      let d = Mcc.Gridapp.Serve.deploy ~placement cluster scfg in
       let r =
         Mcc.Gridapp.Serve.run ~migrate_every_s:migrate_every ~migrations d
       in
@@ -584,6 +646,16 @@ let grid_cmd =
         "registry: %d migrations, %d forwarded, %d rebinds, %d expired \
          sends\n"
         r.rp_migrations r.rp_forwarded r.rp_rebinds r.rp_expired;
+      (if balance then
+         let m = Net.Cluster.metrics cluster in
+         Printf.printf
+           "balance: %d ticks, %d proposals, %d moves, final spread \
+            %.6f, last move at %.4f s\n"
+           (Obs.Metrics.counter_value m "balance.ticks")
+           (Obs.Metrics.counter_value m "balance.proposals")
+           (Obs.Metrics.counter_value m "balance.moves")
+           (Obs.Metrics.gauge_read m "balance.spread")
+           (Obs.Metrics.gauge_read m "balance.last_move_s"));
       Printf.printf "simulated time: %.4f s\n" (Net.Cluster.now cluster);
       Printf.printf "exactly-once: %s\n" (if exact then "yes" else "NO");
       let trace_ok = write_trace cluster in
@@ -699,7 +771,9 @@ let grid_cmd =
       $ trace_arg $ fault_plan_arg $ seed_arg $ delta_arg $ hb_interval_arg
       $ suspect_timeout_arg $ replication_arg $ serve_bench_arg $ clients_arg
       $ services_arg $ requests_arg $ work_us_arg $ migrations_arg
-      $ migrate_every_arg)
+      $ migrate_every_arg $ skew_arg $ pack_arg $ balance_arg
+      $ balance_period_arg $ balance_tolerance_arg $ balance_budget_arg
+      $ balance_decay_arg)
 
 let () =
   let info =

@@ -476,9 +476,8 @@ let fail_and_recover ?(rounds_before_failure = 400) ?after_time d
 (* A closed-loop RPC workload over the process registry: C client ranks
    each fire [requests_per_client] requests round-robin across K service
    processes addressed by LOGICAL ADDRESS (laddr 1..K, [svc_send]),
-   never by rank.  Services are re-homed mid-traffic with
-   {!Net.Cluster.migrate_running}: each move gives the successor a fresh
-   rank, so every client binding goes stale and the
+   never by rank.  Services are re-homed mid-traffic through
+   {!Net.Cluster.move}: each move gives the successor a fresh rank, so every client binding goes stale and the
    forward/notify/rebind protocol is what keeps the requests flowing.
 
    Exactly-once accounting under loss/dup/jitter fault plans:
@@ -500,24 +499,67 @@ module Serve = struct
     services : int;
     requests_per_client : int;
     work_us : int;  (* simulated service time per request *)
+    skew : bool;  (* skewed, phase-shifting request stream (T2) *)
   }
 
   let default_config =
-    { clients = 4; services = 2; requests_per_client = 50; work_us = 20 }
+    {
+      clients = 4;
+      services = 2;
+      requests_per_client = 50;
+      work_us = 20;
+      skew = false;
+    }
 
   let request_tag = 7
   let reply_tag_base = 1000
 
-  (* Unique requests service [k] (laddr k+1) owes: each client walks
-     seq mod K round-robin, so the split is deterministic. *)
+  (* Which service (0-based) request [seq] targets — the OCaml mirror of
+     the generated client's laddr choice, identical for every client.
+     Round-robin normally; with [skew] on, 4 of every 5 requests go to a
+     "hot" service that shifts as the run progresses through phases, so
+     the load concentrates and then MOVES — the stream the placement
+     policy has to chase. *)
+  let target_service cfg ~client seq =
+    if not cfg.skew then seq mod cfg.services
+    else begin
+      let phase_len = max 1 (cfg.requests_per_client / cfg.services) in
+      let hot = seq / phase_len mod cfg.services in
+      (* the background fifth is offset by the client rank — in both
+         WHICH service it hits and WHERE in the sequence it falls.
+         Without the offsets the clients march in lockstep: they all
+         pause the hot queue at the same seq to take the background
+         hop, the hot service idles in sync, and no placement — good or
+         bad — could change the throughput *)
+      if (seq + client) mod 5 < 4 then hot
+      else (seq + client) mod cfg.services
+    end
+
+  (* Unique requests service [k] (laddr k+1) owes: every client walks
+     a deterministic schedule, so the split is exact. *)
   let expected_served cfg k =
-    let per_client =
-      (cfg.requests_per_client / cfg.services)
-      + (if k < cfg.requests_per_client mod cfg.services then 1 else 0)
-    in
-    cfg.clients * per_client
+    let total = ref 0 in
+    for client = 0 to cfg.clients - 1 do
+      for seq = 0 to cfg.requests_per_client - 1 do
+        if target_service cfg ~client seq = k then incr total
+      done
+    done;
+    !total
 
   let client_source cfg rank =
+    (* the skewed stream redirects 4 of 5 requests to the phase's hot
+       service; the remainder stays round-robin so every service sees
+       some traffic (and affinity) all along *)
+    let laddr_choice =
+      if not cfg.skew then
+        Printf.sprintf "int laddr = 1 + (seq %% %d);" cfg.services
+      else
+        let phase_len = max 1 (cfg.requests_per_client / cfg.services) in
+        Printf.sprintf
+          "int laddr = 1 + ((seq + r) %% %d);\n\
+          \    if ((seq + r) %% 5 < 4) { laddr = 1 + ((seq / %d) %% %d); }"
+          cfg.services phase_len cfg.services
+    in
     Printf.sprintf
       {|
 // serving client, rank %d (generated)
@@ -528,7 +570,7 @@ int main() {
   int seq; int rc; int got; int rs; int viol; int t0; int fin;
   viol = 0;
   for (seq = 0; seq < %d; seq = seq + 1) {
-    int laddr = 1 + (seq %% %d);
+    %s
     t0 = sim_now_us();
     buf[0] = (float)r;
     buf[1] = (float)seq;
@@ -552,7 +594,7 @@ int main() {
   return viol;
 }
 |}
-      rank rank cfg.requests_per_client cfg.services request_tag request_tag
+      rank rank cfg.requests_per_client laddr_choice request_tag request_tag
       reply_tag_base
 
   let service_source cfg k =
@@ -602,10 +644,12 @@ int main() {
     sv_laddrs : int array;  (* service k -> logical address *)
   }
 
-  (* Clients take ranks 0..C-1, services C..C+K-1; both are spread over
-     the nodes round-robin.  Every service is registered, so from here
-     on migration re-homes it. *)
-  let deploy ?(engine = `Interp) cluster cfg =
+  (* Clients take ranks 0..C-1, services C..C+K-1.  Clients are always
+     spread round-robin; services are spread too by default, or packed
+     onto the first [p] nodes with [`Pack p] — the deliberately bad
+     initial placement the policy engine starts from (T2).  Every
+     service is registered, so from here on migration re-homes it. *)
+  let deploy ?(engine = `Interp) ?(placement = `Spread) cluster cfg =
     if cfg.clients < 1 || cfg.services < 1 then
       invalid_arg "Gridapp.Serve.deploy: clients and services must be >= 1";
     let nodes = Net.Cluster.node_count cluster in
@@ -614,10 +658,16 @@ int main() {
           Net.Cluster.spawn cluster ~engine ~rank:r ~node_id:(r mod nodes)
             (compile (client_source cfg r)))
     in
+    let service_node k rank =
+      match placement with
+      | `Spread -> rank mod nodes
+      | `Pack p -> k mod max 1 (min p nodes)
+    in
     let service_pids =
       Array.init cfg.services (fun k ->
           let rank = cfg.clients + k in
-          Net.Cluster.spawn cluster ~engine ~rank ~node_id:(rank mod nodes)
+          Net.Cluster.spawn cluster ~engine ~rank
+            ~node_id:(service_node k rank)
             (compile (service_source cfg k)))
     in
     let laddrs =
@@ -636,7 +686,25 @@ int main() {
       | _ -> None)
     | None -> None
 
+  (* Services can be moved underneath the driver (the placement policy
+     migrates them without telling anyone), which retires the pid we
+     remembered.  The laddr is the stable name: re-resolve each one to
+     the CURRENT holder of its rank before reading liveness or exit
+     codes, so a policy move never looks like an early exit. *)
+  let refresh_service_pids d =
+    Array.iteri
+      (fun k laddr ->
+        match Net.Cluster.service_rank d.sv_cluster ~laddr with
+        | Some rank -> (
+          match Net.Cluster.entry_of_rank d.sv_cluster rank with
+          | Some e ->
+            d.sv_service_pids.(k) <- e.Net.Cluster.proc.Vm.Process.pid
+          | None -> ())
+        | None -> ())
+      d.sv_laddrs
+
   let all_exited d =
+    refresh_service_pids d;
     let done_ pid = exit_code d.sv_cluster pid <> None in
     Array.for_all done_ d.sv_client_pids
     && Array.for_all done_ d.sv_service_pids
@@ -688,9 +756,13 @@ int main() {
           | Some e
             when e.Net.Cluster.proc.Vm.Process.status = Vm.Process.Running ->
             let target = (e.Net.Cluster.node_id + 1) mod nodes in
-            (match Net.Cluster.migrate_running cluster ~pid ~node_id:target with
-            | Ok rep ->
-              d.sv_service_pids.(k) <- rep.Net.Cluster.rep_pid;
+            (match
+               Net.Cluster.move cluster
+                 (Net.Cluster.Move.request ~reason:Net.Cluster.Move.Rehome
+                    (Net.Cluster.Move.Running pid) ~dest:target)
+             with
+            | Ok o ->
+              d.sv_service_pids.(k) <- o.Net.Cluster.Move.mv_pid;
               incr moved
             | Error _ -> incr skipped)
           | Some _ | None -> incr skipped);
@@ -713,6 +785,7 @@ int main() {
           1e3 *. Obs.Metrics.hist_mean h )
       | None -> 0, 0.0, 0.0, 0.0, 0.0
     in
+    refresh_service_pids d;
     let violations =
       Array.fold_left
         (fun acc pid ->

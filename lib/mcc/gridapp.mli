@@ -90,19 +90,24 @@ val fail_and_recover :
 
 (** The request-serving workload: closed-loop RPC clients addressing K
     registered services by logical address ([svc_send]), while the
-    services are re-homed mid-traffic with
-    {!Net.Cluster.migrate_running} — every move gives the successor a
-    fresh rank, so the registry's forward / notify / rebind protocol is
-    what keeps requests flowing.  Duplicated requests are deduplicated
-    service-side (per-client last-seq), duplicated replies client-side;
-    exit codes carry the exactly-once evidence (clients: ordering
-    violations, services: unique requests served). *)
+    services are re-homed mid-traffic through {!Net.Cluster.move} —
+    every move gives the successor a fresh rank, so the registry's
+    forward / notify / rebind protocol is what keeps requests flowing.
+    Duplicated requests are deduplicated service-side (per-client
+    last-seq), duplicated replies client-side; exit codes carry the
+    exactly-once evidence (clients: ordering violations, services:
+    unique requests served).  With [skew] on, the request stream
+    concentrates on a phase-shifting hot service (the T2 workload the
+    placement policy engine chases). *)
 module Serve : sig
   type config = {
     clients : int;
     services : int;
     requests_per_client : int;
     work_us : int;  (** simulated service time per request *)
+    skew : bool;
+        (** skewed, phase-shifting stream: 4 of every 5 requests target
+            the current phase's hot service; the rest stay round-robin *)
   }
 
   val default_config : config
@@ -111,9 +116,16 @@ module Serve : sig
   val reply_tag_base : int
   (** Replies to client [r] arrive on tag [reply_tag_base + r]. *)
 
+  val target_service : config -> client:int -> int -> int
+  (** Which service (0-based) request [seq] of client [client] targets,
+      mirroring the generated client code exactly.  Without [skew] the
+      schedule is identical for every client; with it the hot 4/5 is
+      common but the background fifth is offset by the client rank, so
+      the clients do not march in lockstep on a single service. *)
+
   val expected_served : config -> int -> int
-  (** Unique requests service [k] (laddr [k+1]) owes — the round-robin
-      split is deterministic. *)
+  (** Unique requests service [k] (laddr [k+1]) owes — the schedule is
+      deterministic, so the split is exact. *)
 
   val client_source : config -> int -> string
   val service_source : config -> int -> string
@@ -127,11 +139,22 @@ module Serve : sig
   }
 
   val deploy :
-    ?engine:[ `Interp | `Masm ] -> Net.Cluster.t -> config -> deployment
-  (** Clients on ranks 0..C-1, services on C..C+K-1, spread round-robin
-      over the nodes; every service registered in the process registry.
+    ?engine:[ `Interp | `Masm ] ->
+    ?placement:[ `Spread | `Pack of int ] ->
+    Net.Cluster.t -> config -> deployment
+  (** Clients on ranks 0..C-1, services on C..C+K-1; every service
+      registered in the process registry.  [`Spread] (default) places
+      both round-robin over the nodes; [`Pack p] crams the services
+      onto the first [p] nodes — the deliberately bad starting point a
+      placement policy is measured against.
       @raise Invalid_argument when a count is < 1 or generated source
       fails to compile (a library bug). *)
+
+  val refresh_service_pids : deployment -> unit
+  (** Re-resolve each service's CURRENT pid through its laddr: the
+      placement policy can move services underneath the driver, and the
+      retired predecessor pid would otherwise read as an early exit.
+      {!all_exited} and {!run} call this themselves. *)
 
   val all_exited : deployment -> bool
 

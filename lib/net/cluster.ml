@@ -118,6 +118,10 @@ type migration_error =
     (* the process is a superseded incarnation of its rank: a newer
        epoch exists (the rank was resurrected elsewhere), so this copy
        must halt instead of acting *)
+  | Resurrect_failed of string
+    (* an image-subject move could not restore the checkpoint (node
+       down, missing/corrupt image, wedged replicated read).  The
+       message is the historical resurrection error string verbatim. *)
 
 let migration_error_to_string = function
   | No_such_process pid -> Printf.sprintf "no process %d" pid
@@ -131,6 +135,7 @@ let migration_error_to_string = function
   | Fenced { rank; stale; current } ->
     Printf.sprintf "fenced: rank %d epoch %d superseded by epoch %d" rank
       stale current
+  | Resurrect_failed msg -> msg
 
 (* Typed cluster configuration: one record instead of the optional-
    argument pile that kept growing on [create].  [retry] is the
@@ -187,6 +192,11 @@ module Config = struct
            to learn the new rank from a Recipient_moved notice; a send
            arriving later gets the typed MSG_MOVED error and must
            re-resolve through the registry *)
+    balance : Balance.Config.t;
+        (* the load-aware placement policy engine (disabled by
+           default): samples per-node load gauges every period and
+           migrates hot registered services through [move] with reason
+           [Policy] *)
   }
 
   let default =
@@ -207,7 +217,41 @@ module Config = struct
       replication = 0;
       legacy_scan_sched = false;
       forward_ttl_s = 0.25;
+      balance = Balance.Config.default;
     }
+end
+
+(* The unified migration API: every initiator — the explicit CLI
+   migration, the resilient retry path, resurrection, serve re-homing
+   and the placement policy engine — builds one [Move.request] and
+   calls [move], so fencing, forwarder install, mailbox drain and
+   baseline negotiation behave identically regardless of who asked.
+   [reason] is accounting only (per-reason counters); it never changes
+   protocol behaviour, which is what the trace-equivalence suite
+   asserts. *)
+module Move = struct
+  type reason = Explicit | Policy | Resurrect | Rehome
+
+  type subject =
+    | Running of int (* live process, by pid: pack/ship/resume *)
+    | Image of { path : string; rank : int option; seed : int }
+      (* checkpoint image on shared storage: the resurrection path *)
+
+  type request = {
+    mv_subject : subject;
+    mv_dest : int; (* destination node id *)
+    mv_reason : reason;
+    mv_retry : Config.retry option; (* None = the cluster's policy *)
+  }
+
+  type outcome = {
+    mv_pid : int; (* the (successor) pid now running at [mv_dest] *)
+    mv_report : migration_report option; (* None for [Image] subjects *)
+  }
+
+  let request ?retry ~reason subject ~dest =
+    { mv_subject = subject; mv_dest = dest; mv_reason = reason;
+      mv_retry = retry }
 end
 
 (* Incremental-checkpoint chain state for one storage path: the image the
@@ -308,6 +352,27 @@ type t = {
   h_pack_s : Obs.Metrics.histogram;
   h_transfer_s : Obs.Metrics.histogram;
   h_compile_s : Obs.Metrics.histogram;
+  (* per-reason accounting for the unified move API *)
+  c_move_explicit : Obs.Metrics.counter;
+  c_move_policy : Obs.Metrics.counter;
+  c_move_resurrect : Obs.Metrics.counter;
+  c_move_rehome : Obs.Metrics.counter;
+  (* the placement policy engine: None when disabled.  [bal_busy0] and
+     [bal_cycles0] remember the previous tick's busy-seconds / charged
+     cycles so a tick measures rates over its own period; a pid absent
+     from [bal_cycles0] (fresh successor) measures zero for one period,
+     which doubles as anti-ping-pong damping for just-moved services. *)
+  balance : Balance.t option;
+  mutable bal_prev_at : float;
+  mutable bal_next_at : float;
+  bal_busy0 : float array;
+  bal_cycles0 : (int, int) Hashtbl.t;
+  mutable bal_last_move_s : float;
+  c_bal_ticks : Obs.Metrics.counter;
+  c_bal_proposals : Obs.Metrics.counter;
+  c_bal_moves : Obs.Metrics.counter;
+  g_bal_spread : Obs.Metrics.gauge;
+  g_bal_last_move : Obs.Metrics.gauge;
   (* time base of the quantum currently executing (single-threaded):
      lets extern handlers compute the running process's precise local
      time even mid-quantum *)
@@ -461,6 +526,15 @@ let create_cfg (cfg : Config.t) =
   let h_compile_s =
     Obs.Metrics.histogram metrics "cluster.compile_seconds"
   in
+  let c_move_explicit = Obs.Metrics.counter metrics "move.explicit" in
+  let c_move_policy = Obs.Metrics.counter metrics "move.policy" in
+  let c_move_resurrect = Obs.Metrics.counter metrics "move.resurrect" in
+  let c_move_rehome = Obs.Metrics.counter metrics "move.rehome" in
+  let c_bal_ticks = Obs.Metrics.counter metrics "balance.ticks" in
+  let c_bal_proposals = Obs.Metrics.counter metrics "balance.proposals" in
+  let c_bal_moves = Obs.Metrics.counter metrics "balance.moves" in
+  let g_bal_spread = Obs.Metrics.gauge metrics "balance.spread" in
+  let g_bal_last_move = Obs.Metrics.gauge metrics "balance.last_move_s" in
   (* the fault runtime draws from (plan seed, cluster seed): the same
      plan is reproducible per cluster seed, and seed sweeps (F1) still
      vary their storage-fault draws *)
@@ -546,6 +620,24 @@ let create_cfg (cfg : Config.t) =
     h_pack_s;
     h_transfer_s;
     h_compile_s;
+    c_move_explicit;
+    c_move_policy;
+    c_move_resurrect;
+    c_move_rehome;
+    balance =
+      (if cfg.Config.balance.Balance.Config.enabled then
+         Some (Balance.create cfg.Config.balance)
+       else None);
+    bal_prev_at = 0.0;
+    bal_next_at = cfg.Config.balance.Balance.Config.period_s;
+    bal_busy0 = Array.make cfg.Config.node_count 0.0;
+    bal_cycles0 = Hashtbl.create 32;
+    bal_last_move_s = 0.0;
+    c_bal_ticks;
+    c_bal_proposals;
+    c_bal_moves;
+    g_bal_spread;
+    g_bal_last_move;
     cur_base = 0.0;
     cur_cycles0 = 0;
     cur_pid = -1;
@@ -818,6 +910,11 @@ let send_payload t (entry : entry) (proc : Process.t) ~dst_rank ~tag
       end;
       emit_entry t entry
         (Obs.Trace.Msg_send { dst = dst_rank; tag; cells = len });
+      (* affinity piggyback: a delivered send is one unit of attraction
+         from this process toward the destination rank *)
+      (match t.balance with
+      | Some b -> Balance.note_comm b ~pid:proc.Process.pid ~peer_rank:dst_rank
+      | None -> ());
       (* wake the current holder of the rank, if any *)
       (match entry_of_rank t dst_rank with
       | Some dst -> dst.proc.Process.waiting <- false
@@ -1353,7 +1450,12 @@ let rekey_identity t ~old_pid ~new_pid ~uid_map =
       (Rekey.merge ~remap:map_key entries)
   in
   rekey_undo t.obj_undo;
-  rekey_undo t.fs_undo
+  rekey_undo t.fs_undo;
+  (* the policy engine tracks affinity by pid: carry the row across the
+     identity change so a service's attraction survives its moves *)
+  match t.balance with
+  | Some b -> Balance.rekey b ~old_pid ~new_pid
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Migration protocols                                                 *)
@@ -1419,9 +1521,8 @@ type hop_success = {
   hx_backoff_s : float;
 }
 
-let transmit_hop t ~send_at ~src_node ~dst_node ~target_name ~bytes ~pid
-    ~rank =
-  let retry = t.retry in
+let transmit_hop t ~retry ~send_at ~src_node ~dst_node ~target_name ~bytes
+    ~pid ~rank =
   let transfer_s = Simnet.transfer_seconds t.net bytes in
   let rec go attempt elapsed backoff_total =
     Simnet.record_transfer t.net bytes;
@@ -1561,13 +1662,14 @@ type ship_failure = {
   sf_reason : string;
 }
 
-let ship_shipment t (entry : entry) (src : node) (target : node) packed sh =
+let ship_shipment t ~retry (entry : entry) (src : node) (target : node)
+    packed sh =
   let pid = entry.proc.Process.pid and rank = entry_rank entry in
   let attempt (sh : shipment) ~send_at =
     let bytes = String.length sh.sh_bytes in
     note_shipment t ~as_delta:sh.sh_delta ~bytes;
     match
-      transmit_hop t ~send_at ~src_node:src.node_id
+      transmit_hop t ~retry ~send_at ~src_node:src.node_id
         ~dst_node:target.node_id ~target_name:target.node_name ~bytes ~pid
         ~rank
     with
@@ -1721,6 +1823,88 @@ let complete_rehome t (old_entry : entry) (new_entry : entry) =
         (Mpi.take_all (rank_mailbox t old_rank)))
   | _ -> ()
 
+(* The unified move commit: everything that happens after a shipment is
+   accepted, shared by every initiator of [move] — successor entry
+   creation (an ordinary process keeps rank/mailbox/epoch; a registered
+   service is re-homed under a fresh rank), source termination (the
+   [terminate] closure is the only initiator-specific step),
+   registration, registry rebind + forwarder install + old-mailbox
+   drain ([complete_rehome]), identity rekey, busy-time accounting, the
+   migration record and the Cache_hit/miss + Migrate_done trace events.
+   Because the drain lives here, no initiator can strand stamped
+   messages at a vacated rank. *)
+let install_successor t (entry : entry) (src : node) (target : node) packed
+    ~baseline_digest (sr : ship_result) ~terminate =
+  let proc = entry.proc in
+  let outcome = sr.sr_outcome in
+  let pack_s = sr.sr_pack_s and transfer_s = sr.sr_transfer_s in
+  let old_uids = Spec.Engine.unique_ids proc.Process.spec in
+  let compile_s =
+    Arch.seconds target.node_arch
+      outcome.Migrate.Server.o_costs.Migrate.Pack.u_compile_cycles
+  in
+  (* keep pids cluster-unique *)
+  let new_pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let new_proc =
+    { outcome.Migrate.Server.o_process with Process.pid = new_pid }
+  in
+  let new_rank, new_mailbox, new_epoch = successor_home t entry in
+  let new_entry =
+    {
+      proc = new_proc;
+      engine =
+        Emu_engine
+          (Emulator.create ~linked:outcome.Migrate.Server.o_linked
+             outcome.Migrate.Server.o_masm new_proc);
+      node_id = target.node_id;
+      mailbox = new_mailbox;
+      rank = new_rank;
+      (* migration is the SAME incarnation on a new node (a fresh
+         service rank starts at that rank's epoch) *)
+      epoch = new_epoch;
+      start_at =
+        max target.clock (src.clock +. pack_s +. transfer_s) +. compile_s;
+      parked_on = None;
+      (* the successor's heap was restored from (and its dirty set is
+         empty relative to) the image just shipped *)
+      baseline = Some (baseline_digest, packed.Migrate.Pack.p_image);
+      bindings = entry.bindings;
+      notices = entry.notices;
+    }
+  in
+  terminate ();
+  register_entry t new_entry;
+  complete_rehome t entry new_entry;
+  rekey_identity t ~old_pid:proc.Process.pid ~new_pid
+    ~uid_map:
+      (List.combine old_uids (Spec.Engine.unique_ids new_proc.Process.spec));
+  src.busy_seconds <- src.busy_seconds +. pack_s;
+  target.busy_seconds <- target.busy_seconds +. compile_s;
+  let cache_hit = outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit in
+  record_migration t
+    {
+      mr_kind = `Migrate;
+      mr_pid = proc.Process.pid;
+      mr_bytes = sr.sr_bytes;
+      mr_pack_s = pack_s;
+      mr_transfer_s = transfer_s;
+      mr_compile_s = compile_s;
+      mr_cache_hit = cache_hit;
+      mr_delta = sr.sr_delta;
+      mr_ok = true;
+    };
+  emit t
+    ~time:(max target.clock (src.clock +. pack_s +. transfer_s))
+    ~node:target.node_id ~pid:new_pid ~rank:(entry_rank new_entry)
+    (if cache_hit then Obs.Trace.Cache_hit else Obs.Trace.Cache_miss);
+  emit t ~time:new_entry.start_at ~node:target.node_id ~pid:new_pid
+    ~rank:(entry_rank new_entry)
+    (Obs.Trace.Migrate_done
+       { ok = true; cache_hit; bytes = sr.sr_bytes; pack_s; transfer_s;
+         compile_s });
+  new_entry, cache_hit
+
 let handle_migrate t (entry : entry) _req host =
   let proc = entry.proc in
   let src = node t entry.node_id in
@@ -1739,82 +1923,13 @@ let handle_migrate t (entry : entry) _req host =
     let sh = choose_shipment t ~baseline:prev_baseline entry target packed in
     let bytes = String.length sh.sh_bytes in
     emit_entry t entry (Obs.Trace.Migrate_start { target = host; bytes });
-    (match ship_shipment t entry src target packed sh with
+    (match ship_shipment t ~retry:t.retry entry src target packed sh with
     | Ok sr ->
-      let outcome = sr.sr_outcome in
-      let bytes = sr.sr_bytes in
-      let pack_s = sr.sr_pack_s in
-      let transfer_s = sr.sr_transfer_s in
-      let old_uids = Spec.Engine.unique_ids proc.Process.spec in
-      let compile_s =
-        Arch.seconds target.node_arch
-          outcome.Migrate.Server.o_costs.Migrate.Pack.u_compile_cycles
+      let (_ : entry), (_ : bool) =
+        install_successor t entry src target packed ~baseline_digest sr
+          ~terminate:(fun () -> Process.migration_completed proc)
       in
-      let new_proc = outcome.Migrate.Server.o_process in
-      (* keep pids cluster-unique *)
-      let pid = t.next_pid in
-      t.next_pid <- t.next_pid + 1;
-      let new_proc = { new_proc with Process.pid } in
-      (* an ordinary process keeps rank+mailbox (rank-addressed messages
-         follow); a registered service is re-homed under a fresh rank *)
-      let new_rank, new_mailbox, new_epoch = successor_home t entry in
-      let new_entry =
-        {
-          proc = new_proc;
-          engine =
-            Emu_engine
-              (Emulator.create ~linked:outcome.Migrate.Server.o_linked
-                 outcome.Migrate.Server.o_masm new_proc);
-          node_id = target.node_id;
-          mailbox = new_mailbox;
-          rank = new_rank;
-          (* migration is the SAME incarnation on a new node (a fresh
-             service rank starts at that rank's epoch) *)
-          epoch = new_epoch;
-          start_at =
-            max target.clock (src.clock +. pack_s +. transfer_s)
-            +. compile_s;
-          parked_on = None;
-          (* the successor's heap was restored from (and its dirty set
-             is empty relative to) the image just shipped *)
-          baseline = Some (baseline_digest, packed.Migrate.Pack.p_image);
-          bindings = entry.bindings;
-          notices = entry.notices;
-        }
-      in
-      Process.migration_completed proc;
-      register_entry t new_entry;
-      complete_rehome t entry new_entry;
-      rekey_identity t ~old_pid:proc.Process.pid ~new_pid:pid
-        ~uid_map:
-          (List.combine old_uids
-             (Spec.Engine.unique_ids new_proc.Process.spec));
-      src.busy_seconds <- src.busy_seconds +. pack_s;
-      target.busy_seconds <- target.busy_seconds +. compile_s;
-      record_migration t
-        {
-          mr_kind = `Migrate;
-          mr_pid = proc.Process.pid;
-          mr_bytes = bytes;
-          mr_pack_s = pack_s;
-          mr_transfer_s = transfer_s;
-          mr_compile_s = compile_s;
-          mr_cache_hit =
-            outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
-          mr_delta = sr.sr_delta;
-          mr_ok = true;
-        };
-      let cache_hit =
-        outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit
-      in
-      emit t
-        ~time:(max target.clock (src.clock +. pack_s +. transfer_s))
-        ~node:target.node_id ~pid ~rank:(entry_rank new_entry)
-        (if cache_hit then Obs.Trace.Cache_hit else Obs.Trace.Cache_miss);
-      emit t ~time:new_entry.start_at ~node:target.node_id ~pid
-        ~rank:(entry_rank new_entry)
-        (Obs.Trace.Migrate_done
-           { ok = true; cache_hit; bytes; pack_s; transfer_s; compile_s })
+      ()
     | Error sf ->
       (* graceful degradation: the target stayed unreachable (or its
          daemon rejected the image) — the process resumes locally
@@ -1857,6 +1972,84 @@ let handle_migrate t (entry : entry) _req host =
            compile_s = 0.0;
          });
     Process.migration_failed proc
+
+(* Host-initiated live migration of a RUNNING process (the [Move.Running]
+   subject): validate, pack mid-execution, ship under [retry], and
+   commit through [install_successor].  Failure is invisible to the
+   subject — it keeps running where it was. *)
+let move_running t ~pid ~node_id ~retry =
+  match entry_of_pid t pid with
+  | None -> Error (No_such_process pid)
+  | Some entry -> (
+    match entry.proc.Process.status with
+    | Process.Exited _ | Process.Trapped _ | Process.Migrating _ ->
+      Error Not_running
+    | Process.Running -> (
+      let src = node t entry.node_id in
+      let target = node t node_id in
+      if is_stale t entry then begin
+        let current =
+          match entry.rank with Some r -> rank_epoch t r | None -> 0
+        in
+        fence t entry ~what:"migrate";
+        Error (Fenced { rank = entry_rank entry; stale = entry.epoch;
+                        current })
+      end
+      else if not target.alive then Error Target_down
+      else if target.node_id = src.node_id then Error Already_there
+      else begin
+        let with_binary =
+          t.trusted && Arch.equal src.node_arch target.node_arch
+        in
+        let prev_baseline = entry.baseline in
+        let packed =
+          Migrate.Pack.pack_running ~with_binary ~epoch:entry.epoch
+            entry.proc
+        in
+        let baseline_digest = rebase_baseline src entry packed in
+        let sh =
+          choose_shipment t ~baseline:prev_baseline entry target packed
+        in
+        let bytes = String.length sh.sh_bytes in
+        emit_entry t entry
+          (Obs.Trace.Migrate_start { target = target.node_name; bytes });
+        match ship_shipment t ~retry entry src target packed sh with
+        | Error sf ->
+          (* failure is invisible: the process keeps running where it is *)
+          record_migration t
+            { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
+              mr_pack_s = sf.sf_pack_s; mr_transfer_s = 0.0;
+              mr_compile_s = 0.0; mr_cache_hit = false; mr_ok = false;
+              mr_delta = false };
+          emit_entry t entry
+            (Obs.Trace.Migrate_done
+               { ok = false; cache_hit = false; bytes;
+                 pack_s = sf.sf_pack_s; transfer_s = 0.0;
+                 compile_s = 0.0 });
+          Error
+            (match sf.sf_kind with
+            | `Unreachable ->
+              Unreachable
+                { attempts = sf.sf_attempts; reason = sf.sf_reason }
+            | `Rejected -> Rejected sf.sf_reason)
+        | Ok sr ->
+          let new_entry, cache_hit =
+            install_successor t entry src target packed ~baseline_digest sr
+              ~terminate:(fun () ->
+                entry.proc.Process.status <- Process.Exited 0)
+          in
+          Ok
+            {
+              rep_pid = new_entry.proc.Process.pid;
+              rep_attempts = sr.sr_attempts;
+              rep_retries = sr.sr_attempts - 1;
+              rep_backoff_s = sr.sr_backoff_s;
+              rep_elapsed_s = new_entry.start_at -. src.clock;
+              rep_bytes = sr.sr_bytes;
+              rep_cache_hit = cache_hit;
+              rep_delta = sr.sr_delta;
+            }
+      end))
 
 let handle_to_storage t (entry : entry) req path ~kind =
   let proc = entry.proc in
@@ -2065,8 +2258,10 @@ let kill_incarnation t ~rank =
     end
 
 (* Resurrect a checkpointed process from shared storage on a live node
-   (the paper's resurrection daemon executing the saved checkpoint). *)
-let resurrect ?rank ?(seed = 11) t ~node_id ~path =
+   (the paper's resurrection daemon executing the saved checkpoint).
+   Internal: callers go through [move] with an [Image] subject (or the
+   [resurrect] convenience wrapper over it). *)
+let do_resurrect ?rank ?(seed = 11) t ~node_id ~path =
   let n = node t node_id in
   let failed msg =
     emit t ~time:(now t) ~node:node_id
@@ -2202,6 +2397,157 @@ let resurrect ?rank ?(seed = 11) t ~node_id ~path =
           ~rank:(entry_rank entry)
           (Obs.Trace.Resurrect { path; ok = true });
         Ok pid))
+
+(* ------------------------------------------------------------------ *)
+(* The unified move API                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One entry point for every migration initiator.  The reason is
+   accounting only: protocol behaviour (fencing, forwarder install,
+   mailbox drain, baseline negotiation, epoch handling) is identical
+   for all reasons and both subjects, which the trace-equivalence suite
+   asserts byte-for-byte. *)
+let move t (req : Move.request) =
+  (match req.Move.mv_reason with
+  | Move.Explicit -> Obs.Metrics.incr t.c_move_explicit
+  | Move.Policy -> Obs.Metrics.incr t.c_move_policy
+  | Move.Resurrect -> Obs.Metrics.incr t.c_move_resurrect
+  | Move.Rehome -> Obs.Metrics.incr t.c_move_rehome);
+  match req.Move.mv_subject with
+  | Move.Running pid -> (
+    let retry =
+      match req.Move.mv_retry with Some r -> r | None -> t.retry
+    in
+    match move_running t ~pid ~node_id:req.Move.mv_dest ~retry with
+    | Ok rep -> Ok { Move.mv_pid = rep.rep_pid; mv_report = Some rep }
+    | Error e -> Error e)
+  | Move.Image { path; rank; seed } -> (
+    match do_resurrect ?rank ~seed t ~node_id:req.Move.mv_dest ~path with
+    | Ok pid -> Ok { Move.mv_pid = pid; mv_report = None }
+    | Error msg -> Error (Resurrect_failed msg))
+
+(* Convenience wrapper over [move] with an [Image] subject, preserving
+   the historical (pid, string-error) result shape. *)
+let resurrect ?rank ?(seed = 11) t ~node_id ~path =
+  match
+    move t
+      (Move.request ~reason:Move.Resurrect
+         (Move.Image { path; rank; seed })
+         ~dest:node_id)
+  with
+  | Ok o -> Ok o.Move.mv_pid
+  | Error e -> Error (migration_error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* The placement policy engine tick                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sample the per-node load gauges and per-process charged cycles,
+   plan, and execute the proposals as Policy moves.  Called at the end
+   of every scheduling round; a no-op while the engine is disabled or
+   between periods.  Eligible subjects are running, non-stale
+   REGISTERED services — their traffic keeps flowing through the
+   registry's forwarders while they move.  A pid with no recorded
+   cycle baseline (a fresh successor) measures zero load for one
+   period, damping repeat moves of just-moved services. *)
+let balance_tick t =
+  match t.balance with
+  | None -> ()
+  | Some b ->
+    let now_ = now t in
+    if now_ >= t.bal_next_at then begin
+      let cfg = Balance.config b in
+      Obs.Metrics.incr t.c_bal_ticks;
+      let elapsed = Float.max (now_ -. t.bal_prev_at) 1e-9 in
+      let loads =
+        Array.map
+          (fun n ->
+            let runnable = ref 0 and mailbox = ref 0 in
+            List.iter
+              (fun (e : entry) ->
+                if not (Process.is_terminated e.proc) then begin
+                  incr runnable;
+                  mailbox := !mailbox + Mpi.pending e.mailbox
+                end)
+              n.residents;
+            {
+              Balance.nl_node = n.node_id;
+              nl_alive = n.alive;
+              nl_runnable = !runnable;
+              nl_cycles_per_s =
+                (n.busy_seconds -. t.bal_busy0.(n.node_id)) /. elapsed;
+              nl_mailbox = !mailbox;
+            })
+          t.nodes
+      in
+      let candidates =
+        List.filter_map
+          (fun (e : entry) ->
+            match e.rank, e.proc.Process.status with
+            | Some r, Process.Running
+              when (not (is_stale t e))
+                   && Registry.laddr_of_rank t.registry r <> None
+                   && (node t e.node_id).alive ->
+              let cycles = e.proc.Process.cycles in
+              let c0 =
+                match Hashtbl.find_opt t.bal_cycles0 e.proc.Process.pid with
+                | Some c -> c
+                | None -> cycles
+              in
+              Some
+                {
+                  Balance.cd_pid = e.proc.Process.pid;
+                  cd_node = e.node_id;
+                  cd_load =
+                    Balance.candidate_load
+                      ~cycles_per_s:
+                        (Arch.seconds e.proc.Process.arch (cycles - c0)
+                        /. elapsed)
+                      ~mailbox:(Mpi.pending e.mailbox);
+                }
+            | _ -> None)
+          t.entries
+      in
+      let node_of_rank r =
+        Option.map (fun (e : entry) -> e.node_id) (entry_of_rank t r)
+      in
+      let proposals = Balance.plan b ~loads ~candidates ~node_of_rank in
+      let spread, _mean = Balance.spread b ~loads in
+      Obs.Metrics.set t.g_bal_spread spread;
+      Obs.Metrics.incr ~by:(List.length proposals) t.c_bal_proposals;
+      let moved = ref 0 in
+      List.iter
+        (fun (p : Balance.proposal) ->
+          match
+            move t
+              (Move.request ~reason:Move.Policy (Move.Running p.Balance.pr_pid)
+                 ~dest:p.Balance.pr_to)
+          with
+          | Ok _ ->
+            incr moved;
+            Obs.Metrics.incr t.c_bal_moves;
+            t.bal_last_move_s <- now_;
+            Obs.Metrics.set t.g_bal_last_move now_
+          | Error _ -> ())
+        proposals;
+      emit t ~time:now_
+        (Obs.Trace.Balance_tick
+           { spread; proposed = List.length proposals; moved = !moved });
+      (* baselines for the next period *)
+      Array.iter
+        (fun n -> t.bal_busy0.(n.node_id) <- n.busy_seconds)
+        t.nodes;
+      Hashtbl.reset t.bal_cycles0;
+      List.iter
+        (fun (e : entry) ->
+          if not (Process.is_terminated e.proc) then
+            Hashtbl.replace t.bal_cycles0 e.proc.Process.pid
+              e.proc.Process.cycles)
+        t.entries;
+      Balance.decay b;
+      t.bal_prev_at <- now_;
+      t.bal_next_at <- now_ +. cfg.Balance.Config.period_s
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                           *)
@@ -2484,6 +2830,7 @@ let round t =
       end)
     t.nodes;
   pump_heartbeats t;
+  balance_tick t;
   !progressed
 
 (* Idle nodes jump their clocks to the next relevant event (a pending
@@ -2692,6 +3039,10 @@ let render_event t (e : Obs.Trace.event) =
       Printf.sprintf
         "pid %d: forwarder for laddr %d at rank %d expired (MSG_MOVED)"
         e.Obs.Trace.pid laddr rank
+    | Obs.Trace.Balance_tick { spread; proposed; moved } ->
+      Printf.sprintf
+        "balance tick: spread %.6f, proposed %d, moved %d" spread proposed
+        moved
   in
   Printf.sprintf "[%10.6f] %s" e.Obs.Trace.time text
 
@@ -2768,138 +3119,3 @@ let abort_speculation ?(code = msg_roll) t ~pid ~level =
 
 let node_count t = Array.length t.nodes
 
-(* Transparent, host-initiated migration of a RUNNING process (the
-   paper's load-balancing / mobile-agent use, Section 7): pack between
-   basic blocks, ship, verify/recompile on the target daemon, terminate
-   the source.  The process never observes the move. *)
-let migrate_running t ~pid ~node_id =
-  match entry_of_pid t pid with
-  | None -> Error (No_such_process pid)
-  | Some entry -> (
-    match entry.proc.Process.status with
-    | Process.Exited _ | Process.Trapped _ | Process.Migrating _ ->
-      Error Not_running
-    | Process.Running -> (
-      let src = node t entry.node_id in
-      let target = node t node_id in
-      if is_stale t entry then begin
-        let current =
-          match entry.rank with Some r -> rank_epoch t r | None -> 0
-        in
-        fence t entry ~what:"migrate";
-        Error (Fenced { rank = entry_rank entry; stale = entry.epoch;
-                        current })
-      end
-      else if not target.alive then Error Target_down
-      else if target.node_id = src.node_id then Error Already_there
-      else begin
-        let with_binary =
-          t.trusted && Arch.equal src.node_arch target.node_arch
-        in
-        let prev_baseline = entry.baseline in
-        let packed =
-          Migrate.Pack.pack_running ~with_binary ~epoch:entry.epoch
-            entry.proc
-        in
-        let baseline_digest = rebase_baseline src entry packed in
-        let sh =
-          choose_shipment t ~baseline:prev_baseline entry target packed
-        in
-        let bytes = String.length sh.sh_bytes in
-        emit_entry t entry
-          (Obs.Trace.Migrate_start { target = target.node_name; bytes });
-        match ship_shipment t entry src target packed sh with
-        | Error sf ->
-          (* failure is invisible: the process keeps running where it is *)
-          record_migration t
-            { mr_kind = `Migrate; mr_pid = pid; mr_bytes = bytes;
-              mr_pack_s = sf.sf_pack_s; mr_transfer_s = 0.0;
-              mr_compile_s = 0.0; mr_cache_hit = false; mr_ok = false;
-              mr_delta = false };
-          emit_entry t entry
-            (Obs.Trace.Migrate_done
-               { ok = false; cache_hit = false; bytes;
-                 pack_s = sf.sf_pack_s; transfer_s = 0.0;
-                 compile_s = 0.0 });
-          Error
-            (match sf.sf_kind with
-            | `Unreachable ->
-              Unreachable
-                { attempts = sf.sf_attempts; reason = sf.sf_reason }
-            | `Rejected -> Rejected sf.sf_reason)
-        | Ok sr ->
-          let outcome = sr.sr_outcome in
-          let pack_s = sr.sr_pack_s and transfer_s = sr.sr_transfer_s in
-          let old_uids = Spec.Engine.unique_ids entry.proc.Process.spec in
-          let compile_s =
-            Arch.seconds target.node_arch
-              outcome.Migrate.Server.o_costs.Migrate.Pack.u_compile_cycles
-          in
-          let new_pid = t.next_pid in
-          t.next_pid <- t.next_pid + 1;
-          let new_proc =
-            { outcome.Migrate.Server.o_process with Process.pid = new_pid }
-          in
-          let new_rank, new_mailbox, new_epoch = successor_home t entry in
-          let new_entry =
-            {
-              proc = new_proc;
-              engine =
-                Emu_engine
-                  (Emulator.create ~linked:outcome.Migrate.Server.o_linked
-                     outcome.Migrate.Server.o_masm new_proc);
-              node_id = target.node_id;
-              mailbox = new_mailbox;
-              rank = new_rank;
-              epoch = new_epoch;
-              start_at =
-                max target.clock (src.clock +. pack_s +. transfer_s)
-                +. compile_s;
-              parked_on = None;
-              baseline =
-                Some (baseline_digest, packed.Migrate.Pack.p_image);
-              bindings = entry.bindings;
-              notices = entry.notices;
-            }
-          in
-          entry.proc.Process.status <- Process.Exited 0;
-          register_entry t new_entry;
-          complete_rehome t entry new_entry;
-          rekey_identity t ~old_pid:pid ~new_pid
-            ~uid_map:
-              (List.combine old_uids
-                 (Spec.Engine.unique_ids new_proc.Process.spec));
-          src.busy_seconds <- src.busy_seconds +. pack_s;
-          target.busy_seconds <- target.busy_seconds +. compile_s;
-          record_migration t
-            { mr_kind = `Migrate; mr_pid = pid; mr_bytes = sr.sr_bytes;
-              mr_pack_s = pack_s; mr_transfer_s = transfer_s;
-              mr_compile_s = compile_s;
-              mr_cache_hit =
-                outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit;
-              mr_ok = true; mr_delta = sr.sr_delta };
-          let cache_hit =
-            outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit
-          in
-          emit t
-            ~time:(max target.clock (src.clock +. pack_s +. transfer_s))
-            ~node:target.node_id ~pid:new_pid
-            ~rank:(entry_rank new_entry)
-            (if cache_hit then Obs.Trace.Cache_hit else Obs.Trace.Cache_miss);
-          emit t ~time:new_entry.start_at ~node:target.node_id ~pid:new_pid
-            ~rank:(entry_rank new_entry)
-            (Obs.Trace.Migrate_done
-               { ok = true; cache_hit; bytes = sr.sr_bytes; pack_s;
-                 transfer_s; compile_s });
-          Ok
-            {
-              rep_pid = new_pid;
-              rep_attempts = sr.sr_attempts;
-              rep_retries = sr.sr_attempts - 1;
-              rep_backoff_s = sr.sr_backoff_s;
-              rep_elapsed_s = new_entry.start_at -. src.clock;
-              rep_bytes = sr.sr_bytes;
-              rep_cache_hit = cache_hit;
-              rep_delta = sr.sr_delta;
-            }
-      end))

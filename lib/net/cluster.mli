@@ -83,7 +83,7 @@ type migration_report = {
   rep_cache_hit : bool;
   rep_delta : bool;  (** the hop that was accepted shipped as a delta *)
 }
-(** What a successful {!migrate_running} reports. *)
+(** What a successful [Running]-subject {!move} reports. *)
 
 type migration_error =
   | No_such_process of int
@@ -98,6 +98,10 @@ type migration_error =
       (** the process is a stale incarnation of [rank]: a resurrection
           bumped the rank's epoch to [current] past the process's
           [stale] one, and zombies may not migrate *)
+  | Resurrect_failed of string
+      (** an [Image]-subject {!move} could not restore the checkpoint:
+          destination down, missing or corrupt image, or a wedged
+          replicated read.  Carries the storage-level message. *)
 
 val migration_error_to_string : migration_error -> string
 
@@ -153,13 +157,73 @@ module Config : sig
         (** how long a vacated rank keeps forwarding after a registered
             service migrates away (default 0.25 simulated seconds); a
             send arriving later gets the typed {!msg_moved} error *)
+    balance : Balance.Config.t;
+        (** the load-aware placement policy engine.  When
+            [balance.enabled], the scheduler samples per-node load
+            gauges every [balance.period_s] and migrates hot registered
+            services through {!move} with reason [Policy]; disabled by
+            default (no gauges, no extra trace events, legacy traces
+            byte-identical) *)
   }
 
   val default : t
   (** 4 nodes, cisc32, untrusted, quantum 64, seed 1, 16-entry caches,
       default net and trace, {!default_retry}, {!Faults.none}, delta
       shipping on with 4 retained baselines per daemon, no failure
-      detector, unreplicated shared storage. *)
+      detector, unreplicated shared storage, placement policy off. *)
+end
+
+(** The unified migration API.  Every initiator — the explicit CLI/test
+    migration, the resilient recovery path, resurrection, serve
+    re-homing, and the placement policy engine — builds one
+    {!Move.request} and calls {!move}.  The protocol invariants hold
+    for every subject and reason, and are stated here once:
+
+    - {b Fencing}: a stale incarnation (its rank's epoch moved past it)
+      never moves; a [Running] move of a zombie fails with [Fenced],
+      and an [Image] move under [?rank] bumps the rank's epoch FIRST so
+      the old holder is fenced before the successor exists.
+    - {b Forwarder install + drain}: moving a REGISTERED service
+      re-homes it under a fresh rank; the laddr rebinds, the vacated
+      rank forwards for [Config.forward_ttl_s] (owing [Recipient_moved]
+      notices to senders), and messages already queued at the old rank
+      are relayed to the successor inside the move commit — no
+      initiator can strand stamped messages.  An [Image] move under
+      [?rank] inherits the rank's mailbox outright, so queued traffic
+      survives resurrection too.
+    - {b Baseline reuse}: a [Running] subject ships as a delta over its
+      previous pack when the destination still holds that baseline
+      (transparent full-image fallback otherwise); the successor's
+      baseline is rebased on what was shipped.
+    - {b Reason is accounting only}: it selects a [move.*] counter and
+      nothing else — traces are byte-identical across reasons, which
+      the equivalence suite asserts. *)
+module Move : sig
+  type reason = Explicit | Policy | Resurrect | Rehome
+
+  type subject =
+    | Running of int
+        (** a live process, by pid: packed between basic blocks,
+            shipped under the retry policy, resumed on the target *)
+    | Image of { path : string; rank : int option; seed : int }
+        (** a checkpoint image on shared storage (the resurrection
+            path); [rank] assigns the successor the rank's mailbox and
+            bumps its epoch *)
+
+  type request = {
+    mv_subject : subject;
+    mv_dest : int;  (** destination node id *)
+    mv_reason : reason;
+    mv_retry : Config.retry option;  (** [None] = the cluster's policy *)
+  }
+
+  type outcome = {
+    mv_pid : int;  (** the (successor) pid now running at [mv_dest] *)
+    mv_report : migration_report option;  (** [None] for [Image] *)
+  }
+
+  val request :
+    ?retry:Config.retry -> reason:reason -> subject -> dest:int -> request
 end
 
 type t
@@ -217,12 +281,13 @@ val run : ?max_rounds:int -> ?stop:(unit -> bool) -> t -> int
 
 val register_service : t -> pid:int -> int
 (** Allocate a ranked process a stable logical address (sequential
-    from 1).  From here on {!migrate_running} (or a process-initiated
-    migrate) RE-HOMES it: the successor gets a fresh rank, the laddr
-    rebinds, the vacated rank forwards for {!Config.t.forward_ttl_s}
-    with [Recipient_moved] notices to senders, and in-flight messages
-    are relayed — traffic addressed with [svc_send] keeps flowing while
-    the process moves. *)
+    from 1).  From here on any {!move} (or a process-initiated migrate)
+    RE-HOMES it: the successor gets a fresh rank, the laddr rebinds,
+    the vacated rank forwards for {!Config.t.forward_ttl_s} with
+    [Recipient_moved] notices to senders, and in-flight messages are
+    relayed — traffic addressed with [svc_send] keeps flowing while the
+    process moves.  Registration also makes the process eligible for
+    the placement policy engine ({!Config.t.balance}). *)
 
 val registry : t -> Registry.t
 (** The registry itself (bindings, forwarders, counters). *)
@@ -253,20 +318,18 @@ val fail_node : t -> int -> unit
 val resurrect :
   ?rank:int -> ?seed:int -> t -> node_id:int -> path:string ->
   (int, string) result
-(** Execute a checkpoint image from shared storage on a live node (the
+(** Convenience wrapper: {!move} with an [Image] subject and reason
+    [Resurrect], flattening the error to its historical string form.
+    Executes a checkpoint image from shared storage on a live node (the
     resurrection daemon of Figure 2); same-architecture resurrections
     take the binary fast path.  Returns the new pid.
 
-    Resurrecting under [?rank] BUMPS that rank's incarnation epoch
-    first: any old holder of the rank still executing (a false
-    suspicion) is fenced before the successor exists — it never runs
-    another instruction, its uncommitted speculative sends cascade, and
-    survivors that consumed its traffic roll back and re-send — so
-    resurrection never yields two live copies of a rank.
+    The epoch-bump-first and mailbox-inheritance guarantees are the
+    [Image]-subject invariants stated on {!module:Move}.
 
     A checkpoint taken mid-speculation restores the process's LOCAL
     speculation state; cross-process dependency edges are not restored
-    across death (live migration re-keys them, see {!migrate_running}).
+    across death (live migration re-keys them through the move commit).
     The paper's protocol commits before every checkpoint, so its
     canonical application never checkpoints inside a speculation that
     other processes depend on. *)
@@ -289,15 +352,16 @@ val suspected_nodes : t -> int list
 val rank_epoch : t -> int -> int
 (** The rank's current incarnation epoch (0 until first resurrection). *)
 
-val migrate_running :
-  t -> pid:int -> node_id:int -> (migration_report, migration_error) result
-(** Transparently migrate a RUNNING process to another node (the paper's
-    load-balancing / mobile-agent use): packed between basic blocks,
-    shipped under the retry policy (per-hop timeout, bounded retry,
-    exponential backoff in simulated time), delivered idempotently to
-    the target's daemon.  The process cannot observe the move; on any
-    failure — including an exhausted retry budget — it keeps running
-    where it was. *)
+val move : t -> Move.request -> (Move.outcome, migration_error) result
+(** The one migration entry point (see {!module:Move} for the
+    invariants).  A [Running] subject is packed mid-execution, shipped
+    under the request's retry policy (per-hop timeout, bounded retry,
+    exponential backoff in simulated time) and delivered idempotently
+    to the target's daemon; the process cannot observe the move, and on
+    any failure — including an exhausted retry budget — it keeps
+    running where it was.  An [Image] subject is read (and its delta
+    chain replayed) from shared storage and resumed on the destination;
+    failures surface as [Resurrect_failed]. *)
 
 (** {2 Introspection} *)
 
@@ -329,9 +393,12 @@ val metrics : t -> Obs.Metrics.t
     [cluster.pack_seconds], ...), failure/recovery counters, and the
     delta-shipping ledger ([migrate.bytes_full], [migrate.bytes_delta],
     [migrate.delta_hits], [migrate.delta_misses],
-    [migrate.delta_fallbacks], gauge [migrate.delta_hit_rate]).
-    Per-node daemon and cache registries live on the daemons
-    themselves. *)
+    [migrate.delta_fallbacks], gauge [migrate.delta_hit_rate]), the
+    per-reason move counters ([move.explicit], [move.policy],
+    [move.resurrect], [move.rehome]) and the policy-engine ledger
+    ([balance.ticks], [balance.proposals], [balance.moves], gauges
+    [balance.spread] and [balance.last_move_s]).  Per-node daemon and
+    cache registries live on the daemons themselves. *)
 
 val cache_hit_rate : t -> float
 (** Aggregate recompilation-cache hit rate across every node's daemon

@@ -60,6 +60,7 @@ type kind =
   | Msg_forward of { laddr : int; from_rank : int; to_rank : int; hops : int }
   | Recipient_moved of { laddr : int; new_rank : int }
   | Forward_expired of { laddr : int; rank : int }
+  | Balance_tick of { spread : float; proposed : int; moved : int }
 
 type event = {
   time : float; (* simulated seconds *)
@@ -136,6 +137,7 @@ let kind_label = function
   | Msg_forward _ -> "msg_forward"
   | Recipient_moved _ -> "recipient_moved"
   | Forward_expired _ -> "forward_expired"
+  | Balance_tick _ -> "balance_tick"
 
 (* ------------------------------------------------------------------ *)
 (* JSONL export                                                        *)
@@ -230,6 +232,9 @@ let kind_fields buf = function
     Printf.bprintf buf ",\"laddr\":%d,\"new_rank\":%d" laddr new_rank
   | Forward_expired { laddr; rank } ->
     Printf.bprintf buf ",\"laddr\":%d,\"rank\":%d" laddr rank
+  | Balance_tick { spread; proposed; moved } ->
+    Printf.bprintf buf ",\"spread\":%s,\"proposed\":%d,\"moved\":%d"
+      (json_float spread) proposed moved
 
 let event_to_json e =
   let buf = Buffer.create 128 in

@@ -74,6 +74,11 @@ type kind =
   | Forward_expired of { laddr : int; rank : int }
       (** a send resolved to a vacated rank whose forwarder TTL had
           passed; the sender got the typed MSG_MOVED error *)
+  | Balance_tick of { spread : float; proposed : int; moved : int }
+      (** the placement policy engine sampled load gauges: [spread] is
+          max-min composite node load, [proposed] how many moves the
+          planner emitted, [moved] how many committed.  Only recorded
+          when the engine is enabled, so legacy traces are unchanged. *)
 
 type event = {
   time : float;  (** simulated seconds *)

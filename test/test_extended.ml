@@ -19,6 +19,20 @@ let status_of cluster pid =
   | Some e -> e.Net.Cluster.proc.Vm.Process.status
   | None -> Alcotest.failf "pid %d lost" pid
 
+(* Explicit test migrations go through the unified move API; unwrap the
+   outcome back to the report shape the assertions read. *)
+let move_running cluster ~pid ~node_id =
+  match
+    Net.Cluster.move cluster
+      (Net.Cluster.Move.request ~reason:Net.Cluster.Move.Explicit
+         (Net.Cluster.Move.Running pid) ~dest:node_id)
+  with
+  | Ok { Net.Cluster.Move.mv_report = Some rep; _ } -> Ok rep
+  | Ok { Net.Cluster.Move.mv_report = None; _ } ->
+    Alcotest.fail "Running-subject move returned no report"
+  | Error e -> Error e
+
+
 (* ------------------------------------------------------------------ *)
 (* Discrete-event scheduling                                           *)
 (* ------------------------------------------------------------------ *)
@@ -124,7 +138,7 @@ let test_transparent_migration () =
   let _ = Net.Cluster.run cluster ~max_rounds:25 in
   check "still running before the move" true
     (status_of cluster pid = Vm.Process.Running);
-  (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  (match move_running cluster ~pid ~node_id:1 with
   | Error e ->
     Alcotest.failf "transparent migration failed: %s"
       (Net.Cluster.migration_error_to_string e)
@@ -157,7 +171,7 @@ let test_transparent_migration_of_ml () =
   let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 fir in
   let _ = Net.Cluster.run cluster ~max_rounds:10 in
-  match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  match move_running cluster ~pid ~node_id:1 with
   | Error e ->
     Alcotest.failf "ML transparent migration failed: %s"
       (Net.Cluster.migration_error_to_string e)
@@ -167,17 +181,17 @@ let test_transparent_migration_of_ml () =
       (status_of cluster rep.Net.Cluster.rep_pid
       = Vm.Process.Exited (3000 * 3001 / 2))
 
-let test_migrate_running_rejections () =
+let test_move_rejections () =
   let cluster = Net.Cluster.create_cfg { Net.Cluster.Config.default with node_count = 2 } in
   let pid = Net.Cluster.spawn cluster ~node_id:0 (worker_with_work 10) in
-  (match Net.Cluster.migrate_running cluster ~pid ~node_id:0 with
+  (match move_running cluster ~pid ~node_id:0 with
   | Error Net.Cluster.Already_there -> ()
   | Error e ->
     Alcotest.failf "expected Already_there, got %s"
       (Net.Cluster.migration_error_to_string e)
   | Ok _ -> Alcotest.fail "migration to the same node accepted");
   Net.Cluster.fail_node cluster 1;
-  (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  (match move_running cluster ~pid ~node_id:1 with
   | Error Net.Cluster.Target_down -> ()
   | Error e ->
     Alcotest.failf "expected Target_down, got %s"
@@ -520,7 +534,7 @@ let suites =
         Alcotest.test_case "works for ML processes too" `Quick
           test_transparent_migration_of_ml;
         Alcotest.test_case "failed moves are invisible" `Quick
-          test_migrate_running_rejections;
+          test_move_rejections;
       ] );
     ( "extended.rank_mailboxes",
       [
@@ -905,7 +919,7 @@ int main() {
   check "sender still speculating" true
     (status_of cluster spid = Vm.Process.Running);
   (* migrate the parked receiver to node2 mid-speculation *)
-  (match Net.Cluster.migrate_running cluster ~pid:rpid ~node_id:2 with
+  (match move_running cluster ~pid:rpid ~node_id:2 with
   | Error e ->
     Alcotest.failf "migration failed: %s"
       (Net.Cluster.migration_error_to_string e)

@@ -30,6 +30,20 @@ let status_of cluster pid =
   | Some e -> e.Net.Cluster.proc.Vm.Process.status
   | None -> Alcotest.failf "pid %d lost" pid
 
+(* Explicit test migrations go through the unified move API; unwrap the
+   outcome back to the report shape the assertions read. *)
+let move_running cluster ~pid ~node_id =
+  match
+    Net.Cluster.move cluster
+      (Net.Cluster.Move.request ~reason:Net.Cluster.Move.Explicit
+         (Net.Cluster.Move.Running pid) ~dest:node_id)
+  with
+  | Ok { Net.Cluster.Move.mv_report = Some rep; _ } -> Ok rep
+  | Ok { Net.Cluster.Move.mv_report = None; _ } ->
+    Alcotest.fail "Running-subject move returned no report"
+  | Error e -> Error e
+
+
 let mk_cluster ?(nodes = 3) ?(seed = 1) ?detector ?(replication = 0) plan =
   Net.Cluster.create_cfg
     { Net.Cluster.Config.default with
@@ -276,7 +290,7 @@ let test_migrate_retry_through_partition () =
   let cluster = mk_cluster ~nodes:2 plan in
   let pid = Net.Cluster.spawn cluster ~node_id:0 summing_worker in
   let _ = Net.Cluster.run cluster ~max_rounds:25 in
-  (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  (match move_running cluster ~pid ~node_id:1 with
   | Error e ->
     Alcotest.failf "migration failed: %s"
       (Net.Cluster.migration_error_to_string e)
@@ -315,7 +329,7 @@ let test_unreachable_resumes_locally () =
   let cluster = mk_cluster ~nodes:2 plan in
   let pid = Net.Cluster.spawn cluster ~node_id:0 summing_worker in
   let _ = Net.Cluster.run cluster ~max_rounds:25 in
-  (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  (match move_running cluster ~pid ~node_id:1 with
   | Error (Net.Cluster.Unreachable { attempts; reason }) ->
     check_int "every attempt in the budget was used"
       Net.Cluster.Config.default_retry.Net.Cluster.Config.max_attempts
@@ -341,7 +355,7 @@ let test_duplicated_hop_is_deduplicated () =
   let cluster = mk_cluster ~nodes:2 plan in
   let pid = Net.Cluster.spawn cluster ~node_id:0 summing_worker in
   let _ = Net.Cluster.run cluster ~max_rounds:25 in
-  (match Net.Cluster.migrate_running cluster ~pid ~node_id:1 with
+  (match move_running cluster ~pid ~node_id:1 with
   | Error e ->
     Alcotest.failf "migration failed: %s"
       (Net.Cluster.migration_error_to_string e)

@@ -15,6 +15,20 @@ open Runtime
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+(* Explicit test migrations go through the unified move API; unwrap the
+   outcome back to the report shape the assertions read. *)
+let move_running cluster ~pid ~node_id =
+  match
+    Net.Cluster.move cluster
+      (Net.Cluster.Move.request ~reason:Net.Cluster.Move.Explicit
+         (Net.Cluster.Move.Running pid) ~dest:node_id)
+  with
+  | Ok { Net.Cluster.Move.mv_report = Some rep; _ } -> Ok rep
+  | Ok { Net.Cluster.Move.mv_report = None; _ } ->
+    Alcotest.fail "Running-subject move returned no report"
+  | Error e -> Error e
+
+
 let env_seed =
   match Sys.getenv_opt "MCC_FAULT_SEED" with
   | Some s -> ( try int_of_string (String.trim s) with Failure _ -> 11)
@@ -239,7 +253,7 @@ let mk_cluster ?(nodes = 3) ?(seed = 1) ?(ttl = 0.25) plan =
 
 let serve_cfg =
   { Mcc.Gridapp.Serve.clients = 4; services = 2; requests_per_client = 40;
-    work_us = 20 }
+    work_us = 20; skew = false }
 
 let lossy_plan seed =
   { Net.Faults.none with
@@ -310,7 +324,7 @@ let test_serve_double_migration_chain () =
       let cluster = mk_cluster ~nodes:4 (lossy_plan seed) in
       let cfg =
         { Mcc.Gridapp.Serve.clients = 3; services = 1;
-          requests_per_client = 50; work_us = 20 }
+          requests_per_client = 50; work_us = 20; skew = false }
       in
       let d = Mcc.Gridapp.Serve.deploy cluster cfg in
       let r =
@@ -393,7 +407,7 @@ int main() {
   in
   let svc_cfg =
     { Mcc.Gridapp.Serve.clients = 1; services = 1; requests_per_client = 2;
-      work_us = 10 }
+      work_us = 10; skew = false }
   in
   let client_pid =
     Net.Cluster.spawn cluster ~rank:0 ~node_id:0 (compile client_src)
@@ -424,7 +438,7 @@ int main() {
   in
   check "client reached the work window" true
     (Net.Cluster.get_object cluster 1 <> None);
-  (match Net.Cluster.migrate_running cluster ~pid:service_pid ~node_id:2 with
+  (match move_running cluster ~pid:service_pid ~node_id:2 with
   | Ok _ -> ()
   | Error e ->
     Alcotest.failf "service migration failed: %s"
