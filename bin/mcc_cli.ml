@@ -119,6 +119,53 @@ let compile_cmd =
       $ arch_arg)
 
 (* ------------------------------------------------------------------ *)
+(* mcc masm                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Static MASM inspection.  [--stats] prints the opcode and
+   adjacent-pair histograms that drive the closure compiler's fusion
+   set: the pairs that dominate real kernels are the ones worth folding
+   into a single closure. *)
+let masm_cmd =
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print static opcode and adjacent-pair histograms instead \
+                of the listing.")
+  in
+  let action file lang_flag no_opt stats arch =
+    try
+      let fir = compile_file ~lang_flag ~optimize:(not no_opt) file in
+      let image = Vm.Codegen.compile ~arch:(arch_of_string arch) fir in
+      if stats then begin
+        let opcodes, pairs = Vm.Masm.stats image in
+        let total = List.fold_left (fun a (_, n) -> a + n) 0 opcodes in
+        Printf.printf "%d instructions\n\nopcode histogram:\n" total;
+        List.iter
+          (fun (name, n) ->
+            Printf.printf "  %-16s %8d  %5.1f%%\n" name n
+              (100.0 *. float_of_int n /. float_of_int (max 1 total)))
+          opcodes;
+        Printf.printf "\nadjacent-pair histogram (top 20):\n";
+        List.iteri
+          (fun i (pair, n) ->
+            if i < 20 then Printf.printf "  %-28s %8d\n" pair n)
+          pairs
+      end
+      else print_string (Vm.Masm.image_to_string image);
+      0
+    with Failure m ->
+      Printf.eprintf "mcc: %s\n" m;
+      1
+  in
+  Cmd.v
+    (Cmd.info "masm"
+       ~doc:"Dump generated MASM, or its static opcode/pair histograms.")
+    Term.(
+      const action $ file_arg $ lang_arg $ no_opt_arg $ stats_arg $ arch_arg)
+
+(* ------------------------------------------------------------------ *)
 (* mcc run                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -251,7 +298,7 @@ let resume_cmd =
     | Error m ->
       Printf.eprintf "mcc: image rejected: %s\n" m;
       1
-    | Ok (proc, masm, _linked, costs) ->
+    | Ok (proc, masm, _compiled, costs) ->
       Printf.eprintf "mcc: image accepted (%d bytes%s)\n"
         costs.Migrate.Pack.u_bytes
         (if costs.Migrate.Pack.u_recompiled then ", recompiled"
@@ -783,4 +830,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; run_cmd; resume_cmd; serve_cmd; grid_cmd ]))
+          [ compile_cmd; masm_cmd; run_cmd; resume_cmd; serve_cmd; grid_cmd ]))

@@ -112,8 +112,8 @@ let resume ?(arch = Vm.Arch.cisc32) ?(trusted = false) ?seed bytes =
 let resume_and_run ?arch ?trusted ?seed ?(extern = Vm.Extern.base) bytes =
   match resume ?arch ?trusted ?seed bytes with
   | Error m -> Error m
-  | Ok (proc, masm, linked, _costs) ->
-    let emu = Vm.Emulator.create ~linked masm proc in
+  | Ok (proc, masm, compiled, _costs) ->
+    let emu = Vm.Emulator.create ~compiled masm proc in
     let status = Vm.Emulator.run ~extern emu in
     Ok
       {

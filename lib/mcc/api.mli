@@ -63,7 +63,8 @@ val image_bytes : Vm.Process.t -> string
 
 val resume :
   ?arch:Vm.Arch.t -> ?trusted:bool -> ?seed:int -> string ->
-  ( Vm.Process.t * Vm.Masm.image * Vm.Link.image * Migrate.Pack.unpack_costs,
+  ( Vm.Process.t * Vm.Masm.image * Vm.Compile.image
+    * Migrate.Pack.unpack_costs,
     string )
   result
 

@@ -44,6 +44,10 @@ type entry = {
       (* pre-resolved form of [e_masm], built at admission or memoized on
          first use ([linked_of]); linking is a pure function of the MASM
          image, so sharing it across hits is safe *)
+  mutable e_compiled : Compile.image option;
+      (* closure-compiled form of [e_linked], same memoization contract
+         ([compiled_of]); the compiled image is process-independent, so
+         a warm migration hop resumes straight into compiled code *)
   e_instrs : int;
   mutable e_tick : int; (* last-use stamp (LRU) *)
 }
@@ -172,7 +176,20 @@ let linked_of (e : entry) =
       e.e_linked <- Some l;
       Some l)
 
-let add t ?linked ~digest ~arch ~trusted ~program ~verdict ~masm () =
+(* The closure-compiled image for a positive entry, compiled at most
+   once over the (also memoized) linked form. *)
+let compiled_of (e : entry) =
+  match e.e_compiled with
+  | Some _ as c -> c
+  | None -> (
+    match linked_of e with
+    | None -> None
+    | Some linked ->
+      let c = Compile.compile linked in
+      e.e_compiled <- Some c;
+      Some c)
+
+let add t ?linked ?compiled ~digest ~arch ~trusted ~program ~verdict ~masm () =
   if enabled t then begin
     let key = digest, arch, mode_of_trusted trusted in
     let instrs =
@@ -185,7 +202,13 @@ let add t ?linked ~digest ~arch ~trusted ~program ~verdict ~masm () =
         e_program = program;
         e_verdict = verdict;
         e_masm = masm;
-        e_linked = linked;
+        (* a supplied compiled image embeds its linked form; keep the
+           two fields consistent so hits share one resolution *)
+        e_linked =
+          (match compiled with
+          | Some c -> Some c.Compile.c_linked
+          | None -> linked);
+        e_compiled = compiled;
         e_instrs = instrs;
         e_tick = t.tick;
       };

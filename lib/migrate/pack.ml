@@ -212,7 +212,7 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
           ~trusted
       | None -> None
     in
-    let program, masm, linked, recompiled, cache_hit, compile_cycles =
+    let program, masm, compiled, recompiled, cache_hit, compile_cycles =
       match cached with
       | Some { Codecache.e_verdict = Error msg; _ } ->
         (* negative entry: this exact payload already failed the
@@ -224,15 +224,17 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
           | Some m -> m
           | None -> assert false (* Ok verdict always carries code *)
         in
-        let linked =
-          match Codecache.linked_of e with
-          | Some l -> l
+        let compiled =
+          match Codecache.compiled_of e with
+          | Some c -> c
           | None -> assert false (* Ok verdict always carries code *)
         in
-        (* typecheck + codegen elided; the stub must still be linked *)
+        (* typecheck + codegen elided; the stub must still be linked.
+           [compiled_of] memoizes, so a warm hop resumes straight into
+           the cached closure-compiled image without re-compiling. *)
         ( e.Codecache.e_program,
           masm,
-          linked,
+          compiled,
           false,
           true,
           Codegen.simulated_link_cycles masm )
@@ -279,16 +281,17 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
               Codegen.simulated_compile_cycles program
               + Codegen.simulated_link_cycles masm )
         in
-        (* pre-resolve once, here, so the returned engine image and any
-           future cache hit share the same linked form *)
-        let linked = Link.link masm in
+        (* pre-resolve and closure-compile once, here, so the returned
+           engine image and any future cache hit share the same
+           translated forms *)
+        let compiled = Compile.compile_masm masm in
         (match cache with
         | Some c ->
-          Codecache.add c ~linked ~digest:image.Wire.i_digest
+          Codecache.add c ~compiled ~digest:image.Wire.i_digest
             ~arch:arch.Arch.name ~trusted ~program ~verdict:(Ok ())
             ~masm:(Some masm) ()
         | None -> ());
-        program, masm, linked, recompiled, false, compile_cycles
+        program, masm, compiled, recompiled, false, compile_cycles
     in
     (* the function table must be exactly the program's functions, in the
        canonical order (index order is load-bearing for Vfun values); the
@@ -336,7 +339,7 @@ let unpack_image ?(pid = 0) ?(seed = 42) ?(trusted = false)
     Ok
       ( proc,
         masm,
-        linked,
+        compiled,
         {
           u_bytes = bytes_len;
           u_verified = verified;

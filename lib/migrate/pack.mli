@@ -69,7 +69,7 @@ val unpack :
   ?extern_signatures:Fir.Typecheck.extern_lookup ->
   ?cache:Codecache.t ->
   arch:Arch.t -> string ->
-  (Process.t * Masm.image * Link.image * unpack_costs, string) result
+  (Process.t * Masm.image * Compile.image * unpack_costs, string) result
 (** Verify and reconstruct a process from image bytes.  [trusted] skips
     verification and enables the binary fast path;
     [extern_signatures] extends the strict typecheck with the host
@@ -78,17 +78,19 @@ val unpack :
     recomputed the digest over the received bytes and after the
     per-image structural heap verification; a hit elides FIR decode,
     typecheck and codegen (charging link cycles only), a miss runs the
-    full pipeline and populates the cache.  The returned {!Link.image}
-    is the pre-resolved form of the returned code — on a cache hit it is
+    full pipeline and populates the cache.  The returned
+    {!Compile.image} is the closure-compiled form of the returned code
+    (embedding its pre-resolved {!Link.image}) — on a cache hit it is
     the entry's memoized one, so repeated migrations of the same program
-    never re-link. *)
+    never re-link or re-compile: warm hops resume straight into compiled
+    code. *)
 
 val unpack_image :
   ?pid:int -> ?seed:int -> ?trusted:bool ->
   ?extern_signatures:Fir.Typecheck.extern_lookup ->
   ?cache:Codecache.t ->
   arch:Arch.t -> bytes_len:int -> Wire.image ->
-  (Process.t * Masm.image * Link.image * unpack_costs, string) result
+  (Process.t * Masm.image * Compile.image * unpack_costs, string) result
 (** As {!unpack}, from an already-decoded image — the shared tail of the
     full path and the delta path (where the image was reconstructed from
     a retained baseline).  [bytes_len] is the on-the-wire size charged to

@@ -16,7 +16,9 @@ type request_outcome = {
   o_costs : Pack.unpack_costs;
   o_process : Process.t;
   o_masm : Masm.image;
-  o_linked : Link.image; (* pre-resolved [o_masm], ready for an engine *)
+  o_compiled : Compile.image;
+      (* closure-compiled [o_masm] (embedding the pre-resolved linked
+         form), ready for an engine *)
 }
 
 type stats = {
@@ -229,7 +231,7 @@ let finish ?seed t ~bytes image =
       ~extern_signatures:t.extern_signatures ?cache:t.cache ~arch:t.arch
       ~bytes_len:(String.length bytes) image
   with
-  | Ok (proc, masm, linked, costs) ->
+  | Ok (proc, masm, compiled, costs) ->
     t.next_pid <- t.next_pid + 1;
     Obs.Metrics.incr t.c_accepted;
     if costs.Pack.u_recompiled then Obs.Metrics.incr t.c_recompilations;
@@ -242,7 +244,7 @@ let finish ?seed t ~bytes image =
         o_costs = costs;
         o_process = proc;
         o_masm = masm;
-        o_linked = linked;
+        o_compiled = compiled;
       }
   | Error msg ->
     Obs.Metrics.incr t.c_rejected;

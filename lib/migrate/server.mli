@@ -10,9 +10,11 @@ type request_outcome = {
   o_costs : Pack.unpack_costs;
   o_process : Process.t;
   o_masm : Masm.image;
-  o_linked : Link.image;
-      (** pre-resolved form of [o_masm] (cache-shared on a hit) — hand it
-          to {!Emulator.create} so resumption never re-links *)
+  o_compiled : Compile.image;
+      (** closure-compiled form of [o_masm], embedding the pre-resolved
+          linked form (cache-shared on a hit) — hand it to
+          {!Emulator.create} so resumption never re-links or
+          re-compiles *)
 }
 
 type stats = {

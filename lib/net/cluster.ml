@@ -1855,7 +1855,7 @@ let install_successor t (entry : entry) (src : node) (target : node) packed
       proc = new_proc;
       engine =
         Emu_engine
-          (Emulator.create ~linked:outcome.Migrate.Server.o_linked
+          (Emulator.create ~compiled:outcome.Migrate.Server.o_compiled
              outcome.Migrate.Server.o_masm new_proc);
       node_id = target.node_id;
       mailbox = new_mailbox;
@@ -2318,7 +2318,7 @@ let do_resurrect ?rank ?(seed = 11) t ~node_id ~path =
           ~bytes_len image
       with
       | Error msg -> failed msg
-      | Ok (proc0, masm, linked, costs) ->
+      | Ok (proc0, masm, compiled, costs) ->
         (* bump the rank's incarnation epoch FIRST, so the old holder (a
            zombie under false suspicion) is stale before it could ever be
            scheduled again — resurrection never yields two live copies *)
@@ -2333,7 +2333,7 @@ let do_resurrect ?rank ?(seed = 11) t ~node_id ~path =
         in
         let outcome =
           { Migrate.Server.o_pid = 0; o_costs = costs; o_process = proc0;
-            o_masm = masm; o_linked = linked }
+            o_masm = masm; o_compiled = compiled }
         in
         let pid = t.next_pid in
         t.next_pid <- t.next_pid + 1;
@@ -2347,7 +2347,7 @@ let do_resurrect ?rank ?(seed = 11) t ~node_id ~path =
             proc;
             engine =
               Emu_engine
-                (Emulator.create ~linked:outcome.Migrate.Server.o_linked
+                (Emulator.create ~compiled:outcome.Migrate.Server.o_compiled
                    outcome.Migrate.Server.o_masm proc);
             node_id;
             mailbox = mailbox_for t rank;

@@ -75,6 +75,12 @@ type t = {
   mutable minor_enabled : bool;
   dirty : (int, (int, unit) Hashtbl.t) Hashtbl.t;
       (* index -> dirty pages since the last [clear_dirty] *)
+  (* one-entry cache over [mark_dirty_cell]: consecutive writes land
+     overwhelmingly on the page just marked, and marking is idempotent,
+     so remembering the last (index, page) pair turns the common case
+     into two integer compares instead of two hashtable operations *)
+  mutable last_dirty_idx : int;
+  mutable last_dirty_page : int;
   stats : stats;
 }
 
@@ -88,6 +94,8 @@ let create ?(initial_cells = 4096) () =
     before_write = None;
     minor_enabled = true;
     dirty = Hashtbl.create 64;
+    last_dirty_idx = -1;
+    last_dirty_page = -1;
     stats =
       {
         blocks_allocated = 0;
@@ -115,7 +123,12 @@ let dirty_page_set t idx =
     pages
 
 let mark_dirty_cell t idx off =
-  Hashtbl.replace (dirty_page_set t idx) (off / dirty_page_cells) ()
+  let page = off / dirty_page_cells in
+  if idx <> t.last_dirty_idx || page <> t.last_dirty_page then begin
+    Hashtbl.replace (dirty_page_set t idx) page ();
+    t.last_dirty_idx <- idx;
+    t.last_dirty_page <- page
+  end
 
 let mark_dirty_block t idx ~size =
   let pages = dirty_page_set t idx in
@@ -123,8 +136,17 @@ let mark_dirty_block t idx ~size =
     Hashtbl.replace pages p ()
   done
 
-let drop_dirty t idx = Hashtbl.remove t.dirty idx
-let clear_dirty t = Hashtbl.reset t.dirty
+let drop_dirty t idx =
+  Hashtbl.remove t.dirty idx;
+  if t.last_dirty_idx = idx then begin
+    t.last_dirty_idx <- -1;
+    t.last_dirty_page <- -1
+  end
+
+let clear_dirty t =
+  Hashtbl.reset t.dirty;
+  t.last_dirty_idx <- -1;
+  t.last_dirty_page <- -1
 let is_dirty t idx page =
   match Hashtbl.find_opt t.dirty idx with
   | Some pages -> Hashtbl.mem pages page
@@ -383,6 +405,8 @@ let restore ~cells ~ptable_snapshot =
     (* a restored heap IS the image it was restored from: nothing is
        dirty relative to that baseline *)
     dirty = Hashtbl.create 64;
+    last_dirty_idx = -1;
+    last_dirty_page = -1;
     stats =
       {
         blocks_allocated = 0;

@@ -45,6 +45,9 @@ type t = {
   mutable minor_enabled : bool;
   dirty : (int, (int, unit) Hashtbl.t) Hashtbl.t;
       (** index -> dirty pages since the last {!clear_dirty} *)
+  mutable last_dirty_idx : int;
+      (** one-entry mark cache: last block index marked dirty *)
+  mutable last_dirty_page : int;  (** page paired with [last_dirty_idx] *)
   stats : stats;
 }
 

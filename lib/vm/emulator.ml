@@ -28,13 +28,19 @@
    - [Baseline] is the pre-optimization interpreter loop, kept
      executable so the V1 bench can measure before/after from the same
      build and the equivalence tests can assert the two modes produce
-     identical results AND identical cycle counts. *)
+     identical results AND identical cycle counts.
+
+   - [Compiled] (the default) executes the closure-compiled image (see
+     Compile): one partial-evaluated closure per fused instruction
+     segment, dispatch loop [st.pc <- code.(st.pc) st].  Same flush
+     discipline, same accounting, same traps — the three-way equivalence
+     suite holds all three modes to identical observable behaviour. *)
 
 open Runtime
 
-exception Emulator_error of string
+exception Emulator_error = Compile.Emulator_error
 
-type mode = Fast | Baseline
+type mode = Fast | Baseline | Compiled
 
 type frame = {
   mutable regs : Value.t array;
@@ -44,6 +50,8 @@ type frame = {
 type t = {
   image : Masm.image;
   linked : Link.image;
+  compiled : Compile.image option;  (* Some exactly when mode = Compiled *)
+  cstate : Compile.state;
   proc : Process.t;
   frame : frame;
   mode : mode;
@@ -65,13 +73,29 @@ type t = {
   mutable instrs : int;
 }
 
-let create ?(mode = Fast) ?linked image proc =
+let create ?(mode = Compiled) ?linked ?compiled image proc =
   if not (String.equal image.Masm.im_arch proc.Process.arch.Arch.name) then
     raise
       (Emulator_error
          (Printf.sprintf "image compiled for %s, process runs on %s"
             image.Masm.im_arch proc.Process.arch.Arch.name));
-  let linked = match linked with Some l -> l | None -> Link.link image in
+  (* a supplied compiled image wins (its embedded linked image is the
+     one its closures index into); otherwise compile on demand exactly
+     when the mode needs it *)
+  let compiled =
+    match compiled, mode with
+    | (Some _ as c), _ -> c
+    | None, Compiled ->
+      let linked = match linked with Some l -> l | None -> Link.link image in
+      Some (Compile.compile linked)
+    | None, (Fast | Baseline) -> None
+  in
+  let linked =
+    match compiled, linked with
+    | Some c, _ -> c.Compile.c_linked
+    | None, Some l -> l
+    | None, None -> Link.link image
+  in
   let fun_values =
     Array.map
       (fun (fn : Link.lfn) ->
@@ -82,15 +106,37 @@ let create ?(mode = Fast) ?linked image proc =
         | None -> None)
       linked.Link.l_fns
   in
+  let frame =
+    {
+      regs = Array.make proc.Process.arch.Arch.registers Value.Vunit;
+      spills = Array.make (max 1 linked.Link.l_max_spills) Value.Vunit;
+    }
+  in
+  let tmp_slots =
+    match compiled with Some c -> c.Compile.c_tmps | None -> 1
+  in
   {
     image;
     linked;
-    proc;
-    frame =
+    compiled;
+    (* the compiled state shares the frame's arrays: modes never mix
+       within one emulator, and only Baseline re-allocates spills *)
+    cstate =
       {
-        regs = Array.make proc.Process.arch.Arch.registers Value.Vunit;
-        spills = Array.make (max 1 linked.Link.l_max_spills) Value.Vunit;
+        Compile.regs = frame.regs;
+        spills = frame.spills;
+        itmps = Array.make tmp_slots 0;
+        ftmps = Array.make tmp_slots 0.0;
+        proc;
+        heap = proc.Process.heap;
+        fun_values;
+        extern = Extern.base;
+        acc = 0;
+        nins = 0;
+        pc = 0;
       };
+    proc;
+    frame;
     mode;
     fun_values;
     last_name = "";
@@ -268,16 +314,17 @@ let exec_baseline t extern nins =
 (* Resolve a continuation name to its linked function.  The hot case —
    a static tail call that installed the image's own (physically
    shared) name — is one pointer comparison. *)
-let resolve t fname =
-  if fname == t.last_name && t.last_idx >= 0 then
-    t.linked.Link.l_fns.(t.last_idx)
+let resolve_idx t fname =
+  if fname == t.last_name && t.last_idx >= 0 then t.last_idx
   else
     match Hashtbl.find_opt t.linked.Link.l_index fname with
     | Some i ->
       t.last_name <- fname;
       t.last_idx <- i;
-      t.linked.Link.l_fns.(i)
+      i
     | None -> raise (Emulator_error ("no compiled code for " ^ fname))
+
+let resolve t fname = t.linked.Link.l_fns.(resolve_idx t fname)
 
 (* Fetch a resolved operand; the spill cost is in the static cost
    table, so this is charge-free. *)
@@ -480,6 +527,72 @@ let exec_fast t extern acc nins =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Compiled mode: the closure-threaded loop                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute one basic block of the closure-compiled image.  Block entry
+   (resolve, arity check, frame clear, parameter install, entry cost)
+   mirrors [exec_fast]; the instruction loop is pure dispatch.  The
+   [unsafe_get] is safe by construction: Compile only ever emits next
+   pcs inside [0, len] (out-of-range static targets are remapped to the
+   raising sentinel at [len]), and negative returns exit the loop. *)
+let exec_compiled t (cimg : Compile.image) extern acc nins =
+  let proc = t.proc in
+  let fname, args = proc.Process.cont in
+  let idx = resolve_idx t fname in
+  let fn = t.linked.Link.l_fns.(idx) in
+  let params = fn.Link.l_params in
+  let nparams = Array.length params in
+  let rec count_is l n =
+    match l with
+    | [] -> n = 0
+    | _ :: rest -> n > 0 && count_is rest (n - 1)
+  in
+  if not (count_is args nparams) then
+    raise (Emulator_error (Printf.sprintf "arity mismatch calling %s" fname));
+  let st = t.cstate in
+  let regs = st.Compile.regs and spills = st.Compile.spills in
+  let cfn = cimg.Compile.c_fns.(idx) in
+  (* definite-assignment analysis shrank the Fast-mode window fills to
+     the slots that may actually be read before being written *)
+  let clr = cfn.Compile.cf_clear_regs in
+  for i = 0 to Array.length clr - 1 do
+    regs.(Array.unsafe_get clr i) <- Value.Vunit
+  done;
+  let cls = cfn.Compile.cf_clear_spills in
+  for i = 0 to Array.length cls - 1 do
+    spills.(Array.unsafe_get cls i) <- Value.Vunit
+  done;
+  let rec install i = function
+    | [] -> ()
+    | v :: rest ->
+      (match params.(i) with
+      | Masm.Reg r -> regs.(r) <- v
+      | Masm.Spill s -> spills.(s) <- v);
+      install (i + 1) rest
+  in
+  install 0 args;
+  let code = cfn.Compile.cf_ops in
+  if st.Compile.extern != extern then st.Compile.extern <- extern;
+  st.Compile.acc <- fn.Link.l_entry_cost;
+  st.Compile.nins <- 0;
+  st.Compile.pc <- 0;
+  (* copy the counters back into the caller's refs on EVERY exit so the
+     step handler's flush and meter see the exact partial-block state *)
+  match
+    while st.Compile.pc >= 0 do
+      st.Compile.pc <- (Array.unsafe_get code st.Compile.pc) st
+    done
+  with
+  | () ->
+    acc := !acc + st.Compile.acc;
+    nins := !nins + st.Compile.nins
+  | exception e ->
+    acc := !acc + st.Compile.acc;
+    nins := !nins + st.Compile.nins;
+    raise e
+
+(* ------------------------------------------------------------------ *)
 (* Step                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -493,6 +606,10 @@ let step ?(extern = Extern.base) t =
     let nins = ref 0 in
     match
       match t.mode with
+      | Compiled -> (
+        match t.compiled with
+        | Some c -> exec_compiled t c extern acc nins
+        | None -> assert false (* create establishes the invariant *))
       | Fast -> exec_fast t extern acc nins
       | Baseline -> exec_baseline t extern nins
     with

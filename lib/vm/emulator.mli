@@ -7,18 +7,30 @@
 
 exception Emulator_error of string
 
-(** [Fast] executes the pre-resolved image (see {!Link}) — the default.
+(** [Compiled] (the default) executes the closure-compiled image (see
+    {!Compile}): one partial-evaluated closure per fused instruction
+    segment, dispatch loop [st.pc <- code.(st.pc) st].
+    [Fast] executes the pre-resolved image (see {!Link}).
     [Baseline] keeps the pre-optimization per-instruction loop
-    executable, so the V1 bench measures before/after from one build
-    and the equivalence tests can assert both modes produce identical
-    results and identical cycle counts. *)
-type mode = Fast | Baseline
+    executable, so the V1 bench measures the whole ladder from one
+    build and the equivalence tests can assert all three modes produce
+    identical results and identical cycle counts. *)
+type mode = Fast | Baseline | Compiled
 
 type t
 
-val create : ?mode:mode -> ?linked:Link.image -> Masm.image -> Process.t -> t
-(** [linked] shares a pre-resolved image (e.g. from the recompilation
-    cache) instead of linking [image] here.
+val create :
+  ?mode:mode ->
+  ?linked:Link.image ->
+  ?compiled:Compile.image ->
+  Masm.image ->
+  Process.t ->
+  t
+(** [linked] (resp. [compiled]) shares a pre-resolved (resp.
+    closure-compiled) image — e.g. from the recompilation cache —
+    instead of translating [image] here.  A supplied [compiled] image
+    also provides the linked form it embeds; [Compiled] mode compiles on
+    demand when none is given.
     @raise Emulator_error if the image's architecture does not match the
     process's (cross-architecture execution requires recompilation). *)
 

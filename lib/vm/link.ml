@@ -113,7 +113,9 @@ let switch_arrays cases =
         end)
       cases
   in
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) uniq in
+  (* Int.compare, not polymorphic compare: the keys are ints, and the
+     polymorphic path costs a C call per comparison *)
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) uniq in
   ( Array.of_list (List.map fst sorted),
     Array.of_list (List.map snd sorted) )
 

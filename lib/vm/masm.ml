@@ -148,6 +148,60 @@ let pp_image fmt image =
 let image_to_string image = Format.asprintf "%a" pp_image image
 
 (* ------------------------------------------------------------------ *)
+(* Static opcode / adjacent-pair histograms                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The evidence behind Compile's superinstruction set: which opcodes —
+   and which straight-line pairs — actually dominate a compiled image.
+   Binops carry their operator (a compare feeding a jz is the fusion
+   candidate, an add is not), mirroring the pretty-printer mnemonics. *)
+let opcode_name = function
+  | Mov _ -> "mov"
+  | Cast _ -> "cast"
+  | Unop (o, _, _) -> "un" ^ Fir.Pp.unop_to_string o
+  | Binop (o, _, _, _) -> "op" ^ Fir.Pp.binop_to_string o
+  | Alloc_tuple _ -> "tuple"
+  | Alloc_array _ -> "array"
+  | Alloc_string _ -> "string"
+  | Load _ -> "load"
+  | Store _ -> "store"
+  | Ext _ -> "ext"
+  | Jmp _ -> "jmp"
+  | Jz _ -> "jz"
+  | Switch _ -> "switch"
+  | Tail_call _ -> "tail"
+  | Exit _ -> "exit"
+  | Migrate _ -> "migrate"
+  | Speculate _ -> "speculate"
+  | Commit _ -> "commit"
+  | Rollback _ -> "rollback"
+
+let stats image =
+  let ops = Hashtbl.create 64 and pairs = Hashtbl.create 64 in
+  let bump tbl k =
+    Hashtbl.replace tbl k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  String_map.iter
+    (fun _ f ->
+      let code = f.fn_code in
+      Array.iteri
+        (fun i instr ->
+          let n = opcode_name instr in
+          bump ops n;
+          if i + 1 < Array.length code then
+            bump pairs (n ^ " ; " ^ opcode_name code.(i + 1)))
+        code)
+    image.im_fns;
+  let sorted tbl =
+    List.sort
+      (fun (ka, a) (kb, b) ->
+        if a <> b then Int.compare b a else String.compare ka kb)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  sorted ops, sorted pairs
+
+(* ------------------------------------------------------------------ *)
 (* Binary codec: the "binary migration" payload                        *)
 (* ------------------------------------------------------------------ *)
 

@@ -73,6 +73,18 @@ val pp_fn : Format.formatter -> fn -> unit
 val pp_image : Format.formatter -> image -> unit
 val image_to_string : image -> string
 
+(** {2 Static histograms (the [mcc masm --stats] dump)} *)
+
+val opcode_name : instr -> string
+(** Mnemonic used by the histograms; binops carry their operator
+    (e.g. ["op<"]) so compare-and-branch pairs are visible. *)
+
+val stats : image -> (string * int) list * (string * int) list
+(** [(opcodes, pairs)]: occurrence counts of every opcode and of every
+    adjacent instruction pair within a function body, sorted by
+    descending count.  The pair histogram is the evidence {!Compile}'s
+    superinstruction set is chosen from. *)
+
 (** {2 Binary codec (the binary-migration payload)} *)
 
 exception Corrupt of string

@@ -75,12 +75,16 @@ let test_cache_hit () =
   let n = 40 in
   let bytes = packed_bytes n in
   let cache = Migrate.Codecache.create ~capacity:8 () in
-  let _, _, _, cold = unpack ~cache bytes in
+  let _, _, compiled_cold, cold = unpack ~cache bytes in
   check "first delivery misses" false cold.Migrate.Pack.u_cache_hit;
   check "first delivery compiles" true cold.Migrate.Pack.u_recompiled;
-  let proc, masm, _, warm = unpack ~cache bytes in
+  let proc, masm, compiled_warm, warm = unpack ~cache bytes in
   check "second delivery hits" true warm.Migrate.Pack.u_cache_hit;
   check "hit does not recompile" false warm.Migrate.Pack.u_recompiled;
+  (* the warm hop resumes into the SAME closure-compiled image — the
+     closure arrays are memoized, not rebuilt per delivery *)
+  check "hit reuses the cached compiled image" true
+    (compiled_warm == compiled_cold);
   check "hit still verified" true warm.Migrate.Pack.u_verified;
   check "hit charges strictly fewer cycles" true
     (warm.Migrate.Pack.u_compile_cycles < cold.Migrate.Pack.u_compile_cycles);

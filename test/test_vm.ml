@@ -415,55 +415,123 @@ let test_emulator_traps_match () =
           ]);
     ]
 
-(* The Fast (pre-resolved) mode must be OBSERVABLY identical to the
-   Baseline per-instruction loop it replaced: same status, same output,
+(* The Fast (pre-resolved) and Compiled (closure-compiled) modes must be
+   OBSERVABLY identical to the Baseline per-instruction loop: same
+   status (including trap messages and migration targets), same output,
    same retired-instruction count, and — because externs read cycles
    mid-block — the same final cycle count, on every program and both
    architectures. *)
+
+(* Programs that exercise the compiled tier's fusion boundaries: an
+   observation point (extern / migrate / speculate) landing in the
+   middle of what would otherwise be a straight-line run, a switch whose
+   targets land on (the start of) fused segments, and traps raised from
+   deep inside a fused run with cycle/instruction checkpoints pending. *)
+let boundary_programs =
+  Builder.
+    [
+      ( "extern_mid_block",
+        prog
+          [
+            func "main" [] (fun _ ->
+                add (int 40) (int 2) (fun a ->
+                    mul a a (fun b ->
+                        ext Types.Tunit "print_int" [ b ] (fun _ ->
+                            sub b (int 1700) (fun c ->
+                                rem c (int 97) (fun d -> exit_ d))))));
+          ] );
+      ( "migrate_mid_block",
+        prog
+          [
+            func "after" [ "x", Types.Tint ] (fun args ->
+                match args with
+                | [ x ] -> add x (int 1) (fun r -> exit_ r)
+                | _ -> assert false);
+            func "main" [] (fun _ ->
+                add (int 2) (int 3) (fun a ->
+                    mul a a (fun b ->
+                        string "mcc://elsewhere" (fun dst ->
+                            migrate ~label:1 dst (fn "after") [ b ]))));
+          ] );
+      ( "switch_into_segment",
+        prog
+          [
+            func "loop"
+              [ "i", Types.Tint; "acc", Types.Tint ]
+              (fun args ->
+                match args with
+                | [ i; acc ] ->
+                  lt i (int 30) (fun c ->
+                      if_ c
+                        (rem i (int 3) (fun r ->
+                             let step d =
+                               add acc (int d) (fun a ->
+                                   add i (int 1) (fun j ->
+                                       callf "loop" [ j; a ]))
+                             in
+                             switch r [ 0, step 1; 1, step 10 ] (step 100)))
+                        (exit_ acc))
+                | _ -> assert false);
+            func "main" [] (fun _ -> callf "loop" [ int 0; int 0 ]);
+          ] );
+      ( "trap_mid_run",
+        prog
+          [
+            func "main" [] (fun _ ->
+                add (int 7) (int 35) (fun a ->
+                    sub a (int 42) (fun z ->
+                        div a z (fun q -> exit_ q))));
+          ] );
+      ( "trap_oob_store",
+        prog
+          [
+            func "main" [] (fun _ ->
+                array Types.Tint ~size:(int 2) ~init:(int 0) (fun arr ->
+                    add (int 3) (int 2) (fun i ->
+                        store arr i (int 1) (exit_ (int 0)))));
+          ] );
+    ]
+
 let test_emulator_modes_equivalent () =
-  List.iter
-    (fun (name, p, _) ->
-      List.iter
-        (fun arch ->
-          let run mode =
-            let image = Vm.Codegen.compile ~arch p in
-            let proc = Vm.Process.create ~seed:5 ~arch p in
-            let emu = Vm.Emulator.create ~mode image proc in
-            let status = Vm.Emulator.run emu in
-            status, proc, Vm.Emulator.instructions emu
-          in
-          let label what =
-            Printf.sprintf "%s on %s: %s" name arch.Vm.Arch.name what
-          in
-          let st_b, proc_b, instrs_b = run Vm.Emulator.Baseline in
-          let st_f, proc_f, instrs_f = run Vm.Emulator.Fast in
-          check_int (label "exit") (exit_code st_b) (exit_code st_f);
-          check_str (label "output")
-            (Vm.Process.output proc_b)
-            (Vm.Process.output proc_f);
-          check_int (label "instructions") instrs_b instrs_f;
-          check_int (label "steps") proc_b.Vm.Process.steps
-            proc_f.Vm.Process.steps;
-          check_int (label "cycles") proc_b.Vm.Process.cycles
-            proc_f.Vm.Process.cycles)
-        Vm.Arch.all)
-    all_programs;
-  (* trapping programs agree too (and charge the trap identically) *)
-  let trapper =
-    Builder.(
-      prog
-        [ func "main" [] (fun _ -> div (int 1) (int 0) (fun x -> exit_ x)) ])
+  let status_repr = function
+    | Vm.Process.Exited n -> Printf.sprintf "exited %d" n
+    | Vm.Process.Trapped m -> "trapped: " ^ m
+    | Vm.Process.Migrating r -> "migrating to " ^ r.Vm.Process.m_target
+    | Vm.Process.Running -> "running"
   in
-  let run mode =
-    let image = Vm.Codegen.compile trapper in
-    let proc = Vm.Process.create trapper in
-    let emu = Vm.Emulator.create ~mode image proc in
-    Vm.Emulator.run emu, proc
+  let check_program name p =
+    List.iter
+      (fun arch ->
+        let run mode =
+          let image = Vm.Codegen.compile ~arch p in
+          let proc = Vm.Process.create ~seed:5 ~arch p in
+          let emu = Vm.Emulator.create ~mode image proc in
+          let status = Vm.Emulator.run emu in
+          status, proc, Vm.Emulator.instructions emu
+        in
+        let st_b, proc_b, instrs_b = run Vm.Emulator.Baseline in
+        List.iter
+          (fun (mname, mode) ->
+            let label what =
+              Printf.sprintf "%s on %s (%s): %s" name arch.Vm.Arch.name
+                mname what
+            in
+            let st_m, proc_m, instrs_m = run mode in
+            check_str (label "status") (status_repr st_b) (status_repr st_m);
+            check_str (label "output")
+              (Vm.Process.output proc_b)
+              (Vm.Process.output proc_m);
+            check_int (label "instructions") instrs_b instrs_m;
+            check_int (label "steps") proc_b.Vm.Process.steps
+              proc_m.Vm.Process.steps;
+            check_int (label "cycles") proc_b.Vm.Process.cycles
+              proc_m.Vm.Process.cycles)
+          [ "fast", Vm.Emulator.Fast; "compiled", Vm.Emulator.Compiled ])
+      Vm.Arch.all
   in
-  match run Vm.Emulator.Baseline, run Vm.Emulator.Fast with
-  | (Vm.Process.Trapped m_b, _), (Vm.Process.Trapped m_f, _) ->
-    check_str "trap message" m_b m_f
-  | _ -> Alcotest.fail "modes disagree on trapping"
+  List.iter (fun (name, p, _) -> check_program name p) all_programs;
+  check_program "hello_print" hello_print;
+  List.iter (fun (name, p) -> check_program name p) boundary_programs
 
 let test_emulator_migration () =
   let image = Vm.Codegen.compile migrator in
