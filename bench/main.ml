@@ -2028,7 +2028,8 @@ let v1 () =
 
 let t1_cfg =
   { Mcc.Gridapp.Serve.clients = 8; services = 4;
-    requests_per_client = 12_500; work_us = 5; skew = false }
+    requests_per_client = 12_500; work_us = 5; skew = false;
+    speculative = false }
 
 let t1_seeds = [ 11; 23 ]
 
@@ -2173,7 +2174,8 @@ let t1_cmd () = ignore (t1 ())
 
 let t2_cfg =
   { Mcc.Gridapp.Serve.clients = 16; services = 6;
-    requests_per_client = 600; work_us = 400; skew = true }
+    requests_per_client = 600; work_us = 400; skew = true;
+    speculative = false }
 
 let t2_nodes = 64
 let t2_seeds = [ 11; 23 ]
@@ -2330,6 +2332,228 @@ let t2 () =
 
 let t2_cmd () = ignore (t2 ())
 
+(* ================================================================== *)
+(* F5: speculative exactly-once serving under fault plans              *)
+(* ================================================================== *)
+
+(* The distributed-speculation meter.  The T1 serving workload, but the
+   "on" rows run the handlers SPECULATIVELY: the service replies before
+   its dedup state is durable and commits through the epoch-fenced 2PC
+   (dspec_open / dspec_commit), with services re-homed mid-region, under
+   loss + duplication + crash_in_commit (a participant crashing between
+   its prepare-ack and the commit receipt, voiding the ack by epoch
+   bump).  Every crashed round must abort, roll every participant back,
+   compensate the mailboxes, replay, and still serve each request
+   exactly once.  The "off" rows run the same plan non-speculatively
+   (crash_in_commit never draws without commit rounds), so the sim-time
+   ratio isolates what the protocol costs — and the gate pins the
+   protocol's correctness counters. *)
+
+let f5_cfg =
+  { Mcc.Gridapp.Serve.clients = 8; services = 4;
+    requests_per_client = 1_500; work_us = 5; skew = false;
+    speculative = true }
+
+let f5_nodes = 6
+let f5_seeds = [ 11; 23 ]
+
+let f5_plan seed =
+  { Net.Faults.none with
+    Net.Faults.f_seed = seed;
+    f_loss = 0.05;
+    f_dup = 0.02;
+    f_crash_in_commit = 0.2 }
+
+type f5_sample = {
+  f5_case : string;
+  f5_mode : string;
+  f5_wall : float;
+  f5_sim : float;
+  f5_report : Mcc.Gridapp.Serve.report;
+  f5_exact : bool;
+  f5_opened : int;
+  f5_prepares : int;
+  f5_commits : int;
+  f5_aborts : int;
+  f5_fences : int;
+  f5_compensated : int;
+  f5_audit_ok : bool;
+}
+
+(* Zero-partial-commit audit over the trace window: no transaction both
+   commits and aborts; every abort decided by a live coordinator is
+   followed by that coordinator's own region rollback and by mailbox
+   compensation for the transaction.  (The ring keeps the newest
+   window; an abort whose evidence predates the window is dropped with
+   the abort itself, so the audit stays sound under truncation.) *)
+let f5_audit events =
+  let committed = Hashtbl.create 64 and aborted = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Obs.Trace.event) ->
+      match ev.Obs.Trace.kind with
+      | Obs.Trace.Dspec_commit { txn; _ } -> Hashtbl.replace committed txn ()
+      | Obs.Trace.Dspec_abort { txn; _ } -> Hashtbl.replace aborted txn ()
+      | _ -> ())
+    events;
+  let disjoint =
+    Hashtbl.fold
+      (fun txn () ok -> ok && not (Hashtbl.mem committed txn))
+      aborted true
+  in
+  let aborts_resolved =
+    List.for_all
+      (fun (ev : Obs.Trace.event) ->
+        match ev.Obs.Trace.kind with
+        | Obs.Trace.Dspec_abort { txn; reason; _ }
+          when reason = "fence" || reason = "crash_in_commit" ->
+          List.exists
+            (fun (e2 : Obs.Trace.event) ->
+              e2.Obs.Trace.pid = ev.Obs.Trace.pid
+              && e2.Obs.Trace.time >= ev.Obs.Trace.time
+              &&
+              match e2.Obs.Trace.kind with
+              | Obs.Trace.Spec_rollback _ -> true
+              | _ -> false)
+            events
+          && List.exists
+               (fun (e2 : Obs.Trace.event) ->
+                 match e2.Obs.Trace.kind with
+                 | Obs.Trace.Dspec_compensate { txn = x; _ } -> x = txn
+                 | _ -> false)
+               events
+        | _ -> true)
+      events
+  in
+  disjoint && aborts_resolved
+
+let f5_run ~seed ~speculative =
+  let cluster =
+    Net.Cluster.create_cfg
+      { Net.Cluster.Config.default with
+        node_count = f5_nodes;
+        seed;
+        net = Some (Net.Simnet.create ~latency_us:5.0 ());
+        faults = f5_plan seed }
+  in
+  let d =
+    Mcc.Gridapp.Serve.deploy ~engine:`Masm cluster
+      { f5_cfg with Mcc.Gridapp.Serve.speculative }
+  in
+  let r, wall_s =
+    wall (fun () ->
+        Mcc.Gridapp.Serve.run ~migrate_every_s:0.004 ~migrations:10 d)
+  in
+  let m = Net.Cluster.metrics cluster in
+  let c name = Obs.Metrics.counter_value m name in
+  { f5_case = Printf.sprintf "spec-s%d" seed;
+    f5_mode = (if speculative then "on" else "off");
+    f5_wall = wall_s;
+    f5_sim = Net.Cluster.now cluster;
+    f5_report = r;
+    f5_exact = Mcc.Gridapp.Serve.exactly_once d r;
+    f5_opened = c "dspec.opened";
+    f5_prepares = c "dspec.prepares";
+    f5_commits = c "dspec.commits";
+    f5_aborts = c "dspec.aborts";
+    f5_fences = c "dspec.fence_rejections";
+    f5_compensated = c "dspec.compensated";
+    f5_audit_ok = f5_audit (Obs.Trace.events (Net.Cluster.trace cluster)) }
+
+let f5_row s =
+  let r = s.f5_report in
+  Printf.sprintf
+    "{\"bench\":\"f5\",\"case\":\"%s\",\"mode\":\"%s\",\
+     \"requests\":%d,\"migrations\":%d,\"opened\":%d,\"prepares\":%d,\
+     \"commits\":%d,\"aborts\":%d,\"fence_rejections\":%d,\
+     \"compensated\":%d,\"p50_ms\":%.4f,\"p99_ms\":%.4f,\
+     \"wall_s\":%.6f,\"sim_s\":%.6f,\"req_per_sim_sec\":%.1f}"
+    s.f5_case s.f5_mode r.Mcc.Gridapp.Serve.rp_requests r.rp_migrations
+    s.f5_opened s.f5_prepares s.f5_commits s.f5_aborts s.f5_fences
+    s.f5_compensated r.rp_p50_ms r.rp_p99_ms s.f5_wall s.f5_sim
+    (float_of_int r.Mcc.Gridapp.Serve.rp_requests /. s.f5_sim)
+
+let f5_results () =
+  List.concat_map
+    (fun seed ->
+      [ f5_run ~seed ~speculative:false; f5_run ~seed ~speculative:true ])
+    f5_seeds
+
+let f5_gate samples =
+  let total =
+    f5_cfg.Mcc.Gridapp.Serve.clients
+    * f5_cfg.Mcc.Gridapp.Serve.requests_per_client
+  in
+  let exact_ok = List.for_all (fun s -> s.f5_exact) samples in
+  let on_rows = List.filter (fun s -> String.equal s.f5_mode "on") samples in
+  let moved_ok =
+    List.for_all
+      (fun s -> s.f5_report.Mcc.Gridapp.Serve.rp_migrations > 0)
+      on_rows
+  in
+  (* the protocol counters the smoke asserts nonzero, plus exact
+     conservation: every opened transaction resolved one way, one
+     commit per unique request *)
+  let counters_ok =
+    List.for_all
+      (fun s ->
+        s.f5_prepares > 0 && s.f5_commits = total && s.f5_aborts > 0
+        && s.f5_fences > 0
+        && s.f5_opened = s.f5_commits + s.f5_aborts)
+      on_rows
+  in
+  let audit_ok = List.for_all (fun s -> s.f5_audit_ok) on_rows in
+  (exact_ok, moved_ok, counters_ok, audit_ok)
+
+let f5 () =
+  section "F5: speculative exactly-once serving under fault plans";
+  Printf.printf
+    "%d closed-loop clients x %d requests (= %d total) at %d services\n\
+     on %d nodes.  The \"on\" rows serve SPECULATIVELY: reply before\n\
+     the dedup write is durable, commit via the epoch-fenced 2PC, with\n\
+     services re-homed every 4 simulated ms, under 5%% loss + 2%% dup +\n\
+     20%% crash_in_commit (a participant crashes between prepare-ack\n\
+     and commit receipt; the epoch bump voids its ack).  Every abort\n\
+     must roll all participants back, compensate mailboxes, replay —\n\
+     and still serve each request exactly once.\n\n"
+    f5_cfg.Mcc.Gridapp.Serve.clients
+    f5_cfg.Mcc.Gridapp.Serve.requests_per_client
+    (f5_cfg.Mcc.Gridapp.Serve.clients
+    * f5_cfg.Mcc.Gridapp.Serve.requests_per_client)
+    f5_cfg.Mcc.Gridapp.Serve.services f5_nodes;
+  let samples = f5_results () in
+  Printf.printf "  %-9s %-5s %-8s %-6s %-7s %-7s %-7s %-7s %-8s %-8s %s\n"
+    "case" "mode" "requests" "moves" "opened" "commits" "aborts" "fences"
+    "p99(ms)" "sim(s)" "wall(s)";
+  List.iter
+    (fun s ->
+      Printf.printf
+        "  %-9s %-5s %-8d %-6d %-7d %-7d %-7d %-7d %-8.3f %-8.3f %.3f\n"
+        s.f5_case s.f5_mode s.f5_report.Mcc.Gridapp.Serve.rp_requests
+        s.f5_report.Mcc.Gridapp.Serve.rp_migrations s.f5_opened s.f5_commits
+        s.f5_aborts s.f5_fences s.f5_report.Mcc.Gridapp.Serve.rp_p99_ms
+        s.f5_sim s.f5_wall)
+    samples;
+  let rows = List.map f5_row samples in
+  write_lines "BENCH_f5.json" rows;
+  Printf.printf "\n  wrote BENCH_f5.json\n";
+  print_newline ();
+  let exact_ok, moved_ok, counters_ok, audit_ok = f5_gate samples in
+  verdict
+    (Printf.sprintf "every request served exactly once (%d runs, 2 seeds)"
+       (List.length samples))
+    exact_ok;
+  verdict "services re-homed mid-region on every speculative run" moved_ok;
+  verdict "protocol counters conserve: prepares/aborts/fences nonzero, \
+           opened = commits + aborts, one commit per unique request"
+    counters_ok;
+  verdict "trace audit: zero partial commits (aborts disjoint from \
+           commits; every abort rolled back and compensated)"
+    audit_ok;
+  if not (exact_ok && moved_ok && counters_ok && audit_ok) then exit 1;
+  samples
+
+let f5_cmd () = ignore (f5 ())
+
 (* --- perfcheck ----------------------------------------------------- *)
 
 (* speedup ratio per (bench, case) from a row list: fast mode
@@ -2346,11 +2570,15 @@ let ratios_of_rows rows =
       let bench = field line "bench" in
       let case = field line "case" in
       let mode = field line "mode" in
-      (* t2 is judged on SIMULATED completion time — the policy's win is
-         a property of the modelled cluster, not of host wall clock *)
+      (* t2 and f5 are judged on SIMULATED completion time — the
+         policy's (resp. protocol's) cost is a property of the modelled
+         cluster, not of host wall clock *)
       let cost =
         float_of_string
-          (field line (if String.equal bench "t2" then "sim_s" else "wall_s"))
+          (field line
+             (if String.equal bench "t2" || String.equal bench "f5" then
+                "sim_s"
+              else "wall_s"))
       in
       Hashtbl.replace tbl (bench, case, mode) cost)
     rows;
@@ -2378,6 +2606,12 @@ let ratios_of_rows rows =
         (* ratio = sim_off / sim_on: the policy's throughput edge over
            the packed placement; a regressed planner (churn, failed
            convergence) drags it below the gate *)
+        pair case (get "off") (get "on")
+      else if String.equal bench "f5" then
+        (* ratio = sim_off / sim_on: what the speculative 2PC costs the
+           serving path under the same fault plan; a regressed protocol
+           (abort storms, fence thrash, slow compensation) drags the
+           on-row sim time up and the ratio below the gate *)
         pair case (get "off") (get "on")
       else
         (* v1 gates two tiers: the pre-resolved fast path over the
@@ -2437,14 +2671,24 @@ let perfcheck () =
   end;
   let t2_rows = List.map t2_row t2_samples in
   write_lines "BENCH_t2.json" t2_rows;
+  let f5_samples = f5_results () in
+  let f5_exact, f5_moved, f5_counters, f5_auditok = f5_gate f5_samples in
+  if not (f5_exact && f5_moved && f5_counters && f5_auditok) then begin
+    Printf.printf
+      "  f5: exactly-once/counter/audit gate violated in fresh run [FAIL]\n";
+    exit 1
+  end;
+  let f5_rows = List.map f5_row f5_samples in
+  write_lines "BENCH_f5.json" f5_rows;
   let ok_s1 = check "s1" s1_rows "bench/baselines/BENCH_s1.json" in
   let ok_v1 = check "v1" v1_rows "bench/baselines/BENCH_v1.json" in
   let ok_t1 = check "t1" t1_rows "bench/baselines/BENCH_t1.json" in
   let ok_t2 = check "t2" t2_rows "bench/baselines/BENCH_t2.json" in
+  let ok_f5 = check "f5" f5_rows "bench/baselines/BENCH_f5.json" in
   print_newline ();
   verdict "no perf regression > 30% vs committed baselines"
-    (ok_s1 && ok_v1 && ok_t1 && ok_t2);
-  if not (ok_s1 && ok_v1 && ok_t1 && ok_t2) then exit 1
+    (ok_s1 && ok_v1 && ok_t1 && ok_t2 && ok_f5);
+  if not (ok_s1 && ok_v1 && ok_t1 && ok_t2 && ok_f5) then exit 1
 
 (* ================================================================== *)
 (* Driver                                                              *)
@@ -2478,7 +2722,12 @@ let experiments =
     (* placement-policy meter: skewed stream, packed start, rebalance
        convergence + throughput policy-on vs policy-off *)
     "t2", ("t2", t2_cmd);
-    (* regression gate: re-measures s1+v1+t1+t2 and compares speedup
+    (* distributed-speculation meter: speculative exactly-once serving
+       under loss+dup+crash_in_commit with migrating services; gates
+       the 2PC correctness counters and the zero-partial-commit trace
+       audit *)
+    "f5", ("f5", f5_cmd);
+    (* regression gate: re-measures s1+v1+t1+t2+f5 and compares speedup
        ratios against bench/baselines/*.json; exits 1 on > 30%
        regression *)
     "perfcheck", ("perfcheck", perfcheck);
@@ -2490,7 +2739,7 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ ->
       [ "e1"; "e1c"; "e1d"; "e2"; "e5"; "f1"; "f2"; "f2b"; "f3"; "f4"; "a1";
-        "a2"; "s1"; "v1"; "t1"; "t2" ]
+        "a2"; "s1"; "v1"; "t1"; "t2"; "f5" ]
   in
   print_endline
     "Mojave Compiler reproduction — benchmark harness (paper: Smith, \

@@ -579,6 +579,16 @@ let grid_cmd =
                 requests target the current phase's hot service \
                 (serve-bench; the T2 workload).")
   in
+  let speculative_arg =
+    Arg.(
+      value & flag
+      & info [ "speculative" ]
+          ~doc:"Speculative exactly-once serving (serve-bench; the F5 \
+                workload): services reply from inside a speculation \
+                before their dedup state is durable and commit through \
+                the cluster's epoch-fenced distributed transaction \
+                protocol; aborted attempts roll back and replay.")
+  in
   let pack_arg =
     Arg.(value & opt int 0
          & info [ "pack" ] ~docv:"P"
@@ -627,8 +637,8 @@ let grid_cmd =
   let action ranks rows_per_rank cols timesteps interval fail trace_file
       fault_plan_file seed delta hb_interval suspect_timeout replication
       serve_bench clients services requests work_us migrations migrate_every
-      skew pack balance balance_period balance_tolerance balance_budget
-      balance_decay =
+      skew speculative pack balance balance_period balance_tolerance
+      balance_budget balance_decay =
     let config =
       { Mcc.Gridapp.ranks; rows_per_rank; cols; timesteps; interval;
         work_us_per_step = 1000 }
@@ -661,7 +671,7 @@ let grid_cmd =
     if serve_bench then begin
       let scfg =
         { Mcc.Gridapp.Serve.clients; services;
-          requests_per_client = requests; work_us; skew }
+          requests_per_client = requests; work_us; skew; speculative }
       in
       let cluster =
         Net.Cluster.create_cfg
@@ -703,6 +713,17 @@ let grid_cmd =
            (Obs.Metrics.counter_value m "balance.moves")
            (Obs.Metrics.gauge_read m "balance.spread")
            (Obs.Metrics.gauge_read m "balance.last_move_s"));
+      (if speculative then
+         let m = Net.Cluster.metrics cluster in
+         Printf.printf
+           "dspec: %d opened, %d prepares, %d commits, %d aborts, %d \
+            fence rejections, %d messages compensated\n"
+           (Obs.Metrics.counter_value m "dspec.opened")
+           (Obs.Metrics.counter_value m "dspec.prepares")
+           (Obs.Metrics.counter_value m "dspec.commits")
+           (Obs.Metrics.counter_value m "dspec.aborts")
+           (Obs.Metrics.counter_value m "dspec.fence_rejections")
+           (Obs.Metrics.counter_value m "dspec.compensated"));
       Printf.printf "simulated time: %.4f s\n" (Net.Cluster.now cluster);
       Printf.printf "exactly-once: %s\n" (if exact then "yes" else "NO");
       let trace_ok = write_trace cluster in
@@ -818,7 +839,8 @@ let grid_cmd =
       $ trace_arg $ fault_plan_arg $ seed_arg $ delta_arg $ hb_interval_arg
       $ suspect_timeout_arg $ replication_arg $ serve_bench_arg $ clients_arg
       $ services_arg $ requests_arg $ work_us_arg $ migrations_arg
-      $ migrate_every_arg $ skew_arg $ pack_arg $ balance_arg
+      $ migrate_every_arg $ skew_arg $ speculative_arg $ pack_arg
+      $ balance_arg
       $ balance_period_arg $ balance_tolerance_arg $ balance_budget_arg
       $ balance_decay_arg)
 

@@ -500,6 +500,13 @@ module Serve = struct
     requests_per_client : int;
     work_us : int;  (* simulated service time per request *)
     skew : bool;  (* skewed, phase-shifting request stream (T2) *)
+    speculative : bool;
+        (* speculative exactly-once serving: the service replies from
+           inside a speculation BEFORE its dedup state is durable and
+           coordinates the commit with dspec_open/dspec_commit; the
+           client joins the speculation through the stamped reply and
+           holds its latency observation until the distributed commit
+           lands (F5) *)
   }
 
   let default_config =
@@ -509,6 +516,7 @@ module Serve = struct
       requests_per_client = 50;
       work_us = 20;
       skew = false;
+      speculative = false;
     }
 
   let request_tag = 7
@@ -560,8 +568,9 @@ module Serve = struct
           \    if ((seq + r) %% 5 < 4) { laddr = 1 + ((seq / %d) %% %d); }"
           cfg.services phase_len cfg.services
     in
-    Printf.sprintf
-      {|
+    if not cfg.speculative then
+      Printf.sprintf
+        {|
 // serving client, rank %d (generated)
 int main() {
   int r = %d;
@@ -594,13 +603,63 @@ int main() {
   return viol;
 }
 |}
-      rank rank cfg.requests_per_client laddr_choice request_tag request_tag
-      reply_tag_base
+        rank rank cfg.requests_per_client laddr_choice request_tag request_tag
+        reply_tag_base
+    else
+      (* Speculative mode.  The request is sent BEFORE entering the
+         speculation so it travels unstamped (the service must not join
+         the CLIENT's region — the dependency is one-way, reply-borne).
+         Consuming a stamped reply joins the service's transaction; the
+         spec_pending() barrier then holds the client until the service's
+         durable commit clears the dependency — or the distributed abort
+         force-rolls this level, re-entering at speculate() with a
+         negative id to wait for the replayed reply.  lat_us fires after
+         commit(cs), so an aborted attempt never records a latency. *)
+      Printf.sprintf
+        {|
+// serving client, rank %d (generated, speculative exactly-once mode)
+int main() {
+  int r = %d;
+  float *buf = alloc_float(4);
+  float *rbuf = alloc_float(4);
+  int seq; int rc; int got; int rs; int viol; int t0; int fin; int cs;
+  viol = 0;
+  for (seq = 0; seq < %d; seq = seq + 1) {
+    %s
+    t0 = sim_now_us();
+    buf[0] = (float)r;
+    buf[1] = (float)seq;
+    buf[2] = (float)t0;
+    rc = svc_send(laddr, %d, buf, 3);
+    while (rc == 0 - 3) { rc = svc_send(laddr, %d, buf, 3); }
+    if (rc < 0) { return 0 - 100; }
+    cs = speculate();
+    if (cs < 0) { cs = 0 - cs; }
+    fin = 0;
+    while (fin == 0) {
+      got = msg_try_recv_any(%d + r, rbuf, 4);
+      if (got >= 0) {
+        rs = (int)rbuf[1];
+        if (rs == seq) { fin = 1; }
+        if (rs > seq) { viol = viol + 1; fin = 1; }
+      }
+    }
+    fin = spec_pending();
+    while (fin == 1) { fin = spec_pending(); }
+    commit(cs);
+    lat_us(sim_now_us() - t0);
+  }
+  return viol;
+}
+|}
+        rank rank cfg.requests_per_client laddr_choice request_tag request_tag
+        reply_tag_base
 
   let service_source cfg k =
     let total = expected_served cfg k in
-    Printf.sprintf
-      {|
+    if not cfg.speculative then
+      Printf.sprintf
+        {|
 // serving worker %d (generated): %d unique requests, then exit
 int main() {
   float *rbuf = alloc_float(4);
@@ -623,10 +682,62 @@ int main() {
   return served;
 }
 |}
-      k total cfg.clients cfg.clients total request_tag
-      (if cfg.work_us > 0 then Printf.sprintf "work_us(%d);\n        " cfg.work_us
-       else "")
-      reply_tag_base
+        k total cfg.clients cfg.clients total request_tag
+        (if cfg.work_us > 0 then
+           Printf.sprintf "work_us(%d);\n        " cfg.work_us
+         else "")
+        reply_tag_base
+    else
+      (* Speculative mode: the dedup write and the reply happen inside a
+         speculation, so the reply leaves BEFORE the dedup state is
+         durable — the fast path the distributed commit protocol has to
+         make safe.  dspec_open() roots the transaction at this level;
+         the stamped reply enrolls its consumer; dspec_commit() runs the
+         epoch-fenced prepare round.  On success the level commits
+         durably (releasing the client's spec_pending barrier) and only
+         then does the served count advance.  On abort (fence,
+         crash_in_commit, dead participant) the level rolls back —
+         un-sending the reply, un-writing last[cl], force-rolling any
+         consumer — and control re-enters at speculate() with a negative
+         id to replay the request.  The recv stays OUTSIDE the
+         speculation: replay must not un-consume the request itself. *)
+      Printf.sprintf
+        {|
+// serving worker %d (generated, speculative exactly-once mode): %d unique requests, then exit
+int main() {
+  float *rbuf = alloc_float(4);
+  int *last = alloc_int(%d);
+  int i; int got; int cl; int s; int served; int specid; int txn; int rc;
+  for (i = 0; i < %d; i = i + 1) { last[i] = 0 - 1; }
+  served = 0;
+  while (served < %d) {
+    got = msg_try_recv_any(%d, rbuf, 4);
+    if (got >= 0) {
+      cl = (int)rbuf[0];
+      s = (int)rbuf[1];
+      if (s > last[cl]) {
+        specid = speculate();
+        if (specid < 0) { specid = 0 - specid; }
+        %slast[cl] = s;
+        txn = dspec_open();
+        msg_send(cl, %d + cl, rbuf, 3);
+        rc = dspec_commit(txn);
+        if (rc == 0) {
+          commit(specid);
+          served = served + 1;
+        }
+        if (rc < 0) { abort(specid); }
+      }
+    }
+  }
+  return served;
+}
+|}
+        k total cfg.clients cfg.clients total request_tag
+        (if cfg.work_us > 0 then
+           Printf.sprintf "work_us(%d);\n        " cfg.work_us
+         else "")
+        reply_tag_base
 
   let compile source_text =
     match Minic.Driver.compile source_text with

@@ -108,6 +108,15 @@ module Serve : sig
     skew : bool;
         (** skewed, phase-shifting stream: 4 of every 5 requests target
             the current phase's hot service; the rest stay round-robin *)
+    speculative : bool;
+        (** speculative exactly-once serving (F5): the service's dedup
+            write and reply happen inside a speculation — the reply
+            leaves before the dedup state is durable — and the commit is
+            coordinated through the cluster's epoch-fenced distributed
+            transaction protocol ([dspec_open]/[dspec_commit]).  The
+            client joins the region by consuming the stamped reply and
+            spins on [spec_pending()] until the distributed commit
+            lands; an abort rolls both sides back and replays. *)
   }
 
   val default_config : config

@@ -49,7 +49,7 @@ type unpack_costs = {
 (* pack                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let pack ?(with_binary = true) ?(epoch = 0) proc ~entry ~args ~label =
+let pack ?(with_binary = true) ?(epoch = 0) ?dspec proc ~entry ~args ~label =
   let heap = proc.Process.heap in
   (* 1. migrate_env: all live data moves into the heap; afterwards the only
      "register" content is the migrate_env index itself *)
@@ -88,6 +88,7 @@ let pack ?(with_binary = true) ?(epoch = 0) proc ~entry ~args ~label =
       i_entry = entry;
       i_label = label;
       i_epoch = epoch;
+      i_dspec = dspec;
     }
   in
   (* The dirty set accumulated since the previous pack is exactly what a
@@ -126,15 +127,16 @@ let delta ~baseline ~base_digest packed =
         d_entry = image.Wire.i_entry;
         d_label = image.Wire.i_label;
         d_epoch = image.Wire.i_epoch;
+        d_dspec = image.Wire.i_dspec;
       }
     in
     Some (Wire.encode_delta delta, stats)
 
 (* Pack a process that has stopped at a migration request. *)
-let pack_request ?with_binary ?epoch proc =
+let pack_request ?with_binary ?epoch ?dspec proc =
   match proc.Process.status with
   | Process.Migrating req ->
-    pack ?with_binary ?epoch proc ~entry:req.Process.m_entry
+    pack ?with_binary ?epoch ?dspec proc ~entry:req.Process.m_entry
       ~args:req.Process.m_args ~label:req.Process.m_label
   | Process.Running | Process.Exited _ | Process.Trapped _ ->
     invalid_arg "Pack.pack_request: process is not at a migration point"
@@ -146,11 +148,11 @@ let pack_request ?with_binary ?epoch proc =
    (Section 7): "processes to be migrated without their specific
    knowledge for failure-recovery or load-balancing purposes"
    (Section 4.2.1). *)
-let pack_running ?with_binary ?epoch proc =
+let pack_running ?with_binary ?epoch ?dspec proc =
   match proc.Process.status with
   | Process.Running ->
     let entry, args = proc.Process.cont in
-    pack ?with_binary ?epoch proc ~entry ~args ~label:0
+    pack ?with_binary ?epoch ?dspec proc ~entry ~args ~label:0
   | Process.Migrating _ | Process.Exited _ | Process.Trapped _ ->
     invalid_arg "Pack.pack_running: process is not running"
 

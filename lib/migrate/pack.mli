@@ -35,6 +35,7 @@ type unpack_costs = {
 val pack :
   ?with_binary:bool ->
   ?epoch:int ->
+  ?dspec:Wire.dspec_ctx ->
   Process.t ->
   entry:string -> args:Runtime.Value.t list -> label:int ->
   packed
@@ -42,13 +43,18 @@ val pack :
     the same-architecture fast path; FIR-only images force recompilation
     everywhere (the paper's untrusted WAN setting).  [epoch] (default 0)
     stamps the image with the process's rank incarnation epoch, carried
-    on hops and checkpoints for fencing. *)
+    on hops and checkpoints for fencing.  [dspec] carries the open
+    distributed transaction the process coordinates, if any. *)
 
-val pack_request : ?with_binary:bool -> ?epoch:int -> Process.t -> packed
+val pack_request :
+  ?with_binary:bool -> ?epoch:int -> ?dspec:Wire.dspec_ctx ->
+  Process.t -> packed
 (** Pack a process stopped at a migration request.
     @raise Invalid_argument if the process is not [Migrating]. *)
 
-val pack_running : ?with_binary:bool -> ?epoch:int -> Process.t -> packed
+val pack_running :
+  ?with_binary:bool -> ?epoch:int -> ?dspec:Wire.dspec_ctx ->
+  Process.t -> packed
 (** Pack a RUNNING process between basic blocks without its cooperation —
     the CPS continuation is the complete live state, so every inter-step
     boundary is a safe migration point.  The basis for transparent load

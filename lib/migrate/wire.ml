@@ -25,17 +25,36 @@ let magic = "MPRC"
    blocks that changed since that baseline was packed; the FIR, MASM and
    function table never travel again.  v8 appends the rank incarnation
    epoch to both kinds: resurrection bumps it, hops and checkpoints
-   carry it, and the cluster fences stale incarnations on it.  [decode]
+   carry it, and the cluster fences stale incarnations on it.  v9
+   appends the optional distributed-speculation context: when the
+   migrating process coordinates an open distributed transaction, the
+   transaction id, the root level's position in the speculation
+   snapshot, the coordinating service's logical address and the
+   participant (rank, epoch) set travel with the image so the
+   destination can re-register the rebound coordinator.  [decode]
    recomputes the FIR digest
    over the received bytes of a full packet and rejects mismatches, so
    anything downstream — the recompilation cache in particular — can rely
    on the digest naming exactly the bytes that arrived.  Digests are
    integrity metadata only; they never stand in for verification or
    typechecking. *)
-let version = 8
+let version = 9
 
 let kind_full = 0
 let kind_delta = 1
+
+(* The distributed-speculation context of a migrating coordinator (v9):
+   enough for the destination to re-register the process — under its new
+   pid and translated level uids — with the cluster-global transaction
+   table.  [x_root] is the root level's position in [i_spec] (oldest
+   first): stable level UIDS are engine-local and do not survive
+   restore, but snapshot order does. *)
+type dspec_ctx = {
+  x_txn : int; (* transaction id in the cluster's table *)
+  x_root : int; (* index of the root level in i_spec, oldest first *)
+  x_coord_laddr : int; (* coordinating service's laddr, -1 if none *)
+  x_parts : (int * int) list; (* participant (rank, epoch) pins *)
+}
 
 type image = {
   i_arch : string; (* source architecture name *)
@@ -53,6 +72,9 @@ type image = {
       (* rank incarnation epoch (v8): bumped on every resurrection and
          carried on hops and checkpoints so stale incarnations can be
          fenced; 0 for processes with no rank *)
+  i_dspec : dspec_ctx option;
+      (* distributed-speculation context (v9): present while the process
+         coordinates an open transaction *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -189,6 +211,37 @@ let get_spec_level r =
   in
   { Spec.Engine.s_entry; s_args; s_saved }
 
+let put_dspec buf = function
+  | None -> put_u8 buf 0
+  | Some c ->
+    put_u8 buf 1;
+    put_varint buf c.x_txn;
+    put_varint buf c.x_root;
+    put_varint buf c.x_coord_laddr;
+    put_list buf
+      (fun buf (r, e) ->
+        put_varint buf r;
+        put_varint buf e)
+      c.x_parts
+
+let get_dspec r =
+  match get_u8 r with
+  | 0 -> None
+  | 1 ->
+    let x_txn = get_varint r in
+    let x_root = get_varint r in
+    let x_coord_laddr = get_varint r in
+    let x_parts =
+      get_list r (fun r ->
+          let rank = get_varint r in
+          let epoch = get_varint r in
+          rank, epoch)
+    in
+    if x_txn < 0 || x_root < 0 then
+      raise (Corrupt "bad distributed-speculation context");
+    Some { x_txn; x_root; x_coord_laddr; x_parts }
+  | n -> raise (Corrupt (Printf.sprintf "bad dspec flag %d" n))
+
 (* ------------------------------------------------------------------ *)
 (* Image content digest                                                *)
 (* ------------------------------------------------------------------ *)
@@ -212,10 +265,11 @@ let image_digest image =
   put_varint buf image.i_menv;
   put_string buf image.i_entry;
   put_varint buf image.i_label;
-  (* i_epoch is deliberately excluded: it is incarnation METADATA, not
-     semantic payload — two incarnations of the same state must share a
-     baseline digest so delta negotiation still works across a
-     resurrection *)
+  (* i_epoch and i_dspec are deliberately excluded: they are incarnation
+     and transaction METADATA, not semantic payload — two incarnations
+     of the same state must share a baseline digest so delta negotiation
+     still works across a resurrection, and opening a transaction must
+     not invalidate a retained baseline *)
   Fir.Serial.encoded_digest (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
@@ -245,6 +299,7 @@ type delta = {
   d_entry : string;
   d_label : int;
   d_epoch : int; (* incarnation epoch of the reconstruction *)
+  d_dspec : dspec_ctx option; (* transaction context of the reconstruction *)
 }
 
 type packet = Full of image | Delta of delta
@@ -425,6 +480,7 @@ let apply_delta ~baseline delta =
       i_entry = delta.d_entry;
       i_label = delta.d_label;
       i_epoch = delta.d_epoch;
+      i_dspec = delta.d_dspec;
     }
   in
   if not (String.equal (image_digest image) delta.d_new_digest) then
@@ -479,6 +535,7 @@ let encode image =
   put_string body image.i_entry;
   put_varint body image.i_label;
   put_varint body image.i_epoch;
+  put_dspec body image.i_dspec;
   frame (Buffer.contents body)
 
 let get_image r =
@@ -508,6 +565,7 @@ let get_image r =
   let i_label = get_varint r in
   let i_epoch = get_varint r in
   if i_epoch < 0 then raise (Corrupt "negative incarnation epoch");
+  let i_dspec = get_dspec r in
   {
     i_arch;
     i_digest;
@@ -521,6 +579,7 @@ let get_image r =
     i_entry;
     i_label;
     i_epoch;
+    i_dspec;
   }
 
 let put_dblock buf = function
@@ -586,6 +645,7 @@ let encode_delta delta =
   put_string body delta.d_entry;
   put_varint body delta.d_label;
   put_varint body delta.d_epoch;
+  put_dspec body delta.d_dspec;
   frame (Buffer.contents body)
 
 let get_delta r =
@@ -603,6 +663,7 @@ let get_delta r =
   let d_label = get_varint r in
   let d_epoch = get_varint r in
   if d_epoch < 0 then raise (Corrupt "negative incarnation epoch");
+  let d_dspec = get_dspec r in
   {
     d_arch;
     d_base;
@@ -615,6 +676,7 @@ let get_delta r =
     d_entry;
     d_label;
     d_epoch;
+    d_dspec;
   }
 
 let decode_packet s =
@@ -712,6 +774,11 @@ let verify image =
             raise (Corrupt "speculation record references a bad block"))
         s.Spec.Engine.s_saved)
     image.i_spec;
+  (* the transaction context's root level must exist in the snapshot *)
+  (match image.i_dspec with
+  | Some c when c.x_root >= List.length image.i_spec ->
+    raise (Corrupt "dspec root index out of range")
+  | Some _ | None -> ());
   (* the migrate_env block must be a live pointer-table target *)
   if image.i_menv < 0
      || image.i_menv >= Array.length image.i_ptable

@@ -17,12 +17,30 @@
     it, and the cluster rejects stale-epoch traffic (fencing).  The
     epoch is incarnation metadata, excluded from {!image_digest}.
 
+    v9 appends the optional distributed-speculation context to both
+    packet kinds: a migrating coordinator's open transaction travels
+    with it (transaction id, root level's snapshot position, service
+    laddr, participant epoch pins), so the destination re-registers the
+    rebound process with the cluster's transaction table.  Like the
+    epoch, it is metadata excluded from {!image_digest}.
+
     {!verify} applies the structural safety checks a migration target
     runs before trusting a received heap. *)
 
 open Runtime
 
 exception Corrupt of string
+
+type dspec_ctx = {
+  x_txn : int;  (** transaction id in the cluster's table *)
+  x_root : int;
+      (** index of the transaction's root level in [i_spec], oldest
+          first (stable level uids are engine-local and do not survive
+          restore; snapshot order does) *)
+  x_coord_laddr : int;
+      (** logical address of the coordinating service, [-1] if none *)
+  x_parts : (int * int) list;  (** participant (rank, epoch) pins *)
+}
 
 type image = {
   i_arch : string;
@@ -42,6 +60,9 @@ type image = {
   i_epoch : int;
       (** rank incarnation epoch; bumped on every resurrection, [0] for
           processes with no rank *)
+  i_dspec : dspec_ctx option;
+      (** distributed-speculation context, present while the process
+          coordinates an open transaction *)
 }
 
 val encode : image -> string
@@ -91,6 +112,8 @@ type delta = {
   d_entry : string;
   d_label : int;
   d_epoch : int;  (** incarnation epoch of the reconstruction *)
+  d_dspec : dspec_ctx option;
+      (** transaction context of the reconstruction *)
 }
 
 type packet = Full of image | Delta of delta

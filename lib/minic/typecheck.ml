@@ -103,6 +103,14 @@ let builtins : (string * builtin) list =
         b_kind = Bext "fs_read" } );
     ( "fs_size",
       { b_args = [ Cstr ]; b_ret = Cint; b_kind = Bext "fs_size" } );
+    (* distributed speculation: open/decide an epoch-fenced transaction
+       over the current level, and the participant's pre-commit barrier *)
+    ( "dspec_open",
+      { b_args = []; b_ret = Cint; b_kind = Bext "dspec_open" } );
+    ( "dspec_commit",
+      { b_args = [ Cint ]; b_ret = Cint; b_kind = Bext "dspec_commit" } );
+    ( "spec_pending",
+      { b_args = []; b_ret = Cint; b_kind = Bext "spec_pending" } );
     "speculate", { b_args = []; b_ret = Cint; b_kind = Bspeculate };
     "commit", { b_args = [ Cint ]; b_ret = Cvoid; b_kind = Bcommit };
     "abort", { b_args = [ Cint ]; b_ret = Cvoid; b_kind = Babort };

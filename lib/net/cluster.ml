@@ -294,6 +294,10 @@ type t = {
   forward_ttl_s : float;
   (* (sender pid, sender level uid) -> dependent (receiver pid, receiver uid) *)
   deps : (int * int, (int * int) list ref) Hashtbl.t;
+  (* distributed-speculation transactions: the coordinator/participant
+     table the epoch-fenced commit protocol runs over.  Cluster-global —
+     a transaction survives the migration of any of its processes. *)
+  dspec : Dspec.t;
   mutable next_pid : int;
   trusted : bool;
   quantum : int;
@@ -421,6 +425,13 @@ let extern_signatures_list : (string * (Fir.Types.ty list * Fir.Types.ty)) list
     "fs_write", ([ Traw; Tptr Tint; Tint ], Tint);
     "fs_read", ([ Traw; Tptr Tint; Tint ], Tint);
     "fs_size", ([ Traw ], Tint);
+    (* distributed speculation: open a transaction rooted at the current
+       level, run the epoch-fenced commit protocol over everyone who
+       joined, and test whether anyone still depends on this process's
+       current level (the client's pre-commit barrier) *)
+    "dspec_open", ([], Tint);
+    "dspec_commit", ([ Tint ], Tint);
+    "spec_pending", ([], Tint);
   ]
 
 let extern_signatures : Fir.Typecheck.extern_lookup =
@@ -551,6 +562,7 @@ let create_cfg (cfg : Config.t) =
         Detector.create ~metrics ~nodes:cfg.Config.node_count dcfg)
       cfg.Config.detector
   in
+  let dspec = Dspec.create ~metrics () in
   let tracer = Obs.Trace.create ?capacity:cfg.Config.trace_capacity () in
   (* scripted partition windows are part of the run's story: put them in
      the trace up front, stamped with their opening times *)
@@ -578,6 +590,7 @@ let create_cfg (cfg : Config.t) =
     next_dyn_rank = 1 lsl 16;
     forward_ttl_s = cfg.Config.forward_ttl_s;
     deps = Hashtbl.create 32;
+    dspec;
     next_pid = 1;
     trusted = cfg.Config.trusted;
     quantum = cfg.Config.quantum;
@@ -749,7 +762,24 @@ let add_dependency t ~sender ~receiver =
       Hashtbl.add t.deps sender l;
       l
   in
-  if not (List.mem receiver !deps) then deps := receiver :: !deps
+  if not (List.mem receiver !deps) then deps := receiver :: !deps;
+  (* if the joined level is an open distributed transaction's root
+     region, the receiver is now a participant: record it at its
+     CURRENT incarnation epoch — the prepare round revalidates that
+     epoch, so a later resurrection voids this ack *)
+  match
+    Dspec.open_with_root t.dspec ~coord_pid:(fst sender)
+      ~root_uid:(snd sender)
+  with
+  | None -> ()
+  | Some txn when fst receiver <> fst sender -> (
+    match entry_of_pid t (fst receiver) with
+    | None -> ()
+    | Some e ->
+      Dspec.register txn ~pid:(fst receiver)
+        ~rank:(match e.rank with Some r -> r | None -> -1)
+        ~epoch:e.epoch)
+  | Some _ -> ()
 
 (* Roll a process back because a speculation it depends on failed.  If the
    joined level is gone (committed or already rolled back) fall back to the
@@ -786,7 +816,9 @@ let rec force_rollback t ~pid ~uid ~code =
 
 (* Undo everything that depended on the given (now rolled back or dead)
    speculation levels of [sender_pid]: discard their unconsumed messages,
-   then roll back their consumers. *)
+   then roll back their consumers.  Returns how many queued messages the
+   discard un-delivered — the mailbox-compensation count a distributed
+   abort reports. *)
 and cascade t ~sender_pid ~uids ~code =
   (* undo the rolled-back levels' external object writes (newest level
      first, so the oldest saved contents win) *)
@@ -813,10 +845,12 @@ and cascade t ~sender_pid ~uids ~code =
             | None -> Storage.remove t.storage path)
           (List.rev !log))
     uids;
-  List.iter
-    (fun (e : entry) ->
-      ignore (Mpi.discard_speculative e.mailbox ~uids ~sender_pid))
-    t.entries;
+  let discarded =
+    List.fold_left
+      (fun acc (e : entry) ->
+        acc + Mpi.discard_speculative e.mailbox ~uids ~sender_pid)
+      0 t.entries
+  in
   List.iter
     (fun uid ->
       match Hashtbl.find_opt t.deps (sender_pid, uid) with
@@ -829,7 +863,8 @@ and cascade t ~sender_pid ~uids ~code =
             if rpid <> sender_pid then
               force_rollback t ~pid:rpid ~uid:ruid ~code)
           ds)
-    uids
+    uids;
+  discarded
 
 (* Consume every moved notice now due on the sender's clock, rebinding
    its cached laddr bindings (oldest first, so the newest notice wins a
@@ -904,6 +939,23 @@ let send_payload t (entry : entry) (proc : Process.t) ~dst_rank ~tag
     end
     else begin
       Mpi.enqueue dst_mailbox msg;
+      (* a message sent from inside an open transaction's root region
+         recruits the rank's current holder as a participant, pinned at
+         the epoch it has NOW (consumption may confirm it later via
+         [add_dependency], but the wire obligation starts here) *)
+      (match msg.Mpi.msg_spec with
+      | None -> ()
+      | Some (spid, suid) -> (
+        match
+          Dspec.open_with_root t.dspec ~coord_pid:spid ~root_uid:suid
+        with
+        | None -> ()
+        | Some txn -> (
+          match entry_of_rank t dst_rank with
+          | Some dst when dst.proc.Process.pid <> spid ->
+            Dspec.register txn ~pid:dst.proc.Process.pid ~rank:dst_rank
+              ~epoch:dst.epoch
+          | Some _ | None -> ())));
       if fault.Faults.d_duplicate then begin
         Mpi.enqueue dst_mailbox msg;
         emit_entry t entry (Obs.Trace.Msg_dup { dst = dst_rank; tag })
@@ -1222,10 +1274,198 @@ let cluster_extern t (entry : entry) : Process.handler =
       Hashtbl.replace t.obj_store obj data;
       Value.Vint k
     end
+  | "dspec_open", [] -> (
+    if is_stale t entry then begin
+      fence t entry ~what:"dspec";
+      Value.Vint msg_roll
+    end
+    else
+      match Spec.Engine.current_unique proc.Process.spec with
+      | None ->
+        raise
+          (Process.Extern_failure "dspec_open: no open speculation level")
+      | Some uid ->
+        let laddr =
+          match entry.rank with
+          | None -> -1
+          | Some r -> (
+            match Registry.laddr_of_rank t.registry r with
+            | Some l -> l
+            | None -> -1)
+        in
+        let txn =
+          Dspec.open_txn t.dspec ~coord_pid:proc.Process.pid ~root_uid:uid
+            ~coord_laddr:laddr
+        in
+        emit_entry t entry
+          (Obs.Trace.Dspec_open { txn = txn.Dspec.x_id; uid });
+        Value.Vint txn.Dspec.x_id)
+  | "dspec_commit", [ Value.Vint txn_id ] -> (
+    if is_stale t entry then begin
+      fence t entry ~what:"dspec";
+      Value.Vint msg_roll
+    end
+    else
+      match Dspec.find t.dspec txn_id with
+      | None ->
+        raise
+          (Process.Extern_failure
+             (Printf.sprintf "dspec_commit: unknown transaction %d" txn_id))
+      | Some txn -> (
+        if txn.Dspec.x_coord_pid <> proc.Process.pid then
+          raise
+            (Process.Extern_failure "dspec_commit: not the coordinator");
+        match txn.Dspec.x_state with
+        | Dspec.Committed -> Value.Vint 0
+        | Dspec.Aborted _ -> Value.Vint msg_roll
+        | Dspec.Open -> (
+          (* prepare round: ask every participant to revalidate its
+             recorded incarnation epoch.  The whole round is decided
+             synchronously here (the simulation's atomicity unit is the
+             quantum) and charged as one RTT per participant plus the
+             decision broadcast. *)
+          let parts = List.rev txn.Dspec.x_parts in
+          let part_pids = List.map (fun p -> p.Dspec.p_pid) parts in
+          Obs.Metrics.incr (Dspec.c_prepares t.dspec);
+          emit_entry t entry
+            (Obs.Trace.Dspec_prepare { txn = txn_id; parts = part_pids });
+          charge_seconds proc
+            (2.0
+            *. Simnet.message_seconds t.net 64
+            *. float_of_int (max 1 (List.length parts)));
+          let abort reason =
+            txn.Dspec.x_state <- Dspec.Aborted reason;
+            Obs.Metrics.incr (Dspec.c_aborts t.dspec);
+            emit_entry t entry
+              (Obs.Trace.Dspec_abort
+                 { txn = txn_id; parts = part_pids; reason });
+            (* the coordinator's own abort(level) follows in the program:
+               its rollback cascade un-delivers the region's in-flight
+               messages and rolls every joined participant back *)
+            Value.Vint msg_roll
+          in
+          (* epoch fencing: an ack is valid only while the participant's
+             rank still runs the incarnation that joined — a resurrected
+             zombie can never speak for a dead one *)
+          let stale =
+            List.find_opt
+              (fun p ->
+                p.Dspec.p_rank >= 0
+                && p.Dspec.p_epoch < rank_epoch t p.Dspec.p_rank)
+              parts
+          in
+          match stale with
+          | Some p ->
+            Obs.Metrics.incr (Dspec.c_fence_rejections t.dspec);
+            emit_entry t entry
+              (Obs.Trace.Dspec_fence
+                 {
+                   txn = txn_id;
+                   part_rank = p.Dspec.p_rank;
+                   stale_epoch = p.Dspec.p_epoch;
+                   current_epoch = rank_epoch t p.Dspec.p_rank;
+                 });
+            abort "fence"
+          | None ->
+            (* a dead participant never acks (epochs only move on
+               resurrection, so liveness is checked directly) *)
+            if
+              List.exists
+                (fun p ->
+                  match entry_of_pid t p.Dspec.p_pid with
+                  | None -> true
+                  | Some e -> (
+                    match e.proc.Process.status with
+                    | Process.Running | Process.Migrating _ -> false
+                    | Process.Exited _ | Process.Trapped _ -> true))
+                parts
+            then abort "participant_dead"
+            else begin
+              Obs.Metrics.incr
+                ~by:(List.length parts)
+                (Dspec.c_prepare_acks t.dspec);
+              (* all acks are in.  One fault draw per protocol round: a
+                 participant may crash between its ack and the commit
+                 receipt.  Its rank re-incarnates at a bumped epoch
+                 (voiding the ack it gave — same fencing event as a
+                 zombie), the live process adopts the new epoch, and the
+                 coordinator must treat the round as in-doubt and abort;
+                 the abort cascade performs the victim's rollback. *)
+              if parts <> [] && Faults.crash_in_commit t.faults then begin
+                let victim =
+                  List.nth parts
+                    (Random.State.int (Faults.rng t.faults)
+                       (List.length parts))
+                in
+                let stale_epoch = victim.Dspec.p_epoch in
+                if victim.Dspec.p_rank >= 0 then
+                  Hashtbl.replace t.epochs victim.Dspec.p_rank
+                    (rank_epoch t victim.Dspec.p_rank + 1);
+                (match entry_of_pid t victim.Dspec.p_pid with
+                | Some e -> (
+                  match e.rank with
+                  | Some r -> e.epoch <- rank_epoch t r
+                  | None -> ())
+                | None -> ());
+                Obs.Metrics.incr (Dspec.c_fence_rejections t.dspec);
+                emit_entry t entry
+                  (Obs.Trace.Dspec_fence
+                     {
+                       txn = txn_id;
+                       part_rank = victim.Dspec.p_rank;
+                       stale_epoch;
+                       current_epoch =
+                         (if victim.Dspec.p_rank >= 0 then
+                            rank_epoch t victim.Dspec.p_rank
+                          else stale_epoch + 1);
+                     });
+                abort "crash_in_commit"
+              end
+              else begin
+                (* decision: COMMIT.  The region's in-flight messages
+                   stop carrying a join obligation — a receiver that
+                   consumes one later must not join a level the commit
+                   is about to dissolve. *)
+                txn.Dspec.x_state <- Dspec.Committed;
+                Obs.Metrics.incr (Dspec.c_commits t.dspec);
+                emit_entry t entry
+                  (Obs.Trace.Dspec_commit { txn = txn_id; parts = part_pids });
+                let uids = [ txn.Dspec.x_root_uid ] in
+                List.iter
+                  (fun (e : entry) ->
+                    ignore
+                      (Mpi.settle_speculative e.mailbox ~uids
+                         ~sender_pid:proc.Process.pid))
+                  t.entries;
+                Value.Vint 0
+              end
+            end)))
+  | "spec_pending", [] ->
+    (* is this process's current level still joined to an undecided
+       foreign region?  The participant's pre-commit barrier: committing
+       while the coordinator's fate is open would durably absorb state a
+       distributed abort may yet revoke.  The dependency dissolves when
+       the coordinator's level commits durably and is force-rolled when
+       it aborts — either way the spin ends. *)
+    let pid = proc.Process.pid in
+    let pending =
+      match Spec.Engine.current_unique proc.Process.spec with
+      | None -> false
+      | Some uid ->
+        Hashtbl.fold
+          (fun _ dependents acc ->
+            acc
+            || List.exists
+                 (fun (rpid, ruid) -> rpid = pid && ruid = uid)
+                 !dependents)
+          t.deps false
+    in
+    Value.Vint (if pending then 1 else 0)
   | ( ( "msg_send" | "msg_send_int" | "msg_try_recv" | "msg_try_recv_int"
       | "msg_try_recv_any" | "svc_send" | "svc_resolve" | "lat_us"
       | "rank" | "sim_now_us" | "obj_read" | "obj_write" | "fs_write"
-      | "fs_read" | "fs_size" ),
+      | "fs_read" | "fs_size" | "dspec_open" | "dspec_commit"
+      | "spec_pending" ),
       _ ) ->
     raise
       (Process.Extern_failure
@@ -1314,7 +1554,41 @@ let register_entry t (entry : entry) =
       emit_entry t entry (Obs.Trace.Spec_enter { uid; depth }))
     ~on_rollback:(fun uids ->
       emit_entry t entry (Obs.Trace.Spec_rollback { uids });
-      cascade t ~sender_pid:pid ~uids ~code:msg_roll)
+      (* a rolled level that roots a still-open distributed transaction
+         takes the transaction down with it (the coordinator abandoned
+         the region without running the protocol) *)
+      List.iter
+        (fun uid ->
+          match Dspec.open_with_root t.dspec ~coord_pid:pid ~root_uid:uid with
+          | None -> ()
+          | Some txn ->
+            txn.Dspec.x_state <- Dspec.Aborted "coordinator_rolled_back";
+            Obs.Metrics.incr (Dspec.c_aborts t.dspec);
+            emit_entry t entry
+              (Obs.Trace.Dspec_abort
+                 {
+                   txn = txn.Dspec.x_id;
+                   parts =
+                     List.rev_map (fun p -> p.Dspec.p_pid) txn.Dspec.x_parts;
+                   reason = "coordinator_rolled_back";
+                 }))
+        uids;
+      let discarded = cascade t ~sender_pid:pid ~uids ~code:msg_roll in
+      (* mailbox compensation for a distributed abort is accounted once,
+         against the transaction the rolled root belonged to *)
+      List.iter
+        (fun uid ->
+          match
+            Dspec.aborted_with_root t.dspec ~coord_pid:pid ~root_uid:uid
+          with
+          | None -> ()
+          | Some txn ->
+            txn.Dspec.x_compensated <- true;
+            Obs.Metrics.incr ~by:discarded (Dspec.c_compensated t.dspec);
+            emit_entry t entry
+              (Obs.Trace.Dspec_compensate
+                 { txn = txn.Dspec.x_id; discarded }))
+        uids)
     ~on_commit:(fun ~uid ~parent ->
       emit_entry t entry
         (Obs.Trace.Spec_commit { uid; durable = parent = None });
@@ -1783,6 +2057,40 @@ let successor_home t (entry : entry) =
     Some r, rank_mailbox t r, rank_epoch t r
   | Some _ | None -> entry.rank, entry.mailbox, entry.epoch
 
+(* The distributed-transaction context that travels with a packed
+   coordinator (wire v9).  Stable level uids are engine-local, so the
+   root is named by its position in the speculation snapshot (oldest
+   first); participants travel as (rank, epoch) pins.  Only the oldest
+   open transaction ships — the externs drive one protocol round at a
+   time. *)
+let dspec_ctx_of t (entry : entry) =
+  match
+    Dspec.open_coordinated_by t.dspec ~pid:entry.proc.Process.pid
+  with
+  | [] -> None
+  | txn :: _ -> (
+    let oldest_first =
+      List.rev (Spec.Engine.unique_ids entry.proc.Process.spec)
+    in
+    let rec index i = function
+      | [] -> None
+      | u :: _ when u = txn.Dspec.x_root_uid -> Some i
+      | _ :: tl -> index (i + 1) tl
+    in
+    match index 0 oldest_first with
+    | None -> None
+    | Some x_root ->
+      Some
+        {
+          Migrate.Wire.x_txn = txn.Dspec.x_id;
+          x_root;
+          x_coord_laddr = txn.Dspec.x_coord_laddr;
+          x_parts =
+            List.rev_map
+              (fun p -> p.Dspec.p_rank, p.Dspec.p_epoch)
+              txn.Dspec.x_parts;
+        })
+
 (* After a re-homed service's successor is registered: rebind the laddr
    (installing the bounded-TTL forwarder on the vacated rank), then
    relay the in-flight traffic already queued there — each message pays
@@ -1879,6 +2187,16 @@ let install_successor t (entry : entry) (src : node) (target : node) packed
   rekey_identity t ~old_pid:proc.Process.pid ~new_pid
     ~uid_map:
       (List.combine old_uids (Spec.Engine.unique_ids new_proc.Process.spec));
+  (* a mid-transaction move re-registers the process with the
+     transaction table under its successor identity: where it
+     coordinates, the root level is translated; where it participates,
+     its recorded rank and epoch are refreshed (a deliberate re-home is
+     not a zombie — its prepare-ack stays valid) *)
+  Dspec.rebind_pid t.dspec ~old_pid:proc.Process.pid ~new_pid
+    ~uid_map:
+      (List.combine old_uids (Spec.Engine.unique_ids new_proc.Process.spec))
+    ~rank:(match new_entry.rank with Some r -> r | None -> -1)
+    ~epoch:new_entry.epoch;
   src.busy_seconds <- src.busy_seconds +. pack_s;
   target.busy_seconds <- target.busy_seconds +. compile_s;
   let cache_hit = outcome.Migrate.Server.o_costs.Migrate.Pack.u_cache_hit in
@@ -1917,7 +2235,8 @@ let handle_migrate t (entry : entry) _req host =
     in
     let prev_baseline = entry.baseline in
     let packed =
-      Migrate.Pack.pack_request ~with_binary ~epoch:entry.epoch proc
+      Migrate.Pack.pack_request ~with_binary ~epoch:entry.epoch
+        ?dspec:(dspec_ctx_of t entry) proc
     in
     let baseline_digest = rebase_baseline src entry packed in
     let sh = choose_shipment t ~baseline:prev_baseline entry target packed in
@@ -2004,7 +2323,7 @@ let move_running t ~pid ~node_id ~retry =
         let prev_baseline = entry.baseline in
         let packed =
           Migrate.Pack.pack_running ~with_binary ~epoch:entry.epoch
-            entry.proc
+            ?dspec:(dspec_ctx_of t entry) entry.proc
         in
         let baseline_digest = rebase_baseline src entry packed in
         let sh =
@@ -2063,7 +2382,8 @@ let handle_to_storage t (entry : entry) req path ~kind =
      resurrection of processes is done by executing the saved checkpoint"
      (paper, Section 2) *)
   let packed =
-    Migrate.Pack.pack_request ~with_binary:true ~epoch:entry.epoch proc
+    Migrate.Pack.pack_request ~with_binary:true ~epoch:entry.epoch
+      ?dspec:(dspec_ctx_of t entry) proc
   in
   let prev_baseline = entry.baseline in
   let new_digest =
@@ -2176,6 +2496,24 @@ let handle_migration t (entry : entry) =
 (* Failure and resurrection                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* A dead coordinator can never decide its open transactions: abort them
+   (participants are already rolled back by the victim's cascade, whose
+   discard count doubles as the compensation figure). *)
+let abort_dead_coordinator_txns t (e : entry) ~discarded =
+  List.iter
+    (fun (txn : Dspec.txn) ->
+      txn.Dspec.x_state <- Dspec.Aborted "coordinator_dead";
+      txn.Dspec.x_compensated <- true;
+      Obs.Metrics.incr (Dspec.c_aborts t.dspec);
+      Obs.Metrics.incr ~by:discarded (Dspec.c_compensated t.dspec);
+      let parts = List.rev_map (fun p -> p.Dspec.p_pid) txn.Dspec.x_parts in
+      emit_entry t e
+        (Obs.Trace.Dspec_abort
+           { txn = txn.Dspec.x_id; parts; reason = "coordinator_dead" });
+      emit_entry t e
+        (Obs.Trace.Dspec_compensate { txn = txn.Dspec.x_id; discarded }))
+    (Dspec.open_coordinated_by t.dspec ~pid:e.proc.Process.pid)
+
 let fail_node t node_id =
   let n = node t node_id in
   if n.alive then begin
@@ -2196,7 +2534,10 @@ let fail_node t node_id =
         e.proc.Process.status <- Process.Trapped "node failure";
         (* everyone who consumed this process's speculative messages rolls
            back with it *)
-        cascade t ~sender_pid:e.proc.Process.pid ~uids ~code:msg_roll;
+        let discarded =
+          cascade t ~sender_pid:e.proc.Process.pid ~uids ~code:msg_roll
+        in
+        abort_dead_coordinator_txns t e ~discarded;
         (* survivors polling this rank observe MSG_ROLL *)
         match e.rank with
         | Some dead_rank ->
@@ -2240,7 +2581,10 @@ let kill_incarnation t ~rank =
     if not (Process.is_terminated e.proc) then begin
       let uids = Spec.Engine.unique_ids e.proc.Process.spec in
       fence t e ~what:"schedule";
-      cascade t ~sender_pid:e.proc.Process.pid ~uids ~code:msg_roll;
+      let discarded =
+        cascade t ~sender_pid:e.proc.Process.pid ~uids ~code:msg_roll
+      in
+      abort_dead_coordinator_txns t e ~discarded;
       List.iter
         (fun (other : entry) ->
           if
@@ -2368,6 +2712,25 @@ let do_resurrect ?rank ?(seed = 11) t ~node_id ~path =
           }
         in
         register_entry t entry;
+        (* the image's transaction context (wire v9): if the transaction
+           is somehow still open — the coordinator was moved as an image
+           without a node failure having aborted it — re-register the
+           resumed process as its coordinator, translating the root
+           level through the snapshot position the context names *)
+        (match image.Migrate.Wire.i_dspec with
+        | None -> ()
+        | Some ctx -> (
+          match Dspec.find t.dspec ctx.Migrate.Wire.x_txn with
+          | Some txn when txn.Dspec.x_state = Dspec.Open ->
+            txn.Dspec.x_coord_pid <- pid;
+            (match
+               List.nth_opt
+                 (List.rev (Spec.Engine.unique_ids proc.Process.spec))
+                 ctx.Migrate.Wire.x_root
+             with
+            | Some uid -> txn.Dspec.x_root_uid <- uid
+            | None -> ())
+          | Some _ | None -> ()));
         n.busy_seconds <- n.busy_seconds +. compile_s;
         Obs.Metrics.incr t.c_resurrections;
         (* a resurrection is an inbound migration from the store: the
@@ -3043,6 +3406,25 @@ let render_event t (e : Obs.Trace.event) =
       Printf.sprintf
         "balance tick: spread %.6f, proposed %d, moved %d" spread proposed
         moved
+    | Obs.Trace.Dspec_open { txn; uid } ->
+      Printf.sprintf "dspec txn %d opened by pid %d at level uid %d" txn
+        e.Obs.Trace.pid uid
+    | Obs.Trace.Dspec_prepare { txn; parts } ->
+      Printf.sprintf "dspec txn %d prepare over pids [%s]" txn
+        (String.concat "," (List.map string_of_int parts))
+    | Obs.Trace.Dspec_fence { txn; part_rank; stale_epoch; current_epoch } ->
+      Printf.sprintf
+        "dspec txn %d fenced participant rank %d (epoch %d, current %d)"
+        txn part_rank stale_epoch current_epoch
+    | Obs.Trace.Dspec_commit { txn; parts } ->
+      Printf.sprintf "dspec txn %d committed over pids [%s]" txn
+        (String.concat "," (List.map string_of_int parts))
+    | Obs.Trace.Dspec_abort { txn; parts; reason } ->
+      Printf.sprintf "dspec txn %d aborted (%s) over pids [%s]" txn reason
+        (String.concat "," (List.map string_of_int parts))
+    | Obs.Trace.Dspec_compensate { txn; discarded } ->
+      Printf.sprintf "dspec txn %d compensated: %d message(s) un-delivered"
+        txn discarded
   in
   Printf.sprintf "[%10.6f] %s" e.Obs.Trace.time text
 
@@ -3054,6 +3436,7 @@ let net t = t.net
 let trace t = t.tracer
 let metrics t = t.metrics
 let fault_plan t = Faults.plan t.faults
+let dspec t = t.dspec
 
 (* Aggregate recompilation-cache statistics over every node's daemon. *)
 let cache_hit_rate t =

@@ -386,6 +386,10 @@ val trace : t -> Obs.Trace.t
     speculation resolution, message traffic and collections, stamped
     with simulated time (export with {!Obs.Trace.write_jsonl}). *)
 
+val dspec : t -> Dspec.t
+(** The cluster-global distributed-transaction table (tests and audits
+    read transaction states and counters through it). *)
+
 val metrics : t -> Obs.Metrics.t
 (** The cluster-level registry: scheduler counters ([sched.rounds],
     [sched.quanta]), migration counters and cost histograms

@@ -33,6 +33,7 @@ type plan = {
   f_partitions : partition list;
   f_stalls : stall list;
   f_crashes : crash list;
+  f_crash_in_commit : float;
   f_store_lost : float;
   f_store_torn : float;
   f_store_flip : float;
@@ -48,6 +49,7 @@ let none =
     f_partitions = [];
     f_stalls = [];
     f_crashes = [];
+    f_crash_in_commit = 0.0;
     f_store_lost = 0.0;
     f_store_torn = 0.0;
     f_store_flip = 0.0;
@@ -56,7 +58,8 @@ let none =
 let is_none p =
   p.f_loss = 0.0 && p.f_dup = 0.0 && p.f_jitter_s = 0.0
   && p.f_partitions = [] && p.f_stalls = [] && p.f_crashes = []
-  && p.f_store_lost = 0.0 && p.f_store_torn = 0.0 && p.f_store_flip = 0.0
+  && p.f_crash_in_commit = 0.0 && p.f_store_lost = 0.0
+  && p.f_store_torn = 0.0 && p.f_store_flip = 0.0
 
 let validate p =
   let prob name v =
@@ -79,6 +82,9 @@ let validate p =
   let ( let* ) = Result.bind in
   let* () = prob "loss" p.f_loss in
   let* () = prob "dup" p.f_dup in
+  (* 1.0 would abort every commit round forever (the protocol retries),
+     the same livelock argument that bounds loss below 1 *)
+  let* () = prob "crash_in_commit" p.f_crash_in_commit in
   let* () = nonneg "jitter" p.f_jitter_s in
   let* () = store_prob "store_lost" p.f_store_lost in
   let* () = store_prob "store_torn" p.f_store_torn in
@@ -120,6 +126,8 @@ let plan_to_string p =
   if p.f_jitter_s > 0.0 then add "jitter %g\n" p.f_jitter_s;
   if p.f_retransmit_s <> none.f_retransmit_s then
     add "retransmit %g\n" p.f_retransmit_s;
+  if p.f_crash_in_commit > 0.0 then
+    add "crash_in_commit %g\n" p.f_crash_in_commit;
   if p.f_store_lost > 0.0 then add "store_lost %g\n" p.f_store_lost;
   if p.f_store_torn > 0.0 then add "store_torn %g\n" p.f_store_torn;
   if p.f_store_flip > 0.0 then add "store_flip %g\n" p.f_store_flip;
@@ -157,6 +165,21 @@ let parse_plan ?seed text =
     | Some v -> Ok v
     | None -> err lineno "bad %s %S" what s
   in
+  (* Range checks happen HERE, per directive, so a bad value is reported
+     with its line number; [validate] still guards plans built in code. *)
+  let prob_at lineno name v =
+    if v < 0.0 || v >= 1.0 then
+      err lineno "%s must be in [0,1), got %g" name v
+    else Ok v
+  in
+  let store_prob_at lineno name v =
+    if v < 0.0 || v > 1.0 then
+      err lineno "%s must be in [0,1], got %g" name v
+    else Ok v
+  in
+  let nonneg_at lineno name v =
+    if v < 0.0 then err lineno "%s must be >= 0, got %g" name v else Ok v
+  in
   let lines = String.split_on_char '\n' text in
   let result =
     List.fold_left
@@ -181,30 +204,49 @@ let parse_plan ?seed text =
             Ok { p with f_seed = n }
           | [ "loss"; v ] ->
             let* v = float_of lineno "loss" v in
+            let* v = prob_at lineno "loss" v in
             Ok { p with f_loss = v }
           | [ "dup"; v ] ->
             let* v = float_of lineno "dup" v in
+            let* v = prob_at lineno "dup" v in
             Ok { p with f_dup = v }
           | [ "jitter"; v ] ->
             let* v = float_of lineno "jitter" v in
+            let* v = nonneg_at lineno "jitter" v in
             Ok { p with f_jitter_s = v }
           | [ "retransmit"; v ] ->
             let* v = float_of lineno "retransmit" v in
+            let* v =
+              if v <= 0.0 then err lineno "retransmit must be > 0, got %g" v
+              else Ok v
+            in
             Ok { p with f_retransmit_s = v }
+          | [ "crash_in_commit"; v ] ->
+            let* v = float_of lineno "crash_in_commit" v in
+            let* v = prob_at lineno "crash_in_commit" v in
+            Ok { p with f_crash_in_commit = v }
           | [ "store_lost"; v ] ->
             let* v = float_of lineno "store_lost" v in
+            let* v = store_prob_at lineno "store_lost" v in
             Ok { p with f_store_lost = v }
           | [ "store_torn"; v ] ->
             let* v = float_of lineno "store_torn" v in
+            let* v = store_prob_at lineno "store_torn" v in
             Ok { p with f_store_torn = v }
           | [ "store_flip"; v ] ->
             let* v = float_of lineno "store_flip" v in
+            let* v = store_prob_at lineno "store_flip" v in
             Ok { p with f_store_flip = v }
           | [ "partition"; a; b; "from"; f; "until"; u ] ->
             let* a = int_of lineno "node" a in
             let* b = int_of lineno "node" b in
             let* f = float_of lineno "time" f in
             let* u = float_of lineno "time" u in
+            let* () =
+              if u < f then
+                err lineno "partition %d-%d heals before it starts" a b
+              else Ok ()
+            in
             Ok
               {
                 p with
@@ -216,6 +258,7 @@ let parse_plan ?seed text =
             let* n = int_of lineno "node" n in
             let* a = float_of lineno "time" a in
             let* d = float_of lineno "duration" d in
+            let* d = nonneg_at lineno "stall duration" d in
             Ok
               {
                 p with
@@ -257,6 +300,7 @@ type t = {
   c_hop_dup : Obs.Metrics.counter;
   c_stalls : Obs.Metrics.counter;
   c_crashes : Obs.Metrics.counter;
+  c_crash_in_commit : Obs.Metrics.counter;
   c_hb_dropped : Obs.Metrics.counter;
   c_store_lost : Obs.Metrics.counter;
   c_store_torn : Obs.Metrics.counter;
@@ -276,6 +320,9 @@ let create ?(salt = 0) ?metrics plan =
   let c_hop_dup = Obs.Metrics.counter metrics "faults.hop_dup" in
   let c_stalls = Obs.Metrics.counter metrics "faults.stalls" in
   let c_crashes = Obs.Metrics.counter metrics "faults.crashes" in
+  let c_crash_in_commit =
+    Obs.Metrics.counter metrics "faults.crash_in_commit"
+  in
   let c_hb_dropped = Obs.Metrics.counter metrics "faults.hb_dropped" in
   let c_store_lost = Obs.Metrics.counter metrics "faults.store_lost" in
   let c_store_torn = Obs.Metrics.counter metrics "faults.store_torn" in
@@ -292,6 +339,7 @@ let create ?(salt = 0) ?metrics plan =
     c_hop_dup;
     c_stalls;
     c_crashes;
+    c_crash_in_commit;
     c_hb_dropped;
     c_store_lost;
     c_store_torn;
@@ -455,6 +503,21 @@ let dup_hop t =
   let p = t.t_plan in
   if p.f_dup > 0.0 && Random.State.float t.t_rng 1.0 < p.f_dup then begin
     Obs.Metrics.incr t.c_hop_dup;
+    true
+  end
+  else false
+
+(* Should one participant of the commit round in flight crash between
+   its prepare-ack and the commit receipt?  One draw per protocol round
+   (after all acks are in), like [dup_hop]'s one draw per delivered
+   image, so fault-free plans consume no randomness. *)
+let crash_in_commit t =
+  let p = t.t_plan in
+  if
+    p.f_crash_in_commit > 0.0
+    && Random.State.float t.t_rng 1.0 < p.f_crash_in_commit
+  then begin
+    Obs.Metrics.incr t.c_crash_in_commit;
     true
   end
   else false

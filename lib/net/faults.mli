@@ -44,6 +44,10 @@ type plan = {
   f_partitions : partition list;
   f_stalls : stall list;
   f_crashes : crash list;
+  f_crash_in_commit : float;
+      (** per-commit-round probability that one participant crashes
+          between its prepare-ack and the commit receipt, [0,1) — the
+          coordinator must abort the in-doubt transaction *)
   f_store_lost : float;
       (** per-replica-write probability the file silently vanishes, [0,1] *)
   f_store_torn : float;
@@ -74,6 +78,7 @@ val validate : plan -> (plan, string) result
     partition 0 3 from 0.2 until forever
     stall 3 at 0.08 for 0.01
     crash 1 at 0.15
+    crash_in_commit 0.02
     store_lost 0.05
     store_torn 0.02
     store_flip 0.02
@@ -81,7 +86,9 @@ val validate : plan -> (plan, string) result
 
 val parse_plan : ?seed:int -> string -> (plan, string) result
 (** Parse plan-file CONTENTS (not a path).  [seed] overrides any [seed]
-    line in the file ([--seed N] on the CLI). *)
+    line in the file ([--seed N] on the CLI).  Every error — malformed
+    token, unknown directive, or out-of-range value — is reported as
+    ["line N: ..."]. *)
 
 val plan_to_string : plan -> string
 (** Render a plan back into the file format ([parse_plan] round-trips). *)
@@ -96,9 +103,9 @@ val create : ?salt:int -> ?metrics:Obs.Metrics.t -> plan -> t
     diverge when asked to.  [metrics] receives the fault counters
     ([faults.retransmits], [faults.msg_dup], [faults.msg_dropped],
     [faults.hop_lost], [faults.hop_dup], [faults.stalls],
-    [faults.crashes], [faults.hb_dropped], [faults.store_lost],
-    [faults.store_torn], [faults.store_flip]); a private registry is
-    used when omitted. *)
+    [faults.crashes], [faults.crash_in_commit], [faults.hb_dropped],
+    [faults.store_lost], [faults.store_torn], [faults.store_flip]); a
+    private registry is used when omitted. *)
 
 val plan : t -> plan
 
@@ -131,6 +138,12 @@ val on_hop : t -> now:float -> src:int -> dst:int -> [ `Deliver | `Lost | `Parti
 val dup_hop : t -> bool
 (** Should a delivered migration image also arrive a second time?
     (Exercises the receiver's idempotent-receive path.) *)
+
+val crash_in_commit : t -> bool
+(** Should one participant of the commit round in flight crash between
+    its prepare-ack and the commit receipt?  One draw per protocol
+    round, made after all acks are in; the coordinator treats the
+    victim as in-doubt and must abort. *)
 
 val on_heartbeat :
   t -> now:float -> src:int -> dst:int -> [ `Deliver of float | `Drop ]

@@ -231,6 +231,22 @@ let discard_speculative mbox ~uids ~sender_pid =
   if mbox.size > 0 then rebuild mbox (List.filter keep (stamped mbox));
   !dropped
 
+(* Strip the speculative stamp from queued messages sent by the given
+   speculation levels (a distributed commit decided in favour of the
+   sender: its in-flight messages become durable, and a receiver that
+   consumes one later must NOT join a level that no longer exists). *)
+let settle_speculative mbox ~uids ~sender_pid =
+  let settled = ref 0 in
+  let map ((stamp, m) : int * message) =
+    match m.msg_spec with
+    | Some (pid, uid) when pid = sender_pid && List.mem uid uids ->
+      incr settled;
+      (stamp, { m with msg_spec = None })
+    | Some _ | None -> (stamp, m)
+  in
+  if mbox.size > 0 then rebuild mbox (List.map map (stamped mbox));
+  !settled
+
 (* Drop queued messages whose sender incarnation is stale ([stale m]
    decides, typically by comparing [msg_src_epoch] against the rank's
    current epoch).  Used by epoch fencing: traffic from a superseded

@@ -61,6 +61,12 @@ val discard_speculative : mailbox -> uids:int list -> sender_pid:int -> int
     (the sender rolled back: its speculative messages are unsent).
     Returns the number dropped. *)
 
+val settle_speculative : mailbox -> uids:int list -> sender_pid:int -> int
+(** Strip the speculative stamp from queued messages sent by the given
+    levels (a distributed commit made the sender's effects durable, so
+    its in-flight messages must stop carrying a join obligation).
+    Returns the number settled. *)
+
 val discard_stale : mailbox -> stale:(message -> bool) -> int
 (** Drop queued messages from superseded sender incarnations (epoch
     fencing).  Returns the number dropped. *)

@@ -61,6 +61,17 @@ type kind =
   | Recipient_moved of { laddr : int; new_rank : int }
   | Forward_expired of { laddr : int; rank : int }
   | Balance_tick of { spread : float; proposed : int; moved : int }
+  | Dspec_open of { txn : int; uid : int }
+  | Dspec_prepare of { txn : int; parts : int list }
+  | Dspec_fence of {
+      txn : int;
+      part_rank : int;
+      stale_epoch : int;
+      current_epoch : int;
+    }
+  | Dspec_commit of { txn : int; parts : int list }
+  | Dspec_abort of { txn : int; parts : int list; reason : string }
+  | Dspec_compensate of { txn : int; discarded : int }
 
 type event = {
   time : float; (* simulated seconds *)
@@ -138,6 +149,12 @@ let kind_label = function
   | Recipient_moved _ -> "recipient_moved"
   | Forward_expired _ -> "forward_expired"
   | Balance_tick _ -> "balance_tick"
+  | Dspec_open _ -> "dspec_open"
+  | Dspec_prepare _ -> "dspec_prepare"
+  | Dspec_fence _ -> "dspec_fence"
+  | Dspec_commit _ -> "dspec_commit"
+  | Dspec_abort _ -> "dspec_abort"
+  | Dspec_compensate _ -> "dspec_compensate"
 
 (* ------------------------------------------------------------------ *)
 (* JSONL export                                                        *)
@@ -235,6 +252,21 @@ let kind_fields buf = function
   | Balance_tick { spread; proposed; moved } ->
     Printf.bprintf buf ",\"spread\":%s,\"proposed\":%d,\"moved\":%d"
       (json_float spread) proposed moved
+  | Dspec_open { txn; uid } ->
+    Printf.bprintf buf ",\"txn\":%d,\"uid\":%d" txn uid
+  | Dspec_prepare { txn; parts } | Dspec_commit { txn; parts } ->
+    Printf.bprintf buf ",\"txn\":%d,\"parts\":[%s]" txn
+      (String.concat "," (List.map string_of_int parts))
+  | Dspec_fence { txn; part_rank; stale_epoch; current_epoch } ->
+    Printf.bprintf buf
+      ",\"txn\":%d,\"part_rank\":%d,\"stale_epoch\":%d,\"current_epoch\":%d"
+      txn part_rank stale_epoch current_epoch
+  | Dspec_abort { txn; parts; reason } ->
+    Printf.bprintf buf ",\"txn\":%d,\"parts\":[%s],\"reason\":\"%s\"" txn
+      (String.concat "," (List.map string_of_int parts))
+      (json_escape reason)
+  | Dspec_compensate { txn; discarded } ->
+    Printf.bprintf buf ",\"txn\":%d,\"discarded\":%d" txn discarded
 
 let event_to_json e =
   let buf = Buffer.create 128 in

@@ -79,6 +79,30 @@ type kind =
           max-min composite node load, [proposed] how many moves the
           planner emitted, [moved] how many committed.  Only recorded
           when the engine is enabled, so legacy traces are unchanged. *)
+  | Dspec_open of { txn : int; uid : int }
+      (** a process opened a distributed speculative transaction: its
+          current level [uid] becomes the transaction's root region *)
+  | Dspec_prepare of { txn : int; parts : int list }
+      (** the coordinator started a commit round over participant pids *)
+  | Dspec_fence of {
+      txn : int;
+      part_rank : int;
+      stale_epoch : int;
+      current_epoch : int;
+    }
+      (** a participant's recorded incarnation epoch was superseded; its
+          prepare-ack is void and the transaction must abort (a zombie
+          can never ack for a dead incarnation) *)
+  | Dspec_commit of { txn : int; parts : int list }
+      (** all participants acked at their recorded epochs; the decision
+          is commit and every joined level may fold durably *)
+  | Dspec_abort of { txn : int; parts : int list; reason : string }
+      (** the decision is abort: every participant rolls back
+          ([reason]: "fence" | "crash_in_commit" | "participant_dead" |
+          "coordinator_dead" | "coordinator_rolled_back") *)
+  | Dspec_compensate of { txn : int; discarded : int }
+      (** mailbox compensation un-delivered [discarded] in-flight
+          messages sent from the doomed region *)
 
 type event = {
   time : float;  (** simulated seconds *)

@@ -40,19 +40,11 @@ type level = {
   saved_set : (int, unit) Hashtbl.t;
 }
 
-type stats = {
-  mutable entered : int;
-  mutable committed : int;
-  mutable rolled_back : int;
-  mutable blocks_saved : int;
-  mutable blocks_discarded : int;
-}
-
 type t = {
   heap : Heap.t;
   mutable levels : level list; (* newest first *)
   mutable next_id : int;
-  (* counters live in a metrics registry; [stats] is a snapshot view *)
+  (* counters live in a metrics registry *)
   metrics : Obs.Metrics.t;
   c_entered : Obs.Metrics.counter;
   c_committed : Obs.Metrics.counter;
@@ -113,16 +105,6 @@ let create heap =
   t
 
 let metrics t = t.metrics
-
-(* Thin view: the historical record, snapshotted from the registry. *)
-let stats t =
-  {
-    entered = Obs.Metrics.count t.c_entered;
-    committed = Obs.Metrics.count t.c_committed;
-    rolled_back = Obs.Metrics.count t.c_rolled_back;
-    blocks_saved = Obs.Metrics.count t.c_blocks_saved;
-    blocks_discarded = Obs.Metrics.count t.c_blocks_discarded;
-  }
 let depth t = List.length t.levels
 
 (* Unique level identities, newest first.  Level numbers (1..N) shift when

@@ -29,24 +29,10 @@ type cont = { entry : string; args : Value.t list }
 
 type level
 
-type stats = {
-  mutable entered : int;
-  mutable committed : int;
-  mutable rolled_back : int;
-  mutable blocks_saved : int;
-  mutable blocks_discarded : int;
-}
-(** Historical view: a snapshot built from the metrics registry at call
-    time (see {!stats}). *)
-
 type t
 
 val create : Heap.t -> t
 (** Create an engine over [heap], installing its copy-on-write hook. *)
-
-val stats : t -> stats
-(** A snapshot of the registry counters in the historical record shape;
-    mutating the returned record has no effect on the engine. *)
 
 val metrics : t -> Obs.Metrics.t
 (** The live registry: counters [spec.entered], [spec.committed],

@@ -236,7 +236,7 @@ let serve_cluster ~nodes ~seed ~balance_on =
 
 let t2_cfg =
   { Mcc.Gridapp.Serve.clients = 8; services = 6; requests_per_client = 150;
-    work_us = 40; skew = true }
+    work_us = 40; skew = true; speculative = false }
 
 let test_policy_rebalances_64_nodes () =
   let cluster = serve_cluster ~nodes:64 ~seed:env_seed ~balance_on:true in
@@ -479,7 +479,7 @@ let serve_trace ~seed reason =
   in
   let cfg =
     { Mcc.Gridapp.Serve.clients = 3; services = 2; requests_per_client = 30;
-      work_us = 20; skew = false }
+      work_us = 20; skew = false; speculative = false }
   in
   let d = Mcc.Gridapp.Serve.deploy cluster cfg in
   let moved = ref false in

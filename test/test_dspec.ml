@@ -1,0 +1,378 @@
+(* Tests for the distributed-speculation coordinator: 2PC commit over
+   epoch-pinned participants, distributed rollback with mailbox
+   compensation, coordinator-death and coordinator-rollback aborts, and
+   the headline property — speculative exactly-once serving under
+   loss + duplication + crash_in_commit fault plans with services
+   migrating mid-region.
+
+   Cluster-level tests take their fault seed from MCC_FAULT_SEED when
+   set (CI rotates it); every faulty scenario runs TWICE under the same
+   seed and the JSONL traces must be byte-identical. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let env_seed =
+  match Sys.getenv_opt "MCC_FAULT_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with Failure _ -> 11)
+  | None -> 11
+
+let compile_c src =
+  match Minic.Driver.compile src with
+  | Ok fir -> fir
+  | Error e -> Alcotest.failf "C compile: %s" (Minic.Driver.error_to_string e)
+
+let mk_cluster ?(nodes = 3) ?(seed = 1) plan =
+  Net.Cluster.create_cfg
+    { Net.Cluster.Config.default with
+      node_count = nodes;
+      seed;
+      net = Some (Net.Simnet.create ~latency_us:5.0 ());
+      faults = plan }
+
+let count cluster name =
+  Obs.Metrics.counter_value (Net.Cluster.metrics cluster) name
+
+let exit_code cluster pid =
+  match Net.Cluster.entry_of_pid cluster pid with
+  | Some e -> (
+    match e.Net.Cluster.proc.Vm.Process.status with
+    | Vm.Process.Exited n -> Some n
+    | _ -> None)
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Trace audit: zero partial commits                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The audit the bench's F5 acceptance relies on, exercised here at
+   test scale: (1) no transaction both commits and aborts; (2) every
+   abort decided by a LIVE coordinator (fence / crash_in_commit) is
+   followed by that coordinator's own region rollback; (3) every abort
+   is followed by mailbox compensation for its transaction. *)
+let audit_no_partial_commits events =
+  let committed = Hashtbl.create 16 and aborted = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Obs.Trace.event) ->
+      match ev.Obs.Trace.kind with
+      | Obs.Trace.Dspec_commit { txn; _ } -> Hashtbl.replace committed txn ()
+      | Obs.Trace.Dspec_abort { txn; _ } -> Hashtbl.replace aborted txn ()
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun txn () ->
+      if Hashtbl.mem committed txn then
+        Alcotest.failf "partial commit: txn %d both committed and aborted"
+          txn)
+    aborted;
+  List.iter
+    (fun (ev : Obs.Trace.event) ->
+      match ev.Obs.Trace.kind with
+      | Obs.Trace.Dspec_abort { txn; reason; _ }
+        when reason = "fence" || reason = "crash_in_commit" ->
+        let rolled =
+          List.exists
+            (fun (e2 : Obs.Trace.event) ->
+              e2.Obs.Trace.pid = ev.Obs.Trace.pid
+              && e2.Obs.Trace.time >= ev.Obs.Trace.time
+              &&
+              match e2.Obs.Trace.kind with
+              | Obs.Trace.Spec_rollback _ -> true
+              | _ -> false)
+            events
+        in
+        if not rolled then
+          Alcotest.failf
+            "txn %d aborted (%s) but coordinator pid %d never rolled back"
+            txn reason ev.Obs.Trace.pid;
+        let compensated =
+          List.exists
+            (fun (e2 : Obs.Trace.event) ->
+              match e2.Obs.Trace.kind with
+              | Obs.Trace.Dspec_compensate { txn = x; _ } -> x = txn
+              | _ -> false)
+            events
+        in
+        if not compensated then
+          Alcotest.failf "txn %d aborted without mailbox compensation" txn
+      | _ -> ())
+    events
+
+let abort_reasons events =
+  List.filter_map
+    (fun (ev : Obs.Trace.event) ->
+      match ev.Obs.Trace.kind with
+      | Obs.Trace.Dspec_abort { reason; _ } -> Some reason
+      | _ -> None)
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Fault-free speculative serving                                      *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cfg =
+  { Mcc.Gridapp.Serve.clients = 3; services = 2; requests_per_client = 20;
+    work_us = 20; skew = false; speculative = true }
+
+let test_fault_free_speculative_serving () =
+  let cluster = mk_cluster ~nodes:3 Net.Faults.none in
+  let d = Mcc.Gridapp.Serve.deploy cluster serve_cfg in
+  let r = Mcc.Gridapp.Serve.run d in
+  let total =
+    serve_cfg.Mcc.Gridapp.Serve.clients
+    * serve_cfg.Mcc.Gridapp.Serve.requests_per_client
+  in
+  check "exactly-once" true (Mcc.Gridapp.Serve.exactly_once d r);
+  check_int "one commit per unique request" total
+    (count cluster "dspec.commits");
+  check_int "no aborts without faults" 0 (count cluster "dspec.aborts");
+  check_int "every opened txn resolved" (count cluster "dspec.opened")
+    (count cluster "dspec.commits" + count cluster "dspec.aborts");
+  check_int "one prepare round per txn" (count cluster "dspec.opened")
+    (count cluster "dspec.prepares");
+  audit_no_partial_commits (Obs.Trace.events (Net.Cluster.trace cluster))
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator rollback: abort + mailbox compensation                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The coordinator opens a txn, sends a stamped message, and aborts its
+   region before the participant consumes it (the participant is pinned
+   in work_us long past the abort): the txn must abort with
+   "coordinator_rolled_back" and compensation must un-deliver the
+   message.  The retry round then commits cleanly through the 2PC. *)
+let coord_rollback_src =
+  {|
+int main() {
+  float *buf = alloc_float(2);
+  int specid; int txn; int rc; int tries;
+  tries = 0;
+  specid = speculate();
+  if (specid < 0) { specid = 0 - specid; tries = 1; }
+  buf[0] = 7.0;
+  txn = dspec_open();
+  msg_send(1, 5, buf, 1);
+  if (tries == 0) { abort(specid); }
+  rc = dspec_commit(txn);
+  if (rc == 0) { commit(specid); }
+  if (rc < 0) { return 0 - 1; }
+  return txn;
+}
+|}
+
+let part_consume_src =
+  {|
+int main() {
+  float *buf = alloc_float(2);
+  int got; int cs; int fin;
+  work_us(1000);
+  cs = speculate();
+  if (cs < 0) { cs = 0 - cs; }
+  got = msg_try_recv(0, 5, buf, 1);
+  while (got == 0 - 1) { got = msg_try_recv(0, 5, buf, 1); }
+  if (got == 0 - 2) { abort(cs); }
+  fin = spec_pending();
+  while (fin == 1) { fin = spec_pending(); }
+  commit(cs);
+  return (int)buf[0];
+}
+|}
+
+let run_coord_rollback () =
+  let cluster = mk_cluster ~nodes:2 Net.Faults.none in
+  let coord =
+    Net.Cluster.spawn cluster ~rank:0 ~node_id:0 (compile_c coord_rollback_src)
+  in
+  let part =
+    Net.Cluster.spawn cluster ~rank:1 ~node_id:1 (compile_c part_consume_src)
+  in
+  ignore (Net.Cluster.run cluster ~max_rounds:200_000);
+  cluster, coord, part
+
+let test_coordinator_rollback_compensates () =
+  let cluster, coord, part = run_coord_rollback () in
+  check "coordinator exited with the retry txn" true
+    (exit_code cluster coord = Some 2);
+  check "participant saw the retried payload" true
+    (exit_code cluster part = Some 7);
+  check_int "first txn aborted" 1 (count cluster "dspec.aborts");
+  check_int "retry txn committed" 1 (count cluster "dspec.commits");
+  check_int "the stamped message was un-delivered" 1
+    (count cluster "dspec.compensated");
+  (match Net.Dspec.find (Net.Cluster.dspec cluster) 1 with
+  | Some txn ->
+    check "txn 1 state" true
+      (txn.Net.Dspec.x_state = Net.Dspec.Aborted "coordinator_rolled_back")
+  | None -> Alcotest.fail "txn 1 not found");
+  (match Net.Dspec.find (Net.Cluster.dspec cluster) 2 with
+  | Some txn ->
+    check "txn 2 state" true (txn.Net.Dspec.x_state = Net.Dspec.Committed)
+  | None -> Alcotest.fail "txn 2 not found");
+  check "abort reason recorded" true
+    (List.mem "coordinator_rolled_back"
+       (abort_reasons (Obs.Trace.events (Net.Cluster.trace cluster))));
+  audit_no_partial_commits (Obs.Trace.events (Net.Cluster.trace cluster))
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator crash: the participant must not wait forever            *)
+(* ------------------------------------------------------------------ *)
+
+(* The coordinator opens a txn, the participant JOINS it by consuming
+   the stamped message and spins on the pre-commit barrier; then the
+   coordinator's node dies.  The txn must abort with
+   "coordinator_dead" and the cascade must force-roll the joined
+   participant off the doomed region. *)
+let coord_crash_src =
+  {|
+int main() {
+  float *buf = alloc_float(2);
+  int specid; int txn; int got;
+  specid = speculate();
+  if (specid < 0) { specid = 0 - specid; }
+  buf[0] = 42.0;
+  txn = dspec_open();
+  msg_send(1, 5, buf, 1);
+  got = msg_try_recv(1, 9, buf, 1);
+  while (got == 0 - 1) { got = msg_try_recv(1, 9, buf, 1); }
+  commit(specid);
+  return txn;
+}
+|}
+
+let part_join_src =
+  {|
+int main() {
+  float *buf = alloc_float(2);
+  int got; int cs; int fin;
+  cs = speculate();
+  if (cs < 0) { cs = 0 - cs; }
+  got = msg_try_recv(0, 5, buf, 1);
+  while (got == 0 - 1) { got = msg_try_recv(0, 5, buf, 1); }
+  if (got == 0 - 2) { abort(cs); }
+  fin = spec_pending();
+  while (fin == 1) { fin = spec_pending(); }
+  commit(cs);
+  return (int)buf[0];
+}
+|}
+
+let run_coord_crash () =
+  let cluster = mk_cluster ~nodes:2 Net.Faults.none in
+  let coord =
+    Net.Cluster.spawn cluster ~rank:0 ~node_id:0 (compile_c coord_crash_src)
+  in
+  let part =
+    Net.Cluster.spawn cluster ~rank:1 ~node_id:1 (compile_c part_join_src)
+  in
+  (* run until the participant is spinning on the barrier (the
+     coordinator parks on a tag that never arrives; the budget bounds
+     the participant's spin) *)
+  ignore (Net.Cluster.run cluster ~max_rounds:50_000);
+  Net.Cluster.fail_node cluster 0;
+  ignore (Net.Cluster.run cluster ~max_rounds:50_000);
+  cluster, coord, part
+
+let test_coordinator_crash_aborts () =
+  let cluster, _coord, part = run_coord_crash () in
+  check_int "txn aborted" 1 (count cluster "dspec.aborts");
+  check_int "nothing committed" 0 (count cluster "dspec.commits");
+  (match Net.Dspec.find (Net.Cluster.dspec cluster) 1 with
+  | Some txn ->
+    check "txn 1 state" true
+      (txn.Net.Dspec.x_state = Net.Dspec.Aborted "coordinator_dead")
+  | None -> Alcotest.fail "txn 1 not found");
+  check "abort reason recorded" true
+    (List.mem "coordinator_dead"
+       (abort_reasons (Obs.Trace.events (Net.Cluster.trace cluster))));
+  (* the joined participant was rolled off the doomed region *)
+  let forced =
+    List.exists
+      (fun (ev : Obs.Trace.event) ->
+        ev.Obs.Trace.pid = part
+        &&
+        match ev.Obs.Trace.kind with
+        | Obs.Trace.Forced_rollback _ -> true
+        | _ -> false)
+      (Obs.Trace.events (Net.Cluster.trace cluster))
+  in
+  check "participant force-rolled" true forced
+
+let trace_of_scenario run_scenario =
+  let cluster, _, _ = run_scenario () in
+  Obs.Trace.to_jsonl (Net.Cluster.trace cluster)
+
+let test_crash_scenarios_reproducible () =
+  Alcotest.(check string)
+    "coordinator-rollback: byte-identical traces"
+    (trace_of_scenario run_coord_rollback)
+    (trace_of_scenario run_coord_rollback);
+  Alcotest.(check string)
+    "coordinator-crash: byte-identical traces"
+    (trace_of_scenario run_coord_crash)
+    (trace_of_scenario run_coord_crash)
+
+(* ------------------------------------------------------------------ *)
+(* Participant crash in the commit round, under full fault plans       *)
+(* ------------------------------------------------------------------ *)
+
+let f5_plan seed =
+  { Net.Faults.none with
+    f_seed = seed;
+    f_loss = 0.05;
+    f_dup = 0.05;
+    f_crash_in_commit = 0.35 }
+
+(* The headline: speculative exactly-once serving with services
+   migrating mid-region while the commit round loses participants to
+   crash_in_commit.  Every abort must replay to a clean commit; the
+   dedup state must never double-serve. *)
+let run_f5 seed =
+  let cluster = mk_cluster ~nodes:3 (f5_plan seed) in
+  let d = Mcc.Gridapp.Serve.deploy cluster serve_cfg in
+  let r =
+    Mcc.Gridapp.Serve.run ~migrate_every_s:0.002 ~migrations:4 d
+  in
+  cluster, d, r
+
+let test_speculative_serving_under_faults () =
+  let cluster, d, r = run_f5 env_seed in
+  let total =
+    serve_cfg.Mcc.Gridapp.Serve.clients
+    * serve_cfg.Mcc.Gridapp.Serve.requests_per_client
+  in
+  check "exactly-once under faults" true (Mcc.Gridapp.Serve.exactly_once d r);
+  check_int "one commit per unique request" total
+    (count cluster "dspec.commits");
+  check "commit rounds were crashed" true (count cluster "dspec.aborts" > 0);
+  check "crashed acks were fenced" true
+    (count cluster "dspec.fence_rejections" > 0);
+  check_int "every opened txn resolved" (count cluster "dspec.opened")
+    (count cluster "dspec.commits" + count cluster "dspec.aborts");
+  audit_no_partial_commits (Obs.Trace.events (Net.Cluster.trace cluster))
+
+let test_faulty_serving_reproducible () =
+  let trace () =
+    let cluster, _, _ = run_f5 env_seed in
+    Obs.Trace.to_jsonl (Net.Cluster.trace cluster)
+  in
+  Alcotest.(check string) "same seed, byte-identical traces" (trace ())
+    (trace ())
+
+let suites =
+  [
+    ( "dspec",
+      [
+        Alcotest.test_case "fault-free speculative serving" `Quick
+          test_fault_free_speculative_serving;
+        Alcotest.test_case "coordinator rollback compensates mailboxes"
+          `Quick test_coordinator_rollback_compensates;
+        Alcotest.test_case "coordinator crash aborts the txn" `Quick
+          test_coordinator_crash_aborts;
+        Alcotest.test_case "crash scenarios: byte-identical traces" `Quick
+          test_crash_scenarios_reproducible;
+        Alcotest.test_case "exactly-once under crash_in_commit + migration"
+          `Quick test_speculative_serving_under_faults;
+        Alcotest.test_case "faulty serving: byte-identical traces" `Quick
+          test_faulty_serving_reproducible;
+      ] );
+  ]

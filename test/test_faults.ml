@@ -65,6 +65,7 @@ let sample_plan_text =
    dup 0.05\n\
    jitter 0.0005\n\
    retransmit 0.001\n\
+   crash_in_commit 0.25\n\
    partition 1 2 from 0.05 until 0.12\n\
    partition 0 3 from 0.2 until forever\n\
    stall 3 at 0.08 for 0.01\n\
@@ -76,6 +77,7 @@ let test_plan_roundtrip () =
   | Ok p ->
     check_int "seed" 7 p.Net.Faults.f_seed;
     check "loss" true (p.Net.Faults.f_loss = 0.10);
+    check "crash_in_commit" true (p.Net.Faults.f_crash_in_commit = 0.25);
     check_int "partitions" 2 (List.length p.Net.Faults.f_partitions);
     check "one never heals" true
       (List.exists
@@ -100,7 +102,31 @@ let test_plan_errors () =
   expect_error "negative stall duration" "stall 0 at 1.0 for -0.5\n";
   expect_error "partition healing before it starts"
     "partition 0 1 from 0.5 until 0.2\n";
-  expect_error "bad number" "loss zero\n"
+  expect_error "bad number" "loss zero\n";
+  expect_error "crash_in_commit of 1 (would livelock every commit round)"
+    "crash_in_commit 1.0\n"
+
+(* every rejection names the offending line, including lines pushed down
+   by comments and blanks *)
+let test_plan_errors_report_lines () =
+  let expect_line what line text =
+    match Net.Faults.parse_plan text with
+    | Ok _ -> Alcotest.failf "%s was accepted" what
+    | Error m ->
+      let prefix = Printf.sprintf "line %d:" line in
+      check
+        (Printf.sprintf "%s names line %d (got %S)" what line m)
+        true
+        (String.length m >= String.length prefix
+        && String.sub m 0 (String.length prefix) = prefix)
+  in
+  expect_line "bad loss on line 1" 1 "loss 1.5\n";
+  expect_line "bad dup after two good lines" 3 "seed 7\nloss 0.1\ndup -0.1\n";
+  expect_line "unknown directive on line 2" 2 "loss 0.1\nlose 0.1\n";
+  expect_line "comment and blank lines still count" 4
+    "# header\n\nseed 3\ncrash_in_commit 1.0\n";
+  expect_line "truncated partition on line 2" 2
+    "seed 1\npartition 0 1 from 0.0\n"
 
 let test_plan_seed_override () =
   match Net.Faults.parse_plan ~seed:42 "seed 7\nloss 0.2\n" with
@@ -896,6 +922,8 @@ let suites =
           test_plan_roundtrip;
         Alcotest.test_case "malformed plans are rejected" `Quick
           test_plan_errors;
+        Alcotest.test_case "rejections report line numbers" `Quick
+          test_plan_errors_report_lines;
         Alcotest.test_case "CLI seed overrides the file" `Quick
           test_plan_seed_override;
       ] );

@@ -5,4 +5,5 @@ let () =
     @ Test_net.suites
     @ Test_minic.suites @ Test_miniml.suites @ Test_pascal.suites
     @ Test_mcc.suites @ Test_faults.suites @ Test_delta.suites
-    @ Test_extended.suites @ Test_registry.suites @ Test_balance.suites)
+    @ Test_extended.suites @ Test_registry.suites @ Test_balance.suites
+    @ Test_dspec.suites)

@@ -253,7 +253,7 @@ let mk_cluster ?(nodes = 3) ?(seed = 1) ?(ttl = 0.25) plan =
 
 let serve_cfg =
   { Mcc.Gridapp.Serve.clients = 4; services = 2; requests_per_client = 40;
-    work_us = 20; skew = false }
+    work_us = 20; skew = false; speculative = false }
 
 let lossy_plan seed =
   { Net.Faults.none with
@@ -324,7 +324,8 @@ let test_serve_double_migration_chain () =
       let cluster = mk_cluster ~nodes:4 (lossy_plan seed) in
       let cfg =
         { Mcc.Gridapp.Serve.clients = 3; services = 1;
-          requests_per_client = 50; work_us = 20; skew = false }
+          requests_per_client = 50; work_us = 20; skew = false;
+          speculative = false }
       in
       let d = Mcc.Gridapp.Serve.deploy cluster cfg in
       let r =
@@ -407,7 +408,7 @@ int main() {
   in
   let svc_cfg =
     { Mcc.Gridapp.Serve.clients = 1; services = 1; requests_per_client = 2;
-      work_us = 10; skew = false }
+      work_us = 10; skew = false; speculative = false }
   in
   let client_pid =
     Net.Cluster.spawn cluster ~rank:0 ~node_id:0 (compile client_src)

@@ -139,6 +139,38 @@ let test_out_of_order_commit () =
   check "restored to level-2 entry state" true
     (Value.equal (Heap.read h idx 0) (Value.Vint 2))
 
+let test_out_of_order_commit_then_rollback_past () =
+  (* the nested-level edge the .mli promises: commit a MIDDLE level out
+     of order, then roll back PAST it — the rollback must undo the
+     surviving outer level's own write, the write folded in by the
+     committed middle level, and the (renumbered) newest level's write *)
+  let h, e = make () in
+  let idx = Heap.alloc h ~tag:Heap.Array ~size:3 ~init:(Value.Vint 0) in
+  let _ = Spec.Engine.enter e ~cont:cont0 in
+  Heap.write h idx 0 (Value.Vint 1);
+  let _ = Spec.Engine.enter e ~cont:{ cont0 with entry = "mid" } in
+  Heap.write h idx 1 (Value.Vint 2);
+  let _ = Spec.Engine.enter e ~cont:{ cont0 with entry = "top" } in
+  Heap.write h idx 2 (Value.Vint 3);
+  check_int "three levels open" 3 (Spec.Engine.depth e);
+  Spec.Engine.commit e 2;
+  check_int "middle commit leaves two levels" 2 (Spec.Engine.depth e);
+  check "folded value survives its commit" true
+    (Value.equal (Heap.read h idx 1) (Value.Vint 2));
+  (* level 3 renumbered to 2; its uid must still resolve *)
+  check_int "two stable uids remain" 2
+    (List.length (Spec.Engine.unique_ids e));
+  let cont = Spec.Engine.rollback e 1 in
+  Alcotest.(check string) "level 1's continuation" "body"
+    cont.Spec.Engine.entry;
+  check "level 1's own write undone" true
+    (Value.equal (Heap.read h idx 0) (Value.Vint 0));
+  check "committed middle level's write undone" true
+    (Value.equal (Heap.read h idx 1) (Value.Vint 0));
+  check "renumbered top level's write undone" true
+    (Value.equal (Heap.read h idx 2) (Value.Vint 0));
+  check_int "re-entered level 1 only" 1 (Spec.Engine.depth e)
+
 let test_invalid_levels () =
   let h, e = make () in
   ignore h;
@@ -215,11 +247,12 @@ let test_stats () =
   Spec.Engine.commit e 1;
   let _ = Spec.Engine.enter e ~cont:cont0 in
   let _ = Spec.Engine.rollback e 1 in
-  let s = Spec.Engine.stats e in
-  check_int "entered (incl. retry re-entry)" 3 s.Spec.Engine.entered;
-  check_int "committed" 1 s.Spec.Engine.committed;
-  check_int "rolled back" 1 s.Spec.Engine.rolled_back;
-  check_int "blocks saved" 1 s.Spec.Engine.blocks_saved
+  let m = Spec.Engine.metrics e in
+  let count name = Obs.Metrics.counter_value m name in
+  check_int "entered (incl. retry re-entry)" 3 (count "spec.entered");
+  check_int "committed" 1 (count "spec.committed");
+  check_int "rolled back" 1 (count "spec.rolled_back");
+  check_int "blocks saved" 1 (count "spec.blocks_saved")
 
 (* ------------------------------------------------------------------ *)
 (* Model-based property                                                *)
@@ -346,6 +379,8 @@ let suites =
         Alcotest.test_case "fold keeps parent original" `Quick
           test_fold_keeps_parent_original;
         Alcotest.test_case "out-of-order commit" `Quick test_out_of_order_commit;
+        Alcotest.test_case "out-of-order commit then rollback past it"
+          `Quick test_out_of_order_commit_then_rollback_past;
         Alcotest.test_case "invalid levels rejected" `Quick test_invalid_levels;
         Alcotest.test_case "fresh blocks inside speculation" `Quick
           test_new_blocks_in_speculation;
